@@ -1,0 +1,68 @@
+// Section 5.1 ablation: the Batch Counter's L1-sized slices. Sweeps the
+// groups-per-slice setting around the L1-derived choice and reports
+// GFLOPS, showing the cache-residency argument behind the design: too
+// small wastes packing locality, too large spills the packed panels out
+// of L1.
+#include <complex>
+
+#include "common/bench_common.hpp"
+#include "iatf/plan/gemm_plan.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, index_t s, const Options& opt) {
+  Rng rng(13);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t batch = auto_batch(
+      static_cast<index_t>(sizeof(T)) * 3 * s * s, pw, opt);
+  auto ha = random_host_batch<T>(s, s, batch, rng);
+  auto hb = random_host_batch<T>(s, s, batch, rng);
+  auto hc = random_host_batch<T>(s, s, batch, rng);
+  auto ca = to_compact_buffer(ha, pw);
+  auto cb = to_compact_buffer(hb, pw);
+  auto cc = to_compact_buffer(hc, pw);
+  const GemmShape shape{s, s, s, Op::NoTrans, Op::NoTrans, batch};
+  const CacheInfo cache = CacheInfo::detect();
+  // Force packing so the slice size has something to keep resident even
+  // at sizes where the selecter would skip packs.
+  plan::PlanTuning base;
+  base.force_pack_a = 1;
+  base.force_pack_b = 1;
+
+  const index_t chosen =
+      plan::GemmPlan<T>(shape, cache, base).slice_groups();
+  for (index_t slice :
+       {index_t(1), chosen / 4, chosen / 2, chosen, chosen * 4,
+        chosen * 16, batch / pw + 1}) {
+    if (slice < 1) {
+      continue;
+    }
+    plan::PlanTuning tuning = base;
+    tuning.slice_override = slice;
+    plan::GemmPlan<T> pl(shape, cache, tuning);
+    const double g = measure_gflops(gemm_flops<T>(shape), opt, [&] {
+      pl.execute(ca, cb, cc, T(1), T(0));
+    });
+    const char* tag = slice == chosen ? "slice-L1(chosen)" : "slice";
+    print_row("batchcount", dtype, std::to_string(slice), s, tag, g);
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  std::printf("# Ablation: batch counter slice size (paper section 5.1);"
+              " mode column holds groups-per-slice\n");
+  print_header();
+  sweep<float>("s", 8, opt);
+  sweep<double>("d", 8, opt);
+  sweep<double>("d", 16, opt);
+  sweep<std::complex<double>>("z", 8, opt);
+  return 0;
+}

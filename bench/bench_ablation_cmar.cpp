@@ -1,0 +1,89 @@
+// Section 4.2 ablation: is the CMAR-optimal kernel size actually the
+// fastest? Measures achieved GFLOPS of each candidate main-kernel size
+// on a long-K packed panel (the steady-state regime the CMAR analysis
+// models) next to the analytic compute-to-memory-access ratio.
+#include <complex>
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/kernels/registry.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+double kernel_gflops(int mc, int nc, index_t k, const Options& opt) {
+  using R = real_t<T>;
+  constexpr index_t es = kernels::kreg<T>::stride;
+  Rng rng(9);
+  AlignedBuffer<R> pa(static_cast<std::size_t>(mc * k * es));
+  AlignedBuffer<R> pb(static_cast<std::size_t>(k * nc * es));
+  AlignedBuffer<R> c(static_cast<std::size_t>(mc * nc * es));
+  rng.fill<R>(pa.span());
+  rng.fill<R>(pb.span());
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = pa.data();
+  args.pb = pb.data();
+  args.c = c.data();
+  args.k = k;
+  args.a_kstride = mc * es;
+  args.b_kstride = nc * es;
+  args.b_jstride = es;
+  args.c_jstride = mc * es;
+  args.alpha = T(1);
+  args.beta = T(0);
+  const auto fn = kernels::Registry<T>::gemm(mc, nc);
+
+  const index_t inner = 256; // amortise the timer around a tiny kernel
+  const double flops = flops_per_madd<T>() / 2.0 * 2.0 * mc * nc *
+                       static_cast<double>(k) *
+                       simd::pack_width_v<T> * inner;
+  return measure_gflops(flops, opt, [&] {
+    for (index_t i = 0; i < inner; ++i) {
+      fn(args);
+    }
+  });
+}
+
+template <class T> void sweep(const char* label, const Options& opt) {
+  using L = kernels::KernelLimits<T>;
+  std::printf("\n%s: packed-panel kernels, K=64, P=%d\n", label,
+              simd::pack_width_v<T>);
+  std::printf("%-8s %10s %12s %6s\n", "kernel", "CMAR", "GFLOPS",
+              "regs");
+  const int factor = is_complex_v<T> ? 2 : 1;
+  double best = 0;
+  int best_mc = 0, best_nc = 0;
+  for (int mc = 1; mc <= L::gemm_max_mc; ++mc) {
+    for (int nc = 1; nc <= L::gemm_max_nc; ++nc) {
+      const double cmar = static_cast<double>(2 * factor * mc * nc) /
+                          (factor * (mc + nc)) / 2.0;
+      const double g = kernel_gflops<T>(mc, nc, 64, opt);
+      const int regs = 2 * factor * (mc + nc) + factor * mc * nc;
+      std::printf("%dx%d %12.2f %12.2f %6d\n", mc, nc, cmar, g, regs);
+      if (g > best) {
+        best = g;
+        best_mc = mc;
+        best_nc = nc;
+      }
+    }
+  }
+  std::printf("fastest: %dx%d (paper's CMAR-optimal: %dx%d)\n", best_mc,
+              best_nc, L::gemm_max_mc, L::gemm_max_nc);
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  std::printf("Ablation: kernel size vs CMAR (paper section 4.2)\n");
+  sweep<float>("float", opt);
+  sweep<double>("double", opt);
+  sweep<std::complex<float>>("complex<float>", opt);
+  sweep<std::complex<double>>("complex<double>", opt);
+  return 0;
+}

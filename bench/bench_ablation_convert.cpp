@@ -1,0 +1,80 @@
+// Layout-conversion ablation. The paper (like Intel's compact BLAS)
+// assumes the application keeps its data in the compact layout across
+// many operations; this bench quantifies that assumption by measuring
+// GEMM throughput (a) compact-resident, (b) including a one-off
+// convert-in/convert-out per call, and (c) amortised over a chain of
+// `chain` compact operations per conversion -- the break-even chain
+// length is the number the paper's usage model implicitly relies on.
+#include <complex>
+
+#include "common/series.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng) {
+  const Op nn = Op::NoTrans;
+  for (index_t s : {index_t(4), index_t(8), index_t(16), index_t(32)}) {
+    const index_t batch = auto_batch(gemm_bytes_per_matrix<T>(s, s, s),
+                                     simd::pack_width_v<T>, opt);
+    Rng rng(21);
+    auto ha = random_host_batch<T>(s, s, batch, rng);
+    auto hb = random_host_batch<T>(s, s, batch, rng);
+    auto hc = random_host_batch<T>(s, s, batch, rng);
+    const index_t pw = simd::pack_width_v<T>;
+    auto ca = to_compact_buffer(ha, pw);
+    auto cb = to_compact_buffer(hb, pw);
+    auto cc = to_compact_buffer(hc, pw);
+    auto plan =
+        eng.plan_gemm<T>(GemmShape{s, s, s, nn, nn, batch});
+    const double flops = gemm_flops<T>(plan->shape());
+
+    const double resident = measure_gflops(flops, opt, [&] {
+      plan->execute(ca, cb, cc, T(1), T(0));
+    });
+    const double with_convert = measure_gflops(flops, opt, [&] {
+      auto ta = to_compact<T>(ha.data.data(), s, s, s, s * s, batch, pw);
+      auto tb = to_compact<T>(hb.data.data(), s, s, s, s * s, batch, pw);
+      auto tc = to_compact<T>(hc.data.data(), s, s, s, s * s, batch, pw);
+      plan->execute(ta, tb, tc, T(1), T(0));
+      from_compact<T>(tc, hc.data.data(), s, s * s);
+    });
+    const index_t chain = 8;
+    const double chained =
+        measure_gflops(flops * static_cast<double>(chain), opt, [&] {
+          auto ta =
+              to_compact<T>(ha.data.data(), s, s, s, s * s, batch, pw);
+          auto tb =
+              to_compact<T>(hb.data.data(), s, s, s, s * s, batch, pw);
+          auto tc =
+              to_compact<T>(hc.data.data(), s, s, s, s * s, batch, pw);
+          for (index_t r = 0; r < chain; ++r) {
+            plan->execute(ta, tb, tc, T(1), T(0));
+          }
+          from_compact<T>(tc, hc.data.data(), s, s * s);
+        });
+
+    print_row("convert", dtype, "resident", s, "iatf", resident);
+    print_row("convert", dtype, "convert-each-call", s, "iatf",
+              with_convert);
+    print_row("convert", dtype, "chain8", s, "iatf", chained);
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  std::printf("# Layout-conversion overhead (compact-residency "
+              "assumption)\n");
+  print_header();
+  iatf::Engine eng;
+  sweep<float>("s", opt, eng);
+  sweep<double>("d", opt, eng);
+  sweep<std::complex<double>>("z", opt, eng);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Section 4.4 ablation: the no-packing strategy. For the sizes where the
+// Pack Selecter chooses no-pack (NoTrans operands fitting one tile),
+// force packing on and compare -- "the performance improvement of this
+// strategy for small matrix operations is significant".
+#include <complex>
+
+#include "common/bench_common.hpp"
+#include "iatf/plan/gemm_plan.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+double run_with(const plan::PlanTuning& tuning, index_t s, index_t batch,
+                const Options& opt) {
+  Rng rng(11);
+  const index_t pw = simd::pack_width_v<T>;
+  auto ha = random_host_batch<T>(s, s, batch, rng);
+  auto hb = random_host_batch<T>(s, s, batch, rng);
+  auto hc = random_host_batch<T>(s, s, batch, rng);
+  auto ca = to_compact_buffer(ha, pw);
+  auto cb = to_compact_buffer(hb, pw);
+  auto cc = to_compact_buffer(hc, pw);
+  const GemmShape shape{s, s, s, Op::NoTrans, Op::NoTrans, batch};
+  plan::GemmPlan<T> pl(shape, CacheInfo::detect(), tuning);
+  return measure_gflops(gemm_flops<T>(shape), opt, [&] {
+    pl.execute(ca, cb, cc, T(1), T(0));
+  });
+}
+
+template <class T> void sweep(const char* dtype, const Options& opt) {
+  for (index_t s : {index_t(2), index_t(4), index_t(8), index_t(16),
+                    index_t(32)}) {
+    const index_t batch = auto_batch(
+        static_cast<index_t>(sizeof(T)) * 3 * s * s,
+        simd::pack_width_v<T>, opt);
+    plan::PlanTuning nopack;
+    nopack.force_pack_a = 0;
+    nopack.force_pack_b = 0;
+    plan::PlanTuning packed;
+    packed.force_pack_a = 1;
+    packed.force_pack_b = 1;
+    print_row("nopack", dtype, "NN", s, "no-pack",
+              run_with<T>(nopack, s, batch, opt));
+    print_row("nopack", dtype, "NN", s, "forced-pack",
+              run_with<T>(packed, s, batch, opt));
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  std::printf("# Ablation: no-packing strategy (paper section 4.4) -- "
+              "sizes where the pack selecter picks no-pack\n");
+  print_header();
+  sweep<float>("s", opt);
+  sweep<double>("d", opt);
+  sweep<std::complex<float>>("c", opt);
+  sweep<std::complex<double>>("z", opt);
+  return 0;
+}

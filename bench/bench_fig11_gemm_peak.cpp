@@ -1,0 +1,60 @@
+// Figure 11: compact GEMM as a percentage of peak, IATF's 128-bit
+// configuration versus the MKL-compact simulation (`mkl-compact-sim`, the
+// identical compact algorithm on 256-bit registers standing in for
+// Intel's wider-SIMD compact BLAS). The paper normalises each library by
+// its own platform's theoretical peak; on a host whose native vectors are
+// wider than the simulated configuration a raw FMA peak is not a valid
+// bound (see kernel_peak_gflops), so each configuration is normalised by
+// its own measured kernel roofline. Machine FMA peaks are printed for
+// reference.
+#include <complex>
+
+#include "common/series.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng) {
+  const Op nn = Op::NoTrans;
+  const double peak128 = kernel_peak_gflops<T, 16>(opt);
+  const double peak256 = kernel_peak_gflops<T, 32>(opt);
+  std::printf("# %sgemm kernel rooflines: 128-bit %.2f gflops, 256-bit "
+              "%.2f gflops\n",
+              dtype, peak128, peak256);
+  for (index_t s = 1; s <= opt.max_size; s += opt.size_step) {
+    const index_t batch = auto_batch(gemm_bytes_per_matrix<T>(s, s, s),
+                                     simd::pack_width_v<T>, opt);
+    const double g128 =
+        gemm_series_iatf<T, 16>(nn, nn, s, s, s, batch, opt, eng);
+    const double g256 =
+        gemm_series_iatf<T, 32>(nn, nn, s, s, s, batch, opt, eng);
+    print_row("fig11", dtype, "NN", s, "iatf", 100.0 * g128 / peak128,
+              "pct-peak");
+    print_row("fig11", dtype, "NN", s, "mkl-compact-sim",
+              100.0 * g256 / peak256, "pct-peak");
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  Options opt = Options::parse(argc, argv);
+  if (opt.size_step == 1) {
+    opt.size_step = 2;
+  }
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  std::printf("# machine FMA peaks (gflops): sp128=%.1f dp128=%.1f "
+              "sp256=%.1f dp256=%.1f\n",
+              measure_peak_gflops_sp128(), measure_peak_gflops_dp128(),
+              measure_peak_gflops_sp256(), measure_peak_gflops_dp256());
+  print_header();
+  sweep<float>("s", opt, eng);
+  sweep<double>("d", opt, eng);
+  sweep<std::complex<float>>("c", opt, eng);
+  sweep<std::complex<double>>("z", opt, eng);
+  return 0;
+}

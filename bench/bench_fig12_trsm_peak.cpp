@@ -1,0 +1,52 @@
+// Figure 12: compact TRSM as a percentage of peak, IATF's 128-bit
+// configuration versus the MKL-compact simulation on 256-bit registers,
+// LNLN mode. Normalisation methodology as in bench_fig11_gemm_peak.cpp:
+// each configuration against its own measured kernel roofline.
+#include <complex>
+
+#include "common/series.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng) {
+  const double peak128 = kernel_peak_gflops<T, 16>(opt);
+  const double peak256 = kernel_peak_gflops<T, 32>(opt);
+  std::printf("# %strsm kernel rooflines: 128-bit %.2f gflops, 256-bit "
+              "%.2f gflops\n",
+              dtype, peak128, peak256);
+  for (index_t s = 1; s <= opt.max_size; s += opt.size_step) {
+    const index_t batch = auto_batch(trsm_bytes_per_matrix<T>(s, s),
+                                     simd::pack_width_v<T>, opt);
+    const double g128 = trsm_series_iatf<T, 16>(
+        Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, s, s, batch,
+        opt, eng);
+    const double g256 = trsm_series_iatf<T, 32>(
+        Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, s, s, batch,
+        opt, eng);
+    print_row("fig12", dtype, "LNLN", s, "iatf", 100.0 * g128 / peak128,
+              "pct-peak");
+    print_row("fig12", dtype, "LNLN", s, "mkl-compact-sim",
+              100.0 * g256 / peak256, "pct-peak");
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  Options opt = Options::parse(argc, argv);
+  if (opt.size_step == 1) {
+    opt.size_step = 2;
+  }
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  print_header();
+  sweep<float>("s", opt, eng);
+  sweep<double>("d", opt, eng);
+  sweep<std::complex<float>>("c", opt, eng);
+  sweep<std::complex<double>>("z", opt, eng);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 7: compact batched GEMM under NN mode, square sizes 1..33, for
+// sgemm/dgemm/cgemm/zgemm, against the three baseline series
+// (openblas-loop, armpl-batch, libxsmm -- the latter real types only,
+// matching the library's missing complex interface).
+#include <complex>
+
+#include "common/series.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng) {
+  for (index_t s = 1; s <= opt.max_size; s += opt.size_step) {
+    const index_t batch = auto_batch(gemm_bytes_per_matrix<T>(s, s, s),
+                                     simd::pack_width_v<T>, opt);
+    const Op nn = Op::NoTrans;
+    print_row("fig7", dtype, "NN", s, "iatf",
+              gemm_series_iatf<T>(nn, nn, s, s, s, batch, opt, eng));
+    print_row("fig7", dtype, "NN", s, "openblas-loop",
+              gemm_series_loop<T>(nn, nn, s, s, s, batch, opt));
+    print_row("fig7", dtype, "NN", s, "armpl-batch",
+              gemm_series_batch<T>(nn, nn, s, s, s, batch, opt));
+    if constexpr (!is_complex_v<T>) {
+      print_row("fig7", dtype, "NN", s, "libxsmm",
+                gemm_series_smallspec<T>(nn, nn, s, s, s, batch, opt));
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  print_header();
+  sweep<float>("s", opt, eng);
+  sweep<double>("d", opt, eng);
+  sweep<std::complex<float>>("c", opt, eng);
+  sweep<std::complex<double>>("z", opt, eng);
+  return 0;
+}

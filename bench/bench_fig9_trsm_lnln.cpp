@@ -1,0 +1,45 @@
+// Figure 9: compact batched TRSM under the LNLN mode (Left, NoTrans,
+// Lower, NonUnit), square sizes, four data types, against the two loop
+// baselines (the paper compares against looping OpenBLAS and ARMPL TRSM
+// calls; LIBXSMM has no TRSM).
+#include <complex>
+
+#include "common/series.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng) {
+  for (index_t s = 1; s <= opt.max_size; s += opt.size_step) {
+    const index_t batch = auto_batch(trsm_bytes_per_matrix<T>(s, s),
+                                     simd::pack_width_v<T>, opt);
+    print_row("fig9", dtype, "LNLN", s, "iatf",
+              trsm_series_iatf<T>(Side::Left, Uplo::Lower, Op::NoTrans,
+                                  Diag::NonUnit, s, s, batch, opt, eng));
+    print_row("fig9", dtype, "LNLN", s, "armpl-loop",
+              trsm_series_loop_tuned<T>(Side::Left, Uplo::Lower,
+                                        Op::NoTrans, Diag::NonUnit, s, s,
+                                        batch, opt));
+    print_row("fig9", dtype, "LNLN", s, "openblas-loop",
+              trsm_series_loop_generic<T>(Side::Left, Uplo::Lower,
+                                          Op::NoTrans, Diag::NonUnit, s,
+                                          s, batch, opt));
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  print_header();
+  sweep<float>("s", opt, eng);
+  sweep<double>("d", opt, eng);
+  sweep<std::complex<float>>("c", opt, eng);
+  sweep<std::complex<double>>("z", opt, eng);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark microbenchmarks of the individual building blocks:
+// compact micro-kernels, packing kernels and layout conversion. These are
+// developer-facing (regression tracking), complementing the paper-figure
+// harnesses.
+#include <benchmark/benchmark.h>
+
+#include <complex>
+
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/common/rng.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/layout/compact.hpp"
+#include "iatf/pack/gemm_pack.hpp"
+#include "iatf/pack/trsm_pack.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T> void BM_GemmKernelMain(benchmark::State& state) {
+  using R = real_t<T>;
+  using L = kernels::KernelLimits<T>;
+  constexpr index_t es = kernels::kreg<T>::stride;
+  const int mc = L::gemm_max_mc;
+  const int nc = L::gemm_max_nc;
+  const index_t k = state.range(0);
+  Rng rng(1);
+  AlignedBuffer<R> pa(static_cast<std::size_t>(mc * k * es));
+  AlignedBuffer<R> pb(static_cast<std::size_t>(k * nc * es));
+  AlignedBuffer<R> c(static_cast<std::size_t>(mc * nc * es));
+  rng.fill<R>(pa.span());
+  rng.fill<R>(pb.span());
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = pa.data();
+  args.pb = pb.data();
+  args.c = c.data();
+  args.k = k;
+  args.a_kstride = mc * es;
+  args.b_kstride = nc * es;
+  args.b_jstride = es;
+  args.c_jstride = mc * es;
+  args.alpha = T(1);
+  args.beta = T(0);
+  const auto fn = kernels::Registry<T>::gemm(mc, nc);
+  for (auto _ : state) {
+    fn(args);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * simd::pack_width_v<T>);
+  state.counters["flops/it"] = flops_per_madd<T>() * mc * nc *
+                               static_cast<double>(k) *
+                               simd::pack_width_v<T>;
+}
+
+template <class T> void BM_TrsmTriKernel(benchmark::State& state) {
+  using R = real_t<T>;
+  using L = kernels::KernelLimits<T>;
+  constexpr index_t es = kernels::kreg<T>::stride;
+  const int m = L::tri_max_m;
+  const int nc = L::tri_max_nc;
+  Rng rng(2);
+  AlignedBuffer<R> pa(
+      static_cast<std::size_t>(m * (m + 1) / 2 * es));
+  AlignedBuffer<R> b(static_cast<std::size_t>(m * nc * es));
+  rng.fill<R>(pa.span());
+  rng.fill<R>(b.span());
+
+  kernels::TrsmTriArgs<T> args;
+  args.pa = pa.data();
+  args.b = b.data();
+  args.b_jstride = m * es;
+  const auto fn = kernels::Registry<T>::tri(m, nc);
+  for (auto _ : state) {
+    fn(args);
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+
+template <class T> void BM_PackA(benchmark::State& state) {
+  using R = real_t<T>;
+  const index_t s = state.range(0);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  CompactBuffer<T> a(s, s, pw);
+  const auto tiles = tile_dimension(
+      s, kernels::KernelLimits<T>::gemm_max_mc);
+  AlignedBuffer<R> out(static_cast<std::size_t>(s * s * es));
+  for (auto _ : state) {
+    pack::pack_gemm_a<T>(a.group_data(0), s, es, Op::NoTrans, tiles, s,
+                         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * s * s * es *
+                          static_cast<index_t>(sizeof(R)));
+}
+
+void BM_LayoutImport(benchmark::State& state) {
+  const index_t s = state.range(0);
+  const index_t batch = 256;
+  Rng rng(3);
+  std::vector<double> host(static_cast<std::size_t>(s * s * batch));
+  rng.fill<double>(host);
+  for (auto _ : state) {
+    auto buf = to_compact<double>(host.data(), s, s, s, s * s, batch);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * s * s * batch * 8);
+}
+
+BENCHMARK_TEMPLATE(BM_GemmKernelMain, float)->Arg(4)->Arg(16)->Arg(33);
+BENCHMARK_TEMPLATE(BM_GemmKernelMain, double)->Arg(4)->Arg(16)->Arg(33);
+BENCHMARK_TEMPLATE(BM_GemmKernelMain, std::complex<float>)->Arg(16);
+BENCHMARK_TEMPLATE(BM_GemmKernelMain, std::complex<double>)->Arg(16);
+BENCHMARK_TEMPLATE(BM_TrsmTriKernel, float);
+BENCHMARK_TEMPLATE(BM_TrsmTriKernel, double);
+BENCHMARK_TEMPLATE(BM_TrsmTriKernel, std::complex<double>);
+BENCHMARK_TEMPLATE(BM_PackA, float)->Arg(8)->Arg(24);
+BENCHMARK_TEMPLATE(BM_PackA, std::complex<double>)->Arg(8);
+BENCHMARK(BM_LayoutImport)->Arg(4)->Arg(16);
+
+} // namespace
+} // namespace iatf
+
+BENCHMARK_MAIN();

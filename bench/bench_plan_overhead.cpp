@@ -1,0 +1,78 @@
+// Section 5.3's overhead claim: "the run-time stage overhead is not
+// significant, since it only generates this execution plan at the
+// beginning... negligible when apportioned to each matrix". Measures
+// plan generation cost, plan-cache lookup cost, and both as a fraction
+// of one batched execution.
+#include <complex>
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T>
+void run(const char* dtype, index_t s, const Options& opt) {
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t batch = auto_batch(
+      static_cast<index_t>(sizeof(T)) * 3 * s * s, pw, opt);
+  const GemmShape shape{s, s, s, Op::NoTrans, Op::NoTrans, batch};
+  const CacheInfo cache = CacheInfo::detect();
+
+  // Cold plan generation.
+  constexpr int kPlans = 200;
+  Timer t;
+  for (int i = 0; i < kPlans; ++i) {
+    plan::GemmPlan<T> pl(shape, cache);
+    volatile auto sink = pl.slice_groups();
+    (void)sink;
+  }
+  const double gen_us = t.seconds() / kPlans * 1e6;
+
+  // Cached lookup through the engine.
+  Engine eng(cache);
+  (void)eng.plan_gemm<T>(shape);
+  t.reset();
+  constexpr int kLookups = 20000;
+  for (int i = 0; i < kLookups; ++i) {
+    volatile auto p = eng.plan_gemm<T>(shape).get();
+    (void)p;
+  }
+  const double lookup_us = t.seconds() / kLookups * 1e6;
+
+  // One execution of the batch for scale.
+  Rng rng(17);
+  auto ha = random_host_batch<T>(s, s, batch, rng);
+  auto hb = random_host_batch<T>(s, s, batch, rng);
+  auto hc = random_host_batch<T>(s, s, batch, rng);
+  auto ca = to_compact_buffer(ha, pw);
+  auto cb = to_compact_buffer(hb, pw);
+  auto cc = to_compact_buffer(hc, pw);
+  auto pl = eng.plan_gemm<T>(shape);
+  t.reset();
+  pl->execute(ca, cb, cc, T(1), T(0));
+  const double exec_us = t.seconds() * 1e6;
+
+  std::printf("%sgemm n=%-3lld batch=%-6lld plan-gen %8.2f us   cached "
+              "lookup %6.3f us   one execution %10.1f us   gen/exec "
+              "%.4f%%\n",
+              dtype, static_cast<long long>(s),
+              static_cast<long long>(batch), gen_us, lookup_us, exec_us,
+              100.0 * gen_us / exec_us);
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  std::printf("Run-time stage overhead (paper section 5.3)\n");
+  run<float>("s", 4, opt);
+  run<float>("s", 16, opt);
+  run<double>("d", 8, opt);
+  run<std::complex<double>>("z", 8, opt);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table 2: experimental environment. Prints the paper's two platforms
+// next to the detected host so every other bench's numbers can be read in
+// context (this reproduction runs the ARMv8 algorithms through a portable
+// 128-bit SIMD layer on whatever the host is).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/bench_common.hpp"
+#include "iatf/common/cache_info.hpp"
+
+namespace {
+
+std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto pos = line.find(':');
+      if (pos != std::string::npos) {
+        return line.substr(pos + 2);
+      }
+    }
+  }
+  return "unknown";
+}
+
+} // namespace
+
+int main() {
+  using iatf::CacheInfo;
+  const CacheInfo host = CacheInfo::detect();
+  const double sp128 = iatf::bench::measure_peak_gflops_sp128();
+  const double dp128 = iatf::bench::measure_peak_gflops_dp128();
+  const double sp256 = iatf::bench::measure_peak_gflops_sp256();
+  const double dp256 = iatf::bench::measure_peak_gflops_dp256();
+
+  std::printf("Table 2: experimental environments\n\n");
+  std::printf("%-22s %-22s %-22s %s\n", "", "Kunpeng 920 (paper)",
+              "Xeon 6240 (paper)", "this host (measured)");
+  std::printf("%-22s %-22s %-22s %s\n", "CPU", "Kunpeng 920",
+              "Intel Xeon Gold 6240", cpu_model().c_str());
+  std::printf("%-22s %-22s %-22s %.1f (128b) / %.1f (256b)\n",
+              "Peak perf. (FP64)", "10.4 GFLOPS", "83.2 GFLOPS", dp128,
+              dp256);
+  std::printf("%-22s %-22s %-22s %.1f (128b) / %.1f (256b)\n",
+              "Peak perf. (FP32)", "41.6 GFLOPS", "166.4 GFLOPS", sp128,
+              sp256);
+  std::printf("%-22s %-22s %-22s %s\n", "Arch.", "ARMv8.2",
+              "Cascade Lake",
+#if defined(__aarch64__)
+              "aarch64"
+#elif defined(__x86_64__)
+              "x86-64"
+#else
+              "other"
+#endif
+  );
+  std::printf("%-22s %-22s %-22s %s\n", "SIMD (library view)",
+              "128 bits (NEON)", "512 bits (AVX-512)",
+              "128 bits (portable vec) + 256-bit mklsim");
+  std::printf("%-22s %-22s %-22s %zu KB\n", "L1D cache", "64 KB",
+              "32 KB", host.l1d / 1024);
+  std::printf("%-22s %-22s %-22s %zu KB\n", "L2 cache", "512 KB",
+              "1024 KB", host.l2 / 1024);
+  std::printf("%-22s %-22s %-22s %s %d.%d\n", "Compiler", "GCC 7.5",
+              "GCC 7.5",
+#if defined(__clang__)
+              "clang", __clang_major__, __clang_minor__
+#elif defined(__GNUC__)
+              "gcc", __GNUC__, __GNUC_MINOR__
+#else
+              "unknown", 0, 0
+#endif
+  );
+  std::printf("\nBatch-counter tuning uses %zu KB L1d (pass "
+              "CacheInfo::kunpeng920() for the paper's 64 KB).\n",
+              host.l1d / 1024);
+  return 0;
+}

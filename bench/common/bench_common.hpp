@@ -1,0 +1,129 @@
+// Shared harness for the figure/table benchmarks.
+//
+// Conventions, mirroring the paper's section 6 methodology:
+//  * square sizes 1..33 unless a bench narrows the grid;
+//  * matrices filled with uniform random values in [0,1);
+//  * each measurement repeats the operation and reports the geometric
+//    mean of per-repetition GFLOPS (the paper runs each kernel 100 times
+//    and takes the geometric mean);
+//  * the default batch adapts to the host's memory instead of the paper's
+//    fixed 16384 so the largest complex sizes still fit comfortably; pass
+//    --batch=16384 to reproduce the paper's setting exactly.
+//
+// Every bench prints CSV rows `experiment,dtype,mode,n,series,value,...`
+// so the figures can be re-plotted directly from the captured output.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "iatf/common/rng.hpp"
+#include "iatf/common/timer.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf::bench {
+
+/// Command-line options shared by all benches.
+struct Options {
+  index_t batch = 0;        ///< 0 = auto (memory-bounded, capped at 16384)
+  index_t max_size = 33;    ///< largest square size in sweeps
+  index_t size_step = 1;    ///< sweep stride (figures with many modes
+                            ///< default to a coarser grid)
+  double min_time = 0.04;   ///< seconds of measurement per point
+  int min_reps = 2;         ///< minimum timed repetitions per point
+  bool verbose = false;
+
+  static Options parse(int argc, char** argv);
+};
+
+/// Paper-style batch size bounded by a working-set budget: at most 16384,
+/// at least one interleave group, and small enough that the operands of
+/// one problem stay within ~64 MiB.
+index_t auto_batch(index_t bytes_per_matrix_set, index_t pack_width,
+                   const Options& opt);
+
+/// Repeat `body` and return the geometric mean GFLOPS, where one call to
+/// `body` performs `flops` floating-point operations.
+double measure_gflops(double flops, const Options& opt,
+                      const std::function<void()>& body);
+
+/// Strided column-major host batch (the layout handed to the baselines).
+template <class T> struct HostBatch {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t batch = 0;
+  std::vector<T> data;
+
+  HostBatch() = default;
+  HostBatch(index_t r, index_t c, index_t b)
+      : rows(r), cols(c), batch(b),
+        data(static_cast<std::size_t>(r * c * b)) {}
+
+  index_t ld() const { return rows; }
+  index_t stride() const { return rows * cols; }
+  T* mat(index_t b) { return data.data() + b * stride(); }
+  const T* mat(index_t b) const { return data.data() + b * stride(); }
+};
+
+template <class T>
+HostBatch<T> random_host_batch(index_t rows, index_t cols, index_t batch,
+                               Rng& rng) {
+  HostBatch<T> out(rows, cols, batch);
+  rng.fill<T>(out.data);
+  return out;
+}
+
+/// Triangular factor with a well-conditioned diagonal (benches still time
+/// realistic values; conditioning only avoids overflow over many reps).
+template <class T>
+HostBatch<T> random_host_triangular(index_t m, index_t batch, Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out(m, m, batch);
+  rng.fill<T>(out.data);
+  const R scale = m > 1 ? R(0.5) / static_cast<R>(m) : R(1);
+  for (index_t b = 0; b < batch; ++b) {
+    T* a = out.mat(b);
+    for (index_t j = 0; j < m; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        if (i != j) {
+          a[j * m + i] *= scale;
+        } else {
+          a[j * m + i] += T(1);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+template <class T>
+CompactBuffer<T> to_compact_buffer(const HostBatch<T>& host,
+                                   index_t pack_width) {
+  return to_compact<T>(host.data.data(), host.rows, host.cols, host.ld(),
+                       host.stride(), host.batch, pack_width);
+}
+
+/// Emit one CSV result row.
+void print_row(const std::string& experiment, const std::string& dtype,
+               const std::string& mode, index_t n,
+               const std::string& series, double value,
+               const std::string& unit = "gflops");
+
+void print_header();
+
+/// Measured FP peak of this machine at a given SIMD width, via a
+/// register-blocked FMA loop (used by the percent-of-peak figures; the
+/// paper uses the platform's documented peak, we measure ours).
+/// Enable flush-to-zero/denormals-are-zero so in-place repetitions whose
+/// values decay geometrically (TRSM) never hit the denormal slow path.
+void enable_flush_to_zero();
+
+double measure_peak_gflops_sp128();
+double measure_peak_gflops_dp128();
+double measure_peak_gflops_sp256();
+double measure_peak_gflops_dp256();
+
+} // namespace iatf::bench

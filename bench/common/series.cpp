@@ -1,0 +1,15 @@
+#include "series.hpp"
+
+#if defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace iatf::bench {
+
+void enable_flush_to_zero() {
+#if defined(__SSE2__)
+  _mm_setcsr(_mm_getcsr() | 0x8040); // FTZ | DAZ
+#endif
+}
+
+} // namespace iatf::bench

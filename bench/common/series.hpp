@@ -1,0 +1,215 @@
+// Per-series measurement runners shared by the figure benches.
+//
+// Series naming maps onto the paper's legends:
+//   iatf          -- this library (128-bit compact plans)
+//   iatf-wide     -- the same algorithm on 256-bit registers (the
+//                    MKL-compact simulation of Figures 11/12)
+//   openblas-loop -- looping per-matrix calls to a general BLAS
+//   armpl-batch   -- a standard-layout batched interface
+//   libxsmm       -- small-matrix-specialised standard-layout kernels
+//   armpl-loop    -- looping per-matrix calls to the tuned TRSM
+//
+// Each runner owns its workload (fresh buffers, untimed setup) and
+// returns geometric-mean GFLOPS for the requested problem.
+#pragma once
+
+#include "bench_common.hpp"
+#include "iatf/baselines/baselines.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf::bench {
+
+template <class T, int Bytes = 16>
+double gemm_series_iatf(Op op_a, Op op_b, index_t m, index_t n, index_t k,
+                        index_t batch, const Options& opt, Engine& eng) {
+  Rng rng(1);
+  const index_t pw = simd::pack_width_bytes_v<T, Bytes>;
+  const bool ta = op_a != Op::NoTrans;
+  const bool tb = op_b != Op::NoTrans;
+  auto ha = random_host_batch<T>(ta ? k : m, ta ? m : k, batch, rng);
+  auto hb = random_host_batch<T>(tb ? n : k, tb ? k : n, batch, rng);
+  auto hc = random_host_batch<T>(m, n, batch, rng);
+  auto ca = to_compact_buffer(ha, pw);
+  auto cb = to_compact_buffer(hb, pw);
+  auto cc = to_compact_buffer(hc, pw);
+  auto plan =
+      eng.plan_gemm<T, Bytes>(GemmShape{m, n, k, op_a, op_b, batch});
+  const double flops = gemm_flops<T>(plan->shape());
+  return measure_gflops(flops, opt, [&] {
+    plan->execute(ca, cb, cc, T(1), T(0));
+  });
+}
+
+template <class T>
+double gemm_series_loop(Op op_a, Op op_b, index_t m, index_t n, index_t k,
+                        index_t batch, const Options& opt) {
+  Rng rng(2);
+  const bool ta = op_a != Op::NoTrans;
+  const bool tb = op_b != Op::NoTrans;
+  auto ha = random_host_batch<T>(ta ? k : m, ta ? m : k, batch, rng);
+  auto hb = random_host_batch<T>(tb ? n : k, tb ? k : n, batch, rng);
+  auto hc = random_host_batch<T>(m, n, batch, rng);
+  const double flops = gemm_flops<T>(GemmShape{m, n, k, op_a, op_b, batch});
+  return measure_gflops(flops, opt, [&] {
+    baselines::loop_gemm<T>(op_a, op_b, m, n, k, T(1), ha.data.data(),
+                            ha.ld(), ha.stride(), hb.data.data(), hb.ld(),
+                            hb.stride(), T(0), hc.data.data(), hc.ld(),
+                            hc.stride(), batch);
+  });
+}
+
+template <class T>
+double gemm_series_batch(Op op_a, Op op_b, index_t m, index_t n, index_t k,
+                         index_t batch, const Options& opt) {
+  Rng rng(3);
+  const bool ta = op_a != Op::NoTrans;
+  const bool tb = op_b != Op::NoTrans;
+  auto ha = random_host_batch<T>(ta ? k : m, ta ? m : k, batch, rng);
+  auto hb = random_host_batch<T>(tb ? n : k, tb ? k : n, batch, rng);
+  auto hc = random_host_batch<T>(m, n, batch, rng);
+  const double flops = gemm_flops<T>(GemmShape{m, n, k, op_a, op_b, batch});
+  return measure_gflops(flops, opt, [&] {
+    baselines::batch_gemm<T>(op_a, op_b, m, n, k, T(1), ha.data.data(),
+                             ha.ld(), ha.stride(), hb.data.data(), hb.ld(),
+                             hb.stride(), T(0), hc.data.data(), hc.ld(),
+                             hc.stride(), batch);
+  });
+}
+
+template <class T>
+double gemm_series_smallspec(Op op_a, Op op_b, index_t m, index_t n,
+                             index_t k, index_t batch, const Options& opt) {
+  static_assert(!is_complex_v<T>);
+  Rng rng(4);
+  const bool ta = op_a != Op::NoTrans;
+  const bool tb = op_b != Op::NoTrans;
+  auto ha = random_host_batch<T>(ta ? k : m, ta ? m : k, batch, rng);
+  auto hb = random_host_batch<T>(tb ? n : k, tb ? k : n, batch, rng);
+  auto hc = random_host_batch<T>(m, n, batch, rng);
+  const double flops = gemm_flops<T>(GemmShape{m, n, k, op_a, op_b, batch});
+  return measure_gflops(flops, opt, [&] {
+    baselines::smallspec_gemm<T>(op_a, op_b, m, n, k, T(1),
+                                 ha.data.data(), ha.ld(), ha.stride(),
+                                 hb.data.data(), hb.ld(), hb.stride(),
+                                 T(0), hc.data.data(), hc.ld(),
+                                 hc.stride(), batch);
+  });
+}
+
+template <class T, int Bytes = 16>
+double trsm_series_iatf(Side side, Uplo uplo, Op op_a, Diag diag,
+                        index_t m, index_t n, index_t batch,
+                        const Options& opt, Engine& eng) {
+  Rng rng(5);
+  const index_t pw = simd::pack_width_bytes_v<T, Bytes>;
+  const index_t adim = side == Side::Left ? m : n;
+  auto ha = random_host_triangular<T>(adim, batch, rng);
+  auto hb = random_host_batch<T>(m, n, batch, rng);
+  auto ca = to_compact_buffer(ha, pw);
+  ca.pad_identity();
+  auto cb = to_compact_buffer(hb, pw);
+  auto plan = eng.plan_trsm<T, Bytes>(
+      TrsmShape{m, n, side, uplo, op_a, diag, batch});
+  const double flops = trsm_flops<T>(plan->shape());
+  return measure_gflops(flops, opt, [&] { plan->execute(ca, cb, T(1)); });
+}
+
+/// "armpl-loop": per-matrix calls to the tuned column-major TRSM.
+template <class T>
+double trsm_series_loop_tuned(Side side, Uplo uplo, Op op_a, Diag diag,
+                              index_t m, index_t n, index_t batch,
+                              const Options& opt) {
+  Rng rng(6);
+  const index_t adim = side == Side::Left ? m : n;
+  auto ha = random_host_triangular<T>(adim, batch, rng);
+  auto hb = random_host_batch<T>(m, n, batch, rng);
+  const double flops =
+      trsm_flops<T>(TrsmShape{m, n, side, uplo, op_a, diag, batch});
+  return measure_gflops(flops, opt, [&] {
+    baselines::loop_trsm<T>(side, uplo, op_a, diag, m, n, T(1),
+                            ha.data.data(), adim, ha.stride(),
+                            hb.data.data(), hb.ld(), hb.stride(), batch);
+  });
+}
+
+/// "openblas-loop": per-matrix calls to a fully general textbook TRSM
+/// (element-indexed, no unit-stride restructuring) -- the slower of the
+/// two loop baselines, as in the paper's Figure 9 ordering.
+template <class T>
+double trsm_series_loop_generic(Side side, Uplo uplo, Op op_a, Diag diag,
+                                index_t m, index_t n, index_t batch,
+                                const Options& opt) {
+  Rng rng(7);
+  const index_t adim = side == Side::Left ? m : n;
+  auto ha = random_host_triangular<T>(adim, batch, rng);
+  auto hb = random_host_batch<T>(m, n, batch, rng);
+  const double flops =
+      trsm_flops<T>(TrsmShape{m, n, side, uplo, op_a, diag, batch});
+  return measure_gflops(flops, opt, [&] {
+    for (index_t l = 0; l < batch; ++l) {
+      ref::trsm<T>(side, uplo, op_a, diag, m, n, T(1),
+                   ha.data.data() + l * ha.stride(), adim,
+                   hb.data.data() + l * hb.stride(), hb.ld());
+    }
+  });
+}
+
+/// Empirical roofline of one compact configuration: the main kernel's
+/// throughput on L1-resident packed panels at large K. Used by the
+/// percent-of-peak figures as the denominator for its own register
+/// width. (A raw FMA probe is not a usable bound here: on hosts whose
+/// native vectors are wider than the configuration being modelled, the
+/// compiler legally fuses several narrow kernel operations into wide
+/// instructions, so kernels can exceed any "narrow-width" FMA peak. The
+/// achievable-kernel roofline keeps the normalisation meaningful on any
+/// host; the machine FMA peaks are still printed for reference.)
+template <class T, int Bytes = 16>
+double kernel_peak_gflops(const Options& opt) {
+  using R = real_t<T>;
+  using Limits = kernels::KernelLimits<T>;
+  constexpr index_t es = kernels::kreg<T, Bytes>::stride;
+  const int mc = Limits::gemm_max_mc;
+  const int nc = Limits::gemm_max_nc;
+  const index_t k = 128;
+  Rng rng(99);
+  AlignedBuffer<R> pa(static_cast<std::size_t>(mc * k * es));
+  AlignedBuffer<R> pb(static_cast<std::size_t>(k * nc * es));
+  AlignedBuffer<R> c(static_cast<std::size_t>(mc * nc * es));
+  rng.fill<R>(pa.span());
+  rng.fill<R>(pb.span());
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = pa.data();
+  args.pb = pb.data();
+  args.c = c.data();
+  args.k = k;
+  args.a_kstride = mc * es;
+  args.b_kstride = nc * es;
+  args.b_jstride = es;
+  args.c_jstride = mc * es;
+  args.alpha = T(1);
+  args.beta = T(0);
+  const auto fn = kernels::Registry<T, Bytes>::gemm(mc, nc);
+  const index_t inner = 128;
+  const double flops = flops_per_madd<T>() * mc * nc *
+                       static_cast<double>(k) *
+                       simd::pack_width_bytes_v<T, Bytes> * inner;
+  return measure_gflops(flops, opt, [&] {
+    for (index_t i = 0; i < inner; ++i) {
+      fn(args);
+    }
+  });
+}
+
+/// Bytes of one problem instance per matrix, for auto_batch sizing.
+template <class T>
+index_t gemm_bytes_per_matrix(index_t m, index_t n, index_t k) {
+  return static_cast<index_t>(sizeof(T)) * (m * k + k * n + m * n);
+}
+template <class T> index_t trsm_bytes_per_matrix(index_t m, index_t n) {
+  const index_t adim = m > n ? m : n;
+  return static_cast<index_t>(sizeof(T)) * (adim * adim + m * n);
+}
+
+} // namespace iatf::bench

@@ -1,0 +1,133 @@
+// Implicit stiff-ODE integration for a grid of independent chemistry
+// cells -- the classic consumer of batched small LU solves (each
+// backward-Euler step solves (I - dt*J_c) * delta = dt * f_c per cell,
+// with J_c a small dense Jacobian that differs per cell).
+//
+// Demonstrates the factorisation extensions end-to-end:
+//   compact_getrf_np  -- LU of every cell's iteration matrix at once
+//   compact_getrs_np  -- forward+backward compact TRSM solves
+// with the newton update applied in compact form.
+#include <cmath>
+#include <cstring>
+#include <cstdio>
+#include <vector>
+
+#include "iatf/common/rng.hpp"
+#include "iatf/common/timer.hpp"
+#include "iatf/core/compact_blas.hpp"
+#include "iatf/ext/compact_ext.hpp"
+
+using namespace iatf;
+
+namespace {
+constexpr index_t kSpecies = 6;
+constexpr index_t kCells = 8192;
+constexpr double kDt = 1e-2;
+
+// A synthetic linear-ish reaction network: dy/dt = R_c y with a per-cell
+// rate matrix R_c whose off-diagonal entries are production terms and
+// whose diagonal removes what is produced elsewhere (mass-conserving,
+// stiff when rates spread over magnitudes).
+void build_rates(Rng& rng, std::vector<double>& rates) {
+  const index_t nn = kSpecies * kSpecies;
+  rates.assign(static_cast<std::size_t>(nn * kCells), 0.0);
+  for (index_t c = 0; c < kCells; ++c) {
+    double* r = rates.data() + c * nn;
+    for (index_t j = 0; j < kSpecies; ++j) {
+      double out = 0.0;
+      for (index_t i = 0; i < kSpecies; ++i) {
+        if (i != j) {
+          // Rate constants spanning three orders of magnitude: stiff.
+          const double k =
+              std::pow(10.0, rng.uniform<double>(-1.5, 1.5));
+          r[j * kSpecies + i] = k;
+          out += k;
+        }
+      }
+      r[j * kSpecies + j] = -out;
+    }
+  }
+}
+
+} // namespace
+
+int main() {
+  Rng rng(123);
+  const index_t nn = kSpecies * kSpecies;
+
+  std::vector<double> rates;
+  build_rates(rng, rates);
+
+  // Initial concentrations (positive, normalised per cell).
+  std::vector<double> y(kSpecies * kCells);
+  rng.fill<double>(y);
+
+  // Compact-resident operators.
+  auto cr = to_compact<double>(rates.data(), kSpecies, kSpecies, kSpecies,
+                               nn, kCells);
+  CompactBuffer<double> cm(kSpecies, kSpecies, kCells); // I - dt*R
+  CompactBuffer<double> cy(kSpecies, 1, kCells);
+  CompactBuffer<double> crhs(kSpecies, 1, kCells);
+  for (index_t c = 0; c < kCells; ++c) {
+    cy.import_colmajor(c, y.data() + c * kSpecies, kSpecies);
+  }
+
+  // Backward Euler: (I - dt R) y_{n+1} = y_n. The iteration matrix is
+  // constant here, so factor once and reuse the LU across steps.
+  for (index_t c = 0; c < kCells; ++c) {
+    for (index_t j = 0; j < kSpecies; ++j) {
+      for (index_t i = 0; i < kSpecies; ++i) {
+        cm.set(c, i, j,
+               (i == j ? 1.0 : 0.0) - kDt * cr.get(c, i, j));
+      }
+    }
+  }
+  cm.pad_identity();
+
+  Timer timer;
+  ext::compact_getrf_np<double>(cm);
+  const double factor_secs = timer.seconds();
+
+  const int steps = 200;
+  timer.reset();
+  double mass0 = 0.0;
+  for (double v : y) {
+    mass0 += v;
+  }
+  for (int step = 0; step < steps; ++step) {
+    // rhs = y_n; solve (I - dt R) y_{n+1} = rhs in place.
+    std::memcpy(crhs.group_data(0), cy.group_data(0),
+                sizeof(double) * static_cast<std::size_t>(
+                                     cy.groups() * cy.group_stride()));
+    ext::compact_getrs_np<double>(cm, crhs);
+    std::memcpy(cy.group_data(0), crhs.group_data(0),
+                sizeof(double) * static_cast<std::size_t>(
+                                     cy.groups() * cy.group_stride()));
+  }
+  const double solve_secs = timer.seconds();
+
+  // Mass conservation check: the rate matrices have zero column sums, so
+  // total mass is invariant under the exact flow; backward Euler
+  // preserves it exactly for linear systems.
+  double mass1 = 0.0;
+  double ymin = 1e300;
+  for (index_t c = 0; c < kCells; ++c) {
+    cy.export_colmajor(c, y.data() + c * kSpecies, kSpecies);
+  }
+  for (double v : y) {
+    mass1 += v;
+    ymin = std::min(ymin, v);
+  }
+  const double mass_err = std::abs(mass1 - mass0) / mass0;
+
+  std::printf("implicit chemistry: %lld cells x %lld species, LU factor "
+              "%.3f ms, %d implicit steps %.3f s\n",
+              static_cast<long long>(kCells),
+              static_cast<long long>(kSpecies), factor_secs * 1e3, steps,
+              solve_secs);
+  std::printf("relative mass drift: %.2e, min concentration %.3e %s\n",
+              mass_err, ymin,
+              (mass_err < 1e-10 && ymin > -1e-12) ? "(ok)"
+                                                  : "(UNEXPECTED)");
+  return (mass_err < 1e-10 && ymin > -1e-12) ? 0 : 1;
+}

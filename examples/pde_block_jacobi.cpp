@@ -1,0 +1,160 @@
+// Block-Jacobi preconditioned Richardson iteration for a PDE-style
+// system -- the "PDE based simulations" workload motivating the paper's
+// introduction.
+//
+// Setting: a block-tridiagonal system from a 1D reaction-diffusion
+// problem with `nb` coupled fields per grid cell. Each cell owns a dense
+// nb x nb diagonal block D_i (pre-factored offline as L_i * L_i^T) and
+// off-diagonal coupling blocks E_i. One preconditioned iteration per cell
+// is
+//     r_i   = b_i - E_i x_{i-1} - D_i x_i - E_i^T x_{i+1}   (small GEMMs)
+//     z_i   = (L_i L_i^T)^{-1} r_i                          (two TRSMs)
+//     x_i  += omega * z_i
+//
+// Every cell is independent within a sweep, so all three steps run as
+// compact batched operations over the whole grid at once. This is
+// exactly the shape IATF accelerates: thousands of fixed-size tiny
+// matrix operations per sweep.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "iatf/common/rng.hpp"
+#include "iatf/common/timer.hpp"
+#include "iatf/core/compact_blas.hpp"
+
+using namespace iatf;
+
+namespace {
+
+constexpr index_t kBlock = 5;    // fields per cell
+constexpr index_t kCells = 4096; // grid cells
+constexpr index_t kRhs = 1;      // right-hand sides per cell
+
+// Residual norm over the whole grid, computed on the host for clarity.
+double grid_norm(const std::vector<double>& v) {
+  double s = 0;
+  for (double x : v) {
+    s += x * x;
+  }
+  return std::sqrt(s);
+}
+
+} // namespace
+
+int main() {
+  Rng rng(7);
+  const index_t nb = kBlock;
+  const index_t bb = nb * nb;
+
+  // Per-cell Cholesky factors L_i: unit-ish lower triangles with a
+  // dominant diagonal (a pre-factored diffusion block).
+  std::vector<double> lfac(bb * kCells, 0.0);
+  for (index_t c = 0; c < kCells; ++c) {
+    for (index_t j = 0; j < nb; ++j) {
+      for (index_t i = j; i < nb; ++i) {
+        lfac[c * bb + j * nb + i] =
+            i == j ? 1.5 + rng.uniform<double>()
+                   : 0.1 * rng.uniform<double>(-1, 1);
+      }
+    }
+  }
+  // Coupling blocks E_i (weak off-cell coupling).
+  std::vector<double> efac(bb * kCells);
+  rng.fill<double>(efac);
+  for (double& v : efac) {
+    v *= 0.05;
+  }
+
+  // Dense diagonal blocks D_i = L_i L_i^T, kept for the residual GEMM.
+  std::vector<double> dfac(bb * kCells, 0.0);
+  for (index_t c = 0; c < kCells; ++c) {
+    for (index_t j = 0; j < nb; ++j) {
+      for (index_t i = 0; i < nb; ++i) {
+        double s = 0;
+        for (index_t k = 0; k <= std::min(i, j); ++k) {
+          s += lfac[c * bb + k * nb + i] * lfac[c * bb + k * nb + j];
+        }
+        dfac[c * bb + j * nb + i] = s;
+      }
+    }
+  }
+
+  // Unknowns and right-hand side, one nb x kRhs block per cell.
+  const index_t vb = nb * kRhs;
+  std::vector<double> x(vb * kCells, 0.0);
+  std::vector<double> b(vb * kCells);
+  rng.fill<double>(b);
+
+  // Compact-resident operators (converted once; iterated on in compact
+  // form, which is the intended usage pattern for compact BLAS).
+  auto cl = to_compact<double>(lfac.data(), nb, nb, nb, bb, kCells);
+  cl.pad_identity();
+  auto cd = to_compact<double>(dfac.data(), nb, nb, nb, bb, kCells);
+  auto ce = to_compact<double>(efac.data(), nb, nb, nb, bb, kCells);
+  auto cb = to_compact<double>(b.data(), nb, kRhs, nb, vb, kCells);
+  CompactBuffer<double> cx(nb, kRhs, kCells);
+  CompactBuffer<double> cxl(nb, kRhs, kCells); // left-neighbour copy
+  CompactBuffer<double> cxr(nb, kRhs, kCells); // right-neighbour copy
+  CompactBuffer<double> cr(nb, kRhs, kCells);
+
+  const double omega = 0.9;
+  const int sweeps = 30;
+  std::vector<double> r_host(vb * kCells);
+
+  Timer timer;
+  double final_rel = 1.0;
+  double initial = 0.0;
+  for (int sweep = 0; sweep < sweeps; ++sweep) {
+    // Neighbour gathers (host-side shift; the matrix work stays compact).
+    from_compact<double>(cx, x.data(), nb, vb);
+    for (index_t c = 0; c < kCells; ++c) {
+      const index_t lc = c == 0 ? c : c - 1;
+      const index_t rc = c == kCells - 1 ? c : c + 1;
+      cxl.import_colmajor(c, x.data() + lc * vb, nb);
+      cxr.import_colmajor(c, x.data() + rc * vb, nb);
+    }
+
+    // r = b  (copy), then r -= D x + E x_left + E^T x_right: three
+    // compact batched GEMMs over all cells.
+    for (index_t c = 0; c < kCells; ++c) {
+      cr.import_colmajor(c, b.data() + c * vb, nb);
+    }
+    compact_gemm<double>(Op::NoTrans, Op::NoTrans, -1.0, cd, cx, 1.0, cr);
+    compact_gemm<double>(Op::NoTrans, Op::NoTrans, -1.0, ce, cxl, 1.0,
+                         cr);
+    compact_gemm<double>(Op::Trans, Op::NoTrans, -1.0, ce, cxr, 1.0, cr);
+
+    from_compact<double>(cr, r_host.data(), nb, vb);
+    const double rn = grid_norm(r_host);
+    if (sweep == 0) {
+      initial = rn;
+    }
+    final_rel = rn / initial;
+
+    // z = (L L^T)^{-1} r via two compact batched triangular solves.
+    compact_trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans,
+                         Diag::NonUnit, 1.0, cl, cr);
+    compact_trsm<double>(Side::Left, Uplo::Lower, Op::Trans,
+                         Diag::NonUnit, 1.0, cl, cr);
+
+    // x += omega * z.
+    from_compact<double>(cr, r_host.data(), nb, vb);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += omega * r_host[i];
+    }
+    for (index_t c = 0; c < kCells; ++c) {
+      cx.import_colmajor(c, x.data() + c * vb, nb);
+    }
+  }
+  const double secs = timer.seconds();
+
+  std::printf("block-Jacobi: %lld cells, %lldx%lld blocks, %d sweeps in "
+              "%.3f s\n",
+              static_cast<long long>(kCells),
+              static_cast<long long>(nb), static_cast<long long>(nb),
+              sweeps, secs);
+  std::printf("relative residual: %.3e %s\n", final_rel,
+              final_rel < 1e-3 ? "(converging, ok)" : "(UNEXPECTED)");
+  return final_rel < 1e-3 ? 0 : 1;
+}

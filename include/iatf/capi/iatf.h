@@ -1,0 +1,106 @@
+/* C89-compatible interface to the IATF compact batched BLAS.
+ *
+ * Mirrors the shape of vendor compact interfaces (e.g. MKL's
+ * mkl_?gemm_compact): buffers hold a batch of fixed-size small matrices
+ * in the SIMD-friendly interleaved layout behind an opaque handle, and
+ * the compute routines run the input-aware execution plans of the C++
+ * core. Four type variants are exposed with the conventional s/d/c/z
+ * prefixes; complex scalars are passed as (re, im) pairs.
+ *
+ * Every routine returns 0 on success and a nonzero code on failure;
+ * iatf_last_error() returns a thread-local message for the most recent
+ * failure on the calling thread.
+ */
+#ifndef IATF_CAPI_IATF_H
+#define IATF_CAPI_IATF_H
+
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef enum iatf_op { IATF_NOTRANS = 0, IATF_TRANS = 1, IATF_CONJTRANS = 2 } iatf_op;
+typedef enum iatf_side { IATF_LEFT = 0, IATF_RIGHT = 1 } iatf_side;
+typedef enum iatf_uplo { IATF_LOWER = 0, IATF_UPPER = 1 } iatf_uplo;
+typedef enum iatf_diag { IATF_NONUNIT = 0, IATF_UNIT = 1 } iatf_diag;
+
+/* Error handling. */
+const char* iatf_last_error(void);
+
+/* Opaque compact-buffer handles, one per scalar type. */
+typedef struct iatf_sbuf iatf_sbuf;
+typedef struct iatf_dbuf iatf_dbuf;
+typedef struct iatf_cbuf iatf_cbuf;
+typedef struct iatf_zbuf iatf_zbuf;
+
+#define IATF_DECLARE_TYPE(P, BUF, SCALAR)                                    \
+  /* Create a zeroed batch of rows x cols matrices; NULL on failure. */     \
+  BUF* iatf_##P##create(int64_t rows, int64_t cols, int64_t batch);         \
+  void iatf_##P##destroy(BUF* buf);                                         \
+  int64_t iatf_##P##rows(const BUF* buf);                                   \
+  int64_t iatf_##P##cols(const BUF* buf);                                   \
+  int64_t iatf_##P##batch(const BUF* buf);                                  \
+  /* Copy matrix b in/out of column-major storage with leading dim ld.     \
+   * For complex types the scalar pointers are interleaved (re, im). */    \
+  int iatf_##P##import(BUF* buf, int64_t b, const SCALAR* src,              \
+                       int64_t ld);                                         \
+  int iatf_##P##export(const BUF* buf, int64_t b, SCALAR* dst,              \
+                       int64_t ld);                                         \
+  /* Write unit diagonals into padded lanes (required before TRSM /        \
+   * factorisations when batch %% pack width != 0). */                      \
+  int iatf_##P##pad_identity(BUF* buf);
+
+IATF_DECLARE_TYPE(s, iatf_sbuf, float)
+IATF_DECLARE_TYPE(d, iatf_dbuf, double)
+IATF_DECLARE_TYPE(c, iatf_cbuf, float)
+IATF_DECLARE_TYPE(z, iatf_zbuf, double)
+#undef IATF_DECLARE_TYPE
+
+/* C = alpha * op_a(A) * op_b(B) + beta * C for every matrix. */
+int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
+                       const iatf_sbuf* a, const iatf_sbuf* b, float beta,
+                       iatf_sbuf* c);
+int iatf_dgemm_compact(iatf_op op_a, iatf_op op_b, double alpha,
+                       const iatf_dbuf* a, const iatf_dbuf* b,
+                       double beta, iatf_dbuf* c);
+int iatf_cgemm_compact(iatf_op op_a, iatf_op op_b, float alpha_re,
+                       float alpha_im, const iatf_cbuf* a,
+                       const iatf_cbuf* b, float beta_re, float beta_im,
+                       iatf_cbuf* c);
+int iatf_zgemm_compact(iatf_op op_a, iatf_op op_b, double alpha_re,
+                       double alpha_im, const iatf_zbuf* a,
+                       const iatf_zbuf* b, double beta_re, double beta_im,
+                       iatf_zbuf* c);
+
+/* op_a(A) X = alpha B (Left) / X op_a(A) = alpha B (Right); B <- X. */
+int iatf_strsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, float alpha, const iatf_sbuf* a,
+                       iatf_sbuf* b);
+int iatf_dtrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, double alpha, const iatf_dbuf* a,
+                       iatf_dbuf* b);
+int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, float alpha_re, float alpha_im,
+                       const iatf_cbuf* a, iatf_cbuf* b);
+int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, double alpha_re, double alpha_im,
+                       const iatf_zbuf* a, iatf_zbuf* b);
+
+/* Extensions: B = alpha * op(tri(A)) * B, unpivoted LU, Cholesky. */
+int iatf_strmm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, float alpha, const iatf_sbuf* a,
+                       iatf_sbuf* b);
+int iatf_dtrmm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
+                       iatf_diag diag, double alpha, const iatf_dbuf* a,
+                       iatf_dbuf* b);
+int iatf_sgetrfnp_compact(iatf_sbuf* a);
+int iatf_dgetrfnp_compact(iatf_dbuf* a);
+int iatf_spotrf_compact(iatf_sbuf* a);
+int iatf_dpotrf_compact(iatf_dbuf* a);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* IATF_CAPI_IATF_H */

@@ -1,0 +1,61 @@
+// The install-time Computing Kernel Generator (paper Algorithms 2-3):
+// emits the assembly-level instruction stream of a compact GEMM or TRSM
+// rectangular micro-kernel from the six abstract templates
+// (I / M1 / M2 / E / SUB / SAVE) with ping-pong register double-buffering.
+//
+// Register allocation follows the paper exactly: A ping-pong sets in
+// v0..v_{2mc-1}, B sets in v_{2mc}..v_{2(mc+nc)-1}, the C accumulator in
+// v_{2(mc+nc)}..v_{2(mc+nc)+mc*nc-1}.
+//
+// Deviation (documented in DESIGN.md): for odd K >= 5 Algorithm 3 as
+// printed performs K+1 panel loads; we emit the corrected sequence
+// I; M2; {M1; M2}*; E (even) / I; M2; {M1; M2}*; M2; E0 (odd), which
+// performs exactly K loads while keeping the ping-pong schedule.
+#pragma once
+
+#include "iatf/codegen/ir.hpp"
+
+namespace iatf::codegen {
+
+struct GemmKernelSpec {
+  int mc = 4;
+  int nc = 4;
+  index_t k = 4;
+  /// Element bytes: 8 (double) or 4 (float). The emitter covers the real
+  /// types; complex kernels double every sequence and are executed (not
+  /// emitted) by the C++ kernel path.
+  int elem_bytes = 8;
+  /// Emit the PRFM prefetch of C at kernel entry (paper section 4.3).
+  bool prefetch_c = true;
+};
+
+/// Emit the full kernel: template sequence for K, then TEMPLATE_SAVE
+/// (C = originC + alpha*acc, alpha arriving broadcast in a spare
+/// register as in the paper's SAVE).
+Program emit_gemm_kernel(const GemmKernelSpec& spec);
+
+/// Emit only TEMPLATE_I (the stream shown in paper Figure 5's left
+/// column, in the naive generator order).
+Program emit_gemm_template_i(const GemmKernelSpec& spec);
+
+/// Emit the TRSM rectangular-update kernel body (paper equation 4):
+/// identical loop structure but accumulators start from B and update via
+/// FMLS, with no SAVE-stage alpha multiplies.
+Program emit_trsm_rect_kernel(const GemmKernelSpec& spec);
+
+/// Spec for the register-resident triangular solve (paper Algorithm 4):
+/// an m x m triangle held entirely in registers, solving an nc-column
+/// panel of B in place.
+struct TrsmTriKernelSpec {
+  int m = 4;
+  int nc = 4;
+  int elem_bytes = 8;
+};
+
+/// Emit the triangular-solve kernel: load the packed triangle
+/// (reciprocal diagonal) from pA, the B panel from pC, forward-substitute
+/// with FMLS + reciprocal FMUL (no FDIV, per the paper's packing trick),
+/// and store X back over B.
+Program emit_trsm_tri_kernel(const TrsmTriKernelSpec& spec);
+
+} // namespace iatf::codegen

@@ -1,0 +1,34 @@
+// Functional interpreter for the kernel IR.
+//
+// Executes an emitted (or rescheduled) instruction stream on simulated
+// vector registers and byte-addressed buffers, so tests can prove two
+// properties end-to-end without ARM hardware:
+//   * the generator's template sequences compute exactly the reference
+//     GEMM / TRSM-rect result, and
+//   * the kernel optimizer's reordering is semantics-preserving
+//     (bit-identical outputs before and after scheduling).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "iatf/codegen/ir.hpp"
+
+namespace iatf::codegen {
+
+/// Buffers bound to the kernel's pointer registers. Values are held as
+/// doubles regardless of the kernel's element width; indices are element
+/// indices (the interpreter divides byte offsets by elem_bytes).
+struct InterpBuffers {
+  std::vector<double> a;     ///< packed A panel (read)
+  std::vector<double> b;     ///< packed B panel (read)
+  std::vector<double> c;     ///< C tile (read/write)
+  std::vector<double> alpha; ///< broadcast alpha (one vector's worth)
+};
+
+/// Execute the program. Throws iatf::Error on out-of-bounds access (which
+/// is itself a property the tests rely on: the corrected odd-K sequencing
+/// must never read past the packed panels).
+void interpret(const Program& prog, InterpBuffers& buffers);
+
+} // namespace iatf::codegen

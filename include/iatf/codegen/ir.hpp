@@ -1,0 +1,84 @@
+// Kernel IR: the instruction stream the install-time stage's kernel
+// generator emits and the kernel optimizer reschedules (paper Figure 5).
+//
+// On the paper's platform this is literal AArch64 assembly. On a non-ARM
+// host the same artifact is produced as a typed instruction list that can
+// be (a) rendered to .S text, (b) analysed and rescheduled by the list
+// scheduler, (c) cycle-simulated against a Kunpeng-920-like machine model
+// and (d) functionally interpreted, so every install-time claim in the
+// paper remains testable without an ARM assembler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf::codegen {
+
+/// Register numbering: vector registers v0..v31 are 0..31; general
+/// (pointer) registers are kX0 + n.
+inline constexpr int kX0 = 32;
+inline constexpr int kRegPA = kX0 + 0; ///< packed A pointer (paper's pA)
+inline constexpr int kRegPB = kX0 + 1; ///< packed B pointer (paper's pB)
+inline constexpr int kRegPC = kX0 + 2; ///< C pointer
+inline constexpr int kRegPAlpha = kX0 + 3; ///< pointer to broadcast alpha
+inline constexpr int kNumRegs = kX0 + 4;
+
+enum class Opcode : std::uint8_t {
+  LDP,    ///< load a pair of q registers, post-add handled separately
+  LDR,    ///< load one q register
+  STP,    ///< store a pair of q registers
+  STR,    ///< store one q register
+  FMUL,   ///< vd = vn * vm (vector)
+  FMLA,   ///< vd += vn * vm (vector)
+  FMLS,   ///< vd -= vn * vm (vector)
+  FMUL_S, ///< vd = vn * vm.lane[0] (by-scalar)
+  FMLA_S, ///< vd += vn * vm.lane[0] (by-scalar)
+  ADDI,   ///< xd = xn + imm (pointer bump)
+  PRFM,   ///< prefetch [xn + imm]
+};
+
+/// Is the opcode handled by the load/store unit (the paper's "memory
+/// access instruction")?
+bool is_memory(Opcode op) noexcept;
+/// Is it an FP computation instruction?
+bool is_fp(Opcode op) noexcept;
+
+struct Inst {
+  Opcode op{};
+  /// Registers written (vector or pointer).
+  std::vector<int> defs;
+  /// Registers read (vector or pointer; memory base included).
+  std::vector<int> uses;
+  /// Byte offset for memory ops / immediate for ADDI.
+  index_t imm = 0;
+  /// Element width in bytes (4 = float, 8 = double) for rendering.
+  int elem_bytes = 8;
+
+  /// Render as one AArch64 assembly line.
+  std::string text() const;
+};
+
+using Program = std::vector<Inst>;
+
+/// Render a whole program as a GNU-as compatible .S function body.
+std::string render_asm(const Program& prog, const std::string& name);
+
+/// Count memory / FP instructions -- the compute-to-memory-access ratio
+/// the kernel-size analysis maximises (paper equations 2-3).
+struct InstMix {
+  index_t memory = 0;
+  index_t fp = 0;
+  index_t other = 0;
+
+  double cmar() const {
+    return memory == 0 ? 0.0
+                       : static_cast<double>(fp) /
+                             static_cast<double>(memory);
+  }
+};
+InstMix instruction_mix(const Program& prog);
+
+} // namespace iatf::codegen

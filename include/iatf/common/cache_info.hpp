@@ -1,0 +1,24 @@
+// Cache hierarchy description used by the run-time stage's Batch Counter
+// (paper section 5.1): the number of matrix groups packed per batch slice
+// is chosen so the packed working set stays resident in L1d.
+#pragma once
+
+#include <cstddef>
+
+namespace iatf {
+
+/// Sizes (bytes) of the data-cache levels relevant to the batch counter.
+struct CacheInfo {
+  std::size_t l1d = 64 * 1024;  ///< Kunpeng 920 default (paper Table 2)
+  std::size_t l2 = 512 * 1024;  ///< Kunpeng 920 default (paper Table 2)
+
+  /// Detect from the running machine (sysfs on Linux); any level that
+  /// cannot be detected keeps the Kunpeng 920 default above so the
+  /// framework's tuning decisions mirror the paper's platform.
+  static CacheInfo detect();
+
+  /// The paper's evaluation platform, for reproducible tuning decisions.
+  static CacheInfo kunpeng920() { return CacheInfo{}; }
+};
+
+} // namespace iatf

@@ -1,0 +1,43 @@
+// Error type and argument-checking helpers.
+//
+// All user-facing entry points validate their descriptors and throw
+// iatf::Error on misuse; internal invariants use IATF_ASSERT which compiles
+// to a real check in all build types (the cost is negligible next to the
+// packing/compute work it guards).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace iatf {
+
+/// Exception thrown on invalid arguments or unsupported configurations.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line,
+                              const std::string& message);
+} // namespace detail
+
+/// Validate a user-supplied condition; throws iatf::Error when violated.
+#define IATF_CHECK(cond, message)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::iatf::detail::throw_error(__FILE__, __LINE__, (message));            \
+    }                                                                        \
+  } while (false)
+
+/// Internal invariant; also throws (never UB) so property tests can probe
+/// failure paths safely.
+#define IATF_ASSERT(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::iatf::detail::throw_error(__FILE__, __LINE__,                        \
+                                  "internal invariant violated: " #cond);    \
+    }                                                                        \
+  } while (false)
+
+} // namespace iatf

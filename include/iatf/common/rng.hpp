@@ -1,0 +1,65 @@
+// Deterministic random fills for tests and benchmarks.
+//
+// The paper initialises matrices "by filling with random floating-point
+// numbers (0 to 1)" following the testing scheme of Jia et al. [13]; we do
+// the same with a fixed-seed generator so runs are reproducible.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x1a7fu) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  template <class Real> Real uniform(Real lo = 0, Real hi = 1) {
+    std::uniform_real_distribution<Real> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Fill with uniform values in [0,1) (both components for complex).
+  template <class T> void fill(std::span<T> out) {
+    using R = real_t<T>;
+    for (T& v : out) {
+      if constexpr (is_complex_v<T>) {
+        v = T(uniform<R>(), uniform<R>());
+      } else {
+        v = uniform<R>();
+      }
+    }
+  }
+
+  /// Fill so values are safe as TRSM diagonals: magnitude bounded away
+  /// from zero (in [0.5, 1.5)), avoiding ill-conditioned solves in tests.
+  template <class T> void fill_diag_safe(std::span<T> out) {
+    using R = real_t<T>;
+    for (T& v : out) {
+      const R mag = uniform<R>(R(0.5), R(1.5));
+      if constexpr (is_complex_v<T>) {
+        v = T(mag, uniform<R>(R(-0.25), R(0.25)));
+      } else {
+        v = mag;
+      }
+    }
+  }
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+  std::mt19937_64 engine_;
+};
+
+} // namespace iatf

@@ -1,0 +1,31 @@
+// Tile-decomposition policy (paper Figure 4(b)).
+//
+// A dimension of the small matrix is split into chunks no larger than the
+// main kernel size, preferring medium chunks over width-1 remainders: the
+// paper tiles 15 as 4+4+4+3 (kernels 4x4 / 4x3 / 3x4 / 3x3) instead of
+// leaving tiny edge kernels that waste SIMD lanes and registers.
+#pragma once
+
+#include <vector>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf {
+
+/// One chunk of a tiled dimension: [offset, offset+size).
+struct Tile {
+  index_t offset = 0;
+  index_t size = 0;
+
+  friend bool operator==(const Tile&, const Tile&) = default;
+};
+
+/// Split `extent` into chunks of at most `max_chunk` (>=1), avoiding a
+/// trailing chunk of size 1 whenever `extent >= 2` allows it.
+///
+/// Guarantees: chunks are contiguous, cover [0, extent) exactly, each size
+/// is in [1, max_chunk], and a size-1 chunk only appears when extent == 1
+/// or max_chunk == 1.
+std::vector<Tile> tile_dimension(index_t extent, index_t max_chunk);
+
+} // namespace iatf

@@ -1,0 +1,92 @@
+// The run-time stage front end: an Engine owns the plan cache and the
+// tuning parameters (cache sizes), and hands out immutable execution plans
+// keyed by the input descriptor.
+//
+// "For large groups of matrix batch operations, the run-time stage
+// overhead is not significant, since it only generates this execution plan
+// at the beginning" (paper section 5.3) -- the cache is what makes repeat
+// calls with the same descriptor plan-free.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/plan/gemm_plan.hpp"
+#include "iatf/plan/trsm_plan.hpp"
+
+namespace iatf {
+
+class Engine {
+public:
+  /// Tuning parameters default to the detected host caches; pass
+  /// CacheInfo::kunpeng920() to reproduce the paper's decisions exactly.
+  explicit Engine(CacheInfo cache = CacheInfo::detect()) : cache_(cache) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Get or build the plan for a GEMM descriptor.
+  template <class T, int Bytes = 16>
+  std::shared_ptr<const plan::GemmPlan<T, Bytes>>
+  plan_gemm(const GemmShape& shape);
+
+  /// Get or build the plan for a TRSM descriptor.
+  template <class T, int Bytes = 16>
+  std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
+  plan_trsm(const TrsmShape& shape);
+
+  /// C = alpha * op_a(A) * op_b(B) + beta * C for every matrix in the
+  /// batch. Shapes are inferred from the buffers and the ops.
+  template <class T, int Bytes = 16>
+  void gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+            const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c);
+
+  /// op_a(A) X = alpha B (Left) or X op_a(A) = alpha B (Right); B is
+  /// overwritten by X for every matrix in the batch.
+  template <class T, int Bytes = 16>
+  void trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+            const CompactBuffer<T>& a, CompactBuffer<T>& b);
+
+  const CacheInfo& cache_info() const noexcept { return cache_; }
+
+  /// Plan-cache statistics (for tests and the plan-cache ablation bench).
+  std::size_t plan_cache_size() const;
+  std::size_t plan_cache_hits() const;
+  std::size_t plan_cache_misses() const;
+  void clear_plan_cache();
+
+  /// The process-wide default engine used by the free functions in
+  /// iatf/core/compact_blas.hpp.
+  static Engine& default_engine();
+
+private:
+  struct PlanKey {
+    char op = 0;    // 'g' or 't'
+    char dtype = 0; // 's','d','c','z'
+    int bytes = 0;  // SIMD register width
+    index_t m = 0, n = 0, k = 0;
+    std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
+    index_t batch = 0;
+
+    friend bool operator==(const PlanKey&, const PlanKey&) = default;
+  };
+
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const noexcept;
+  };
+
+  template <class Plan, class Make>
+  std::shared_ptr<const Plan> lookup(const PlanKey& key, Make&& make);
+
+  CacheInfo cache_;
+  mutable std::mutex mutex_;
+  std::unordered_map<PlanKey, std::shared_ptr<const void>, PlanKeyHash>
+      plans_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+} // namespace iatf

@@ -1,0 +1,20 @@
+// Umbrella header: the whole public IATF API.
+//
+//   compact BLAS       iatf/core/compact_blas.hpp   (gemm, trsm)
+//   extensions         iatf/ext/compact_ext.hpp     (trmm, getrf, potrf)
+//   layout             iatf/layout/compact.hpp      (CompactBuffer, convert)
+//   engine & plans     iatf/core/engine.hpp         (plan cache, tuning)
+//   multicore          iatf/parallel/thread_pool.hpp
+//   C interface        iatf/capi/iatf.h
+#pragma once
+
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/error.hpp"
+#include "iatf/common/rng.hpp"
+#include "iatf/common/timer.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/core/compact_blas.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/ext/compact_ext.hpp"
+#include "iatf/layout/compact.hpp"
+#include "iatf/parallel/thread_pool.hpp"

@@ -1,0 +1,52 @@
+// Kernel registry: the install-time stage's catalogue of generated kernels
+// (paper Table 1).
+//
+// The Computing Kernel Designer instantiates one kernel per (size, dtype)
+// combination -- the CMAR-optimal main kernel plus every edge size -- and
+// this registry is how the run-time stage's Execution Plan Generator looks
+// them up. Limits follow the paper's register-budget analysis
+// (section 4.2): 2mc+2nc+mc*nc <= 32 gives the 4x4 real main kernel,
+// 4mc+4nc+2mc*nc <= 32 gives 3x2 complex; the register-resident triangular
+// solve supports M <= 5 real / M <= 4 complex.
+#pragma once
+
+#include "iatf/common/types.hpp"
+#include "iatf/kernels/gemm_kernel.hpp"
+#include "iatf/kernels/trsm_kernel.hpp"
+
+namespace iatf::kernels {
+
+/// Compile-time kernel-size limits for scalar type T (register width has
+/// no effect on these: the budget of 32 architectural registers is fixed).
+template <class T> struct KernelLimits {
+  static constexpr int gemm_max_mc = is_complex_v<T> ? 3 : 4;
+  static constexpr int gemm_max_nc = is_complex_v<T> ? 2 : 4;
+  static constexpr int tri_max_m = is_complex_v<T> ? 4 : 5;
+  static constexpr int tri_max_nc = is_complex_v<T> ? 2 : 4;
+  static constexpr int rect_max_mc = is_complex_v<T> ? 2 : 4;
+  static constexpr int rect_max_nc = is_complex_v<T> ? 2 : 4;
+  /// Diagonal-block size used by the blocked TRSM path (Table 1 main
+  /// kernels: 4x4 real, 2x2 complex).
+  static constexpr int trsm_block = is_complex_v<T> ? 2 : 4;
+};
+
+/// Function-pointer lookup for the generated kernel set. `Bytes` selects
+/// the SIMD register width: 16 is the paper's 128-bit NEON configuration,
+/// 32 is the wide configuration used by the MKL-compact simulation.
+template <class T, int Bytes = 16> struct Registry {
+  using Limits = KernelLimits<T>;
+
+  /// GEMM kernel for an mc x nc tile; throws iatf::Error when out of range.
+  static GemmKernelFn<T> gemm(int mc, int nc);
+
+  /// Triangular-solve kernel for an M x M triangle and NC-column panel.
+  static TrsmTriKernelFn<T> tri(int m, int nc);
+
+  /// Rectangular FMLS update kernel for an mc x nc tile.
+  static TrsmRectKernelFn<T> rect(int mc, int nc);
+
+  /// Triangular-multiply kernel (TRMM extension), same size grid as tri.
+  static TrmmTriKernelFn<T> trmm_tri(int m, int nc);
+};
+
+} // namespace iatf::kernels

@@ -1,0 +1,188 @@
+// Compact TRSM micro-kernels (paper section 4.2.2, Algorithm 4).
+//
+// Two kernel families, both operating on the canonical Left / Lower /
+// NoTrans form that the packing stage produces for every mode:
+//
+//  * trsm_tri_kernel<M, NC>: the triangular solve. The whole M x M
+//    triangle of A sits in registers (M(M+1)/2 logical registers, diagonal
+//    pre-inverted by the packing kernel so the solve uses only multiplies
+//    -- the paper replaces ARM's long-latency FDIV with a reciprocal
+//    multiply). Solves an NC-column panel of B in place. For M <= 5 (real;
+//    4 complex) this kernel alone handles the whole matrix, the paper's
+//    "matrix A can all be placed in registers" case.
+//
+//  * trsm_rect_kernel<MC, NC>: the rectangular update
+//    B_i -= L_ij * X_j (paper equation 4). This is deliberately *not* the
+//    GEMM kernel with alpha = -1: accumulators start from B and update via
+//    FMLS, saving the M*N extra multiply instructions the GEMM SAVE
+//    template would spend scaling by alpha.
+#pragma once
+
+#include "iatf/common/types.hpp"
+#include "iatf/kernels/kreg.hpp"
+
+namespace iatf::kernels {
+
+/// Arguments for the triangular kernel. The packed triangle `pa` stores
+/// rows of the canonical lower triangle in row-major order -- row i
+/// contributes i+1 element blocks A(i,0..i) -- with the diagonal block
+/// holding 1/a_ii (or exactly 1 for Unit diagonals).
+template <class T> struct TrsmTriArgs {
+  using R = real_t<T>;
+  const R* pa = nullptr; ///< packed triangle, M*(M+1)/2 element blocks
+  R* b = nullptr;        ///< B panel base: element (row 0, first column)
+  index_t b_jstride = 0; ///< reals between consecutive B columns
+};
+
+/// Arguments for the rectangular (FMLS) kernel computing
+/// B(i0+i, c) -= sum_k A(i0+i, k0+k) * X(k0+k, c).
+template <class T> struct TrsmRectArgs {
+  using R = real_t<T>;
+  const R* pa = nullptr;  ///< packed block: k-major, MC blocks per k
+  const R* x = nullptr;   ///< solved rows: element (k0, first column)
+  R* b = nullptr;         ///< target rows: element (i0, first column)
+  index_t k = 0;          ///< depth (size of the solved row-block)
+  index_t xb_jstride = 0; ///< column stride shared by x and b (same buffer)
+};
+
+/// Arguments for the TRMM triangular-multiply kernel (the future-work
+/// extension of the paper's section 7: more BLAS-3 functions under the
+/// SIMD-friendly layout). The packed triangle holds *plain* values (no
+/// reciprocal diagonal).
+template <class T> struct TrmmTriArgs {
+  using R = real_t<T>;
+  const R* pa = nullptr; ///< packed triangle, M*(M+1)/2 element blocks
+  R* b = nullptr;        ///< B panel base, overwritten by alpha*L*B
+  index_t b_jstride = 0;
+  T alpha{};
+};
+
+template <class T, int Bytes = 16>
+using TrsmTriKernelFn = void (*)(const TrsmTriArgs<T>&);
+template <class T, int Bytes = 16>
+using TrsmRectKernelFn = void (*)(const TrsmRectArgs<T>&);
+template <class T, int Bytes = 16>
+using TrmmTriKernelFn = void (*)(const TrmmTriArgs<T>&);
+
+template <class T, int M, int NC, int Bytes = 16>
+void trsm_tri_kernel(const TrsmTriArgs<T>& g) {
+  using K = kreg<T, Bytes>;
+  using R = real_t<T>;
+  constexpr index_t ES = K::stride;
+
+  // Load the triangle: a[i][j] for j <= i, diagonal already inverted.
+  K a[M][M];
+  {
+    const R* p = g.pa;
+    for (int i = 0; i < M; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        a[i][j] = K::load(p);
+        p += ES;
+      }
+    }
+  }
+
+  // Load the NC-column panel of B, forward-substitute, write X back.
+  K x[NC][M];
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < M; ++i) {
+      x[c][i] = K::load(g.b + c * g.b_jstride + i * ES);
+    }
+  }
+  for (int i = 0; i < M; ++i) {
+    for (int j = 0; j < i; ++j) {
+      for (int c = 0; c < NC; ++c) {
+        x[c][i] = K::fms(x[c][i], a[i][j], x[c][j]);
+      }
+    }
+    for (int c = 0; c < NC; ++c) {
+      x[c][i] = K::mul(x[c][i], a[i][i]); // reciprocal multiply, no FDIV
+    }
+  }
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < M; ++i) {
+      x[c][i].store(g.b + c * g.b_jstride + i * ES);
+    }
+  }
+}
+
+/// Triangular multiply: B(:, c) <- alpha * tri(A) * B(:, c) for an
+/// NC-column panel, with A register-resident. Rows are processed bottom-up
+/// so each overwritten row only feeds rows already finished.
+template <class T, int M, int NC, int Bytes = 16>
+void trmm_tri_kernel(const TrmmTriArgs<T>& g) {
+  using K = kreg<T, Bytes>;
+  using R = real_t<T>;
+  constexpr index_t ES = K::stride;
+
+  K a[M][M];
+  {
+    const R* p = g.pa;
+    for (int i = 0; i < M; ++i) {
+      for (int j = 0; j <= i; ++j) {
+        a[i][j] = K::load(p);
+        p += ES;
+      }
+    }
+  }
+  K x[NC][M];
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < M; ++i) {
+      x[c][i] = K::load(g.b + c * g.b_jstride + i * ES);
+    }
+  }
+  for (int i = M - 1; i >= 0; --i) {
+    for (int c = 0; c < NC; ++c) {
+      K t = K::mul(a[i][i], x[c][i]);
+      for (int j = 0; j < i; ++j) {
+        t = K::fma(t, a[i][j], x[c][j]);
+      }
+      x[c][i] = K::scale(g.alpha, t);
+    }
+  }
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < M; ++i) {
+      x[c][i].store(g.b + c * g.b_jstride + i * ES);
+    }
+  }
+}
+
+template <class T, int MC, int NC, int Bytes = 16>
+void trsm_rect_kernel(const TrsmRectArgs<T>& g) {
+  using K = kreg<T, Bytes>;
+  using R = real_t<T>;
+  constexpr index_t ES = K::stride;
+
+  K acc[MC][NC];
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < MC; ++i) {
+      acc[i][c] = K::load(g.b + c * g.xb_jstride + i * ES);
+    }
+  }
+
+  const R* pa = g.pa;
+  for (index_t k = 0; k < g.k; ++k) {
+    K av[MC];
+    for (int i = 0; i < MC; ++i) {
+      av[i] = K::load(pa + i * ES);
+    }
+    pa += MC * ES;
+    K xv[NC];
+    for (int c = 0; c < NC; ++c) {
+      xv[c] = K::load(g.x + c * g.xb_jstride + k * ES);
+    }
+    for (int i = 0; i < MC; ++i) {
+      for (int c = 0; c < NC; ++c) {
+        acc[i][c] = K::fms(acc[i][c], av[i], xv[c]);
+      }
+    }
+  }
+
+  for (int c = 0; c < NC; ++c) {
+    for (int i = 0; i < MC; ++i) {
+      acc[i][c].store(g.b + c * g.xb_jstride + i * ES);
+    }
+  }
+}
+
+} // namespace iatf::kernels

@@ -1,0 +1,53 @@
+// GEMM data-packing kernels (paper section 4.4, Figure 6).
+//
+// Packing reorders one group's operand into the exact order the computing
+// kernel walks it -- "N-shaped" for A (k-major within each row tile) and
+// "Z-shaped" for B (k-major within each column tile) -- so every kernel
+// load is contiguous. Under the compact layout each copied unit is one
+// element block of P (or 2P, complex) scalars, so the copies are
+// vector-width memcpys as in the paper.
+//
+// Transposition modes are absorbed here: packing gathers from the
+// transposed position (and conjugates the imaginary plane for ConjTrans),
+// which is what lets a single computing kernel serve NN/NT/TN/TT/
+// conjugated modes (paper section 5.2).
+#pragma once
+
+#include <span>
+
+#include "iatf/common/tiling.hpp"
+#include "iatf/common/types.hpp"
+
+namespace iatf::pack {
+
+/// Pack operand A of one group.
+///
+/// `src` points at the group's data, stored rows x cols (compact element
+/// stride `es`); logically A is m x k after applying `op`
+/// (rows/cols == m/k for NoTrans, k/m otherwise).
+/// Output layout: for each tile t over m: for each l in [0,k):
+/// tile-size element blocks A(t.offset+i, l).
+template <class T>
+void pack_gemm_a(const real_t<T>* src, index_t rows, index_t es, Op op,
+                 std::span<const Tile> m_tiles, index_t k,
+                 real_t<T>* out);
+
+/// Pack operand B of one group; logically B is k x n after `op`.
+/// Output layout: for each tile t over n: for each l in [0,k):
+/// tile-size element blocks B(l, t.offset+j).
+template <class T>
+void pack_gemm_b(const real_t<T>* src, index_t rows, index_t es, Op op,
+                 std::span<const Tile> n_tiles, index_t k,
+                 real_t<T>* out);
+
+/// Scalars (of real type) in a packed A panel: m*k element blocks.
+inline index_t packed_gemm_a_size(index_t m, index_t k, index_t es) {
+  return m * k * es;
+}
+
+/// Scalars in a packed B panel: k*n element blocks.
+inline index_t packed_gemm_b_size(index_t k, index_t n, index_t es) {
+  return k * n * es;
+}
+
+} // namespace iatf::pack

@@ -1,0 +1,81 @@
+// TRSM data-packing kernels and mode canonicalisation (paper section 4.4).
+//
+// The pack selector maps every one of the 16 TRSM mode combinations
+// (Side x Uplo x Trans x Diag) onto the single canonical form the
+// computing kernels implement -- Left / Lower / NoTrans -- using three
+// pack-time transforms:
+//
+//   * transpose: a Right-side problem X op(A) = aB is the Left problem
+//     op(A)^T X^T = aB^T, and a Trans mode reads A at the transposed
+//     position;
+//   * reversal: an effectively-upper triangle becomes lower under the
+//     index reversal i -> m-1-i applied to both A and the rows of B
+//     (P A P with P the exchange permutation);
+//   * conjugation: ConjTrans negates the imaginary plane while copying.
+//
+// "pack matrices into the same order, so that only one computational
+// kernel is needed to handle all modes" (paper section 5.2).
+//
+// The packed triangle stores, per diagonal block bi, the rectangular
+// sub-blocks L(bi, bj<bi) in k-major kernel order followed by the
+// triangular block itself row-major with a *reciprocal* diagonal: ARM's
+// FDIV latency is paid once at pack time, never in the kernel.
+#pragma once
+
+#include <span>
+
+#include "iatf/common/tiling.hpp"
+#include "iatf/common/types.hpp"
+
+namespace iatf::pack {
+
+/// How a TRSM mode maps onto the canonical Left/Lower/NoTrans solve.
+struct TrsmCanon {
+  bool transpose = false;   ///< read A(j,i) instead of A(i,j)
+  bool conj = false;        ///< conjugate A while packing
+  bool reverse = false;     ///< reverse row indices of the left problem
+  bool b_transpose = false; ///< operate on B^T (Right-side problems)
+  index_t m = 0;            ///< order of the triangular factor
+  index_t n = 0;            ///< columns of the canonical left problem
+
+  static TrsmCanon make(const TrsmShape& shape);
+};
+
+/// Pack the canonical lower triangle of one group's A.
+///
+/// `src` is the group's A data, stored m x m with element stride `es`.
+/// `blocks` tiles [0, m). Output layout, for each block bi:
+///   [rect block (bi, bj) for every bj < bi : k-major, bj.size k-blocks of
+///    bi.size element blocks]  then
+///   [triangular block: rows i = 0..bi.size-1, each row's blocks
+///    L(i, 0..i), diagonal stored as its reciprocal (exactly 1 for Unit)].
+/// `invert_diag` selects the stored diagonal: reciprocals for TRSM (the
+/// default), plain values for the TRMM extension. Unit diagonals store
+/// exactly 1 either way.
+template <class T>
+void pack_trsm_a(const real_t<T>* src, index_t es, const TrsmCanon& canon,
+                 Diag diag, std::span<const Tile> blocks, real_t<T>* out,
+                 bool invert_diag = true);
+
+/// Scalars (of real type) a packed triangle occupies for the given blocks.
+index_t packed_trsm_a_size(std::span<const Tile> blocks, index_t es);
+
+/// Offset (in reals) of block-row bi's data within the packed triangle,
+/// and of its rect sub-block for bj within that block-row.
+index_t packed_trsm_row_offset(std::span<const Tile> blocks, index_t bi,
+                               index_t es);
+
+/// Gather one group's B into the canonical m x n workspace, applying
+/// alpha, the Right-side transpose and the row reversal.
+/// `src` is the group's B, stored (shape.m x shape.n).
+template <class T>
+void pack_trsm_b(const real_t<T>* src, index_t src_rows,
+                 const TrsmCanon& canon, index_t es, T alpha,
+                 real_t<T>* out);
+
+/// Scatter the canonical solution back into the user's B.
+template <class T>
+void unpack_trsm_b(const real_t<T>* canonical, index_t src_rows,
+                   const TrsmCanon& canon, index_t es, real_t<T>* dst);
+
+} // namespace iatf::pack

@@ -1,0 +1,64 @@
+// Multicore execution support -- the paper's stated future work
+// ("we would investigate and extend our approach to multicore CPU").
+//
+// Interleave groups are fully independent, so the natural parallelisation
+// is across batch slices: each worker packs and computes its own range of
+// groups with its own workspace, preserving the per-core L1 residency the
+// Batch Counter establishes. This module provides the pool; the plan
+// classes expose execute_parallel() built on it.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf {
+
+class ThreadPool {
+public:
+  /// Spawns `threads` workers (0 = hardware concurrency). A pool of one
+  /// worker degenerates to inline execution with no thread launched.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return workers_; }
+
+  /// Run fn(chunk_begin, chunk_end) over [begin, end) split into roughly
+  /// equal contiguous chunks, one per worker (plus the calling thread).
+  /// Blocks until every chunk finishes; the first exception thrown by any
+  /// chunk is rethrown here.
+  void parallel_for(index_t begin, index_t end,
+                    const std::function<void(index_t, index_t)>& fn);
+
+  /// Process-wide pool, created on first use.
+  static ThreadPool& global();
+
+private:
+  struct Task {
+    const std::function<void(index_t, index_t)>* fn = nullptr;
+    index_t begin = 0;
+    index_t end = 0;
+  };
+
+  void worker_loop();
+
+  unsigned workers_ = 1;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> queue_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+};
+
+} // namespace iatf

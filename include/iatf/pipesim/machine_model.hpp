@@ -1,0 +1,58 @@
+// Machine models for the pipeline simulator and the list scheduler.
+//
+// The Kunpeng 920 model encodes the issue behaviour the paper reports in
+// section 6.3: the core "can only issue one memory access instruction and
+// one calculation instruction at the same time, or simultaneously issue
+// two calculation instructions for single-precision floating-point
+// numbers". Combined with 128-bit FMA that reproduces Table 2's peaks:
+// 2.6 GHz * 1 FMA * 2 lanes * 2 flops = 10.4 GFLOPS FP64 and
+// 2.6 GHz * 2 FMA * 4 lanes * 2 flops = 41.6 GFLOPS FP32.
+#pragma once
+
+#include <string>
+
+#include "iatf/codegen/ir.hpp"
+
+namespace iatf::pipesim {
+
+struct MachineModel {
+  std::string name = "kunpeng920";
+  int issue_width = 2;
+  /// Memory ops issued per cycle.
+  int mem_per_cycle = 1;
+  /// FP ops issued per cycle for 4-byte (SP) elements.
+  int fp_per_cycle_sp = 2;
+  /// FP ops issued per cycle for 8-byte (DP) elements.
+  int fp_per_cycle_dp = 1;
+  /// Integer ALU ops (pointer bumps) per cycle.
+  int alu_per_cycle = 2;
+
+  int load_latency = 4;  ///< L1 hit
+  int fp_latency = 4;    ///< FMUL/FMLA/FMLS result latency
+  int alu_latency = 1;
+  int store_latency = 1;
+  int prefetch_latency = 1;
+
+  double freq_ghz = 2.6;
+
+  static MachineModel kunpeng920() { return MachineModel{}; }
+
+  /// An idealised single-issue in-order core, used by ablation benches to
+  /// show how much of the kernel-optimizer benefit comes from dual issue.
+  static MachineModel scalar_inorder() {
+    MachineModel m;
+    m.name = "scalar-inorder";
+    m.issue_width = 1;
+    m.fp_per_cycle_sp = 1;
+    m.fp_per_cycle_dp = 1;
+    m.alu_per_cycle = 1;
+    return m;
+  }
+
+  int latency(codegen::Opcode op) const;
+  int fp_per_cycle(int elem_bytes) const {
+    return elem_bytes == 4 ? fp_per_cycle_sp : fp_per_cycle_dp;
+  }
+};
+
+} // namespace iatf::pipesim

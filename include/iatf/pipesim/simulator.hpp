@@ -1,0 +1,34 @@
+// Cycle-approximate in-order dual-issue pipeline simulator.
+//
+// This is the evaluation substrate standing in for the Kunpeng 920
+// hardware: it scores an instruction stream under the machine model's
+// issue rules and latencies, which is exactly the quantity the paper's
+// kernel optimizer minimises when it reorders instructions (Figure 5).
+// The simulator is deliberately in-order: the optimizer's *static*
+// placement is what creates (or removes) the stalls being measured.
+#pragma once
+
+#include <vector>
+
+#include "iatf/codegen/ir.hpp"
+#include "iatf/pipesim/machine_model.hpp"
+
+namespace iatf::pipesim {
+
+struct SimResult {
+  index_t cycles = 0;        ///< total cycles to issue & drain the stream
+  index_t issue_cycles = 0;  ///< cycles consumed issuing (last issue + 1)
+  index_t stall_cycles = 0;  ///< issue cycles in which nothing issued
+  std::vector<index_t> issue_cycle; ///< per-instruction issue cycle
+
+  /// FP throughput achieved by the stream, as a fraction of the machine's
+  /// FP issue capacity over the simulated interval.
+  double fp_utilisation = 0.0;
+};
+
+/// Simulate an instruction stream. Register dependencies are honoured via
+/// a ready-time scoreboard; issue is strictly in program order, up to
+/// issue_width per cycle subject to the per-port caps.
+SimResult simulate(const codegen::Program& prog, const MachineModel& model);
+
+} // namespace iatf::pipesim

@@ -1,0 +1,46 @@
+// Batch Counter (paper section 5.1).
+//
+// The run-time stage processes the batch in *slices* of whole interleave
+// groups, sized so each slice's packed working set (packed A + packed B +
+// the C/B it touches) stays resident in L1d: the matrices are small enough
+// to live entirely in L1, so the only tiling decision left is how many of
+// them to co-resident-pack per round.
+#pragma once
+
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/types.hpp"
+
+namespace iatf::plan {
+
+/// Overrides for ablation studies: force a pack decision or a batch-slice
+/// size instead of the input-aware defaults. Negative / zero values keep
+/// the framework's own choice.
+struct PlanTuning {
+  int force_pack_a = -1;      ///< 0 = no-pack, 1 = pack, -1 = auto
+  int force_pack_b = -1;      ///< GEMM only
+  index_t slice_override = 0; ///< >0 forces groups-per-slice
+};
+
+class BatchCounter {
+public:
+  explicit BatchCounter(CacheInfo cache) : cache_(cache) {}
+
+  /// Groups per slice when one group's working set is `group_bytes`.
+  /// Always at least 1 (a single group may legitimately exceed L1; the
+  /// kernels still work, just without the cache guarantee).
+  index_t groups_per_slice(index_t group_bytes) const {
+    if (group_bytes <= 0) {
+      return 1;
+    }
+    const index_t fit =
+        static_cast<index_t>(cache_.l1d) / group_bytes;
+    return fit < 1 ? 1 : fit;
+  }
+
+  const CacheInfo& cache() const noexcept { return cache_; }
+
+private:
+  CacheInfo cache_;
+};
+
+} // namespace iatf::plan

@@ -1,0 +1,96 @@
+// Execution plan for compact batched GEMM (paper section 5).
+//
+// Built once per input descriptor by the Execution Plan Generator and then
+// reusable for any number of executions: it fixes the tile decomposition
+// (Figure 4(b)), selects the matching computing kernels from the
+// install-time registry, decides pack-vs-no-pack per operand
+// (Pack Selecter, section 5.2), and sizes the batch slice so packed panels
+// stay in L1 (Batch Counter, section 5.1). execute() then runs the
+// resulting command queue over every interleave group.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/tiling.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/layout/compact.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+#include "iatf/plan/batch_counter.hpp"
+
+namespace iatf::plan {
+
+template <class T, int Bytes = 16> class GemmPlan {
+public:
+  using R = real_t<T>;
+
+  /// One computing-kernel invocation of the command queue; offsets are in
+  /// real scalars relative to the (packed or user) group base.
+  struct Call {
+    kernels::GemmKernelFn<T> fn = nullptr;
+    index_t a_off = 0;
+    index_t b_off = 0;
+    index_t c_off = 0;
+    index_t k = 0;
+    index_t a_kstride = 0;
+    index_t b_kstride = 0;
+    index_t b_jstride = 0;
+    index_t mc = 0;
+    index_t nc = 0;
+  };
+
+  GemmPlan(const GemmShape& shape, const CacheInfo& cache,
+           const PlanTuning& tuning = {});
+
+  /// Run the plan: C = alpha * op(A) * op(B) + beta * C per matrix.
+  void execute(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
+               CompactBuffer<T>& c, T alpha, T beta) const;
+
+  /// Multicore variant (the paper's future-work extension): interleave
+  /// groups are independent, so the batch is split across the pool's
+  /// workers, each running the L1-sized slice loop over its own range
+  /// with private packing workspace.
+  void execute_parallel(const CompactBuffer<T>& a,
+                        const CompactBuffer<T>& b, CompactBuffer<T>& c,
+                        T alpha, T beta, ThreadPool& pool) const;
+
+  const GemmShape& shape() const noexcept { return shape_; }
+  bool packs_a() const noexcept { return pack_a_; }
+  bool packs_b() const noexcept { return pack_b_; }
+  index_t slice_groups() const noexcept { return slice_groups_; }
+  std::span<const Tile> m_tiles() const noexcept { return m_tiles_; }
+  std::span<const Tile> n_tiles() const noexcept { return n_tiles_; }
+  std::span<const Call> calls() const noexcept { return calls_; }
+
+  /// Compact element stride (scalars per element block) this plan assumes.
+  static constexpr index_t element_stride() {
+    return kernels::kreg<T, Bytes>::stride;
+  }
+  /// Interleave width this plan assumes of its buffers.
+  static constexpr index_t pack_width() {
+    return simd::pack_width_bytes_v<T, Bytes>;
+  }
+
+private:
+  void validate_buffers(const CompactBuffer<T>& a,
+                        const CompactBuffer<T>& b,
+                        const CompactBuffer<T>& c) const;
+  void run_groups(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
+                  CompactBuffer<T>& c, T alpha, T beta, index_t g_begin,
+                  index_t g_end) const;
+
+  GemmShape shape_;
+  std::vector<Tile> m_tiles_;
+  std::vector<Tile> n_tiles_;
+  std::vector<Call> calls_;
+  bool pack_a_ = false;
+  bool pack_b_ = false;
+  index_t pa_group_size_ = 0; ///< packed A panel scalars per group
+  index_t pb_group_size_ = 0;
+  index_t slice_groups_ = 1;
+};
+
+} // namespace iatf::plan

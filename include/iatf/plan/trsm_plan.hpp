@@ -1,0 +1,95 @@
+// Execution plan for compact batched TRSM (paper sections 4.2.2 and 5).
+//
+// Every mode (Side x Uplo x Trans x Diag) is canonicalised to
+// Left/Lower/NoTrans at pack time (see pack/trsm_pack.hpp). The solve then
+// follows paper equation (1): the triangle is tiled into diagonal blocks;
+// for each column panel of B, earlier solved rows update later blocks
+// through the FMLS rectangular kernels and each diagonal block is solved
+// by the register-resident triangular kernel. When the whole triangle fits
+// in registers (M <= 5 real / 4 complex) the plan degenerates to the
+// paper's small-matrix case: a single triangular kernel swept across B's
+// column panels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/tiling.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/layout/compact.hpp"
+#include "iatf/pack/trsm_pack.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+#include "iatf/plan/batch_counter.hpp"
+
+namespace iatf::plan {
+
+template <class T, int Bytes = 16> class TrsmPlan {
+public:
+  using R = real_t<T>;
+
+  /// One step of the command queue. Rect steps update block row `row_off`
+  /// from solved rows at `x_row_off`; Tri steps solve the block at
+  /// `row_off` in place. Offsets are element-block indices within the
+  /// canonical B (column `col_off`, row `row_off`).
+  struct Step {
+    enum class Kind : std::uint8_t { Rect, Tri } kind = Kind::Tri;
+    kernels::TrsmRectKernelFn<T> rect_fn = nullptr;
+    kernels::TrsmTriKernelFn<T> tri_fn = nullptr;
+    index_t pa_off = 0;    ///< scalars into the packed triangle
+    index_t col_off = 0;   ///< first column of the panel
+    index_t row_off = 0;   ///< first row of block bi
+    index_t x_row_off = 0; ///< first row of block bj (Rect only)
+    index_t k = 0;         ///< depth of block bj (Rect only)
+  };
+
+  TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
+           const PlanTuning& tuning = {});
+
+  /// Solve op(A) X = alpha B (or the Right-side variant), overwriting b.
+  void execute(const CompactBuffer<T>& a, CompactBuffer<T>& b,
+               T alpha) const;
+
+  /// Multicore variant: independent interleave groups split across the
+  /// pool's workers (the paper's future-work extension).
+  void execute_parallel(const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                        T alpha, ThreadPool& pool) const;
+
+  const TrsmShape& shape() const noexcept { return shape_; }
+  const pack::TrsmCanon& canon() const noexcept { return canon_; }
+  bool packs_b() const noexcept { return pack_b_; }
+  bool small_path() const noexcept { return blocks_.size() <= 1; }
+  index_t slice_groups() const noexcept { return slice_groups_; }
+  std::span<const Tile> blocks() const noexcept { return blocks_; }
+  std::span<const Tile> panels() const noexcept { return panels_; }
+  std::span<const Step> steps() const noexcept { return steps_; }
+
+  static constexpr index_t element_stride() {
+    return kernels::kreg<T, Bytes>::stride;
+  }
+  static constexpr index_t pack_width() {
+    return simd::pack_width_bytes_v<T, Bytes>;
+  }
+
+private:
+  void validate_buffers(const CompactBuffer<T>& a,
+                        const CompactBuffer<T>& b) const;
+  void solve_group(const R* packed_a, R* bdata) const;
+  void run_groups(const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                  T alpha, index_t g_begin, index_t g_end) const;
+
+  TrsmShape shape_;
+  pack::TrsmCanon canon_;
+  std::vector<Tile> blocks_; ///< diagonal blocks over canon_.m
+  std::vector<Tile> panels_; ///< column panels over canon_.n
+  std::vector<Step> steps_;  ///< full command queue (all panels)
+  bool pack_b_ = false;
+  index_t pa_group_size_ = 0;
+  index_t pb_group_size_ = 0;
+  index_t slice_groups_ = 1;
+};
+
+} // namespace iatf::plan

@@ -1,0 +1,40 @@
+// Reference (scalar, column-major) GEMM and TRSM covering every mode and
+// scalar type. This module is the correctness oracle for all IATF tests:
+// it is written for clarity, follows the BLAS definitions literally, and
+// has no performance tricks whatsoever.
+#pragma once
+
+#include "iatf/common/types.hpp"
+
+namespace iatf::ref {
+
+/// C = alpha * op_a(A) * op_b(B) + beta * C, column-major.
+/// A is (m x k) after op_a, B is (k x n) after op_b, C is m x n.
+template <class T>
+void gemm(Op op_a, Op op_b, index_t m, index_t n, index_t k, T alpha,
+          const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+          index_t ldc);
+
+/// Solve op_a(A) * X = alpha * B (Left) or X * op_a(A) = alpha * B (Right)
+/// in place: B (m x n, column-major) is overwritten by X. A is the
+/// triangular matrix of order m (Left) or n (Right).
+template <class T>
+void trsm(Side side, Uplo uplo, Op op_a, Diag diag, index_t m, index_t n,
+          T alpha, const T* a, index_t lda, T* b, index_t ldb);
+
+/// B = alpha * op_a(A) * B (Left) or alpha * B * op_a(A) (Right) in
+/// place, A triangular of order m (Left) or n (Right).
+template <class T>
+void trmm(Side side, Uplo uplo, Op op_a, Diag diag, index_t m, index_t n,
+          T alpha, const T* a, index_t lda, T* b, index_t ldb);
+
+/// Unpivoted LU factorisation in place: A (m x m) becomes L\U with a unit
+/// lower diagonal (LAPACK getrfnp convention).
+template <class T> void getrf_np(index_t m, T* a, index_t lda);
+
+/// Cholesky factorisation of the lower triangle in place: A = L * L^H
+/// (L * L^T for real types). Only the lower triangle is referenced or
+/// written. Requires positive-definite input.
+template <class T> void potrf(index_t m, T* a, index_t lda);
+
+} // namespace iatf::ref

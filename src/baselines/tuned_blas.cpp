@@ -1,0 +1,184 @@
+// Single-matrix column-major GEMM/TRSM engines for the loop and batch
+// baselines. Written the way a general-purpose BLAS handles small sizes:
+// column-axpy updates the compiler vectorises down the M dimension, plus
+// a transposition copy when the operand order defeats that access
+// pattern. Deliberately *not* specialised per size -- that gap is what
+// the paper measures.
+#include <complex>
+#include <vector>
+
+#include "iatf/baselines/baselines.hpp"
+#include "iatf/common/error.hpp"
+
+namespace iatf::baselines {
+namespace {
+
+// op(A)(i,j) gather for the transposition copy.
+template <class T>
+inline T op_element(Op op, const T* a, index_t lda, index_t i, index_t j) {
+  switch (op) {
+  case Op::NoTrans:
+    return a[j * lda + i];
+  case Op::Trans:
+    return a[i * lda + j];
+  case Op::ConjTrans:
+    return conj_if_complex(a[i * lda + j]);
+  }
+  return T{};
+}
+
+} // namespace
+
+template <class T>
+void tuned_gemm(Op op_a, Op op_b, index_t m, index_t n, index_t k, T alpha,
+                const T* a, index_t lda, const T* b, index_t ldb, T beta,
+                T* c, index_t ldc) {
+  IATF_CHECK(m >= 0 && n >= 0 && k >= 0, "tuned_gemm: negative dimension");
+  IATF_CHECK(ldc >= (m > 0 ? m : 1), "tuned_gemm: ldc too small");
+
+  // beta pass.
+  for (index_t j = 0; j < n; ++j) {
+    T* col = c + j * ldc;
+    if (beta == T{}) {
+      for (index_t i = 0; i < m; ++i) {
+        col[i] = T{};
+      }
+    } else if (!(beta == T(1))) {
+      for (index_t i = 0; i < m; ++i) {
+        col[i] *= beta;
+      }
+    }
+  }
+  if (k == 0 || alpha == T{}) {
+    return;
+  }
+
+  // A is consumed column-wise; materialise op(A) once if transposed so the
+  // inner axpy stays unit-stride (the standard small-matrix fallback).
+  std::vector<T> a_copy;
+  const T* ae = a;
+  index_t lde = lda;
+  if (op_a != Op::NoTrans) {
+    a_copy.resize(static_cast<std::size_t>(m * k));
+    for (index_t l = 0; l < k; ++l) {
+      for (index_t i = 0; i < m; ++i) {
+        a_copy[static_cast<std::size_t>(l * m + i)] =
+            op_element(op_a, a, lda, i, l);
+      }
+    }
+    ae = a_copy.data();
+    lde = m;
+  }
+
+  for (index_t j = 0; j < n; ++j) {
+    T* col = c + j * ldc;
+    for (index_t l = 0; l < k; ++l) {
+      const T blj = alpha * op_element(op_b, b, ldb, l, j);
+      const T* acol = ae + l * lde;
+      for (index_t i = 0; i < m; ++i) {
+        col[i] += acol[i] * blj;
+      }
+    }
+  }
+}
+
+template <class T>
+void tuned_trsm(Side side, Uplo uplo, Op op_a, Diag diag, index_t m,
+                index_t n, T alpha, const T* a, index_t lda, T* b,
+                index_t ldb) {
+  IATF_CHECK(m >= 0 && n >= 0, "tuned_trsm: negative dimension");
+  IATF_CHECK(ldb >= (m > 0 ? m : 1), "tuned_trsm: ldb too small");
+
+  const index_t adim = side == Side::Left ? m : n;
+
+  // Materialise the effective left operand so the substitution loop below
+  // can always run forward with unit-stride column updates: for Left
+  // problems that operand is op(A); for Right problems X op(A) = aB is
+  // solved as op(A)^T X^T = aB^T on a transposed copy of B.
+  std::vector<T> tri(static_cast<std::size_t>(adim * adim));
+  const bool left_trans = side == Side::Left ? (op_a != Op::NoTrans)
+                                             : (op_a == Op::NoTrans);
+  const bool conj = op_a == Op::ConjTrans;
+  for (index_t j = 0; j < adim; ++j) {
+    for (index_t i = 0; i < adim; ++i) {
+      const index_t r = left_trans ? j : i;
+      const index_t s = left_trans ? i : j;
+      T v = a[s * lda + r];
+      tri[static_cast<std::size_t>(j * adim + i)] =
+          conj ? conj_if_complex(v) : v;
+    }
+  }
+  const bool lower = (uplo == Uplo::Lower) != left_trans;
+
+  const index_t xm = side == Side::Left ? m : n; // rows of the left solve
+  const index_t xn = side == Side::Left ? n : m;
+  std::vector<T> bx;
+  T* x = b;
+  index_t ldx = ldb;
+  if (side == Side::Right) {
+    bx.resize(static_cast<std::size_t>(xm * xn));
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        bx[static_cast<std::size_t>(i * xm + j)] = b[j * ldb + i];
+      }
+    }
+    x = bx.data();
+    ldx = xm;
+  }
+
+  for (index_t j = 0; j < xn; ++j) {
+    T* col = x + j * ldx;
+    if (!(alpha == T(1))) {
+      for (index_t i = 0; i < xm; ++i) {
+        col[i] *= alpha;
+      }
+    }
+    if (lower) {
+      for (index_t l = 0; l < xm; ++l) {
+        if (diag == Diag::NonUnit) {
+          col[l] = col[l] / tri[static_cast<std::size_t>(l * adim + l)];
+        }
+        const T xl = col[l];
+        const T* acol = tri.data() + l * adim;
+        for (index_t i = l + 1; i < xm; ++i) {
+          col[i] -= acol[i] * xl;
+        }
+      }
+    } else {
+      for (index_t l = xm - 1; l >= 0; --l) {
+        if (diag == Diag::NonUnit) {
+          col[l] = col[l] / tri[static_cast<std::size_t>(l * adim + l)];
+        }
+        const T xl = col[l];
+        const T* acol = tri.data() + l * adim;
+        for (index_t i = 0; i < l; ++i) {
+          col[i] -= acol[i] * xl;
+        }
+      }
+    }
+  }
+
+  if (side == Side::Right) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        b[j * ldb + i] = bx[static_cast<std::size_t>(i * xm + j)];
+      }
+    }
+  }
+}
+
+#define IATF_INSTANTIATE_TUNED(T)                                            \
+  template void tuned_gemm<T>(Op, Op, index_t, index_t, index_t, T,         \
+                              const T*, index_t, const T*, index_t, T, T*, \
+                              index_t);                                     \
+  template void tuned_trsm<T>(Side, Uplo, Op, Diag, index_t, index_t, T,   \
+                              const T*, index_t, T*, index_t);
+
+IATF_INSTANTIATE_TUNED(float)
+IATF_INSTANTIATE_TUNED(double)
+IATF_INSTANTIATE_TUNED(std::complex<float>)
+IATF_INSTANTIATE_TUNED(std::complex<double>)
+
+#undef IATF_INSTANTIATE_TUNED
+
+} // namespace iatf::baselines

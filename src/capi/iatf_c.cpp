@@ -1,0 +1,213 @@
+// C interface implementation: thin exception-to-error-code shims over the
+// C++ core, with the opaque buffer structs wrapping CompactBuffer.
+#include "iatf/capi/iatf.h"
+
+#include <complex>
+#include <string>
+
+#include "iatf/core/compact_blas.hpp"
+#include "iatf/ext/compact_ext.hpp"
+
+namespace {
+
+thread_local std::string g_last_error;
+
+template <class Fn> int guarded(Fn&& fn) {
+  try {
+    fn();
+    return 0;
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return 1;
+  } catch (...) {
+    g_last_error = "unknown error";
+    return 2;
+  }
+}
+
+iatf::Op to_op(iatf_op op) { return static_cast<iatf::Op>(op); }
+iatf::Side to_side(iatf_side s) { return static_cast<iatf::Side>(s); }
+iatf::Uplo to_uplo(iatf_uplo u) { return static_cast<iatf::Uplo>(u); }
+iatf::Diag to_diag(iatf_diag d) { return static_cast<iatf::Diag>(d); }
+
+} // namespace
+
+extern "C" const char* iatf_last_error(void) {
+  return g_last_error.c_str();
+}
+
+// Opaque buffer definitions.
+struct iatf_sbuf {
+  iatf::CompactBuffer<float> buf;
+};
+struct iatf_dbuf {
+  iatf::CompactBuffer<double> buf;
+};
+struct iatf_cbuf {
+  iatf::CompactBuffer<std::complex<float>> buf;
+};
+struct iatf_zbuf {
+  iatf::CompactBuffer<std::complex<double>> buf;
+};
+
+// Per-type buffer management. For complex types the C-side scalar array
+// is interleaved (re, im), which std::complex guarantees layout-wise.
+#define IATF_DEFINE_BUFFER(P, BUF, T, SCALAR)                                \
+  extern "C" BUF* iatf_##P##create(int64_t rows, int64_t cols,              \
+                                   int64_t batch) {                         \
+    BUF* out = nullptr;                                                     \
+    const int rc = guarded([&] {                                            \
+      out = new BUF{iatf::CompactBuffer<T>(rows, cols, batch)};             \
+    });                                                                     \
+    return rc == 0 ? out : nullptr;                                         \
+  }                                                                         \
+  extern "C" void iatf_##P##destroy(BUF* buf) { delete buf; }               \
+  extern "C" int64_t iatf_##P##rows(const BUF* buf) {                       \
+    return buf->buf.rows();                                                 \
+  }                                                                         \
+  extern "C" int64_t iatf_##P##cols(const BUF* buf) {                       \
+    return buf->buf.cols();                                                 \
+  }                                                                         \
+  extern "C" int64_t iatf_##P##batch(const BUF* buf) {                      \
+    return buf->buf.batch();                                                \
+  }                                                                         \
+  extern "C" int iatf_##P##import(BUF* buf, int64_t b, const SCALAR* src,   \
+                                  int64_t ld) {                             \
+    return guarded([&] {                                                    \
+      buf->buf.import_colmajor(b, reinterpret_cast<const T*>(src), ld);     \
+    });                                                                     \
+  }                                                                         \
+  extern "C" int iatf_##P##export(const BUF* buf, int64_t b, SCALAR* dst,   \
+                                  int64_t ld) {                             \
+    return guarded([&] {                                                    \
+      buf->buf.export_colmajor(b, reinterpret_cast<T*>(dst), ld);           \
+    });                                                                     \
+  }                                                                         \
+  extern "C" int iatf_##P##pad_identity(BUF* buf) {                         \
+    return guarded([&] { buf->buf.pad_identity(); });                       \
+  }
+
+IATF_DEFINE_BUFFER(s, iatf_sbuf, float, float)
+IATF_DEFINE_BUFFER(d, iatf_dbuf, double, double)
+IATF_DEFINE_BUFFER(c, iatf_cbuf, std::complex<float>, float)
+IATF_DEFINE_BUFFER(z, iatf_zbuf, std::complex<double>, double)
+#undef IATF_DEFINE_BUFFER
+
+extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
+                                  const iatf_sbuf* a, const iatf_sbuf* b,
+                                  float beta, iatf_sbuf* c) {
+  return guarded([&] {
+    iatf::compact_gemm<float>(to_op(op_a), to_op(op_b), alpha, a->buf,
+                              b->buf, beta, c->buf);
+  });
+}
+
+extern "C" int iatf_dgemm_compact(iatf_op op_a, iatf_op op_b, double alpha,
+                                  const iatf_dbuf* a, const iatf_dbuf* b,
+                                  double beta, iatf_dbuf* c) {
+  return guarded([&] {
+    iatf::compact_gemm<double>(to_op(op_a), to_op(op_b), alpha, a->buf,
+                               b->buf, beta, c->buf);
+  });
+}
+
+extern "C" int iatf_cgemm_compact(iatf_op op_a, iatf_op op_b,
+                                  float alpha_re, float alpha_im,
+                                  const iatf_cbuf* a, const iatf_cbuf* b,
+                                  float beta_re, float beta_im,
+                                  iatf_cbuf* c) {
+  return guarded([&] {
+    iatf::compact_gemm<std::complex<float>>(
+        to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
+        {beta_re, beta_im}, c->buf);
+  });
+}
+
+extern "C" int iatf_zgemm_compact(iatf_op op_a, iatf_op op_b,
+                                  double alpha_re, double alpha_im,
+                                  const iatf_zbuf* a, const iatf_zbuf* b,
+                                  double beta_re, double beta_im,
+                                  iatf_zbuf* c) {
+  return guarded([&] {
+    iatf::compact_gemm<std::complex<double>>(
+        to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
+        {beta_re, beta_im}, c->buf);
+  });
+}
+
+extern "C" int iatf_strsm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  float alpha, const iatf_sbuf* a,
+                                  iatf_sbuf* b) {
+  return guarded([&] {
+    iatf::compact_trsm<float>(to_side(side), to_uplo(uplo), to_op(op_a),
+                              to_diag(diag), alpha, a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_dtrsm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  double alpha, const iatf_dbuf* a,
+                                  iatf_dbuf* b) {
+  return guarded([&] {
+    iatf::compact_trsm<double>(to_side(side), to_uplo(uplo), to_op(op_a),
+                               to_diag(diag), alpha, a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  float alpha_re, float alpha_im,
+                                  const iatf_cbuf* a, iatf_cbuf* b) {
+  return guarded([&] {
+    iatf::compact_trsm<std::complex<float>>(
+        to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
+        {alpha_re, alpha_im}, a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  double alpha_re, double alpha_im,
+                                  const iatf_zbuf* a, iatf_zbuf* b) {
+  return guarded([&] {
+    iatf::compact_trsm<std::complex<double>>(
+        to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
+        {alpha_re, alpha_im}, a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_strmm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  float alpha, const iatf_sbuf* a,
+                                  iatf_sbuf* b) {
+  return guarded([&] {
+    iatf::ext::compact_trmm<float>(to_side(side), to_uplo(uplo),
+                                   to_op(op_a), to_diag(diag), alpha,
+                                   a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_dtrmm_compact(iatf_side side, iatf_uplo uplo,
+                                  iatf_op op_a, iatf_diag diag,
+                                  double alpha, const iatf_dbuf* a,
+                                  iatf_dbuf* b) {
+  return guarded([&] {
+    iatf::ext::compact_trmm<double>(to_side(side), to_uplo(uplo),
+                                    to_op(op_a), to_diag(diag), alpha,
+                                    a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_sgetrfnp_compact(iatf_sbuf* a) {
+  return guarded([&] { iatf::ext::compact_getrf_np<float>(a->buf); });
+}
+extern "C" int iatf_dgetrfnp_compact(iatf_dbuf* a) {
+  return guarded([&] { iatf::ext::compact_getrf_np<double>(a->buf); });
+}
+extern "C" int iatf_spotrf_compact(iatf_sbuf* a) {
+  return guarded([&] { iatf::ext::compact_potrf<float>(a->buf); });
+}
+extern "C" int iatf_dpotrf_compact(iatf_dbuf* a) {
+  return guarded([&] { iatf::ext::compact_potrf<double>(a->buf); });
+}

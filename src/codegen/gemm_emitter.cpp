@@ -1,0 +1,297 @@
+#include "iatf/codegen/gemm_emitter.hpp"
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::codegen {
+namespace {
+
+// Shared emitter machinery. Register-set bases follow the paper's
+// allocation: A ping-pong sets at v0 / v_mc, B sets at v_2mc / v_{2mc+nc},
+// accumulators from v_{2(mc+nc)} (column-major: acc(i,j) = base + j*mc+i,
+// matching the v16..v31 numbering of Figure 5).
+class Emitter {
+public:
+  explicit Emitter(const GemmKernelSpec& spec) : spec_(spec) {
+    IATF_CHECK(spec.mc >= 1 && spec.nc >= 1, "emitter: bad kernel size");
+    IATF_CHECK(2 * (spec.mc + spec.nc) + spec.mc * spec.nc <= 32,
+               "emitter: kernel exceeds the 32-register budget");
+    IATF_CHECK(spec.elem_bytes == 4 || spec.elem_bytes == 8,
+               "emitter: element bytes must be 4 or 8");
+  }
+
+  Program take() { return std::move(prog_); }
+
+  int a_set(int set) const { return set * spec_.mc; }
+  int b_set(int set) const { return 2 * spec_.mc + set * spec_.nc; }
+  int acc_base() const { return 2 * (spec_.mc + spec_.nc); }
+  int acc(int i, int j) const { return acc_base() + j * spec_.mc + i; }
+
+  /// ldp/ldr + pointer bump, paper style (Figure 5 left column).
+  void load_set_bump(int base, int count, int ptr) {
+    int i = 0;
+    while (i + 1 < count) {
+      push({Opcode::LDP, {base + i, base + i + 1}, {ptr}, 0,
+            spec_.elem_bytes});
+      push({Opcode::ADDI, {ptr}, {ptr}, 32, spec_.elem_bytes});
+      i += 2;
+    }
+    if (i < count) {
+      push({Opcode::LDR, {base + i}, {ptr}, 0, spec_.elem_bytes});
+      push({Opcode::ADDI, {ptr}, {ptr}, 16, spec_.elem_bytes});
+    }
+  }
+
+  /// ldp/ldr with immediate offsets, leaving the pointer untouched.
+  void load_tile(int base, int count, int ptr, index_t byte_off) {
+    int i = 0;
+    while (i + 1 < count) {
+      push({Opcode::LDP, {base + i, base + i + 1}, {ptr},
+            byte_off + i * 16, spec_.elem_bytes});
+      i += 2;
+    }
+    if (i < count) {
+      push({Opcode::LDR, {base + i}, {ptr}, byte_off + i * 16,
+            spec_.elem_bytes});
+    }
+  }
+
+  /// stp/str with immediate offsets.
+  void store_tile(int base, int count, int ptr, index_t byte_off) {
+    int i = 0;
+    while (i + 1 < count) {
+      push({Opcode::STP, {}, {base + i, base + i + 1, ptr},
+            byte_off + i * 16, spec_.elem_bytes});
+      i += 2;
+    }
+    if (i < count) {
+      push({Opcode::STR, {}, {base + i, ptr}, byte_off + i * 16,
+            spec_.elem_bytes});
+    }
+  }
+
+  void load_a(int set) { load_set_bump(a_set(set), spec_.mc, kRegPA); }
+  void load_b(int set) { load_set_bump(b_set(set), spec_.nc, kRegPB); }
+
+  /// The mc*nc multiply block of one template.
+  void compute(int set, Opcode op) {
+    for (int j = 0; j < spec_.nc; ++j) {
+      for (int i = 0; i < spec_.mc; ++i) {
+        const int d = acc(i, j);
+        const int a = a_set(set) + i;
+        const int b = b_set(set) + j;
+        if (op == Opcode::FMUL) {
+          push({Opcode::FMUL, {d}, {a, b}, 0, spec_.elem_bytes});
+        } else {
+          push({op, {d}, {d, a, b}, 0, spec_.elem_bytes});
+        }
+      }
+    }
+  }
+
+  // The six paper templates (E0 is E computing from set 0; see the
+  // corrected odd-K sequencing documented in the header).
+  void template_i() {
+    load_a(0);
+    load_a(1);
+    load_b(0);
+    load_b(1);
+    compute(0, Opcode::FMUL);
+  }
+  void template_m1() {
+    load_a(1);
+    load_b(1);
+    compute(0, Opcode::FMLA);
+  }
+  void template_m2() {
+    load_a(0);
+    load_b(0);
+    compute(1, Opcode::FMLA);
+  }
+  void template_e(int set) { compute(set, Opcode::FMLA); }
+  void template_sub(bool fresh_acc) {
+    load_a(0);
+    load_b(0);
+    compute(0, fresh_acc ? Opcode::FMUL : Opcode::FMLA);
+  }
+
+  void prefetch_c() {
+    push({Opcode::PRFM, {}, {kRegPC}, 0, spec_.elem_bytes});
+  }
+
+  /// The k-template body shared by GEMM (FMLA) and the TRSM rectangular
+  /// kernel (FMLS): ping-pong over exactly k panel loads.
+  void k_body(Opcode update, bool fresh_acc) {
+    index_t k = spec_.k;
+    IATF_CHECK(k >= 1, "emitter: k must be >= 1");
+    const Opcode first = fresh_acc ? Opcode::FMUL : update;
+    if (k == 1) {
+      load_a(0);
+      load_b(0);
+      compute(0, first);
+      return;
+    }
+    // TEMPLATE_I (with the update opcode in place of FMUL for FMLS
+    // kernels whose accumulators were pre-loaded from B).
+    load_a(0);
+    load_a(1);
+    load_b(0);
+    load_b(1);
+    compute(0, first);
+    index_t remaining = k - 2;
+    while (remaining >= 2) {
+      // TEMPLATE_M2 then TEMPLATE_M1.
+      load_a(0);
+      load_b(0);
+      compute(1, update);
+      load_a(1);
+      load_b(1);
+      compute(0, update);
+      remaining -= 2;
+    }
+    if (remaining == 1) {
+      load_a(0);
+      load_b(0);
+      compute(1, update);
+      compute(0, update); // E0
+    } else {
+      compute(1, update); // TEMPLATE_E
+    }
+  }
+
+  /// TEMPLATE_SAVE: per C column, reload origin C into the now-free
+  /// v1..v_mc scratch registers, out += alpha*acc with alpha broadcast in
+  /// v0 (the kernel's scalar argument register), and store back.
+  void save_with_alpha() {
+    // Alpha is (re)loaded broadcast into v0 at SAVE time -- the A/B
+    // ping-pong registers are dead once the k-loop retires.
+    constexpr int kAlphaReg = 0;
+    push({Opcode::LDR, {kAlphaReg}, {kRegPAlpha}, 0, spec_.elem_bytes});
+    const int tmp = 1;
+    IATF_CHECK(tmp + spec_.mc <= 2 * (spec_.mc + spec_.nc),
+               "emitter: SAVE scratch overlaps accumulators");
+    for (int j = 0; j < spec_.nc; ++j) {
+      const index_t col_off = static_cast<index_t>(j) * spec_.mc * 16;
+      load_tile(tmp, spec_.mc, kRegPC, col_off);
+      for (int r = 0; r < spec_.mc; ++r) {
+        push({Opcode::FMLA_S, {tmp + r}, {tmp + r, acc(r, j), kAlphaReg},
+              0, spec_.elem_bytes});
+      }
+      store_tile(tmp, spec_.mc, kRegPC, col_off);
+    }
+  }
+
+private:
+  void push(Inst inst) { prog_.push_back(std::move(inst)); }
+
+  GemmKernelSpec spec_;
+  Program prog_;
+};
+
+} // namespace
+
+Program emit_gemm_template_i(const GemmKernelSpec& spec) {
+  Emitter e(spec);
+  e.template_i();
+  return e.take();
+}
+
+Program emit_gemm_kernel(const GemmKernelSpec& spec) {
+  Emitter e(spec);
+  if (spec.prefetch_c) {
+    e.prefetch_c();
+  }
+  e.k_body(Opcode::FMLA, /*fresh_acc=*/true);
+  e.save_with_alpha();
+  return e.take();
+}
+
+Program emit_trsm_tri_kernel(const TrsmTriKernelSpec& spec) {
+  IATF_CHECK(spec.m >= 1 && spec.nc >= 1, "emitter: bad tri kernel size");
+  IATF_CHECK(spec.elem_bytes == 4 || spec.elem_bytes == 8,
+             "emitter: element bytes must be 4 or 8");
+  const int tri_regs = spec.m * (spec.m + 1) / 2;
+  IATF_CHECK(tri_regs + spec.m * spec.nc <= 32,
+             "emitter: tri kernel exceeds the 32-register budget");
+
+  Program prog;
+  const auto push = [&prog](Inst inst) { prog.push_back(std::move(inst)); };
+  // Triangle registers: a(i,j) at v[i(i+1)/2 + j]; B panel registers
+  // follow: x(c,i) at v[tri_regs + c*m + i].
+  const auto areg = [](int i, int j) { return i * (i + 1) / 2 + j; };
+  const auto xreg = [&](int c, int i) { return tri_regs + c * spec.m + i; };
+
+  // Load the packed triangle (paper Algorithm 4 lines 1-3); blocks are
+  // contiguous and the registers sequential, so ldp pairs stream it.
+  {
+    int r = 0;
+    index_t off = 0;
+    while (r + 1 < tri_regs) {
+      push({Opcode::LDP, {r, r + 1}, {kRegPA}, off, spec.elem_bytes});
+      r += 2;
+      off += 32;
+    }
+    if (r < tri_regs) {
+      push({Opcode::LDR, {r}, {kRegPA}, off, spec.elem_bytes});
+    }
+  }
+
+  // Per column: load, forward-substitute with FMLS, reciprocal FMUL on
+  // the diagonal (no FDIV -- the packing stage inverted it), store.
+  for (int c = 0; c < spec.nc; ++c) {
+    const index_t col_off = static_cast<index_t>(c) * spec.m * 16;
+    int r = xreg(c, 0);
+    index_t off = col_off;
+    int remaining = spec.m;
+    while (remaining >= 2) {
+      push({Opcode::LDP, {r, r + 1}, {kRegPC}, off, spec.elem_bytes});
+      r += 2;
+      off += 32;
+      remaining -= 2;
+    }
+    if (remaining == 1) {
+      push({Opcode::LDR, {r}, {kRegPC}, off, spec.elem_bytes});
+    }
+    for (int i = 0; i < spec.m; ++i) {
+      for (int j = 0; j < i; ++j) {
+        push({Opcode::FMLS, {xreg(c, i)},
+              {xreg(c, i), areg(i, j), xreg(c, j)}, 0, spec.elem_bytes});
+      }
+      push({Opcode::FMUL, {xreg(c, i)}, {xreg(c, i), areg(i, i)}, 0,
+            spec.elem_bytes});
+    }
+    r = xreg(c, 0);
+    off = col_off;
+    remaining = spec.m;
+    while (remaining >= 2) {
+      push({Opcode::STP, {}, {r, r + 1, kRegPC}, off, spec.elem_bytes});
+      r += 2;
+      off += 32;
+      remaining -= 2;
+    }
+    if (remaining == 1) {
+      push({Opcode::STR, {}, {r, kRegPC}, off, spec.elem_bytes});
+    }
+  }
+  return prog;
+}
+
+Program emit_trsm_rect_kernel(const GemmKernelSpec& spec) {
+  Emitter e(spec);
+  // Accumulators ARE the current B tile: load it up front (immediate
+  // offsets keep pC valid for the stores)...
+  for (int j = 0; j < spec.nc; ++j) {
+    e.load_tile(e.acc_base() + j * spec.mc, spec.mc, kRegPC,
+                static_cast<index_t>(j) * spec.mc * 16);
+  }
+  // ...update with FMLS over the k panel (paper equation 4)...
+  e.k_body(Opcode::FMLS, /*fresh_acc=*/false);
+  // ...and store with no alpha stage: mc*nc multiplies saved relative to
+  // a GEMM call with alpha = -1.
+  for (int j = 0; j < spec.nc; ++j) {
+    e.store_tile(e.acc_base() + j * spec.mc, spec.mc, kRegPC,
+                 static_cast<index_t>(j) * spec.mc * 16);
+  }
+  return e.take();
+}
+
+} // namespace iatf::codegen

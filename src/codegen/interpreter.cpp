@@ -1,0 +1,139 @@
+#include "iatf/codegen/interpreter.hpp"
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::codegen {
+namespace {
+
+struct State {
+  // 32 vector registers, up to 4 lanes each.
+  std::array<std::array<double, 4>, 32> v{};
+  // Pointer registers hold byte offsets into their bound buffer.
+  std::array<index_t, 4> x{};
+
+  std::vector<double>* buffer(InterpBuffers& bufs, int reg) {
+    switch (reg) {
+    case kRegPA:
+      return &bufs.a;
+    case kRegPB:
+      return &bufs.b;
+    case kRegPC:
+      return &bufs.c;
+    case kRegPAlpha:
+      return &bufs.alpha;
+    default:
+      IATF_CHECK(false, "interpreter: unknown pointer register");
+    }
+    return nullptr;
+  }
+
+  index_t& xval(int reg) {
+    IATF_CHECK(reg >= kX0 && reg < kNumRegs,
+               "interpreter: bad pointer register");
+    return x[static_cast<std::size_t>(reg - kX0)];
+  }
+};
+
+void load_reg(State& s, InterpBuffers& bufs, int vreg, int base,
+              index_t imm, int lanes, int elem_bytes) {
+  auto* buf = s.buffer(bufs, base);
+  const index_t byte = s.xval(base) + imm;
+  IATF_CHECK(byte % elem_bytes == 0, "interpreter: misaligned access");
+  const index_t e0 = byte / elem_bytes;
+  IATF_CHECK(e0 >= 0 &&
+                 e0 + lanes <= static_cast<index_t>(buf->size()),
+             "interpreter: load out of bounds");
+  for (int l = 0; l < lanes; ++l) {
+    s.v[static_cast<std::size_t>(vreg)][static_cast<std::size_t>(l)] =
+        (*buf)[static_cast<std::size_t>(e0 + l)];
+  }
+}
+
+void store_reg(State& s, InterpBuffers& bufs, int vreg, int base,
+               index_t imm, int lanes, int elem_bytes) {
+  auto* buf = s.buffer(bufs, base);
+  const index_t byte = s.xval(base) + imm;
+  const index_t e0 = byte / elem_bytes;
+  IATF_CHECK(e0 >= 0 &&
+                 e0 + lanes <= static_cast<index_t>(buf->size()),
+             "interpreter: store out of bounds");
+  for (int l = 0; l < lanes; ++l) {
+    (*buf)[static_cast<std::size_t>(e0 + l)] =
+        s.v[static_cast<std::size_t>(vreg)][static_cast<std::size_t>(l)];
+  }
+}
+
+} // namespace
+
+void interpret(const Program& prog, InterpBuffers& bufs) {
+  State s;
+  for (const Inst& inst : prog) {
+    const int lanes = 16 / inst.elem_bytes;
+    switch (inst.op) {
+    case Opcode::LDP:
+      load_reg(s, bufs, inst.defs[0], inst.uses[0], inst.imm, lanes,
+               inst.elem_bytes);
+      load_reg(s, bufs, inst.defs[1], inst.uses[0], inst.imm + 16, lanes,
+               inst.elem_bytes);
+      break;
+    case Opcode::LDR:
+      load_reg(s, bufs, inst.defs[0], inst.uses[0], inst.imm, lanes,
+               inst.elem_bytes);
+      break;
+    case Opcode::STP:
+      store_reg(s, bufs, inst.uses[0], inst.uses[2], inst.imm, lanes,
+                inst.elem_bytes);
+      store_reg(s, bufs, inst.uses[1], inst.uses[2], inst.imm + 16, lanes,
+                inst.elem_bytes);
+      break;
+    case Opcode::STR:
+      store_reg(s, bufs, inst.uses[0], inst.uses[1], inst.imm, lanes,
+                inst.elem_bytes);
+      break;
+    case Opcode::ADDI:
+      s.xval(inst.defs[0]) = s.xval(inst.uses[0]) + inst.imm;
+      break;
+    case Opcode::PRFM:
+      break;
+    case Opcode::FMUL:
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        s.v[static_cast<std::size_t>(inst.defs[0])][li] =
+            s.v[static_cast<std::size_t>(inst.uses[0])][li] *
+            s.v[static_cast<std::size_t>(inst.uses[1])][li];
+      }
+      break;
+    case Opcode::FMLA:
+    case Opcode::FMLS: {
+      const double sign = inst.op == Opcode::FMLA ? 1.0 : -1.0;
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        s.v[static_cast<std::size_t>(inst.defs[0])][li] =
+            s.v[static_cast<std::size_t>(inst.uses[0])][li] +
+            sign * s.v[static_cast<std::size_t>(inst.uses[1])][li] *
+                s.v[static_cast<std::size_t>(inst.uses[2])][li];
+      }
+      break;
+    }
+    case Opcode::FMUL_S:
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        s.v[static_cast<std::size_t>(inst.defs[0])][li] =
+            s.v[static_cast<std::size_t>(inst.uses[0])][li] *
+            s.v[static_cast<std::size_t>(inst.uses[1])][0];
+      }
+      break;
+    case Opcode::FMLA_S:
+      for (int l = 0; l < lanes; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        s.v[static_cast<std::size_t>(inst.defs[0])][li] =
+            s.v[static_cast<std::size_t>(inst.uses[0])][li] +
+            s.v[static_cast<std::size_t>(inst.uses[1])][li] *
+                s.v[static_cast<std::size_t>(inst.uses[2])][0];
+      }
+      break;
+    }
+  }
+}
+
+} // namespace iatf::codegen

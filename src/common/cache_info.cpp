@@ -1,0 +1,71 @@
+#include "iatf/common/cache_info.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace iatf {
+namespace {
+
+// Parse a sysfs cache size string such as "64K" or "1024K" or "1M".
+// Returns 0 when the file is missing or malformed.
+std::size_t read_cache_size(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return 0;
+  }
+  std::string text;
+  in >> text;
+  if (text.empty()) {
+    return 0;
+  }
+  std::size_t multiplier = 1;
+  char suffix = text.back();
+  if (suffix == 'K' || suffix == 'k') {
+    multiplier = 1024;
+    text.pop_back();
+  } else if (suffix == 'M' || suffix == 'm') {
+    multiplier = 1024 * 1024;
+    text.pop_back();
+  }
+  try {
+    return static_cast<std::size_t>(std::stoull(text)) * multiplier;
+  } catch (...) {
+    return 0;
+  }
+}
+
+std::string read_string(const std::string& path) {
+  std::ifstream in(path);
+  std::string text;
+  if (in) {
+    in >> text;
+  }
+  return text;
+}
+
+} // namespace
+
+CacheInfo CacheInfo::detect() {
+  CacheInfo info; // starts from Kunpeng 920 defaults
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    const std::string level = read_string(dir + "level");
+    if (level.empty()) {
+      break;
+    }
+    const std::string type = read_string(dir + "type");
+    const std::size_t size = read_cache_size(dir + "size");
+    if (size == 0) {
+      continue;
+    }
+    if (level == "1" && (type == "Data" || type == "Unified")) {
+      info.l1d = size;
+    } else if (level == "2" && (type == "Data" || type == "Unified")) {
+      info.l2 = size;
+    }
+  }
+  return info;
+}
+
+} // namespace iatf

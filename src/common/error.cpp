@@ -1,0 +1,13 @@
+#include "iatf/common/error.hpp"
+
+#include <sstream>
+
+namespace iatf::detail {
+
+void throw_error(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << "iatf: " << message << " (" << file << ":" << line << ")";
+  throw Error(os.str());
+}
+
+} // namespace iatf::detail

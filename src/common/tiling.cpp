@@ -1,0 +1,42 @@
+#include "iatf/common/tiling.hpp"
+
+#include "iatf/common/error.hpp"
+
+namespace iatf {
+
+std::vector<Tile> tile_dimension(index_t extent, index_t max_chunk) {
+  IATF_CHECK(extent >= 0, "tile_dimension: negative extent");
+  IATF_CHECK(max_chunk >= 1, "tile_dimension: max_chunk must be >= 1");
+
+  std::vector<Tile> tiles;
+  if (extent == 0) {
+    return tiles;
+  }
+
+  // Greedy max_chunk decomposition, then repair a trailing width-1 chunk by
+  // narrowing its predecessor: ...,c,1 -> ...,c-1,2. This reproduces the
+  // paper's 15 -> 4+4+4+3 split (remainder 3 untouched) and turns
+  // 13 -> 4+4+4+1 into 4+4+3+2, avoiding tiny edge kernels.
+  std::vector<index_t> sizes;
+  index_t remaining = extent;
+  while (remaining > 0) {
+    const index_t c = remaining < max_chunk ? remaining : max_chunk;
+    sizes.push_back(c);
+    remaining -= c;
+  }
+  if (sizes.size() >= 2 && sizes.back() == 1 && sizes[sizes.size() - 2] >= 3) {
+    sizes[sizes.size() - 2] -= 1;
+    sizes.back() = 2;
+  }
+
+  tiles.reserve(sizes.size());
+  index_t offset = 0;
+  for (index_t s : sizes) {
+    tiles.push_back(Tile{offset, s});
+    offset += s;
+  }
+  IATF_ASSERT(offset == extent);
+  return tiles;
+}
+
+} // namespace iatf

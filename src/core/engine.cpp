@@ -1,0 +1,166 @@
+#include "iatf/core/engine.hpp"
+
+#include <complex>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T> constexpr char dtype_tag() {
+  return blas_prefix_v<T>[0];
+}
+
+} // namespace
+
+std::size_t Engine::PlanKeyHash::operator()(const PlanKey& k) const noexcept {
+  // FNV-1a over the key's fields.
+  std::size_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(k.op) << 8 |
+      static_cast<std::uint64_t>(k.dtype));
+  mix(static_cast<std::uint64_t>(k.bytes));
+  mix(static_cast<std::uint64_t>(k.m));
+  mix(static_cast<std::uint64_t>(k.n));
+  mix(static_cast<std::uint64_t>(k.k));
+  mix(static_cast<std::uint64_t>(k.op_a) | static_cast<std::uint64_t>(k.op_b)
+                                               << 8 |
+      static_cast<std::uint64_t>(k.side) << 16 |
+      static_cast<std::uint64_t>(k.uplo) << 24 |
+      static_cast<std::uint64_t>(k.diag) << 32);
+  mix(static_cast<std::uint64_t>(k.batch));
+  return h;
+}
+
+template <class Plan, class Make>
+std::shared_ptr<const Plan> Engine::lookup(const PlanKey& key, Make&& make) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = plans_.find(key);
+  if (it != plans_.end()) {
+    ++hits_;
+    return std::static_pointer_cast<const Plan>(it->second);
+  }
+  ++misses_;
+  auto plan = std::shared_ptr<const Plan>(make());
+  plans_.emplace(key, plan);
+  return plan;
+}
+
+template <class T, int Bytes>
+std::shared_ptr<const plan::GemmPlan<T, Bytes>>
+Engine::plan_gemm(const GemmShape& shape) {
+  PlanKey key;
+  key.op = 'g';
+  key.dtype = dtype_tag<T>();
+  key.bytes = Bytes;
+  key.m = shape.m;
+  key.n = shape.n;
+  key.k = shape.k;
+  key.op_a = static_cast<std::uint8_t>(shape.op_a);
+  key.op_b = static_cast<std::uint8_t>(shape.op_b);
+  key.batch = shape.batch;
+  return lookup<plan::GemmPlan<T, Bytes>>(key, [&] {
+    return new plan::GemmPlan<T, Bytes>(shape, cache_);
+  });
+}
+
+template <class T, int Bytes>
+std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
+Engine::plan_trsm(const TrsmShape& shape) {
+  PlanKey key;
+  key.op = 't';
+  key.dtype = dtype_tag<T>();
+  key.bytes = Bytes;
+  key.m = shape.m;
+  key.n = shape.n;
+  key.op_a = static_cast<std::uint8_t>(shape.op_a);
+  key.side = static_cast<std::uint8_t>(shape.side);
+  key.uplo = static_cast<std::uint8_t>(shape.uplo);
+  key.diag = static_cast<std::uint8_t>(shape.diag);
+  key.batch = shape.batch;
+  return lookup<plan::TrsmPlan<T, Bytes>>(key, [&] {
+    return new plan::TrsmPlan<T, Bytes>(shape, cache_);
+  });
+}
+
+template <class T, int Bytes>
+void Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+                  const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c) {
+  GemmShape shape;
+  shape.m = c.rows();
+  shape.n = c.cols();
+  shape.k = op_a == Op::NoTrans ? a.cols() : a.rows();
+  shape.op_a = op_a;
+  shape.op_b = op_b;
+  shape.batch = c.batch();
+  plan_gemm<T, Bytes>(shape)->execute(a, b, c, alpha, beta);
+}
+
+template <class T, int Bytes>
+void Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+  TrsmShape shape;
+  shape.m = b.rows();
+  shape.n = b.cols();
+  shape.side = side;
+  shape.uplo = uplo;
+  shape.op_a = op_a;
+  shape.diag = diag;
+  shape.batch = b.batch();
+  plan_trsm<T, Bytes>(shape)->execute(a, b, alpha);
+}
+
+std::size_t Engine::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+std::size_t Engine::plan_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t Engine::plan_cache_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void Engine::clear_plan_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plans_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+Engine& Engine::default_engine() {
+  static Engine engine;
+  return engine;
+}
+
+#define IATF_INSTANTIATE_ENGINE(T, Bytes)                                    \
+  template std::shared_ptr<const plan::GemmPlan<T, Bytes>>                  \
+  Engine::plan_gemm<T, Bytes>(const GemmShape&);                            \
+  template std::shared_ptr<const plan::TrsmPlan<T, Bytes>>                  \
+  Engine::plan_trsm<T, Bytes>(const TrsmShape&);                            \
+  template void Engine::gemm<T, Bytes>(Op, Op, T, const CompactBuffer<T>&,  \
+                                       const CompactBuffer<T>&, T,          \
+                                       CompactBuffer<T>&);                  \
+  template void Engine::trsm<T, Bytes>(Side, Uplo, Op, Diag, T,             \
+                                       const CompactBuffer<T>&,             \
+                                       CompactBuffer<T>&);
+
+IATF_INSTANTIATE_ENGINE(float, 16)
+IATF_INSTANTIATE_ENGINE(double, 16)
+IATF_INSTANTIATE_ENGINE(std::complex<float>, 16)
+IATF_INSTANTIATE_ENGINE(std::complex<double>, 16)
+IATF_INSTANTIATE_ENGINE(float, 32)
+IATF_INSTANTIATE_ENGINE(double, 32)
+IATF_INSTANTIATE_ENGINE(std::complex<float>, 32)
+IATF_INSTANTIATE_ENGINE(std::complex<double>, 32)
+
+#undef IATF_INSTANTIATE_ENGINE
+
+} // namespace iatf

@@ -1,0 +1,132 @@
+// Compact TRMM: B = alpha * op(tri(A)) * B in place.
+//
+// Structure mirrors the TRSM plan: canonicalise every mode to
+// Left/Lower/NoTrans at pack time, tile the triangle into
+// register-resident diagonal blocks, and sweep column panels of B. The
+// multiply runs block rows *bottom-up* so each diagonal block's
+// triangular multiply and the rectangular contributions from lower block
+// indices all read pre-update values:
+//     B_i <- alpha * ( L_ii B_i + sum_{j<i} L_ij B_j )
+// The rectangular updates reuse the GEMM micro-kernels with beta = 1 --
+// unlike TRSM there is no multiply to save, so no dedicated kernel is
+// warranted (contrast paper equation 4).
+#include <complex>
+
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/common/error.hpp"
+#include "iatf/ext/compact_ext.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/pack/trsm_pack.hpp"
+
+namespace iatf::ext {
+
+template <class T>
+void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+  using R = real_t<T>;
+  using Limits = kernels::KernelLimits<T>;
+
+  const TrsmShape shape{b.rows(), b.cols(), side, uplo, op_a, diag,
+                        b.batch()};
+  IATF_CHECK(a.rows() == shape.a_dim() && a.cols() == shape.a_dim(),
+             "trmm: A must be a_dim x a_dim");
+  IATF_CHECK(a.batch() == b.batch(), "trmm: batch mismatch");
+  IATF_CHECK(a.pack_width() == simd::pack_width_v<T> &&
+                 b.pack_width() == simd::pack_width_v<T>,
+             "trmm: pack width mismatch");
+  if (shape.m == 0 || shape.n == 0 || shape.batch == 0) {
+    return;
+  }
+
+  const auto canon = pack::TrsmCanon::make(shape);
+  const index_t es = b.element_stride();
+
+  std::vector<Tile> blocks;
+  if (canon.m <= Limits::tri_max_m) {
+    blocks.push_back(Tile{0, canon.m});
+  } else {
+    blocks = tile_dimension(canon.m, Limits::trsm_block);
+  }
+  const auto panels = tile_dimension(canon.n, Limits::tri_max_nc);
+
+  const index_t pa_size = pack::packed_trsm_a_size(blocks, es);
+  const bool pack_b = canon.reverse || canon.b_transpose;
+  AlignedBuffer<R> wa(static_cast<std::size_t>(pa_size));
+  AlignedBuffer<R> wb(static_cast<std::size_t>(
+      pack_b ? canon.m * canon.n * es : 0));
+
+  const index_t jstride = canon.m * es;
+  for (index_t g = 0; g < b.groups(); ++g) {
+    pack::pack_trsm_a<T>(a.group_data(g), es, canon, diag, blocks,
+                         wa.data(), /*invert_diag=*/false);
+    R* bdata;
+    if (pack_b) {
+      bdata = wb.data();
+      pack::pack_trsm_b<T>(b.group_data(g), shape.m, canon, es, T(1),
+                           bdata);
+    } else {
+      bdata = b.group_data(g);
+    }
+
+    for (const Tile& panel : panels) {
+      for (std::size_t bi = blocks.size(); bi-- > 0;) {
+        const Tile& rowb = blocks[bi];
+        const index_t row_base = pack::packed_trsm_row_offset(
+            blocks, static_cast<index_t>(bi), es);
+        R* brow = bdata + (panel.offset * canon.m + rowb.offset) * es;
+
+        // Triangular part first (consumes the pre-update B_i).
+        kernels::TrmmTriArgs<T> targs;
+        targs.pa = wa.data() + row_base + rowb.offset * rowb.size * es;
+        targs.b = brow;
+        targs.b_jstride = jstride;
+        targs.alpha = alpha;
+        kernels::Registry<T>::trmm_tri(
+            static_cast<int>(rowb.size),
+            static_cast<int>(panel.size))(targs);
+
+        // Rectangular contributions from earlier block rows (still
+        // holding pre-update values because we sweep bottom-up).
+        for (std::size_t bj = 0; bj < bi; ++bj) {
+          const Tile& colb = blocks[bj];
+          kernels::GemmKernelArgs<T> gargs;
+          gargs.pa = wa.data() + row_base + colb.offset * rowb.size * es;
+          gargs.pb =
+              bdata + (panel.offset * canon.m + colb.offset) * es;
+          gargs.c = brow;
+          gargs.k = colb.size;
+          gargs.a_kstride = rowb.size * es;
+          gargs.b_kstride = es;
+          gargs.b_jstride = jstride;
+          gargs.c_jstride = jstride;
+          gargs.alpha = alpha;
+          gargs.beta = T(1);
+          kernels::Registry<T>::gemm(
+              static_cast<int>(rowb.size),
+              static_cast<int>(panel.size))(gargs);
+        }
+      }
+    }
+
+    if (pack_b) {
+      pack::unpack_trsm_b<T>(bdata, shape.m, canon, es, b.group_data(g));
+    }
+  }
+}
+
+template void compact_trmm<float>(Side, Uplo, Op, Diag, float,
+                                  const CompactBuffer<float>&,
+                                  CompactBuffer<float>&);
+template void compact_trmm<double>(Side, Uplo, Op, Diag, double,
+                                   const CompactBuffer<double>&,
+                                   CompactBuffer<double>&);
+template void compact_trmm<std::complex<float>>(
+    Side, Uplo, Op, Diag, std::complex<float>,
+    const CompactBuffer<std::complex<float>>&,
+    CompactBuffer<std::complex<float>>&);
+template void compact_trmm<std::complex<double>>(
+    Side, Uplo, Op, Diag, std::complex<double>,
+    const CompactBuffer<std::complex<double>>&,
+    CompactBuffer<std::complex<double>>&);
+
+} // namespace iatf::ext

@@ -1,0 +1,10 @@
+// Kernel table for std::complex<float>, 128-bit (paper configuration) and 256-bit
+// (MKL-compact simulation) register widths.
+#include <complex>
+
+#include "registry_impl.hpp"
+
+namespace iatf::kernels {
+IATF_DEFINE_REGISTRY(std::complex<float>, 16)
+IATF_DEFINE_REGISTRY(std::complex<float>, 32)
+} // namespace iatf::kernels

@@ -1,0 +1,107 @@
+// Shared template machinery that builds the function-pointer tables for
+// one scalar type / register width. Included by the per-dtype translation
+// units (registry_s.cpp, registry_d.cpp, ...) to keep single-TU compile
+// times bounded.
+#pragma once
+
+#include <array>
+#include <utility>
+
+#include "iatf/common/error.hpp"
+#include "iatf/kernels/registry.hpp"
+
+namespace iatf::kernels::detail {
+
+template <class T, int Bytes, int MC, int... NC>
+constexpr auto gemm_row(std::integer_sequence<int, NC...>) {
+  return std::array<GemmKernelFn<T>, sizeof...(NC)>{
+      &gemm_kernel<T, MC, NC + 1, Bytes>...};
+}
+
+template <class T, int Bytes, int MaxNC, int... MC>
+constexpr auto gemm_table(std::integer_sequence<int, MC...>) {
+  return std::array{
+      gemm_row<T, Bytes, MC + 1>(std::make_integer_sequence<int, MaxNC>{})...};
+}
+
+template <class T, int Bytes, int M, int... NC>
+constexpr auto tri_row(std::integer_sequence<int, NC...>) {
+  return std::array<TrsmTriKernelFn<T>, sizeof...(NC)>{
+      &trsm_tri_kernel<T, M, NC + 1, Bytes>...};
+}
+
+template <class T, int Bytes, int MaxNC, int... M>
+constexpr auto tri_table(std::integer_sequence<int, M...>) {
+  return std::array{
+      tri_row<T, Bytes, M + 1>(std::make_integer_sequence<int, MaxNC>{})...};
+}
+
+template <class T, int Bytes, int M, int... NC>
+constexpr auto trmm_row(std::integer_sequence<int, NC...>) {
+  return std::array<TrmmTriKernelFn<T>, sizeof...(NC)>{
+      &trmm_tri_kernel<T, M, NC + 1, Bytes>...};
+}
+
+template <class T, int Bytes, int MaxNC, int... M>
+constexpr auto trmm_table(std::integer_sequence<int, M...>) {
+  return std::array{
+      trmm_row<T, Bytes, M + 1>(std::make_integer_sequence<int, MaxNC>{})...};
+}
+
+template <class T, int Bytes, int MC, int... NC>
+constexpr auto rect_row(std::integer_sequence<int, NC...>) {
+  return std::array<TrsmRectKernelFn<T>, sizeof...(NC)>{
+      &trsm_rect_kernel<T, MC, NC + 1, Bytes>...};
+}
+
+template <class T, int Bytes, int MaxNC, int... MC>
+constexpr auto rect_table(std::integer_sequence<int, MC...>) {
+  return std::array{
+      rect_row<T, Bytes, MC + 1>(std::make_integer_sequence<int, MaxNC>{})...};
+}
+
+} // namespace iatf::kernels::detail
+
+namespace iatf::kernels {
+
+// Expanded per-dtype by IATF_DEFINE_REGISTRY below.
+#define IATF_DEFINE_REGISTRY(T, Bytes)                                       \
+  template <> GemmKernelFn<T> Registry<T, Bytes>::gemm(int mc, int nc) {     \
+    static constexpr auto table =                                            \
+        detail::gemm_table<T, Bytes, Limits::gemm_max_nc>(                   \
+            std::make_integer_sequence<int, Limits::gemm_max_mc>{});         \
+    IATF_CHECK(mc >= 1 && mc <= Limits::gemm_max_mc && nc >= 1 &&            \
+                   nc <= Limits::gemm_max_nc,                                \
+               "gemm kernel size out of range");                             \
+    return table[mc - 1][nc - 1];                                            \
+  }                                                                          \
+  template <> TrsmTriKernelFn<T> Registry<T, Bytes>::tri(int m, int nc) {    \
+    static constexpr auto table =                                            \
+        detail::tri_table<T, Bytes, Limits::tri_max_nc>(                     \
+            std::make_integer_sequence<int, Limits::tri_max_m>{});           \
+    IATF_CHECK(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&                \
+                   nc <= Limits::tri_max_nc,                                 \
+               "tri kernel size out of range");                              \
+    return table[m - 1][nc - 1];                                             \
+  }                                                                          \
+  template <> TrsmRectKernelFn<T> Registry<T, Bytes>::rect(int mc, int nc) { \
+    static constexpr auto table =                                            \
+        detail::rect_table<T, Bytes, Limits::rect_max_nc>(                   \
+            std::make_integer_sequence<int, Limits::rect_max_mc>{});         \
+    IATF_CHECK(mc >= 1 && mc <= Limits::rect_max_mc && nc >= 1 &&            \
+                   nc <= Limits::rect_max_nc,                                \
+               "rect kernel size out of range");                             \
+    return table[mc - 1][nc - 1];                                            \
+  }                                                                          \
+  template <>                                                                \
+  TrmmTriKernelFn<T> Registry<T, Bytes>::trmm_tri(int m, int nc) {           \
+    static constexpr auto table =                                            \
+        detail::trmm_table<T, Bytes, Limits::tri_max_nc>(                    \
+            std::make_integer_sequence<int, Limits::tri_max_m>{});           \
+    IATF_CHECK(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&                \
+                   nc <= Limits::tri_max_nc,                                 \
+               "trmm kernel size out of range");                             \
+    return table[m - 1][nc - 1];                                             \
+  }
+
+} // namespace iatf::kernels

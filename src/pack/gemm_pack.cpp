@@ -1,0 +1,110 @@
+#include "iatf/pack/gemm_pack.hpp"
+
+#include <complex>
+#include <cstring>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::pack {
+namespace {
+
+// Copy `bytes` (an element block or plane). Element blocks are one or two
+// SIMD registers wide, so dispatching to fixed-size memcpys lets the
+// compiler inline them as vector moves -- this is the paper's observation
+// that "the data copied each time is at least the number of data that
+// fills the length of the SIMD vector", turned into code: a variable-size
+// memcpy here would be an out-of-line call per element.
+inline void copy_fixed(const void* src, void* dst, index_t bytes) {
+  switch (bytes) {
+  case 16:
+    std::memcpy(dst, src, 16);
+    break;
+  case 32:
+    std::memcpy(dst, src, 32);
+    break;
+  case 64:
+    std::memcpy(dst, src, 64);
+    break;
+  default:
+    std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+  }
+}
+
+// Copy one element block (es reals); `conj` negates the imaginary plane
+// (the second half of the block for complex layouts).
+template <class T>
+inline void copy_block(const real_t<T>* src, real_t<T>* dst, index_t es,
+                       bool conj) {
+  using R = real_t<T>;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    copy_fixed(src, dst, half * static_cast<index_t>(sizeof(R)));
+    if (conj) {
+      for (index_t l = 0; l < half; ++l) {
+        dst[half + l] = -src[half + l];
+      }
+    } else {
+      copy_fixed(src + half, dst + half,
+                 half * static_cast<index_t>(sizeof(R)));
+    }
+  } else {
+    (void)conj;
+    copy_fixed(src, dst, es * static_cast<index_t>(sizeof(R)));
+  }
+}
+
+} // namespace
+
+template <class T>
+void pack_gemm_a(const real_t<T>* src, index_t rows, index_t es, Op op,
+                 std::span<const Tile> m_tiles, index_t k,
+                 real_t<T>* out) {
+  const bool trans = op != Op::NoTrans;
+  const bool conj = op == Op::ConjTrans;
+  real_t<T>* dst = out;
+  for (const Tile& t : m_tiles) {
+    for (index_t l = 0; l < k; ++l) {
+      for (index_t i = 0; i < t.size; ++i) {
+        const index_t row = trans ? l : t.offset + i;
+        const index_t col = trans ? t.offset + i : l;
+        copy_block<T>(src + (col * rows + row) * es, dst, es, conj);
+        dst += es;
+      }
+    }
+  }
+}
+
+template <class T>
+void pack_gemm_b(const real_t<T>* src, index_t rows, index_t es, Op op,
+                 std::span<const Tile> n_tiles, index_t k,
+                 real_t<T>* out) {
+  const bool trans = op != Op::NoTrans;
+  const bool conj = op == Op::ConjTrans;
+  real_t<T>* dst = out;
+  for (const Tile& t : n_tiles) {
+    for (index_t l = 0; l < k; ++l) {
+      for (index_t j = 0; j < t.size; ++j) {
+        const index_t row = trans ? t.offset + j : l;
+        const index_t col = trans ? l : t.offset + j;
+        copy_block<T>(src + (col * rows + row) * es, dst, es, conj);
+        dst += es;
+      }
+    }
+  }
+}
+
+#define IATF_INSTANTIATE_GEMM_PACK(T)                                        \
+  template void pack_gemm_a<T>(const real_t<T>*, index_t, index_t, Op,      \
+                               std::span<const Tile>, index_t,              \
+                               real_t<T>*);                                 \
+  template void pack_gemm_b<T>(const real_t<T>*, index_t, index_t, Op,      \
+                               std::span<const Tile>, index_t, real_t<T>*);
+
+IATF_INSTANTIATE_GEMM_PACK(float)
+IATF_INSTANTIATE_GEMM_PACK(double)
+IATF_INSTANTIATE_GEMM_PACK(std::complex<float>)
+IATF_INSTANTIATE_GEMM_PACK(std::complex<double>)
+
+#undef IATF_INSTANTIATE_GEMM_PACK
+
+} // namespace iatf::pack

@@ -1,0 +1,261 @@
+#include "iatf/pack/trsm_pack.hpp"
+
+#include <complex>
+#include <cstring>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::pack {
+
+TrsmCanon TrsmCanon::make(const TrsmShape& shape) {
+  TrsmCanon c;
+  c.m = shape.a_dim();
+  c.n = shape.side == Side::Left ? shape.n : shape.m;
+  c.b_transpose = shape.side == Side::Right;
+  c.conj = shape.op_a == Op::ConjTrans;
+
+  // Left: the matrix of the left problem is op(A) itself.
+  // Right: X op(A) = aB  <=>  op(A)^T X^T = aB^T, so the left matrix is
+  // op(A)^T -- NoTrans becomes a transposed read, Trans becomes direct,
+  // ConjTrans becomes a conjugated direct read.
+  if (shape.side == Side::Left) {
+    c.transpose = shape.op_a != Op::NoTrans;
+  } else {
+    c.transpose = shape.op_a == Op::NoTrans;
+  }
+
+  // The left matrix is effectively lower iff the stored triangle and the
+  // transposition agree; otherwise reverse indices to make it lower.
+  const bool effective_lower = (shape.uplo == Uplo::Lower) != c.transpose;
+  c.reverse = !effective_lower;
+  return c;
+}
+
+namespace {
+
+// Fixed-size copy dispatch: element blocks/planes are one or two SIMD
+// registers, so constant-size memcpys inline as vector moves.
+inline void copy_fixed(const void* src, void* dst, index_t bytes) {
+  switch (bytes) {
+  case 16:
+    std::memcpy(dst, src, 16);
+    break;
+  case 32:
+    std::memcpy(dst, src, 32);
+    break;
+  case 64:
+    std::memcpy(dst, src, 64);
+    break;
+  default:
+    std::memcpy(dst, src, static_cast<std::size_t>(bytes));
+  }
+}
+
+// Read canonical-lower element L(i,j) of A (i >= j) into dst,
+// applying reversal / transposition / conjugation.
+template <class T>
+inline void gather_a(const real_t<T>* src, index_t m, index_t es,
+                     const TrsmCanon& canon, index_t i, index_t j,
+                     real_t<T>* dst) {
+  using R = real_t<T>;
+  const index_t ii = canon.reverse ? m - 1 - i : i;
+  const index_t jj = canon.reverse ? m - 1 - j : j;
+  const index_t row = canon.transpose ? jj : ii;
+  const index_t col = canon.transpose ? ii : jj;
+  const real_t<T>* p = src + (col * m + row) * es;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    copy_fixed(p, dst, half * static_cast<index_t>(sizeof(R)));
+    if (canon.conj) {
+      for (index_t l = 0; l < half; ++l) {
+        dst[half + l] = -p[half + l];
+      }
+    } else {
+      copy_fixed(p + half, dst + half,
+                 half * static_cast<index_t>(sizeof(R)));
+    }
+  } else {
+    copy_fixed(p, dst, es * static_cast<index_t>(sizeof(R)));
+  }
+}
+
+// Replace an element block with its per-lane reciprocal. Exact zeros map
+// to zero (padded lanes; a genuinely singular input is BLAS-undefined
+// behaviour and yields zeros in that lane only).
+template <class T>
+inline void invert_block(real_t<T>* blk, index_t es) {
+  using R = real_t<T>;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    for (index_t l = 0; l < half; ++l) {
+      const R re = blk[l];
+      const R im = blk[half + l];
+      const R mag2 = re * re + im * im;
+      if (mag2 == R(0)) {
+        blk[l] = R(0);
+        blk[half + l] = R(0);
+      } else {
+        blk[l] = re / mag2;
+        blk[half + l] = -im / mag2;
+      }
+    }
+  } else {
+    for (index_t l = 0; l < es; ++l) {
+      blk[l] = blk[l] == R(0) ? R(0) : R(1) / blk[l];
+    }
+  }
+}
+
+template <class T> inline void unit_block(real_t<T>* blk, index_t es) {
+  using R = real_t<T>;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    for (index_t l = 0; l < half; ++l) {
+      blk[l] = R(1);
+      blk[half + l] = R(0);
+    }
+  } else {
+    for (index_t l = 0; l < es; ++l) {
+      blk[l] = R(1);
+    }
+  }
+}
+
+// Map canonical B'(i, c) to the user-layout (row, col) pair.
+inline std::pair<index_t, index_t>
+map_b_index(const TrsmCanon& canon, index_t i, index_t c) {
+  const index_t ii = canon.reverse ? canon.m - 1 - i : i;
+  return canon.b_transpose ? std::pair{c, ii} : std::pair{ii, c};
+}
+
+template <class T>
+inline void scale_block(real_t<T>* blk, index_t es, T alpha) {
+  using R = real_t<T>;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    const R ar = alpha.real();
+    const R ai = alpha.imag();
+    for (index_t l = 0; l < half; ++l) {
+      const R re = blk[l];
+      const R im = blk[half + l];
+      blk[l] = ar * re - ai * im;
+      blk[half + l] = ar * im + ai * re;
+    }
+  } else {
+    for (index_t l = 0; l < es; ++l) {
+      blk[l] *= alpha;
+    }
+  }
+}
+
+} // namespace
+
+index_t packed_trsm_a_size(std::span<const Tile> blocks, index_t es) {
+  index_t total = 0;
+  index_t covered = 0;
+  for (const Tile& b : blocks) {
+    total += covered * b.size;                // rect blocks to the left
+    total += b.size * (b.size + 1) / 2;       // the triangular block
+    covered += b.size;
+  }
+  return total * es;
+}
+
+index_t packed_trsm_row_offset(std::span<const Tile> blocks, index_t bi,
+                               index_t es) {
+  index_t total = 0;
+  index_t covered = 0;
+  for (index_t idx = 0; idx < bi; ++idx) {
+    const Tile& b = blocks[idx];
+    total += covered * b.size + b.size * (b.size + 1) / 2;
+    covered += b.size;
+  }
+  return total * es;
+}
+
+template <class T>
+void pack_trsm_a(const real_t<T>* src, index_t es, const TrsmCanon& canon,
+                 Diag diag, std::span<const Tile> blocks, real_t<T>* out,
+                 bool invert_diag) {
+  real_t<T>* dst = out;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Tile& rowb = blocks[bi];
+    // Rectangular sub-blocks, k-major within each bj block (the order the
+    // rect kernel streams them).
+    for (std::size_t bj = 0; bj < bi; ++bj) {
+      const Tile& colb = blocks[bj];
+      for (index_t k = 0; k < colb.size; ++k) {
+        for (index_t i = 0; i < rowb.size; ++i) {
+          gather_a<T>(src, canon.m, es, canon, rowb.offset + i,
+                      colb.offset + k, dst);
+          dst += es;
+        }
+      }
+    }
+    // Triangular block, row-major, reciprocal diagonal.
+    for (index_t i = 0; i < rowb.size; ++i) {
+      for (index_t j = 0; j <= i; ++j) {
+        gather_a<T>(src, canon.m, es, canon, rowb.offset + i,
+                    rowb.offset + j, dst);
+        if (i == j) {
+          if (diag == Diag::Unit) {
+            unit_block<T>(dst, es);
+          } else if (invert_diag) {
+            invert_block<T>(dst, es);
+          }
+        }
+        dst += es;
+      }
+    }
+  }
+}
+
+template <class T>
+void pack_trsm_b(const real_t<T>* src, index_t src_rows,
+                 const TrsmCanon& canon, index_t es, T alpha,
+                 real_t<T>* out) {
+  const bool unit_alpha = alpha == T(1);
+  for (index_t c = 0; c < canon.n; ++c) {
+    for (index_t i = 0; i < canon.m; ++i) {
+      const auto [row, col] = map_b_index(canon, i, c);
+      real_t<T>* dst = out + (c * canon.m + i) * es;
+      copy_fixed(src + (col * src_rows + row) * es, dst,
+                 es * static_cast<index_t>(sizeof(real_t<T>)));
+      if (!unit_alpha) {
+        scale_block<T>(dst, es, alpha);
+      }
+    }
+  }
+}
+
+template <class T>
+void unpack_trsm_b(const real_t<T>* canonical, index_t src_rows,
+                   const TrsmCanon& canon, index_t es, real_t<T>* dst) {
+  for (index_t c = 0; c < canon.n; ++c) {
+    for (index_t i = 0; i < canon.m; ++i) {
+      const auto [row, col] = map_b_index(canon, i, c);
+      copy_fixed(canonical + (c * canon.m + i) * es,
+                 dst + (col * src_rows + row) * es,
+                 es * static_cast<index_t>(sizeof(real_t<T>)));
+    }
+  }
+}
+
+#define IATF_INSTANTIATE_TRSM_PACK(T)                                        \
+  template void pack_trsm_a<T>(const real_t<T>*, index_t,                   \
+                               const TrsmCanon&, Diag,                      \
+                               std::span<const Tile>, real_t<T>*, bool);    \
+  template void pack_trsm_b<T>(const real_t<T>*, index_t,                   \
+                               const TrsmCanon&, index_t, T,                \
+                               real_t<T>*);                                 \
+  template void unpack_trsm_b<T>(const real_t<T>*, index_t,                 \
+                                 const TrsmCanon&, index_t, real_t<T>*);
+
+IATF_INSTANTIATE_TRSM_PACK(float)
+IATF_INSTANTIATE_TRSM_PACK(double)
+IATF_INSTANTIATE_TRSM_PACK(std::complex<float>)
+IATF_INSTANTIATE_TRSM_PACK(std::complex<double>)
+
+#undef IATF_INSTANTIATE_TRSM_PACK
+
+} // namespace iatf::pack

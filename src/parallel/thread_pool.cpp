@@ -1,0 +1,119 @@
+#include "iatf/parallel/thread_pool.hpp"
+
+#include "iatf/common/error.hpp"
+
+namespace iatf {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) {
+      threads = 1;
+    }
+  }
+  workers_ = threads;
+  // The calling thread executes one chunk itself, so spawn workers - 1.
+  for (unsigned i = 1; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) {
+        return;
+      }
+      task = queue_.back();
+      queue_.pop_back();
+    }
+    try {
+      (*task.fn)(task.begin, task.end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+      if (pending_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    index_t begin, index_t end,
+    const std::function<void(index_t, index_t)>& fn) {
+  IATF_CHECK(begin <= end, "parallel_for: inverted range");
+  const index_t total = end - begin;
+  if (total == 0) {
+    return;
+  }
+  const index_t chunks =
+      std::min<index_t>(static_cast<index_t>(workers_), total);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  // Enqueue chunks 1..n-1 for the workers, run chunk 0 inline.
+  const index_t per = (total + chunks - 1) / chunks;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    first_error_ = nullptr;
+    for (index_t c = 1; c < chunks; ++c) {
+      const index_t b = begin + c * per;
+      const index_t e = std::min(end, b + per);
+      if (b >= e) {
+        continue;
+      }
+      queue_.push_back(Task{&fn, b, e});
+      ++pending_;
+    }
+  }
+  cv_work_.notify_all();
+
+  try {
+    fn(begin, std::min(end, begin + per));
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+} // namespace iatf

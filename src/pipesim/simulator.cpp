@@ -1,0 +1,143 @@
+#include "iatf/pipesim/simulator.hpp"
+
+#include <algorithm>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::pipesim {
+
+int MachineModel::latency(codegen::Opcode op) const {
+  using codegen::Opcode;
+  switch (op) {
+  case Opcode::LDP:
+  case Opcode::LDR:
+    return load_latency;
+  case Opcode::STP:
+  case Opcode::STR:
+    return store_latency;
+  case Opcode::PRFM:
+    return prefetch_latency;
+  case Opcode::ADDI:
+    return alu_latency;
+  case Opcode::FMUL:
+  case Opcode::FMLA:
+  case Opcode::FMLS:
+  case Opcode::FMUL_S:
+  case Opcode::FMLA_S:
+    return fp_latency;
+  }
+  return 1;
+}
+
+SimResult simulate(const codegen::Program& prog, const MachineModel& model) {
+  using codegen::is_fp;
+  using codegen::is_memory;
+
+  SimResult result;
+  result.issue_cycle.resize(prog.size(), 0);
+
+  // Scoreboard: cycle at which each register's value becomes available.
+  std::vector<index_t> ready(codegen::kNumRegs, 0);
+
+  index_t cycle = 0;
+  int slots_used = 0;
+  int mem_used = 0;
+  int fp_used = 0;
+  int alu_used = 0;
+  index_t issued_any_at = -1;
+  index_t fp_total = 0;
+  index_t last_retire = 0;
+
+  const auto advance_cycle = [&](index_t to) {
+    IATF_ASSERT(to > cycle);
+    // Count fully idle issue cycles between the last issue and `to`.
+    cycle = to;
+    slots_used = 0;
+    mem_used = 0;
+    fp_used = 0;
+    alu_used = 0;
+  };
+
+  for (std::size_t idx = 0; idx < prog.size(); ++idx) {
+    const codegen::Inst& inst = prog[idx];
+    const bool mem = is_memory(inst.op);
+    const bool fp = is_fp(inst.op);
+    const int fp_cap = model.fp_per_cycle(inst.elem_bytes);
+
+    // Earliest cycle all source operands are ready.
+    index_t earliest = cycle;
+    for (int r : inst.uses) {
+      earliest = std::max(earliest, ready[static_cast<std::size_t>(r)]);
+    }
+
+    // Find the first cycle >= earliest with a free slot of the right kind
+    // (in-order: we never look behind the current issue cycle).
+    for (;;) {
+      if (cycle < earliest) {
+        advance_cycle(earliest);
+      }
+      const bool slot_ok = slots_used < model.issue_width;
+      const bool port_ok = (!mem || mem_used < model.mem_per_cycle) &&
+                           (!fp || fp_used < fp_cap) &&
+                           (mem || fp || alu_used < model.alu_per_cycle);
+      if (slot_ok && port_ok) {
+        break;
+      }
+      advance_cycle(cycle + 1);
+    }
+
+    // Issue.
+    result.issue_cycle[idx] = cycle;
+    ++slots_used;
+    if (mem) {
+      ++mem_used;
+    } else if (fp) {
+      ++fp_used;
+      ++fp_total;
+    } else {
+      ++alu_used;
+    }
+    (void)issued_any_at;
+
+    const index_t done = cycle + model.latency(inst.op);
+    for (int r : inst.defs) {
+      ready[static_cast<std::size_t>(r)] = done;
+    }
+    last_retire = std::max(last_retire, done);
+  }
+
+  result.issue_cycles = prog.empty() ? 0 : cycle + 1;
+  result.cycles = std::max(result.issue_cycles, last_retire);
+
+  // Stall cycles: issue interval minus the minimum cycles the issued
+  // instructions would need at full width.
+  index_t busy = 0;
+  if (!prog.empty()) {
+    // Count distinct issue cycles actually used.
+    index_t used = 1;
+    for (std::size_t i = 1; i < prog.size(); ++i) {
+      if (result.issue_cycle[i] != result.issue_cycle[i - 1]) {
+        ++used;
+      }
+    }
+    busy = used;
+  }
+  result.stall_cycles = result.issue_cycles - busy;
+
+  if (result.cycles > 0 && fp_total > 0) {
+    // Capacity uses the stream's dominant element width.
+    int eb = 8;
+    for (const auto& inst : prog) {
+      if (is_fp(inst.op)) {
+        eb = inst.elem_bytes;
+        break;
+      }
+    }
+    const double capacity = static_cast<double>(result.cycles) *
+                            model.fp_per_cycle(eb);
+    result.fp_utilisation = static_cast<double>(fp_total) / capacity;
+  }
+  return result;
+}
+
+} // namespace iatf::pipesim

@@ -1,0 +1,221 @@
+#include "iatf/plan/gemm_plan.hpp"
+
+#include <complex>
+
+#include "iatf/common/error.hpp"
+#include "iatf/pack/gemm_pack.hpp"
+
+namespace iatf::plan {
+
+template <class T, int Bytes>
+GemmPlan<T, Bytes>::GemmPlan(const GemmShape& shape, const CacheInfo& cache,
+                             const PlanTuning& tuning)
+    : shape_(shape) {
+  IATF_CHECK(shape.m >= 0 && shape.n >= 0 && shape.k >= 0 &&
+                 shape.batch >= 0,
+             "gemm: negative dimension");
+
+  using Limits = kernels::KernelLimits<T>;
+  const index_t es = element_stride();
+
+  m_tiles_ = tile_dimension(shape.m, Limits::gemm_max_mc);
+  n_tiles_ = tile_dimension(shape.n, Limits::gemm_max_nc);
+
+  // Pack Selecter (section 4.4): "it only chooses data packing when the
+  // data cannot be continuously accessed in the computing core". The
+  // paper's assembly kernels demand fully contiguous panels, so on the
+  // original platform only single-tile NoTrans operands skip the pack;
+  // our portable kernels take per-operand strides, which makes every
+  // NoTrans operand directly consumable -- the matrices are L1-resident,
+  // so the strided walk costs nothing while packing costs a full copy.
+  // Only gathered (transposed / conjugated) operands pack. The
+  // bench_ablation_nopack harness quantifies this policy.
+  pack_a_ = shape.op_a != Op::NoTrans;
+  pack_b_ = shape.op_b != Op::NoTrans;
+  // Ablation overrides; forcing *no-pack* is only legal for NoTrans
+  // operands (a transposed gather cannot be skipped).
+  if (tuning.force_pack_a == 1) {
+    pack_a_ = true;
+  } else if (tuning.force_pack_a == 0) {
+    IATF_CHECK(shape.op_a == Op::NoTrans,
+               "gemm: cannot force no-pack for a transposed A");
+    pack_a_ = false;
+  }
+  if (tuning.force_pack_b == 1) {
+    pack_b_ = true;
+  } else if (tuning.force_pack_b == 0) {
+    IATF_CHECK(shape.op_b == Op::NoTrans,
+               "gemm: cannot force no-pack for a transposed B");
+    pack_b_ = false;
+  }
+
+  pa_group_size_ =
+      pack_a_ ? pack::packed_gemm_a_size(shape.m, shape.k, es) : 0;
+  pb_group_size_ =
+      pack_b_ ? pack::packed_gemm_b_size(shape.k, shape.n, es) : 0;
+
+  // Build the command queue: one kernel call per (m-tile, n-tile), with
+  // source offsets resolved against either the packed panel layout or the
+  // user's compact layout.
+  calls_.reserve(m_tiles_.size() * n_tiles_.size());
+  index_t a_rows_done = 0;
+  for (const Tile& mt : m_tiles_) {
+    index_t b_cols_done = 0;
+    for (const Tile& nt : n_tiles_) {
+      Call call;
+      call.fn = kernels::Registry<T, Bytes>::gemm(
+          static_cast<int>(mt.size), static_cast<int>(nt.size));
+      call.k = shape.k;
+      call.mc = mt.size;
+      call.nc = nt.size;
+      if (pack_a_) {
+        call.a_off = a_rows_done * shape.k * es;
+        call.a_kstride = mt.size * es;
+      } else {
+        call.a_off = mt.offset * es;
+        call.a_kstride = shape.m * es;
+      }
+      if (pack_b_) {
+        call.b_off = b_cols_done * shape.k * es;
+        call.b_kstride = nt.size * es;
+        call.b_jstride = es;
+      } else {
+        call.b_off = nt.offset * shape.k * es;
+        call.b_kstride = es;
+        call.b_jstride = shape.k * es;
+      }
+      call.c_off = (nt.offset * shape.m + mt.offset) * es;
+      calls_.push_back(call);
+      b_cols_done += nt.size;
+    }
+    a_rows_done += mt.size;
+  }
+
+  // Batch Counter: slice so packed A + packed B + the C block stay in L1.
+  const index_t group_scalars = shape.m * shape.k + shape.k * shape.n +
+                                shape.m * shape.n;
+  const index_t group_bytes =
+      group_scalars * es * static_cast<index_t>(sizeof(R));
+  slice_groups_ = tuning.slice_override > 0
+                      ? tuning.slice_override
+                      : BatchCounter(cache).groups_per_slice(group_bytes);
+}
+
+template <class T, int Bytes>
+void GemmPlan<T, Bytes>::validate_buffers(const CompactBuffer<T>& a,
+                                          const CompactBuffer<T>& b,
+                                          const CompactBuffer<T>& c) const {
+  const auto expect = [](const CompactBuffer<T>& buf, index_t rows,
+                         index_t cols, const char* name) {
+    IATF_CHECK(buf.rows() == rows && buf.cols() == cols,
+               std::string("gemm: operand ") + name +
+                   " has mismatched dimensions");
+  };
+  const bool ta = shape_.op_a != Op::NoTrans;
+  const bool tb = shape_.op_b != Op::NoTrans;
+  expect(a, ta ? shape_.k : shape_.m, ta ? shape_.m : shape_.k, "A");
+  expect(b, tb ? shape_.n : shape_.k, tb ? shape_.k : shape_.n, "B");
+  expect(c, shape_.m, shape_.n, "C");
+  IATF_CHECK(a.batch() == shape_.batch && b.batch() == shape_.batch &&
+                 c.batch() == shape_.batch,
+             "gemm: operand batch sizes do not match the plan");
+  IATF_CHECK(a.pack_width() == pack_width() &&
+                 b.pack_width() == pack_width() &&
+                 c.pack_width() == pack_width(),
+             "gemm: operand pack width does not match the plan");
+}
+
+template <class T, int Bytes>
+void GemmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
+                                 const CompactBuffer<T>& b,
+                                 CompactBuffer<T>& c, T alpha,
+                                 T beta) const {
+  validate_buffers(a, b, c);
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
+    return;
+  }
+  run_groups(a, b, c, alpha, beta, 0, c.groups());
+}
+
+template <class T, int Bytes>
+void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
+                                          const CompactBuffer<T>& b,
+                                          CompactBuffer<T>& c, T alpha,
+                                          T beta,
+                                          ThreadPool& pool) const {
+  validate_buffers(a, b, c);
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
+    return;
+  }
+  pool.parallel_for(0, c.groups(),
+                    [&](index_t g_begin, index_t g_end) {
+                      run_groups(a, b, c, alpha, beta, g_begin, g_end);
+                    });
+}
+
+template <class T, int Bytes>
+void GemmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
+                                    const CompactBuffer<T>& b,
+                                    CompactBuffer<T>& c, T alpha, T beta,
+                                    index_t g_begin,
+                                    index_t g_end) const {
+  const index_t es = element_stride();
+
+  AlignedBuffer<R> wa(static_cast<std::size_t>(
+      pack_a_ ? slice_groups_ * pa_group_size_ : 0));
+  AlignedBuffer<R> wb(static_cast<std::size_t>(
+      pack_b_ ? slice_groups_ * pb_group_size_ : 0));
+
+  for (index_t g0 = g_begin; g0 < g_end; g0 += slice_groups_) {
+    const index_t g1 =
+        g0 + slice_groups_ < g_end ? g0 + slice_groups_ : g_end;
+
+    if (pack_a_) {
+      for (index_t g = g0; g < g1; ++g) {
+        pack::pack_gemm_a<T>(a.group_data(g), a.rows(), es, shape_.op_a,
+                             m_tiles_, shape_.k,
+                             wa.data() + (g - g0) * pa_group_size_);
+      }
+    }
+    if (pack_b_) {
+      for (index_t g = g0; g < g1; ++g) {
+        pack::pack_gemm_b<T>(b.group_data(g), b.rows(), es, shape_.op_b,
+                             n_tiles_, shape_.k,
+                             wb.data() + (g - g0) * pb_group_size_);
+      }
+    }
+
+    for (index_t g = g0; g < g1; ++g) {
+      const R* ga =
+          pack_a_ ? wa.data() + (g - g0) * pa_group_size_ : a.group_data(g);
+      const R* gb =
+          pack_b_ ? wb.data() + (g - g0) * pb_group_size_ : b.group_data(g);
+      R* gc = c.group_data(g);
+      for (const Call& call : calls_) {
+        kernels::GemmKernelArgs<T> args;
+        args.pa = ga + call.a_off;
+        args.pb = gb + call.b_off;
+        args.c = gc + call.c_off;
+        args.k = call.k;
+        args.a_kstride = call.a_kstride;
+        args.b_kstride = call.b_kstride;
+        args.b_jstride = call.b_jstride;
+        args.c_jstride = shape_.m * es;
+        args.alpha = alpha;
+        args.beta = beta;
+        call.fn(args);
+      }
+    }
+  }
+}
+
+template class GemmPlan<float, 16>;
+template class GemmPlan<double, 16>;
+template class GemmPlan<std::complex<float>, 16>;
+template class GemmPlan<std::complex<double>, 16>;
+template class GemmPlan<float, 32>;
+template class GemmPlan<double, 32>;
+template class GemmPlan<std::complex<float>, 32>;
+template class GemmPlan<std::complex<double>, 32>;
+
+} // namespace iatf::plan

@@ -1,0 +1,220 @@
+#include "iatf/plan/trsm_plan.hpp"
+
+#include <complex>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::plan {
+namespace {
+
+// In-place alpha scale of `elems` element blocks of compact data (used by
+// the no-pack path, where B is solved directly in the user's buffer).
+template <class T>
+void scale_compact(real_t<T>* data, index_t elems, index_t es, T alpha) {
+  using R = real_t<T>;
+  if constexpr (is_complex_v<T>) {
+    const index_t half = es / 2;
+    const R ar = alpha.real();
+    const R ai = alpha.imag();
+    for (index_t e = 0; e < elems; ++e) {
+      R* blk = data + e * es;
+      for (index_t l = 0; l < half; ++l) {
+        const R re = blk[l];
+        const R im = blk[half + l];
+        blk[l] = ar * re - ai * im;
+        blk[half + l] = ar * im + ai * re;
+      }
+    }
+  } else {
+    for (index_t i = 0; i < elems * es; ++i) {
+      data[i] *= alpha;
+    }
+  }
+}
+
+} // namespace
+
+template <class T, int Bytes>
+TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
+                             const PlanTuning& tuning)
+    : shape_(shape), canon_(pack::TrsmCanon::make(shape)) {
+  IATF_CHECK(shape.m >= 0 && shape.n >= 0 && shape.batch >= 0,
+             "trsm: negative dimension");
+
+  using Limits = kernels::KernelLimits<T>;
+  const index_t es = element_stride();
+
+  // Diagonal-block decomposition: the whole triangle when it fits in
+  // registers (the paper's M <= 5 case), else main-kernel-sized blocks.
+  if (canon_.m <= Limits::tri_max_m) {
+    if (canon_.m > 0) {
+      blocks_.push_back(Tile{0, canon_.m});
+    }
+  } else {
+    blocks_ = tile_dimension(canon_.m, Limits::trsm_block);
+  }
+  panels_ = tile_dimension(canon_.n, Limits::tri_max_nc);
+
+  // Pack Selecter: B needs gathering only when the canonical form moves
+  // values around (row reversal or the Right-side transpose); plain
+  // Left/Lower solves run in the user's buffer -- the paper's no-packing
+  // strategy for the LNLN-like modes.
+  pack_b_ = canon_.reverse || canon_.b_transpose;
+  if (tuning.force_pack_a == 1 || tuning.force_pack_b == 1) {
+    pack_b_ = true; // forcing a pack is always legal
+  }
+
+  pa_group_size_ = pack::packed_trsm_a_size(blocks_, es);
+  pb_group_size_ = pack_b_ ? canon_.m * canon_.n * es : 0;
+
+  // Command queue: per column panel, interleave rect updates and
+  // triangular solves in dependency order (paper equation 1).
+  for (const Tile& panel : panels_) {
+    for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+      const Tile& rowb = blocks_[bi];
+      const index_t row_base =
+          pack::packed_trsm_row_offset(blocks_, static_cast<index_t>(bi), es);
+      for (std::size_t bj = 0; bj < bi; ++bj) {
+        const Tile& colb = blocks_[bj];
+        Step step;
+        step.kind = Step::Kind::Rect;
+        step.rect_fn = kernels::Registry<T, Bytes>::rect(
+            static_cast<int>(rowb.size), static_cast<int>(panel.size));
+        step.pa_off = row_base + colb.offset * rowb.size * es;
+        step.col_off = panel.offset;
+        step.row_off = rowb.offset;
+        step.x_row_off = colb.offset;
+        step.k = colb.size;
+        steps_.push_back(step);
+      }
+      Step step;
+      step.kind = Step::Kind::Tri;
+      step.tri_fn = kernels::Registry<T, Bytes>::tri(
+          static_cast<int>(rowb.size), static_cast<int>(panel.size));
+      step.pa_off = row_base + rowb.offset * rowb.size * es;
+      step.col_off = panel.offset;
+      step.row_off = rowb.offset;
+      steps_.push_back(step);
+    }
+  }
+
+  const index_t group_bytes =
+      (pa_group_size_ + canon_.m * canon_.n * es) *
+      static_cast<index_t>(sizeof(R));
+  slice_groups_ = tuning.slice_override > 0
+                      ? tuning.slice_override
+                      : BatchCounter(cache).groups_per_slice(group_bytes);
+}
+
+template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::validate_buffers(const CompactBuffer<T>& a,
+                                          const CompactBuffer<T>& b) const {
+  IATF_CHECK(a.rows() == shape_.a_dim() && a.cols() == shape_.a_dim(),
+             "trsm: A must be a_dim x a_dim");
+  IATF_CHECK(b.rows() == shape_.m && b.cols() == shape_.n,
+             "trsm: B has mismatched dimensions");
+  IATF_CHECK(a.batch() == shape_.batch && b.batch() == shape_.batch,
+             "trsm: operand batch sizes do not match the plan");
+  IATF_CHECK(a.pack_width() == pack_width() &&
+                 b.pack_width() == pack_width(),
+             "trsm: operand pack width does not match the plan");
+}
+
+template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::solve_group(const R* packed_a, R* bdata) const {
+  const index_t es = element_stride();
+  const index_t jstride = canon_.m * es;
+  for (const Step& step : steps_) {
+    R* brow = bdata + (step.col_off * canon_.m + step.row_off) * es;
+    if (step.kind == Step::Kind::Rect) {
+      kernels::TrsmRectArgs<T> args;
+      args.pa = packed_a + step.pa_off;
+      args.x = bdata + (step.col_off * canon_.m + step.x_row_off) * es;
+      args.b = brow;
+      args.k = step.k;
+      args.xb_jstride = jstride;
+      step.rect_fn(args);
+    } else {
+      kernels::TrsmTriArgs<T> args;
+      args.pa = packed_a + step.pa_off;
+      args.b = brow;
+      args.b_jstride = jstride;
+      step.tri_fn(args);
+    }
+  }
+}
+
+template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
+                                 CompactBuffer<T>& b, T alpha) const {
+  validate_buffers(a, b);
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
+    return;
+  }
+  run_groups(a, b, alpha, 0, b.groups());
+}
+
+template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
+                                          CompactBuffer<T>& b, T alpha,
+                                          ThreadPool& pool) const {
+  validate_buffers(a, b);
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
+    return;
+  }
+  pool.parallel_for(0, b.groups(), [&](index_t g_begin, index_t g_end) {
+    run_groups(a, b, alpha, g_begin, g_end);
+  });
+}
+
+template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
+                                    CompactBuffer<T>& b, T alpha,
+                                    index_t g_begin,
+                                    index_t g_end) const {
+  const index_t es = element_stride();
+
+  AlignedBuffer<R> wa(static_cast<std::size_t>(slice_groups_ *
+                                               pa_group_size_));
+  AlignedBuffer<R> wb(static_cast<std::size_t>(
+      pack_b_ ? slice_groups_ * pb_group_size_ : 0));
+
+  for (index_t g0 = g_begin; g0 < g_end; g0 += slice_groups_) {
+    const index_t g1 =
+        g0 + slice_groups_ < g_end ? g0 + slice_groups_ : g_end;
+
+    for (index_t g = g0; g < g1; ++g) {
+      pack::pack_trsm_a<T>(a.group_data(g), es, canon_, shape_.diag,
+                           blocks_, wa.data() + (g - g0) * pa_group_size_);
+    }
+
+    for (index_t g = g0; g < g1; ++g) {
+      const R* ga = wa.data() + (g - g0) * pa_group_size_;
+      if (pack_b_) {
+        R* gb = wb.data() + (g - g0) * pb_group_size_;
+        pack::pack_trsm_b<T>(b.group_data(g), shape_.m, canon_, es, alpha,
+                             gb);
+        solve_group(ga, gb);
+        pack::unpack_trsm_b<T>(gb, shape_.m, canon_, es,
+                               b.group_data(g));
+      } else {
+        R* gb = b.group_data(g);
+        if (!(alpha == T(1))) {
+          scale_compact<T>(gb, shape_.m * shape_.n, es, alpha);
+        }
+        solve_group(ga, gb);
+      }
+    }
+  }
+}
+
+template class TrsmPlan<float, 16>;
+template class TrsmPlan<double, 16>;
+template class TrsmPlan<std::complex<float>, 16>;
+template class TrsmPlan<std::complex<double>, 16>;
+template class TrsmPlan<float, 32>;
+template class TrsmPlan<double, 32>;
+template class TrsmPlan<std::complex<float>, 32>;
+template class TrsmPlan<std::complex<double>, 32>;
+
+} // namespace iatf::plan

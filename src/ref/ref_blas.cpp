@@ -1,0 +1,244 @@
+#include "iatf/ref/ref_blas.hpp"
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::ref {
+namespace {
+
+// Element of op(A) at logical position (i, j).
+template <class T>
+T op_element(Op op, const T* a, index_t lda, index_t i, index_t j) {
+  switch (op) {
+  case Op::NoTrans:
+    return a[j * lda + i];
+  case Op::Trans:
+    return a[i * lda + j];
+  case Op::ConjTrans:
+    return conj_if_complex(a[i * lda + j]);
+  }
+  return T{};
+}
+
+// Element of the triangular matrix op(A) at (i, j); positions outside the
+// stored triangle read as zero and a Unit diagonal reads as one.
+template <class T>
+T tri_element(Uplo uplo, Op op, Diag diag, const T* a, index_t lda,
+              index_t i, index_t j) {
+  if (i == j && diag == Diag::Unit) {
+    return T(1);
+  }
+  // The triangle of op(A): transposing flips the stored triangle.
+  const bool stored_lower = (uplo == Uplo::Lower) == (op == Op::NoTrans);
+  if (stored_lower ? (i < j) : (i > j)) {
+    return T{};
+  }
+  return op_element(op, a, lda, i, j);
+}
+
+} // namespace
+
+template <class T>
+void gemm(Op op_a, Op op_b, index_t m, index_t n, index_t k, T alpha,
+          const T* a, index_t lda, const T* b, index_t ldb, T beta, T* c,
+          index_t ldc) {
+  IATF_CHECK(m >= 0 && n >= 0 && k >= 0, "ref::gemm: negative dimension");
+  IATF_CHECK(ldc >= (m > 0 ? m : 1), "ref::gemm: ldc too small");
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T acc{};
+      for (index_t l = 0; l < k; ++l) {
+        acc += op_element(op_a, a, lda, i, l) *
+               op_element(op_b, b, ldb, l, j);
+      }
+      T& out = c[j * ldc + i];
+      out = (beta == T{}) ? alpha * acc : alpha * acc + beta * out;
+    }
+  }
+}
+
+template <class T>
+void trsm(Side side, Uplo uplo, Op op_a, Diag diag, index_t m, index_t n,
+          T alpha, const T* a, index_t lda, T* b, index_t ldb) {
+  IATF_CHECK(m >= 0 && n >= 0, "ref::trsm: negative dimension");
+  IATF_CHECK(ldb >= (m > 0 ? m : 1), "ref::trsm: ldb too small");
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      b[j * ldb + i] *= alpha;
+    }
+  }
+
+  if (side == Side::Left) {
+    // Solve op(A) X = B column by column. Whether op(A) is effectively
+    // lower (forward substitution) or upper (backward) depends on both the
+    // stored triangle and the transposition.
+    const bool effective_lower =
+        (uplo == Uplo::Lower) == (op_a == Op::NoTrans);
+    for (index_t j = 0; j < n; ++j) {
+      T* col = b + j * ldb;
+      if (effective_lower) {
+        for (index_t i = 0; i < m; ++i) {
+          T acc = col[i];
+          for (index_t l = 0; l < i; ++l) {
+            acc -= tri_element(uplo, op_a, diag, a, lda, i, l) * col[l];
+          }
+          col[i] = (diag == Diag::Unit)
+                       ? acc
+                       : acc / tri_element(uplo, op_a, diag, a, lda, i, i);
+        }
+      } else {
+        for (index_t i = m - 1; i >= 0; --i) {
+          T acc = col[i];
+          for (index_t l = i + 1; l < m; ++l) {
+            acc -= tri_element(uplo, op_a, diag, a, lda, i, l) * col[l];
+          }
+          col[i] = (diag == Diag::Unit)
+                       ? acc
+                       : acc / tri_element(uplo, op_a, diag, a, lda, i, i);
+        }
+      }
+    }
+  } else {
+    // X op(A) = B: solve row by row; row i of X satisfies
+    // sum_l X(i,l) opA(l,j) = B(i,j). Column j of X depends on columns
+    // before (effective upper) or after (effective lower) it.
+    const bool effective_lower =
+        (uplo == Uplo::Lower) == (op_a == Op::NoTrans);
+    if (!effective_lower) {
+      // op(A) effectively upper: forward over columns.
+      for (index_t j = 0; j < n; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          T acc = b[j * ldb + i];
+          for (index_t l = 0; l < j; ++l) {
+            acc -= b[l * ldb + i] *
+                   tri_element(uplo, op_a, diag, a, lda, l, j);
+          }
+          b[j * ldb + i] =
+              (diag == Diag::Unit)
+                  ? acc
+                  : acc / tri_element(uplo, op_a, diag, a, lda, j, j);
+        }
+      }
+    } else {
+      // op(A) effectively lower: backward over columns.
+      for (index_t j = n - 1; j >= 0; --j) {
+        for (index_t i = 0; i < m; ++i) {
+          T acc = b[j * ldb + i];
+          for (index_t l = j + 1; l < n; ++l) {
+            acc -= b[l * ldb + i] *
+                   tri_element(uplo, op_a, diag, a, lda, l, j);
+          }
+          b[j * ldb + i] =
+              (diag == Diag::Unit)
+                  ? acc
+                  : acc / tri_element(uplo, op_a, diag, a, lda, j, j);
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void trmm(Side side, Uplo uplo, Op op_a, Diag diag, index_t m, index_t n,
+          T alpha, const T* a, index_t lda, T* b, index_t ldb) {
+  IATF_CHECK(m >= 0 && n >= 0, "ref::trmm: negative dimension");
+  IATF_CHECK(ldb >= (m > 0 ? m : 1), "ref::trmm: ldb too small");
+  const index_t adim = side == Side::Left ? m : n;
+  // Out-of-place scratch keeps the reference trivially correct.
+  std::vector<T> out(static_cast<std::size_t>(m * n), T{});
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      T acc{};
+      if (side == Side::Left) {
+        for (index_t l = 0; l < m; ++l) {
+          acc += tri_element(uplo, op_a, diag, a, lda, i, l) *
+                 b[j * ldb + l];
+        }
+      } else {
+        for (index_t l = 0; l < n; ++l) {
+          acc += b[l * ldb + i] *
+                 tri_element(uplo, op_a, diag, a, lda, l, j);
+        }
+      }
+      out[static_cast<std::size_t>(j * m + i)] = alpha * acc;
+    }
+  }
+  (void)adim;
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      b[j * ldb + i] = out[static_cast<std::size_t>(j * m + i)];
+    }
+  }
+}
+
+template <class T> void getrf_np(index_t m, T* a, index_t lda) {
+  IATF_CHECK(m >= 0, "ref::getrf_np: negative dimension");
+  for (index_t k = 0; k < m; ++k) {
+    const T piv = a[k * lda + k];
+    for (index_t i = k + 1; i < m; ++i) {
+      a[k * lda + i] = a[k * lda + i] / piv;
+    }
+    for (index_t j = k + 1; j < m; ++j) {
+      const T akj = a[j * lda + k];
+      for (index_t i = k + 1; i < m; ++i) {
+        a[j * lda + i] -= a[k * lda + i] * akj;
+      }
+    }
+  }
+}
+
+template <class T> void potrf(index_t m, T* a, index_t lda) {
+  using R = real_t<T>;
+  IATF_CHECK(m >= 0, "ref::potrf: negative dimension");
+  for (index_t j = 0; j < m; ++j) {
+    // Diagonal: sqrt(a_jj - sum_k |l_jk|^2); mathematically real.
+    R djj;
+    if constexpr (is_complex_v<T>) {
+      R s = a[j * lda + j].real();
+      for (index_t k = 0; k < j; ++k) {
+        s -= std::norm(a[k * lda + j]);
+      }
+      IATF_CHECK(s > R(0), "ref::potrf: matrix not positive definite");
+      djj = std::sqrt(s);
+      a[j * lda + j] = T(djj, R(0));
+    } else {
+      R s = a[j * lda + j];
+      for (index_t k = 0; k < j; ++k) {
+        s -= a[k * lda + j] * a[k * lda + j];
+      }
+      IATF_CHECK(s > R(0), "ref::potrf: matrix not positive definite");
+      djj = std::sqrt(s);
+      a[j * lda + j] = djj;
+    }
+    for (index_t i = j + 1; i < m; ++i) {
+      T s = a[j * lda + i];
+      for (index_t k = 0; k < j; ++k) {
+        s -= a[k * lda + i] * conj_if_complex(a[k * lda + j]);
+      }
+      a[j * lda + i] = s / T(djj);
+    }
+  }
+}
+
+#define IATF_INSTANTIATE_REF(T)                                              \
+  template void gemm<T>(Op, Op, index_t, index_t, index_t, T, const T*,     \
+                        index_t, const T*, index_t, T, T*, index_t);        \
+  template void trsm<T>(Side, Uplo, Op, Diag, index_t, index_t, T,          \
+                        const T*, index_t, T*, index_t);                    \
+  template void trmm<T>(Side, Uplo, Op, Diag, index_t, index_t, T,          \
+                        const T*, index_t, T*, index_t);                    \
+  template void getrf_np<T>(index_t, T*, index_t);                          \
+  template void potrf<T>(index_t, T*, index_t);
+
+IATF_INSTANTIATE_REF(float)
+IATF_INSTANTIATE_REF(double)
+IATF_INSTANTIATE_REF(std::complex<float>)
+IATF_INSTANTIATE_REF(std::complex<double>)
+
+#undef IATF_INSTANTIATE_REF
+
+} // namespace iatf::ref

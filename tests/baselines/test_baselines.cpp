@@ -1,0 +1,171 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/baselines/baselines.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T> class BaselinesTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(BaselinesTyped, ScalarTypes);
+
+TYPED_TEST(BaselinesTyped, TunedGemmMatchesReferenceAllModes) {
+  using T = TypeParam;
+  Rng rng(31);
+  std::uint64_t seed = 0;
+  for (Op op_a : test::all_ops()) {
+    for (Op op_b : test::all_ops()) {
+      for (index_t s : {index_t(1), index_t(5), index_t(13)}) {
+        const index_t m = s, n = s + 1, k = s + 2;
+        auto a = test::random_batch<T>(op_a == Op::NoTrans ? m : k,
+                                       op_a == Op::NoTrans ? k : m, 1,
+                                       rng);
+        auto b = test::random_batch<T>(op_b == Op::NoTrans ? k : n,
+                                       op_b == Op::NoTrans ? n : k, 1,
+                                       rng);
+        auto c = test::random_batch<T>(m, n, 1, rng);
+        auto expected = c;
+        baselines::tuned_gemm<T>(op_a, op_b, m, n, k, T(1.5), a.mat(0),
+                                 a.ld(), b.mat(0), b.ld(), T(-0.5),
+                                 c.mat(0), m);
+        ref::gemm<T>(op_a, op_b, m, n, k, T(1.5), a.mat(0), a.ld(),
+                     b.mat(0), b.ld(), T(-0.5), expected.mat(0), m);
+        test::expect_batch_near(expected, c, test::tolerance<T>(k),
+                                "tuned_gemm seed " + std::to_string(seed));
+        ++seed;
+      }
+    }
+  }
+}
+
+TYPED_TEST(BaselinesTyped, TunedTrsmMatchesReferenceAllModes) {
+  using T = TypeParam;
+  Rng rng(32);
+  const index_t m = 9, n = 6;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          const index_t adim = side == Side::Left ? m : n;
+          auto a = test::random_triangular_batch<T>(adim, 1, rng);
+          auto b = test::random_batch<T>(m, n, 1, rng);
+          auto expected = b;
+          baselines::tuned_trsm<T>(side, uplo, op, diag, m, n, T(2),
+                                   a.mat(0), adim, b.mat(0), m);
+          ref::trsm<T>(side, uplo, op, diag, m, n, T(2), a.mat(0), adim,
+                       expected.mat(0), m);
+          test::expect_batch_near(
+              expected, b, test::tolerance<T>(adim) * 10,
+              to_string(TrsmShape{m, n, side, uplo, op, diag, 1}));
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(BaselinesTyped, LoopAndBatchDriversMatchReference) {
+  using T = TypeParam;
+  Rng rng(33);
+  const index_t m = 7, n = 7, k = 7, batch = 9;
+  auto a = test::random_batch<T>(m, k, batch, rng);
+  auto b = test::random_batch<T>(k, n, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+  auto c_loop = c;
+  auto c_batch = c;
+  auto expected = c;
+
+  baselines::loop_gemm<T>(Op::NoTrans, Op::NoTrans, m, n, k, T(1),
+                          a.data.data(), m, a.matrix_stride(),
+                          b.data.data(), k, b.matrix_stride(), T(0),
+                          c_loop.data.data(), m, c_loop.matrix_stride(),
+                          batch);
+  baselines::batch_gemm<T>(Op::NoTrans, Op::NoTrans, m, n, k, T(1),
+                           a.data.data(), m, a.matrix_stride(),
+                           b.data.data(), k, b.matrix_stride(), T(0),
+                           c_batch.data.data(), m,
+                           c_batch.matrix_stride(), batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<T>(Op::NoTrans, Op::NoTrans, m, n, k, T(1), a.mat(l), m,
+                 b.mat(l), k, T(0), expected.mat(l), m);
+  }
+  test::expect_batch_near(expected, c_loop, test::tolerance<T>(k),
+                          "loop_gemm");
+  test::expect_batch_near(expected, c_batch, test::tolerance<T>(k),
+                          "batch_gemm");
+}
+
+TYPED_TEST(BaselinesTyped, LoopTrsmMatchesReference) {
+  using T = TypeParam;
+  Rng rng(34);
+  const index_t m = 8, n = 5, batch = 6;
+  auto a = test::random_triangular_batch<T>(m, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto expected = b;
+  baselines::loop_trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans,
+                          Diag::NonUnit, m, n, T(1), a.data.data(), m,
+                          a.matrix_stride(), b.data.data(), m,
+                          b.matrix_stride(), batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, m, n,
+                 T(1), a.mat(l), m, expected.mat(l), m);
+  }
+  test::expect_batch_near(expected, b, test::tolerance<T>(m) * 10,
+                          "loop_trsm");
+}
+
+// smallspec is real-only; sweep sizes including vector-width remainders.
+template <class T> void smallspec_case(index_t m, index_t n, index_t k,
+                                       Op op_a, Op op_b, T alpha, T beta,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t batch = 5;
+  auto a = test::random_batch<T>(op_a == Op::NoTrans ? m : k,
+                                 op_a == Op::NoTrans ? k : m, batch, rng);
+  auto b = test::random_batch<T>(op_b == Op::NoTrans ? k : n,
+                                 op_b == Op::NoTrans ? n : k, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+  auto expected = c;
+  baselines::smallspec_gemm<T>(op_a, op_b, m, n, k, alpha, a.data.data(),
+                               a.ld(), a.matrix_stride(), b.data.data(),
+                               b.ld(), b.matrix_stride(), beta,
+                               c.data.data(), m, c.matrix_stride(), batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<T>(op_a, op_b, m, n, k, alpha, a.mat(l), a.ld(), b.mat(l),
+                 b.ld(), beta, expected.mat(l), m);
+  }
+  test::expect_batch_near(expected, c, test::tolerance<T>(k),
+                          "smallspec m=" + std::to_string(m));
+}
+
+TEST(Smallspec, SizeSweepFloat) {
+  std::uint64_t seed = 40;
+  for (index_t s = 1; s <= 17; ++s) {
+    smallspec_case<float>(s, s, s, Op::NoTrans, Op::NoTrans, 1.0f, 0.0f,
+                          seed++);
+  }
+}
+
+TEST(Smallspec, SizeSweepDouble) {
+  std::uint64_t seed = 60;
+  for (index_t s = 1; s <= 17; ++s) {
+    smallspec_case<double>(s, s, s, Op::NoTrans, Op::NoTrans, 1.0, 0.0,
+                           seed++);
+  }
+}
+
+TEST(Smallspec, TransModesAndScalars) {
+  std::uint64_t seed = 80;
+  for (Op op_a : {Op::NoTrans, Op::Trans}) {
+    for (Op op_b : {Op::NoTrans, Op::Trans}) {
+      smallspec_case<double>(6, 9, 5, op_a, op_b, 2.0, -1.0, seed++);
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,180 @@
+// The C interface, exercised the way a C caller would use it (plus error
+// paths that must surface as return codes, never exceptions).
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/capi/iatf.h"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(CApi, BufferLifecycleAndAccessors) {
+  iatf_dbuf* buf = iatf_dcreate(3, 4, 7);
+  ASSERT_NE(buf, nullptr);
+  EXPECT_EQ(iatf_drows(buf), 3);
+  EXPECT_EQ(iatf_dcols(buf), 4);
+  EXPECT_EQ(iatf_dbatch(buf), 7);
+  iatf_ddestroy(buf);
+  iatf_ddestroy(nullptr); // must be safe
+}
+
+TEST(CApi, CreateRejectsNegativeDims) {
+  EXPECT_EQ(iatf_screate(-1, 2, 3), nullptr);
+  EXPECT_NE(std::string(iatf_last_error()).find("negative"),
+            std::string::npos);
+}
+
+TEST(CApi, DgemmMatchesReference) {
+  Rng rng(7);
+  const index_t m = 5, n = 4, k = 6, batch = 5;
+  auto a = test::random_batch<double>(m, k, batch, rng);
+  auto b = test::random_batch<double>(k, n, batch, rng);
+  auto c = test::random_batch<double>(m, n, batch, rng);
+
+  iatf_dbuf* ca = iatf_dcreate(m, k, batch);
+  iatf_dbuf* cb = iatf_dcreate(k, n, batch);
+  iatf_dbuf* cc = iatf_dcreate(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dimport(ca, l, a.mat(l), m), 0);
+    ASSERT_EQ(iatf_dimport(cb, l, b.mat(l), k), 0);
+    ASSERT_EQ(iatf_dimport(cc, l, c.mat(l), m), 0);
+  }
+  ASSERT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 2.0, ca, cb,
+                               -1.0, cc),
+            0);
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<double>(Op::NoTrans, Op::NoTrans, m, n, k, 2.0, a.mat(l), m,
+                      b.mat(l), k, -1.0, expected.mat(l), m);
+  }
+  test::HostBatch<double> actual(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dexport(cc, l, actual.mat(l), m), 0);
+  }
+  test::expect_batch_near(expected, actual, test::tolerance<double>(k),
+                          "capi dgemm");
+  iatf_ddestroy(ca);
+  iatf_ddestroy(cb);
+  iatf_ddestroy(cc);
+}
+
+TEST(CApi, ZgemmComplexScalars) {
+  using C = std::complex<double>;
+  Rng rng(8);
+  const index_t s = 3, batch = 3;
+  auto a = test::random_batch<C>(s, s, batch, rng);
+  auto b = test::random_batch<C>(s, s, batch, rng);
+  auto c = test::random_batch<C>(s, s, batch, rng);
+
+  iatf_zbuf* ca = iatf_zcreate(s, s, batch);
+  iatf_zbuf* cb = iatf_zcreate(s, s, batch);
+  iatf_zbuf* cc = iatf_zcreate(s, s, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    // The C API takes interleaved (re, im) arrays.
+    iatf_zimport(ca, l, reinterpret_cast<const double*>(a.mat(l)), s);
+    iatf_zimport(cb, l, reinterpret_cast<const double*>(b.mat(l)), s);
+    iatf_zimport(cc, l, reinterpret_cast<const double*>(c.mat(l)), s);
+  }
+  const C alpha{1.5, -0.5}, beta{0.0, 2.0};
+  ASSERT_EQ(iatf_zgemm_compact(IATF_CONJTRANS, IATF_NOTRANS,
+                               alpha.real(), alpha.imag(), ca, cb,
+                               beta.real(), beta.imag(), cc),
+            0);
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<C>(Op::ConjTrans, Op::NoTrans, s, s, s, alpha, a.mat(l), s,
+                 b.mat(l), s, beta, expected.mat(l), s);
+  }
+  test::HostBatch<C> actual(s, s, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_zexport(cc, l, reinterpret_cast<double*>(actual.mat(l)), s);
+  }
+  test::expect_batch_near(expected, actual, test::tolerance<C>(s),
+                          "capi zgemm");
+  iatf_zdestroy(ca);
+  iatf_zdestroy(cb);
+  iatf_zdestroy(cc);
+}
+
+TEST(CApi, StrsmAndPadIdentity) {
+  Rng rng(9);
+  const index_t m = 6, n = 4;
+  const index_t batch = 5; // not a multiple of the float pack width
+  auto a = test::random_triangular_batch<float>(m, batch, rng);
+  auto b = test::random_batch<float>(m, n, batch, rng);
+
+  iatf_sbuf* ca = iatf_screate(m, m, batch);
+  iatf_sbuf* cb = iatf_screate(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_simport(ca, l, a.mat(l), m);
+    iatf_simport(cb, l, b.mat(l), m);
+  }
+  ASSERT_EQ(iatf_spad_identity(ca), 0);
+  ASSERT_EQ(iatf_strsm_compact(IATF_LEFT, IATF_LOWER, IATF_NOTRANS,
+                               IATF_NONUNIT, 1.0f, ca, cb),
+            0);
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<float>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                     m, n, 1.0f, a.mat(l), m, expected.mat(l), m);
+  }
+  test::HostBatch<float> actual(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_sexport(cb, l, actual.mat(l), m);
+  }
+  test::expect_batch_near(expected, actual,
+                          test::tolerance<float>(m) * 10, "capi strsm");
+  iatf_sdestroy(ca);
+  iatf_sdestroy(cb);
+}
+
+TEST(CApi, FactorisationsRoundtrip) {
+  Rng rng(10);
+  const index_t m = 5, batch = 4;
+  auto host = test::random_batch<double>(m, m, batch, rng);
+  for (index_t l = 0; l < batch; ++l) {
+    for (index_t d = 0; d < m; ++d) {
+      host.mat(l)[d * m + d] += m + 1.0;
+    }
+  }
+  iatf_dbuf* a = iatf_dcreate(m, m, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_dimport(a, l, host.mat(l), m);
+  }
+  iatf_dpad_identity(a);
+  ASSERT_EQ(iatf_dgetrfnp_compact(a), 0);
+  auto expected = host;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::getrf_np<double>(m, expected.mat(l), m);
+  }
+  test::HostBatch<double> actual(m, m, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_dexport(a, l, actual.mat(l), m);
+  }
+  test::expect_batch_near(expected, actual,
+                          test::tolerance<double>(m) * 4, "capi getrf");
+  iatf_ddestroy(a);
+}
+
+TEST(CApi, ErrorsReturnCodesNotExceptions) {
+  iatf_dbuf* a = iatf_dcreate(3, 3, 2);
+  iatf_dbuf* bad = iatf_dcreate(4, 4, 2);
+  iatf_dbuf* c = iatf_dcreate(3, 3, 2);
+  EXPECT_NE(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, a, bad,
+                               0.0, c),
+            0);
+  EXPECT_NE(std::string(iatf_last_error()).size(), 0u);
+  // Dimension mismatch in import.
+  std::vector<double> small(4);
+  EXPECT_NE(iatf_dimport(a, 0, small.data(), 1), 0);
+  iatf_ddestroy(a);
+  iatf_ddestroy(bad);
+  iatf_ddestroy(c);
+}
+
+} // namespace
+} // namespace iatf

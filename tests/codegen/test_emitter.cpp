@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "iatf/codegen/gemm_emitter.hpp"
+#include "iatf/codegen/interpreter.hpp"
+#include "iatf/common/error.hpp"
+#include "iatf/common/rng.hpp"
+
+namespace iatf::codegen {
+namespace {
+
+// Build interpreter buffers for an (mc, nc, k) kernel: packed panels in
+// kernel order and a random C tile; returns the buffers plus host copies
+// for reference computation.
+struct Problem {
+  InterpBuffers bufs;
+  std::vector<double> a;      // a[k][i][lane]
+  std::vector<double> b;      // b[k][j][lane]
+  std::vector<double> c0;     // original C, c0[j][i][lane]
+  int lanes;
+};
+
+Problem make_problem(const GemmKernelSpec& spec, double alpha,
+                     std::uint64_t seed) {
+  Problem p;
+  p.lanes = 16 / spec.elem_bytes;
+  Rng rng(seed);
+  const auto fill = [&rng](std::vector<double>& v, std::size_t n) {
+    v.resize(n);
+    for (double& x : v) {
+      x = rng.uniform<double>(-1, 1);
+    }
+  };
+  fill(p.a, static_cast<std::size_t>(spec.k * spec.mc * p.lanes));
+  fill(p.b, static_cast<std::size_t>(spec.k * spec.nc * p.lanes));
+  fill(p.c0, static_cast<std::size_t>(spec.nc * spec.mc * p.lanes));
+  p.bufs.a = p.a;
+  p.bufs.b = p.b;
+  p.bufs.c = p.c0;
+  p.bufs.alpha.assign(static_cast<std::size_t>(p.lanes), alpha);
+  return p;
+}
+
+// Reference: c = c0 + alpha * sum_k a(k,i)*b(k,j), lanewise.
+std::vector<double> reference(const Problem& p, const GemmKernelSpec& spec,
+                              double alpha) {
+  std::vector<double> out = p.c0;
+  for (index_t k = 0; k < spec.k; ++k) {
+    for (int j = 0; j < spec.nc; ++j) {
+      for (int i = 0; i < spec.mc; ++i) {
+        for (int l = 0; l < p.lanes; ++l) {
+          const double av =
+              p.a[static_cast<std::size_t>((k * spec.mc + i) * p.lanes +
+                                           l)];
+          const double bv =
+              p.b[static_cast<std::size_t>((k * spec.nc + j) * p.lanes +
+                                           l)];
+          out[static_cast<std::size_t>((j * spec.mc + i) * p.lanes + l)] +=
+              alpha * av * bv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Emitter, GeneratedKernelComputesGemmAllKPaths) {
+  std::uint64_t seed = 1;
+  for (int elem_bytes : {8, 4}) {
+    for (index_t k : {index_t(1), index_t(2), index_t(3), index_t(4),
+                      index_t(5), index_t(7), index_t(10)}) {
+      GemmKernelSpec spec;
+      spec.mc = 4;
+      spec.nc = 4;
+      spec.k = k;
+      spec.elem_bytes = elem_bytes;
+      const double alpha = 1.25;
+      Problem p = make_problem(spec, alpha, seed++);
+      const Program prog = emit_gemm_kernel(spec);
+      interpret(prog, p.bufs);
+      const auto expected = reference(p, spec, alpha);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(p.bufs.c[i], expected[i], 1e-12)
+            << "k=" << k << " eb=" << elem_bytes << " idx=" << i;
+      }
+    }
+  }
+}
+
+TEST(Emitter, GeneratedKernelEdgeSizes) {
+  std::uint64_t seed = 50;
+  for (int mc : {1, 2, 3, 4}) {
+    for (int nc : {1, 2, 3, 4}) {
+      GemmKernelSpec spec;
+      spec.mc = mc;
+      spec.nc = nc;
+      spec.k = 6;
+      const double alpha = -0.5;
+      Problem p = make_problem(spec, alpha, seed++);
+      const Program prog = emit_gemm_kernel(spec);
+      interpret(prog, p.bufs);
+      const auto expected = reference(p, spec, alpha);
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(p.bufs.c[i], expected[i], 1e-12)
+            << "mc=" << mc << " nc=" << nc;
+      }
+    }
+  }
+}
+
+// The corrected odd-K sequencing performs exactly K panel loads: the
+// interpreter bounds-checks every access, so running with panels sized
+// exactly K (no over-allocation) proves there is no over-read.
+TEST(Emitter, OddKDoesNotOverreadPanels) {
+  for (index_t k : {index_t(5), index_t(9), index_t(13)}) {
+    GemmKernelSpec spec;
+    spec.k = k;
+    Problem p = make_problem(spec, 1.0, 99);
+    const Program prog = emit_gemm_kernel(spec);
+    EXPECT_NO_THROW(interpret(prog, p.bufs)) << "k=" << k;
+  }
+}
+
+TEST(Emitter, TrsmRectKernelAppliesFmlsUpdate) {
+  std::uint64_t seed = 200;
+  for (int mc : {1, 2, 4}) {
+    for (index_t k : {index_t(1), index_t(3), index_t(4)}) {
+      GemmKernelSpec spec;
+      spec.mc = mc;
+      spec.nc = 4;
+      spec.k = k;
+      Problem p = make_problem(spec, 1.0, seed++);
+      const Program prog = emit_trsm_rect_kernel(spec);
+      interpret(prog, p.bufs);
+      // Expected: c -= a*x (x playing B's role), no alpha stage.
+      std::vector<double> expected = p.c0;
+      for (index_t kk = 0; kk < spec.k; ++kk) {
+        for (int j = 0; j < spec.nc; ++j) {
+          for (int i = 0; i < spec.mc; ++i) {
+            for (int l = 0; l < p.lanes; ++l) {
+              expected[static_cast<std::size_t>(
+                  (j * spec.mc + i) * p.lanes + l)] -=
+                  p.a[static_cast<std::size_t>(
+                      (kk * spec.mc + i) * p.lanes + l)] *
+                  p.b[static_cast<std::size_t>(
+                      (kk * spec.nc + j) * p.lanes + l)];
+            }
+          }
+        }
+      }
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(p.bufs.c[i], expected[i], 1e-12)
+            << "mc=" << mc << " k=" << k;
+      }
+    }
+  }
+}
+
+// Paper equation 4: the FMLS rectangular kernel saves the mc*nc SAVE-stage
+// multiplies a GEMM(alpha=-1) call would execute.
+TEST(Emitter, RectKernelSavesAlphaMultiplies) {
+  GemmKernelSpec spec;
+  spec.k = 4;
+  const auto gemm_mix = instruction_mix(emit_gemm_kernel(spec));
+  const auto rect_mix = instruction_mix(emit_trsm_rect_kernel(spec));
+  EXPECT_EQ(gemm_mix.fp - rect_mix.fp,
+            static_cast<index_t>(spec.mc * spec.nc));
+}
+
+TEST(Emitter, InstructionMixMatchesCmarAnalysis) {
+  // In the steady state (templates M1/M2), each k-step issues mc+nc
+  // vector loads and mc*nc FMAs: CMAR = mc*nc/(mc+nc) (paper equation 2).
+  GemmKernelSpec spec;
+  spec.mc = 4;
+  spec.nc = 4;
+  spec.k = 400; // amortise prologue/epilogue
+  spec.prefetch_c = false;
+  const auto mix = instruction_mix(emit_gemm_kernel(spec));
+  const double cmar = mix.cmar();
+  const double ideal = 4.0 * 4.0 / (4.0 + 4.0);
+  EXPECT_NEAR(cmar, ideal, 0.1);
+}
+
+TEST(Emitter, RegisterBudgetEnforced) {
+  GemmKernelSpec spec;
+  spec.mc = 5;
+  spec.nc = 4; // 2*(5+4)+20 = 38 > 32
+  EXPECT_THROW(emit_gemm_kernel(spec), Error);
+}
+
+TEST(Emitter, RenderedAsmLooksLikeAArch64) {
+  GemmKernelSpec spec;
+  spec.k = 4;
+  const std::string text =
+      render_asm(emit_gemm_kernel(spec), "iatf_dgemm_4x4_k4");
+  EXPECT_NE(text.find("ldp q0, q1, [x0]"), std::string::npos);
+  EXPECT_NE(text.find("fmul v16.2d"), std::string::npos);
+  EXPECT_NE(text.find("fmla"), std::string::npos);
+  EXPECT_NE(text.find("prfm pldl1keep, [x2]"), std::string::npos);
+  EXPECT_NE(text.find("add x0, x0, #32"), std::string::npos);
+  EXPECT_NE(text.find(".global iatf_dgemm_4x4_k4"), std::string::npos);
+  EXPECT_NE(text.find("ret"), std::string::npos);
+  // Float kernels use the .4s arrangement.
+  spec.elem_bytes = 4;
+  const std::string stext = render_asm(emit_gemm_kernel(spec), "s");
+  EXPECT_NE(stext.find(".4s"), std::string::npos);
+}
+
+TEST(Emitter, TemplateIMatchesFigure5Shape) {
+  // Figure 5's naive TEMPLATE_I for DGEMM 4x4: 8 ldp (4 A + 4 B... the
+  // paper shows 4 ldp pairs of A and 4 of B = 8 loads of 2 registers),
+  // 8 pointer adds, then 16 fmul.
+  GemmKernelSpec spec;
+  const Program prog = emit_gemm_template_i(spec);
+  index_t ldp = 0, add = 0, fmul = 0;
+  for (const auto& inst : prog) {
+    if (inst.op == Opcode::LDP) {
+      ++ldp;
+    } else if (inst.op == Opcode::ADDI) {
+      ++add;
+    } else if (inst.op == Opcode::FMUL) {
+      ++fmul;
+    }
+  }
+  EXPECT_EQ(ldp, 8);
+  EXPECT_EQ(add, 8);
+  EXPECT_EQ(fmul, 16);
+  // The naive order is loads-then-computes (what the optimizer fixes).
+  EXPECT_TRUE(is_memory(prog.front().op));
+  EXPECT_EQ(prog.back().op, Opcode::FMUL);
+}
+
+} // namespace
+} // namespace iatf::codegen

@@ -1,0 +1,66 @@
+#include <cstdint>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/aligned_buffer.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(AlignedBuffer, AlignmentAndZeroInit) {
+  AlignedBuffer<double> buf(37);
+  ASSERT_EQ(buf.size(), 37u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                kBufferAlignment,
+            0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], 0.0);
+  }
+}
+
+TEST(AlignedBuffer, EmptyBuffer) {
+  AlignedBuffer<float> buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+  AlignedBuffer<float> zero(0);
+  EXPECT_TRUE(zero.empty());
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(8);
+  a[3] = 42;
+  int* p = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_TRUE(a.empty());
+
+  AlignedBuffer<int> c;
+  c = std::move(b);
+  EXPECT_EQ(c.data(), p);
+  EXPECT_EQ(c[3], 42);
+}
+
+TEST(AlignedBuffer, ResizeReplacesContents) {
+  AlignedBuffer<int> buf(4);
+  buf[0] = 7;
+  buf.resize(16);
+  ASSERT_EQ(buf.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(buf[i], 0);
+  }
+}
+
+TEST(AlignedBuffer, SpanViews) {
+  AlignedBuffer<float> buf(5);
+  auto s = buf.span();
+  EXPECT_EQ(s.size(), 5u);
+  s[2] = 1.5f;
+  const AlignedBuffer<float>& cref = buf;
+  EXPECT_EQ(cref.span()[2], 1.5f);
+}
+
+} // namespace
+} // namespace iatf

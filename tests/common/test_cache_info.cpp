@@ -1,0 +1,23 @@
+#include <gtest/gtest.h>
+
+#include "iatf/common/cache_info.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(CacheInfo, Kunpeng920DefaultsMatchPaperTable2) {
+  const CacheInfo info = CacheInfo::kunpeng920();
+  EXPECT_EQ(info.l1d, 64u * 1024u);
+  EXPECT_EQ(info.l2, 512u * 1024u);
+}
+
+TEST(CacheInfo, DetectReturnsPlausibleSizes) {
+  const CacheInfo info = CacheInfo::detect();
+  // Detection must never return zero -- unknown levels keep defaults.
+  EXPECT_GE(info.l1d, 4u * 1024u);
+  EXPECT_LE(info.l1d, 16u * 1024u * 1024u);
+  EXPECT_GE(info.l2, info.l1d);
+}
+
+} // namespace
+} // namespace iatf

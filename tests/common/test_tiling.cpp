@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "iatf/common/error.hpp"
+#include "iatf/common/tiling.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(Tiling, PaperExample15By4) {
+  // Figure 4(b): 15 tiles as 4+4+4+3.
+  const auto tiles = tile_dimension(15, 4);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0], (Tile{0, 4}));
+  EXPECT_EQ(tiles[1], (Tile{4, 4}));
+  EXPECT_EQ(tiles[2], (Tile{8, 4}));
+  EXPECT_EQ(tiles[3], (Tile{12, 3}));
+}
+
+TEST(Tiling, AvoidsWidthOneRemainder) {
+  // 13 = 4+4+4+1 is repaired to 4+4+3+2.
+  const auto tiles = tile_dimension(13, 4);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[2], (Tile{8, 3}));
+  EXPECT_EQ(tiles[3], (Tile{11, 2}));
+}
+
+TEST(Tiling, SmallExtents) {
+  EXPECT_TRUE(tile_dimension(0, 4).empty());
+  const auto one = tile_dimension(1, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], (Tile{0, 1}));
+  const auto five = tile_dimension(5, 4);
+  ASSERT_EQ(five.size(), 2u);
+  EXPECT_EQ(five[0].size, 3); // 4+1 repaired to 3+2
+  EXPECT_EQ(five[1].size, 2);
+}
+
+TEST(Tiling, MaxChunkOneDegeneratesToUnits) {
+  const auto tiles = tile_dimension(4, 1);
+  ASSERT_EQ(tiles.size(), 4u);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tiles[static_cast<std::size_t>(i)], (Tile{i, 1}));
+  }
+}
+
+TEST(Tiling, InvalidArgumentsThrow) {
+  EXPECT_THROW(tile_dimension(-1, 4), Error);
+  EXPECT_THROW(tile_dimension(4, 0), Error);
+}
+
+// Property sweep: coverage, contiguity, bounds and the no-trailing-1 rule
+// for every extent/chunk combination used anywhere in the framework.
+class TilingProperty
+    : public ::testing::TestWithParam<std::tuple<index_t, index_t>> {};
+
+TEST_P(TilingProperty, CoversExactlyWithoutWidthOne) {
+  const auto [extent, max_chunk] = GetParam();
+  const auto tiles = tile_dimension(extent, max_chunk);
+  index_t expected_offset = 0;
+  for (const Tile& t : tiles) {
+    EXPECT_EQ(t.offset, expected_offset);
+    EXPECT_GE(t.size, 1);
+    EXPECT_LE(t.size, max_chunk);
+    expected_offset += t.size;
+  }
+  EXPECT_EQ(expected_offset, extent);
+  // With chunks of 3+ available, a width-1 tile is always avoidable (the
+  // paper's "particularly small blocks"); with max_chunk == 2 an odd
+  // extent necessarily leaves one (Table 1's complex x1 edge kernels).
+  if (max_chunk >= 3 && extent >= 2) {
+    for (const Tile& t : tiles) {
+      EXPECT_GE(t.size, 2) << "width-1 tile for extent=" << extent;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TilingProperty,
+    ::testing::Combine(::testing::Range<index_t>(0, 40),
+                       ::testing::Values<index_t>(1, 2, 3, 4, 5)));
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,56 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(Types, ScalarTraits) {
+  static_assert(!is_complex_v<float>);
+  static_assert(!is_complex_v<double>);
+  static_assert(is_complex_v<std::complex<float>>);
+  static_assert(is_complex_v<std::complex<double>>);
+  static_assert(std::is_same_v<real_t<std::complex<float>>, float>);
+  static_assert(std::is_same_v<real_t<double>, double>);
+  EXPECT_STREQ(blas_prefix_v<float>, "s");
+  EXPECT_STREQ(blas_prefix_v<double>, "d");
+  EXPECT_STREQ(blas_prefix_v<std::complex<float>>, "c");
+  EXPECT_STREQ(blas_prefix_v<std::complex<double>>, "z");
+}
+
+TEST(Types, ConjIfComplex) {
+  EXPECT_EQ(conj_if_complex(2.5f), 2.5f);
+  EXPECT_EQ(conj_if_complex(std::complex<double>(1, 2)),
+            std::complex<double>(1, -2));
+}
+
+TEST(Types, FlopAccounting) {
+  GemmShape g{.m = 4, .n = 5, .k = 6, .batch = 10};
+  EXPECT_DOUBLE_EQ(gemm_flops<float>(g), 2.0 * 4 * 5 * 6 * 10);
+  EXPECT_DOUBLE_EQ(gemm_flops<std::complex<float>>(g),
+                   8.0 * 4 * 5 * 6 * 10);
+
+  TrsmShape t{.m = 8, .n = 3, .side = Side::Left, .batch = 7};
+  EXPECT_DOUBLE_EQ(trsm_flops<double>(t), 8.0 * 8 * 3 * 7);
+  t.side = Side::Right;
+  EXPECT_EQ(t.a_dim(), 3);
+  EXPECT_DOUBLE_EQ(trsm_flops<double>(t), 3.0 * 3 * 8 * 7);
+}
+
+TEST(Types, ToString) {
+  EXPECT_STREQ(to_string(Op::NoTrans), "N");
+  EXPECT_STREQ(to_string(Op::ConjTrans), "C");
+  EXPECT_STREQ(to_string(Side::Right), "R");
+  EXPECT_STREQ(to_string(Uplo::Upper), "U");
+  EXPECT_STREQ(to_string(Diag::Unit), "U");
+
+  GemmShape g{.m = 2, .n = 3, .k = 4, .op_a = Op::Trans, .batch = 5};
+  EXPECT_NE(to_string(g).find("TN"), std::string::npos);
+  TrsmShape t{.m = 2, .n = 3, .uplo = Uplo::Upper, .batch = 5};
+  EXPECT_NE(to_string(t).find("LNUN"), std::string::npos);
+}
+
+} // namespace
+} // namespace iatf

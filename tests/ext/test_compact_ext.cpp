@@ -1,0 +1,208 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/ext/compact_ext.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T> class CompactExtTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(CompactExtTyped, ScalarTypes);
+
+template <class T>
+void check_trmm(index_t m, index_t n, Side side, Uplo uplo, Op op_a,
+                Diag diag, T alpha, index_t batch, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t adim = side == Side::Left ? m : n;
+  auto a = test::random_triangular_batch<T>(adim, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+
+  ext::compact_trmm<T>(side, uplo, op_a, diag, alpha, ca, cb);
+
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trmm<T>(side, uplo, op_a, diag, m, n, alpha, a.mat(l), adim,
+                 expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cb);
+  test::expect_batch_near(
+      expected, actual, test::tolerance<T>(adim) * 4,
+      "trmm " + to_string(TrsmShape{m, n, side, uplo, op_a, diag, batch}));
+}
+
+TYPED_TEST(CompactExtTyped, TrmmSquareSweep) {
+  using T = TypeParam;
+  const index_t batch = simd::pack_width_v<T> * 2 + 1;
+  for (index_t s = 1; s <= 17; ++s) {
+    check_trmm<T>(s, s, Side::Left, Uplo::Lower, Op::NoTrans,
+                  Diag::NonUnit, T(1), batch,
+                  100 + static_cast<std::uint64_t>(s));
+  }
+}
+
+TYPED_TEST(CompactExtTyped, TrmmAllSixteenModes) {
+  using T = TypeParam;
+  const index_t batch = simd::pack_width_v<T> + 1;
+  std::uint64_t seed = 300;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          check_trmm<T>(3, 4, side, uplo, op, diag, T(1), batch, seed++);
+          check_trmm<T>(10, 7, side, uplo, op, diag, T(1), batch,
+                        seed++);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(CompactExtTyped, TrmmAlpha) {
+  using T = TypeParam;
+  check_trmm<T>(6, 5, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                T(-2.5), simd::pack_width_v<T>, 900);
+  if constexpr (is_complex_v<T>) {
+    check_trmm<T>(6, 5, Side::Right, Uplo::Upper, Op::ConjTrans,
+                  Diag::Unit, T(0.5, 1.5), simd::pack_width_v<T>, 901);
+  }
+}
+
+TYPED_TEST(CompactExtTyped, GetrfMatchesReference) {
+  using T = TypeParam;
+  Rng rng(42);
+  const index_t batch = simd::pack_width_v<T> * 3 + 1;
+  for (index_t m : {index_t(1), index_t(2), index_t(5), index_t(9),
+                    index_t(16)}) {
+    // Diagonally dominant: factorisable without pivoting.
+    auto host = test::random_batch<T>(m, m, batch, rng);
+    for (index_t l = 0; l < batch; ++l) {
+      for (index_t d = 0; d < m; ++d) {
+        host.mat(l)[d * m + d] += T(static_cast<real_t<T>>(m) + 1);
+      }
+    }
+    auto compact = host.to_compact();
+    compact.pad_identity();
+    ext::compact_getrf_np<T>(compact);
+
+    auto expected = host;
+    for (index_t l = 0; l < batch; ++l) {
+      ref::getrf_np<T>(m, expected.mat(l), m);
+    }
+    test::HostBatch<T> actual(m, m, batch);
+    actual.from_compact(compact);
+    test::expect_batch_near(expected, actual,
+                            test::tolerance<T>(m) * 4,
+                            "getrf m=" + std::to_string(m));
+  }
+}
+
+TYPED_TEST(CompactExtTyped, PotrfMatchesReference) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(43);
+  const index_t batch = simd::pack_width_v<T> * 2 + 1;
+  for (index_t m : {index_t(1), index_t(3), index_t(8), index_t(13)}) {
+    // SPD/HPD via G G^H + m*I.
+    auto g = test::random_batch<T>(m, m, batch, rng);
+    test::HostBatch<T> host(m, m, batch);
+    for (index_t l = 0; l < batch; ++l) {
+      for (index_t j = 0; j < m; ++j) {
+        for (index_t i = 0; i < m; ++i) {
+          T s{};
+          for (index_t k = 0; k < m; ++k) {
+            s += g.mat(l)[k * m + i] * conj_if_complex(g.mat(l)[k * m + j]);
+          }
+          if (i == j) {
+            s += T(static_cast<R>(m));
+          }
+          host.mat(l)[j * m + i] = s;
+        }
+      }
+    }
+    auto compact = host.to_compact();
+    compact.pad_identity();
+    ext::compact_potrf<T>(compact);
+
+    auto expected = host;
+    for (index_t l = 0; l < batch; ++l) {
+      ref::potrf<T>(m, expected.mat(l), m);
+    }
+    // Compare the lower triangles only (upper is unspecified scratch).
+    test::HostBatch<T> actual(m, m, batch);
+    actual.from_compact(compact);
+    const R tol = test::tolerance<T>(m) * 10;
+    for (index_t l = 0; l < batch; ++l) {
+      for (index_t j = 0; j < m; ++j) {
+        for (index_t i = j; i < m; ++i) {
+          const R diff = std::abs(actual.mat(l)[j * m + i] -
+                                  expected.mat(l)[j * m + i]);
+          ASSERT_LE(diff, tol * static_cast<R>(m))
+              << "potrf m=" << m << " batch=" << l << " (" << i << ","
+              << j << ")";
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(CompactExtTyped, GetrsSolvesSystems) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(44);
+  const index_t m = 7, nrhs = 3;
+  const index_t batch = simd::pack_width_v<T> + 2;
+  auto host = test::random_batch<T>(m, m, batch, rng);
+  for (index_t l = 0; l < batch; ++l) {
+    for (index_t d = 0; d < m; ++d) {
+      host.mat(l)[d * m + d] += T(static_cast<R>(m) + 1);
+    }
+  }
+  auto rhs = test::random_batch<T>(m, nrhs, batch, rng);
+
+  auto clu = host.to_compact();
+  clu.pad_identity();
+  auto cx = rhs.to_compact();
+  ext::compact_getrf_np<T>(clu);
+  ext::compact_getrs_np<T>(clu, cx);
+
+  // Verify A x = b directly.
+  test::HostBatch<T> x(m, nrhs, batch);
+  x.from_compact(cx);
+  const R tol = test::tolerance<T>(m) * 100;
+  for (index_t l = 0; l < batch; ++l) {
+    for (index_t c = 0; c < nrhs; ++c) {
+      for (index_t i = 0; i < m; ++i) {
+        T acc{};
+        for (index_t k = 0; k < m; ++k) {
+          acc += host.mat(l)[k * m + i] * x.mat(l)[c * m + k];
+        }
+        ASSERT_LE(std::abs(acc - rhs.mat(l)[c * m + i]), tol)
+            << "batch " << l;
+      }
+    }
+  }
+}
+
+TEST(CompactExt, ErrorsOnBadShapes) {
+  CompactBuffer<double> rect(3, 4, 2);
+  EXPECT_THROW(ext::compact_getrf_np(rect), Error);
+  EXPECT_THROW(ext::compact_potrf(rect), Error);
+  CompactBuffer<double> a(3, 3, 2), b(4, 2, 2);
+  EXPECT_THROW(ext::compact_getrs_np(a, b), Error);
+  CompactBuffer<double> amis(4, 4, 2), bok(3, 2, 2);
+  EXPECT_THROW(ext::compact_trmm<double>(Side::Left, Uplo::Lower,
+                                         Op::NoTrans, Diag::NonUnit, 1.0,
+                                         amis, bok),
+               Error);
+}
+
+} // namespace
+} // namespace iatf

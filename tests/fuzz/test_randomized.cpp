@@ -1,0 +1,163 @@
+// Randomised differential testing: hundreds of randomly-drawn problem
+// descriptors (shape, modes, scalars, batch) for every routine, each
+// checked against the scalar reference. This is the safety net behind
+// the structured suites -- any plan-generator / tiler / packer
+// interaction missed by the targeted tests shows up here.
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/core/compact_blas.hpp"
+#include "iatf/ext/compact_ext.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+Op random_op(Rng& rng) {
+  return static_cast<Op>(rng.uniform_int(0, 2));
+}
+
+template <class T> T random_scalar(Rng& rng) {
+  using R = real_t<T>;
+  // Bias toward the special values the kernels branch on.
+  switch (rng.uniform_int(0, 4)) {
+  case 0:
+    return T(0);
+  case 1:
+    return T(1);
+  case 2:
+    return T(-1);
+  default:
+    if constexpr (is_complex_v<T>) {
+      return T(rng.uniform<R>(-2, 2), rng.uniform<R>(-2, 2));
+    } else {
+      return T(rng.uniform<R>(-2, 2));
+    }
+  }
+}
+
+template <class T> void fuzz_gemm_once(Rng& rng, int round) {
+  const index_t m = rng.uniform_int(1, 24);
+  const index_t n = rng.uniform_int(1, 24);
+  const index_t k = rng.uniform_int(0, 24);
+  const index_t batch = rng.uniform_int(1, 3 * simd::pack_width_v<T>);
+  const Op op_a = random_op(rng);
+  const Op op_b = random_op(rng);
+  const T alpha = random_scalar<T>(rng);
+  const T beta = random_scalar<T>(rng);
+
+  const bool ta = op_a != Op::NoTrans;
+  const bool tb = op_b != Op::NoTrans;
+  auto a = test::random_batch<T>(ta ? k : m, ta ? m : k, batch, rng);
+  auto b = test::random_batch<T>(tb ? n : k, tb ? k : n, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc = c.to_compact();
+
+  compact_gemm<T>(op_a, op_b, alpha, ca, cb, beta, cc);
+
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<T>(op_a, op_b, m, n, k, alpha, a.mat(l), a.ld(), b.mat(l),
+                 b.ld(), beta, expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cc);
+  test::expect_batch_near(
+      expected, actual, test::tolerance<T>(k) * 4,
+      "fuzz gemm round " + std::to_string(round) + " " +
+          to_string(GemmShape{m, n, k, op_a, op_b, batch}));
+}
+
+template <class T> void fuzz_trsm_once(Rng& rng, int round) {
+  const index_t m = rng.uniform_int(1, 20);
+  const index_t n = rng.uniform_int(1, 20);
+  const index_t batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  const Side side = rng.uniform_int(0, 1) ? Side::Right : Side::Left;
+  const Uplo uplo = rng.uniform_int(0, 1) ? Uplo::Upper : Uplo::Lower;
+  const Op op_a = random_op(rng);
+  const Diag diag = rng.uniform_int(0, 1) ? Diag::Unit : Diag::NonUnit;
+  const T alpha = random_scalar<T>(rng);
+
+  const index_t adim = side == Side::Left ? m : n;
+  auto a = test::random_triangular_batch<T>(adim, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  ca.pad_identity();
+  auto cb = b.to_compact();
+
+  compact_trsm<T>(side, uplo, op_a, diag, alpha, ca, cb);
+
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<T>(side, uplo, op_a, diag, m, n, alpha, a.mat(l), adim,
+                 expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cb);
+  test::expect_batch_near(
+      expected, actual, test::tolerance<T>(adim) * 20,
+      "fuzz trsm round " + std::to_string(round) + " " +
+          to_string(TrsmShape{m, n, side, uplo, op_a, diag, batch}));
+}
+
+template <class T> void fuzz_trmm_once(Rng& rng, int round) {
+  const index_t m = rng.uniform_int(1, 20);
+  const index_t n = rng.uniform_int(1, 20);
+  const index_t batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  const Side side = rng.uniform_int(0, 1) ? Side::Right : Side::Left;
+  const Uplo uplo = rng.uniform_int(0, 1) ? Uplo::Upper : Uplo::Lower;
+  const Op op_a = random_op(rng);
+  const Diag diag = rng.uniform_int(0, 1) ? Diag::Unit : Diag::NonUnit;
+  const T alpha = random_scalar<T>(rng);
+
+  const index_t adim = side == Side::Left ? m : n;
+  auto a = test::random_triangular_batch<T>(adim, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+
+  ext::compact_trmm<T>(side, uplo, op_a, diag, alpha, ca, cb);
+
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trmm<T>(side, uplo, op_a, diag, m, n, alpha, a.mat(l), adim,
+                 expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cb);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(adim) * 8,
+                          "fuzz trmm round " + std::to_string(round));
+}
+
+template <class T> class FuzzTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(FuzzTyped, ScalarTypes);
+
+TYPED_TEST(FuzzTyped, GemmRandomisedSweep) {
+  Rng rng(0xfeedbeef);
+  for (int round = 0; round < 60; ++round) {
+    fuzz_gemm_once<TypeParam>(rng, round);
+  }
+}
+
+TYPED_TEST(FuzzTyped, TrsmRandomisedSweep) {
+  Rng rng(0xdecade);
+  for (int round = 0; round < 60; ++round) {
+    fuzz_trsm_once<TypeParam>(rng, round);
+  }
+}
+
+TYPED_TEST(FuzzTyped, TrmmRandomisedSweep) {
+  Rng rng(0xacce55);
+  for (int round = 0; round < 40; ++round) {
+    fuzz_trmm_once<TypeParam>(rng, round);
+  }
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,229 @@
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/pack/gemm_pack.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+using kernels::KernelLimits;
+using kernels::Registry;
+
+// Drive one (mc, nc) kernel against the scalar reference for a given k,
+// alpha, beta. The panels are packed with a single tile so the kernel sees
+// the canonical packed strides.
+template <class T>
+void check_kernel(int mc, int nc, index_t k, T alpha, T beta,
+                  std::uint64_t seed) {
+  using R = real_t<T>;
+  Rng rng(seed);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+
+  auto a = test::random_batch<T>(mc, k, pw, rng);
+  auto b = test::random_batch<T>(k, nc, pw, rng);
+  auto c = test::random_batch<T>(mc, nc, pw, rng);
+
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc = c.to_compact();
+
+  const std::vector<Tile> mt{Tile{0, mc}};
+  const std::vector<Tile> nt{Tile{0, nc}};
+  AlignedBuffer<R> pa(
+      static_cast<std::size_t>(pack::packed_gemm_a_size(mc, k, es)));
+  AlignedBuffer<R> pb(
+      static_cast<std::size_t>(pack::packed_gemm_b_size(k, nc, es)));
+  pack::pack_gemm_a<T>(ca.group_data(0), mc, es, Op::NoTrans, mt, k,
+                       pa.data());
+  pack::pack_gemm_b<T>(cb.group_data(0), k, es, Op::NoTrans, nt, k,
+                       pb.data());
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = pa.data();
+  args.pb = pb.data();
+  args.c = cc.group_data(0);
+  args.k = k;
+  args.a_kstride = mc * es;
+  args.b_kstride = nc * es;
+  args.b_jstride = es;
+  args.c_jstride = mc * es;
+  args.alpha = alpha;
+  args.beta = beta;
+  Registry<T>::gemm(mc, nc)(args);
+
+  // Reference result per lane.
+  auto expected = c;
+  for (index_t lane = 0; lane < pw; ++lane) {
+    ref::gemm<T>(Op::NoTrans, Op::NoTrans, mc, nc, k, alpha, a.mat(lane),
+                 mc, b.mat(lane), k, beta, expected.mat(lane), mc);
+  }
+  test::HostBatch<T> actual(mc, nc, pw);
+  actual.from_compact(cc);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+                          std::string("gemm kernel ") + blas_prefix_v<T> +
+                              " mc=" + std::to_string(mc) +
+                              " nc=" + std::to_string(nc) +
+                              " k=" + std::to_string(k));
+}
+
+template <class T> class GemmKernelTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(GemmKernelTyped, ScalarTypes);
+
+// Every generated kernel size (Table 1) against the oracle, across the k
+// values that exercise each template path of the corrected Algorithm 3
+// sequencing: SUB-only (1), I;E (2), I;M2;E0 (3), I;M2;M1;E (4), the
+// odd-tail path (5, 7) and the steady-state loop (8, 11).
+TYPED_TEST(GemmKernelTyped, AllSizesAllTemplatePaths) {
+  using T = TypeParam;
+  using L = KernelLimits<T>;
+  std::uint64_t seed = 100;
+  for (int mc = 1; mc <= L::gemm_max_mc; ++mc) {
+    for (int nc = 1; nc <= L::gemm_max_nc; ++nc) {
+      for (index_t k : {index_t(1), index_t(2), index_t(3), index_t(4),
+                        index_t(5), index_t(7), index_t(8), index_t(11)}) {
+        check_kernel<T>(mc, nc, k, T(1), T(0), seed++);
+      }
+    }
+  }
+}
+
+TYPED_TEST(GemmKernelTyped, AlphaBetaCombinations) {
+  using T = TypeParam;
+  using L = KernelLimits<T>;
+  const int mc = L::gemm_max_mc;
+  const int nc = L::gemm_max_nc;
+  std::uint64_t seed = 500;
+  for (T alpha : {T(1), T(-1), T(2.5), T(0)}) {
+    for (T beta : {T(0), T(1), T(-0.5)}) {
+      check_kernel<T>(mc, nc, 6, alpha, beta, seed++);
+    }
+  }
+}
+
+TYPED_TEST(GemmKernelTyped, ComplexScalars) {
+  using T = TypeParam;
+  if constexpr (is_complex_v<T>) {
+    check_kernel<T>(2, 2, 5, T(1.5, -0.5), T(0.25, 2), 900);
+  } else {
+    GTEST_SKIP() << "real type";
+  }
+}
+
+TYPED_TEST(GemmKernelTyped, KZeroActsAsBetaScale) {
+  using T = TypeParam;
+  check_kernel<T>(1, 1, 0, T(3), T(0.5), 950);
+}
+
+TEST(GemmKernelRegistry, OutOfRangeSizesThrow) {
+  EXPECT_THROW((Registry<float>::gemm(0, 1)), Error);
+  EXPECT_THROW((Registry<float>::gemm(5, 1)), Error);
+  EXPECT_THROW((Registry<float>::gemm(1, 5)), Error);
+  EXPECT_THROW((Registry<std::complex<float>>::gemm(4, 1)), Error);
+  EXPECT_THROW((Registry<std::complex<float>>::gemm(1, 3)), Error);
+}
+
+TEST(GemmKernelRegistry, MainKernelSizesMatchPaper) {
+  // CMAR analysis: 4x4 real, 3x2 complex (paper section 4.2.1).
+  EXPECT_NE(Registry<double>::gemm(4, 4), nullptr);
+  EXPECT_NE((Registry<std::complex<double>>::gemm(3, 2)), nullptr);
+}
+
+// The kernel must also run on unpacked (no-pack strategy) operands using
+// the user buffer's natural strides.
+TEST(GemmKernel, NoPackStridesProduceSameResult) {
+  using T = double;
+  Rng rng(77);
+  const index_t m = 3, n = 4, k = 6;
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw;
+  auto a = test::random_batch<T>(m, k, pw, rng);
+  auto b = test::random_batch<T>(k, n, pw, rng);
+  auto c = test::random_batch<T>(m, n, pw, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc = c.to_compact();
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = ca.group_data(0); // unpacked: k-stride is m*es
+  args.pb = cb.group_data(0); // unpacked: j-stride is k*es
+  args.c = cc.group_data(0);
+  args.k = k;
+  args.a_kstride = m * es;
+  args.b_kstride = es;
+  args.b_jstride = k * es;
+  args.c_jstride = m * es;
+  args.alpha = 1.0;
+  args.beta = 0.0;
+  kernels::Registry<T>::gemm(static_cast<int>(m), static_cast<int>(n))(
+      args);
+
+  auto expected = c;
+  for (index_t lane = 0; lane < pw; ++lane) {
+    ref::gemm<T>(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, a.mat(lane), m,
+                 b.mat(lane), k, 0.0, expected.mat(lane), m);
+  }
+  test::HostBatch<T> actual(m, n, pw);
+  actual.from_compact(cc);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+                          "no-pack strides");
+}
+
+// Wide (256-bit, mklsim) kernels obey the same semantics with twice the
+// interleave width.
+TEST(GemmKernelWide, WideRegistersMatchReference) {
+  using T = float;
+  Rng rng(88);
+  const index_t pw = 8;
+  const index_t es = 8;
+  const index_t k = 5;
+  auto a = test::random_batch<T>(4, k, pw, rng);
+  auto b = test::random_batch<T>(k, 4, pw, rng);
+  auto c = test::random_batch<T>(4, 4, pw, rng);
+  auto ca = a.to_compact(pw);
+  auto cb = b.to_compact(pw);
+  auto cc = c.to_compact(pw);
+
+  const std::vector<Tile> mt{Tile{0, 4}};
+  const std::vector<Tile> nt{Tile{0, 4}};
+  AlignedBuffer<float> pa(static_cast<std::size_t>(4 * k * es));
+  AlignedBuffer<float> pb(static_cast<std::size_t>(k * 4 * es));
+  pack::pack_gemm_a<T>(ca.group_data(0), 4, es, Op::NoTrans, mt, k,
+                       pa.data());
+  pack::pack_gemm_b<T>(cb.group_data(0), k, es, Op::NoTrans, nt, k,
+                       pb.data());
+
+  kernels::GemmKernelArgs<T> args;
+  args.pa = pa.data();
+  args.pb = pb.data();
+  args.c = cc.group_data(0);
+  args.k = k;
+  args.a_kstride = 4 * es;
+  args.b_kstride = 4 * es;
+  args.b_jstride = es;
+  args.c_jstride = 4 * es;
+  args.alpha = 1.0f;
+  args.beta = 0.0f;
+  Registry<T, 32>::gemm(4, 4)(args);
+
+  auto expected = c;
+  for (index_t lane = 0; lane < pw; ++lane) {
+    ref::gemm<T>(Op::NoTrans, Op::NoTrans, 4, 4, k, 1.0f, a.mat(lane), 4,
+                 b.mat(lane), k, 0.0f, expected.mat(lane), 4);
+  }
+  test::HostBatch<T> actual(4, 4, pw);
+  actual.from_compact(cc);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+                          "wide kernel");
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,176 @@
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/kernels/registry.hpp"
+#include "iatf/pack/trsm_pack.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+using kernels::KernelLimits;
+using kernels::Registry;
+
+// Solve an m x m lower NonUnit system for an nc-column panel with the
+// triangular kernel and compare against the scalar reference.
+template <class T>
+void check_tri_kernel(int m, int nc, Diag diag, std::uint64_t seed) {
+  using R = real_t<T>;
+  Rng rng(seed);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+
+  auto a = test::random_triangular_batch<T>(m, pw, rng);
+  auto b = test::random_batch<T>(m, nc, pw, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+
+  const TrsmShape shape{m, nc, Side::Left, Uplo::Lower, Op::NoTrans, diag,
+                        pw};
+  const auto canon = pack::TrsmCanon::make(shape);
+  const std::vector<Tile> blocks{Tile{0, m}};
+  AlignedBuffer<R> pa(
+      static_cast<std::size_t>(pack::packed_trsm_a_size(blocks, es)));
+  pack::pack_trsm_a<T>(ca.group_data(0), es, canon, diag, blocks,
+                       pa.data());
+
+  kernels::TrsmTriArgs<T> args;
+  args.pa = pa.data();
+  args.b = cb.group_data(0);
+  args.b_jstride = m * es;
+  Registry<T>::tri(m, nc)(args);
+
+  auto expected = b;
+  for (index_t lane = 0; lane < pw; ++lane) {
+    ref::trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, diag, m, nc, T(1),
+                 a.mat(lane), m, expected.mat(lane), m);
+  }
+  test::HostBatch<T> actual(m, nc, pw);
+  actual.from_compact(cb);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(m) * 10,
+                          std::string("tri kernel ") + blas_prefix_v<T> +
+                              " m=" + std::to_string(m) +
+                              " nc=" + std::to_string(nc));
+}
+
+template <class T> class TrsmKernelTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(TrsmKernelTyped, ScalarTypes);
+
+// Every register-resident triangular kernel (paper: M <= 5 real since
+// 2M + M(M+1)/2 <= 32; M <= 4 complex).
+TYPED_TEST(TrsmKernelTyped, TriangularAllSizes) {
+  using T = TypeParam;
+  using L = KernelLimits<T>;
+  std::uint64_t seed = 300;
+  for (int m = 1; m <= L::tri_max_m; ++m) {
+    for (int nc = 1; nc <= L::tri_max_nc; ++nc) {
+      check_tri_kernel<T>(m, nc, Diag::NonUnit, seed++);
+    }
+  }
+}
+
+TYPED_TEST(TrsmKernelTyped, TriangularUnitDiag) {
+  using T = TypeParam;
+  using L = KernelLimits<T>;
+  check_tri_kernel<T>(L::tri_max_m, 1, Diag::Unit, 400);
+  check_tri_kernel<T>(2, L::tri_max_nc, Diag::Unit, 401);
+}
+
+// The rectangular kernel computes B_i -= A * X_j (paper equation 4).
+template <class T>
+void check_rect_kernel(int mc, int nc, index_t k, std::uint64_t seed) {
+  using R = real_t<T>;
+  Rng rng(seed);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+
+  // Canonical B workspace holding both the solved rows (X, k rows) and
+  // the target rows (mc rows): m_total = k + mc.
+  const index_t m_total = k + mc;
+  auto bwork = test::random_batch<T>(m_total, nc, pw, rng);
+  auto cb = bwork.to_compact();
+
+  // The A block: mc x k, packed k-major (mc blocks per k).
+  auto a = test::random_batch<T>(mc, k, pw, rng);
+  auto ca = a.to_compact();
+  AlignedBuffer<R> pa(static_cast<std::size_t>(mc * k * es));
+  {
+    R* dst = pa.data();
+    for (index_t l = 0; l < k; ++l) {
+      for (index_t i = 0; i < mc; ++i) {
+        const R* src =
+            ca.group_data(0) + ca.element_offset(i, l);
+        for (index_t s = 0; s < es; ++s) {
+          dst[s] = src[s];
+        }
+        dst += es;
+      }
+    }
+  }
+
+  kernels::TrsmRectArgs<T> args;
+  args.pa = pa.data();
+  args.x = cb.group_data(0);                    // rows [0, k)
+  args.b = cb.group_data(0) + k * es;           // rows [k, k+mc)
+  args.k = k;
+  args.xb_jstride = m_total * es;
+  Registry<T>::rect(mc, nc)(args);
+
+  // Expected: target rows -= A * X.
+  auto expected = bwork;
+  for (index_t lane = 0; lane < pw; ++lane) {
+    for (index_t c = 0; c < nc; ++c) {
+      for (index_t i = 0; i < mc; ++i) {
+        T acc = expected.mat(lane)[c * m_total + k + i];
+        for (index_t l = 0; l < k; ++l) {
+          acc -= a.mat(lane)[l * mc + i] *
+                 bwork.mat(lane)[c * m_total + l];
+        }
+        expected.mat(lane)[c * m_total + k + i] = acc;
+      }
+    }
+  }
+  test::HostBatch<T> actual(m_total, nc, pw);
+  actual.from_compact(cb);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+                          std::string("rect kernel ") + blas_prefix_v<T> +
+                              " mc=" + std::to_string(mc) +
+                              " nc=" + std::to_string(nc) +
+                              " k=" + std::to_string(k));
+}
+
+TYPED_TEST(TrsmKernelTyped, RectangularAllSizes) {
+  using T = TypeParam;
+  using L = KernelLimits<T>;
+  std::uint64_t seed = 600;
+  for (int mc = 1; mc <= L::rect_max_mc; ++mc) {
+    for (int nc = 1; nc <= L::rect_max_nc; ++nc) {
+      for (index_t k : {index_t(1), index_t(2), index_t(4)}) {
+        check_rect_kernel<T>(mc, nc, k, seed++);
+      }
+    }
+  }
+}
+
+TEST(TrsmKernelRegistry, TableOneSizes) {
+  // Table 1: main TRSM kernels 4x4 real / 2x2 complex, edge {3,2,1}x4 and
+  // 1x2 -- all present.
+  EXPECT_NE(Registry<float>::rect(4, 4), nullptr);
+  EXPECT_NE(Registry<float>::rect(3, 4), nullptr);
+  EXPECT_NE(Registry<float>::rect(1, 4), nullptr);
+  EXPECT_NE((Registry<std::complex<float>>::rect(2, 2)), nullptr);
+  EXPECT_NE((Registry<std::complex<float>>::rect(1, 2)), nullptr);
+  EXPECT_NE(Registry<double>::tri(5, 2), nullptr);
+  EXPECT_THROW(Registry<double>::tri(6, 1), Error);
+  EXPECT_THROW((Registry<std::complex<double>>::tri(5, 1)), Error);
+  EXPECT_THROW(Registry<float>::rect(5, 1), Error);
+}
+
+} // namespace
+} // namespace iatf

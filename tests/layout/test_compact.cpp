@@ -1,0 +1,129 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf {
+namespace {
+
+using test::HostBatch;
+
+template <class T> class CompactLayoutTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(CompactLayoutTyped, ScalarTypes);
+
+TYPED_TEST(CompactLayoutTyped, GetSetRoundtrip) {
+  using T = TypeParam;
+  CompactBuffer<T> buf(3, 4, 7);
+  T v{};
+  if constexpr (is_complex_v<T>) {
+    v = T(1.5, -2.5);
+  } else {
+    v = T(1.5);
+  }
+  buf.set(5, 2, 3, v);
+  EXPECT_EQ(buf.get(5, 2, 3), v);
+  EXPECT_EQ(buf.get(0, 0, 0), T{});
+}
+
+TYPED_TEST(CompactLayoutTyped, ColmajorRoundtripOddBatch) {
+  using T = TypeParam;
+  Rng rng(7);
+  // Batch deliberately not a multiple of the pack width.
+  const index_t batch = simd::pack_width_v<T> * 3 + 1;
+  auto host = test::random_batch<T>(5, 6, batch, rng);
+  CompactBuffer<T> compact = host.to_compact();
+  HostBatch<T> back(5, 6, batch);
+  back.from_compact(compact);
+  EXPECT_EQ(host.data, back.data);
+}
+
+TYPED_TEST(CompactLayoutTyped, GroupCountRoundsUp) {
+  using T = TypeParam;
+  const index_t pw = simd::pack_width_v<T>;
+  EXPECT_EQ(CompactBuffer<T>(2, 2, pw).groups(), 1);
+  EXPECT_EQ(CompactBuffer<T>(2, 2, pw + 1).groups(), 2);
+  EXPECT_EQ(CompactBuffer<T>(2, 2, 0).groups(), 0);
+}
+
+TYPED_TEST(CompactLayoutTyped, InterleaveOrderMatchesPaperFigure3) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  const index_t pw = simd::pack_width_v<T>;
+  CompactBuffer<T> buf(3, 3, pw);
+  // Matrix b holds value b+1 at element (1, 2).
+  for (index_t b = 0; b < pw; ++b) {
+    if constexpr (is_complex_v<T>) {
+      buf.set(b, 1, 2, T(static_cast<R>(b + 1), static_cast<R>(-(b + 1))));
+    } else {
+      buf.set(b, 1, 2, static_cast<R>(b + 1));
+    }
+  }
+  // The element block for (1,2) holds the P matrices' values contiguously:
+  // lane order inside the block is the batch order.
+  const R* block = buf.group_data(0) + buf.element_offset(1, 2);
+  for (index_t lane = 0; lane < pw; ++lane) {
+    EXPECT_EQ(block[lane], static_cast<R>(lane + 1));
+    if constexpr (is_complex_v<T>) {
+      EXPECT_EQ(block[pw + lane], static_cast<R>(-(lane + 1)));
+    }
+  }
+}
+
+TYPED_TEST(CompactLayoutTyped, PadIdentityWritesUnitDiagonal) {
+  using T = TypeParam;
+  const index_t pw = simd::pack_width_v<T>;
+  if (pw < 2) {
+    GTEST_SKIP();
+  }
+  const index_t batch = pw + 1; // last group has pw-1 padded lanes
+  CompactBuffer<T> buf(3, 3, batch);
+  buf.pad_identity();
+  const auto* g = buf.group_data(1);
+  for (index_t i = 0; i < 3; ++i) {
+    const auto* blk = g + buf.element_offset(i, i);
+    EXPECT_EQ(blk[0], real_t<T>(0));  // real lane (batch index pw) untouched
+    for (index_t lane = 1; lane < pw; ++lane) {
+      EXPECT_EQ(blk[lane], real_t<T>(1));
+    }
+  }
+  // Off-diagonal padding stays zero.
+  EXPECT_EQ(buf.get(batch - 1, 1, 0), T{});
+}
+
+TYPED_TEST(CompactLayoutTyped, OutOfRangeAccessThrows) {
+  using T = TypeParam;
+  CompactBuffer<T> buf(2, 2, 3);
+  EXPECT_THROW(buf.get(3, 0, 0), Error);
+  EXPECT_THROW(buf.get(0, 2, 0), Error);
+  EXPECT_THROW(buf.get(0, 0, -1), Error);
+  EXPECT_THROW(buf.set(0, 0, 5, T{}), Error);
+}
+
+TEST(CompactLayout, StridesMatchDocumentedFormula) {
+  CompactBuffer<float> s(4, 5, 9);
+  EXPECT_EQ(s.pack_width(), 4);
+  EXPECT_EQ(s.element_stride(), 4);
+  EXPECT_EQ(s.group_stride(), 4 * 5 * 4);
+  EXPECT_EQ(s.element_offset(2, 3), (3 * 4 + 2) * 4);
+
+  CompactBuffer<std::complex<double>> z(3, 3, 2);
+  EXPECT_EQ(z.pack_width(), 2);
+  EXPECT_EQ(z.element_stride(), 4); // 2 lanes x 2 planes
+  EXPECT_EQ(z.group_stride(), 3 * 3 * 4);
+}
+
+TEST(CompactLayout, CustomPackWidth) {
+  // The mklsim wide configuration interleaves 8 floats per group.
+  CompactBuffer<float> buf(2, 2, 10, 8);
+  EXPECT_EQ(buf.pack_width(), 8);
+  EXPECT_EQ(buf.groups(), 2);
+  buf.set(9, 1, 1, 5.0f);
+  EXPECT_EQ(buf.get(9, 1, 1), 5.0f);
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,114 @@
+// The bulk conversion paths (to_compact / from_compact walk group-major
+// without per-element checks) must agree exactly with the element-wise
+// import/export accessors for every type, shape and partial last group.
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T> class ConvertBulkTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(ConvertBulkTyped, ScalarTypes);
+
+TYPED_TEST(ConvertBulkTyped, BulkImportEqualsElementwiseImport) {
+  using T = TypeParam;
+  Rng rng(61);
+  for (index_t batch :
+       {index_t(1), index_t(simd::pack_width_v<T>),
+        index_t(simd::pack_width_v<T> * 2 + 1)}) {
+    const index_t rows = 5, cols = 3;
+    auto host = test::random_batch<T>(rows, cols, batch, rng);
+
+    auto bulk = to_compact<T>(host.data.data(), rows, cols, rows,
+                              rows * cols, batch);
+    CompactBuffer<T> element(rows, cols, batch);
+    for (index_t b = 0; b < batch; ++b) {
+      element.import_colmajor(b, host.mat(b), rows);
+    }
+    ASSERT_EQ(bulk.size(), element.size());
+    for (std::size_t i = 0; i < bulk.size(); ++i) {
+      ASSERT_EQ(bulk.data()[i], element.data()[i])
+          << "batch=" << batch << " scalar " << i;
+    }
+  }
+}
+
+TYPED_TEST(ConvertBulkTyped, BulkExportEqualsElementwiseExport) {
+  using T = TypeParam;
+  Rng rng(62);
+  const index_t rows = 4, cols = 6;
+  const index_t batch = simd::pack_width_v<T> + 2;
+  auto host = test::random_batch<T>(rows, cols, batch, rng);
+  auto compact = host.to_compact();
+
+  test::HostBatch<T> bulk(rows, cols, batch);
+  from_compact<T>(compact, bulk.data.data(), rows, rows * cols);
+  test::HostBatch<T> element(rows, cols, batch);
+  for (index_t b = 0; b < batch; ++b) {
+    compact.export_colmajor(b, element.mat(b), rows);
+  }
+  EXPECT_EQ(bulk.data, element.data);
+}
+
+TYPED_TEST(ConvertBulkTyped, RespectsLeadingDimensionAndStride) {
+  using T = TypeParam;
+  Rng rng(63);
+  const index_t rows = 3, cols = 2, ld = 5, stride = 13, batch = 4;
+  std::vector<T> src(static_cast<std::size_t>(stride * batch));
+  rng.fill<T>(src);
+  auto buf =
+      to_compact<T>(src.data(), rows, cols, ld, stride, batch);
+  for (index_t b = 0; b < batch; ++b) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        ASSERT_EQ(buf.get(b, i, j),
+                  src[static_cast<std::size_t>(b * stride + j * ld + i)]);
+      }
+    }
+  }
+  // Round-trip through the same strided destination.
+  std::vector<T> dst(src.size(), T{});
+  from_compact<T>(buf, dst.data(), ld, stride);
+  for (index_t b = 0; b < batch; ++b) {
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        ASSERT_EQ(dst[static_cast<std::size_t>(b * stride + j * ld + i)],
+                  src[static_cast<std::size_t>(b * stride + j * ld + i)]);
+      }
+    }
+  }
+}
+
+TYPED_TEST(ConvertBulkTyped, PaddedLanesStayZero) {
+  using T = TypeParam;
+  const index_t pw = simd::pack_width_v<T>;
+  if (pw < 2) {
+    GTEST_SKIP();
+  }
+  Rng rng(64);
+  const index_t batch = pw + 1;
+  auto host = test::random_batch<T>(2, 2, batch, rng);
+  auto buf = to_compact<T>(host.data.data(), 2, 2, 2, 4, batch);
+  // Lanes past `batch` in the last group remain value-initialised.
+  const auto* g = buf.group_data(buf.groups() - 1);
+  for (index_t e = 0; e < 4; ++e) {
+    const auto* blk = g + e * buf.element_stride();
+    for (index_t lane = 1; lane < pw; ++lane) {
+      EXPECT_EQ(blk[lane], real_t<T>(0));
+    }
+  }
+}
+
+TEST(ConvertBulk, BadLeadingDimensionThrows) {
+  std::vector<double> src(10);
+  EXPECT_THROW(to_compact<double>(src.data(), 4, 1, 3, 4, 2), Error);
+}
+
+} // namespace
+} // namespace iatf

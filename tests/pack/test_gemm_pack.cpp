@@ -1,0 +1,144 @@
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/pack/gemm_pack.hpp"
+
+namespace iatf {
+namespace {
+
+// Read lane `lane` of the element block at `blk` (pack-layout helper).
+template <class T>
+T read_lane(const real_t<T>* blk, index_t pw, index_t lane) {
+  if constexpr (is_complex_v<T>) {
+    return T(blk[lane], blk[pw + lane]);
+  } else {
+    return blk[lane];
+  }
+}
+
+template <class T> class GemmPackTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(GemmPackTyped, ScalarTypes);
+
+// The packed A panel must contain, tile by tile and k-major, the logical
+// op(A)(i, l) values of each lane, for every transposition mode.
+TYPED_TEST(GemmPackTyped, PanelAMatchesLogicalOperandAllOps) {
+  using T = TypeParam;
+  Rng rng(5);
+  const index_t m = 7, k = 5;
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const auto tiles = tile_dimension(m, 4);
+
+  for (Op op : test::all_ops()) {
+    const index_t rows = op == Op::NoTrans ? m : k;
+    const index_t cols = op == Op::NoTrans ? k : m;
+    auto host = test::random_batch<T>(rows, cols, pw, rng);
+    auto compact = host.to_compact();
+
+    AlignedBuffer<real_t<T>> out(
+        static_cast<std::size_t>(pack::packed_gemm_a_size(m, k, es)));
+    pack::pack_gemm_a<T>(compact.group_data(0), rows, es, op, tiles, k,
+                         out.data());
+
+    index_t blk = 0;
+    for (const Tile& t : tiles) {
+      for (index_t l = 0; l < k; ++l) {
+        for (index_t i = 0; i < t.size; ++i, ++blk) {
+          for (index_t lane = 0; lane < pw; ++lane) {
+            const index_t row = t.offset + i;
+            T expected;
+            if (op == Op::NoTrans) {
+              expected = compact.get(lane, row, l);
+            } else {
+              expected = compact.get(lane, l, row);
+              if (op == Op::ConjTrans) {
+                expected = conj_if_complex(expected);
+              }
+            }
+            ASSERT_EQ(read_lane<T>(out.data() + blk * es, pw, lane),
+                      expected)
+                << "op=" << to_string(op) << " tile@" << t.offset
+                << " i=" << i << " l=" << l << " lane=" << lane;
+          }
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(GemmPackTyped, PanelBMatchesLogicalOperandAllOps) {
+  using T = TypeParam;
+  Rng rng(6);
+  const index_t k = 6, n = 7;
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const auto tiles = tile_dimension(n, 4);
+
+  for (Op op : test::all_ops()) {
+    const index_t rows = op == Op::NoTrans ? k : n;
+    const index_t cols = op == Op::NoTrans ? n : k;
+    auto host = test::random_batch<T>(rows, cols, pw, rng);
+    auto compact = host.to_compact();
+
+    AlignedBuffer<real_t<T>> out(
+        static_cast<std::size_t>(pack::packed_gemm_b_size(k, n, es)));
+    pack::pack_gemm_b<T>(compact.group_data(0), rows, es, op, tiles, k,
+                         out.data());
+
+    index_t blk = 0;
+    for (const Tile& t : tiles) {
+      for (index_t l = 0; l < k; ++l) {
+        for (index_t j = 0; j < t.size; ++j, ++blk) {
+          for (index_t lane = 0; lane < pw; ++lane) {
+            const index_t col = t.offset + j;
+            T expected;
+            if (op == Op::NoTrans) {
+              expected = compact.get(lane, l, col);
+            } else {
+              expected = compact.get(lane, col, l);
+              if (op == Op::ConjTrans) {
+                expected = conj_if_complex(expected);
+              }
+            }
+            ASSERT_EQ(read_lane<T>(out.data() + blk * es, pw, lane),
+                      expected)
+                << "op=" << to_string(op) << " tile@" << t.offset
+                << " j=" << j << " l=" << l;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmPack, PanelSizes) {
+  EXPECT_EQ(pack::packed_gemm_a_size(3, 5, 4), 3 * 5 * 4);
+  EXPECT_EQ(pack::packed_gemm_b_size(5, 2, 8), 5 * 2 * 8);
+  EXPECT_EQ(pack::packed_gemm_a_size(0, 5, 4), 0);
+}
+
+// A no-trans pack of a single-tile operand is the identity reordering --
+// the property the Pack Selecter's no-pack decision relies on.
+TEST(GemmPack, SingleTileNoTransIsIdentityCopy) {
+  Rng rng(9);
+  const index_t m = 4, k = 6;
+  auto host = test::random_batch<float>(m, k, 4, rng);
+  auto compact = host.to_compact();
+  const index_t es = 4;
+  const std::vector<Tile> tiles{Tile{0, m}};
+  AlignedBuffer<float> out(static_cast<std::size_t>(m * k * es));
+  pack::pack_gemm_a<float>(compact.group_data(0), m, es, Op::NoTrans,
+                           tiles, k, out.data());
+  for (index_t i = 0; i < m * k * es; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], compact.group_data(0)[i]);
+  }
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,268 @@
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/aligned_buffer.hpp"
+#include "iatf/pack/trsm_pack.hpp"
+
+namespace iatf {
+namespace {
+
+template <class T>
+T read_lane(const real_t<T>* blk, index_t pw, index_t lane) {
+  if constexpr (is_complex_v<T>) {
+    return T(blk[lane], blk[pw + lane]);
+  } else {
+    return blk[lane];
+  }
+}
+
+// The canonical-lower element L(i,j) that pack_trsm_a is expected to
+// gather for one lane, computed directly from the mode definition.
+template <class T>
+T canonical_element(const test::HostBatch<T>& a, index_t lane,
+                    const pack::TrsmCanon& c, index_t i, index_t j) {
+  const index_t m = c.m;
+  const index_t ii = c.reverse ? m - 1 - i : i;
+  const index_t jj = c.reverse ? m - 1 - j : j;
+  const index_t row = c.transpose ? jj : ii;
+  const index_t col = c.transpose ? ii : jj;
+  T v = a.mat(lane)[col * m + row];
+  return c.conj ? conj_if_complex(v) : v;
+}
+
+TEST(TrsmCanon, ModeMapping) {
+  const auto mk = [](Side s, Uplo u, Op o) {
+    return pack::TrsmCanon::make(
+        TrsmShape{6, 4, s, u, o, Diag::NonUnit, 1});
+  };
+  // LNLN: already canonical.
+  auto c = mk(Side::Left, Uplo::Lower, Op::NoTrans);
+  EXPECT_FALSE(c.transpose);
+  EXPECT_FALSE(c.reverse);
+  EXPECT_FALSE(c.b_transpose);
+  EXPECT_EQ(c.m, 6);
+  EXPECT_EQ(c.n, 4);
+  // Left Upper NoTrans: needs reversal.
+  c = mk(Side::Left, Uplo::Upper, Op::NoTrans);
+  EXPECT_FALSE(c.transpose);
+  EXPECT_TRUE(c.reverse);
+  // Left Upper Trans: transposed read is already lower.
+  c = mk(Side::Left, Uplo::Upper, Op::Trans);
+  EXPECT_TRUE(c.transpose);
+  EXPECT_FALSE(c.reverse);
+  // Left Lower Trans: transposed read of a lower triangle is upper.
+  c = mk(Side::Left, Uplo::Lower, Op::Trans);
+  EXPECT_TRUE(c.transpose);
+  EXPECT_TRUE(c.reverse);
+  // Right side swaps the roles of m and n and transposes B.
+  c = mk(Side::Right, Uplo::Lower, Op::NoTrans);
+  EXPECT_TRUE(c.b_transpose);
+  EXPECT_TRUE(c.transpose); // left matrix is A^T
+  EXPECT_EQ(c.m, 4);
+  EXPECT_EQ(c.n, 6);
+  // Right + Trans reads A directly.
+  c = mk(Side::Right, Uplo::Lower, Op::Trans);
+  EXPECT_FALSE(c.transpose);
+  EXPECT_FALSE(c.reverse);
+  // ConjTrans always conjugates.
+  c = mk(Side::Left, Uplo::Upper, Op::ConjTrans);
+  EXPECT_TRUE(c.conj);
+}
+
+template <class T> class TrsmPackTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(TrsmPackTyped, ScalarTypes);
+
+// Walk the packed triangle for every mode and check each block against the
+// canonical element (with the diagonal inverted).
+TYPED_TEST(TrsmPackTyped, PackedTriangleMatchesCanonicalForm) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(21);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const index_t m = 7, n = 4;
+
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        const TrsmShape shape{m, n, side, uplo, op, Diag::NonUnit, pw};
+        const auto canon = pack::TrsmCanon::make(shape);
+        auto host = test::random_triangular_batch<T>(canon.m, pw, rng);
+        auto compact = host.to_compact();
+        const auto blocks = tile_dimension(canon.m, 4);
+
+        AlignedBuffer<R> out(static_cast<std::size_t>(
+            pack::packed_trsm_a_size(blocks, es)));
+        pack::pack_trsm_a<T>(compact.group_data(0), es, canon,
+                             Diag::NonUnit, blocks, out.data());
+
+        const R* p = out.data();
+        for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+          const Tile& rowb = blocks[bi];
+          for (std::size_t bj = 0; bj < bi; ++bj) {
+            const Tile& colb = blocks[bj];
+            for (index_t kk = 0; kk < colb.size; ++kk) {
+              for (index_t i = 0; i < rowb.size; ++i, p += es) {
+                for (index_t lane = 0; lane < pw; ++lane) {
+                  ASSERT_EQ(read_lane<T>(p, pw, lane),
+                            canonical_element<T>(host, lane, canon,
+                                                 rowb.offset + i,
+                                                 colb.offset + kk))
+                      << to_string(shape);
+                }
+              }
+            }
+          }
+          for (index_t i = 0; i < rowb.size; ++i) {
+            for (index_t j = 0; j <= i; ++j, p += es) {
+              for (index_t lane = 0; lane < pw; ++lane) {
+                const T src = canonical_element<T>(
+                    host, lane, canon, rowb.offset + i, rowb.offset + j);
+                const T got = read_lane<T>(p, pw, lane);
+                if (i == j) {
+                  // Diagonal stored as reciprocal.
+                  const R err = std::abs(got - T(1) / src);
+                  ASSERT_LE(err, test::tolerance<T>(1))
+                      << to_string(shape);
+                } else {
+                  ASSERT_EQ(got, src) << to_string(shape);
+                }
+              }
+            }
+          }
+        }
+        EXPECT_EQ(p - out.data(),
+                  pack::packed_trsm_a_size(blocks, es));
+      }
+    }
+  }
+}
+
+TYPED_TEST(TrsmPackTyped, UnitDiagonalStoresOnes) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(22);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const index_t m = 3;
+  const TrsmShape shape{m, 2, Side::Left, Uplo::Lower, Op::NoTrans,
+                        Diag::Unit, pw};
+  const auto canon = pack::TrsmCanon::make(shape);
+  auto host = test::random_batch<T>(m, m, pw, rng); // garbage diagonal
+  auto compact = host.to_compact();
+  const std::vector<Tile> blocks{Tile{0, m}};
+  AlignedBuffer<R> out(
+      static_cast<std::size_t>(pack::packed_trsm_a_size(blocks, es)));
+  pack::pack_trsm_a<T>(compact.group_data(0), es, canon, Diag::Unit,
+                       blocks, out.data());
+  // Triangle layout: rows (1 + 2 + 3 blocks); diagonal blocks are at row
+  // starts + row index.
+  index_t blk = 0;
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t j = 0; j <= i; ++j, ++blk) {
+      if (i == j) {
+        for (index_t lane = 0; lane < pw; ++lane) {
+          EXPECT_EQ(read_lane<T>(out.data() + blk * es, pw, lane), T(1));
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(TrsmPackTyped, PackUnpackBRoundtripAllModes) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(23);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const index_t m = 5, n = 3;
+
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        const TrsmShape shape{m, n, side, uplo, op, Diag::NonUnit, pw};
+        const auto canon = pack::TrsmCanon::make(shape);
+        auto host = test::random_batch<T>(m, n, pw, rng);
+        auto compact = host.to_compact();
+
+        AlignedBuffer<R> work(
+            static_cast<std::size_t>(canon.m * canon.n * es));
+        pack::pack_trsm_b<T>(compact.group_data(0), m, canon, es, T(1),
+                             work.data());
+        // Canonical element (i, c) equals the mapped user element.
+        for (index_t c = 0; c < canon.n; ++c) {
+          for (index_t i = 0; i < canon.m; ++i) {
+            const index_t ii = canon.reverse ? canon.m - 1 - i : i;
+            const index_t row = canon.b_transpose ? c : ii;
+            const index_t col = canon.b_transpose ? ii : c;
+            ASSERT_EQ(read_lane<T>(work.data() + (c * canon.m + i) * es,
+                                   pw, 0),
+                      compact.get(0, row, col))
+                << to_string(shape);
+          }
+        }
+
+        // unpack(pack(B)) must be the identity.
+        CompactBuffer<T> dst(m, n, pw);
+        pack::unpack_trsm_b<T>(work.data(), m, canon, es,
+                               dst.group_data(0));
+        for (index_t j = 0; j < n; ++j) {
+          for (index_t i = 0; i < m; ++i) {
+            for (index_t lane = 0; lane < pw; ++lane) {
+              ASSERT_EQ(dst.get(lane, i, j), compact.get(lane, i, j))
+                  << to_string(shape);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(TrsmPackTyped, PackBAppliesAlpha) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(24);
+  const index_t pw = simd::pack_width_v<T>;
+  const index_t es = pw * (is_complex_v<T> ? 2 : 1);
+  const TrsmShape shape{2, 2, Side::Left, Uplo::Lower, Op::NoTrans,
+                        Diag::NonUnit, pw};
+  const auto canon = pack::TrsmCanon::make(shape);
+  auto host = test::random_batch<T>(2, 2, pw, rng);
+  auto compact = host.to_compact();
+  T alpha;
+  if constexpr (is_complex_v<T>) {
+    alpha = T(R(0.5), R(-2));
+  } else {
+    alpha = T(R(-1.5));
+  }
+  AlignedBuffer<R> work(static_cast<std::size_t>(4 * es));
+  pack::pack_trsm_b<T>(compact.group_data(0), 2, canon, es, alpha,
+                       work.data());
+  for (index_t i = 0; i < 2; ++i) {
+    for (index_t c = 0; c < 2; ++c) {
+      const T got = read_lane<T>(work.data() + (c * 2 + i) * es, pw, 0);
+      const T want = alpha * compact.get(0, i, c);
+      EXPECT_LE(std::abs(got - want), test::tolerance<T>(1));
+    }
+  }
+}
+
+TEST(TrsmPack, PackedSizeAndRowOffsets) {
+  const std::vector<Tile> blocks{Tile{0, 4}, Tile{4, 4}, Tile{8, 3}};
+  const index_t es = 2;
+  // Row 0: tri(4) = 10 blocks. Row 1: rect 4*4 + tri 10 = 26.
+  // Row 2: rect 8*3 + tri 6 = 30. Total 66 blocks.
+  EXPECT_EQ(pack::packed_trsm_a_size(blocks, es), 66 * es);
+  EXPECT_EQ(pack::packed_trsm_row_offset(blocks, 0, es), 0);
+  EXPECT_EQ(pack::packed_trsm_row_offset(blocks, 1, es), 10 * es);
+  EXPECT_EQ(pack::packed_trsm_row_offset(blocks, 2, es), 36 * es);
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,144 @@
+#include <atomic>
+#include <complex>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+#include "iatf/plan/gemm_plan.hpp"
+#include "iatf/plan/trsm_plan.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(ThreadPool, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, [&](index_t b, index_t e) {
+    for (index_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)]++;
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, EmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 2, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 2);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.parallel_for(0, 10, [&](index_t, index_t) {
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](index_t b, index_t) {
+                                   if (b > 0) {
+                                     throw Error("boom");
+                                   }
+                                 }),
+               Error);
+  // The pool remains usable afterwards.
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 10, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 10);
+}
+
+TEST(ThreadPool, InvertedRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(5, 2, [](index_t, index_t) {}), Error);
+}
+
+// Parallel plan execution must be bit-identical to serial execution:
+// groups are disjoint, so there is no accumulation-order ambiguity.
+template <class T> class ParallelPlanTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(ParallelPlanTyped, ScalarTypes);
+
+TYPED_TEST(ParallelPlanTyped, GemmParallelMatchesSerial) {
+  using T = TypeParam;
+  Rng rng(71);
+  const index_t m = 9, n = 7, k = 5;
+  const index_t batch = simd::pack_width_v<T> * 13 + 1;
+  auto a = test::random_batch<T>(m, k, batch, rng);
+  auto b = test::random_batch<T>(k, n, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc1 = c.to_compact();
+  auto cc2 = c.to_compact();
+
+  const GemmShape shape{m, n, k, Op::NoTrans, Op::Trans, batch};
+  // op_b mismatched with buffer shape on purpose? No: build B for Trans.
+  const GemmShape nn{m, n, k, Op::NoTrans, Op::NoTrans, batch};
+  plan::GemmPlan<T> plan(nn, CacheInfo::kunpeng920());
+  (void)shape;
+  plan.execute(ca, cb, cc1, T(2), T(-1));
+  ThreadPool pool(5); // oversubscribed on a small host: still correct
+  plan.execute_parallel(ca, cb, cc2, T(2), T(-1), pool);
+
+  for (index_t l = 0; l < batch; ++l) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        ASSERT_EQ(cc1.get(l, i, j), cc2.get(l, i, j))
+            << "batch " << l << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TYPED_TEST(ParallelPlanTyped, TrsmParallelMatchesSerial) {
+  using T = TypeParam;
+  Rng rng(72);
+  const index_t m = 11, n = 6;
+  const index_t batch = simd::pack_width_v<T> * 9 + 2;
+  auto a = test::random_triangular_batch<T>(m, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  ca.pad_identity();
+  auto cb1 = b.to_compact();
+  auto cb2 = b.to_compact();
+
+  const TrsmShape shape{m, n, Side::Left, Uplo::Upper, Op::NoTrans,
+                        Diag::NonUnit, batch};
+  plan::TrsmPlan<T> plan(shape, CacheInfo::kunpeng920());
+  plan.execute(ca, cb1, T(1.5));
+  ThreadPool pool(4);
+  plan.execute_parallel(ca, cb2, T(1.5), pool);
+
+  for (index_t l = 0; l < batch; ++l) {
+    for (index_t j = 0; j < n; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        ASSERT_EQ(cb1.get(l, i, j), cb2.get(l, i, j))
+            << "batch " << l << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf

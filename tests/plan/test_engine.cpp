@@ -1,0 +1,129 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/core/compact_blas.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(Engine, PlanCacheHitsOnRepeatDescriptors) {
+  Engine engine(CacheInfo::kunpeng920());
+  const GemmShape shape{5, 5, 5, Op::NoTrans, Op::NoTrans, 8};
+  auto p1 = engine.plan_gemm<float>(shape);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  auto p2 = engine.plan_gemm<float>(shape);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+  // A different descriptor is a different plan.
+  GemmShape other = shape;
+  other.op_a = Op::Trans;
+  auto p3 = engine.plan_gemm<float>(other);
+  EXPECT_NE(p1.get(), p3.get());
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+  // Same dims, different dtype: distinct cache entry.
+  auto p4 = engine.plan_gemm<double>(shape);
+  EXPECT_EQ(engine.plan_cache_size(), 3u);
+  (void)p4;
+  engine.clear_plan_cache();
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+}
+
+TEST(Engine, TrsmPlansKeyedOnAllModeBits) {
+  Engine engine(CacheInfo::kunpeng920());
+  TrsmShape shape{6, 4, Side::Left, Uplo::Lower, Op::NoTrans,
+                  Diag::NonUnit, 8};
+  auto p1 = engine.plan_trsm<double>(shape);
+  shape.diag = Diag::Unit;
+  auto p2 = engine.plan_trsm<double>(shape);
+  EXPECT_NE(p1.get(), p2.get());
+  shape.uplo = Uplo::Upper;
+  auto p3 = engine.plan_trsm<double>(shape);
+  EXPECT_EQ(engine.plan_cache_size(), 3u);
+  (void)p3;
+}
+
+// The convenience front end must infer shapes from buffers, including
+// transposed operands.
+TEST(Engine, CompactGemmFreeFunction) {
+  using T = double;
+  Rng rng(55);
+  const index_t m = 6, n = 4, k = 7, batch = 5;
+  auto a = test::random_batch<T>(k, m, batch, rng); // will be used as A^T
+  auto b = test::random_batch<T>(k, n, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc = c.to_compact();
+
+  compact_gemm<T>(Op::Trans, Op::NoTrans, 2.0, ca, cb, -1.0, cc);
+
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<T>(Op::Trans, Op::NoTrans, m, n, k, 2.0, a.mat(l), k,
+                 b.mat(l), k, -1.0, expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cc);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+                          "compact_gemm free function");
+}
+
+TEST(Engine, CompactTrsmFreeFunction) {
+  using T = std::complex<float>;
+  Rng rng(56);
+  const index_t m = 5, n = 6, batch = 6;
+  auto a = test::random_triangular_batch<T>(n, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+  auto ca = a.to_compact();
+  ca.pad_identity();
+  auto cb = b.to_compact();
+
+  compact_trsm<T>(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit,
+                  T(1), ca, cb);
+
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<T>(Side::Right, Uplo::Upper, Op::NoTrans, Diag::NonUnit, m,
+                 n, T(1), a.mat(l), n, expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cb);
+  test::expect_batch_near(expected, actual, test::tolerance<T>(n) * 10,
+                          "compact_trsm free function");
+}
+
+TEST(Engine, WidePlansCoexistWithNarrow) {
+  Engine engine(CacheInfo::kunpeng920());
+  const GemmShape shape{4, 4, 4, Op::NoTrans, Op::NoTrans, 16};
+  auto narrow = engine.plan_gemm<float, 16>(shape);
+  auto wide = engine.plan_gemm<float, 32>(shape);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+  EXPECT_EQ(narrow->pack_width(), 4);
+  EXPECT_EQ(wide->pack_width(), 8);
+
+  // The wide plan executes correctly on wide buffers.
+  Rng rng(57);
+  const index_t batch = 16;
+  auto a = test::random_batch<float>(4, 4, batch, rng);
+  auto b = test::random_batch<float>(4, 4, batch, rng);
+  auto c = test::random_batch<float>(4, 4, batch, rng);
+  auto ca = a.to_compact(8);
+  auto cb = b.to_compact(8);
+  auto cc = c.to_compact(8);
+  wide->execute(ca, cb, cc, 1.0f, 0.0f);
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<float>(Op::NoTrans, Op::NoTrans, 4, 4, 4, 1.0f, a.mat(l), 4,
+                     b.mat(l), 4, 0.0f, expected.mat(l), 4);
+  }
+  test::HostBatch<float> actual(4, 4, batch);
+  actual.from_compact(cc);
+  test::expect_batch_near(expected, actual, test::tolerance<float>(4),
+                          "wide plan");
+}
+
+} // namespace
+} // namespace iatf

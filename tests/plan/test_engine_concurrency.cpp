@@ -1,0 +1,61 @@
+// Engine thread-safety: the plan cache is shared mutable state guarded by
+// a mutex; concurrent lookups for the same and for distinct descriptors
+// must return consistent plans and never race (run under TSan for the
+// full guarantee; this test still catches ordering/duplication bugs).
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iatf/core/engine.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(EngineConcurrency, ParallelLookupsShareOnePlanPerDescriptor) {
+  Engine engine(CacheInfo::kunpeng920());
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+
+  std::vector<const void*> first(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  std::atomic<bool> go{false};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kIters; ++i) {
+        // Two hot descriptors plus a per-thread unique one.
+        auto p1 = engine.plan_gemm<float>(
+            GemmShape{4, 4, 4, Op::NoTrans, Op::NoTrans, 64});
+        auto p2 = engine.plan_trsm<double>(TrsmShape{
+            6, 6, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+            64});
+        auto p3 = engine.plan_gemm<float>(GemmShape{
+            static_cast<index_t>(t + 1), 4, 4, Op::NoTrans, Op::NoTrans,
+            64});
+        if (first[static_cast<std::size_t>(t)] == nullptr) {
+          first[static_cast<std::size_t>(t)] = p1.get();
+        }
+        ASSERT_EQ(p1.get(), first[static_cast<std::size_t>(t)]);
+        ASSERT_NE(p2.get(), nullptr);
+        ASSERT_EQ(p3->shape().m, t + 1);
+      }
+    });
+  }
+  go.store(true);
+  for (auto& th : threads) {
+    th.join();
+  }
+  // All threads observed the same shared plan for the hot descriptor.
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(first[static_cast<std::size_t>(t)], first[0]);
+  }
+  // Exactly one cache entry per distinct descriptor.
+  EXPECT_EQ(engine.plan_cache_size(),
+            2u + static_cast<std::size_t>(kThreads) - 1u);
+}
+
+} // namespace
+} // namespace iatf

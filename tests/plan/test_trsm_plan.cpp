@@ -1,0 +1,203 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/plan/trsm_plan.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+using plan::TrsmPlan;
+
+template <class T>
+void check_trsm(index_t m, index_t n, Side side, Uplo uplo, Op op_a,
+                Diag diag, T alpha, index_t batch, std::uint64_t seed,
+                const CacheInfo& cache = CacheInfo::kunpeng920()) {
+  Rng rng(seed);
+  const index_t adim = side == Side::Left ? m : n;
+  auto a = test::random_triangular_batch<T>(adim, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+
+  auto ca = a.to_compact();
+  ca.pad_identity();
+  auto cb = b.to_compact();
+
+  const TrsmShape shape{m, n, side, uplo, op_a, diag, batch};
+  TrsmPlan<T> plan(shape, cache);
+  plan.execute(ca, cb, alpha);
+
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<T>(side, uplo, op_a, diag, m, n, alpha, a.mat(l), adim,
+                 expected.mat(l), m);
+  }
+  test::HostBatch<T> actual(m, n, batch);
+  actual.from_compact(cb);
+  test::expect_batch_near(expected, actual,
+                          test::tolerance<T>(adim) * 10,
+                          to_string(shape));
+}
+
+template <class T> class TrsmPlanTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(TrsmPlanTyped, ScalarTypes);
+
+// Square sweep over the paper's evaluated range in LNLN mode: exercises
+// the register-resident path (m <= 5/4) and the blocked path with every
+// edge-block combination.
+TYPED_TEST(TrsmPlanTyped, SquareSweepLNLN) {
+  using T = TypeParam;
+  const index_t batch = simd::pack_width_v<T> * 2 + 1;
+  for (index_t s = 1; s <= 33; ++s) {
+    check_trsm<T>(s, s, Side::Left, Uplo::Lower, Op::NoTrans,
+                  Diag::NonUnit, T(1), batch,
+                  7000 + static_cast<std::uint64_t>(s));
+  }
+}
+
+// All 16 mode combinations (Side x Uplo x Trans x Diag), both a small and
+// a blocked size -- the canonicalisation property the paper's "one kernel
+// for all modes" claim rests on.
+TYPED_TEST(TrsmPlanTyped, AllSixteenModes) {
+  using T = TypeParam;
+  const index_t batch = simd::pack_width_v<T> + 1;
+  std::uint64_t seed = 8000;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          check_trsm<T>(3, 4, side, uplo, op, diag, T(1), batch, seed++);
+          check_trsm<T>(11, 9, side, uplo, op, diag, T(1), batch, seed++);
+        }
+      }
+    }
+  }
+}
+
+TYPED_TEST(TrsmPlanTyped, AlphaVariants) {
+  using T = TypeParam;
+  const index_t batch = simd::pack_width_v<T>;
+  std::uint64_t seed = 9000;
+  for (T alpha : {T(0), T(1), T(-1), T(2.5)}) {
+    // Both the no-pack (LNLN) and the packed (upper) paths scale by alpha.
+    check_trsm<T>(6, 5, Side::Left, Uplo::Lower, Op::NoTrans,
+                  Diag::NonUnit, alpha, batch, seed++);
+    check_trsm<T>(6, 5, Side::Left, Uplo::Upper, Op::NoTrans,
+                  Diag::NonUnit, alpha, batch, seed++);
+  }
+}
+
+TYPED_TEST(TrsmPlanTyped, ComplexAlpha) {
+  using T = TypeParam;
+  if constexpr (is_complex_v<T>) {
+    check_trsm<T>(7, 6, Side::Right, Uplo::Upper, Op::ConjTrans,
+                  Diag::NonUnit, T(0.5, -1.5), simd::pack_width_v<T>,
+                  9100);
+  } else {
+    GTEST_SKIP() << "real type";
+  }
+}
+
+TYPED_TEST(TrsmPlanTyped, BatchNotMultipleOfPackWidth) {
+  using T = TypeParam;
+  for (index_t batch : {index_t(1), index_t(3),
+                        index_t(simd::pack_width_v<T> * 2 + 1)}) {
+    check_trsm<T>(9, 7, Side::Left, Uplo::Lower, Op::NoTrans,
+                  Diag::NonUnit, T(1), batch,
+                  9200 + static_cast<std::uint64_t>(batch));
+  }
+}
+
+TYPED_TEST(TrsmPlanTyped, TinyL1ForcesSlicing) {
+  using T = TypeParam;
+  CacheInfo tiny;
+  tiny.l1d = 256;
+  check_trsm<T>(8, 8, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                T(1), simd::pack_width_v<T> * 4, 9300, tiny);
+}
+
+TEST(TrsmPlanPolicy, SmallPathUsesRegisterResidentKernel) {
+  const CacheInfo cache = CacheInfo::kunpeng920();
+  // m <= 5 real: single triangular block, no rect steps.
+  TrsmPlan<double> small(
+      TrsmShape{5, 8, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_TRUE(small.small_path());
+  for (const auto& step : small.steps()) {
+    EXPECT_EQ(step.kind, TrsmPlan<double>::Step::Kind::Tri);
+  }
+  // m = 6 real: blocked.
+  TrsmPlan<double> blocked(
+      TrsmShape{6, 8, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_FALSE(blocked.small_path());
+  // Complex register budget caps the small path at m = 4.
+  TrsmPlan<std::complex<double>> csmall(
+      TrsmShape{4, 4, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_TRUE(csmall.small_path());
+  TrsmPlan<std::complex<double>> cblocked(
+      TrsmShape{5, 4, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_FALSE(cblocked.small_path());
+}
+
+TEST(TrsmPlanPolicy, PackSelecterSkipsBForCanonicalModes) {
+  const CacheInfo cache = CacheInfo::kunpeng920();
+  // LNLN: canonical, B solved in place (paper's no-packing strategy).
+  TrsmPlan<float> lnln(
+      TrsmShape{4, 4, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_FALSE(lnln.packs_b());
+  // LTUN (upper via transpose) also needs no B movement.
+  TrsmPlan<float> ltun(
+      TrsmShape{4, 4, Side::Left, Uplo::Upper, Op::Trans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_FALSE(ltun.packs_b());
+  // Upper NoTrans requires the row reversal -> pack.
+  TrsmPlan<float> lnun(
+      TrsmShape{4, 4, Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_TRUE(lnun.packs_b());
+  // Right side transposes B -> pack.
+  TrsmPlan<float> right(
+      TrsmShape{4, 4, Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit,
+                16},
+      cache);
+  EXPECT_TRUE(right.packs_b());
+}
+
+TEST(TrsmPlanErrors, MismatchedBuffersThrow) {
+  const TrsmShape shape{4, 4, Side::Left, Uplo::Lower, Op::NoTrans,
+                        Diag::NonUnit, 8};
+  TrsmPlan<float> plan(shape, CacheInfo::kunpeng920());
+  CompactBuffer<float> a(4, 4, 8), b(4, 4, 8);
+  CompactBuffer<float> bad(5, 4, 8);
+  CompactBuffer<float> bad_batch(4, 4, 7);
+  EXPECT_THROW(plan.execute(bad, b, 1.0f), Error);
+  EXPECT_THROW(plan.execute(a, bad, 1.0f), Error);
+  EXPECT_THROW(plan.execute(a, bad_batch, 1.0f), Error);
+}
+
+// Padded lanes must not contaminate real results even for TRSM, where an
+// all-zero pad would divide by zero without pad_identity().
+TEST(TrsmPlanPadding, PaddedLanesAreHarmless) {
+  using T = double;
+  Rng rng(42);
+  const index_t batch = 3; // pack width 2 -> one padded lane
+  check_trsm<T>(6, 6, Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                T(1), batch, 9400);
+}
+
+} // namespace
+} // namespace iatf

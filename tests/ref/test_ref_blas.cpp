@@ -1,0 +1,157 @@
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(RefGemm, HandComputed2x2) {
+  // A = [1 2; 3 4], B = [5 6; 7 8] column-major.
+  const std::vector<double> a{1, 3, 2, 4};
+  const std::vector<double> b{5, 7, 6, 8};
+  std::vector<double> c{1, 1, 1, 1};
+  ref::gemm<double>(Op::NoTrans, Op::NoTrans, 2, 2, 2, 2.0, a.data(), 2,
+                    b.data(), 2, 3.0, c.data(), 2);
+  // A*B = [19 22; 43 50]; C = 2*A*B + 3*ones.
+  EXPECT_DOUBLE_EQ(c[0], 2 * 19 + 3);
+  EXPECT_DOUBLE_EQ(c[1], 2 * 43 + 3);
+  EXPECT_DOUBLE_EQ(c[2], 2 * 22 + 3);
+  EXPECT_DOUBLE_EQ(c[3], 2 * 50 + 3);
+}
+
+TEST(RefGemm, TransposeModesAgree) {
+  Rng rng(3);
+  const index_t m = 5, n = 4, k = 6;
+  auto a = test::random_batch<double>(m, k, 1, rng);
+  auto at = test::random_batch<double>(k, m, 1, rng);
+  // at = a^T
+  for (index_t i = 0; i < m; ++i) {
+    for (index_t l = 0; l < k; ++l) {
+      at.mat(0)[i * k + l] = a.mat(0)[l * m + i];
+    }
+  }
+  auto b = test::random_batch<double>(k, n, 1, rng);
+  std::vector<double> c1(m * n, 0.0), c2(m * n, 0.0);
+  ref::gemm<double>(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, a.mat(0), m,
+                    b.mat(0), k, 0.0, c1.data(), m);
+  ref::gemm<double>(Op::Trans, Op::NoTrans, m, n, k, 1.0, at.mat(0), k,
+                    b.mat(0), k, 0.0, c2.data(), m);
+  for (index_t i = 0; i < m * n; ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-12);
+  }
+}
+
+TEST(RefGemm, ConjTransConjugates) {
+  using C = std::complex<double>;
+  // 1x1: A = [2+3i]; conj-trans picks conj(A).
+  const C a{2, 3};
+  const C b{1, 1};
+  C c{0, 0};
+  ref::gemm<C>(Op::ConjTrans, Op::NoTrans, 1, 1, 1, C(1), &a, 1, &b, 1,
+               C(0), &c, 1);
+  EXPECT_EQ(c, std::conj(a) * b);
+}
+
+TEST(RefGemm, BetaZeroDoesNotReadC) {
+  // C initialised with NaN must be fully overwritten when beta == 0.
+  const std::vector<float> a{1.0f};
+  const std::vector<float> b{2.0f};
+  std::vector<float> c{std::numeric_limits<float>::quiet_NaN()};
+  ref::gemm<float>(Op::NoTrans, Op::NoTrans, 1, 1, 1, 1.0f, a.data(), 1,
+                   b.data(), 1, 0.0f, c.data(), 1);
+  EXPECT_EQ(c[0], 2.0f);
+}
+
+TEST(RefGemm, KZeroScalesByBeta) {
+  std::vector<double> c{4.0};
+  ref::gemm<double>(Op::NoTrans, Op::NoTrans, 1, 1, 0, 1.0, nullptr, 1,
+                    nullptr, 1, 0.5, c.data(), 1);
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+}
+
+TEST(RefTrsm, HandComputedLowerSolve) {
+  // A = [2 0; 1 4] (lower), b = [2; 5]. Solve A x = b: x0 = 1, x1 = 1.
+  const std::vector<double> a{2, 1, 0, 4};
+  std::vector<double> b{2, 5};
+  ref::trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 2,
+                    1, 1.0, a.data(), 2, b.data(), 2);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 1.0);
+}
+
+TEST(RefTrsm, UnitDiagIgnoresStoredDiagonal) {
+  // Stored diagonal is garbage; Unit mode must not touch it.
+  const std::vector<double> a{99, 1, 0, -77};
+  std::vector<double> b{2, 5};
+  ref::trsm<double>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, 2, 1,
+                    1.0, a.data(), 2, b.data(), 2);
+  EXPECT_DOUBLE_EQ(b[0], 2.0);
+  EXPECT_DOUBLE_EQ(b[1], 3.0);
+}
+
+// Property: for every mode combination, multiplying the solution back by
+// the triangular factor reconstructs alpha * B.
+template <class T> class RefTrsmTyped : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(RefTrsmTyped, ScalarTypes);
+
+TYPED_TEST(RefTrsmTyped, SolveReconstructsRhsInAllModes) {
+  using T = TypeParam;
+  using R = real_t<T>;
+  Rng rng(11);
+  const index_t m = 7, n = 5;
+  for (Side side : {Side::Left, Side::Right}) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      for (Op op : test::all_ops()) {
+        for (Diag diag : {Diag::NonUnit, Diag::Unit}) {
+          const index_t adim = side == Side::Left ? m : n;
+          auto a = test::random_triangular_batch<T>(adim, 1, rng);
+          auto b = test::random_batch<T>(m, n, 1, rng);
+          auto x = b; // solved in place
+          const T alpha = T(R(1.5));
+          ref::trsm<T>(side, uplo, op, diag, m, n, alpha, a.mat(0), adim,
+                       x.mat(0), m);
+
+          // Materialise the effective triangular factor op(tri(A)).
+          std::vector<T> tri(adim * adim, T{});
+          for (index_t j = 0; j < adim; ++j) {
+            for (index_t i = 0; i < adim; ++i) {
+              const bool in_tri =
+                  uplo == Uplo::Lower ? (i >= j) : (i <= j);
+              if (i == j) {
+                tri[j * adim + i] =
+                    diag == Diag::Unit ? T(1) : a.mat(0)[j * adim + i];
+              } else if (in_tri) {
+                tri[j * adim + i] = a.mat(0)[j * adim + i];
+              }
+            }
+          }
+          // reconstructed = op(tri) * X (Left) or X * op(tri) (Right)
+          std::vector<T> rec(m * n, T{});
+          if (side == Side::Left) {
+            ref::gemm<T>(op, Op::NoTrans, m, n, m, T(1), tri.data(), adim,
+                         x.mat(0), m, T(0), rec.data(), m);
+          } else {
+            ref::gemm<T>(Op::NoTrans, op, m, n, n, T(1), x.mat(0), m,
+                         tri.data(), adim, T(0), rec.data(), m);
+          }
+          const R tol = test::tolerance<T>(adim) * 100;
+          for (index_t i = 0; i < m * n; ++i) {
+            const R diff = std::abs(rec[i] - alpha * b.mat(0)[i]);
+            ASSERT_LE(diff, tol)
+                << to_string(TrsmShape{m, n, side, uplo, op, diag, 1})
+                << " at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,118 @@
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "iatf/simd/vec.hpp"
+
+namespace iatf::simd {
+namespace {
+
+template <class V> void roundtrip_case() {
+  using R = typename V::real_type;
+  R src[V::lanes];
+  R dst[V::lanes];
+  for (int i = 0; i < V::lanes; ++i) {
+    src[i] = static_cast<R>(i) + R(0.5);
+  }
+  const V v = V::load(src);
+  v.store(dst);
+  for (int i = 0; i < V::lanes; ++i) {
+    EXPECT_EQ(dst[i], src[i]);
+    EXPECT_EQ(v.get(i), src[i]);
+  }
+}
+
+TEST(SimdVec, LoadStoreRoundtrip) {
+  roundtrip_case<vec<float, 4>>();
+  roundtrip_case<vec<double, 2>>();
+  roundtrip_case<vec<float, 8>>();
+  roundtrip_case<vec<double, 4>>();
+}
+
+template <class V> void arithmetic_case() {
+  using R = typename V::real_type;
+  R a[V::lanes];
+  R b[V::lanes];
+  for (int i = 0; i < V::lanes; ++i) {
+    a[i] = static_cast<R>(i + 1);
+    b[i] = static_cast<R>(2 * i + 3);
+  }
+  const V va = V::load(a);
+  const V vb = V::load(b);
+  for (int i = 0; i < V::lanes; ++i) {
+    EXPECT_EQ((va + vb).get(i), a[i] + b[i]);
+    EXPECT_EQ((va - vb).get(i), a[i] - b[i]);
+    EXPECT_EQ((va * vb).get(i), a[i] * b[i]);
+    EXPECT_EQ((va / vb).get(i), a[i] / b[i]);
+  }
+}
+
+TEST(SimdVec, LanewiseArithmetic) {
+  arithmetic_case<vec<float, 4>>();
+  arithmetic_case<vec<double, 2>>();
+  arithmetic_case<vec<double, 4>>();
+}
+
+TEST(SimdVec, BroadcastAndZero) {
+  const auto v = vec<float, 4>::broadcast(3.25f);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v.get(i), 3.25f);
+  }
+  const auto z = vec<double, 2>::zero();
+  EXPECT_EQ(z.get(0), 0.0);
+  EXPECT_EQ(z.get(1), 0.0);
+}
+
+template <class V> void fma_case() {
+  using R = typename V::real_type;
+  R acc[V::lanes];
+  R a[V::lanes];
+  R b[V::lanes];
+  for (int i = 0; i < V::lanes; ++i) {
+    acc[i] = static_cast<R>(i) * R(0.25);
+    a[i] = static_cast<R>(i + 2);
+    b[i] = static_cast<R>(3 - i);
+  }
+  const V r1 = V::fma(V::load(acc), V::load(a), V::load(b));
+  const V r2 = V::fms(V::load(acc), V::load(a), V::load(b));
+  for (int i = 0; i < V::lanes; ++i) {
+    // FMA contraction may round once instead of twice; allow one ulp-ish.
+    EXPECT_NEAR(r1.get(i), acc[i] + a[i] * b[i],
+                std::abs(acc[i] + a[i] * b[i]) * 1e-6 + 1e-6);
+    EXPECT_NEAR(r2.get(i), acc[i] - a[i] * b[i],
+                std::abs(acc[i] - a[i] * b[i]) * 1e-6 + 1e-6);
+  }
+}
+
+TEST(SimdVec, FmaFms) {
+  fma_case<vec<float, 4>>();
+  fma_case<vec<double, 2>>();
+  fma_case<vec<float, 8>>();
+}
+
+TEST(SimdVec, PackWidths) {
+  static_assert(pack_width_v<float> == 4);
+  static_assert(pack_width_v<double> == 2);
+  static_assert(pack_width_v<std::complex<float>> == 4);
+  static_assert(pack_width_v<std::complex<double>> == 2);
+  static_assert((pack_width_bytes_v<float, 32>) == 8);
+  static_assert(
+      std::is_same_v<compact_vec_t<std::complex<double>>, vec<double, 2>>);
+}
+
+TEST(SimdVec, UnalignedAccessIsSafe) {
+  alignas(64) float storage[16] = {};
+  for (int i = 0; i < 16; ++i) {
+    storage[i] = static_cast<float>(i);
+  }
+  // Deliberately misaligned base.
+  const auto v = vec<float, 4>::load(storage + 1);
+  EXPECT_EQ(v.get(0), 1.0f);
+  EXPECT_EQ(v.get(3), 4.0f);
+  float out[4];
+  v.store(out);
+  EXPECT_EQ(out[2], 3.0f);
+}
+
+} // namespace
+} // namespace iatf::simd

@@ -1,0 +1,136 @@
+// Shared helpers for the IATF test suites: host-side column-major batch
+// storage, random problem generation, and oracle comparison against
+// iatf::ref with type-appropriate tolerances.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/rng.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf::test {
+
+/// A batch of matrices in plain column-major storage (the "user side" of
+/// the layout conversions); matrix b starts at data[b * rows * cols].
+template <class T> struct HostBatch {
+  index_t rows = 0;
+  index_t cols = 0;
+  index_t batch = 0;
+  std::vector<T> data;
+
+  HostBatch() = default;
+  HostBatch(index_t r, index_t c, index_t b)
+      : rows(r), cols(c), batch(b),
+        data(static_cast<std::size_t>(r * c * b)) {}
+
+  index_t ld() const { return rows; }
+  index_t matrix_stride() const { return rows * cols; }
+  T* mat(index_t b) { return data.data() + b * matrix_stride(); }
+  const T* mat(index_t b) const {
+    return data.data() + b * matrix_stride();
+  }
+
+  CompactBuffer<T> to_compact(
+      index_t pack_width = simd::pack_width_v<T>) const {
+    return iatf::to_compact<T>(data.data(), rows, cols, ld(),
+                               matrix_stride(), batch, pack_width);
+  }
+
+  void from_compact(const CompactBuffer<T>& src) {
+    iatf::from_compact<T>(src, data.data(), ld(), matrix_stride());
+  }
+};
+
+template <class T>
+HostBatch<T> random_batch(index_t rows, index_t cols, index_t batch,
+                          Rng& rng) {
+  HostBatch<T> out(rows, cols, batch);
+  rng.fill<T>(out.data);
+  return out;
+}
+
+/// Random square batch suitable as a TRSM triangular factor: diagonal
+/// bounded away from zero, off-diagonal scaled down so solves stay
+/// well-conditioned even at the largest tested sizes.
+template <class T>
+HostBatch<T> random_triangular_batch(index_t m, index_t batch, Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out(m, m, batch);
+  rng.fill<T>(out.data);
+  const R scale = m > 1 ? R(0.5) / static_cast<R>(m) : R(1);
+  for (index_t b = 0; b < batch; ++b) {
+    T* a = out.mat(b);
+    for (index_t j = 0; j < m; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        if (i != j) {
+          a[j * m + i] *= scale;
+        }
+      }
+    }
+    std::vector<T> diag(static_cast<std::size_t>(m));
+    rng.fill_diag_safe<T>(diag);
+    for (index_t i = 0; i < m; ++i) {
+      a[i * m + i] = diag[static_cast<std::size_t>(i)];
+    }
+  }
+  return out;
+}
+
+/// Relative tolerance for comparing an optimised result against the
+/// reference, scaled by the reduction depth of the computation.
+template <class T> real_t<T> tolerance(index_t depth) {
+  using R = real_t<T>;
+  const R base = std::is_same_v<R, float> ? R(1e-5) : R(1e-13);
+  return base * static_cast<R>(depth < 4 ? 4 : depth);
+}
+
+template <class T>
+void expect_batch_near(const HostBatch<T>& expected,
+                       const HostBatch<T>& actual, real_t<T> tol,
+                       const std::string& context) {
+  using R = real_t<T>;
+  ASSERT_EQ(expected.rows, actual.rows) << context;
+  ASSERT_EQ(expected.cols, actual.cols) << context;
+  ASSERT_EQ(expected.batch, actual.batch) << context;
+  // Scale the tolerance by the batch's magnitude so absolute comparisons
+  // of near-zero entries do not produce false failures.
+  R norm = R(0);
+  for (const T& v : expected.data) {
+    norm = std::max(norm, static_cast<R>(std::abs(v)));
+  }
+  const R bound = tol * (norm > R(1) ? norm : R(1));
+  for (index_t b = 0; b < expected.batch; ++b) {
+    for (index_t j = 0; j < expected.cols; ++j) {
+      for (index_t i = 0; i < expected.rows; ++i) {
+        const T e = expected.mat(b)[j * expected.ld() + i];
+        const T a = actual.mat(b)[j * actual.ld() + i];
+        const R diff = static_cast<R>(std::abs(e - a));
+        ASSERT_LE(diff, bound)
+            << context << " mismatch at batch=" << b << " i=" << i
+            << " j=" << j << " expected=" << std::abs(e)
+            << " actual=" << std::abs(a);
+      }
+    }
+  }
+}
+
+inline const std::vector<Op>& all_ops() {
+  static const std::vector<Op> ops{Op::NoTrans, Op::Trans, Op::ConjTrans};
+  return ops;
+}
+
+inline std::string param_suffix(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out;
+}
+
+} // namespace iatf::test
