@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_batchcount"
+  "../bench/bench_ablation_batchcount.pdb"
+  "CMakeFiles/bench_ablation_batchcount.dir/bench_ablation_batchcount.cpp.o"
+  "CMakeFiles/bench_ablation_batchcount.dir/bench_ablation_batchcount.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batchcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_cmar"
+  "../bench/bench_ablation_cmar.pdb"
+  "CMakeFiles/bench_ablation_cmar.dir/bench_ablation_cmar.cpp.o"
+  "CMakeFiles/bench_ablation_cmar.dir/bench_ablation_cmar.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cmar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_nopack"
+  "../bench/bench_ablation_nopack.pdb"
+  "CMakeFiles/bench_ablation_nopack.dir/bench_ablation_nopack.cpp.o"
+  "CMakeFiles/bench_ablation_nopack.dir/bench_ablation_nopack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nopack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_routines"
+  "../bench/bench_ext_routines.pdb"
+  "CMakeFiles/bench_ext_routines.dir/bench_ext_routines.cpp.o"
+  "CMakeFiles/bench_ext_routines.dir/bench_ext_routines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_routines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_trsm_peak"
+  "../bench/bench_fig12_trsm_peak.pdb"
+  "CMakeFiles/bench_fig12_trsm_peak.dir/bench_fig12_trsm_peak.cpp.o"
+  "CMakeFiles/bench_fig12_trsm_peak.dir/bench_fig12_trsm_peak.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_trsm_peak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_sched"
+  "../bench/bench_fig5_sched.pdb"
+  "CMakeFiles/bench_fig5_sched.dir/bench_fig5_sched.cpp.o"
+  "CMakeFiles/bench_fig5_sched.dir/bench_fig5_sched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

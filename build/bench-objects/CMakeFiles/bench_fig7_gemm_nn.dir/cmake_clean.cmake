@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_gemm_nn"
+  "../bench/bench_fig7_gemm_nn.pdb"
+  "CMakeFiles/bench_fig7_gemm_nn.dir/bench_fig7_gemm_nn.cpp.o"
+  "CMakeFiles/bench_fig7_gemm_nn.dir/bench_fig7_gemm_nn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gemm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_trsm_lnln"
+  "../bench/bench_fig9_trsm_lnln.pdb"
+  "CMakeFiles/bench_fig9_trsm_lnln.dir/bench_fig9_trsm_lnln.cpp.o"
+  "CMakeFiles/bench_fig9_trsm_lnln.dir/bench_fig9_trsm_lnln.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_trsm_lnln.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

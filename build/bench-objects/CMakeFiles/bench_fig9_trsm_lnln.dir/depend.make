@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_trsm_lnln.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_headline_speedups"
+  "../bench/bench_headline_speedups.pdb"
+  "CMakeFiles/bench_headline_speedups.dir/bench_headline_speedups.cpp.o"
+  "CMakeFiles/bench_headline_speedups.dir/bench_headline_speedups.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_plan_overhead"
+  "../bench/bench_plan_overhead.pdb"
+  "CMakeFiles/bench_plan_overhead.dir/bench_plan_overhead.cpp.o"
+  "CMakeFiles/bench_plan_overhead.dir/bench_plan_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

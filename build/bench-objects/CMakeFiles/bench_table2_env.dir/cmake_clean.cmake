@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_env"
+  "../bench/bench_table2_env.pdb"
+  "CMakeFiles/bench_table2_env.dir/bench_table2_env.cpp.o"
+  "CMakeFiles/bench_table2_env.dir/bench_table2_env.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common/bench_common.cpp" "bench-objects/CMakeFiles/iatf_bench_common.dir/common/bench_common.cpp.o" "gcc" "bench-objects/CMakeFiles/iatf_bench_common.dir/common/bench_common.cpp.o.d"
+  "/root/repo/bench/common/series.cpp" "bench-objects/CMakeFiles/iatf_bench_common.dir/common/series.cpp.o" "gcc" "bench-objects/CMakeFiles/iatf_bench_common.dir/common/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iatf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iatf_bench_common.dir/common/bench_common.cpp.o"
+  "CMakeFiles/iatf_bench_common.dir/common/bench_common.cpp.o.d"
+  "CMakeFiles/iatf_bench_common.dir/common/series.cpp.o"
+  "CMakeFiles/iatf_bench_common.dir/common/series.cpp.o.d"
+  "libiatf_bench_common.a"
+  "libiatf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iatf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

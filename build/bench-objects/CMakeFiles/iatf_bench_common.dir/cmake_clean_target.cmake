@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiatf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/capsule_routing"
+  "../examples/capsule_routing.pdb"
+  "CMakeFiles/capsule_routing.dir/capsule_routing.cpp.o"
+  "CMakeFiles/capsule_routing.dir/capsule_routing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capsule_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cfd_flux_kernels"
+  "../examples/cfd_flux_kernels.pdb"
+  "CMakeFiles/cfd_flux_kernels.dir/cfd_flux_kernels.cpp.o"
+  "CMakeFiles/cfd_flux_kernels.dir/cfd_flux_kernels.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfd_flux_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/implicit_chemistry"
+  "../examples/implicit_chemistry.pdb"
+  "CMakeFiles/implicit_chemistry.dir/implicit_chemistry.cpp.o"
+  "CMakeFiles/implicit_chemistry.dir/implicit_chemistry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicit_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/kernel_generator_tool"
+  "../examples/kernel_generator_tool.pdb"
+  "CMakeFiles/kernel_generator_tool.dir/kernel_generator_tool.cpp.o"
+  "CMakeFiles/kernel_generator_tool.dir/kernel_generator_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_generator_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

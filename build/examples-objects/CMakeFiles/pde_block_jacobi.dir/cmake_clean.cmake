@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/pde_block_jacobi"
+  "../examples/pde_block_jacobi.pdb"
+  "CMakeFiles/pde_block_jacobi.dir/pde_block_jacobi.cpp.o"
+  "CMakeFiles/pde_block_jacobi.dir/pde_block_jacobi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pde_block_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/batch_drivers.cpp" "src/CMakeFiles/iatf.dir/baselines/batch_drivers.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/baselines/batch_drivers.cpp.o.d"
+  "/root/repo/src/baselines/smallspec_gemm.cpp" "src/CMakeFiles/iatf.dir/baselines/smallspec_gemm.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/baselines/smallspec_gemm.cpp.o.d"
+  "/root/repo/src/baselines/tuned_blas.cpp" "src/CMakeFiles/iatf.dir/baselines/tuned_blas.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/baselines/tuned_blas.cpp.o.d"
+  "/root/repo/src/capi/iatf_c.cpp" "src/CMakeFiles/iatf.dir/capi/iatf_c.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/capi/iatf_c.cpp.o.d"
+  "/root/repo/src/codegen/gemm_emitter.cpp" "src/CMakeFiles/iatf.dir/codegen/gemm_emitter.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/codegen/gemm_emitter.cpp.o.d"
+  "/root/repo/src/codegen/interpreter.cpp" "src/CMakeFiles/iatf.dir/codegen/interpreter.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/codegen/interpreter.cpp.o.d"
+  "/root/repo/src/codegen/ir.cpp" "src/CMakeFiles/iatf.dir/codegen/ir.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/codegen/ir.cpp.o.d"
+  "/root/repo/src/common/cache_info.cpp" "src/CMakeFiles/iatf.dir/common/cache_info.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/common/cache_info.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/iatf.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/tiling.cpp" "src/CMakeFiles/iatf.dir/common/tiling.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/common/tiling.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/iatf.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/common/types.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/iatf.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/core/engine.cpp.o.d"
+  "/root/repo/src/ext/factor.cpp" "src/CMakeFiles/iatf.dir/ext/factor.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/ext/factor.cpp.o.d"
+  "/root/repo/src/ext/trmm.cpp" "src/CMakeFiles/iatf.dir/ext/trmm.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/ext/trmm.cpp.o.d"
+  "/root/repo/src/kernels/registry_c.cpp" "src/CMakeFiles/iatf.dir/kernels/registry_c.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/kernels/registry_c.cpp.o.d"
+  "/root/repo/src/kernels/registry_d.cpp" "src/CMakeFiles/iatf.dir/kernels/registry_d.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/kernels/registry_d.cpp.o.d"
+  "/root/repo/src/kernels/registry_s.cpp" "src/CMakeFiles/iatf.dir/kernels/registry_s.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/kernels/registry_s.cpp.o.d"
+  "/root/repo/src/kernels/registry_z.cpp" "src/CMakeFiles/iatf.dir/kernels/registry_z.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/kernels/registry_z.cpp.o.d"
+  "/root/repo/src/pack/gemm_pack.cpp" "src/CMakeFiles/iatf.dir/pack/gemm_pack.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/pack/gemm_pack.cpp.o.d"
+  "/root/repo/src/pack/trsm_pack.cpp" "src/CMakeFiles/iatf.dir/pack/trsm_pack.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/pack/trsm_pack.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/iatf.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/pipesim/simulator.cpp" "src/CMakeFiles/iatf.dir/pipesim/simulator.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/pipesim/simulator.cpp.o.d"
+  "/root/repo/src/plan/gemm_plan.cpp" "src/CMakeFiles/iatf.dir/plan/gemm_plan.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/plan/gemm_plan.cpp.o.d"
+  "/root/repo/src/plan/plan_dump.cpp" "src/CMakeFiles/iatf.dir/plan/plan_dump.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/plan/plan_dump.cpp.o.d"
+  "/root/repo/src/plan/trsm_plan.cpp" "src/CMakeFiles/iatf.dir/plan/trsm_plan.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/plan/trsm_plan.cpp.o.d"
+  "/root/repo/src/ref/ref_blas.cpp" "src/CMakeFiles/iatf.dir/ref/ref_blas.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/ref/ref_blas.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/iatf.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/iatf.dir/sched/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

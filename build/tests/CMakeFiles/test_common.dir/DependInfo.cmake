@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/test_aligned_buffer.cpp" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o.d"
+  "/root/repo/tests/common/test_cache_info.cpp" "tests/CMakeFiles/test_common.dir/common/test_cache_info.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_cache_info.cpp.o.d"
+  "/root/repo/tests/common/test_tiling.cpp" "tests/CMakeFiles/test_common.dir/common/test_tiling.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_tiling.cpp.o.d"
+  "/root/repo/tests/common/test_types.cpp" "tests/CMakeFiles/test_common.dir/common/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iatf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_aligned_buffer.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_cache_info.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_cache_info.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_tiling.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_tiling.cpp.o.d"
+  "CMakeFiles/test_common.dir/common/test_types.cpp.o"
+  "CMakeFiles/test_common.dir/common/test_types.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/layout/test_compact.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/test_compact.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/test_convert_bulk.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/test_convert_bulk.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+  "test_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

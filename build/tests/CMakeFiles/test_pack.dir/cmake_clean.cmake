@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pack.dir/pack/test_gemm_pack.cpp.o"
+  "CMakeFiles/test_pack.dir/pack/test_gemm_pack.cpp.o.d"
+  "CMakeFiles/test_pack.dir/pack/test_trsm_pack.cpp.o"
+  "CMakeFiles/test_pack.dir/pack/test_trsm_pack.cpp.o.d"
+  "test_pack"
+  "test_pack.pdb"
+  "test_pack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

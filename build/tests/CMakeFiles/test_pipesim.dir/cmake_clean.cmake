@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipesim.dir/pipesim/test_simulator.cpp.o"
+  "CMakeFiles/test_pipesim.dir/pipesim/test_simulator.cpp.o.d"
+  "test_pipesim"
+  "test_pipesim.pdb"
+  "test_pipesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/plan/test_engine.cpp" "tests/CMakeFiles/test_plan.dir/plan/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_plan.dir/plan/test_engine.cpp.o.d"
+  "/root/repo/tests/plan/test_engine_concurrency.cpp" "tests/CMakeFiles/test_plan.dir/plan/test_engine_concurrency.cpp.o" "gcc" "tests/CMakeFiles/test_plan.dir/plan/test_engine_concurrency.cpp.o.d"
+  "/root/repo/tests/plan/test_gemm_plan.cpp" "tests/CMakeFiles/test_plan.dir/plan/test_gemm_plan.cpp.o" "gcc" "tests/CMakeFiles/test_plan.dir/plan/test_gemm_plan.cpp.o.d"
+  "/root/repo/tests/plan/test_plan_dump.cpp" "tests/CMakeFiles/test_plan.dir/plan/test_plan_dump.cpp.o" "gcc" "tests/CMakeFiles/test_plan.dir/plan/test_plan_dump.cpp.o.d"
+  "/root/repo/tests/plan/test_trsm_plan.cpp" "tests/CMakeFiles/test_plan.dir/plan/test_trsm_plan.cpp.o" "gcc" "tests/CMakeFiles/test_plan.dir/plan/test_trsm_plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/iatf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan.dir/plan/test_engine.cpp.o"
+  "CMakeFiles/test_plan.dir/plan/test_engine.cpp.o.d"
+  "CMakeFiles/test_plan.dir/plan/test_engine_concurrency.cpp.o"
+  "CMakeFiles/test_plan.dir/plan/test_engine_concurrency.cpp.o.d"
+  "CMakeFiles/test_plan.dir/plan/test_gemm_plan.cpp.o"
+  "CMakeFiles/test_plan.dir/plan/test_gemm_plan.cpp.o.d"
+  "CMakeFiles/test_plan.dir/plan/test_plan_dump.cpp.o"
+  "CMakeFiles/test_plan.dir/plan/test_plan_dump.cpp.o.d"
+  "CMakeFiles/test_plan.dir/plan/test_trsm_plan.cpp.o"
+  "CMakeFiles/test_plan.dir/plan/test_trsm_plan.cpp.o.d"
+  "test_plan"
+  "test_plan.pdb"
+  "test_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
