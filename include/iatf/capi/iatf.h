@@ -7,9 +7,9 @@
  * core. Four type variants are exposed with the conventional s/d/c/z
  * prefixes; complex scalars are passed as (re, im) pairs.
  *
- * Every routine returns 0 on success and a nonzero code on failure;
- * iatf_last_error() returns a thread-local message for the most recent
- * failure on the calling thread.
+ * Every routine returns IATF_STATUS_OK (0) on success and a stable
+ * iatf_status code on failure; iatf_last_error() returns a thread-local
+ * message for the most recent failure on the calling thread.
  */
 #ifndef IATF_CAPI_IATF_H
 #define IATF_CAPI_IATF_H
@@ -25,8 +25,36 @@ typedef enum iatf_side { IATF_LEFT = 0, IATF_RIGHT = 1 } iatf_side;
 typedef enum iatf_uplo { IATF_LOWER = 0, IATF_UPPER = 1 } iatf_uplo;
 typedef enum iatf_diag { IATF_NONUNIT = 0, IATF_UNIT = 1 } iatf_diag;
 
+/* Stable error codes returned by every routine (mirrors the C++
+ * iatf::Status enum value-for-value). */
+typedef enum iatf_status {
+  IATF_STATUS_OK = 0,
+  IATF_STATUS_INVALID_ARG = 1,      /* malformed descriptor or buffers */
+  IATF_STATUS_UNSUPPORTED = 2,      /* valid request this build can't serve */
+  IATF_STATUS_ALLOC_FAILURE = 3,    /* buffer/workspace allocation failed */
+  IATF_STATUS_NUMERICAL_HAZARD = 4, /* NaN/Inf output or singular diagonal */
+  IATF_STATUS_INTERNAL = 5          /* invariant violation / unknown error */
+} iatf_status;
+
+/* How much guarding the default engine wraps around gemm/trsm:
+ * FAST (default) = no checks, failures return an error code;
+ * CHECK = scan outputs, report IATF_STATUS_NUMERICAL_HAZARD on NaN/Inf
+ * outputs or singular TRSM diagonals;
+ * FALLBACK = CHECK + retry affected matrices on the scalar reference
+ * path, returning IATF_STATUS_OK once they complete. */
+typedef enum iatf_exec_policy {
+  IATF_EXEC_FAST = 0,
+  IATF_EXEC_CHECK = 1,
+  IATF_EXEC_FALLBACK = 2
+} iatf_exec_policy;
+
+void iatf_set_exec_policy(iatf_exec_policy policy);
+iatf_exec_policy iatf_get_exec_policy(void);
+
 /* Error handling. */
 const char* iatf_last_error(void);
+/* Reset the calling thread's error message to the empty string. */
+void iatf_clear_error(void);
 
 /* Opaque compact-buffer handles, one per scalar type. */
 typedef struct iatf_sbuf iatf_sbuf;

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
 
 namespace iatf {
 
@@ -46,6 +47,7 @@ public:
     if (count == 0) {
       return;
     }
+    IATF_FAULT_POINT("alloc", ::iatf::Status::AllocFailure);
     const std::size_t bytes =
         round_up(count * sizeof(T), kBufferAlignment);
     void* p = std::aligned_alloc(kBufferAlignment, bytes);

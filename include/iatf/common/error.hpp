@@ -4,22 +4,38 @@
 // iatf::Error on misuse; internal invariants use IATF_ASSERT which compiles
 // to a real check in all build types (the cost is negligible next to the
 // packing/compute work it guards).
+//
+// Every Error carries a Status code from common/status.hpp so the C API
+// and the engine's degradation logic can classify failures without
+// parsing messages. IATF_CHECK throws Status::InvalidArg; use
+// IATF_CHECK_AS for the other classes.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+
+#include "iatf/common/status.hpp"
 
 namespace iatf {
 
 /// Exception thrown on invalid arguments or unsupported configurations.
 class Error : public std::runtime_error {
 public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 Status status = Status::InvalidArg)
+      : std::runtime_error(what), status_(status) {}
+
+  /// Stable classification of the failure (mirrors the C status codes).
+  Status status() const noexcept { return status_; }
+
+private:
+  Status status_ = Status::InvalidArg;
 };
 
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line,
-                              const std::string& message);
+                              const std::string& message,
+                              Status status = Status::InvalidArg);
 } // namespace detail
 
 /// Validate a user-supplied condition; throws iatf::Error when violated.
@@ -30,13 +46,22 @@ namespace detail {
     }                                                                        \
   } while (false)
 
+/// IATF_CHECK with an explicit Status classification.
+#define IATF_CHECK_AS(cond, status, message)                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::iatf::detail::throw_error(__FILE__, __LINE__, (message), (status));  \
+    }                                                                        \
+  } while (false)
+
 /// Internal invariant; also throws (never UB) so property tests can probe
 /// failure paths safely.
 #define IATF_ASSERT(cond)                                                    \
   do {                                                                       \
     if (!(cond)) {                                                           \
       ::iatf::detail::throw_error(__FILE__, __LINE__,                        \
-                                  "internal invariant violated: " #cond);    \
+                                  "internal invariant violated: " #cond,     \
+                                  ::iatf::Status::Internal);                 \
     }                                                                        \
   } while (false)
 

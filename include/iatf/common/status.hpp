@@ -1,0 +1,157 @@
+// Guarded-execution primitives: stable status codes, the execution-policy
+// knob, and the per-call numerical-health report.
+//
+// The paper's run-time stage assumes well-formed inputs -- TRSM packing
+// takes reciprocals of the diagonal, and any unsupported descriptor or
+// allocation failure surfaces as a throw mid-batch. This layer is what a
+// production deployment adds around that fast path: callers pick how much
+// checking they want (ExecPolicy), the engine reports what it saw
+// (BatchHealth), and degradation events are recorded instead of lost.
+//
+// ExecPolicy::Fast is the contract-preserving default: no snapshots, no
+// scans, no overhead -- exactly the seed behaviour.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf {
+
+/// Stable error taxonomy shared by the C++ exceptions and the C API
+/// (values mirror the C `iatf_status` enum exactly).
+enum class Status : int {
+  Ok = 0,
+  InvalidArg = 1,       ///< malformed descriptor or mismatched buffers
+  Unsupported = 2,      ///< valid request the build cannot serve
+  AllocFailure = 3,     ///< workspace or buffer allocation failed
+  NumericalHazard = 4,  ///< NaN/Inf output or singular TRSM diagonal
+  Internal = 5,         ///< invariant violation or unexpected exception
+};
+
+const char* to_string(Status status) noexcept;
+
+/// How much guarding the engine wraps around plan execution.
+enum class ExecPolicy : std::uint8_t {
+  Fast = 0,     ///< zero-overhead: no checks, failures throw (seed behaviour)
+  Check = 1,    ///< run the fast path, then report hazards in BatchHealth
+  Fallback = 2, ///< Check + retry affected matrices on the reference path
+};
+
+const char* to_string(ExecPolicy policy) noexcept;
+
+/// Degradation events a guarded call can record (bitmask).
+enum class DegradeEvent : std::uint32_t {
+  None = 0,
+  UnsupportedPlan = 1u << 0, ///< plan construction rejected the descriptor
+  MissingKernel = 1u << 1,   ///< registry had no kernel for a tile size
+  AllocFailure = 1u << 2,    ///< packing workspace allocation failed
+  WorkerFailure = 1u << 3,   ///< a thread-pool chunk threw
+  NumericalHazard = 1u << 4, ///< non-finite output or singular diagonal
+};
+
+constexpr DegradeEvent operator|(DegradeEvent a, DegradeEvent b) noexcept {
+  return static_cast<DegradeEvent>(static_cast<std::uint32_t>(a) |
+                                   static_cast<std::uint32_t>(b));
+}
+constexpr DegradeEvent operator&(DegradeEvent a, DegradeEvent b) noexcept {
+  return static_cast<DegradeEvent>(static_cast<std::uint32_t>(a) &
+                                   static_cast<std::uint32_t>(b));
+}
+constexpr DegradeEvent& operator|=(DegradeEvent& a, DegradeEvent b) noexcept {
+  return a = a | b;
+}
+constexpr bool has_event(DegradeEvent set, DegradeEvent e) noexcept {
+  return (set & e) != DegradeEvent::None;
+}
+
+/// Per-call health report returned by the guarded engine entry points.
+/// Counts are matrices (batch lanes), not scalars; `first_*` fields are
+/// the lowest affected batch index, or -1 when the count is zero.
+struct BatchHealth {
+  index_t batch = 0;           ///< lanes the call covered
+  index_t nonfinite = 0;       ///< lanes whose output contains NaN/Inf
+  index_t first_nonfinite = -1;
+  index_t singular = 0;        ///< lanes with a zero/tiny/NaN TRSM diagonal
+  index_t first_singular = -1;
+  index_t fallback = 0;        ///< lanes recomputed on the reference path
+  index_t first_fallback = -1;
+  DegradeEvent events = DegradeEvent::None;
+
+  /// No hazards seen and no degradation needed.
+  bool clean() const noexcept {
+    return nonfinite == 0 && singular == 0 && fallback == 0 &&
+           events == DegradeEvent::None;
+  }
+  /// At least one lane did not run on the planned fast path.
+  bool degraded() const noexcept {
+    return fallback != 0 || events != DegradeEvent::None;
+  }
+
+  void merge(const BatchHealth& other) noexcept;
+};
+
+/// Hazard sink the plans write into while the data is hot. One recorder
+/// serves one guarded call; lanes are flag slots so concurrent workers
+/// (which own disjoint interleave groups, hence disjoint lanes) can note
+/// hazards without synchronisation.
+class HealthRecorder {
+public:
+  explicit HealthRecorder(index_t batch)
+      : singular_(static_cast<std::size_t>(batch), 0),
+        nonfinite_(static_cast<std::size_t>(batch), 0) {}
+
+  void note_singular(index_t lane) noexcept {
+    singular_[static_cast<std::size_t>(lane)] = 1;
+  }
+  void note_nonfinite(index_t lane) noexcept {
+    nonfinite_[static_cast<std::size_t>(lane)] = 1;
+  }
+
+  const std::vector<char>& singular_lanes() const noexcept {
+    return singular_;
+  }
+  const std::vector<char>& nonfinite_lanes() const noexcept {
+    return nonfinite_;
+  }
+
+  /// True when lane `l` was flagged for any hazard.
+  bool flagged(index_t lane) const noexcept {
+    const auto i = static_cast<std::size_t>(lane);
+    return singular_[i] != 0 || nonfinite_[i] != 0;
+  }
+
+  /// Fold the flags into counts and first-indices on `health`.
+  void fill(BatchHealth& health) const noexcept;
+
+private:
+  std::vector<char> singular_;
+  std::vector<char> nonfinite_;
+};
+
+/// Scan one interleave group's element blocks for NaN/Inf and flag the
+/// affected lanes. `elems` is rows*cols, `pw` the interleave width,
+/// `planes` 1 (real) or 2 (complex), `lanes` the live lane count of this
+/// group (excludes padding) and `lane_base` the batch index of lane 0.
+template <class R>
+void scan_nonfinite_group(const R* gdata, index_t elems, index_t pw,
+                          int planes, index_t lanes, index_t lane_base,
+                          HealthRecorder& health) {
+  const index_t es = pw * planes;
+  for (index_t e = 0; e < elems; ++e) {
+    const R* blk = gdata + e * es;
+    for (index_t lane = 0; lane < lanes; ++lane) {
+      bool bad = !std::isfinite(blk[lane]);
+      if (planes == 2) {
+        bad = bad || !std::isfinite(blk[pw + lane]);
+      }
+      if (bad) {
+        health.note_nonfinite(lane_base + lane);
+      }
+    }
+  }
+}
+
+} // namespace iatf

@@ -10,18 +10,22 @@
 namespace iatf {
 
 /// C = alpha * op_a(A) * op_b(B) + beta * C for every matrix in the batch.
+/// The health report is empty under the default ExecPolicy::Fast and safe
+/// to ignore.
 template <class T>
-void compact_gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
-                  const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c) {
-  Engine::default_engine().gemm<T>(op_a, op_b, alpha, a, b, beta, c);
+BatchHealth compact_gemm(Op op_a, Op op_b, T alpha,
+                         const CompactBuffer<T>& a, const CompactBuffer<T>& b,
+                         T beta, CompactBuffer<T>& c) {
+  return Engine::default_engine().gemm<T>(op_a, op_b, alpha, a, b, beta, c);
 }
 
 /// op_a(A) X = alpha B (Left) or X op_a(A) = alpha B (Right); B is
 /// overwritten by X for every matrix in the batch.
 template <class T>
-void compact_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
-                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
-  Engine::default_engine().trsm<T>(side, uplo, op_a, diag, alpha, a, b);
+BatchHealth compact_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                         const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+  return Engine::default_engine().trsm<T>(side, uplo, op_a, diag, alpha, a,
+                                          b);
 }
 
 } // namespace iatf

@@ -6,13 +6,23 @@
 // overhead is not significant, since it only generates this execution plan
 // at the beginning" (paper section 5.3) -- the cache is what makes repeat
 // calls with the same descriptor plan-free.
+//
+// The engine is also the guarded-execution boundary (common/status.hpp):
+// under ExecPolicy::Fast the gemm/trsm entry points behave exactly like
+// the raw plans (one relaxed atomic load of overhead); under Check they
+// additionally report numerical hazards in a BatchHealth; under Fallback
+// any classified failure -- unsupported plan, missing kernel, workspace
+// allocation failure, worker exception, hazardous output -- is retried on
+// the scalar reference path and recorded instead of thrown.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "iatf/common/cache_info.hpp"
+#include "iatf/common/status.hpp"
 #include "iatf/common/types.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
@@ -39,18 +49,38 @@ public:
   plan_trsm(const TrsmShape& shape);
 
   /// C = alpha * op_a(A) * op_b(B) + beta * C for every matrix in the
-  /// batch. Shapes are inferred from the buffers and the ops.
+  /// batch. Shapes are inferred from the buffers and the ops. The returned
+  /// report is empty (batch only) under ExecPolicy::Fast.
   template <class T, int Bytes = 16>
-  void gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
-            const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c);
+  BatchHealth gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+                   const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c);
 
   /// op_a(A) X = alpha B (Left) or X op_a(A) = alpha B (Right); B is
   /// overwritten by X for every matrix in the batch.
   template <class T, int Bytes = 16>
-  void trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
-            const CompactBuffer<T>& a, CompactBuffer<T>& b);
+  BatchHealth trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                   const CompactBuffer<T>& a, CompactBuffer<T>& b);
 
   const CacheInfo& cache_info() const noexcept { return cache_; }
+
+  /// Guarding level for gemm/trsm. Fast (the default) is the seed
+  /// behaviour: failures throw, no health scanning, no snapshots.
+  void set_policy(ExecPolicy policy) noexcept {
+    policy_.store(policy, std::memory_order_relaxed);
+  }
+  ExecPolicy policy() const noexcept {
+    return policy_.load(std::memory_order_relaxed);
+  }
+
+  /// Attach a (non-owning) thread pool; gemm/trsm then execute their plans
+  /// across the pool's workers. nullptr restores sequential execution. The
+  /// caller keeps the pool alive for as long as it is attached.
+  void set_thread_pool(ThreadPool* pool) noexcept {
+    pool_.store(pool, std::memory_order_relaxed);
+  }
+  ThreadPool* thread_pool() const noexcept {
+    return pool_.load(std::memory_order_relaxed);
+  }
 
   /// Plan-cache statistics (for tests and the plan-cache ablation bench).
   std::size_t plan_cache_size() const;
@@ -81,7 +111,20 @@ private:
   template <class Plan, class Make>
   std::shared_ptr<const Plan> lookup(const PlanKey& key, Make&& make);
 
+  template <class T, int Bytes>
+  BatchHealth guarded_gemm(const GemmShape& shape, T alpha,
+                           const CompactBuffer<T>& a,
+                           const CompactBuffer<T>& b, T beta,
+                           CompactBuffer<T>& c, ExecPolicy policy,
+                           ThreadPool* pool);
+  template <class T, int Bytes>
+  BatchHealth guarded_trsm(const TrsmShape& shape, T alpha,
+                           const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                           ExecPolicy policy, ThreadPool* pool);
+
   CacheInfo cache_;
+  std::atomic<ExecPolicy> policy_{ExecPolicy::Fast};
+  std::atomic<ThreadPool*> pool_{nullptr};
   mutable std::mutex mutex_;
   std::unordered_map<PlanKey, std::shared_ptr<const void>, PlanKeyHash>
       plans_;

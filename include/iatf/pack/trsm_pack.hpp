@@ -22,6 +22,7 @@
 // FDIV latency is paid once at pack time, never in the kernel.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "iatf/common/tiling.hpp"
@@ -52,10 +53,17 @@ struct TrsmCanon {
 /// `invert_diag` selects the stored diagonal: reciprocals for TRSM (the
 /// default), plain values for the TRMM extension. Unit diagonals store
 /// exactly 1 either way.
+///
+/// `singular` (optional) is the numerical-health hook: the pack already
+/// has every diagonal element in registers, so lanes whose diagonal is
+/// zero, NaN, or too tiny for a finite reciprocal are OR-ed into the mask
+/// (bit = lane within the interleave group) at no extra memory traffic.
+/// Only meaningful with invert_diag and a NonUnit diagonal.
 template <class T>
 void pack_trsm_a(const real_t<T>* src, index_t es, const TrsmCanon& canon,
                  Diag diag, std::span<const Tile> blocks, real_t<T>* out,
-                 bool invert_diag = true);
+                 bool invert_diag = true,
+                 std::uint64_t* singular = nullptr);
 
 /// Scalars (of real type) a packed triangle occupies for the given blocks.
 index_t packed_trsm_a_size(std::span<const Tile> blocks, index_t es);

@@ -6,6 +6,15 @@
 // groups with its own workspace, preserving the per-core L1 residency the
 // Batch Counter establishes. This module provides the pool; the plan
 // classes expose execute_parallel() built on it.
+//
+// Hardening contract (exercised by the fault-injection suite):
+//   * every parallel_for invocation carries its own Job state (pending
+//     count + first error), so errors never leak between calls and
+//     concurrent parallel_for calls on one pool stay independent;
+//   * the caller always waits for its queued chunks to drain before
+//     returning or unwinding -- a throw from any chunk (including the
+//     calling thread's own, or an injected "threadpool.*" fault) cannot
+//     deadlock the pool, dangle the chunk function, or poison later calls.
 #pragma once
 
 #include <condition_variable>
@@ -34,7 +43,8 @@ public:
   /// Run fn(chunk_begin, chunk_end) over [begin, end) split into roughly
   /// equal contiguous chunks, one per worker (plus the calling thread).
   /// Blocks until every chunk finishes; the first exception thrown by any
-  /// chunk is rethrown here.
+  /// chunk is rethrown here. The pool itself is unaffected by chunk
+  /// failures and remains usable for subsequent calls.
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t, index_t)>& fn);
 
@@ -42,13 +52,22 @@ public:
   static ThreadPool& global();
 
 private:
-  struct Task {
+  /// Per-invocation state: lives on the caller's stack for the duration
+  /// of its parallel_for (the caller never unwinds before pending == 0).
+  struct Job {
     const std::function<void(index_t, index_t)>* fn = nullptr;
+    std::size_t pending = 0; ///< queued chunks not yet finished
+    std::exception_ptr first_error;
+  };
+
+  struct Task {
+    Job* job = nullptr;
     index_t begin = 0;
     index_t end = 0;
   };
 
   void worker_loop();
+  void run_task(const Task& task);
 
   unsigned workers_ = 1;
   std::vector<std::thread> threads_;
@@ -56,8 +75,6 @@ private:
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
   std::vector<Task> queue_;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_error_;
   bool stop_ = false;
 };
 

@@ -14,6 +14,7 @@
 
 #include "iatf/common/aligned_buffer.hpp"
 #include "iatf/common/cache_info.hpp"
+#include "iatf/common/status.hpp"
 #include "iatf/common/tiling.hpp"
 #include "iatf/common/types.hpp"
 #include "iatf/kernels/registry.hpp"
@@ -46,16 +47,22 @@ public:
            const PlanTuning& tuning = {});
 
   /// Run the plan: C = alpha * op(A) * op(B) + beta * C per matrix.
+  /// When `health` is non-null, each group's C block is scanned for
+  /// NaN/Inf right after its kernels run, while it is still L1-resident,
+  /// and affected lanes are flagged on the recorder.
   void execute(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
-               CompactBuffer<T>& c, T alpha, T beta) const;
+               CompactBuffer<T>& c, T alpha, T beta,
+               HealthRecorder* health = nullptr) const;
 
   /// Multicore variant (the paper's future-work extension): interleave
   /// groups are independent, so the batch is split across the pool's
   /// workers, each running the L1-sized slice loop over its own range
-  /// with private packing workspace.
+  /// with private packing workspace. Workers own disjoint groups, so
+  /// they flag disjoint lanes of `health`.
   void execute_parallel(const CompactBuffer<T>& a,
                         const CompactBuffer<T>& b, CompactBuffer<T>& c,
-                        T alpha, T beta, ThreadPool& pool) const;
+                        T alpha, T beta, ThreadPool& pool,
+                        HealthRecorder* health = nullptr) const;
 
   const GemmShape& shape() const noexcept { return shape_; }
   bool packs_a() const noexcept { return pack_a_; }
@@ -80,7 +87,7 @@ private:
                         const CompactBuffer<T>& c) const;
   void run_groups(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
                   CompactBuffer<T>& c, T alpha, T beta, index_t g_begin,
-                  index_t g_end) const;
+                  index_t g_end, HealthRecorder* health) const;
 
   GemmShape shape_;
   std::vector<Tile> m_tiles_;

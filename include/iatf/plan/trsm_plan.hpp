@@ -17,6 +17,7 @@
 
 #include "iatf/common/aligned_buffer.hpp"
 #include "iatf/common/cache_info.hpp"
+#include "iatf/common/status.hpp"
 #include "iatf/common/tiling.hpp"
 #include "iatf/common/types.hpp"
 #include "iatf/kernels/registry.hpp"
@@ -50,13 +51,20 @@ public:
            const PlanTuning& tuning = {});
 
   /// Solve op(A) X = alpha B (or the Right-side variant), overwriting b.
-  void execute(const CompactBuffer<T>& a, CompactBuffer<T>& b,
-               T alpha) const;
+  /// When `health` is non-null the plan additionally flags numerical
+  /// hazards while the data is hot: zero/tiny/NaN diagonals are detected
+  /// inside the A-pack (before the reciprocal destroys the evidence) and
+  /// each solved group's output is scanned for NaN/Inf right after its
+  /// solve, while it is still L1-resident.
+  void execute(const CompactBuffer<T>& a, CompactBuffer<T>& b, T alpha,
+               HealthRecorder* health = nullptr) const;
 
   /// Multicore variant: independent interleave groups split across the
-  /// pool's workers (the paper's future-work extension).
+  /// pool's workers (the paper's future-work extension). Workers own
+  /// disjoint groups, so they flag disjoint lanes of `health`.
   void execute_parallel(const CompactBuffer<T>& a, CompactBuffer<T>& b,
-                        T alpha, ThreadPool& pool) const;
+                        T alpha, ThreadPool& pool,
+                        HealthRecorder* health = nullptr) const;
 
   const TrsmShape& shape() const noexcept { return shape_; }
   const pack::TrsmCanon& canon() const noexcept { return canon_; }
@@ -79,7 +87,8 @@ private:
                         const CompactBuffer<T>& b) const;
   void solve_group(const R* packed_a, R* bdata) const;
   void run_groups(const CompactBuffer<T>& a, CompactBuffer<T>& b,
-                  T alpha, index_t g_begin, index_t g_end) const;
+                  T alpha, index_t g_begin, index_t g_end,
+                  HealthRecorder* health) const;
 
   TrsmShape shape_;
   pack::TrsmCanon canon_;

@@ -10,18 +10,70 @@
 
 namespace {
 
+// The C status codes are the C++ Status values, by definition.
+static_assert(IATF_STATUS_OK == static_cast<int>(iatf::Status::Ok));
+static_assert(IATF_STATUS_INVALID_ARG ==
+              static_cast<int>(iatf::Status::InvalidArg));
+static_assert(IATF_STATUS_UNSUPPORTED ==
+              static_cast<int>(iatf::Status::Unsupported));
+static_assert(IATF_STATUS_ALLOC_FAILURE ==
+              static_cast<int>(iatf::Status::AllocFailure));
+static_assert(IATF_STATUS_NUMERICAL_HAZARD ==
+              static_cast<int>(iatf::Status::NumericalHazard));
+static_assert(IATF_STATUS_INTERNAL ==
+              static_cast<int>(iatf::Status::Internal));
+static_assert(IATF_EXEC_FAST == static_cast<int>(iatf::ExecPolicy::Fast));
+static_assert(IATF_EXEC_CHECK == static_cast<int>(iatf::ExecPolicy::Check));
+static_assert(IATF_EXEC_FALLBACK ==
+              static_cast<int>(iatf::ExecPolicy::Fallback));
+
 thread_local std::string g_last_error;
+
+/// Record the in-flight exception and map it to its stable status code.
+int record_exception() {
+  try {
+    throw;
+  } catch (const iatf::Error& e) {
+    g_last_error = e.what();
+    return static_cast<int>(e.status());
+  } catch (const std::bad_alloc& e) {
+    g_last_error = e.what();
+    return IATF_STATUS_ALLOC_FAILURE;
+  } catch (const std::exception& e) {
+    g_last_error = e.what();
+    return IATF_STATUS_INTERNAL;
+  } catch (...) {
+    g_last_error = "unknown error";
+    return IATF_STATUS_INTERNAL;
+  }
+}
 
 template <class Fn> int guarded(Fn&& fn) {
   try {
     fn();
-    return 0;
-  } catch (const std::exception& e) {
-    g_last_error = e.what();
-    return 1;
+    return IATF_STATUS_OK;
   } catch (...) {
-    g_last_error = "unknown error";
-    return 2;
+    return record_exception();
+  }
+}
+
+/// gemm/trsm shim: hazards the engine detected but did not repair (the
+/// Check policy observes without retrying) surface as a status code, so C
+/// callers get the report without the BatchHealth struct.
+template <class Fn> int guarded_blas(Fn&& fn) {
+  try {
+    const iatf::BatchHealth health = fn();
+    if ((health.nonfinite != 0 || health.singular != 0) &&
+        health.fallback == 0) {
+      g_last_error = "iatf: numerical hazard detected (" +
+                     std::to_string(health.nonfinite) + " non-finite, " +
+                     std::to_string(health.singular) +
+                     " singular-diagonal matrices)";
+      return IATF_STATUS_NUMERICAL_HAZARD;
+    }
+    return IATF_STATUS_OK;
+  } catch (...) {
+    return record_exception();
   }
 }
 
@@ -34,6 +86,18 @@ iatf::Diag to_diag(iatf_diag d) { return static_cast<iatf::Diag>(d); }
 
 extern "C" const char* iatf_last_error(void) {
   return g_last_error.c_str();
+}
+
+extern "C" void iatf_clear_error(void) { g_last_error.clear(); }
+
+extern "C" void iatf_set_exec_policy(iatf_exec_policy policy) {
+  iatf::Engine::default_engine().set_policy(
+      static_cast<iatf::ExecPolicy>(policy));
+}
+
+extern "C" iatf_exec_policy iatf_get_exec_policy(void) {
+  return static_cast<iatf_exec_policy>(
+      iatf::Engine::default_engine().policy());
 }
 
 // Opaque buffer definitions.
@@ -96,8 +160,8 @@ IATF_DEFINE_BUFFER(z, iatf_zbuf, std::complex<double>, double)
 extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
                                   const iatf_sbuf* a, const iatf_sbuf* b,
                                   float beta, iatf_sbuf* c) {
-  return guarded([&] {
-    iatf::compact_gemm<float>(to_op(op_a), to_op(op_b), alpha, a->buf,
+  return guarded_blas([&] {
+    return iatf::compact_gemm<float>(to_op(op_a), to_op(op_b), alpha, a->buf,
                               b->buf, beta, c->buf);
   });
 }
@@ -105,8 +169,8 @@ extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
 extern "C" int iatf_dgemm_compact(iatf_op op_a, iatf_op op_b, double alpha,
                                   const iatf_dbuf* a, const iatf_dbuf* b,
                                   double beta, iatf_dbuf* c) {
-  return guarded([&] {
-    iatf::compact_gemm<double>(to_op(op_a), to_op(op_b), alpha, a->buf,
+  return guarded_blas([&] {
+    return iatf::compact_gemm<double>(to_op(op_a), to_op(op_b), alpha, a->buf,
                                b->buf, beta, c->buf);
   });
 }
@@ -116,8 +180,8 @@ extern "C" int iatf_cgemm_compact(iatf_op op_a, iatf_op op_b,
                                   const iatf_cbuf* a, const iatf_cbuf* b,
                                   float beta_re, float beta_im,
                                   iatf_cbuf* c) {
-  return guarded([&] {
-    iatf::compact_gemm<std::complex<float>>(
+  return guarded_blas([&] {
+    return iatf::compact_gemm<std::complex<float>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
   });
@@ -128,8 +192,8 @@ extern "C" int iatf_zgemm_compact(iatf_op op_a, iatf_op op_b,
                                   const iatf_zbuf* a, const iatf_zbuf* b,
                                   double beta_re, double beta_im,
                                   iatf_zbuf* c) {
-  return guarded([&] {
-    iatf::compact_gemm<std::complex<double>>(
+  return guarded_blas([&] {
+    return iatf::compact_gemm<std::complex<double>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
   });
@@ -139,8 +203,8 @@ extern "C" int iatf_strsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   float alpha, const iatf_sbuf* a,
                                   iatf_sbuf* b) {
-  return guarded([&] {
-    iatf::compact_trsm<float>(to_side(side), to_uplo(uplo), to_op(op_a),
+  return guarded_blas([&] {
+    return iatf::compact_trsm<float>(to_side(side), to_uplo(uplo), to_op(op_a),
                               to_diag(diag), alpha, a->buf, b->buf);
   });
 }
@@ -149,8 +213,8 @@ extern "C" int iatf_dtrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   double alpha, const iatf_dbuf* a,
                                   iatf_dbuf* b) {
-  return guarded([&] {
-    iatf::compact_trsm<double>(to_side(side), to_uplo(uplo), to_op(op_a),
+  return guarded_blas([&] {
+    return iatf::compact_trsm<double>(to_side(side), to_uplo(uplo), to_op(op_a),
                                to_diag(diag), alpha, a->buf, b->buf);
   });
 }
@@ -159,8 +223,8 @@ extern "C" int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   float alpha_re, float alpha_im,
                                   const iatf_cbuf* a, iatf_cbuf* b) {
-  return guarded([&] {
-    iatf::compact_trsm<std::complex<float>>(
+  return guarded_blas([&] {
+    return iatf::compact_trsm<std::complex<float>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
   });
@@ -170,8 +234,8 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   double alpha_re, double alpha_im,
                                   const iatf_zbuf* a, iatf_zbuf* b) {
-  return guarded([&] {
-    iatf::compact_trsm<std::complex<double>>(
+  return guarded_blas([&] {
+    return iatf::compact_trsm<std::complex<double>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
   });

@@ -4,10 +4,11 @@
 
 namespace iatf::detail {
 
-void throw_error(const char* file, int line, const std::string& message) {
+void throw_error(const char* file, int line, const std::string& message,
+                 Status status) {
   std::ostringstream os;
   os << "iatf: " << message << " (" << file << ":" << line << ")";
-  throw Error(os.str());
+  throw Error(os.str(), status);
 }
 
 } // namespace iatf::detail

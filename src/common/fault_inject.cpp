@@ -1,0 +1,75 @@
+#include "iatf/common/fault_inject.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace iatf::fault {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+struct Site {
+  int skip = 0;      // hits to let pass before failing
+  int remaining = 0; // failures still to deliver
+  int hits = 0;      // evaluations since arm()
+};
+
+std::mutex g_mutex;
+std::map<std::string, Site>& sites() {
+  static std::map<std::string, Site> s;
+  return s;
+}
+
+} // namespace
+
+bool should_fail(const char* site) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto it = sites().find(site);
+  if (it == sites().end()) {
+    return false;
+  }
+  Site& s = it->second;
+  ++s.hits;
+  if (s.skip > 0) {
+    --s.skip;
+    return false;
+  }
+  if (s.remaining > 0) {
+    --s.remaining;
+    return true;
+  }
+  return false;
+}
+
+} // namespace detail
+
+void arm(const char* site, int skip, int count) {
+  std::lock_guard<std::mutex> lock(detail::g_mutex);
+  detail::sites()[site] = detail::Site{skip, count, 0};
+  detail::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disarm(const char* site) {
+  std::lock_guard<std::mutex> lock(detail::g_mutex);
+  detail::sites().erase(site);
+  if (detail::sites().empty()) {
+    detail::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void disarm_all() {
+  std::lock_guard<std::mutex> lock(detail::g_mutex);
+  detail::sites().clear();
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+int hits(const char* site) {
+  std::lock_guard<std::mutex> lock(detail::g_mutex);
+  auto it = detail::sites().find(site);
+  return it == detail::sites().end() ? 0 : it->second.hits;
+}
+
+} // namespace iatf::fault

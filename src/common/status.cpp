@@ -1,0 +1,72 @@
+#include "iatf/common/status.hpp"
+
+namespace iatf {
+
+const char* to_string(Status status) noexcept {
+  switch (status) {
+  case Status::Ok:
+    return "ok";
+  case Status::InvalidArg:
+    return "invalid argument";
+  case Status::Unsupported:
+    return "unsupported";
+  case Status::AllocFailure:
+    return "allocation failure";
+  case Status::NumericalHazard:
+    return "numerical hazard";
+  case Status::Internal:
+    return "internal error";
+  }
+  return "unknown";
+}
+
+const char* to_string(ExecPolicy policy) noexcept {
+  switch (policy) {
+  case ExecPolicy::Fast:
+    return "fast";
+  case ExecPolicy::Check:
+    return "check";
+  case ExecPolicy::Fallback:
+    return "fallback";
+  }
+  return "unknown";
+}
+
+void BatchHealth::merge(const BatchHealth& other) noexcept {
+  const auto merge_first = [](index_t a, index_t b) {
+    if (a < 0) {
+      return b;
+    }
+    if (b < 0) {
+      return a;
+    }
+    return a < b ? a : b;
+  };
+  batch += other.batch;
+  nonfinite += other.nonfinite;
+  first_nonfinite = merge_first(first_nonfinite, other.first_nonfinite);
+  singular += other.singular;
+  first_singular = merge_first(first_singular, other.first_singular);
+  fallback += other.fallback;
+  first_fallback = merge_first(first_fallback, other.first_fallback);
+  events |= other.events;
+}
+
+void HealthRecorder::fill(BatchHealth& health) const noexcept {
+  for (std::size_t i = 0; i < singular_.size(); ++i) {
+    if (singular_[i] != 0) {
+      ++health.singular;
+      if (health.first_singular < 0) {
+        health.first_singular = static_cast<index_t>(i);
+      }
+    }
+    if (nonfinite_[i] != 0) {
+      ++health.nonfinite;
+      if (health.first_nonfinite < 0) {
+        health.first_nonfinite = static_cast<index_t>(i);
+      }
+    }
+  }
+}
+
+} // namespace iatf

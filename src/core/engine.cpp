@@ -1,14 +1,145 @@
 #include "iatf/core/engine.hpp"
 
+#include <algorithm>
 #include <complex>
+#include <exception>
+#include <vector>
 
 #include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/ref/ref_blas.hpp"
 
 namespace iatf {
 namespace {
 
 template <class T> constexpr char dtype_tag() {
   return blas_prefix_v<T>[0];
+}
+
+bool site_prefix(const std::string& site, const char* prefix) {
+  return site.rfind(prefix, 0) == 0;
+}
+
+/// Classify the in-flight exception as a degradation event. InvalidArg
+/// errors are caller bugs and must never be silently degraded, so they are
+/// rethrown; everything else maps to the event the fallback records.
+DegradeEvent classify_failure() {
+  try {
+    throw;
+  } catch (const fault::FaultInjected& f) {
+    if (site_prefix(f.site(), "registry")) {
+      return DegradeEvent::MissingKernel;
+    }
+    if (site_prefix(f.site(), "plan")) {
+      return DegradeEvent::UnsupportedPlan;
+    }
+    if (site_prefix(f.site(), "threadpool")) {
+      return DegradeEvent::WorkerFailure;
+    }
+    return DegradeEvent::AllocFailure;
+  } catch (const Error& e) {
+    switch (e.status()) {
+    case Status::InvalidArg:
+      throw;
+    case Status::Unsupported:
+      return DegradeEvent::UnsupportedPlan;
+    case Status::AllocFailure:
+      return DegradeEvent::AllocFailure;
+    default:
+      return DegradeEvent::WorkerFailure;
+    }
+  } catch (const std::bad_alloc&) {
+    return DegradeEvent::AllocFailure;
+  } catch (...) {
+    return DegradeEvent::WorkerFailure;
+  }
+}
+
+/// The fallback path reads the buffers directly, so it must re-validate
+/// the consistency the plan normally checks -- plan construction may have
+/// failed before any validation ran.
+template <class T>
+void validate_gemm_fallback(const GemmShape& s, const CompactBuffer<T>& a,
+                            const CompactBuffer<T>& b,
+                            const CompactBuffer<T>& c) {
+  const bool ta = s.op_a != Op::NoTrans;
+  const bool tb = s.op_b != Op::NoTrans;
+  IATF_CHECK(s.m >= 0 && s.n >= 0 && s.k >= 0 && s.batch >= 0,
+             "gemm: negative dimension");
+  IATF_CHECK(a.rows() == (ta ? s.k : s.m) && a.cols() == (ta ? s.m : s.k),
+             "gemm: operand A has mismatched dimensions");
+  IATF_CHECK(b.rows() == (tb ? s.n : s.k) && b.cols() == (tb ? s.k : s.n),
+             "gemm: operand B has mismatched dimensions");
+  IATF_CHECK(a.batch() == s.batch && b.batch() == s.batch &&
+                 c.batch() == s.batch,
+             "gemm: operand batch sizes do not match");
+}
+
+template <class T>
+void validate_trsm_fallback(const TrsmShape& s, const CompactBuffer<T>& a,
+                            const CompactBuffer<T>& b) {
+  IATF_CHECK(s.m >= 0 && s.n >= 0 && s.batch >= 0,
+             "trsm: negative dimension");
+  IATF_CHECK(a.rows() == s.a_dim() && a.cols() == s.a_dim(),
+             "trsm: A must be a_dim x a_dim");
+  IATF_CHECK(a.batch() == s.batch && b.batch() == s.batch,
+             "trsm: operand batch sizes do not match");
+}
+
+/// Restore one lane of `buf` from a raw snapshot of its storage.
+template <class T>
+void restore_lane(CompactBuffer<T>& buf,
+                  const std::vector<real_t<T>>& snapshot, index_t lane) {
+  using R = real_t<T>;
+  const index_t pw = buf.pack_width();
+  const index_t g = lane / pw;
+  const index_t l = lane % pw;
+  const index_t es = buf.element_stride();
+  const index_t elems = buf.rows() * buf.cols();
+  R* gdata = buf.group_data(g);
+  const R* sdata = snapshot.data() + g * buf.group_stride();
+  for (index_t e = 0; e < elems; ++e) {
+    gdata[e * es + l] = sdata[e * es + l];
+    if constexpr (is_complex_v<T>) {
+      gdata[e * es + pw + l] = sdata[e * es + pw + l];
+    }
+  }
+}
+
+/// Recompute one lane with the scalar reference GEMM. The lane's C must
+/// hold the original (pre-call) values so beta applies correctly.
+template <class T>
+void ref_gemm_lane(const GemmShape& s, T alpha, const CompactBuffer<T>& a,
+                   const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c,
+                   index_t lane) {
+  const index_t lda = std::max<index_t>(a.rows(), 1);
+  const index_t ldb = std::max<index_t>(b.rows(), 1);
+  const index_t ldc = std::max<index_t>(c.rows(), 1);
+  std::vector<T> ta(static_cast<std::size_t>(a.rows() * a.cols()));
+  std::vector<T> tb(static_cast<std::size_t>(b.rows() * b.cols()));
+  std::vector<T> tc(static_cast<std::size_t>(c.rows() * c.cols()));
+  a.export_colmajor(lane, ta.data(), lda);
+  b.export_colmajor(lane, tb.data(), ldb);
+  c.export_colmajor(lane, tc.data(), ldc);
+  ref::gemm(s.op_a, s.op_b, s.m, s.n, s.k, alpha, ta.data(), lda,
+            tb.data(), ldb, beta, tc.data(), ldc);
+  c.import_colmajor(lane, tc.data(), ldc);
+}
+
+/// Recompute one lane with the scalar reference TRSM. The lane's B must
+/// hold the original right-hand side, not the partial fast-path solution.
+template <class T>
+void ref_trsm_lane(const TrsmShape& s, T alpha, const CompactBuffer<T>& a,
+                   CompactBuffer<T>& b, index_t lane) {
+  const index_t lda = std::max<index_t>(a.rows(), 1);
+  const index_t ldb = std::max<index_t>(b.rows(), 1);
+  std::vector<T> ta(static_cast<std::size_t>(a.rows() * a.cols()));
+  std::vector<T> tb(static_cast<std::size_t>(b.rows() * b.cols()));
+  a.export_colmajor(lane, ta.data(), lda);
+  b.export_colmajor(lane, tb.data(), ldb);
+  ref::trsm(s.side, s.uplo, s.op_a, s.diag, s.m, s.n, alpha, ta.data(),
+            lda, tb.data(), ldb);
+  b.import_colmajor(lane, tb.data(), ldb);
 }
 
 } // namespace
@@ -63,6 +194,7 @@ Engine::plan_gemm(const GemmShape& shape) {
   key.op_b = static_cast<std::uint8_t>(shape.op_b);
   key.batch = shape.batch;
   return lookup<plan::GemmPlan<T, Bytes>>(key, [&] {
+    IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
     return new plan::GemmPlan<T, Bytes>(shape, cache_);
   });
 }
@@ -82,13 +214,15 @@ Engine::plan_trsm(const TrsmShape& shape) {
   key.diag = static_cast<std::uint8_t>(shape.diag);
   key.batch = shape.batch;
   return lookup<plan::TrsmPlan<T, Bytes>>(key, [&] {
+    IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
     return new plan::TrsmPlan<T, Bytes>(shape, cache_);
   });
 }
 
 template <class T, int Bytes>
-void Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
-                  const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c) {
+BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+                         const CompactBuffer<T>& b, T beta,
+                         CompactBuffer<T>& c) {
   GemmShape shape;
   shape.m = c.rows();
   shape.n = c.cols();
@@ -96,12 +230,88 @@ void Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
   shape.op_a = op_a;
   shape.op_b = op_b;
   shape.batch = c.batch();
-  plan_gemm<T, Bytes>(shape)->execute(a, b, c, alpha, beta);
+
+  const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
+  ThreadPool* pool = pool_.load(std::memory_order_relaxed);
+  if (policy == ExecPolicy::Fast) {
+    auto plan = plan_gemm<T, Bytes>(shape);
+    if (pool != nullptr) {
+      plan->execute_parallel(a, b, c, alpha, beta, *pool);
+    } else {
+      plan->execute(a, b, c, alpha, beta);
+    }
+    BatchHealth health;
+    health.batch = shape.batch;
+    return health;
+  }
+  return guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy, pool);
 }
 
 template <class T, int Bytes>
-void Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
-                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
+                                 const CompactBuffer<T>& a,
+                                 const CompactBuffer<T>& b, T beta,
+                                 CompactBuffer<T>& c, ExecPolicy policy,
+                                 ThreadPool* pool) {
+  using R = real_t<T>;
+  BatchHealth health;
+  health.batch = shape.batch;
+  const bool fallback = policy == ExecPolicy::Fallback;
+
+  // C is read (beta) and written by the fast path, so a retry needs the
+  // pre-call values. Snapshot only when we are allowed to retry.
+  std::vector<R> snapshot;
+  if (fallback) {
+    snapshot.assign(c.data(), c.data() + c.size());
+  }
+
+  HealthRecorder rec(shape.batch);
+  try {
+    auto plan = plan_gemm<T, Bytes>(shape);
+    if (pool != nullptr) {
+      plan->execute_parallel(a, b, c, alpha, beta, *pool, &rec);
+    } else {
+      plan->execute(a, b, c, alpha, beta, &rec);
+    }
+  } catch (...) {
+    if (!fallback) {
+      throw; // Check: observe-only, failures still propagate
+    }
+    const DegradeEvent event = classify_failure(); // rethrows InvalidArg
+    validate_gemm_fallback(shape, a, b, c);
+    std::copy(snapshot.begin(), snapshot.end(), c.data());
+    for (index_t lane = 0; lane < shape.batch; ++lane) {
+      ref_gemm_lane(shape, alpha, a, b, beta, c, lane);
+    }
+    health.events |= event;
+    health.fallback = shape.batch;
+    health.first_fallback = shape.batch > 0 ? 0 : -1;
+    return health;
+  }
+
+  rec.fill(health);
+  if (health.nonfinite != 0) {
+    health.events |= DegradeEvent::NumericalHazard;
+    if (fallback) {
+      for (index_t lane = 0; lane < shape.batch; ++lane) {
+        if (!rec.flagged(lane)) {
+          continue;
+        }
+        restore_lane(c, snapshot, lane);
+        ref_gemm_lane(shape, alpha, a, b, beta, c, lane);
+        if (health.first_fallback < 0) {
+          health.first_fallback = lane;
+        }
+        ++health.fallback;
+      }
+    }
+  }
+  return health;
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                         const CompactBuffer<T>& a, CompactBuffer<T>& b) {
   TrsmShape shape;
   shape.m = b.rows();
   shape.n = b.cols();
@@ -110,7 +320,82 @@ void Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
   shape.op_a = op_a;
   shape.diag = diag;
   shape.batch = b.batch();
-  plan_trsm<T, Bytes>(shape)->execute(a, b, alpha);
+
+  const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
+  ThreadPool* pool = pool_.load(std::memory_order_relaxed);
+  if (policy == ExecPolicy::Fast) {
+    auto plan = plan_trsm<T, Bytes>(shape);
+    if (pool != nullptr) {
+      plan->execute_parallel(a, b, alpha, *pool);
+    } else {
+      plan->execute(a, b, alpha);
+    }
+    BatchHealth health;
+    health.batch = shape.batch;
+    return health;
+  }
+  return guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool);
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
+                                 const CompactBuffer<T>& a,
+                                 CompactBuffer<T>& b, ExecPolicy policy,
+                                 ThreadPool* pool) {
+  using R = real_t<T>;
+  BatchHealth health;
+  health.batch = shape.batch;
+  const bool fallback = policy == ExecPolicy::Fallback;
+
+  // TRSM overwrites B with X, so a retry needs the original right-hand
+  // side back. Snapshot only when we are allowed to retry.
+  std::vector<R> snapshot;
+  if (fallback) {
+    snapshot.assign(b.data(), b.data() + b.size());
+  }
+
+  HealthRecorder rec(shape.batch);
+  try {
+    auto plan = plan_trsm<T, Bytes>(shape);
+    if (pool != nullptr) {
+      plan->execute_parallel(a, b, alpha, *pool, &rec);
+    } else {
+      plan->execute(a, b, alpha, &rec);
+    }
+  } catch (...) {
+    if (!fallback) {
+      throw; // Check: observe-only, failures still propagate
+    }
+    const DegradeEvent event = classify_failure(); // rethrows InvalidArg
+    validate_trsm_fallback(shape, a, b);
+    std::copy(snapshot.begin(), snapshot.end(), b.data());
+    for (index_t lane = 0; lane < shape.batch; ++lane) {
+      ref_trsm_lane(shape, alpha, a, b, lane);
+    }
+    health.events |= event;
+    health.fallback = shape.batch;
+    health.first_fallback = shape.batch > 0 ? 0 : -1;
+    return health;
+  }
+
+  rec.fill(health);
+  if (health.nonfinite != 0 || health.singular != 0) {
+    health.events |= DegradeEvent::NumericalHazard;
+    if (fallback) {
+      for (index_t lane = 0; lane < shape.batch; ++lane) {
+        if (!rec.flagged(lane)) {
+          continue;
+        }
+        restore_lane(b, snapshot, lane);
+        ref_trsm_lane(shape, alpha, a, b, lane);
+        if (health.first_fallback < 0) {
+          health.first_fallback = lane;
+        }
+        ++health.fallback;
+      }
+    }
+  }
+  return health;
 }
 
 std::size_t Engine::plan_cache_size() const {
@@ -145,12 +430,12 @@ Engine& Engine::default_engine() {
   Engine::plan_gemm<T, Bytes>(const GemmShape&);                            \
   template std::shared_ptr<const plan::TrsmPlan<T, Bytes>>                  \
   Engine::plan_trsm<T, Bytes>(const TrsmShape&);                            \
-  template void Engine::gemm<T, Bytes>(Op, Op, T, const CompactBuffer<T>&,  \
-                                       const CompactBuffer<T>&, T,          \
-                                       CompactBuffer<T>&);                  \
-  template void Engine::trsm<T, Bytes>(Side, Uplo, Op, Diag, T,             \
-                                       const CompactBuffer<T>&,             \
-                                       CompactBuffer<T>&);
+  template BatchHealth Engine::gemm<T, Bytes>(                              \
+      Op, Op, T, const CompactBuffer<T>&, const CompactBuffer<T>&, T,       \
+      CompactBuffer<T>&);                                                   \
+  template BatchHealth Engine::trsm<T, Bytes>(Side, Uplo, Op, Diag, T,      \
+                                              const CompactBuffer<T>&,      \
+                                              CompactBuffer<T>&);
 
 IATF_INSTANTIATE_ENGINE(float, 16)
 IATF_INSTANTIATE_ENGINE(double, 16)

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
 #include "iatf/kernels/registry.hpp"
 
 namespace iatf::kernels::detail {
@@ -70,27 +71,33 @@ namespace iatf::kernels {
     static constexpr auto table =                                            \
         detail::gemm_table<T, Bytes, Limits::gemm_max_nc>(                   \
             std::make_integer_sequence<int, Limits::gemm_max_mc>{});         \
-    IATF_CHECK(mc >= 1 && mc <= Limits::gemm_max_mc && nc >= 1 &&            \
-                   nc <= Limits::gemm_max_nc,                                \
-               "gemm kernel size out of range");                             \
+    IATF_FAULT_POINT("registry.gemm", ::iatf::Status::Unsupported);          \
+    IATF_CHECK_AS(mc >= 1 && mc <= Limits::gemm_max_mc && nc >= 1 &&         \
+                      nc <= Limits::gemm_max_nc,                             \
+                  ::iatf::Status::Unsupported,                               \
+                  "gemm kernel size out of range");                          \
     return table[mc - 1][nc - 1];                                            \
   }                                                                          \
   template <> TrsmTriKernelFn<T> Registry<T, Bytes>::tri(int m, int nc) {    \
     static constexpr auto table =                                            \
         detail::tri_table<T, Bytes, Limits::tri_max_nc>(                     \
             std::make_integer_sequence<int, Limits::tri_max_m>{});           \
-    IATF_CHECK(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&                \
-                   nc <= Limits::tri_max_nc,                                 \
-               "tri kernel size out of range");                              \
+    IATF_FAULT_POINT("registry.tri", ::iatf::Status::Unsupported);           \
+    IATF_CHECK_AS(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&             \
+                      nc <= Limits::tri_max_nc,                              \
+                  ::iatf::Status::Unsupported,                               \
+                  "tri kernel size out of range");                           \
     return table[m - 1][nc - 1];                                             \
   }                                                                          \
   template <> TrsmRectKernelFn<T> Registry<T, Bytes>::rect(int mc, int nc) { \
     static constexpr auto table =                                            \
         detail::rect_table<T, Bytes, Limits::rect_max_nc>(                   \
             std::make_integer_sequence<int, Limits::rect_max_mc>{});         \
-    IATF_CHECK(mc >= 1 && mc <= Limits::rect_max_mc && nc >= 1 &&            \
-                   nc <= Limits::rect_max_nc,                                \
-               "rect kernel size out of range");                             \
+    IATF_FAULT_POINT("registry.rect", ::iatf::Status::Unsupported);          \
+    IATF_CHECK_AS(mc >= 1 && mc <= Limits::rect_max_mc && nc >= 1 &&         \
+                      nc <= Limits::rect_max_nc,                             \
+                  ::iatf::Status::Unsupported,                               \
+                  "rect kernel size out of range");                          \
     return table[mc - 1][nc - 1];                                            \
   }                                                                          \
   template <>                                                                \
@@ -98,9 +105,11 @@ namespace iatf::kernels {
     static constexpr auto table =                                            \
         detail::trmm_table<T, Bytes, Limits::tri_max_nc>(                    \
             std::make_integer_sequence<int, Limits::tri_max_m>{});           \
-    IATF_CHECK(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&                \
-                   nc <= Limits::tri_max_nc,                                 \
-               "trmm kernel size out of range");                             \
+    IATF_FAULT_POINT("registry.trmm", ::iatf::Status::Unsupported);          \
+    IATF_CHECK_AS(m >= 1 && m <= Limits::tri_max_m && nc >= 1 &&             \
+                      nc <= Limits::tri_max_nc,                              \
+                  ::iatf::Status::Unsupported,                               \
+                  "trmm kernel size out of range");                          \
     return table[m - 1][nc - 1];                                             \
   }
 

@@ -1,5 +1,6 @@
 #include "iatf/pack/trsm_pack.hpp"
 
+#include <cmath>
 #include <complex>
 #include <cstring>
 
@@ -81,9 +82,13 @@ inline void gather_a(const real_t<T>* src, index_t m, index_t es,
 
 // Replace an element block with its per-lane reciprocal. Exact zeros map
 // to zero (padded lanes; a genuinely singular input is BLAS-undefined
-// behaviour and yields zeros in that lane only).
+// behaviour and yields zeros in that lane only). When `singular` is set,
+// lanes whose reciprocal is not a finite nonzero value -- zero, NaN, or
+// subnormal-tiny diagonals -- are flagged so a guarded engine can reroute
+// exactly those matrices to the reference path.
 template <class T>
-inline void invert_block(real_t<T>* blk, index_t es) {
+inline void invert_block(real_t<T>* blk, index_t es,
+                         std::uint64_t* singular) {
   using R = real_t<T>;
   if constexpr (is_complex_v<T>) {
     const index_t half = es / 2;
@@ -94,14 +99,31 @@ inline void invert_block(real_t<T>* blk, index_t es) {
       if (mag2 == R(0)) {
         blk[l] = R(0);
         blk[half + l] = R(0);
+        if (singular != nullptr) {
+          *singular |= std::uint64_t{1} << l;
+        }
       } else {
         blk[l] = re / mag2;
         blk[half + l] = -im / mag2;
+        if (singular != nullptr &&
+            !(std::isfinite(blk[l]) && std::isfinite(blk[half + l]))) {
+          *singular |= std::uint64_t{1} << l;
+        }
       }
     }
   } else {
     for (index_t l = 0; l < es; ++l) {
-      blk[l] = blk[l] == R(0) ? R(0) : R(1) / blk[l];
+      if (blk[l] == R(0)) {
+        blk[l] = R(0);
+        if (singular != nullptr) {
+          *singular |= std::uint64_t{1} << l;
+        }
+      } else {
+        blk[l] = R(1) / blk[l];
+        if (singular != nullptr && !std::isfinite(blk[l])) {
+          *singular |= std::uint64_t{1} << l;
+        }
+      }
     }
   }
 }
@@ -176,7 +198,7 @@ index_t packed_trsm_row_offset(std::span<const Tile> blocks, index_t bi,
 template <class T>
 void pack_trsm_a(const real_t<T>* src, index_t es, const TrsmCanon& canon,
                  Diag diag, std::span<const Tile> blocks, real_t<T>* out,
-                 bool invert_diag) {
+                 bool invert_diag, std::uint64_t* singular) {
   real_t<T>* dst = out;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     const Tile& rowb = blocks[bi];
@@ -201,7 +223,7 @@ void pack_trsm_a(const real_t<T>* src, index_t es, const TrsmCanon& canon,
           if (diag == Diag::Unit) {
             unit_block<T>(dst, es);
           } else if (invert_diag) {
-            invert_block<T>(dst, es);
+            invert_block<T>(dst, es, singular);
           }
         }
         dst += es;
@@ -244,7 +266,8 @@ void unpack_trsm_b(const real_t<T>* canonical, index_t src_rows,
 #define IATF_INSTANTIATE_TRSM_PACK(T)                                        \
   template void pack_trsm_a<T>(const real_t<T>*, index_t,                   \
                                const TrsmCanon&, Diag,                      \
-                               std::span<const Tile>, real_t<T>*, bool);    \
+                               std::span<const Tile>, real_t<T>*, bool,     \
+                               std::uint64_t*);                             \
   template void pack_trsm_b<T>(const real_t<T>*, index_t,                   \
                                const TrsmCanon&, index_t, T,                \
                                real_t<T>*);                                 \

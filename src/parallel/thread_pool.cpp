@@ -1,6 +1,9 @@
 #include "iatf/parallel/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
 
 namespace iatf {
 
@@ -29,6 +32,23 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::run_task(const Task& task) {
+  std::exception_ptr err;
+  try {
+    IATF_FAULT_POINT("threadpool.worker", ::iatf::Status::Internal);
+    (*task.job->fn)(task.begin, task.end);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (err && !task.job->first_error) {
+    task.job->first_error = err;
+  }
+  if (--task.job->pending == 0) {
+    cv_done_.notify_all();
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Task task;
@@ -41,21 +61,7 @@ void ThreadPool::worker_loop() {
       task = queue_.back();
       queue_.pop_back();
     }
-    try {
-      (*task.fn)(task.begin, task.end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!first_error_) {
-        first_error_ = std::current_exception();
-      }
-    }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --pending_;
-      if (pending_ == 0) {
-        cv_done_.notify_all();
-      }
-    }
+    run_task(task);
   }
 }
 
@@ -70,44 +76,64 @@ void ThreadPool::parallel_for(
   const index_t chunks =
       std::min<index_t>(static_cast<index_t>(workers_), total);
   if (chunks <= 1) {
+    IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
     fn(begin, end);
     return;
   }
 
-  // Enqueue chunks 1..n-1 for the workers, run chunk 0 inline.
+  // Per-invocation job state: the caller's stack owns it, and the wait on
+  // job.pending below guarantees no queued Task outlives this frame even
+  // when a chunk (or the enqueue itself) throws.
+  Job job;
+  job.fn = &fn;
   const index_t per = (total + chunks - 1) / chunks;
-  {
+  try {
     std::lock_guard<std::mutex> lock(mutex_);
-    first_error_ = nullptr;
     for (index_t c = 1; c < chunks; ++c) {
       const index_t b = begin + c * per;
       const index_t e = std::min(end, b + per);
       if (b >= e) {
         continue;
       }
-      queue_.push_back(Task{&fn, b, e});
-      ++pending_;
+      queue_.push_back(Task{&job, b, e});
+      ++job.pending;
     }
+  } catch (...) {
+    // Enqueue failed partway (queue growth): drain what was queued so no
+    // Task referencing this frame survives, then propagate.
+    cv_work_.notify_all();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&job] { return job.pending == 0; });
+    throw;
   }
   cv_work_.notify_all();
 
-  try {
-    fn(begin, std::min(end, begin + per));
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!first_error_) {
-      first_error_ = std::current_exception();
+  // The calling thread's own chunk: record a throw just like a worker so
+  // it cannot bypass the drain below and leave pending_ nonzero.
+  {
+    std::exception_ptr err;
+    try {
+      IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
+      fn(begin, std::min(end, begin + per));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.first_error) {
+        job.first_error = err;
+      }
     }
   }
 
+  std::exception_ptr first;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [this] { return pending_ == 0; });
-    if (first_error_) {
-      std::exception_ptr err = first_error_;
-      first_error_ = nullptr;
-      std::rethrow_exception(err);
-    }
+    cv_done_.wait(lock, [&job] { return job.pending == 0; });
+    first = job.first_error;
+  }
+  if (first) {
+    std::rethrow_exception(first);
   }
 }
 

@@ -128,28 +128,29 @@ void GemmPlan<T, Bytes>::validate_buffers(const CompactBuffer<T>& a,
 template <class T, int Bytes>
 void GemmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
                                  const CompactBuffer<T>& b,
-                                 CompactBuffer<T>& c, T alpha,
-                                 T beta) const {
+                                 CompactBuffer<T>& c, T alpha, T beta,
+                                 HealthRecorder* health) const {
   validate_buffers(a, b, c);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  run_groups(a, b, c, alpha, beta, 0, c.groups());
+  run_groups(a, b, c, alpha, beta, 0, c.groups(), health);
 }
 
 template <class T, int Bytes>
 void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           const CompactBuffer<T>& b,
                                           CompactBuffer<T>& c, T alpha,
-                                          T beta,
-                                          ThreadPool& pool) const {
+                                          T beta, ThreadPool& pool,
+                                          HealthRecorder* health) const {
   validate_buffers(a, b, c);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
   pool.parallel_for(0, c.groups(),
                     [&](index_t g_begin, index_t g_end) {
-                      run_groups(a, b, c, alpha, beta, g_begin, g_end);
+                      run_groups(a, b, c, alpha, beta, g_begin, g_end,
+                                 health);
                     });
 }
 
@@ -157,9 +158,10 @@ template <class T, int Bytes>
 void GemmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
                                     const CompactBuffer<T>& b,
                                     CompactBuffer<T>& c, T alpha, T beta,
-                                    index_t g_begin,
-                                    index_t g_end) const {
+                                    index_t g_begin, index_t g_end,
+                                    HealthRecorder* health) const {
   const index_t es = element_stride();
+  const index_t pw = pack_width();
 
   AlignedBuffer<R> wa(static_cast<std::size_t>(
       pack_a_ ? slice_groups_ * pa_group_size_ : 0));
@@ -204,6 +206,14 @@ void GemmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
         args.alpha = alpha;
         args.beta = beta;
         call.fn(args);
+      }
+      if (health != nullptr) {
+        // Output scan while the group is still cache-resident.
+        const index_t remaining = shape_.batch - g * pw;
+        scan_nonfinite_group<R>(gc, shape_.m * shape_.n, pw,
+                                CompactBuffer<T>::planes,
+                                remaining < pw ? remaining : pw, g * pw,
+                                *health);
       }
     }
   }

@@ -146,46 +146,65 @@ void TrsmPlan<T, Bytes>::solve_group(const R* packed_a, R* bdata) const {
 
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
-                                 CompactBuffer<T>& b, T alpha) const {
+                                 CompactBuffer<T>& b, T alpha,
+                                 HealthRecorder* health) const {
   validate_buffers(a, b);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  run_groups(a, b, alpha, 0, b.groups());
+  run_groups(a, b, alpha, 0, b.groups(), health);
 }
 
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           CompactBuffer<T>& b, T alpha,
-                                          ThreadPool& pool) const {
+                                          ThreadPool& pool,
+                                          HealthRecorder* health) const {
   validate_buffers(a, b);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
   pool.parallel_for(0, b.groups(), [&](index_t g_begin, index_t g_end) {
-    run_groups(a, b, alpha, g_begin, g_end);
+    run_groups(a, b, alpha, g_begin, g_end, health);
   });
 }
 
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
                                     CompactBuffer<T>& b, T alpha,
-                                    index_t g_begin,
-                                    index_t g_end) const {
+                                    index_t g_begin, index_t g_end,
+                                    HealthRecorder* health) const {
   const index_t es = element_stride();
+  const index_t pw = pack_width();
 
   AlignedBuffer<R> wa(static_cast<std::size_t>(slice_groups_ *
                                                pa_group_size_));
   AlignedBuffer<R> wb(static_cast<std::size_t>(
       pack_b_ ? slice_groups_ * pb_group_size_ : 0));
 
+  // Live (non-padding) lane count of group g.
+  const auto live_lanes = [&](index_t g) {
+    const index_t remaining = shape_.batch - g * pw;
+    return remaining < pw ? remaining : pw;
+  };
+
   for (index_t g0 = g_begin; g0 < g_end; g0 += slice_groups_) {
     const index_t g1 =
         g0 + slice_groups_ < g_end ? g0 + slice_groups_ : g_end;
 
     for (index_t g = g0; g < g1; ++g) {
+      std::uint64_t singular = 0;
       pack::pack_trsm_a<T>(a.group_data(g), es, canon_, shape_.diag,
-                           blocks_, wa.data() + (g - g0) * pa_group_size_);
+                           blocks_, wa.data() + (g - g0) * pa_group_size_,
+                           true, health != nullptr ? &singular : nullptr);
+      if (health != nullptr && singular != 0) {
+        const index_t lanes = live_lanes(g);
+        for (index_t lane = 0; lane < lanes; ++lane) {
+          if ((singular >> lane) & 1u) {
+            health->note_singular(g * pw + lane);
+          }
+        }
+      }
     }
 
     for (index_t g = g0; g < g1; ++g) {
@@ -203,6 +222,12 @@ void TrsmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
           scale_compact<T>(gb, shape_.m * shape_.n, es, alpha);
         }
         solve_group(ga, gb);
+      }
+      if (health != nullptr) {
+        // Output scan while the group is still cache-resident.
+        scan_nonfinite_group<R>(b.group_data(g), shape_.m * shape_.n, pw,
+                                CompactBuffer<T>::planes, live_lanes(g),
+                                g * pw, *health);
       }
     }
   }

@@ -1,6 +1,8 @@
 // The C interface, exercised the way a C caller would use it (plus error
 // paths that must surface as return codes, never exceptions).
+#include <cmath>
 #include <complex>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -174,6 +176,98 @@ TEST(CApi, ErrorsReturnCodesNotExceptions) {
   iatf_ddestroy(a);
   iatf_ddestroy(bad);
   iatf_ddestroy(c);
+}
+
+TEST(CApi, StatusCodesAreTyped) {
+  iatf_dbuf* a = iatf_dcreate(3, 3, 2);
+  iatf_dbuf* bad = iatf_dcreate(4, 4, 2);
+  iatf_dbuf* c = iatf_dcreate(3, 3, 2);
+  EXPECT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, a, bad,
+                               0.0, c),
+            IATF_STATUS_INVALID_ARG);
+  EXPECT_NE(std::string(iatf_last_error()).size(), 0u);
+  iatf_clear_error();
+  EXPECT_STREQ(iatf_last_error(), "");
+  iatf_ddestroy(a);
+  iatf_ddestroy(bad);
+  iatf_ddestroy(c);
+}
+
+TEST(CApi, ExecPolicyRoundTrip) {
+  EXPECT_EQ(iatf_get_exec_policy(), IATF_EXEC_FAST); // library default
+  iatf_set_exec_policy(IATF_EXEC_CHECK);
+  EXPECT_EQ(iatf_get_exec_policy(), IATF_EXEC_CHECK);
+  iatf_set_exec_policy(IATF_EXEC_FALLBACK);
+  EXPECT_EQ(iatf_get_exec_policy(), IATF_EXEC_FALLBACK);
+  iatf_set_exec_policy(IATF_EXEC_FAST);
+  EXPECT_EQ(iatf_get_exec_policy(), IATF_EXEC_FAST);
+}
+
+TEST(CApi, NumericalHazardSurfacesAsStatusCode) {
+  Rng rng(11);
+  const index_t m = 4, n = 3, k = 4, batch = 3;
+  auto a = test::random_batch<double>(m, k, batch, rng);
+  auto b = test::random_batch<double>(k, n, batch, rng);
+  auto c = test::random_batch<double>(m, n, batch, rng);
+  a.mat(1)[0] = std::numeric_limits<double>::quiet_NaN();
+
+  iatf_dbuf* ca = iatf_dcreate(m, k, batch);
+  iatf_dbuf* cb = iatf_dcreate(k, n, batch);
+  iatf_dbuf* cc = iatf_dcreate(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dimport(ca, l, a.mat(l), m), 0);
+    ASSERT_EQ(iatf_dimport(cb, l, b.mat(l), k), 0);
+  }
+  const auto reload_c = [&] {
+    for (index_t l = 0; l < batch; ++l) {
+      ASSERT_EQ(iatf_dimport(cc, l, c.mat(l), m), 0);
+    }
+  };
+
+  // Fast does not scan: the poisoned batch still returns OK.
+  reload_c();
+  EXPECT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, ca, cb,
+                               0.0, cc),
+            IATF_STATUS_OK);
+
+  // Check flags it as a typed status with a descriptive message.
+  iatf_set_exec_policy(IATF_EXEC_CHECK);
+  reload_c();
+  EXPECT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, ca, cb,
+                               0.0, cc),
+            IATF_STATUS_NUMERICAL_HAZARD);
+  EXPECT_NE(std::string(iatf_last_error()).find("hazard"),
+            std::string::npos);
+  iatf_clear_error();
+
+  // Fallback repairs the lane on the reference path, so the call is OK:
+  // the result matches the per-matrix reference (NaN lane included).
+  iatf_set_exec_policy(IATF_EXEC_FALLBACK);
+  reload_c();
+  EXPECT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, ca, cb,
+                               0.0, cc),
+            IATF_STATUS_OK);
+  auto expected = c;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::gemm<double>(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, a.mat(l), m,
+                      b.mat(l), k, 0.0, expected.mat(l), m);
+  }
+  test::HostBatch<double> actual(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dexport(cc, l, actual.mat(l), m), 0);
+  }
+  for (index_t j = 0; j < n; ++j) {
+    // The NaN at A(0,0) of lane 1 poisons row 0 of its result.
+    EXPECT_TRUE(std::isnan(actual.mat(1)[j * m]));
+    actual.mat(1)[j * m] = expected.mat(1)[j * m] = 0.0;
+  }
+  test::expect_batch_near(expected, actual, test::tolerance<double>(k) * 4,
+                          "capi fallback gemm");
+
+  iatf_set_exec_policy(IATF_EXEC_FAST);
+  iatf_ddestroy(ca);
+  iatf_ddestroy(cb);
+  iatf_ddestroy(cc);
 }
 
 } // namespace

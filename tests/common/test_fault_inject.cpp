@@ -1,0 +1,106 @@
+#include "iatf/common/fault_inject.hpp"
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/aligned_buffer.hpp"
+
+namespace iatf {
+namespace {
+
+// Every test disarms on entry and exit so a crashed sibling cannot leak
+// an armed site in (fault arming is process-global).
+class FaultInject : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+void hit_point(const char* site) {
+  IATF_FAULT_POINT(site, Status::Internal);
+}
+
+TEST_F(FaultInject, DisarmedCostsNothingAndNeverThrows) {
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_NO_THROW(hit_point("test.site"));
+  EXPECT_EQ(fault::hits("test.site"), 0);
+}
+
+TEST_F(FaultInject, ArmedSiteThrowsWithSiteAndStatus) {
+  fault::arm("test.site");
+  EXPECT_TRUE(fault::enabled());
+  try {
+    hit_point("test.site");
+    FAIL() << "expected FaultInjected";
+  } catch (const fault::FaultInjected& f) {
+    EXPECT_EQ(f.site(), "test.site");
+    EXPECT_EQ(f.status(), Status::Internal);
+    EXPECT_NE(std::string(f.what()).find("test.site"), std::string::npos);
+  }
+  // The schedule is exhausted: the next hit passes.
+  EXPECT_NO_THROW(hit_point("test.site"));
+  EXPECT_EQ(fault::hits("test.site"), 2);
+}
+
+TEST_F(FaultInject, OtherSitesAreUnaffected) {
+  fault::arm("test.site");
+  EXPECT_NO_THROW(hit_point("test.other"));
+  EXPECT_THROW(hit_point("test.site"), fault::FaultInjected);
+}
+
+TEST_F(FaultInject, SkipDelaysTheFailure) {
+  fault::arm("test.site", /*skip=*/2, /*count=*/1);
+  EXPECT_NO_THROW(hit_point("test.site"));
+  EXPECT_NO_THROW(hit_point("test.site"));
+  EXPECT_THROW(hit_point("test.site"), fault::FaultInjected);
+  EXPECT_NO_THROW(hit_point("test.site"));
+}
+
+TEST_F(FaultInject, CountDeliversMultipleFailures) {
+  fault::arm("test.site", 0, 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(hit_point("test.site"), fault::FaultInjected);
+  }
+  EXPECT_NO_THROW(hit_point("test.site"));
+}
+
+TEST_F(FaultInject, RearmReplacesSchedule) {
+  fault::arm("test.site", 5, 1);
+  fault::arm("test.site", 0, 1); // replaces: fails immediately
+  EXPECT_THROW(hit_point("test.site"), fault::FaultInjected);
+}
+
+TEST_F(FaultInject, DisarmRestoresFastPath) {
+  fault::arm("test.a");
+  fault::arm("test.b");
+  fault::disarm("test.a");
+  EXPECT_TRUE(fault::enabled()); // test.b is still armed
+  EXPECT_NO_THROW(hit_point("test.a"));
+  fault::disarm("test.b");
+  EXPECT_FALSE(fault::enabled());
+}
+
+TEST_F(FaultInject, ScopedFaultDisarmsOnScopeExit) {
+  {
+    fault::ScopedFault guard("test.site", 1, 1);
+    EXPECT_TRUE(fault::enabled());
+  }
+  EXPECT_FALSE(fault::enabled());
+  EXPECT_NO_THROW(hit_point("test.site"));
+}
+
+TEST_F(FaultInject, AlignedBufferAllocSiteIsWired) {
+  fault::ScopedFault guard("alloc");
+  try {
+    AlignedBuffer<double> buf(128);
+    FAIL() << "expected FaultInjected from AlignedBuffer";
+  } catch (const fault::FaultInjected& f) {
+    EXPECT_EQ(f.site(), "alloc");
+    EXPECT_EQ(f.status(), Status::AllocFailure);
+  }
+  // A zero-sized buffer performs no allocation and must not trip it.
+  fault::arm("alloc");
+  EXPECT_NO_THROW(AlignedBuffer<double>(0));
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,185 @@
+#include "iatf/common/status.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace iatf {
+namespace {
+
+TEST(Status, ToStringCoversEveryCode) {
+  EXPECT_STREQ(to_string(Status::Ok), "ok");
+  EXPECT_STREQ(to_string(Status::InvalidArg), "invalid argument");
+  EXPECT_STREQ(to_string(Status::Unsupported), "unsupported");
+  EXPECT_STREQ(to_string(Status::AllocFailure), "allocation failure");
+  EXPECT_STREQ(to_string(Status::NumericalHazard), "numerical hazard");
+  EXPECT_STREQ(to_string(Status::Internal), "internal error");
+}
+
+TEST(Status, ExecPolicyToString) {
+  EXPECT_STREQ(to_string(ExecPolicy::Fast), "fast");
+  EXPECT_STREQ(to_string(ExecPolicy::Check), "check");
+  EXPECT_STREQ(to_string(ExecPolicy::Fallback), "fallback");
+}
+
+TEST(DegradeEvent, BitmaskOperations) {
+  DegradeEvent e = DegradeEvent::None;
+  EXPECT_FALSE(has_event(e, DegradeEvent::MissingKernel));
+  e |= DegradeEvent::MissingKernel;
+  e |= DegradeEvent::AllocFailure;
+  EXPECT_TRUE(has_event(e, DegradeEvent::MissingKernel));
+  EXPECT_TRUE(has_event(e, DegradeEvent::AllocFailure));
+  EXPECT_FALSE(has_event(e, DegradeEvent::WorkerFailure));
+  EXPECT_EQ(e & DegradeEvent::MissingKernel, DegradeEvent::MissingKernel);
+}
+
+TEST(BatchHealth, DefaultIsClean) {
+  BatchHealth h;
+  h.batch = 64;
+  EXPECT_TRUE(h.clean());
+  EXPECT_FALSE(h.degraded());
+  EXPECT_EQ(h.first_nonfinite, -1);
+  EXPECT_EQ(h.first_singular, -1);
+  EXPECT_EQ(h.first_fallback, -1);
+}
+
+TEST(BatchHealth, HazardCountsBreakClean) {
+  BatchHealth h;
+  h.batch = 8;
+  h.nonfinite = 1;
+  h.first_nonfinite = 3;
+  EXPECT_FALSE(h.clean());
+  EXPECT_FALSE(h.degraded()); // observed, not degraded
+  h.fallback = 1;
+  h.first_fallback = 3;
+  EXPECT_TRUE(h.degraded());
+}
+
+TEST(BatchHealth, EventsAloneMeanDegraded) {
+  BatchHealth h;
+  h.batch = 4;
+  h.events = DegradeEvent::UnsupportedPlan;
+  EXPECT_FALSE(h.clean());
+  EXPECT_TRUE(h.degraded());
+}
+
+TEST(BatchHealth, MergeSumsCountsAndKeepsLowestFirsts) {
+  BatchHealth a;
+  a.batch = 10;
+  a.nonfinite = 2;
+  a.first_nonfinite = 7;
+  a.singular = 1;
+  a.first_singular = 4;
+  a.events = DegradeEvent::NumericalHazard;
+
+  BatchHealth b;
+  b.batch = 6;
+  b.nonfinite = 1;
+  b.first_nonfinite = 2;
+  b.fallback = 3;
+  b.first_fallback = 1;
+  b.events = DegradeEvent::AllocFailure;
+
+  a.merge(b);
+  EXPECT_EQ(a.batch, 16);
+  EXPECT_EQ(a.nonfinite, 3);
+  EXPECT_EQ(a.first_nonfinite, 2);
+  EXPECT_EQ(a.singular, 1);
+  EXPECT_EQ(a.first_singular, 4);
+  EXPECT_EQ(a.fallback, 3);
+  EXPECT_EQ(a.first_fallback, 1);
+  EXPECT_TRUE(has_event(a.events, DegradeEvent::NumericalHazard));
+  EXPECT_TRUE(has_event(a.events, DegradeEvent::AllocFailure));
+}
+
+TEST(BatchHealth, MergeWithEmptyKeepsFirsts) {
+  BatchHealth a;
+  a.batch = 3;
+  a.singular = 1;
+  a.first_singular = 0;
+  BatchHealth empty;
+  a.merge(empty);
+  EXPECT_EQ(a.singular, 1);
+  EXPECT_EQ(a.first_singular, 0);
+}
+
+TEST(HealthRecorder, FillFoldsFlagsToCountsAndFirsts) {
+  HealthRecorder rec(10);
+  rec.note_nonfinite(7);
+  rec.note_nonfinite(3);
+  rec.note_nonfinite(3); // double-flagging a lane counts once
+  rec.note_singular(9);
+
+  EXPECT_TRUE(rec.flagged(3));
+  EXPECT_TRUE(rec.flagged(9));
+  EXPECT_FALSE(rec.flagged(0));
+
+  BatchHealth h;
+  h.batch = 10;
+  rec.fill(h);
+  EXPECT_EQ(h.nonfinite, 2);
+  EXPECT_EQ(h.first_nonfinite, 3);
+  EXPECT_EQ(h.singular, 1);
+  EXPECT_EQ(h.first_singular, 9);
+  EXPECT_EQ(h.fallback, 0);
+  EXPECT_FALSE(h.clean());
+}
+
+TEST(HealthRecorder, CleanRecorderFillsNothing) {
+  HealthRecorder rec(5);
+  BatchHealth h;
+  h.batch = 5;
+  rec.fill(h);
+  EXPECT_TRUE(h.clean());
+  EXPECT_EQ(h.first_nonfinite, -1);
+}
+
+TEST(ScanNonfinite, FlagsExactlyTheBadLanes) {
+  // One group: 3 element blocks, pw = 4, real data.
+  const index_t pw = 4;
+  const index_t elems = 3;
+  std::vector<float> gdata(static_cast<std::size_t>(elems * pw), 1.0f);
+  gdata[1 * pw + 2] = std::numeric_limits<float>::quiet_NaN(); // lane 2
+  gdata[2 * pw + 0] = std::numeric_limits<float>::infinity();  // lane 0
+
+  HealthRecorder rec(8);
+  scan_nonfinite_group<float>(gdata.data(), elems, pw, 1, pw,
+                              /*lane_base=*/4, rec);
+  BatchHealth h;
+  h.batch = 8;
+  rec.fill(h);
+  EXPECT_EQ(h.nonfinite, 2);
+  EXPECT_EQ(h.first_nonfinite, 4); // lane 0 of the group = batch index 4
+  EXPECT_TRUE(rec.flagged(6));     // lane 2 of the group
+  EXPECT_FALSE(rec.flagged(5));
+}
+
+TEST(ScanNonfinite, PaddingLanesAreIgnored) {
+  const index_t pw = 4;
+  std::vector<double> gdata(static_cast<std::size_t>(pw), 0.0);
+  gdata[3] = std::numeric_limits<double>::quiet_NaN(); // padding lane
+  HealthRecorder rec(3);
+  scan_nonfinite_group<double>(gdata.data(), 1, pw, 1, /*lanes=*/3,
+                               /*lane_base=*/0, rec);
+  BatchHealth h;
+  h.batch = 3;
+  rec.fill(h);
+  EXPECT_EQ(h.nonfinite, 0);
+}
+
+TEST(ScanNonfinite, ComplexImaginaryPlaneIsScanned) {
+  const index_t pw = 2;
+  // One element block of a complex group: [re0 re1 im0 im1].
+  std::vector<float> gdata{1.0f, 1.0f, 1.0f,
+                           std::numeric_limits<float>::infinity()};
+  HealthRecorder rec(2);
+  scan_nonfinite_group<float>(gdata.data(), 1, pw, 2, 2, 0, rec);
+  EXPECT_FALSE(rec.flagged(0));
+  EXPECT_TRUE(rec.flagged(1));
+}
+
+} // namespace
+} // namespace iatf

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "../testutil.hpp"
+#include "iatf/common/fault_inject.hpp"
 #include "iatf/parallel/thread_pool.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
@@ -70,6 +71,108 @@ TEST(ThreadPool, PropagatesExceptions) {
 TEST(ThreadPool, InvertedRangeThrows) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(5, 2, [](index_t, index_t) {}), Error);
+}
+
+// Hardening regression: every chunk throws -- including the calling
+// thread's own chunk -- and the pool must neither deadlock waiting on
+// pending work nor stay poisoned for later calls.
+TEST(ThreadPool, EveryChunkThrowingCannotDeadlock) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_THROW(pool.parallel_for(0, 400,
+                                   [](index_t, index_t) {
+                                     throw Error("all chunks fail");
+                                   }),
+                 Error);
+  }
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 100, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPool, CallerChunkThrowStillDrainsWorkers) {
+  ThreadPool pool(3);
+  std::atomic<int> worker_chunks{0};
+  const auto caller = std::this_thread::get_id();
+  EXPECT_THROW(
+      pool.parallel_for(0, 300,
+                        [&](index_t, index_t) {
+                          if (std::this_thread::get_id() == caller) {
+                            throw Error("caller chunk fails");
+                          }
+                          ++worker_chunks;
+                        }),
+      Error);
+  // All queued worker chunks completed before parallel_for unwound (the
+  // chunk function lives on the caller's stack, so returning with work
+  // still queued would be a use-after-free).
+  EXPECT_EQ(worker_chunks.load(), 2);
+}
+
+TEST(ThreadPool, ErrorDoesNotLeakIntoNextCall) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](index_t b, index_t) {
+                                   if (b == 0) {
+                                     throw Error("once");
+                                   }
+                                 }),
+               Error);
+  // The same pool, a fresh call: no stale first_error may resurface.
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_NO_THROW(pool.parallel_for(0, 100, [](index_t, index_t) {}));
+  }
+}
+
+TEST(ThreadPool, InjectedWorkerFaultPropagates) {
+  ThreadPool pool(4);
+  fault::ScopedFault guard("threadpool.worker", 0, 1);
+  try {
+    pool.parallel_for(0, 400, [](index_t, index_t) {});
+    FAIL() << "expected FaultInjected";
+  } catch (const fault::FaultInjected& f) {
+    EXPECT_EQ(f.site(), "threadpool.worker");
+  }
+  fault::disarm_all();
+  EXPECT_NO_THROW(pool.parallel_for(0, 10, [](index_t, index_t) {}));
+}
+
+TEST(ThreadPool, InjectedDispatchFaultPropagates) {
+  ThreadPool pool(4);
+  fault::ScopedFault guard("threadpool.dispatch", 0, 1);
+  EXPECT_THROW(pool.parallel_for(0, 400, [](index_t, index_t) {}),
+               fault::FaultInjected);
+  fault::disarm_all();
+  EXPECT_NO_THROW(pool.parallel_for(0, 10, [](index_t, index_t) {}));
+}
+
+TEST(ThreadPool, ConcurrentParallelForsStayIndependent) {
+  // Two threads sharing one pool: each invocation carries its own Job, so
+  // one caller's failure must not surface in the other's call.
+  ThreadPool pool(4);
+  std::atomic<int> clean_total{0};
+  std::thread failing([&] {
+    for (int i = 0; i < 20; ++i) {
+      try {
+        pool.parallel_for(0, 100, [](index_t b, index_t) {
+          if (b == 0) {
+            throw Error("noisy neighbour");
+          }
+        });
+      } catch (const Error&) {
+        // expected
+      }
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    pool.parallel_for(0, 100, [&](index_t b, index_t e) {
+      clean_total += static_cast<int>(e - b);
+    });
+  }
+  failing.join();
+  EXPECT_EQ(clean_total.load(), 20 * 100);
 }
 
 // Parallel plan execution must be bit-identical to serial execution:
