@@ -1,11 +1,98 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
 
+#include "iatf/common/cache_info.hpp"
 #include "iatf/simd/vec.hpp"
+#include "iatf/tune/descriptor.hpp"
 
 namespace iatf::bench {
+
+namespace {
+
+/// Row mirror for --json output, flushed by an atexit hook so every
+/// bench gets the file without per-bench plumbing.
+struct JsonSink {
+  struct Row {
+    std::string experiment, dtype, mode, series, unit;
+    index_t n = 0;
+    double value = 0.0;
+    int reps = 0;
+  };
+  std::mutex mutex;
+  std::string path;
+  std::vector<Row> rows;
+  int last_reps = 0; ///< repetitions of the most recent measure_gflops
+};
+
+JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void flush_json_at_exit() {
+  JsonSink& sink = json_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (sink.path.empty()) {
+    return;
+  }
+  std::ofstream out(sink.path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: could not write '%s'\n",
+                 sink.path.c_str());
+    return;
+  }
+  const CacheInfo cache = CacheInfo::detect();
+  out << "{\n  \"format\": \"iatf-bench-v1\",\n  \"hardware\": {\n"
+      << "    \"signature\": \""
+      << json_escape(tune::hardware_signature(cache)) << "\",\n"
+      << "    \"l1d\": " << cache.l1d << ",\n"
+      << "    \"l2\": " << cache.l2 << "\n  },\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < sink.rows.size(); ++i) {
+    const JsonSink::Row& r = sink.rows[i];
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"experiment\": \"%s\", \"dtype\": \"%s\", "
+                  "\"mode\": \"%s\", \"n\": %lld, \"series\": \"%s\", "
+                  "\"value\": %.4f, \"unit\": \"%s\", \"reps\": %d}%s\n",
+                  json_escape(r.experiment).c_str(),
+                  json_escape(r.dtype).c_str(),
+                  json_escape(r.mode).c_str(),
+                  static_cast<long long>(r.n),
+                  json_escape(r.series).c_str(), r.value,
+                  json_escape(r.unit).c_str(), r.reps,
+                  i + 1 < sink.rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+} // namespace
+
+void enable_json_output(const std::string& path) {
+  JsonSink& sink = json_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  const bool first = sink.path.empty();
+  sink.path = path;
+  if (first && !path.empty()) {
+    std::atexit(flush_json_at_exit);
+  }
+}
 
 Options Options::parse(int argc, char** argv) {
   Options opt;
@@ -25,12 +112,15 @@ Options Options::parse(int argc, char** argv) {
       opt.min_time = std::atof(v);
     } else if (const char* v = value("--min-reps=")) {
       opt.min_reps = std::atoi(v);
+    } else if (const char* v = value("--json=")) {
+      opt.json = v;
+      enable_json_output(opt.json);
     } else if (std::strcmp(arg, "--verbose") == 0) {
       opt.verbose = true;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "options: --batch=N (0=auto) --max-size=N --size-step=N "
-          "--min-time=SECONDS --min-reps=N --verbose\n");
+          "--min-time=SECONDS --min-reps=N --json=FILE --verbose\n");
       std::exit(0);
     }
   }
@@ -72,6 +162,11 @@ double measure_gflops(double flops, const Options& opt,
       break;
     }
   }
+  {
+    JsonSink& sink = json_sink();
+    std::lock_guard<std::mutex> lock(sink.mutex);
+    sink.last_reps = reps;
+  }
   return std::exp(log_sum / reps);
 }
 
@@ -87,6 +182,12 @@ void print_row(const std::string& experiment, const std::string& dtype,
               dtype.c_str(), mode.c_str(), static_cast<long long>(n),
               series.c_str(), value, unit.c_str());
   std::fflush(stdout);
+  JsonSink& sink = json_sink();
+  std::lock_guard<std::mutex> lock(sink.mutex);
+  if (!sink.path.empty()) {
+    sink.rows.push_back({experiment, dtype, mode, series, unit, n, value,
+                         sink.last_reps});
+  }
 }
 
 namespace {

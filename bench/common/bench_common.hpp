@@ -35,9 +35,18 @@ struct Options {
   double min_time = 0.04;   ///< seconds of measurement per point
   int min_reps = 2;         ///< minimum timed repetitions per point
   bool verbose = false;
+  std::string json;         ///< when set, mirror rows to this JSON file
 
   static Options parse(int argc, char** argv);
 };
+
+/// Mirror every subsequent print_row into a machine-readable JSON file
+/// written at process exit: format "iatf-bench-v1" -- descriptor fields,
+/// value, unit, timed repetitions, plus the host hardware signature and
+/// cache sizes. The offline tuner (tools/iatf_tune --json) emits the same
+/// schema, so tuned and untuned sweeps feed one plotting path.
+/// Options::parse enables this for --json=FILE.
+void enable_json_output(const std::string& path);
 
 /// Paper-style batch size bounded by a working-set budget: at most 16384,
 /// at least one interleave group, and small enough that the operands of

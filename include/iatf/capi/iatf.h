@@ -115,6 +115,54 @@ int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
                        iatf_diag diag, double alpha_re, double alpha_im,
                        const iatf_zbuf* a, iatf_zbuf* b);
 
+/* ---- Autotuning -----------------------------------------------------
+ *
+ * The process-wide tuning table feeds the default engine: records are
+ * consulted whenever a plan is built for a matching descriptor, and
+ * missing descriptors fall back to the manual override (below), the
+ * IATF_FORCE_PACK_A / IATF_FORCE_PACK_B / IATF_SLICE_OVERRIDE
+ * environment variables, and finally the analytical model. */
+
+/* Manual plan overrides for descriptors the tuning table does not
+ * cover. force_pack_* : -1 keeps the analytical choice, 0 forces
+ * no-pack, 1 forces pack; zero slice/caps/chunk mean "analytical".
+ * Forcing no-pack for an operand the plan must gather is reported as
+ * IATF_STATUS_INVALID_ARG by the compute routine that builds the plan. */
+typedef struct iatf_plan_tuning {
+  int force_pack_a;
+  int force_pack_b;
+  int64_t slice_override;
+  int mc_cap;
+  int nc_cap;
+  int64_t chunk_groups;
+} iatf_plan_tuning;
+
+/* Install (or, with NULL, remove) the manual override on the default
+ * engine; either way the plan cache is invalidated. */
+int iatf_set_plan_tuning(const iatf_plan_tuning* tuning);
+
+/* Empirically tune one descriptor (dtype is 's','d','c' or 'z') and
+ * store the winning record in the process-wide table. batch <= 0 and
+ * reps <= 0 select the defaults (256 matrices, 5 repetitions). */
+int iatf_tune_gemm(char dtype, iatf_op op_a, iatf_op op_b, int64_t m,
+                   int64_t n, int64_t k, int64_t batch, int reps);
+int iatf_tune_trsm(char dtype, iatf_side side, iatf_uplo uplo,
+                   iatf_op op_a, iatf_diag diag, int64_t m, int64_t n,
+                   int64_t batch, int reps);
+
+/* Records currently in the process-wide table. */
+int64_t iatf_tune_count(void);
+/* Drop every record (the engine reverts to the analytical model). */
+void iatf_tune_clear(void);
+
+/* Persist / restore the table. NULL path selects $IATF_TUNE_FILE, else
+ * "iatf_tune.tbl" in the working directory. Saving is atomic (temp file
+ * + rename). Loading a missing, corrupt or hardware-mismatched file
+ * keeps the current table untouched and returns
+ * IATF_STATUS_UNSUPPORTED with the reason in iatf_last_error(). */
+int iatf_tune_save(const char* path);
+int iatf_tune_load(const char* path);
+
 /* Extensions: B = alpha * op(tri(A)) * B, unpivoted LU, Cholesky. */
 int iatf_strmm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
                        iatf_diag diag, float alpha, const iatf_sbuf* a,

@@ -29,6 +29,11 @@
 
 namespace iatf {
 
+namespace tune {
+class TuningTable;
+struct TuneKey;
+} // namespace tune
+
 class Engine {
 public:
   /// Tuning parameters default to the detected host caches; pass
@@ -82,10 +87,29 @@ public:
     return pool_.load(std::memory_order_relaxed);
   }
 
+  /// Attach an empirical tuning table (tune/tuning_table.hpp). Plans
+  /// built after this consult the table first: a record matching the
+  /// descriptor overrides the analytical model, a miss falls through to
+  /// the manual override / environment / analytical chain. The cache is
+  /// cleared so descriptors planned before the table re-plan against it.
+  /// nullptr detaches.
+  void set_tuning_table(std::shared_ptr<const tune::TuningTable> table);
+  std::shared_ptr<const tune::TuningTable> tuning_table() const;
+
+  /// Manual plan override applied to every subsequent plan whose
+  /// descriptor misses the tuning table (ablations, experiments). Also
+  /// clears the plan cache. clear_plan_tuning() restores the environment
+  /// (IATF_FORCE_PACK_A/B, IATF_SLICE_OVERRIDE) / analytical chain.
+  void set_plan_tuning(const plan::PlanTuning& tuning);
+  void clear_plan_tuning();
+  plan::PlanTuning plan_tuning() const;
+
   /// Plan-cache statistics (for tests and the plan-cache ablation bench).
   std::size_t plan_cache_size() const;
   std::size_t plan_cache_hits() const;
   std::size_t plan_cache_misses() const;
+  /// Plans in the cache that were built from a tuning-table record.
+  std::size_t plan_cache_tuned() const;
   void clear_plan_cache();
 
   /// The process-wide default engine used by the free functions in
@@ -111,6 +135,12 @@ private:
   template <class Plan, class Make>
   std::shared_ptr<const Plan> lookup(const PlanKey& key, Make&& make);
 
+  /// Table -> manual override -> environment -> analytical default.
+  /// Called under mutex_ from the plan-build path; sets *from_table when
+  /// a tuning-table record decided the parameters.
+  plan::PlanTuning resolve_tuning_locked(const tune::TuneKey& key,
+                                         bool* from_table) const;
+
   template <class T, int Bytes>
   BatchHealth guarded_gemm(const GemmShape& shape, T alpha,
                            const CompactBuffer<T>& a,
@@ -130,6 +160,10 @@ private:
       plans_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t tuned_ = 0;
+  std::shared_ptr<const tune::TuningTable> tune_table_;
+  plan::PlanTuning manual_tuning_;
+  bool has_manual_tuning_ = false;
 };
 
 } // namespace iatf

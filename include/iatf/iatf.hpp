@@ -18,3 +18,5 @@
 #include "iatf/ext/compact_ext.hpp"
 #include "iatf/layout/compact.hpp"
 #include "iatf/parallel/thread_pool.hpp"
+#include "iatf/tune/search.hpp"
+#include "iatf/tune/tuning_table.hpp"

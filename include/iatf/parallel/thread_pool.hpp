@@ -45,8 +45,15 @@ public:
   /// Blocks until every chunk finishes; the first exception thrown by any
   /// chunk is rethrown here. The pool itself is unaffected by chunk
   /// failures and remains usable for subsequent calls.
+  ///
+  /// `grain` > 0 overrides the one-chunk-per-worker split with a target
+  /// chunk size: the range is cut into ceil(total / grain) chunks that
+  /// workers drain from the shared queue (finer chunks trade dispatch
+  /// overhead for load balance -- a tunable the autotuner searches).
+  /// `grain` <= 0 keeps the default split.
   void parallel_for(index_t begin, index_t end,
-                    const std::function<void(index_t, index_t)>& fn);
+                    const std::function<void(index_t, index_t)>& fn,
+                    index_t grain = 0);
 
   /// Process-wide pool, created on first use.
   static ThreadPool& global();

@@ -12,13 +12,27 @@
 
 namespace iatf::plan {
 
-/// Overrides for ablation studies: force a pack decision or a batch-slice
-/// size instead of the input-aware defaults. Negative / zero values keep
-/// the framework's own choice.
+/// Overrides for ablation studies and the empirical autotuner
+/// (iatf/tune): force a pack decision, a batch-slice size, a kernel
+/// variant or a parallel chunk granularity instead of the input-aware
+/// defaults. Negative / zero values keep the framework's own choice, so
+/// a default-constructed PlanTuning reproduces the analytical model
+/// exactly. The tuner's persistent records are these fields plus the
+/// measured throughput (tune::TuneRecord).
 struct PlanTuning {
   int force_pack_a = -1;      ///< 0 = no-pack, 1 = pack, -1 = auto
-  int force_pack_b = -1;      ///< GEMM only
+  int force_pack_b = -1;      ///< GEMM: pack B; TRSM: pack canonical B
   index_t slice_override = 0; ///< >0 forces groups-per-slice
+  /// Kernel-variant choice: >0 caps the main-kernel tile rows/cols below
+  /// the register-budget limits, selecting a different registry kernel
+  /// set (e.g. 2x4 instead of 4x4 tiles). Values above the limits clamp.
+  int mc_cap = 0;
+  int nc_cap = 0;
+  /// >0 sets the interleave groups handed to each thread-pool chunk;
+  /// 0 keeps the pool's one-chunk-per-worker split.
+  index_t chunk_groups = 0;
+
+  friend bool operator==(const PlanTuning&, const PlanTuning&) = default;
 };
 
 class BatchCounter {

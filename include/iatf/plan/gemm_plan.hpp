@@ -68,6 +68,7 @@ public:
   bool packs_a() const noexcept { return pack_a_; }
   bool packs_b() const noexcept { return pack_b_; }
   index_t slice_groups() const noexcept { return slice_groups_; }
+  index_t chunk_groups() const noexcept { return chunk_groups_; }
   std::span<const Tile> m_tiles() const noexcept { return m_tiles_; }
   std::span<const Tile> n_tiles() const noexcept { return n_tiles_; }
   std::span<const Call> calls() const noexcept { return calls_; }
@@ -98,6 +99,7 @@ private:
   index_t pa_group_size_ = 0; ///< packed A panel scalars per group
   index_t pb_group_size_ = 0;
   index_t slice_groups_ = 1;
+  index_t chunk_groups_ = 0; ///< >0 = groups per parallel chunk
 };
 
 } // namespace iatf::plan

@@ -71,6 +71,7 @@ public:
   bool packs_b() const noexcept { return pack_b_; }
   bool small_path() const noexcept { return blocks_.size() <= 1; }
   index_t slice_groups() const noexcept { return slice_groups_; }
+  index_t chunk_groups() const noexcept { return chunk_groups_; }
   std::span<const Tile> blocks() const noexcept { return blocks_; }
   std::span<const Tile> panels() const noexcept { return panels_; }
   std::span<const Step> steps() const noexcept { return steps_; }
@@ -99,6 +100,7 @@ private:
   index_t pa_group_size_ = 0;
   index_t pb_group_size_ = 0;
   index_t slice_groups_ = 1;
+  index_t chunk_groups_ = 0; ///< >0 = groups per parallel chunk
 };
 
 } // namespace iatf::plan

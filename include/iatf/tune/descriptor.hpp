@@ -1,0 +1,79 @@
+// Canonical input descriptors and the hardware signature for the
+// empirical autotuner (iatf::tune).
+//
+// The paper's run-time stage keys its execution plans on the input matrix
+// properties; the tuner keys its persistent records the same way, minus
+// the batch length: the batch counter already normalises the batch into
+// L1-sized slices of whole interleave groups, so a tuned parameter set is
+// a property of the per-matrix problem, not of how many matrices arrive.
+// Records additionally carry a hardware signature so a tuning table
+// copied to a different machine degrades to the analytical model instead
+// of applying stale measurements.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/types.hpp"
+
+namespace iatf::tune {
+
+/// Canonical descriptor of one tunable problem class (GEMM or TRSM).
+struct TuneKey {
+  char op = 'g';    ///< 'g' = GEMM, 't' = TRSM
+  char dtype = 's'; ///< s, d, c or z
+  int bytes = 16;   ///< SIMD register width of the kernel set
+  index_t m = 0, n = 0, k = 0;
+  std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
+
+  friend bool operator==(const TuneKey&, const TuneKey&) = default;
+};
+
+struct TuneKeyHash {
+  std::size_t operator()(const TuneKey& key) const noexcept;
+};
+
+/// Keys for the two descriptor kinds (batch deliberately dropped).
+template <class T, int Bytes = 16> TuneKey gemm_key(const GemmShape& shape) {
+  TuneKey key;
+  key.op = 'g';
+  key.dtype = blas_prefix_v<T>[0];
+  key.bytes = Bytes;
+  key.m = shape.m;
+  key.n = shape.n;
+  key.k = shape.k;
+  key.op_a = static_cast<std::uint8_t>(shape.op_a);
+  key.op_b = static_cast<std::uint8_t>(shape.op_b);
+  return key;
+}
+
+template <class T, int Bytes = 16> TuneKey trsm_key(const TrsmShape& shape) {
+  TuneKey key;
+  key.op = 't';
+  key.dtype = blas_prefix_v<T>[0];
+  key.bytes = Bytes;
+  key.m = shape.m;
+  key.n = shape.n;
+  key.op_a = static_cast<std::uint8_t>(shape.op_a);
+  key.side = static_cast<std::uint8_t>(shape.side);
+  key.uplo = static_cast<std::uint8_t>(shape.uplo);
+  key.diag = static_cast<std::uint8_t>(shape.diag);
+  return key;
+}
+
+/// One-line human-readable rendering (also the table file's key fields).
+std::string to_string(const TuneKey& key);
+
+/// Serialise/parse the key as the leading fields of one table record
+/// line. parse_key returns false on malformed input without throwing.
+void write_key(std::ostream& out, const TuneKey& key);
+bool parse_key(std::istream& in, TuneKey& key);
+
+/// Single-token signature of the tuning-relevant hardware: architecture,
+/// CPU model, cache sizes. Tables recorded under a different signature
+/// are ignored at load time (the analytical model is the fallback).
+std::string hardware_signature(const CacheInfo& cache);
+
+} // namespace iatf::tune

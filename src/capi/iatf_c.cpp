@@ -3,10 +3,15 @@
 #include "iatf/capi/iatf.h"
 
 #include <complex>
+#include <memory>
+#include <mutex>
 #include <string>
 
+#include "iatf/common/error.hpp"
 #include "iatf/core/compact_blas.hpp"
 #include "iatf/ext/compact_ext.hpp"
+#include "iatf/tune/search.hpp"
+#include "iatf/tune/tuning_table.hpp"
 
 namespace {
 
@@ -81,6 +86,36 @@ iatf::Op to_op(iatf_op op) { return static_cast<iatf::Op>(op); }
 iatf::Side to_side(iatf_side s) { return static_cast<iatf::Side>(s); }
 iatf::Uplo to_uplo(iatf_uplo u) { return static_cast<iatf::Uplo>(u); }
 iatf::Diag to_diag(iatf_diag d) { return static_cast<iatf::Diag>(d); }
+
+// Process-wide tuning table behind the C API. Mutations publish an
+// immutable copy to the default engine, which clears its plan cache.
+std::mutex g_tune_mutex;
+iatf::tune::TuningTable& tune_table_locked() {
+  static iatf::tune::TuningTable table;
+  return table;
+}
+
+void publish_tune_table_locked() {
+  iatf::Engine::default_engine().set_tuning_table(
+      std::make_shared<const iatf::tune::TuningTable>(tune_table_locked()));
+}
+
+iatf::tune::TuneOptions tune_options(int64_t batch, int reps) {
+  iatf::tune::TuneOptions opts;
+  if (batch > 0) {
+    opts.batch = static_cast<iatf::index_t>(batch);
+  }
+  if (reps > 0) {
+    opts.reps = reps;
+  }
+  return opts;
+}
+
+std::string tune_path(const char* path) {
+  return path != nullptr && path[0] != '\0'
+             ? std::string(path)
+             : iatf::tune::TuningTable::default_path();
+}
 
 } // namespace
 
@@ -238,6 +273,111 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
     return iatf::compact_trsm<std::complex<double>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
+  });
+}
+
+extern "C" int iatf_set_plan_tuning(const iatf_plan_tuning* tuning) {
+  return guarded([&] {
+    iatf::Engine& engine = iatf::Engine::default_engine();
+    if (tuning == nullptr) {
+      engine.clear_plan_tuning();
+      return;
+    }
+    iatf::plan::PlanTuning t;
+    t.force_pack_a = tuning->force_pack_a;
+    t.force_pack_b = tuning->force_pack_b;
+    t.slice_override = static_cast<iatf::index_t>(tuning->slice_override);
+    t.mc_cap = tuning->mc_cap;
+    t.nc_cap = tuning->nc_cap;
+    t.chunk_groups = static_cast<iatf::index_t>(tuning->chunk_groups);
+    engine.set_plan_tuning(t);
+  });
+}
+
+extern "C" int iatf_tune_gemm(char dtype, iatf_op op_a, iatf_op op_b,
+                              int64_t m, int64_t n, int64_t k,
+                              int64_t batch, int reps) {
+  return guarded([&] {
+    iatf::GemmShape shape;
+    shape.m = m;
+    shape.n = n;
+    shape.k = k;
+    shape.op_a = to_op(op_a);
+    shape.op_b = to_op(op_b);
+    const iatf::CacheInfo cache =
+        iatf::Engine::default_engine().cache_info();
+    const iatf::tune::TuneRecord rec = iatf::tune::tune_gemm_dyn(
+        dtype, shape, cache, tune_options(batch, reps));
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    tune_table_locked().insert(
+        iatf::tune::TuneKey{'g', dtype, 16, m, n, k,
+                            static_cast<std::uint8_t>(op_a),
+                            static_cast<std::uint8_t>(op_b), 0, 0, 0},
+        rec);
+    publish_tune_table_locked();
+  });
+}
+
+extern "C" int iatf_tune_trsm(char dtype, iatf_side side, iatf_uplo uplo,
+                              iatf_op op_a, iatf_diag diag, int64_t m,
+                              int64_t n, int64_t batch, int reps) {
+  return guarded([&] {
+    iatf::TrsmShape shape;
+    shape.m = m;
+    shape.n = n;
+    shape.side = to_side(side);
+    shape.uplo = to_uplo(uplo);
+    shape.op_a = to_op(op_a);
+    shape.diag = to_diag(diag);
+    const iatf::CacheInfo cache =
+        iatf::Engine::default_engine().cache_info();
+    const iatf::tune::TuneRecord rec = iatf::tune::tune_trsm_dyn(
+        dtype, shape, cache, tune_options(batch, reps));
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    tune_table_locked().insert(
+        iatf::tune::TuneKey{'t', dtype, 16, m, n, 0,
+                            static_cast<std::uint8_t>(op_a), 0,
+                            static_cast<std::uint8_t>(side),
+                            static_cast<std::uint8_t>(uplo),
+                            static_cast<std::uint8_t>(diag)},
+        rec);
+    publish_tune_table_locked();
+  });
+}
+
+extern "C" int64_t iatf_tune_count(void) {
+  std::lock_guard<std::mutex> lock(g_tune_mutex);
+  return static_cast<int64_t>(tune_table_locked().size());
+}
+
+extern "C" void iatf_tune_clear(void) {
+  std::lock_guard<std::mutex> lock(g_tune_mutex);
+  tune_table_locked().clear();
+  publish_tune_table_locked();
+}
+
+extern "C" int iatf_tune_save(const char* path) {
+  return guarded([&] {
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    IATF_CHECK_AS(tune_table_locked().save(tune_path(path)),
+                  iatf::Status::AllocFailure,
+                  "iatf_tune_save: could not write the tuning table");
+  });
+}
+
+extern "C" int iatf_tune_load(const char* path) {
+  return guarded([&] {
+    // Load into a scratch table so a rejected file leaves the current
+    // records (and the engine's view of them) untouched.
+    std::lock_guard<std::mutex> lock(g_tune_mutex);
+    iatf::tune::TuningTable fresh(tune_table_locked().hardware());
+    const iatf::tune::LoadResult result = fresh.load(tune_path(path));
+    IATF_CHECK_AS(result == iatf::tune::LoadResult::Ok,
+                  iatf::Status::Unsupported,
+                  std::string("iatf_tune_load: ") +
+                      iatf::tune::to_string(result));
+    tune_table_locked() = std::move(fresh);
+    publish_tune_table_locked();
   });
 }
 

@@ -8,6 +8,8 @@
 #include "iatf/common/error.hpp"
 #include "iatf/common/fault_inject.hpp"
 #include "iatf/ref/ref_blas.hpp"
+#include "iatf/tune/descriptor.hpp"
+#include "iatf/tune/tuning_table.hpp"
 
 namespace iatf {
 namespace {
@@ -195,7 +197,13 @@ Engine::plan_gemm(const GemmShape& shape) {
   key.batch = shape.batch;
   return lookup<plan::GemmPlan<T, Bytes>>(key, [&] {
     IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
-    return new plan::GemmPlan<T, Bytes>(shape, cache_);
+    bool from_table = false;
+    const plan::PlanTuning tuning =
+        resolve_tuning_locked(tune::gemm_key<T, Bytes>(shape), &from_table);
+    if (from_table) {
+      ++tuned_;
+    }
+    return new plan::GemmPlan<T, Bytes>(shape, cache_, tuning);
   });
 }
 
@@ -215,7 +223,13 @@ Engine::plan_trsm(const TrsmShape& shape) {
   key.batch = shape.batch;
   return lookup<plan::TrsmPlan<T, Bytes>>(key, [&] {
     IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
-    return new plan::TrsmPlan<T, Bytes>(shape, cache_);
+    bool from_table = false;
+    const plan::PlanTuning tuning =
+        resolve_tuning_locked(tune::trsm_key<T, Bytes>(shape), &from_table);
+    if (from_table) {
+      ++tuned_;
+    }
+    return new plan::TrsmPlan<T, Bytes>(shape, cache_, tuning);
   });
 }
 
@@ -398,6 +412,62 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
   return health;
 }
 
+plan::PlanTuning Engine::resolve_tuning_locked(const tune::TuneKey& key,
+                                               bool* from_table) const {
+  *from_table = false;
+  if (tune_table_ != nullptr) {
+    if (const tune::TuneRecord* rec = tune_table_->lookup(key)) {
+      *from_table = true;
+      return rec->tuning();
+    }
+  }
+  if (has_manual_tuning_) {
+    return manual_tuning_;
+  }
+  // Re-read per plan-cache miss: cheap, and it keeps the environment
+  // overrides testable after clear_plan_cache().
+  return tune::env_plan_tuning();
+}
+
+void Engine::set_tuning_table(
+    std::shared_ptr<const tune::TuningTable> table) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  tune_table_ = std::move(table);
+  plans_.clear();
+  tuned_ = 0;
+}
+
+std::shared_ptr<const tune::TuningTable> Engine::tuning_table() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tune_table_;
+}
+
+void Engine::set_plan_tuning(const plan::PlanTuning& tuning) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  manual_tuning_ = tuning;
+  has_manual_tuning_ = true;
+  plans_.clear();
+  tuned_ = 0;
+}
+
+void Engine::clear_plan_tuning() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  manual_tuning_ = plan::PlanTuning{};
+  has_manual_tuning_ = false;
+  plans_.clear();
+  tuned_ = 0;
+}
+
+plan::PlanTuning Engine::plan_tuning() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return has_manual_tuning_ ? manual_tuning_ : plan::PlanTuning{};
+}
+
+std::size_t Engine::plan_cache_tuned() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tuned_;
+}
+
 std::size_t Engine::plan_cache_size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return plans_.size();
@@ -418,6 +488,7 @@ void Engine::clear_plan_cache() {
   plans_.clear();
   hits_ = 0;
   misses_ = 0;
+  tuned_ = 0;
 }
 
 Engine& Engine::default_engine() {

@@ -67,14 +67,16 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     index_t begin, index_t end,
-    const std::function<void(index_t, index_t)>& fn) {
+    const std::function<void(index_t, index_t)>& fn, index_t grain) {
   IATF_CHECK(begin <= end, "parallel_for: inverted range");
   const index_t total = end - begin;
   if (total == 0) {
     return;
   }
   const index_t chunks =
-      std::min<index_t>(static_cast<index_t>(workers_), total);
+      grain > 0
+          ? std::min(total, (total + grain - 1) / grain)
+          : std::min<index_t>(static_cast<index_t>(workers_), total);
   if (chunks <= 1) {
     IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
     fn(begin, end);
@@ -100,10 +102,26 @@ void ThreadPool::parallel_for(
     }
   } catch (...) {
     // Enqueue failed partway (queue growth): drain what was queued so no
-    // Task referencing this frame survives, then propagate.
+    // Task referencing this frame survives, then propagate. The caller
+    // helps run its own queued chunks -- a one-worker pool has no worker
+    // threads to drain them.
     cv_work_.notify_all();
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&job] { return job.pending == 0; });
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (job.pending == 0) {
+          break;
+        }
+        if (queue_.empty()) {
+          cv_done_.wait(lock, [&job] { return job.pending == 0; });
+          break;
+        }
+        task = queue_.back();
+        queue_.pop_back();
+      }
+      run_task(task);
+    }
     throw;
   }
   cv_work_.notify_all();
@@ -126,10 +144,38 @@ void ThreadPool::parallel_for(
     }
   }
 
-  std::exception_ptr first;
-  {
+  // With more chunks than the pool owns (a grain finer than the
+  // one-chunk-per-worker split, or a one-worker pool that spawned no
+  // worker threads at all) the workers alone cannot drain the queue, so
+  // the caller pulls tasks too until its job has none left, then blocks
+  // only on chunks already running elsewhere. Otherwise every queued
+  // chunk has a dedicated worker and the caller just waits, leaving the
+  // worker threads to run them.
+  if (chunks > static_cast<index_t>(workers_)) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (job.pending == 0) {
+          break;
+        }
+        if (queue_.empty()) {
+          cv_done_.wait(lock, [&job] { return job.pending == 0; });
+          break;
+        }
+        task = queue_.back();
+        queue_.pop_back();
+      }
+      run_task(task);
+    }
+  } else {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [&job] { return job.pending == 0; });
+  }
+
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
     first = job.first_error;
   }
   if (first) {

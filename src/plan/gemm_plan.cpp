@@ -18,8 +18,18 @@ GemmPlan<T, Bytes>::GemmPlan(const GemmShape& shape, const CacheInfo& cache,
   using Limits = kernels::KernelLimits<T>;
   const index_t es = element_stride();
 
-  m_tiles_ = tile_dimension(shape.m, Limits::gemm_max_mc);
-  n_tiles_ = tile_dimension(shape.n, Limits::gemm_max_nc);
+  // Kernel-variant selection: the tuner may cap the tile sizes below the
+  // register-budget limits, picking a different registry kernel set.
+  const index_t max_mc =
+      tuning.mc_cap > 0 && tuning.mc_cap < Limits::gemm_max_mc
+          ? tuning.mc_cap
+          : Limits::gemm_max_mc;
+  const index_t max_nc =
+      tuning.nc_cap > 0 && tuning.nc_cap < Limits::gemm_max_nc
+          ? tuning.nc_cap
+          : Limits::gemm_max_nc;
+  m_tiles_ = tile_dimension(shape.m, max_mc);
+  n_tiles_ = tile_dimension(shape.n, max_nc);
 
   // Pack Selecter (section 4.4): "it only chooses data packing when the
   // data cannot be continuously accessed in the computing core". The
@@ -99,6 +109,7 @@ GemmPlan<T, Bytes>::GemmPlan(const GemmShape& shape, const CacheInfo& cache,
   slice_groups_ = tuning.slice_override > 0
                       ? tuning.slice_override
                       : BatchCounter(cache).groups_per_slice(group_bytes);
+  chunk_groups_ = tuning.chunk_groups > 0 ? tuning.chunk_groups : 0;
 }
 
 template <class T, int Bytes>
@@ -147,11 +158,12 @@ void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  pool.parallel_for(0, c.groups(),
-                    [&](index_t g_begin, index_t g_end) {
-                      run_groups(a, b, c, alpha, beta, g_begin, g_end,
-                                 health);
-                    });
+  pool.parallel_for(
+      0, c.groups(),
+      [&](index_t g_begin, index_t g_end) {
+        run_groups(a, b, c, alpha, beta, g_begin, g_end, health);
+      },
+      chunk_groups_);
 }
 
 template <class T, int Bytes>

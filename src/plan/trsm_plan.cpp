@@ -46,14 +46,25 @@ TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
 
   // Diagonal-block decomposition: the whole triangle when it fits in
   // registers (the paper's M <= 5 case), else main-kernel-sized blocks.
-  if (canon_.m <= Limits::tri_max_m) {
+  // A tuner-chosen mc_cap forces the blocked decomposition with smaller
+  // diagonal blocks (a different registry kernel set); nc_cap narrows
+  // the column panels below the register-budget width.
+  const index_t block_cap =
+      tuning.mc_cap > 0 && tuning.mc_cap < Limits::trsm_block
+          ? tuning.mc_cap
+          : Limits::trsm_block;
+  if (canon_.m <= Limits::tri_max_m && tuning.mc_cap == 0) {
     if (canon_.m > 0) {
       blocks_.push_back(Tile{0, canon_.m});
     }
   } else {
-    blocks_ = tile_dimension(canon_.m, Limits::trsm_block);
+    blocks_ = tile_dimension(canon_.m, block_cap);
   }
-  panels_ = tile_dimension(canon_.n, Limits::tri_max_nc);
+  const index_t panel_cap =
+      tuning.nc_cap > 0 && tuning.nc_cap < Limits::tri_max_nc
+          ? tuning.nc_cap
+          : Limits::tri_max_nc;
+  panels_ = tile_dimension(canon_.n, panel_cap);
 
   // Pack Selecter: B needs gathering only when the canonical form moves
   // values around (row reversal or the Right-side transpose); plain
@@ -62,6 +73,13 @@ TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
   pack_b_ = canon_.reverse || canon_.b_transpose;
   if (tuning.force_pack_a == 1 || tuning.force_pack_b == 1) {
     pack_b_ = true; // forcing a pack is always legal
+  } else if (tuning.force_pack_b == 0) {
+    // Forcing *no-pack* is only legal when the canonical form leaves B in
+    // place (the gather of a reversed/transposed mode cannot be skipped).
+    IATF_CHECK(!canon_.reverse && !canon_.b_transpose,
+               "trsm: cannot force no-pack for a mode whose canonical "
+               "form gathers B");
+    pack_b_ = false;
   }
 
   pa_group_size_ = pack::packed_trsm_a_size(blocks_, es);
@@ -104,6 +122,7 @@ TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
   slice_groups_ = tuning.slice_override > 0
                       ? tuning.slice_override
                       : BatchCounter(cache).groups_per_slice(group_bytes);
+  chunk_groups_ = tuning.chunk_groups > 0 ? tuning.chunk_groups : 0;
 }
 
 template <class T, int Bytes>
@@ -164,9 +183,12 @@ void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  pool.parallel_for(0, b.groups(), [&](index_t g_begin, index_t g_end) {
-    run_groups(a, b, alpha, g_begin, g_end, health);
-  });
+  pool.parallel_for(
+      0, b.groups(),
+      [&](index_t g_begin, index_t g_end) {
+        run_groups(a, b, alpha, g_begin, g_end, health);
+      },
+      chunk_groups_);
 }
 
 template <class T, int Bytes>

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "iatf/plan/batch_counter.hpp"
+#include "iatf/plan/gemm_plan.hpp"
+
+namespace iatf {
+namespace {
+
+using plan::BatchCounter;
+using plan::PlanTuning;
+
+CacheInfo tiny_l1(index_t l1d) {
+  CacheInfo cache = CacheInfo::kunpeng920();
+  cache.l1d = l1d;
+  return cache;
+}
+
+TEST(BatchCounter, SlicesAreWholeL1Fractions) {
+  const BatchCounter counter(tiny_l1(64 * 1024));
+  EXPECT_EQ(counter.groups_per_slice(64 * 1024), 1);
+  EXPECT_EQ(counter.groups_per_slice(32 * 1024), 2);
+  EXPECT_EQ(counter.groups_per_slice(1024), 64);
+  EXPECT_EQ(counter.groups_per_slice(1000), 65); // floor division
+}
+
+// A single group may legitimately exceed L1; the slice clamps to one
+// group instead of zero (which would make the slice loop degenerate).
+TEST(BatchCounter, GroupLargerThanL1ClampsToOne) {
+  const BatchCounter counter(tiny_l1(1024));
+  EXPECT_EQ(counter.groups_per_slice(1025), 1);
+  EXPECT_EQ(counter.groups_per_slice(1 << 30), 1);
+}
+
+// Degenerate working sets (empty matrices) must not divide by zero.
+TEST(BatchCounter, ZeroOrNegativeGroupBytesClampsToOne) {
+  const BatchCounter counter(tiny_l1(64 * 1024));
+  EXPECT_EQ(counter.groups_per_slice(0), 1);
+  EXPECT_EQ(counter.groups_per_slice(-8), 1);
+}
+
+// The tuner's slice override wins over the analytical prediction, and
+// the clamp-to-1 floor still applies to the analytical path it replaces.
+TEST(BatchCounter, SliceOverrideBeatsAnalyticalPrediction) {
+  const GemmShape shape{8, 8, 8, Op::NoTrans, Op::NoTrans, 64};
+  const CacheInfo cache = CacheInfo::kunpeng920();
+
+  const plan::GemmPlan<float> analytical(shape, cache);
+  ASSERT_GT(analytical.slice_groups(), 1);
+
+  PlanTuning tuning;
+  tuning.slice_override = 3;
+  const plan::GemmPlan<float> tuned(shape, cache, tuning);
+  EXPECT_EQ(tuned.slice_groups(), 3);
+}
+
+TEST(BatchCounter, TinyL1StillYieldsOneGroupSlices) {
+  // With a pathologically small L1 the analytical slice hits the floor;
+  // plans stay valid and process one group per round.
+  const GemmShape shape{16, 16, 16, Op::NoTrans, Op::NoTrans, 16};
+  const plan::GemmPlan<float> plan(shape, tiny_l1(256));
+  EXPECT_EQ(plan.slice_groups(), 1);
+}
+
+} // namespace
+} // namespace iatf
