@@ -3,8 +3,17 @@
 // beginning... negligible when apportioned to each matrix". Measures
 // plan generation cost, plan-cache lookup cost, and both as a fraction
 // of one batched execution.
+//
+// Contention mode: with --threads=N (or the default 1/2/4/8 sweep) the
+// bench additionally hammers one hot descriptor from N concurrent
+// threads and reports aggregate lookup throughput -- the serving-at-scale
+// scenario the sharded lock-free hit path exists for. A cache whose hits
+// serialise on a mutex flatlines here; lock-free snapshots scale with N.
+#include <atomic>
 #include <complex>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "common/bench_common.hpp"
 #include "iatf/core/engine.hpp"
@@ -62,6 +71,53 @@ void run(const char* dtype, index_t s, const Options& opt) {
               100.0 * gen_us / exec_us);
 }
 
+// Aggregate hit throughput with `threads` concurrent callers replaying
+// one hot descriptor (every lookup after the first is a cache hit).
+double contended_lookup_mlps(int threads) {
+  Engine eng(CacheInfo::detect());
+  const GemmShape shape{8, 8, 8, Op::NoTrans, Op::NoTrans, 1024};
+  (void)eng.plan_gemm<double>(shape); // warm: the one build happens here
+
+  constexpr int kLookupsPerThread = 100000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        volatile auto p = eng.plan_gemm<double>(shape).get();
+        (void)p;
+      }
+    });
+  }
+  Timer t;
+  go.store(true, std::memory_order_release);
+  for (auto& w : workers) {
+    w.join();
+  }
+  const double secs = t.seconds();
+  return static_cast<double>(threads) * kLookupsPerThread / secs * 1e-6;
+}
+
+void run_contention(const Options& opt) {
+  std::printf("\nPlan-cache contention (lock-free hit path, one hot "
+              "descriptor)\n");
+  std::vector<int> sweep;
+  if (opt.threads > 0) {
+    sweep.push_back(opt.threads);
+  } else {
+    sweep = {1, 2, 4, 8};
+  }
+  for (int threads : sweep) {
+    const double mlps = contended_lookup_mlps(threads);
+    std::printf("  threads=%-2d  %8.2f M lookups/s  (%.2f per-thread)\n",
+                threads, mlps, mlps / threads);
+    print_row("plan_overhead_contention", "d", "gemm", 8,
+              "threads=" + std::to_string(threads), mlps, "mlookups/s");
+  }
+}
+
 } // namespace
 } // namespace iatf::bench
 
@@ -74,5 +130,6 @@ int main(int argc, char** argv) {
   run<float>("s", 16, opt);
   run<double>("d", 8, opt);
   run<std::complex<double>>("z", 8, opt);
+  run_contention(opt);
   return 0;
 }

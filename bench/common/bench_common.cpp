@@ -112,6 +112,8 @@ Options Options::parse(int argc, char** argv) {
       opt.min_time = std::atof(v);
     } else if (const char* v = value("--min-reps=")) {
       opt.min_reps = std::atoi(v);
+    } else if (const char* v = value("--threads=")) {
+      opt.threads = std::atoi(v);
     } else if (const char* v = value("--json=")) {
       opt.json = v;
       enable_json_output(opt.json);
@@ -120,7 +122,8 @@ Options Options::parse(int argc, char** argv) {
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "options: --batch=N (0=auto) --max-size=N --size-step=N "
-          "--min-time=SECONDS --min-reps=N --json=FILE --verbose\n");
+          "--min-time=SECONDS --min-reps=N --threads=N --json=FILE "
+          "--verbose\n");
       std::exit(0);
     }
   }

@@ -34,6 +34,8 @@ struct Options {
                             ///< default to a coarser grid)
   double min_time = 0.04;   ///< seconds of measurement per point
   int min_reps = 2;         ///< minimum timed repetitions per point
+  int threads = 0;          ///< contention benches: concurrent callers
+                            ///< (0 = keep the bench's default sweep)
   bool verbose = false;
   std::string json;         ///< when set, mirror rows to this JSON file
 

@@ -33,7 +33,8 @@ typedef enum iatf_status {
   IATF_STATUS_UNSUPPORTED = 2,      /* valid request this build can't serve */
   IATF_STATUS_ALLOC_FAILURE = 3,    /* buffer/workspace allocation failed */
   IATF_STATUS_NUMERICAL_HAZARD = 4, /* NaN/Inf output or singular diagonal */
-  IATF_STATUS_INTERNAL = 5          /* invariant violation / unknown error */
+  IATF_STATUS_INTERNAL = 5,         /* invariant violation / unknown error */
+  IATF_STATUS_TIMEOUT = 6           /* per-call deadline exceeded */
 } iatf_status;
 
 /* How much guarding the default engine wraps around gemm/trsm:
@@ -50,6 +51,45 @@ typedef enum iatf_exec_policy {
 
 void iatf_set_exec_policy(iatf_exec_policy policy);
 iatf_exec_policy iatf_get_exec_policy(void);
+
+/* Per-call time budget for the compute routines on the default engine.
+ * Each gemm/trsm call computes its deadline on entry; dispatch stops at
+ * the next chunk/slice boundary past it and the call returns
+ * IATF_STATUS_TIMEOUT with the output buffer partially updated. A
+ * timed-out call never degrades to the fallback path (a recompute could
+ * only take longer) and never poisons the thread pool -- subsequent
+ * calls run normally. ms <= 0 disables (the default). */
+void iatf_set_call_deadline_ms(double ms);
+double iatf_get_call_deadline_ms(void);
+
+/* ---- Engine observability ------------------------------------------- */
+
+/* One coherent snapshot of the default engine's counters. Fields may be
+ * a few operations apart from each other when sampled under load. */
+typedef struct iatf_engine_stats {
+  int64_t plan_cache_size;     /* plans currently cached */
+  int64_t plan_cache_capacity; /* configured LRU bound */
+  int64_t hits;                /* lock-free cache hits */
+  int64_t misses;              /* lookups that took the build path */
+  int64_t builds;              /* plan constructions (single-flight) */
+  int64_t tuned;               /* cached plans built from tuning records */
+  int64_t evictions;           /* plans evicted by the LRU bound */
+  int64_t degraded_calls;      /* guarded calls that degraded */
+  int64_t fallback_lanes;      /* lanes recomputed on the reference path */
+  int64_t timeout_calls;       /* calls that exceeded their deadline */
+} iatf_engine_stats;
+
+int iatf_get_engine_stats(iatf_engine_stats* stats);
+
+/* Rebound the default engine's LRU plan cache (capacity >= 1); plans
+ * past the new bound are evicted immediately. The initial capacity is
+ * $IATF_PLAN_CACHE_CAP if set, else 512. */
+int iatf_set_plan_cache_capacity(int64_t capacity);
+
+/* Drop every cached plan and reset the cache counters. Safe to call
+ * while other threads are inside compute routines: they finish on the
+ * plans they already hold. */
+void iatf_clear_plan_cache(void);
 
 /* Error handling. */
 const char* iatf_last_error(void);

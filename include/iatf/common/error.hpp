@@ -32,6 +32,30 @@ private:
   Status status_ = Status::InvalidArg;
 };
 
+/// Thrown when a per-call Deadline expires before the work completes.
+/// Carries partial-work accounting: `completed` of `total` work items
+/// (interleave-group slices for plan execution, range items for
+/// ThreadPool::parallel_for) finished before expiry. The operation's
+/// output is partially updated; callers either retry without a deadline
+/// or discard the result. Never converted to a fallback recompute: the
+/// guarded engine rethrows Timeout like InvalidArg, since a scalar
+/// reference retry could only take longer.
+class TimeoutError : public Error {
+public:
+  TimeoutError(index_t completed, index_t total)
+      : Error("iatf: deadline exceeded (" + std::to_string(completed) +
+                  " of " + std::to_string(total) + " work items completed)",
+              Status::Timeout),
+        completed_(completed), total_(total) {}
+
+  index_t completed() const noexcept { return completed_; }
+  index_t total() const noexcept { return total_; }
+
+private:
+  index_t completed_ = 0;
+  index_t total_ = 0;
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line,
                               const std::string& message,

@@ -12,6 +12,13 @@
 //   "registry.gemm/.tri/.rect/.trmm"   kernel-registry lookups
 //   "plan.gemm" / "plan.trsm"          engine plan construction
 //   "threadpool.dispatch" / "threadpool.worker"   parallel_for chunks
+//   "threadpool.stall"    stall (not throw) a parallel_for chunk, for
+//                         exercising deadline-aware dispatch
+//   "plan.stall"          stall a plan build inside the engine's
+//                         single-flight section (verifies one build per
+//                         descriptor under concurrent misses)
+//   "cache.evict"         throw during plan-cache LRU publish (the built
+//                         plan must still be returned, just not cached)
 //
 // Arming is process-global (tests that arm faults must not run the same
 // site concurrently from unrelated tests); fault::ScopedFault disarms on
@@ -59,6 +66,12 @@ void arm(const char* site, int skip = 0, int count = 1);
 /// Disarm one site / every site.
 void disarm(const char* site);
 void disarm_all();
+
+/// Sleep-based fault for deadline testing: while `site` is armed, each
+/// scheduled hit blocks the calling thread for `ms` milliseconds instead
+/// of throwing -- it simulates a stalled worker rather than a failed one.
+/// Costs one relaxed atomic load while disarmed, like IATF_FAULT_POINT.
+void stall_if_armed(const char* site, int ms = 25);
 
 /// Times an armed `site` was evaluated since arm() (0 if not armed).
 int hits(const char* site);

@@ -12,6 +12,7 @@
 // scans, no overhead -- exactly the seed behaviour.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -29,6 +30,7 @@ enum class Status : int {
   AllocFailure = 3,     ///< workspace or buffer allocation failed
   NumericalHazard = 4,  ///< NaN/Inf output or singular TRSM diagonal
   Internal = 5,         ///< invariant violation or unexpected exception
+  Timeout = 6,          ///< per-call deadline expired before completion
 };
 
 const char* to_string(Status status) noexcept;
@@ -41,6 +43,25 @@ enum class ExecPolicy : std::uint8_t {
 };
 
 const char* to_string(ExecPolicy policy) noexcept;
+
+/// Absolute per-call deadline carried through dispatch (engine entry ->
+/// plan execution -> thread-pool chunks). Expiry is checked between batch
+/// slices and between pool chunks -- never mid-kernel -- so an expired
+/// call stops at the next slice boundary and surfaces Status::Timeout
+/// with partial-work accounting instead of wedging the caller. Outputs of
+/// a timed-out call are partially updated (indeterminate).
+struct Deadline {
+  std::chrono::steady_clock::time_point at{};
+
+  /// Deadline `budget` from now.
+  static Deadline in(std::chrono::nanoseconds budget) {
+    return Deadline{std::chrono::steady_clock::now() + budget};
+  }
+
+  bool expired() const noexcept {
+    return std::chrono::steady_clock::now() >= at;
+  }
+};
 
 /// Degradation events a guarded call can record (bitmask).
 enum class DegradeEvent : std::uint32_t {

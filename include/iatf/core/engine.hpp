@@ -7,16 +7,40 @@
 // at the beginning" (paper section 5.3) -- the cache is what makes repeat
 // calls with the same descriptor plan-free.
 //
+// Concurrency model (DESIGN.md section 9). The cache is sharded and
+// read-mostly: a hit performs one atomic shared_ptr load of the shard's
+// immutable map snapshot and takes no exclusive lock, so hundreds of
+// threads replaying hot descriptors never serialise on a mutex. Misses
+// take the shard mutex only to register a single-flight build -- N
+// threads missing on the same cold descriptor produce exactly one plan
+// build, with the other N-1 waiting on the leader's result. Each shard
+// is a bounded LRU (capacity from the constructor or
+// $IATF_PLAN_CACHE_CAP, default 512 plans per engine) so an adversarial
+// stream of distinct descriptors evicts old plans instead of exhausting
+// memory; in-flight executions keep their plan alive through their own
+// shared_ptr regardless of eviction.
+//
+// Tuning state (table / manual override) is an immutable
+// generation-counted snapshot swapped atomically (RCU-style): a plan
+// build reads one coherent config, never a half-updated mix, and a build
+// that raced a reconfiguration is simply not cached (its generation is
+// stale) rather than poisoning the fresh cache.
+//
 // The engine is also the guarded-execution boundary (common/status.hpp):
 // under ExecPolicy::Fast the gemm/trsm entry points behave exactly like
-// the raw plans (one relaxed atomic load of overhead); under Check they
-// additionally report numerical hazards in a BatchHealth; under Fallback
-// any classified failure -- unsupported plan, missing kernel, workspace
-// allocation failure, worker exception, hazardous output -- is retried on
-// the scalar reference path and recorded instead of thrown.
+// the raw plans; under Check they additionally report numerical hazards
+// in a BatchHealth; under Fallback any classified failure is retried on
+// the scalar reference path and recorded instead of thrown. A per-call
+// deadline (set_call_deadline) bounds each gemm/trsm: expiry surfaces as
+// Status::Timeout with partial-work accounting -- it is rethrown, never
+// degraded to a fallback recompute, which could only take longer.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -34,11 +58,37 @@ class TuningTable;
 struct TuneKey;
 } // namespace tune
 
+/// One coherent snapshot of every engine counter (mirrored by the C API's
+/// iatf_engine_stats). Counters are individually atomic; the snapshot is
+/// taken without stopping concurrent traffic, so fields may be a few
+/// operations apart from each other under load.
+struct EngineStats {
+  std::size_t plan_cache_size = 0;     ///< plans currently cached
+  std::size_t plan_cache_capacity = 0; ///< configured LRU bound
+  std::size_t hits = 0;         ///< lookups served from a snapshot
+  std::size_t misses = 0;       ///< lookups that took the build path
+  std::size_t builds = 0;       ///< plan constructions (single-flight:
+                                ///< concurrent misses share one build)
+  std::size_t tuned = 0;        ///< cached plans built from a tuning record
+  std::size_t evictions = 0;    ///< plans evicted by the LRU bound
+  std::size_t degraded_calls = 0; ///< guarded calls that degraded
+  std::size_t fallback_lanes = 0; ///< lanes recomputed on the ref path
+  std::size_t timeout_calls = 0;  ///< calls that exceeded their deadline
+};
+
 class Engine {
 public:
+  /// Plans cached per engine when neither the constructor argument nor
+  /// $IATF_PLAN_CACHE_CAP says otherwise.
+  static constexpr std::size_t kDefaultPlanCacheCapacity = 512;
+  static constexpr std::size_t kPlanCacheShards = 8;
+
   /// Tuning parameters default to the detected host caches; pass
   /// CacheInfo::kunpeng920() to reproduce the paper's decisions exactly.
-  explicit Engine(CacheInfo cache = CacheInfo::detect()) : cache_(cache) {}
+  /// `plan_cache_capacity` bounds the LRU plan cache; 0 means
+  /// $IATF_PLAN_CACHE_CAP if set (and positive), else the default.
+  explicit Engine(CacheInfo cache = CacheInfo::detect(),
+                  std::size_t plan_cache_capacity = 0);
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -77,6 +127,19 @@ public:
     return policy_.load(std::memory_order_relaxed);
   }
 
+  /// Per-call time budget for gemm/trsm: each call computes its deadline
+  /// on entry and the dispatch layers stop at the first slice/chunk
+  /// boundary past it, throwing a TimeoutError (Status::Timeout) with
+  /// partial-work accounting. <= 0 disables (the default). The output
+  /// buffer of a timed-out call is partially updated.
+  void set_call_deadline(std::chrono::nanoseconds budget) noexcept {
+    deadline_ns_.store(budget.count(), std::memory_order_relaxed);
+  }
+  std::chrono::nanoseconds call_deadline() const noexcept {
+    return std::chrono::nanoseconds(
+        deadline_ns_.load(std::memory_order_relaxed));
+  }
+
   /// Attach a (non-owning) thread pool; gemm/trsm then execute their plans
   /// across the pool's workers. nullptr restores sequential execution. The
   /// caller keeps the pool alive for as long as it is attached.
@@ -92,7 +155,8 @@ public:
   /// descriptor overrides the analytical model, a miss falls through to
   /// the manual override / environment / analytical chain. The cache is
   /// cleared so descriptors planned before the table re-plan against it.
-  /// nullptr detaches.
+  /// nullptr detaches. The swap is torn-free: in-flight calls either see
+  /// the complete old table or the complete new one, never a mix.
   void set_tuning_table(std::shared_ptr<const tune::TuningTable> table);
   std::shared_ptr<const tune::TuningTable> tuning_table() const;
 
@@ -104,16 +168,58 @@ public:
   void clear_plan_tuning();
   plan::PlanTuning plan_tuning() const;
 
+  /// Rebound the LRU plan cache (>= 1), evicting immediately if the new
+  /// capacity is smaller than the current population.
+  void set_plan_cache_capacity(std::size_t capacity);
+  std::size_t plan_cache_capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
   /// Plan-cache statistics (for tests and the plan-cache ablation bench).
+  /// Lock-free; exact under concurrency (atomic counters).
   std::size_t plan_cache_size() const;
-  std::size_t plan_cache_hits() const;
-  std::size_t plan_cache_misses() const;
-  /// Plans in the cache that were built from a tuning-table record.
-  std::size_t plan_cache_tuned() const;
+  std::size_t plan_cache_hits() const noexcept {
+    return static_cast<std::size_t>(
+        hits_.load(std::memory_order_relaxed));
+  }
+  std::size_t plan_cache_misses() const noexcept {
+    return static_cast<std::size_t>(
+        misses_.load(std::memory_order_relaxed));
+  }
+  /// Plan constructions since the last clear. Single-flight keeps this at
+  /// one per cold descriptor no matter how many threads miss on it.
+  std::size_t plan_cache_builds() const noexcept {
+    return static_cast<std::size_t>(
+        builds_.load(std::memory_order_relaxed));
+  }
+  /// Plans inserted into the cache that were built from a tuning-table
+  /// record (cumulative since the last clear/reconfiguration).
+  std::size_t plan_cache_tuned() const noexcept {
+    return static_cast<std::size_t>(
+        tuned_.load(std::memory_order_relaxed));
+  }
+  std::size_t plan_cache_evictions() const noexcept {
+    return static_cast<std::size_t>(
+        evictions_.load(std::memory_order_relaxed));
+  }
   void clear_plan_cache();
 
+  /// Every counter in one struct (the C API's iatf_engine_stats).
+  EngineStats stats() const;
+
   /// The process-wide default engine used by the free functions in
-  /// iatf/core/compact_blas.hpp.
+  /// iatf/core/compact_blas.hpp and the C API.
+  ///
+  /// Teardown contract: the engine is a function-local static, so it is
+  /// constructed on first use and destroyed during static destruction in
+  /// reverse construction order. The engine owns no threads -- worker
+  /// threads live in ThreadPool (whose own destructor joins them), and
+  /// single-flight build state is owned by the stacks of the threads in
+  /// the call -- so its destructor only releases cached plans. Calling
+  /// default_engine() from atexit-era code is therefore safe as long as
+  /// that code does not outlive main()'s last use ordering guarantees;
+  /// plans handed out earlier stay valid through their shared_ptr even
+  /// after the engine itself is gone.
   static Engine& default_engine();
 
 private:
@@ -132,38 +238,104 @@ private:
     std::size_t operator()(const PlanKey& k) const noexcept;
   };
 
+  /// Immutable cache entry; `last_used` is the only mutable field and is
+  /// a relaxed atomic so hits can bump recency without any lock.
+  struct CacheEntry {
+    std::shared_ptr<const void> plan;
+    bool tuned = false;
+    mutable std::atomic<std::uint64_t> last_used{0};
+  };
+
+  using PlanMap =
+      std::unordered_map<PlanKey, std::shared_ptr<CacheEntry>, PlanKeyHash>;
+
+  /// Single-flight build state shared by every thread that missed on the
+  /// same cold descriptor: the leader builds, the rest wait on `cv`.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::uint64_t generation = 0;
+    std::shared_ptr<const void> plan;
+    std::exception_ptr error;
+  };
+
+  struct Shard {
+    mutable std::mutex mu; ///< guards snapshot publication and inflight
+    std::atomic<std::shared_ptr<const PlanMap>> snapshot{};
+    std::unordered_map<PlanKey, std::shared_ptr<Flight>, PlanKeyHash>
+        inflight;
+  };
+
+  /// Immutable tuning configuration, swapped whole (RCU-style). A plan
+  /// build resolves against exactly one config; `generation` gates the
+  /// insert so a build that raced a reconfiguration is not cached.
+  struct TuningConfig {
+    std::shared_ptr<const tune::TuningTable> table;
+    plan::PlanTuning manual{};
+    bool has_manual = false;
+    std::uint64_t generation = 0;
+  };
+
+  Shard& shard_for(const PlanKey& key);
+
   template <class Plan, class Make>
   std::shared_ptr<const Plan> lookup(const PlanKey& key, Make&& make);
 
-  /// Table -> manual override -> environment -> analytical default.
-  /// Called under mutex_ from the plan-build path; sets *from_table when
-  /// a tuning-table record decided the parameters.
-  plan::PlanTuning resolve_tuning_locked(const tune::TuneKey& key,
-                                         bool* from_table) const;
+  /// Publish `plan` into the shard's snapshot (copy-on-write), evicting
+  /// the least-recently-used entries past the per-shard bound. No-op when
+  /// `generation` is stale (the cache was cleared/re-tuned mid-build).
+  void insert_plan(Shard& shard, const PlanKey& key,
+                   std::shared_ptr<const void> plan, bool tuned,
+                   std::uint64_t generation, std::uint64_t now);
+
+  /// Evict least-recently-used entries until `map` fits `cap`.
+  void evict_to_capacity(PlanMap& map, std::size_t cap);
+
+  std::size_t shard_capacity() const noexcept;
+
+  /// Bump the generation, publish `next` as the tuning config (when
+  /// non-null) and wipe every shard. Serialised by config_mu_.
+  void reconfigure(std::shared_ptr<TuningConfig> next);
+
+  /// Table -> manual override -> environment -> analytical default,
+  /// resolved against one immutable config snapshot.
+  plan::PlanTuning resolve_tuning(const TuningConfig& config,
+                                  const tune::TuneKey& key,
+                                  bool* from_table) const;
 
   template <class T, int Bytes>
   BatchHealth guarded_gemm(const GemmShape& shape, T alpha,
                            const CompactBuffer<T>& a,
                            const CompactBuffer<T>& b, T beta,
                            CompactBuffer<T>& c, ExecPolicy policy,
-                           ThreadPool* pool);
+                           ThreadPool* pool, const Deadline* deadline);
   template <class T, int Bytes>
   BatchHealth guarded_trsm(const TrsmShape& shape, T alpha,
                            const CompactBuffer<T>& a, CompactBuffer<T>& b,
-                           ExecPolicy policy, ThreadPool* pool);
+                           ExecPolicy policy, ThreadPool* pool,
+                           const Deadline* deadline);
 
   CacheInfo cache_;
   std::atomic<ExecPolicy> policy_{ExecPolicy::Fast};
   std::atomic<ThreadPool*> pool_{nullptr};
-  mutable std::mutex mutex_;
-  std::unordered_map<PlanKey, std::shared_ptr<const void>, PlanKeyHash>
-      plans_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
-  std::size_t tuned_ = 0;
-  std::shared_ptr<const tune::TuningTable> tune_table_;
-  plan::PlanTuning manual_tuning_;
-  bool has_manual_tuning_ = false;
+  std::atomic<std::int64_t> deadline_ns_{0};
+  std::atomic<std::size_t> capacity_{kDefaultPlanCacheCapacity};
+
+  std::array<Shard, kPlanCacheShards> shards_;
+  std::atomic<std::shared_ptr<const TuningConfig>> tuning_{};
+  std::mutex config_mu_; ///< serialises reconfigurations, not lookups
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint64_t> tick_{0}; ///< LRU recency clock
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> builds_{0};
+  std::atomic<std::uint64_t> tuned_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> degraded_calls_{0};
+  std::atomic<std::uint64_t> fallback_lanes_{0};
+  std::atomic<std::uint64_t> timeout_calls_{0};
 };
 
 } // namespace iatf

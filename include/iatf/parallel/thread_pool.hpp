@@ -14,7 +14,12 @@
 //   * the caller always waits for its queued chunks to drain before
 //     returning or unwinding -- a throw from any chunk (including the
 //     calling thread's own, or an injected "threadpool.*" fault) cannot
-//     deadlock the pool, dangle the chunk function, or poison later calls.
+//     deadlock the pool, dangle the chunk function, or poison later calls;
+//   * deadline-aware dispatch: a call carrying a Deadline stops launching
+//     new chunks once it expires and reports Status::Timeout with
+//     partial-work accounting instead of wedging the caller -- the pool
+//     itself is never poisoned by a timed-out job (chunks already running
+//     finish; only not-yet-started chunks are abandoned).
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "iatf/common/status.hpp"
 #include "iatf/common/types.hpp"
 
 namespace iatf {
@@ -51,11 +57,21 @@ public:
   /// workers drain from the shared queue (finer chunks trade dispatch
   /// overhead for load balance -- a tunable the autotuner searches).
   /// `grain` <= 0 keeps the default split.
+  ///
+  /// A non-null `deadline` is checked between chunks: once expired, not
+  /// yet started chunks are skipped (running ones finish) and the call
+  /// throws TimeoutError carrying completed/total range items. The first
+  /// chunk exception still wins over the timeout report.
   void parallel_for(index_t begin, index_t end,
                     const std::function<void(index_t, index_t)>& fn,
-                    index_t grain = 0);
+                    index_t grain = 0, const Deadline* deadline = nullptr);
 
-  /// Process-wide pool, created on first use.
+  /// Process-wide pool, created on first use. It is a function-local
+  /// static, so its destructor -- which joins every worker thread --
+  /// runs during static destruction in reverse construction order:
+  /// worker threads are guaranteed joined before any static constructed
+  /// earlier (and before atexit handlers registered earlier) is torn
+  /// down. Engine::default_engine() relies on this ordering.
   static ThreadPool& global();
 
 private:
@@ -63,8 +79,12 @@ private:
   /// of its parallel_for (the caller never unwinds before pending == 0).
   struct Job {
     const std::function<void(index_t, index_t)>* fn = nullptr;
+    const Deadline* deadline = nullptr; ///< optional per-call deadline
     std::size_t pending = 0; ///< queued chunks not yet finished
     std::exception_ptr first_error;
+    index_t done_items = 0;    ///< range items completed by finished chunks
+    index_t skipped_items = 0; ///< range items abandoned after expiry
+    bool timed_out = false;    ///< at least one chunk was skipped
   };
 
   struct Task {

@@ -49,20 +49,26 @@ public:
   /// Run the plan: C = alpha * op(A) * op(B) + beta * C per matrix.
   /// When `health` is non-null, each group's C block is scanned for
   /// NaN/Inf right after its kernels run, while it is still L1-resident,
-  /// and affected lanes are flagged on the recorder.
+  /// and affected lanes are flagged on the recorder. A non-null
+  /// `deadline` is checked between L1 batch slices; expiry throws
+  /// TimeoutError and leaves C partially updated.
   void execute(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
                CompactBuffer<T>& c, T alpha, T beta,
-               HealthRecorder* health = nullptr) const;
+               HealthRecorder* health = nullptr,
+               const Deadline* deadline = nullptr) const;
 
   /// Multicore variant (the paper's future-work extension): interleave
   /// groups are independent, so the batch is split across the pool's
   /// workers, each running the L1-sized slice loop over its own range
   /// with private packing workspace. Workers own disjoint groups, so
-  /// they flag disjoint lanes of `health`.
+  /// they flag disjoint lanes of `health`. `deadline` is enforced both
+  /// by the pool (whole chunks skipped after expiry) and per slice
+  /// inside each chunk.
   void execute_parallel(const CompactBuffer<T>& a,
                         const CompactBuffer<T>& b, CompactBuffer<T>& c,
                         T alpha, T beta, ThreadPool& pool,
-                        HealthRecorder* health = nullptr) const;
+                        HealthRecorder* health = nullptr,
+                        const Deadline* deadline = nullptr) const;
 
   const GemmShape& shape() const noexcept { return shape_; }
   bool packs_a() const noexcept { return pack_a_; }
@@ -88,7 +94,8 @@ private:
                         const CompactBuffer<T>& c) const;
   void run_groups(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
                   CompactBuffer<T>& c, T alpha, T beta, index_t g_begin,
-                  index_t g_end, HealthRecorder* health) const;
+                  index_t g_end, HealthRecorder* health,
+                  const Deadline* deadline) const;
 
   GemmShape shape_;
   std::vector<Tile> m_tiles_;

@@ -57,14 +57,18 @@ public:
   /// each solved group's output is scanned for NaN/Inf right after its
   /// solve, while it is still L1-resident.
   void execute(const CompactBuffer<T>& a, CompactBuffer<T>& b, T alpha,
-               HealthRecorder* health = nullptr) const;
+               HealthRecorder* health = nullptr,
+               const Deadline* deadline = nullptr) const;
 
   /// Multicore variant: independent interleave groups split across the
   /// pool's workers (the paper's future-work extension). Workers own
   /// disjoint groups, so they flag disjoint lanes of `health`.
+  /// `deadline` is checked between pool chunks and between L1 batch
+  /// slices; expiry throws TimeoutError with B partially overwritten.
   void execute_parallel(const CompactBuffer<T>& a, CompactBuffer<T>& b,
                         T alpha, ThreadPool& pool,
-                        HealthRecorder* health = nullptr) const;
+                        HealthRecorder* health = nullptr,
+                        const Deadline* deadline = nullptr) const;
 
   const TrsmShape& shape() const noexcept { return shape_; }
   const pack::TrsmCanon& canon() const noexcept { return canon_; }
@@ -89,7 +93,7 @@ private:
   void solve_group(const R* packed_a, R* bdata) const;
   void run_groups(const CompactBuffer<T>& a, CompactBuffer<T>& b,
                   T alpha, index_t g_begin, index_t g_end,
-                  HealthRecorder* health) const;
+                  HealthRecorder* health, const Deadline* deadline) const;
 
   TrsmShape shape_;
   pack::TrsmCanon canon_;

@@ -88,6 +88,10 @@ public:
 
   /// Atomic save: writes a sibling temp file then renames over `path`.
   /// Returns false (leaving any previous file intact) on I/O failure.
+  /// Concurrent savers -- other threads or other processes (the autotuner
+  /// CLI racing a serving process) -- are serialised on an advisory
+  /// `<path>.lock` file where the platform supports flock(); the lock
+  /// file persists between saves by design.
   bool save(const std::string& path) const;
 
   /// Replace the contents from `path`. Any failure -- missing file, bad

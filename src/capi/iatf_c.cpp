@@ -2,6 +2,7 @@
 // C++ core, with the opaque buffer structs wrapping CompactBuffer.
 #include "iatf/capi/iatf.h"
 
+#include <chrono>
 #include <complex>
 #include <memory>
 #include <mutex>
@@ -27,6 +28,8 @@ static_assert(IATF_STATUS_NUMERICAL_HAZARD ==
               static_cast<int>(iatf::Status::NumericalHazard));
 static_assert(IATF_STATUS_INTERNAL ==
               static_cast<int>(iatf::Status::Internal));
+static_assert(IATF_STATUS_TIMEOUT ==
+              static_cast<int>(iatf::Status::Timeout));
 static_assert(IATF_EXEC_FAST == static_cast<int>(iatf::ExecPolicy::Fast));
 static_assert(IATF_EXEC_CHECK == static_cast<int>(iatf::ExecPolicy::Check));
 static_assert(IATF_EXEC_FALLBACK ==
@@ -133,6 +136,51 @@ extern "C" void iatf_set_exec_policy(iatf_exec_policy policy) {
 extern "C" iatf_exec_policy iatf_get_exec_policy(void) {
   return static_cast<iatf_exec_policy>(
       iatf::Engine::default_engine().policy());
+}
+
+extern "C" void iatf_set_call_deadline_ms(double ms) {
+  const auto budget =
+      ms > 0 ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::duration<double, std::milli>(ms))
+             : std::chrono::nanoseconds(0);
+  iatf::Engine::default_engine().set_call_deadline(budget);
+}
+
+extern "C" double iatf_get_call_deadline_ms(void) {
+  return std::chrono::duration<double, std::milli>(
+             iatf::Engine::default_engine().call_deadline())
+      .count();
+}
+
+extern "C" int iatf_get_engine_stats(iatf_engine_stats* stats) {
+  return guarded([&] {
+    IATF_CHECK(stats != nullptr, "iatf_get_engine_stats: null stats");
+    const iatf::EngineStats s = iatf::Engine::default_engine().stats();
+    stats->plan_cache_size = static_cast<int64_t>(s.plan_cache_size);
+    stats->plan_cache_capacity =
+        static_cast<int64_t>(s.plan_cache_capacity);
+    stats->hits = static_cast<int64_t>(s.hits);
+    stats->misses = static_cast<int64_t>(s.misses);
+    stats->builds = static_cast<int64_t>(s.builds);
+    stats->tuned = static_cast<int64_t>(s.tuned);
+    stats->evictions = static_cast<int64_t>(s.evictions);
+    stats->degraded_calls = static_cast<int64_t>(s.degraded_calls);
+    stats->fallback_lanes = static_cast<int64_t>(s.fallback_lanes);
+    stats->timeout_calls = static_cast<int64_t>(s.timeout_calls);
+  });
+}
+
+extern "C" int iatf_set_plan_cache_capacity(int64_t capacity) {
+  return guarded([&] {
+    IATF_CHECK(capacity >= 1,
+               "iatf_set_plan_cache_capacity: capacity must be >= 1");
+    iatf::Engine::default_engine().set_plan_cache_capacity(
+        static_cast<std::size_t>(capacity));
+  });
+}
+
+extern "C" void iatf_clear_plan_cache(void) {
+  iatf::Engine::default_engine().clear_plan_cache();
 }
 
 // Opaque buffer definitions.

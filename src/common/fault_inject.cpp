@@ -1,7 +1,9 @@
 #include "iatf/common/fault_inject.hpp"
 
+#include <chrono>
 #include <map>
 #include <mutex>
+#include <thread>
 
 namespace iatf::fault {
 
@@ -64,6 +66,15 @@ void disarm_all() {
   std::lock_guard<std::mutex> lock(detail::g_mutex);
   detail::sites().clear();
   detail::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+void stall_if_armed(const char* site, int ms) {
+  if (!enabled()) {
+    return;
+  }
+  if (detail::should_fail(site)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
 }
 
 int hits(const char* site) {

@@ -16,6 +16,8 @@ const char* to_string(Status status) noexcept {
     return "numerical hazard";
   case Status::Internal:
     return "internal error";
+  case Status::Timeout:
+    return "deadline exceeded";
   }
   return "unknown";
 }

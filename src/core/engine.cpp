@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <complex>
+#include <cstdlib>
 #include <exception>
 #include <vector>
 
@@ -24,7 +25,9 @@ bool site_prefix(const std::string& site, const char* prefix) {
 
 /// Classify the in-flight exception as a degradation event. InvalidArg
 /// errors are caller bugs and must never be silently degraded, so they are
-/// rethrown; everything else maps to the event the fallback records.
+/// rethrown; Timeout likewise -- a deadline already blown cannot be helped
+/// by a slower scalar recompute. Everything else maps to the event the
+/// fallback records.
 DegradeEvent classify_failure() {
   try {
     throw;
@@ -42,6 +45,7 @@ DegradeEvent classify_failure() {
   } catch (const Error& e) {
     switch (e.status()) {
     case Status::InvalidArg:
+    case Status::Timeout:
       throw;
     case Status::Unsupported:
       return DegradeEvent::UnsupportedPlan;
@@ -144,7 +148,31 @@ void ref_trsm_lane(const TrsmShape& s, T alpha, const CompactBuffer<T>& a,
   b.import_colmajor(lane, tb.data(), ldb);
 }
 
+std::size_t resolve_capacity(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("IATF_PLAN_CACHE_CAP")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return Engine::kDefaultPlanCacheCapacity;
+}
+
 } // namespace
+
+Engine::Engine(CacheInfo cache, std::size_t plan_cache_capacity)
+    : cache_(cache) {
+  capacity_.store(resolve_capacity(plan_cache_capacity),
+                  std::memory_order_relaxed);
+  auto config = std::make_shared<TuningConfig>();
+  config->generation = 0;
+  tuning_.store(std::shared_ptr<const TuningConfig>(std::move(config)),
+                std::memory_order_release);
+}
 
 std::size_t Engine::PlanKeyHash::operator()(const PlanKey& k) const noexcept {
   // FNV-1a over the key's fields.
@@ -168,18 +196,161 @@ std::size_t Engine::PlanKeyHash::operator()(const PlanKey& k) const noexcept {
   return h;
 }
 
+Engine::Shard& Engine::shard_for(const PlanKey& key) {
+  // FNV's low bits feed the map's bucket choice; take high bits for the
+  // shard so the two decisions stay decorrelated.
+  const std::size_t h = PlanKeyHash{}(key);
+  return shards_[(h >> 56) % kPlanCacheShards];
+}
+
+std::size_t Engine::shard_capacity() const noexcept {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  const std::size_t per = (cap + kPlanCacheShards - 1) / kPlanCacheShards;
+  return per > 0 ? per : 1;
+}
+
+void Engine::evict_to_capacity(PlanMap& map, std::size_t cap) {
+  while (map.size() > cap && !map.empty()) {
+    // Fault site: an eviction that throws must not fail the lookup -- the
+    // built plan is still returned, just not cached.
+    IATF_FAULT_POINT("cache.evict", ::iatf::Status::Internal);
+    auto victim = map.begin();
+    std::uint64_t oldest =
+        victim->second->last_used.load(std::memory_order_relaxed);
+    for (auto it = std::next(map.begin()); it != map.end(); ++it) {
+      const std::uint64_t used =
+          it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Engine::insert_plan(Shard& shard, const PlanKey& key,
+                         std::shared_ptr<const void> plan, bool tuned,
+                         std::uint64_t generation, std::uint64_t now) {
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // The build resolved its tuning against the config of `generation`; if
+  // the engine was reconfigured (or the cache cleared) since, this plan
+  // would poison the fresh cache -- drop it instead. The caller still
+  // returns it to the requesting threads.
+  if (generation_.load(std::memory_order_acquire) != generation) {
+    return;
+  }
+  auto old = shard.snapshot.load(std::memory_order_acquire);
+  auto next = old ? std::make_shared<PlanMap>(*old)
+                  : std::make_shared<PlanMap>();
+  evict_to_capacity(*next, shard_capacity() - 1);
+  auto entry = std::make_shared<CacheEntry>();
+  entry->plan = std::move(plan);
+  entry->tuned = tuned;
+  entry->last_used.store(now, std::memory_order_relaxed);
+  (*next)[key] = std::move(entry);
+  shard.snapshot.store(std::shared_ptr<const PlanMap>(std::move(next)),
+                       std::memory_order_release);
+  if (tuned) {
+    tuned_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 template <class Plan, class Make>
 std::shared_ptr<const Plan> Engine::lookup(const PlanKey& key, Make&& make) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = plans_.find(key);
-  if (it != plans_.end()) {
-    ++hits_;
-    return std::static_pointer_cast<const Plan>(it->second);
+  const std::uint64_t now =
+      tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Shard& shard = shard_for(key);
+
+  // Fast path: one atomic load of the shard's immutable snapshot. No
+  // exclusive lock is taken on a hit.
+  if (auto map = shard.snapshot.load(std::memory_order_acquire)) {
+    auto it = map->find(key);
+    if (it != map->end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      it->second->last_used.store(now, std::memory_order_relaxed);
+      return std::static_pointer_cast<const Plan>(it->second->plan);
+    }
   }
-  ++misses_;
-  auto plan = std::shared_ptr<const Plan>(make());
-  plans_.emplace(key, plan);
-  return plan;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Re-check: a leader may have published between our snapshot load and
+    // here. The miss above already counted, so no extra hit is recorded
+    // (hits + misses always equals lookups).
+    if (auto map = shard.snapshot.load(std::memory_order_acquire)) {
+      auto it = map->find(key);
+      if (it != map->end()) {
+        it->second->last_used.store(now, std::memory_order_relaxed);
+        return std::static_pointer_cast<const Plan>(it->second->plan);
+      }
+    }
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    auto it = shard.inflight.find(key);
+    if (it != shard.inflight.end() && it->second->generation == gen) {
+      flight = it->second; // join the in-flight build
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->generation = gen;
+      shard.inflight[key] = flight; // replaces a stale-generation flight
+      leader = true;
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> fl(flight->mu);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (flight->error) {
+      std::rethrow_exception(flight->error);
+    }
+    return std::static_pointer_cast<const Plan>(flight->plan);
+  }
+
+  // Single-flight leader: build outside every lock so joiners (and every
+  // other shard) are never blocked behind plan construction.
+  builds_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const void> plan;
+  bool tuned = false;
+  std::uint64_t config_gen = 0;
+  std::exception_ptr error;
+  try {
+    plan = std::shared_ptr<const Plan>(make(&tuned, &config_gen));
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  if (!error) {
+    try {
+      insert_plan(shard, key, plan, tuned, config_gen, now);
+    } catch (...) {
+      // Cache-insert failures (eviction fault, bad_alloc on the map copy)
+      // must not fail the call: the plan is returned uncached.
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.inflight.find(key);
+    if (it != shard.inflight.end() && it->second == flight) {
+      shard.inflight.erase(it); // by identity: never remove a successor
+    }
+  }
+  {
+    std::lock_guard<std::mutex> fl(flight->mu);
+    flight->plan = plan;
+    flight->error = error;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+
+  if (error) {
+    std::rethrow_exception(error);
+  }
+  return std::static_pointer_cast<const Plan>(plan);
 }
 
 template <class T, int Bytes>
@@ -195,16 +366,16 @@ Engine::plan_gemm(const GemmShape& shape) {
   key.op_a = static_cast<std::uint8_t>(shape.op_a);
   key.op_b = static_cast<std::uint8_t>(shape.op_b);
   key.batch = shape.batch;
-  return lookup<plan::GemmPlan<T, Bytes>>(key, [&] {
-    IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
-    bool from_table = false;
-    const plan::PlanTuning tuning =
-        resolve_tuning_locked(tune::gemm_key<T, Bytes>(shape), &from_table);
-    if (from_table) {
-      ++tuned_;
-    }
-    return new plan::GemmPlan<T, Bytes>(shape, cache_, tuning);
-  });
+  return lookup<plan::GemmPlan<T, Bytes>>(
+      key, [&](bool* tuned, std::uint64_t* config_gen) {
+        IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
+        fault::stall_if_armed("plan.stall");
+        const auto config = tuning_.load(std::memory_order_acquire);
+        *config_gen = config->generation;
+        const plan::PlanTuning tuning = resolve_tuning(
+            *config, tune::gemm_key<T, Bytes>(shape), tuned);
+        return new plan::GemmPlan<T, Bytes>(shape, cache_, tuning);
+      });
 }
 
 template <class T, int Bytes>
@@ -221,16 +392,16 @@ Engine::plan_trsm(const TrsmShape& shape) {
   key.uplo = static_cast<std::uint8_t>(shape.uplo);
   key.diag = static_cast<std::uint8_t>(shape.diag);
   key.batch = shape.batch;
-  return lookup<plan::TrsmPlan<T, Bytes>>(key, [&] {
-    IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
-    bool from_table = false;
-    const plan::PlanTuning tuning =
-        resolve_tuning_locked(tune::trsm_key<T, Bytes>(shape), &from_table);
-    if (from_table) {
-      ++tuned_;
-    }
-    return new plan::TrsmPlan<T, Bytes>(shape, cache_, tuning);
-  });
+  return lookup<plan::TrsmPlan<T, Bytes>>(
+      key, [&](bool* tuned, std::uint64_t* config_gen) {
+        IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
+        fault::stall_if_armed("plan.stall");
+        const auto config = tuning_.load(std::memory_order_acquire);
+        *config_gen = config->generation;
+        const plan::PlanTuning tuning = resolve_tuning(
+            *config, tune::trsm_key<T, Bytes>(shape), tuned);
+        return new plan::TrsmPlan<T, Bytes>(shape, cache_, tuning);
+      });
 }
 
 template <class T, int Bytes>
@@ -247,18 +418,35 @@ BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
 
   const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
   ThreadPool* pool = pool_.load(std::memory_order_relaxed);
-  if (policy == ExecPolicy::Fast) {
-    auto plan = plan_gemm<T, Bytes>(shape);
-    if (pool != nullptr) {
-      plan->execute_parallel(a, b, c, alpha, beta, *pool);
-    } else {
-      plan->execute(a, b, c, alpha, beta);
-    }
-    BatchHealth health;
-    health.batch = shape.batch;
-    return health;
+  const std::int64_t budget = deadline_ns_.load(std::memory_order_relaxed);
+  Deadline deadline_at;
+  const Deadline* deadline = nullptr;
+  if (budget > 0) {
+    deadline_at = Deadline::in(std::chrono::nanoseconds(budget));
+    deadline = &deadline_at;
   }
-  return guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy, pool);
+
+  try {
+    if (policy == ExecPolicy::Fast) {
+      auto plan = plan_gemm<T, Bytes>(shape);
+      if (pool != nullptr) {
+        plan->execute_parallel(a, b, c, alpha, beta, *pool, nullptr,
+                               deadline);
+      } else {
+        plan->execute(a, b, c, alpha, beta, nullptr, deadline);
+      }
+      BatchHealth health;
+      health.batch = shape.batch;
+      return health;
+    }
+    return guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy, pool,
+                                  deadline);
+  } catch (const Error& e) {
+    if (e.status() == Status::Timeout) {
+      timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw;
+  }
 }
 
 template <class T, int Bytes>
@@ -266,7 +454,8 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
                                  const CompactBuffer<T>& a,
                                  const CompactBuffer<T>& b, T beta,
                                  CompactBuffer<T>& c, ExecPolicy policy,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const Deadline* deadline) {
   using R = real_t<T>;
   BatchHealth health;
   health.batch = shape.batch;
@@ -283,15 +472,16 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
   try {
     auto plan = plan_gemm<T, Bytes>(shape);
     if (pool != nullptr) {
-      plan->execute_parallel(a, b, c, alpha, beta, *pool, &rec);
+      plan->execute_parallel(a, b, c, alpha, beta, *pool, &rec, deadline);
     } else {
-      plan->execute(a, b, c, alpha, beta, &rec);
+      plan->execute(a, b, c, alpha, beta, &rec, deadline);
     }
   } catch (...) {
     if (!fallback) {
       throw; // Check: observe-only, failures still propagate
     }
-    const DegradeEvent event = classify_failure(); // rethrows InvalidArg
+    // rethrows InvalidArg and Timeout
+    const DegradeEvent event = classify_failure();
     validate_gemm_fallback(shape, a, b, c);
     std::copy(snapshot.begin(), snapshot.end(), c.data());
     for (index_t lane = 0; lane < shape.batch; ++lane) {
@@ -300,6 +490,10 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
     health.events |= event;
     health.fallback = shape.batch;
     health.first_fallback = shape.batch > 0 ? 0 : -1;
+    degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+    fallback_lanes_.fetch_add(
+        static_cast<std::uint64_t>(health.fallback),
+        std::memory_order_relaxed);
     return health;
   }
 
@@ -317,6 +511,12 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
           health.first_fallback = lane;
         }
         ++health.fallback;
+      }
+      if (health.fallback > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(
+            static_cast<std::uint64_t>(health.fallback),
+            std::memory_order_relaxed);
       }
     }
   }
@@ -337,25 +537,42 @@ BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
 
   const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
   ThreadPool* pool = pool_.load(std::memory_order_relaxed);
-  if (policy == ExecPolicy::Fast) {
-    auto plan = plan_trsm<T, Bytes>(shape);
-    if (pool != nullptr) {
-      plan->execute_parallel(a, b, alpha, *pool);
-    } else {
-      plan->execute(a, b, alpha);
-    }
-    BatchHealth health;
-    health.batch = shape.batch;
-    return health;
+  const std::int64_t budget = deadline_ns_.load(std::memory_order_relaxed);
+  Deadline deadline_at;
+  const Deadline* deadline = nullptr;
+  if (budget > 0) {
+    deadline_at = Deadline::in(std::chrono::nanoseconds(budget));
+    deadline = &deadline_at;
   }
-  return guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool);
+
+  try {
+    if (policy == ExecPolicy::Fast) {
+      auto plan = plan_trsm<T, Bytes>(shape);
+      if (pool != nullptr) {
+        plan->execute_parallel(a, b, alpha, *pool, nullptr, deadline);
+      } else {
+        plan->execute(a, b, alpha, nullptr, deadline);
+      }
+      BatchHealth health;
+      health.batch = shape.batch;
+      return health;
+    }
+    return guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool,
+                                  deadline);
+  } catch (const Error& e) {
+    if (e.status() == Status::Timeout) {
+      timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw;
+  }
 }
 
 template <class T, int Bytes>
 BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
                                  const CompactBuffer<T>& a,
                                  CompactBuffer<T>& b, ExecPolicy policy,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool,
+                                 const Deadline* deadline) {
   using R = real_t<T>;
   BatchHealth health;
   health.batch = shape.batch;
@@ -372,15 +589,16 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
   try {
     auto plan = plan_trsm<T, Bytes>(shape);
     if (pool != nullptr) {
-      plan->execute_parallel(a, b, alpha, *pool, &rec);
+      plan->execute_parallel(a, b, alpha, *pool, &rec, deadline);
     } else {
-      plan->execute(a, b, alpha, &rec);
+      plan->execute(a, b, alpha, &rec, deadline);
     }
   } catch (...) {
     if (!fallback) {
       throw; // Check: observe-only, failures still propagate
     }
-    const DegradeEvent event = classify_failure(); // rethrows InvalidArg
+    // rethrows InvalidArg and Timeout
+    const DegradeEvent event = classify_failure();
     validate_trsm_fallback(shape, a, b);
     std::copy(snapshot.begin(), snapshot.end(), b.data());
     for (index_t lane = 0; lane < shape.batch; ++lane) {
@@ -389,6 +607,10 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
     health.events |= event;
     health.fallback = shape.batch;
     health.first_fallback = shape.batch > 0 ? 0 : -1;
+    degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+    fallback_lanes_.fetch_add(
+        static_cast<std::uint64_t>(health.fallback),
+        std::memory_order_relaxed);
     return health;
   }
 
@@ -407,91 +629,148 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
         }
         ++health.fallback;
       }
+      if (health.fallback > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(
+            static_cast<std::uint64_t>(health.fallback),
+            std::memory_order_relaxed);
+      }
     }
   }
   return health;
 }
 
-plan::PlanTuning Engine::resolve_tuning_locked(const tune::TuneKey& key,
-                                               bool* from_table) const {
+plan::PlanTuning Engine::resolve_tuning(const TuningConfig& config,
+                                        const tune::TuneKey& key,
+                                        bool* from_table) const {
   *from_table = false;
-  if (tune_table_ != nullptr) {
-    if (const tune::TuneRecord* rec = tune_table_->lookup(key)) {
+  if (config.table != nullptr) {
+    if (const tune::TuneRecord* rec = config.table->lookup(key)) {
       *from_table = true;
       return rec->tuning();
     }
   }
-  if (has_manual_tuning_) {
-    return manual_tuning_;
+  if (config.has_manual) {
+    return config.manual;
   }
   // Re-read per plan-cache miss: cheap, and it keeps the environment
   // overrides testable after clear_plan_cache().
   return tune::env_plan_tuning();
 }
 
+void Engine::reconfigure(std::shared_ptr<TuningConfig> next) {
+  std::lock_guard<std::mutex> lock(config_mu_);
+  // Ordering matters: bump the generation first (gating out every build
+  // that resolved against the outgoing config), then wipe the shards, then
+  // publish the new config. A build that loads the new config necessarily
+  // inserts after the wipe; a build holding the old config sees a
+  // generation mismatch and is dropped instead of repopulating the fresh
+  // cache with stale tuning.
+  next->generation =
+      generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> sl(shard.mu);
+    shard.snapshot.store(std::shared_ptr<const PlanMap>(),
+                         std::memory_order_release);
+  }
+  tuning_.store(std::shared_ptr<const TuningConfig>(std::move(next)),
+                std::memory_order_release);
+  tuned_.store(0, std::memory_order_relaxed);
+}
+
 void Engine::set_tuning_table(
     std::shared_ptr<const tune::TuningTable> table) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  tune_table_ = std::move(table);
-  plans_.clear();
-  tuned_ = 0;
+  const auto current = tuning_.load(std::memory_order_acquire);
+  auto next = std::make_shared<TuningConfig>(*current);
+  next->table = std::move(table);
+  reconfigure(std::move(next));
 }
 
 std::shared_ptr<const tune::TuningTable> Engine::tuning_table() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return tune_table_;
+  return tuning_.load(std::memory_order_acquire)->table;
 }
 
 void Engine::set_plan_tuning(const plan::PlanTuning& tuning) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  manual_tuning_ = tuning;
-  has_manual_tuning_ = true;
-  plans_.clear();
-  tuned_ = 0;
+  const auto current = tuning_.load(std::memory_order_acquire);
+  auto next = std::make_shared<TuningConfig>(*current);
+  next->manual = tuning;
+  next->has_manual = true;
+  reconfigure(std::move(next));
 }
 
 void Engine::clear_plan_tuning() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  manual_tuning_ = plan::PlanTuning{};
-  has_manual_tuning_ = false;
-  plans_.clear();
-  tuned_ = 0;
+  const auto current = tuning_.load(std::memory_order_acquire);
+  auto next = std::make_shared<TuningConfig>(*current);
+  next->manual = plan::PlanTuning{};
+  next->has_manual = false;
+  reconfigure(std::move(next));
 }
 
 plan::PlanTuning Engine::plan_tuning() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return has_manual_tuning_ ? manual_tuning_ : plan::PlanTuning{};
+  const auto config = tuning_.load(std::memory_order_acquire);
+  return config->has_manual ? config->manual : plan::PlanTuning{};
 }
 
-std::size_t Engine::plan_cache_tuned() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return tuned_;
+void Engine::set_plan_cache_capacity(std::size_t capacity) {
+  IATF_CHECK(capacity >= 1, "engine: plan cache capacity must be >= 1");
+  capacity_.store(capacity, std::memory_order_relaxed);
+  const std::size_t cap = shard_capacity();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto old = shard.snapshot.load(std::memory_order_acquire);
+    if (!old || old->size() <= cap) {
+      continue;
+    }
+    auto next = std::make_shared<PlanMap>(*old);
+    evict_to_capacity(*next, cap);
+    shard.snapshot.store(std::shared_ptr<const PlanMap>(std::move(next)),
+                         std::memory_order_release);
+  }
 }
 
 std::size_t Engine::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return plans_.size();
-}
-
-std::size_t Engine::plan_cache_hits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return hits_;
-}
-
-std::size_t Engine::plan_cache_misses() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return misses_;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    if (auto map = shard.snapshot.load(std::memory_order_acquire)) {
+      total += map->size();
+    }
+  }
+  return total;
 }
 
 void Engine::clear_plan_cache() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  plans_.clear();
-  hits_ = 0;
-  misses_ = 0;
-  tuned_ = 0;
+  const auto current = tuning_.load(std::memory_order_acquire);
+  reconfigure(std::make_shared<TuningConfig>(*current));
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  builds_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.plan_cache_size = plan_cache_size();
+  s.plan_cache_capacity = plan_cache_capacity();
+  s.hits = plan_cache_hits();
+  s.misses = plan_cache_misses();
+  s.builds = plan_cache_builds();
+  s.tuned = plan_cache_tuned();
+  s.evictions = plan_cache_evictions();
+  s.degraded_calls = static_cast<std::size_t>(
+      degraded_calls_.load(std::memory_order_relaxed));
+  s.fallback_lanes = static_cast<std::size_t>(
+      fallback_lanes_.load(std::memory_order_relaxed));
+  s.timeout_calls = static_cast<std::size_t>(
+      timeout_calls_.load(std::memory_order_relaxed));
+  return s;
 }
 
 Engine& Engine::default_engine() {
+  // Function-local static: constructed on first use, destroyed in reverse
+  // construction order during static destruction. ThreadPool::global()
+  // (when used) is its own function-local static whose destructor joins
+  // the workers, so by the time this engine is destroyed no worker can be
+  // touching a cached plan. See the header for the full teardown contract.
   static Engine engine;
   return engine;
 }

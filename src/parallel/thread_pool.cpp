@@ -33,18 +33,34 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(const Task& task) {
+  Job* job = task.job;
   std::exception_ptr err;
-  try {
-    IATF_FAULT_POINT("threadpool.worker", ::iatf::Status::Internal);
-    (*task.job->fn)(task.begin, task.end);
-  } catch (...) {
-    err = std::current_exception();
+  bool skipped = false;
+  // Deadline check between chunks: an expired job abandons chunks that
+  // have not started yet (running ones always finish).
+  if (job->deadline != nullptr && job->deadline->expired()) {
+    skipped = true;
+  } else {
+    try {
+      fault::stall_if_armed("threadpool.stall");
+      IATF_FAULT_POINT("threadpool.worker", ::iatf::Status::Internal);
+      (*job->fn)(task.begin, task.end);
+    } catch (...) {
+      err = std::current_exception();
+    }
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  if (err && !task.job->first_error) {
-    task.job->first_error = err;
+  if (skipped) {
+    job->timed_out = true;
+    job->skipped_items += task.end - task.begin;
+  } else if (err) {
+    if (!job->first_error) {
+      job->first_error = err;
+    }
+  } else {
+    job->done_items += task.end - task.begin;
   }
-  if (--task.job->pending == 0) {
+  if (--job->pending == 0) {
     cv_done_.notify_all();
   }
 }
@@ -67,7 +83,8 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(
     index_t begin, index_t end,
-    const std::function<void(index_t, index_t)>& fn, index_t grain) {
+    const std::function<void(index_t, index_t)>& fn, index_t grain,
+    const Deadline* deadline) {
   IATF_CHECK(begin <= end, "parallel_for: inverted range");
   const index_t total = end - begin;
   if (total == 0) {
@@ -78,6 +95,9 @@ void ThreadPool::parallel_for(
           ? std::min(total, (total + grain - 1) / grain)
           : std::min<index_t>(static_cast<index_t>(workers_), total);
   if (chunks <= 1) {
+    if (deadline != nullptr && deadline->expired()) {
+      throw TimeoutError(0, total);
+    }
     IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
     fn(begin, end);
     return;
@@ -88,6 +108,7 @@ void ThreadPool::parallel_for(
   // when a chunk (or the enqueue itself) throws.
   Job job;
   job.fn = &fn;
+  job.deadline = deadline;
   const index_t per = (total + chunks - 1) / chunks;
   try {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -127,20 +148,33 @@ void ThreadPool::parallel_for(
   cv_work_.notify_all();
 
   // The calling thread's own chunk: record a throw just like a worker so
-  // it cannot bypass the drain below and leave pending_ nonzero.
+  // it cannot bypass the drain below and leave pending_ nonzero. The
+  // deadline applies here too -- an expired job skips this chunk.
   {
+    const index_t own_end = std::min(end, begin + per);
     std::exception_ptr err;
-    try {
-      IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
-      fn(begin, std::min(end, begin + per));
-    } catch (...) {
-      err = std::current_exception();
+    bool skipped = false;
+    if (deadline != nullptr && deadline->expired()) {
+      skipped = true;
+    } else {
+      try {
+        fault::stall_if_armed("threadpool.stall");
+        IATF_FAULT_POINT("threadpool.dispatch", ::iatf::Status::Internal);
+        fn(begin, own_end);
+      } catch (...) {
+        err = std::current_exception();
+      }
     }
-    if (err) {
-      std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (skipped) {
+      job.timed_out = true;
+      job.skipped_items += own_end - begin;
+    } else if (err) {
       if (!job.first_error) {
         job.first_error = err;
       }
+    } else {
+      job.done_items += own_end - begin;
     }
   }
 
@@ -174,12 +208,19 @@ void ThreadPool::parallel_for(
   }
 
   std::exception_ptr first;
+  bool timed_out = false;
+  index_t done = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     first = job.first_error;
+    timed_out = job.timed_out;
+    done = job.done_items;
   }
   if (first) {
     std::rethrow_exception(first);
+  }
+  if (timed_out) {
+    throw TimeoutError(done, total);
   }
 }
 

@@ -140,12 +140,13 @@ template <class T, int Bytes>
 void GemmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
                                  const CompactBuffer<T>& b,
                                  CompactBuffer<T>& c, T alpha, T beta,
-                                 HealthRecorder* health) const {
+                                 HealthRecorder* health,
+                                 const Deadline* deadline) const {
   validate_buffers(a, b, c);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  run_groups(a, b, c, alpha, beta, 0, c.groups(), health);
+  run_groups(a, b, c, alpha, beta, 0, c.groups(), health, deadline);
 }
 
 template <class T, int Bytes>
@@ -153,7 +154,8 @@ void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           const CompactBuffer<T>& b,
                                           CompactBuffer<T>& c, T alpha,
                                           T beta, ThreadPool& pool,
-                                          HealthRecorder* health) const {
+                                          HealthRecorder* health,
+                                          const Deadline* deadline) const {
   validate_buffers(a, b, c);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
@@ -161,9 +163,9 @@ void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
   pool.parallel_for(
       0, c.groups(),
       [&](index_t g_begin, index_t g_end) {
-        run_groups(a, b, c, alpha, beta, g_begin, g_end, health);
+        run_groups(a, b, c, alpha, beta, g_begin, g_end, health, deadline);
       },
-      chunk_groups_);
+      chunk_groups_, deadline);
 }
 
 template <class T, int Bytes>
@@ -171,7 +173,8 @@ void GemmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
                                     const CompactBuffer<T>& b,
                                     CompactBuffer<T>& c, T alpha, T beta,
                                     index_t g_begin, index_t g_end,
-                                    HealthRecorder* health) const {
+                                    HealthRecorder* health,
+                                    const Deadline* deadline) const {
   const index_t es = element_stride();
   const index_t pw = pack_width();
 
@@ -181,6 +184,9 @@ void GemmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
       pack_b_ ? slice_groups_ * pb_group_size_ : 0));
 
   for (index_t g0 = g_begin; g0 < g_end; g0 += slice_groups_) {
+    if (deadline != nullptr && deadline->expired()) {
+      throw TimeoutError(g0 - g_begin, g_end - g_begin);
+    }
     const index_t g1 =
         g0 + slice_groups_ < g_end ? g0 + slice_groups_ : g_end;
 

@@ -166,19 +166,21 @@ void TrsmPlan<T, Bytes>::solve_group(const R* packed_a, R* bdata) const {
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
                                  CompactBuffer<T>& b, T alpha,
-                                 HealthRecorder* health) const {
+                                 HealthRecorder* health,
+                                 const Deadline* deadline) const {
   validate_buffers(a, b);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
   }
-  run_groups(a, b, alpha, 0, b.groups(), health);
+  run_groups(a, b, alpha, 0, b.groups(), health, deadline);
 }
 
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           CompactBuffer<T>& b, T alpha,
                                           ThreadPool& pool,
-                                          HealthRecorder* health) const {
+                                          HealthRecorder* health,
+                                          const Deadline* deadline) const {
   validate_buffers(a, b);
   if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0) {
     return;
@@ -186,16 +188,17 @@ void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
   pool.parallel_for(
       0, b.groups(),
       [&](index_t g_begin, index_t g_end) {
-        run_groups(a, b, alpha, g_begin, g_end, health);
+        run_groups(a, b, alpha, g_begin, g_end, health, deadline);
       },
-      chunk_groups_);
+      chunk_groups_, deadline);
 }
 
 template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
                                     CompactBuffer<T>& b, T alpha,
                                     index_t g_begin, index_t g_end,
-                                    HealthRecorder* health) const {
+                                    HealthRecorder* health,
+                                    const Deadline* deadline) const {
   const index_t es = element_stride();
   const index_t pw = pack_width();
 
@@ -211,6 +214,9 @@ void TrsmPlan<T, Bytes>::run_groups(const CompactBuffer<T>& a,
   };
 
   for (index_t g0 = g_begin; g0 < g_end; g0 += slice_groups_) {
+    if (deadline != nullptr && deadline->expired()) {
+      throw TimeoutError(g0 - g_begin, g_end - g_begin);
+    }
     const index_t g1 =
         g0 + slice_groups_ < g_end ? g0 + slice_groups_ : g_end;
 

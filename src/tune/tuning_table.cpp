@@ -1,6 +1,7 @@
 #include "iatf/tune/tuning_table.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -9,8 +10,54 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define IATF_HAVE_FLOCK 1
+#endif
+
 namespace iatf::tune {
 namespace {
+
+#if defined(IATF_HAVE_FLOCK)
+/// Advisory cross-process lock on `<path>.lock`. Two processes saving the
+/// same table path serialise their tmp-write + rename sequences, so a
+/// reader never observes the tmp file of one writer renamed over by
+/// another (the rename itself is atomic; the lock keeps the *pairing* of
+/// tmp content and final name coherent). The lock file is left in place
+/// -- deleting it would race a third process opening it.
+class FileLock {
+public:
+  explicit FileLock(const std::string& path)
+      : fd_(::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC,
+                   0644)) {
+    if (fd_ >= 0) {
+      while (::flock(fd_, LOCK_EX) != 0) {
+        if (errno != EINTR) {
+          break; // degrade to unlocked: atomic rename still protects readers
+        }
+      }
+    }
+  }
+  ~FileLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+private:
+  int fd_ = -1;
+};
+#else
+class FileLock {
+public:
+  explicit FileLock(const std::string&) {}
+};
+#endif
 
 bool valid_record(const TuneRecord& rec) {
   const bool packs_ok = rec.pack_a >= -1 && rec.pack_a <= 1 &&
@@ -37,6 +84,10 @@ const char* to_string(LoadResult result) noexcept {
 }
 
 bool TuningTable::save(const std::string& path) const {
+  // Serialise concurrent savers (other threads via their own tables, other
+  // processes via the autotuner CLI) on an advisory file lock; the write
+  // itself stays tmp + atomic rename so readers never see a torn file.
+  FileLock lock(path);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::trunc);

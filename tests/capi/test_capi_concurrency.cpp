@@ -1,0 +1,168 @@
+// Concurrency contract of the C API: iatf_last_error() is thread-local
+// (two threads failing differently each read their own message and get
+// their own stable status code), and the new observability entry points
+// (engine stats, call deadline, cache capacity/clear) behave through the
+// C boundary exactly as documented.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iatf/capi/iatf.h"
+
+namespace {
+
+// Restore the process-wide engine between tests: the C API only exposes
+// the default engine, which the whole binary shares.
+class CapiConcurrency : public ::testing::Test {
+protected:
+  void SetUp() override { reset(); }
+  void TearDown() override { reset(); }
+  static void reset() {
+    iatf_set_exec_policy(IATF_EXEC_FAST);
+    iatf_set_call_deadline_ms(0);
+    iatf_set_plan_cache_capacity(512);
+    iatf_clear_plan_cache();
+    iatf_clear_error();
+  }
+};
+
+TEST_F(CapiConcurrency, LastErrorIsThreadLocal) {
+  constexpr int kIters = 100;
+  std::atomic<bool> go{false};
+
+  // Thread A keeps failing with INVALID_ARG: a batch mismatch between
+  // the gemm operands.
+  std::thread invalid_arg([&] {
+    iatf_sbuf* a = iatf_screate(4, 4, 8);
+    iatf_sbuf* b = iatf_screate(4, 4, 8);
+    iatf_sbuf* c = iatf_screate(4, 4, 16); // mismatched batch
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    while (!go.load()) {
+    }
+    for (int i = 0; i < kIters; ++i) {
+      const int rc =
+          iatf_sgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0f, a, b, 0.0f,
+                             c);
+      ASSERT_EQ(rc, IATF_STATUS_INVALID_ARG);
+      const std::string msg = iatf_last_error();
+      ASSERT_NE(msg.find("gemm"), std::string::npos) << msg;
+      ASSERT_EQ(msg.find("tune"), std::string::npos) << msg;
+    }
+    iatf_sdestroy(a);
+    iatf_sdestroy(b);
+    iatf_sdestroy(c);
+  });
+
+  // Thread B keeps failing with UNSUPPORTED: loading a tuning table that
+  // does not exist.
+  std::thread unsupported([&] {
+    while (!go.load()) {
+    }
+    for (int i = 0; i < kIters; ++i) {
+      const int rc =
+          iatf_tune_load("/nonexistent/iatf-capi-concurrency.tbl");
+      ASSERT_EQ(rc, IATF_STATUS_UNSUPPORTED);
+      const std::string msg = iatf_last_error();
+      ASSERT_NE(msg.find("tune_load"), std::string::npos) << msg;
+      ASSERT_EQ(msg.find("gemm"), std::string::npos) << msg;
+    }
+  });
+
+  go.store(true);
+  invalid_arg.join();
+  unsupported.join();
+}
+
+TEST_F(CapiConcurrency, ClearErrorOnlyAffectsCallingThread) {
+  // Fail on this thread...
+  ASSERT_EQ(iatf_tune_load("/nonexistent/iatf.tbl"),
+            IATF_STATUS_UNSUPPORTED);
+  ASSERT_NE(std::string(iatf_last_error()), "");
+  // ...another thread sees a clean slate and its clear is independent.
+  std::thread other([] {
+    EXPECT_EQ(std::string(iatf_last_error()), "");
+    iatf_clear_error();
+  });
+  other.join();
+  EXPECT_NE(std::string(iatf_last_error()), "");
+  iatf_clear_error();
+  EXPECT_EQ(std::string(iatf_last_error()), "");
+}
+
+TEST_F(CapiConcurrency, EngineStatsReflectCacheTraffic) {
+  iatf_engine_stats stats;
+  ASSERT_EQ(iatf_get_engine_stats(&stats), IATF_STATUS_OK);
+  ASSERT_EQ(stats.hits, 0);
+  ASSERT_EQ(stats.misses, 0);
+  ASSERT_EQ(stats.plan_cache_capacity, 512);
+
+  iatf_sbuf* a = iatf_screate(4, 4, 8);
+  iatf_sbuf* b = iatf_screate(4, 4, 8);
+  iatf_sbuf* c = iatf_screate(4, 4, 8);
+  ASSERT_EQ(iatf_sgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0f, a, b,
+                               0.0f, c),
+            IATF_STATUS_OK);
+  ASSERT_EQ(iatf_sgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0f, a, b,
+                               0.0f, c),
+            IATF_STATUS_OK);
+  ASSERT_EQ(iatf_get_engine_stats(&stats), IATF_STATUS_OK);
+  EXPECT_EQ(stats.plan_cache_size, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.builds, 1);
+
+  iatf_clear_plan_cache();
+  ASSERT_EQ(iatf_get_engine_stats(&stats), IATF_STATUS_OK);
+  EXPECT_EQ(stats.plan_cache_size, 0);
+  EXPECT_EQ(stats.hits, 0);
+
+  EXPECT_EQ(iatf_get_engine_stats(nullptr), IATF_STATUS_INVALID_ARG);
+  iatf_sdestroy(a);
+  iatf_sdestroy(b);
+  iatf_sdestroy(c);
+}
+
+TEST_F(CapiConcurrency, CallDeadlineSurfacesTimeoutStatus) {
+  iatf_sbuf* a = iatf_screate(4, 4, 64);
+  iatf_sbuf* b = iatf_screate(4, 4, 64);
+  iatf_sbuf* c = iatf_screate(4, 4, 64);
+
+  iatf_set_call_deadline_ms(1e-6); // ~1ns: expires before the first slice
+  EXPECT_GT(iatf_get_call_deadline_ms(), 0.0);
+  const int rc =
+      iatf_sgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0f, a, b, 0.0f, c);
+  EXPECT_EQ(rc, IATF_STATUS_TIMEOUT);
+  EXPECT_NE(std::string(iatf_last_error()).find("deadline"),
+            std::string::npos);
+
+  iatf_engine_stats stats;
+  ASSERT_EQ(iatf_get_engine_stats(&stats), IATF_STATUS_OK);
+  EXPECT_GE(stats.timeout_calls, 1);
+
+  // Disabled deadline: the same call completes and nothing is poisoned.
+  iatf_set_call_deadline_ms(0);
+  EXPECT_EQ(iatf_get_call_deadline_ms(), 0.0);
+  EXPECT_EQ(
+      iatf_sgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0f, a, b, 0.0f, c),
+      IATF_STATUS_OK);
+
+  iatf_sdestroy(a);
+  iatf_sdestroy(b);
+  iatf_sdestroy(c);
+}
+
+TEST_F(CapiConcurrency, CacheCapacityValidatedAndApplied) {
+  EXPECT_EQ(iatf_set_plan_cache_capacity(0), IATF_STATUS_INVALID_ARG);
+  EXPECT_EQ(iatf_set_plan_cache_capacity(-3), IATF_STATUS_INVALID_ARG);
+  ASSERT_EQ(iatf_set_plan_cache_capacity(32), IATF_STATUS_OK);
+  iatf_engine_stats stats;
+  ASSERT_EQ(iatf_get_engine_stats(&stats), IATF_STATUS_OK);
+  EXPECT_EQ(stats.plan_cache_capacity, 32);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+// Deadline-aware dispatch at the pool level: parallel_for stops launching
+// chunks once the caller's Deadline expires, reports Status::Timeout with
+// partial-work accounting, lets a real chunk error win over the timeout,
+// and leaves the pool fully usable afterwards.
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+
+namespace iatf {
+namespace {
+
+class ThreadPoolDeadline : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(ThreadPoolDeadline, AlreadyExpiredSkipsEveryChunk) {
+  ThreadPool pool(4);
+  const Deadline deadline = Deadline::in(std::chrono::nanoseconds(-1));
+  ASSERT_TRUE(deadline.expired());
+
+  std::atomic<index_t> ran{0};
+  try {
+    pool.parallel_for(
+        0, 64, [&](index_t lo, index_t hi) { ran.fetch_add(hi - lo); }, 1,
+        &deadline);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.status(), Status::Timeout);
+    EXPECT_EQ(e.total(), 64);
+    EXPECT_EQ(e.completed(), ran.load());
+    EXPECT_EQ(ran.load(), 0);
+  }
+}
+
+TEST_F(ThreadPoolDeadline, SequentialPathHonoursDeadline) {
+  ThreadPool pool(1); // degenerates to inline execution
+  const Deadline deadline = Deadline::in(std::chrono::nanoseconds(-1));
+  EXPECT_THROW(pool.parallel_for(
+                   0, 16, [](index_t, index_t) {}, 0, &deadline),
+               TimeoutError);
+}
+
+// Stalled workers (armed "threadpool.stall") blow a short budget partway
+// through the range: chunks that started finish and are counted, the
+// rest are skipped, and completed() matches exactly what ran.
+TEST_F(ThreadPoolDeadline, StallsSkipNotYetStartedChunks) {
+  ThreadPool pool(4);
+  fault::ScopedFault stall("threadpool.stall", 0, 1000);
+  const Deadline deadline = Deadline::in(std::chrono::milliseconds(5));
+
+  std::atomic<index_t> ran{0};
+  try {
+    pool.parallel_for(
+        0, 64, [&](index_t lo, index_t hi) { ran.fetch_add(hi - lo); }, 1,
+        &deadline);
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(e.total(), 64);
+    EXPECT_LT(e.completed(), 64);
+    EXPECT_EQ(e.completed(), ran.load());
+  }
+}
+
+// The first real chunk error always wins over the timeout report: a
+// deadline must never mask a genuine failure.
+TEST_F(ThreadPoolDeadline, ChunkErrorWinsOverTimeout) {
+  ThreadPool pool(4);
+  const Deadline deadline = Deadline::in(std::chrono::milliseconds(10));
+
+  try {
+    pool.parallel_for(
+        0, 32,
+        [&](index_t lo, index_t) {
+          if (lo == 0) {
+            throw std::runtime_error("chunk failure");
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        },
+        1, &deadline);
+    FAIL() << "expected the chunk's own exception";
+  } catch (const TimeoutError&) {
+    FAIL() << "timeout masked the chunk error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk failure");
+  }
+}
+
+TEST_F(ThreadPoolDeadline, PoolRemainsUsableAfterTimeout) {
+  ThreadPool pool(4);
+  {
+    fault::ScopedFault stall("threadpool.stall", 0, 1000);
+    const Deadline deadline = Deadline::in(std::chrono::milliseconds(2));
+    EXPECT_THROW(pool.parallel_for(
+                     0, 64, [](index_t, index_t) {}, 1, &deadline),
+                 TimeoutError);
+  }
+  // No deadline, no faults: the pool dispatches normally again.
+  std::atomic<index_t> ran{0};
+  pool.parallel_for(0, 100,
+                    [&](index_t lo, index_t hi) { ran.fetch_add(hi - lo); });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST_F(ThreadPoolDeadline, NullDeadlineMeansNoLimit) {
+  ThreadPool pool(2);
+  std::atomic<index_t> ran{0};
+  pool.parallel_for(
+      0, 64, [&](index_t lo, index_t hi) { ran.fetch_add(hi - lo); }, 1,
+      nullptr);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,139 @@
+// Bounded-LRU behaviour of the sharded plan cache: capacity resolution
+// (constructor / $IATF_PLAN_CACHE_CAP / default), eviction accounting,
+// immediate trimming on rebound, the "cache.evict" fault contract, and
+// the aggregate EngineStats snapshot.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf {
+namespace {
+
+GemmShape shape_m(index_t m) {
+  return GemmShape{m, 4, 4, Op::NoTrans, Op::NoTrans, 64};
+}
+
+class EngineCache : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override {
+    fault::disarm_all();
+    unsetenv("IATF_PLAN_CACHE_CAP");
+  }
+};
+
+TEST_F(EngineCache, CapacityResolutionOrder) {
+  // Constructor argument wins.
+  EXPECT_EQ(Engine(CacheInfo::kunpeng920(), 7).plan_cache_capacity(), 7u);
+  // Environment next.
+  setenv("IATF_PLAN_CACHE_CAP", "19", 1);
+  EXPECT_EQ(Engine(CacheInfo::kunpeng920()).plan_cache_capacity(), 19u);
+  EXPECT_EQ(Engine(CacheInfo::kunpeng920(), 3).plan_cache_capacity(), 3u);
+  // Garbage / non-positive env falls through to the default.
+  setenv("IATF_PLAN_CACHE_CAP", "banana", 1);
+  EXPECT_EQ(Engine(CacheInfo::kunpeng920()).plan_cache_capacity(),
+            Engine::kDefaultPlanCacheCapacity);
+  setenv("IATF_PLAN_CACHE_CAP", "0", 1);
+  EXPECT_EQ(Engine(CacheInfo::kunpeng920()).plan_cache_capacity(),
+            Engine::kDefaultPlanCacheCapacity);
+}
+
+TEST_F(EngineCache, LruBoundHoldsUnderDistinctDescriptors) {
+  Engine engine(CacheInfo::kunpeng920(), 8); // one plan per shard
+  for (index_t m = 1; m <= 64; ++m) {
+    ASSERT_NE(engine.plan_gemm<float>(shape_m(m)), nullptr);
+  }
+  EXPECT_EQ(engine.plan_cache_builds(), 64u);
+  EXPECT_LE(engine.plan_cache_size(), 8u);
+  EXPECT_GT(engine.plan_cache_evictions(), 0u);
+  // Every build either still resides in the cache or was evicted.
+  EXPECT_EQ(engine.plan_cache_evictions(),
+            engine.plan_cache_builds() - engine.plan_cache_size());
+}
+
+TEST_F(EngineCache, ReboundTrimsImmediately) {
+  Engine engine(CacheInfo::kunpeng920(), 512);
+  for (index_t m = 1; m <= 32; ++m) {
+    engine.plan_gemm<float>(shape_m(m));
+  }
+  EXPECT_EQ(engine.plan_cache_size(), 32u);
+  EXPECT_EQ(engine.plan_cache_evictions(), 0u);
+
+  engine.set_plan_cache_capacity(8);
+  EXPECT_EQ(engine.plan_cache_capacity(), 8u);
+  EXPECT_LE(engine.plan_cache_size(), 8u);
+  EXPECT_EQ(engine.plan_cache_evictions(),
+            32u - engine.plan_cache_size());
+  EXPECT_THROW(engine.set_plan_cache_capacity(0), Error);
+}
+
+// An eviction failure must cost only cachability, never correctness: the
+// freshly built plan is returned to the caller uncached.
+TEST_F(EngineCache, EvictFaultLeavesPlanUsable) {
+  Engine engine(CacheInfo::kunpeng920(), 8); // per-shard capacity 1
+  fault::ScopedFault evict_fault("cache.evict", 0, 1000);
+
+  for (index_t m = 1; m <= 32; ++m) {
+    auto plan = engine.plan_gemm<float>(shape_m(m));
+    ASSERT_NE(plan, nullptr);
+    ASSERT_EQ(plan->shape().m, m);
+  }
+  // 32 keys over 8 shards: some insert needed an eviction and faulted.
+  EXPECT_GT(fault::hits("cache.evict"), 0);
+  EXPECT_EQ(engine.plan_cache_builds(), 32u);
+  EXPECT_EQ(engine.plan_cache_evictions(), 0u); // every eviction faulted
+  EXPECT_LE(engine.plan_cache_size(), 8u);
+}
+
+TEST_F(EngineCache, StatsSnapshotAggregatesCounters) {
+  Engine engine(CacheInfo::kunpeng920(), 16);
+  engine.plan_gemm<float>(shape_m(4));
+  engine.plan_gemm<float>(shape_m(4));
+  engine.plan_gemm<float>(shape_m(5));
+
+  EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_size, 2u);
+  EXPECT_EQ(stats.plan_cache_capacity, 16u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.builds, 2u);
+  EXPECT_EQ(stats.tuned, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.degraded_calls, 0u);
+  EXPECT_EQ(stats.fallback_lanes, 0u);
+  EXPECT_EQ(stats.timeout_calls, 0u);
+
+  engine.clear_plan_cache();
+  stats = engine.stats();
+  EXPECT_EQ(stats.plan_cache_size, 0u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.builds, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+// A hit refreshes recency: with per-shard LRU, the entry touched last
+// must survive an eviction round in its shard. Capacity 8 over 8 shards
+// gives one slot per shard, so planning m then m again then a colliding
+// key would evict m; this test instead checks the global invariant that
+// a just-touched plan is still served from cache immediately after.
+TEST_F(EngineCache, HitRefreshesRecency) {
+  Engine engine(CacheInfo::kunpeng920(), 8);
+  auto p0 = engine.plan_gemm<float>(shape_m(1));
+  for (index_t m = 2; m <= 8; ++m) {
+    engine.plan_gemm<float>(shape_m(m));
+  }
+  auto p1 = engine.plan_gemm<float>(shape_m(1));
+  // Either still cached (same instance: a hit) or rebuilt after an
+  // eviction in its shard (a miss); both are valid LRU outcomes, but the
+  // lookup must return a working plan either way.
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->shape().m, 1);
+  EXPECT_EQ(engine.plan_cache_hits() + engine.plan_cache_misses(), 9u);
+}
+
+} // namespace
+} // namespace iatf

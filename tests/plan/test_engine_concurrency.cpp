@@ -1,7 +1,9 @@
-// Engine thread-safety: the plan cache is shared mutable state guarded by
-// a mutex; concurrent lookups for the same and for distinct descriptors
+// Engine thread-safety: the plan cache is sharded and read-mostly (hits
+// are one atomic snapshot load, misses single-flight through the shard
+// mutex); concurrent lookups for the same and for distinct descriptors
 // must return consistent plans and never race (run under TSan for the
 // full guarantee; this test still catches ordering/duplication bugs).
+// tests/stress/test_stress.cpp exercises the mutation races.
 #include <atomic>
 #include <thread>
 #include <vector>
