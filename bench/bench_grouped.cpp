@@ -1,0 +1,171 @@
+// Grouped variable-size batches vs the fixed-size path.
+//
+// Three traffic shapes, each timed through Engine::gemm_grouped:
+//   uniform -- G segments sharing one descriptor. The grouped call must
+//              stay within a few percent of one fixed-size call over the
+//              same total batch (acceptance: >= 90%); the printed
+//              "ratio" series is grouped/fixed.
+//   bimodal -- half tiny, half large segments: the shape where naive
+//              FIFO scheduling lets the large class starve the small
+//              one. Compared against looping engine.gemm per segment.
+//   zipf    -- a long-tailed ragged mix (few large, many small), the
+//              paper's variable-size serving scenario.
+// Sequential rows measure the binning/plan-sharing overhead alone;
+// -pool rows add the round-robin work-item interleaving across a
+// thread pool.
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "common/series.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+
+namespace iatf::bench {
+namespace {
+
+template <class T> struct GroupedWorkload {
+  std::vector<HostBatch<T>> ha, hb, hc;
+  std::vector<CompactBuffer<T>> ca, cb, cc;
+  std::vector<sched::GemmSegment<T>> segs;
+  double flops = 0;
+
+  void add(index_t s, index_t batch, Rng& rng) {
+    ha.push_back(random_host_batch<T>(s, s, batch, rng));
+    hb.push_back(random_host_batch<T>(s, s, batch, rng));
+    hc.push_back(random_host_batch<T>(s, s, batch, rng));
+    flops +=
+        gemm_flops<T>(GemmShape{s, s, s, Op::NoTrans, Op::NoTrans, batch});
+  }
+
+  void finalize() {
+    const index_t pw = simd::pack_width_v<T>;
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+      ca.push_back(to_compact_buffer(ha[i], pw));
+      cb.push_back(to_compact_buffer(hb[i], pw));
+      cc.push_back(to_compact_buffer(hc[i], pw));
+    }
+    for (std::size_t i = 0; i < ha.size(); ++i) {
+      segs.push_back({Op::NoTrans, Op::NoTrans, T(1), T(0), &ca[i], &cb[i],
+                      &cc[i]});
+    }
+  }
+
+  double run_grouped(Engine& eng, const Options& opt) {
+    return measure_gflops(flops, opt, [&] {
+      eng.gemm_grouped<T>(std::span<const sched::GemmSegment<T>>(segs));
+    });
+  }
+
+  /// The pre-grouped-API serving loop: one engine.gemm per segment.
+  double run_loop(Engine& eng, const Options& opt) {
+    return measure_gflops(flops, opt, [&] {
+      for (const sched::GemmSegment<T>& s : segs) {
+        eng.gemm<T>(s.op_a, s.op_b, s.alpha, *s.a, *s.b, s.beta, *s.c);
+      }
+    });
+  }
+};
+
+template <class T>
+void uniform_sweep(const char* dtype, const Options& opt, Engine& eng,
+                   ThreadPool& pool) {
+  const index_t groups = 8;
+  for (index_t s : {index_t(4), index_t(8), index_t(16), index_t(32)}) {
+    const index_t total = auto_batch(gemm_bytes_per_matrix<T>(s, s, s),
+                                     simd::pack_width_v<T>, opt);
+    const index_t per_seg =
+        std::max<index_t>(total / groups, simd::pack_width_v<T>);
+
+    // Fixed-size reference: one call over the whole batch.
+    Rng rng(31);
+    auto ha = random_host_batch<T>(s, s, per_seg * groups, rng);
+    auto hb = random_host_batch<T>(s, s, per_seg * groups, rng);
+    auto hc = random_host_batch<T>(s, s, per_seg * groups, rng);
+    auto ca = to_compact_buffer(ha, simd::pack_width_v<T>);
+    auto cb = to_compact_buffer(hb, simd::pack_width_v<T>);
+    auto cc = to_compact_buffer(hc, simd::pack_width_v<T>);
+    const double flops = gemm_flops<T>(
+        GemmShape{s, s, s, Op::NoTrans, Op::NoTrans, per_seg * groups});
+    eng.set_thread_pool(nullptr);
+    const double fixed = measure_gflops(flops, opt, [&] {
+      eng.gemm<T>(Op::NoTrans, Op::NoTrans, T(1), ca, cb, T(0), cc);
+    });
+
+    GroupedWorkload<T> w;
+    Rng rng2(32);
+    for (index_t g = 0; g < groups; ++g) {
+      w.add(s, per_seg, rng2);
+    }
+    w.finalize();
+    const double grouped = w.run_grouped(eng, opt);
+    eng.set_thread_pool(&pool);
+    const double grouped_pool = w.run_grouped(eng, opt);
+    eng.set_thread_pool(nullptr);
+
+    print_row("grouped", dtype, "uniform", s, "fixed", fixed);
+    print_row("grouped", dtype, "uniform", s, "grouped", grouped);
+    print_row("grouped", dtype, "uniform", s, "grouped-pool",
+              grouped_pool);
+    print_row("grouped", dtype, "uniform", s, "ratio", grouped / fixed,
+              "x");
+  }
+}
+
+template <class T>
+void mixed_sweep(const char* dtype, const std::string& scenario,
+                 const std::vector<std::pair<index_t, index_t>>& mix,
+                 const Options& opt, Engine& eng, ThreadPool& pool) {
+  GroupedWorkload<T> w;
+  Rng rng(33);
+  for (const auto& [s, batch] : mix) {
+    w.add(s, batch, rng);
+  }
+  w.finalize();
+
+  eng.set_thread_pool(nullptr);
+  const double loop = w.run_loop(eng, opt);
+  const double grouped = w.run_grouped(eng, opt);
+  eng.set_thread_pool(&pool);
+  const double grouped_pool = w.run_grouped(eng, opt);
+  eng.set_thread_pool(nullptr);
+
+  const index_t n = static_cast<index_t>(mix.size());
+  print_row("grouped", dtype, scenario, n, "per-segment-loop", loop);
+  print_row("grouped", dtype, scenario, n, "grouped", grouped);
+  print_row("grouped", dtype, scenario, n, "grouped-pool", grouped_pool);
+}
+
+template <class T>
+void sweep(const char* dtype, const Options& opt, Engine& eng,
+           ThreadPool& pool) {
+  uniform_sweep<T>(dtype, opt, eng, pool);
+
+  const index_t small_b = 1024, big_b = 256;
+  mixed_sweep<T>(dtype, "bimodal",
+                 {{4, small_b}, {24, big_b}, {4, small_b}, {24, big_b},
+                  {4, small_b}, {24, big_b}},
+                 opt, eng, pool);
+
+  // Long-tailed sizes ~ 33/rank: few large classes, many small ones.
+  std::vector<std::pair<index_t, index_t>> zipf;
+  for (index_t rank = 1; rank <= 12; ++rank) {
+    zipf.push_back({std::max<index_t>(33 / rank, 1), 128 * rank});
+  }
+  mixed_sweep<T>(dtype, "zipf", zipf, opt, eng, pool);
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  iatf::ThreadPool pool(opt.threads > 0 ? static_cast<unsigned>(opt.threads)
+                                        : 4);
+  print_header();
+  sweep<float>("s", opt, eng, pool);
+  sweep<double>("d", opt, eng, pool);
+  return 0;
+}

@@ -77,6 +77,10 @@ typedef struct iatf_engine_stats {
   int64_t degraded_calls;      /* guarded calls that degraded */
   int64_t fallback_lanes;      /* lanes recomputed on the reference path */
   int64_t timeout_calls;       /* calls that exceeded their deadline */
+  int64_t grouped_calls;       /* *_grouped calls */
+  /* Histogram of distinct execution plans per non-empty grouped call;
+   * bucket upper bounds are 1, 2, 4, 8 and unbounded. */
+  int64_t grouped_plan_hist[5];
 } iatf_engine_stats;
 
 int iatf_get_engine_stats(iatf_engine_stats* stats);
@@ -154,6 +158,107 @@ int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
 int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,
                        iatf_diag diag, double alpha_re, double alpha_im,
                        const iatf_zbuf* a, iatf_zbuf* b);
+
+/* ---- Grouped variable-size batches ----------------------------------
+ *
+ * A grouped call takes `group_count` segments, each with its own
+ * descriptor (shape inferred from the buffers, mode, scalars, batch).
+ * Segments sharing a descriptor share one cached execution plan, and
+ * with a thread pool attached their batch slices are interleaved so a
+ * large segment cannot starve small ones. The engine's exec policy and
+ * per-call deadline apply to the whole grouped call; an unrepaired
+ * numerical hazard in any segment returns
+ * IATF_STATUS_NUMERICAL_HAZARD. */
+
+typedef struct iatf_sgemm_segment {
+  iatf_op op_a, op_b;
+  float alpha, beta;
+  const iatf_sbuf* a;
+  const iatf_sbuf* b;
+  iatf_sbuf* c;
+} iatf_sgemm_segment;
+
+typedef struct iatf_dgemm_segment {
+  iatf_op op_a, op_b;
+  double alpha, beta;
+  const iatf_dbuf* a;
+  const iatf_dbuf* b;
+  iatf_dbuf* c;
+} iatf_dgemm_segment;
+
+typedef struct iatf_cgemm_segment {
+  iatf_op op_a, op_b;
+  float alpha_re, alpha_im, beta_re, beta_im;
+  const iatf_cbuf* a;
+  const iatf_cbuf* b;
+  iatf_cbuf* c;
+} iatf_cgemm_segment;
+
+typedef struct iatf_zgemm_segment {
+  iatf_op op_a, op_b;
+  double alpha_re, alpha_im, beta_re, beta_im;
+  const iatf_zbuf* a;
+  const iatf_zbuf* b;
+  iatf_zbuf* c;
+} iatf_zgemm_segment;
+
+typedef struct iatf_strsm_segment {
+  iatf_side side;
+  iatf_uplo uplo;
+  iatf_op op_a;
+  iatf_diag diag;
+  float alpha;
+  const iatf_sbuf* a;
+  iatf_sbuf* b;
+} iatf_strsm_segment;
+
+typedef struct iatf_dtrsm_segment {
+  iatf_side side;
+  iatf_uplo uplo;
+  iatf_op op_a;
+  iatf_diag diag;
+  double alpha;
+  const iatf_dbuf* a;
+  iatf_dbuf* b;
+} iatf_dtrsm_segment;
+
+typedef struct iatf_ctrsm_segment {
+  iatf_side side;
+  iatf_uplo uplo;
+  iatf_op op_a;
+  iatf_diag diag;
+  float alpha_re, alpha_im;
+  const iatf_cbuf* a;
+  iatf_cbuf* b;
+} iatf_ctrsm_segment;
+
+typedef struct iatf_ztrsm_segment {
+  iatf_side side;
+  iatf_uplo uplo;
+  iatf_op op_a;
+  iatf_diag diag;
+  double alpha_re, alpha_im;
+  const iatf_zbuf* a;
+  iatf_zbuf* b;
+} iatf_ztrsm_segment;
+
+int iatf_sgemm_grouped(const iatf_sgemm_segment* segments,
+                       int64_t group_count);
+int iatf_dgemm_grouped(const iatf_dgemm_segment* segments,
+                       int64_t group_count);
+int iatf_cgemm_grouped(const iatf_cgemm_segment* segments,
+                       int64_t group_count);
+int iatf_zgemm_grouped(const iatf_zgemm_segment* segments,
+                       int64_t group_count);
+
+int iatf_strsm_grouped(const iatf_strsm_segment* segments,
+                       int64_t group_count);
+int iatf_dtrsm_grouped(const iatf_dtrsm_segment* segments,
+                       int64_t group_count);
+int iatf_ctrsm_grouped(const iatf_ctrsm_segment* segments,
+                       int64_t group_count);
+int iatf_ztrsm_grouped(const iatf_ztrsm_segment* segments,
+                       int64_t group_count);
 
 /* ---- Autotuning -----------------------------------------------------
  *

@@ -28,4 +28,20 @@ BatchHealth compact_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
                                           b);
 }
 
+/// Grouped GEMM over variable-size segments (one descriptor each); the
+/// size-class scheduler shares one execution plan per distinct
+/// descriptor. Returns one BatchHealth per segment, in call order.
+template <class T>
+std::vector<BatchHealth>
+compact_gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
+  return Engine::default_engine().gemm_grouped<T>(segments);
+}
+
+/// Grouped TRSM over variable-size segments; see compact_gemm_grouped.
+template <class T>
+std::vector<BatchHealth>
+compact_trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
+  return Engine::default_engine().trsm_grouped<T>(segments);
+}
+
 } // namespace iatf

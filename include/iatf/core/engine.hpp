@@ -43,13 +43,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "iatf/common/cache_info.hpp"
 #include "iatf/common/status.hpp"
 #include "iatf/common/types.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
+#include "iatf/sched/group_scheduler.hpp"
 
 namespace iatf {
 
@@ -74,6 +77,13 @@ struct EngineStats {
   std::size_t degraded_calls = 0; ///< guarded calls that degraded
   std::size_t fallback_lanes = 0; ///< lanes recomputed on the ref path
   std::size_t timeout_calls = 0;  ///< calls that exceeded their deadline
+  std::size_t grouped_calls = 0;  ///< gemm_grouped/trsm_grouped calls
+  /// Histogram of distinct execution plans per non-empty grouped call;
+  /// bucket upper bounds are 1, 2, 4, 8 and unbounded. A serving mix
+  /// concentrated in the first buckets means the size-class binning is
+  /// collapsing ragged traffic onto few plans (the cache-friendly case).
+  static constexpr std::size_t kGroupedPlanBuckets = 5;
+  std::array<std::size_t, kGroupedPlanBuckets> distinct_plans_per_call{};
 };
 
 class Engine {
@@ -115,6 +125,23 @@ public:
   template <class T, int Bytes = 16>
   BatchHealth trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
                    const CompactBuffer<T>& a, CompactBuffer<T>& b);
+
+  /// Grouped GEMM over variable-size segments: each segment carries its
+  /// own shape/mode/scalars/batch. Segments are binned by descriptor
+  /// (one plan resolution per distinct size class, through the same
+  /// sharded single-flight cache as gemm) and, when a thread pool is
+  /// attached, their batch slices are interleaved across workers so one
+  /// large segment cannot starve the rest. ExecPolicy, the per-call
+  /// deadline and per-lane hazard repair apply exactly as for gemm; the
+  /// returned vector holds one BatchHealth per segment, in call order.
+  template <class T, int Bytes = 16>
+  std::vector<BatchHealth>
+  gemm_grouped(std::span<const sched::GemmSegment<T>> segments);
+
+  /// Grouped TRSM over variable-size segments; see gemm_grouped.
+  template <class T, int Bytes = 16>
+  std::vector<BatchHealth>
+  trsm_grouped(std::span<const sched::TrsmSegment<T>> segments);
 
   const CacheInfo& cache_info() const noexcept { return cache_; }
 
@@ -316,6 +343,9 @@ private:
                            ExecPolicy policy, ThreadPool* pool,
                            const Deadline* deadline);
 
+  /// Count one non-empty grouped call that resolved `distinct` plans.
+  void record_grouped_plans(std::size_t distinct) noexcept;
+
   CacheInfo cache_;
   std::atomic<ExecPolicy> policy_{ExecPolicy::Fast};
   std::atomic<ThreadPool*> pool_{nullptr};
@@ -336,6 +366,9 @@ private:
   std::atomic<std::uint64_t> degraded_calls_{0};
   std::atomic<std::uint64_t> fallback_lanes_{0};
   std::atomic<std::uint64_t> timeout_calls_{0};
+  std::atomic<std::uint64_t> grouped_calls_{0};
+  std::array<std::atomic<std::uint64_t>, EngineStats::kGroupedPlanBuckets>
+      grouped_plan_hist_{};
 };
 
 } // namespace iatf

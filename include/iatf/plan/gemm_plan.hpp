@@ -70,6 +70,16 @@ public:
                         HealthRecorder* health = nullptr,
                         const Deadline* deadline = nullptr) const;
 
+  /// Range variant for the grouped scheduler (sched/group_scheduler):
+  /// run only interleave groups [g_begin, g_end) of the batch. Work
+  /// items of one segment cover disjoint ranges, so concurrent calls on
+  /// the same buffers touch disjoint groups and flag disjoint lanes of
+  /// `health`, exactly like execute_parallel's chunks.
+  void execute_range(const CompactBuffer<T>& a, const CompactBuffer<T>& b,
+                     CompactBuffer<T>& c, T alpha, T beta, index_t g_begin,
+                     index_t g_end, HealthRecorder* health = nullptr,
+                     const Deadline* deadline = nullptr) const;
+
   const GemmShape& shape() const noexcept { return shape_; }
   bool packs_a() const noexcept { return pack_a_; }
   bool packs_b() const noexcept { return pack_b_; }

@@ -70,6 +70,14 @@ public:
                         HealthRecorder* health = nullptr,
                         const Deadline* deadline = nullptr) const;
 
+  /// Range variant for the grouped scheduler (sched/group_scheduler):
+  /// solve only interleave groups [g_begin, g_end) of the batch.
+  /// Concurrent calls on the same buffers must cover disjoint ranges.
+  void execute_range(const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                     T alpha, index_t g_begin, index_t g_end,
+                     HealthRecorder* health = nullptr,
+                     const Deadline* deadline = nullptr) const;
+
   const TrsmShape& shape() const noexcept { return shape_; }
   const pack::TrsmCanon& canon() const noexcept { return canon_; }
   bool packs_b() const noexcept { return pack_b_; }

@@ -1,0 +1,118 @@
+// Size-class scheduler for grouped variable-size compact batches.
+//
+// A grouped call hands the engine `group_count` segments, each with its
+// own descriptor (shape, mode, scalars, batch) over compact-layout
+// buffers. The scheduler's job is twofold:
+//
+//  * bin segments by descriptor (ClassKey) so each distinct descriptor
+//    resolves exactly one execution plan through the engine's sharded
+//    cache -- segments sharing a size class share a plan, and the
+//    single-flight machinery collapses concurrent cold misses to one
+//    build, exactly as for the fixed-size entry points;
+//
+//  * cut each segment's interleave groups into work items of a bounded
+//    granularity and interleave the items round-robin across segments,
+//    so the thread pool alternates between size classes and one huge
+//    group cannot starve the small ones queued behind it.
+//
+// The binning and interleaving are pure functions over descriptors and
+// extents, so they are directly unit-testable without any engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "iatf/common/types.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf::sched {
+
+/// One GEMM segment of a grouped call:
+/// C = alpha * op_a(A) * op_b(B) + beta * C for every matrix in the
+/// segment's batch. Shapes are inferred from the buffers and the ops,
+/// exactly like Engine::gemm. Buffers are non-owning.
+template <class T> struct GemmSegment {
+  Op op_a = Op::NoTrans;
+  Op op_b = Op::NoTrans;
+  T alpha = T(1);
+  T beta = T(0);
+  const CompactBuffer<T>* a = nullptr;
+  const CompactBuffer<T>* b = nullptr;
+  CompactBuffer<T>* c = nullptr;
+};
+
+/// One TRSM segment of a grouped call: op_a(A) X = alpha B (Left) or
+/// X op_a(A) = alpha B (Right); B is overwritten by X.
+template <class T> struct TrsmSegment {
+  Side side = Side::Left;
+  Uplo uplo = Uplo::Lower;
+  Op op_a = Op::NoTrans;
+  Diag diag = Diag::NonUnit;
+  T alpha = T(1);
+  const CompactBuffer<T>* a = nullptr;
+  CompactBuffer<T>* b = nullptr;
+};
+
+/// The size-class identity of a segment: everything the engine's plan
+/// cache keys on except dtype/width (which are fixed per grouped call by
+/// the template instantiation). Two segments with equal ClassKeys share
+/// an execution plan.
+struct ClassKey {
+  char op = 0; ///< 'g' (GEMM) or 't' (TRSM)
+  index_t m = 0, n = 0, k = 0;
+  std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
+  index_t batch = 0;
+
+  friend bool operator==(const ClassKey&, const ClassKey&) = default;
+};
+
+struct ClassKeyHash {
+  std::size_t operator()(const ClassKey& k) const noexcept;
+};
+
+/// One size class: the shared descriptor plus the indices (into the
+/// caller's segment span) of every segment carrying it.
+struct SizeClass {
+  ClassKey key;
+  std::vector<std::size_t> segments;
+};
+
+/// Bin segments by descriptor, preserving first-appearance order of the
+/// classes and ascending segment order within each class.
+std::vector<SizeClass> bin_by_descriptor(std::span<const ClassKey> keys);
+
+/// One thread-pool work item: a contiguous range of interleave groups of
+/// one segment.
+struct WorkItem {
+  std::size_t segment = 0;
+  index_t g_begin = 0;
+  index_t g_end = 0;
+};
+
+/// Per-segment extent handed to interleave_slices: total interleave
+/// groups and the granularity (groups per work item) chosen for it.
+struct SegmentExtent {
+  index_t groups = 0;
+  index_t item_groups = 1;
+};
+
+/// Cut every segment into ceil(groups / item_groups) items and emit them
+/// round-robin across segments (item 0 of each segment, then item 1 of
+/// each, ...), so the pool's shared queue alternates between size classes
+/// instead of draining one segment to completion first. Segments with
+/// zero groups contribute nothing.
+std::vector<WorkItem> interleave_slices(std::span<const SegmentExtent> extents);
+
+/// Groups per work item for a segment of `seg_groups` interleave groups.
+/// `tuned_chunk` (> 0) -- the plan's tuned/overridden parallel chunk
+/// size -- wins when set. Otherwise aim for ~2 items per worker over
+/// this segment alone (so the tail imbalance stays small even in the
+/// degenerate one-segment case) but never cut finer than one L1 batch
+/// slice (`slice_groups`), which bounds the per-item packing-workspace
+/// amortisation loss. The result is clamped to [1, max(seg_groups, 1)].
+index_t item_granularity(index_t seg_groups, index_t slice_groups,
+                         index_t tuned_chunk, index_t workers);
+
+} // namespace iatf::sched

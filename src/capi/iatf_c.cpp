@@ -85,6 +85,34 @@ template <class Fn> int guarded_blas(Fn&& fn) {
   }
 }
 
+/// Grouped shim: the per-segment health reports fold into one status --
+/// any segment with an unrepaired hazard makes the whole call report
+/// IATF_STATUS_NUMERICAL_HAZARD (matching guarded_blas for one segment).
+template <class Fn> int guarded_grouped(Fn&& fn) {
+  try {
+    const std::vector<iatf::BatchHealth> healths = fn();
+    iatf::index_t nonfinite = 0;
+    iatf::index_t singular = 0;
+    for (const iatf::BatchHealth& health : healths) {
+      if ((health.nonfinite != 0 || health.singular != 0) &&
+          health.fallback == 0) {
+        nonfinite += health.nonfinite;
+        singular += health.singular;
+      }
+    }
+    if (nonfinite != 0 || singular != 0) {
+      g_last_error = "iatf: numerical hazard detected (" +
+                     std::to_string(nonfinite) + " non-finite, " +
+                     std::to_string(singular) +
+                     " singular-diagonal matrices)";
+      return IATF_STATUS_NUMERICAL_HAZARD;
+    }
+    return IATF_STATUS_OK;
+  } catch (...) {
+    return record_exception();
+  }
+}
+
 iatf::Op to_op(iatf_op op) { return static_cast<iatf::Op>(op); }
 iatf::Side to_side(iatf_side s) { return static_cast<iatf::Side>(s); }
 iatf::Uplo to_uplo(iatf_uplo u) { return static_cast<iatf::Uplo>(u); }
@@ -167,6 +195,12 @@ extern "C" int iatf_get_engine_stats(iatf_engine_stats* stats) {
     stats->degraded_calls = static_cast<int64_t>(s.degraded_calls);
     stats->fallback_lanes = static_cast<int64_t>(s.fallback_lanes);
     stats->timeout_calls = static_cast<int64_t>(s.timeout_calls);
+    stats->grouped_calls = static_cast<int64_t>(s.grouped_calls);
+    for (std::size_t i = 0; i < iatf::EngineStats::kGroupedPlanBuckets;
+         ++i) {
+      stats->grouped_plan_hist[i] =
+          static_cast<int64_t>(s.distinct_plans_per_call[i]);
+    }
   });
 }
 
@@ -323,6 +357,90 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
         {alpha_re, alpha_im}, a->buf, b->buf);
   });
 }
+
+// Grouped entry points: convert the C segment arrays into the C++
+// scheduler segments over the opaque buffers' CompactBuffers. Real and
+// complex variants differ only in how the scalars are assembled.
+#define IATF_DEFINE_GEMM_GROUPED(P, T, /*unpack scalars*/...)                       \
+  extern "C" int iatf_##P##gemm_grouped(                                     \
+      const iatf_##P##gemm_segment* segments, int64_t group_count) {         \
+    return guarded_grouped([&] {                                             \
+      IATF_CHECK(group_count >= 0 &&                                         \
+                     (group_count == 0 || segments != nullptr),              \
+                 "iatf_" #P "gemm_grouped: invalid segment array");          \
+      std::vector<iatf::sched::GemmSegment<T>> segs(                         \
+          static_cast<std::size_t>(group_count));                            \
+      for (int64_t i = 0; i < group_count; ++i) {                            \
+        const iatf_##P##gemm_segment& in = segments[i];                      \
+        IATF_CHECK(in.a != nullptr && in.b != nullptr && in.c != nullptr,    \
+                   "iatf_" #P "gemm_grouped: segment with a null buffer");   \
+        iatf::sched::GemmSegment<T>& out =                                   \
+            segs[static_cast<std::size_t>(i)];                               \
+        out.op_a = to_op(in.op_a);                                           \
+        out.op_b = to_op(in.op_b);                                           \
+        __VA_ARGS__;                                                         \
+        out.a = &in.a->buf;                                                  \
+        out.b = &in.b->buf;                                                  \
+        out.c = &in.c->buf;                                                  \
+      }                                                                      \
+      return iatf::compact_gemm_grouped<T>(segs);                            \
+    });                                                                      \
+  }
+
+IATF_DEFINE_GEMM_GROUPED(s, float, {
+  out.alpha = in.alpha;
+  out.beta = in.beta;
+})
+IATF_DEFINE_GEMM_GROUPED(d, double, {
+  out.alpha = in.alpha;
+  out.beta = in.beta;
+})
+IATF_DEFINE_GEMM_GROUPED(c, std::complex<float>, {
+  out.alpha = {in.alpha_re, in.alpha_im};
+  out.beta = {in.beta_re, in.beta_im};
+})
+IATF_DEFINE_GEMM_GROUPED(z, std::complex<double>, {
+  out.alpha = {in.alpha_re, in.alpha_im};
+  out.beta = {in.beta_re, in.beta_im};
+})
+#undef IATF_DEFINE_GEMM_GROUPED
+
+#define IATF_DEFINE_TRSM_GROUPED(P, T, /*unpack scalars*/...)                       \
+  extern "C" int iatf_##P##trsm_grouped(                                     \
+      const iatf_##P##trsm_segment* segments, int64_t group_count) {         \
+    return guarded_grouped([&] {                                             \
+      IATF_CHECK(group_count >= 0 &&                                         \
+                     (group_count == 0 || segments != nullptr),              \
+                 "iatf_" #P "trsm_grouped: invalid segment array");          \
+      std::vector<iatf::sched::TrsmSegment<T>> segs(                         \
+          static_cast<std::size_t>(group_count));                            \
+      for (int64_t i = 0; i < group_count; ++i) {                            \
+        const iatf_##P##trsm_segment& in = segments[i];                      \
+        IATF_CHECK(in.a != nullptr && in.b != nullptr,                       \
+                   "iatf_" #P "trsm_grouped: segment with a null buffer");   \
+        iatf::sched::TrsmSegment<T>& out =                                   \
+            segs[static_cast<std::size_t>(i)];                               \
+        out.side = to_side(in.side);                                         \
+        out.uplo = to_uplo(in.uplo);                                         \
+        out.op_a = to_op(in.op_a);                                           \
+        out.diag = to_diag(in.diag);                                         \
+        __VA_ARGS__;                                                         \
+        out.a = &in.a->buf;                                                  \
+        out.b = &in.b->buf;                                                  \
+      }                                                                      \
+      return iatf::compact_trsm_grouped<T>(segs);                            \
+    });                                                                      \
+  }
+
+IATF_DEFINE_TRSM_GROUPED(s, float, { out.alpha = in.alpha; })
+IATF_DEFINE_TRSM_GROUPED(d, double, { out.alpha = in.alpha; })
+IATF_DEFINE_TRSM_GROUPED(c, std::complex<float>, {
+  out.alpha = {in.alpha_re, in.alpha_im};
+})
+IATF_DEFINE_TRSM_GROUPED(z, std::complex<double>, {
+  out.alpha = {in.alpha_re, in.alpha_im};
+})
+#undef IATF_DEFINE_TRSM_GROUPED
 
 extern "C" int iatf_set_plan_tuning(const iatf_plan_tuning* tuning) {
   return guarded([&] {

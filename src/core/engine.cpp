@@ -640,6 +640,391 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
   return health;
 }
 
+void Engine::record_grouped_plans(std::size_t distinct) noexcept {
+  // Bucket upper bounds: 1, 2, 4, 8, inf (EngineStats doc).
+  std::size_t bucket = 4;
+  if (distinct <= 1) {
+    bucket = 0;
+  } else if (distinct == 2) {
+    bucket = 1;
+  } else if (distinct <= 4) {
+    bucket = 2;
+  } else if (distinct <= 8) {
+    bucket = 3;
+  }
+  grouped_plan_hist_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+template <class T, int Bytes>
+std::vector<BatchHealth>
+Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
+  using R = real_t<T>;
+  grouped_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t count = segments.size();
+  std::vector<BatchHealth> healths(count);
+  if (count == 0) {
+    return healths;
+  }
+
+  std::vector<GemmShape> shapes(count);
+  std::vector<sched::ClassKey> keys(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const sched::GemmSegment<T>& seg = segments[i];
+    IATF_CHECK(seg.a != nullptr && seg.b != nullptr && seg.c != nullptr,
+               "gemm_grouped: segment with a null buffer");
+    GemmShape& s = shapes[i];
+    s.m = seg.c->rows();
+    s.n = seg.c->cols();
+    s.k = seg.op_a == Op::NoTrans ? seg.a->cols() : seg.a->rows();
+    s.op_a = seg.op_a;
+    s.op_b = seg.op_b;
+    s.batch = seg.c->batch();
+    healths[i].batch = s.batch;
+    sched::ClassKey& key = keys[i];
+    key.op = 'g';
+    key.m = s.m;
+    key.n = s.n;
+    key.k = s.k;
+    key.op_a = static_cast<std::uint8_t>(s.op_a);
+    key.op_b = static_cast<std::uint8_t>(s.op_b);
+    key.batch = s.batch;
+  }
+
+  const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
+  ThreadPool* pool = pool_.load(std::memory_order_relaxed);
+  const std::int64_t budget = deadline_ns_.load(std::memory_order_relaxed);
+  Deadline deadline_at;
+  const Deadline* deadline = nullptr;
+  if (budget > 0) {
+    deadline_at = Deadline::in(std::chrono::nanoseconds(budget));
+    deadline = &deadline_at;
+  }
+
+  try {
+    // One plan resolution per distinct descriptor; segments in the same
+    // size class share the shared_ptr, and single-flight collapses
+    // concurrent cold misses exactly as for the fixed-size path.
+    const std::vector<sched::SizeClass> classes =
+        sched::bin_by_descriptor(keys);
+    std::vector<std::shared_ptr<const plan::GemmPlan<T, Bytes>>> plans(
+        count);
+    for (const sched::SizeClass& cls : classes) {
+      auto plan = plan_gemm<T, Bytes>(shapes[cls.segments.front()]);
+      for (const std::size_t idx : cls.segments) {
+        plans[idx] = plan;
+      }
+    }
+    record_grouped_plans(classes.size());
+
+    const bool guarded = policy != ExecPolicy::Fast;
+    const bool fallback = policy == ExecPolicy::Fallback;
+
+    std::vector<std::unique_ptr<HealthRecorder>> recs(count);
+    std::vector<std::vector<R>> snapshots(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (guarded) {
+        recs[i] = std::make_unique<HealthRecorder>(shapes[i].batch);
+      }
+      if (fallback) {
+        const CompactBuffer<T>& c = *segments[i].c;
+        snapshots[i].assign(c.data(), c.data() + c.size());
+      }
+    }
+
+    try {
+      if (pool != nullptr) {
+        // Interleave per-segment batch-slice work items round-robin
+        // across segments so the pool alternates between size classes.
+        const index_t grain_env = tune::env_group_grain();
+        std::vector<sched::SegmentExtent> extents(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          extents[i].groups = segments[i].c->groups();
+          const index_t tuned =
+              grain_env > 0 ? grain_env : plans[i]->chunk_groups();
+          extents[i].item_groups = sched::item_granularity(
+              extents[i].groups, plans[i]->slice_groups(), tuned,
+              static_cast<index_t>(pool->size()));
+          if (extents[i].groups == 0) {
+            // No work item will touch this segment: validate it here so
+            // caller bugs surface identically in both execution modes.
+            const sched::GemmSegment<T>& seg = segments[i];
+            plans[i]->execute(*seg.a, *seg.b, *seg.c, seg.alpha, seg.beta,
+                              nullptr, nullptr);
+          }
+        }
+        const std::vector<sched::WorkItem> items =
+            sched::interleave_slices(extents);
+        pool->parallel_for(
+            0, static_cast<index_t>(items.size()),
+            [&](index_t ib, index_t ie) {
+              for (index_t ii = ib; ii < ie; ++ii) {
+                const sched::WorkItem& it =
+                    items[static_cast<std::size_t>(ii)];
+                const sched::GemmSegment<T>& seg = segments[it.segment];
+                plans[it.segment]->execute_range(
+                    *seg.a, *seg.b, *seg.c, seg.alpha, seg.beta,
+                    it.g_begin, it.g_end,
+                    guarded ? recs[it.segment].get() : nullptr, deadline);
+              }
+            },
+            /*grain=*/1, deadline);
+      } else {
+        for (std::size_t i = 0; i < count; ++i) {
+          const sched::GemmSegment<T>& seg = segments[i];
+          plans[i]->execute(*seg.a, *seg.b, *seg.c, seg.alpha, seg.beta,
+                            guarded ? recs[i].get() : nullptr, deadline);
+        }
+      }
+    } catch (...) {
+      if (!fallback) {
+        throw; // Fast/Check: failures still propagate
+      }
+      // rethrows InvalidArg and Timeout
+      const DegradeEvent event = classify_failure();
+      for (std::size_t i = 0; i < count; ++i) {
+        validate_gemm_fallback(shapes[i], *segments[i].a, *segments[i].b,
+                               *segments[i].c);
+      }
+      // Any segment may hold partial fast-path output; restore and
+      // recompute every lane of every segment on the reference path.
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const sched::GemmSegment<T>& seg = segments[i];
+        std::copy(snapshots[i].begin(), snapshots[i].end(),
+                  seg.c->data());
+        for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+          ref_gemm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, seg.beta,
+                        *seg.c, lane);
+        }
+        healths[i].events |= event;
+        healths[i].fallback = shapes[i].batch;
+        healths[i].first_fallback = shapes[i].batch > 0 ? 0 : -1;
+        lanes += static_cast<std::uint64_t>(shapes[i].batch);
+      }
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      return healths;
+    }
+
+    if (guarded) {
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        recs[i]->fill(healths[i]);
+        if (healths[i].nonfinite == 0) {
+          continue;
+        }
+        healths[i].events |= DegradeEvent::NumericalHazard;
+        if (!fallback) {
+          continue;
+        }
+        const sched::GemmSegment<T>& seg = segments[i];
+        for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+          if (!recs[i]->flagged(lane)) {
+            continue;
+          }
+          restore_lane(*seg.c, snapshots[i], lane);
+          ref_gemm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, seg.beta,
+                        *seg.c, lane);
+          if (healths[i].first_fallback < 0) {
+            healths[i].first_fallback = lane;
+          }
+          ++healths[i].fallback;
+        }
+        lanes += static_cast<std::uint64_t>(healths[i].fallback);
+      }
+      if (fallback && lanes > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      }
+    }
+    return healths;
+  } catch (const Error& e) {
+    if (e.status() == Status::Timeout) {
+      timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw;
+  }
+}
+
+template <class T, int Bytes>
+std::vector<BatchHealth>
+Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
+  using R = real_t<T>;
+  grouped_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t count = segments.size();
+  std::vector<BatchHealth> healths(count);
+  if (count == 0) {
+    return healths;
+  }
+
+  std::vector<TrsmShape> shapes(count);
+  std::vector<sched::ClassKey> keys(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const sched::TrsmSegment<T>& seg = segments[i];
+    IATF_CHECK(seg.a != nullptr && seg.b != nullptr,
+               "trsm_grouped: segment with a null buffer");
+    TrsmShape& s = shapes[i];
+    s.m = seg.b->rows();
+    s.n = seg.b->cols();
+    s.side = seg.side;
+    s.uplo = seg.uplo;
+    s.op_a = seg.op_a;
+    s.diag = seg.diag;
+    s.batch = seg.b->batch();
+    healths[i].batch = s.batch;
+    sched::ClassKey& key = keys[i];
+    key.op = 't';
+    key.m = s.m;
+    key.n = s.n;
+    key.op_a = static_cast<std::uint8_t>(s.op_a);
+    key.side = static_cast<std::uint8_t>(s.side);
+    key.uplo = static_cast<std::uint8_t>(s.uplo);
+    key.diag = static_cast<std::uint8_t>(s.diag);
+    key.batch = s.batch;
+  }
+
+  const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
+  ThreadPool* pool = pool_.load(std::memory_order_relaxed);
+  const std::int64_t budget = deadline_ns_.load(std::memory_order_relaxed);
+  Deadline deadline_at;
+  const Deadline* deadline = nullptr;
+  if (budget > 0) {
+    deadline_at = Deadline::in(std::chrono::nanoseconds(budget));
+    deadline = &deadline_at;
+  }
+
+  try {
+    const std::vector<sched::SizeClass> classes =
+        sched::bin_by_descriptor(keys);
+    std::vector<std::shared_ptr<const plan::TrsmPlan<T, Bytes>>> plans(
+        count);
+    for (const sched::SizeClass& cls : classes) {
+      auto plan = plan_trsm<T, Bytes>(shapes[cls.segments.front()]);
+      for (const std::size_t idx : cls.segments) {
+        plans[idx] = plan;
+      }
+    }
+    record_grouped_plans(classes.size());
+
+    const bool guarded = policy != ExecPolicy::Fast;
+    const bool fallback = policy == ExecPolicy::Fallback;
+
+    std::vector<std::unique_ptr<HealthRecorder>> recs(count);
+    std::vector<std::vector<R>> snapshots(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (guarded) {
+        recs[i] = std::make_unique<HealthRecorder>(shapes[i].batch);
+      }
+      if (fallback) {
+        const CompactBuffer<T>& b = *segments[i].b;
+        snapshots[i].assign(b.data(), b.data() + b.size());
+      }
+    }
+
+    try {
+      if (pool != nullptr) {
+        const index_t grain_env = tune::env_group_grain();
+        std::vector<sched::SegmentExtent> extents(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          extents[i].groups = segments[i].b->groups();
+          const index_t tuned =
+              grain_env > 0 ? grain_env : plans[i]->chunk_groups();
+          extents[i].item_groups = sched::item_granularity(
+              extents[i].groups, plans[i]->slice_groups(), tuned,
+              static_cast<index_t>(pool->size()));
+          if (extents[i].groups == 0) {
+            const sched::TrsmSegment<T>& seg = segments[i];
+            plans[i]->execute(*seg.a, *seg.b, seg.alpha, nullptr, nullptr);
+          }
+        }
+        const std::vector<sched::WorkItem> items =
+            sched::interleave_slices(extents);
+        pool->parallel_for(
+            0, static_cast<index_t>(items.size()),
+            [&](index_t ib, index_t ie) {
+              for (index_t ii = ib; ii < ie; ++ii) {
+                const sched::WorkItem& it =
+                    items[static_cast<std::size_t>(ii)];
+                const sched::TrsmSegment<T>& seg = segments[it.segment];
+                plans[it.segment]->execute_range(
+                    *seg.a, *seg.b, seg.alpha, it.g_begin, it.g_end,
+                    guarded ? recs[it.segment].get() : nullptr, deadline);
+              }
+            },
+            /*grain=*/1, deadline);
+      } else {
+        for (std::size_t i = 0; i < count; ++i) {
+          const sched::TrsmSegment<T>& seg = segments[i];
+          plans[i]->execute(*seg.a, *seg.b, seg.alpha,
+                            guarded ? recs[i].get() : nullptr, deadline);
+        }
+      }
+    } catch (...) {
+      if (!fallback) {
+        throw; // Fast/Check: failures still propagate
+      }
+      // rethrows InvalidArg and Timeout
+      const DegradeEvent event = classify_failure();
+      for (std::size_t i = 0; i < count; ++i) {
+        validate_trsm_fallback(shapes[i], *segments[i].a, *segments[i].b);
+      }
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const sched::TrsmSegment<T>& seg = segments[i];
+        std::copy(snapshots[i].begin(), snapshots[i].end(),
+                  seg.b->data());
+        for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+          ref_trsm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, lane);
+        }
+        healths[i].events |= event;
+        healths[i].fallback = shapes[i].batch;
+        healths[i].first_fallback = shapes[i].batch > 0 ? 0 : -1;
+        lanes += static_cast<std::uint64_t>(shapes[i].batch);
+      }
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      return healths;
+    }
+
+    if (guarded) {
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        recs[i]->fill(healths[i]);
+        if (healths[i].nonfinite == 0 && healths[i].singular == 0) {
+          continue;
+        }
+        healths[i].events |= DegradeEvent::NumericalHazard;
+        if (!fallback) {
+          continue;
+        }
+        const sched::TrsmSegment<T>& seg = segments[i];
+        for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+          if (!recs[i]->flagged(lane)) {
+            continue;
+          }
+          restore_lane(*seg.b, snapshots[i], lane);
+          ref_trsm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, lane);
+          if (healths[i].first_fallback < 0) {
+            healths[i].first_fallback = lane;
+          }
+          ++healths[i].fallback;
+        }
+        lanes += static_cast<std::uint64_t>(healths[i].fallback);
+      }
+      if (fallback && lanes > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      }
+    }
+    return healths;
+  } catch (const Error& e) {
+    if (e.status() == Status::Timeout) {
+      timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    throw;
+  }
+}
+
 plan::PlanTuning Engine::resolve_tuning(const TuningConfig& config,
                                         const tune::TuneKey& key,
                                         bool* from_table) const {
@@ -762,6 +1147,12 @@ EngineStats Engine::stats() const {
       fallback_lanes_.load(std::memory_order_relaxed));
   s.timeout_calls = static_cast<std::size_t>(
       timeout_calls_.load(std::memory_order_relaxed));
+  s.grouped_calls = static_cast<std::size_t>(
+      grouped_calls_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < EngineStats::kGroupedPlanBuckets; ++i) {
+    s.distinct_plans_per_call[i] = static_cast<std::size_t>(
+        grouped_plan_hist_[i].load(std::memory_order_relaxed));
+  }
   return s;
 }
 
@@ -785,7 +1176,11 @@ Engine& Engine::default_engine() {
       CompactBuffer<T>&);                                                   \
   template BatchHealth Engine::trsm<T, Bytes>(Side, Uplo, Op, Diag, T,      \
                                               const CompactBuffer<T>&,      \
-                                              CompactBuffer<T>&);
+                                              CompactBuffer<T>&);           \
+  template std::vector<BatchHealth> Engine::gemm_grouped<T, Bytes>(         \
+      std::span<const sched::GemmSegment<T>>);                              \
+  template std::vector<BatchHealth> Engine::trsm_grouped<T, Bytes>(         \
+      std::span<const sched::TrsmSegment<T>>);
 
 IATF_INSTANTIATE_ENGINE(float, 16)
 IATF_INSTANTIATE_ENGINE(double, 16)

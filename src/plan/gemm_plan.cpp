@@ -150,6 +150,23 @@ void GemmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
 }
 
 template <class T, int Bytes>
+void GemmPlan<T, Bytes>::execute_range(const CompactBuffer<T>& a,
+                                       const CompactBuffer<T>& b,
+                                       CompactBuffer<T>& c, T alpha, T beta,
+                                       index_t g_begin, index_t g_end,
+                                       HealthRecorder* health,
+                                       const Deadline* deadline) const {
+  validate_buffers(a, b, c);
+  IATF_CHECK(g_begin >= 0 && g_begin <= g_end && g_end <= c.groups(),
+             "gemm: group range out of bounds");
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0 ||
+      g_begin == g_end) {
+    return;
+  }
+  run_groups(a, b, c, alpha, beta, g_begin, g_end, health, deadline);
+}
+
+template <class T, int Bytes>
 void GemmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           const CompactBuffer<T>& b,
                                           CompactBuffer<T>& c, T alpha,

@@ -176,6 +176,22 @@ void TrsmPlan<T, Bytes>::execute(const CompactBuffer<T>& a,
 }
 
 template <class T, int Bytes>
+void TrsmPlan<T, Bytes>::execute_range(const CompactBuffer<T>& a,
+                                       CompactBuffer<T>& b, T alpha,
+                                       index_t g_begin, index_t g_end,
+                                       HealthRecorder* health,
+                                       const Deadline* deadline) const {
+  validate_buffers(a, b);
+  IATF_CHECK(g_begin >= 0 && g_begin <= g_end && g_end <= b.groups(),
+             "trsm: group range out of bounds");
+  if (shape_.m == 0 || shape_.n == 0 || shape_.batch == 0 ||
+      g_begin == g_end) {
+    return;
+  }
+  run_groups(a, b, alpha, g_begin, g_end, health, deadline);
+}
+
+template <class T, int Bytes>
 void TrsmPlan<T, Bytes>::execute_parallel(const CompactBuffer<T>& a,
                                           CompactBuffer<T>& b, T alpha,
                                           ThreadPool& pool,

@@ -35,7 +35,7 @@ TYPED_TEST(BaselinesTyped, TunedGemmMatchesReferenceAllModes) {
                                  c.mat(0), m);
         ref::gemm<T>(op_a, op_b, m, n, k, T(1.5), a.mat(0), a.ld(),
                      b.mat(0), b.ld(), T(-0.5), expected.mat(0), m);
-        test::expect_batch_near(expected, c, test::tolerance<T>(k),
+        test::expect_batch_near(expected, c, test::ulp_tolerance<T>(k),
                                 "tuned_gemm seed " + std::to_string(seed));
         ++seed;
       }
@@ -60,7 +60,7 @@ TYPED_TEST(BaselinesTyped, TunedTrsmMatchesReferenceAllModes) {
           ref::trsm<T>(side, uplo, op, diag, m, n, T(2), a.mat(0), adim,
                        expected.mat(0), m);
           test::expect_batch_near(
-              expected, b, test::tolerance<T>(adim) * 10,
+              expected, b, test::ulp_tolerance<T>(adim, 256),
               to_string(TrsmShape{m, n, side, uplo, op, diag, 1}));
         }
       }
@@ -93,9 +93,9 @@ TYPED_TEST(BaselinesTyped, LoopAndBatchDriversMatchReference) {
     ref::gemm<T>(Op::NoTrans, Op::NoTrans, m, n, k, T(1), a.mat(l), m,
                  b.mat(l), k, T(0), expected.mat(l), m);
   }
-  test::expect_batch_near(expected, c_loop, test::tolerance<T>(k),
+  test::expect_batch_near(expected, c_loop, test::ulp_tolerance<T>(k),
                           "loop_gemm");
-  test::expect_batch_near(expected, c_batch, test::tolerance<T>(k),
+  test::expect_batch_near(expected, c_batch, test::ulp_tolerance<T>(k),
                           "batch_gemm");
 }
 
@@ -114,7 +114,7 @@ TYPED_TEST(BaselinesTyped, LoopTrsmMatchesReference) {
     ref::trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, m, n,
                  T(1), a.mat(l), m, expected.mat(l), m);
   }
-  test::expect_batch_near(expected, b, test::tolerance<T>(m) * 10,
+  test::expect_batch_near(expected, b, test::ulp_tolerance<T>(m, 256),
                           "loop_trsm");
 }
 
@@ -138,7 +138,7 @@ template <class T> void smallspec_case(index_t m, index_t n, index_t k,
     ref::gemm<T>(op_a, op_b, m, n, k, alpha, a.mat(l), a.ld(), b.mat(l),
                  b.ld(), beta, expected.mat(l), m);
   }
-  test::expect_batch_near(expected, c, test::tolerance<T>(k),
+  test::expect_batch_near(expected, c, test::ulp_tolerance<T>(k),
                           "smallspec m=" + std::to_string(m));
 }
 

@@ -57,7 +57,7 @@ TEST(CApi, DgemmMatchesReference) {
   for (index_t l = 0; l < batch; ++l) {
     ASSERT_EQ(iatf_dexport(cc, l, actual.mat(l), m), 0);
   }
-  test::expect_batch_near(expected, actual, test::tolerance<double>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<double>(k),
                           "capi dgemm");
   iatf_ddestroy(ca);
   iatf_ddestroy(cb);
@@ -95,7 +95,7 @@ TEST(CApi, ZgemmComplexScalars) {
   for (index_t l = 0; l < batch; ++l) {
     iatf_zexport(cc, l, reinterpret_cast<double*>(actual.mat(l)), s);
   }
-  test::expect_batch_near(expected, actual, test::tolerance<C>(s),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<C>(s),
                           "capi zgemm");
   iatf_zdestroy(ca);
   iatf_zdestroy(cb);
@@ -129,7 +129,7 @@ TEST(CApi, StrsmAndPadIdentity) {
     iatf_sexport(cb, l, actual.mat(l), m);
   }
   test::expect_batch_near(expected, actual,
-                          test::tolerance<float>(m) * 10, "capi strsm");
+                          test::ulp_tolerance<float>(m, 256), "capi strsm");
   iatf_sdestroy(ca);
   iatf_sdestroy(cb);
 }
@@ -158,7 +158,7 @@ TEST(CApi, FactorisationsRoundtrip) {
     iatf_dexport(a, l, actual.mat(l), m);
   }
   test::expect_batch_near(expected, actual,
-                          test::tolerance<double>(m) * 4, "capi getrf");
+                          test::ulp_tolerance<double>(m, 128), "capi getrf");
   iatf_ddestroy(a);
 }
 
@@ -261,13 +261,148 @@ TEST(CApi, NumericalHazardSurfacesAsStatusCode) {
     EXPECT_TRUE(std::isnan(actual.mat(1)[j * m]));
     actual.mat(1)[j * m] = expected.mat(1)[j * m] = 0.0;
   }
-  test::expect_batch_near(expected, actual, test::tolerance<double>(k) * 4,
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<double>(k, 128),
                           "capi fallback gemm");
 
   iatf_set_exec_policy(IATF_EXEC_FAST);
   iatf_ddestroy(ca);
   iatf_ddestroy(cb);
   iatf_ddestroy(cc);
+}
+
+TEST(CApi, SgemmGroupedMatchesReference) {
+  Rng rng(11);
+  struct Case {
+    index_t m, n, k, batch;
+    float alpha, beta;
+  };
+  // Two ragged sizes plus a repeat of the first, so the grouped call
+  // resolves two distinct plans for three segments.
+  const std::vector<Case> cases{{5, 4, 6, 5, 2.0f, -1.0f},
+                                {9, 2, 3, 7, 0.37f, 1.0f},
+                                {5, 4, 6, 5, 2.0f, -1.0f}};
+
+  std::vector<test::HostBatch<float>> a, b, c, expected;
+  std::vector<iatf_sbuf*> ca, cb, cc;
+  for (const Case& cs : cases) {
+    a.push_back(test::random_batch<float>(cs.m, cs.k, cs.batch, rng));
+    b.push_back(test::random_batch<float>(cs.k, cs.n, cs.batch, rng));
+    c.push_back(test::random_batch<float>(cs.m, cs.n, cs.batch, rng));
+    expected.push_back(c.back());
+    for (index_t l = 0; l < cs.batch; ++l) {
+      ref::gemm<float>(Op::NoTrans, Op::NoTrans, cs.m, cs.n, cs.k,
+                       cs.alpha, a.back().mat(l), cs.m, b.back().mat(l),
+                       cs.k, cs.beta, expected.back().mat(l), cs.m);
+    }
+    ca.push_back(iatf_screate(cs.m, cs.k, cs.batch));
+    cb.push_back(iatf_screate(cs.k, cs.n, cs.batch));
+    cc.push_back(iatf_screate(cs.m, cs.n, cs.batch));
+    for (index_t l = 0; l < cs.batch; ++l) {
+      ASSERT_EQ(iatf_simport(ca.back(), l, a.back().mat(l), cs.m), 0);
+      ASSERT_EQ(iatf_simport(cb.back(), l, b.back().mat(l), cs.k), 0);
+      ASSERT_EQ(iatf_simport(cc.back(), l, c.back().mat(l), cs.m), 0);
+    }
+  }
+
+  std::vector<iatf_sgemm_segment> segs;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    iatf_sgemm_segment s{};
+    s.op_a = IATF_NOTRANS;
+    s.op_b = IATF_NOTRANS;
+    s.alpha = cases[i].alpha;
+    s.beta = cases[i].beta;
+    s.a = ca[i];
+    s.b = cb[i];
+    s.c = cc[i];
+    segs.push_back(s);
+  }
+
+  iatf_engine_stats before{};
+  ASSERT_EQ(iatf_get_engine_stats(&before), 0);
+  ASSERT_EQ(iatf_sgemm_grouped(segs.data(),
+                               static_cast<int64_t>(segs.size())),
+            0);
+  iatf_engine_stats after{};
+  ASSERT_EQ(iatf_get_engine_stats(&after), 0);
+  EXPECT_EQ(after.grouped_calls, before.grouped_calls + 1);
+  // Three segments over two size classes -> the 2-plan bucket.
+  EXPECT_EQ(after.grouped_plan_hist[1], before.grouped_plan_hist[1] + 1);
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    test::HostBatch<float> actual(cases[i].m, cases[i].n, cases[i].batch);
+    for (index_t l = 0; l < cases[i].batch; ++l) {
+      ASSERT_EQ(iatf_sexport(cc[i], l, actual.mat(l), cases[i].m), 0);
+    }
+    test::expect_batch_near(expected[i], actual,
+                            test::ulp_tolerance<float>(cases[i].k),
+                            "capi sgemm_grouped segment " +
+                                std::to_string(i));
+  }
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    iatf_sdestroy(ca[i]);
+    iatf_sdestroy(cb[i]);
+    iatf_sdestroy(cc[i]);
+  }
+}
+
+TEST(CApi, ZtrsmGroupedMatchesReference) {
+  using C = std::complex<double>;
+  Rng rng(12);
+  const index_t m = 4, n = 3, batch = 3;
+  auto a = test::random_triangular_batch<C>(m, batch, rng);
+  auto b = test::random_batch<C>(m, n, batch, rng);
+  const C alpha{1.0, -0.5};
+  auto expected = b;
+  for (index_t l = 0; l < batch; ++l) {
+    ref::trsm<C>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, m, n,
+                 alpha, a.mat(l), m, expected.mat(l), m);
+  }
+
+  iatf_zbuf* ca = iatf_zcreate(m, m, batch);
+  iatf_zbuf* cb = iatf_zcreate(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_zimport(ca, l, reinterpret_cast<const double*>(a.mat(l)), m);
+    iatf_zimport(cb, l, reinterpret_cast<const double*>(b.mat(l)), m);
+  }
+  ASSERT_EQ(iatf_zpad_identity(ca), 0);
+
+  iatf_ztrsm_segment seg{};
+  seg.side = IATF_LEFT;
+  seg.uplo = IATF_LOWER;
+  seg.op_a = IATF_NOTRANS;
+  seg.diag = IATF_NONUNIT;
+  seg.alpha_re = alpha.real();
+  seg.alpha_im = alpha.imag();
+  seg.a = ca;
+  seg.b = cb;
+  ASSERT_EQ(iatf_ztrsm_grouped(&seg, 1), 0);
+
+  test::HostBatch<C> actual(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    iatf_zexport(cb, l, reinterpret_cast<double*>(actual.mat(l)), m);
+  }
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<C>(m, 256),
+                          "capi ztrsm_grouped");
+  iatf_zdestroy(ca);
+  iatf_zdestroy(cb);
+}
+
+TEST(CApi, GroupedRejectsBadArguments) {
+  // A null segment array with a positive count is an InvalidArg, as is a
+  // segment whose buffer pointers are null; both surface as codes.
+  EXPECT_EQ(iatf_dgemm_grouped(nullptr, 2), IATF_STATUS_INVALID_ARG);
+  EXPECT_NE(std::string(iatf_last_error()).find("dgemm_grouped"),
+            std::string::npos);
+
+  iatf_dgemm_segment seg{};
+  seg.op_a = IATF_NOTRANS;
+  seg.op_b = IATF_NOTRANS;
+  seg.alpha = 1.0;
+  EXPECT_EQ(iatf_dgemm_grouped(&seg, 1), IATF_STATUS_INVALID_ARG);
+
+  // Zero segments is a valid (empty) call.
+  EXPECT_EQ(iatf_dgemm_grouped(nullptr, 0), IATF_STATUS_OK);
+  EXPECT_EQ(iatf_strsm_grouped(nullptr, -1), IATF_STATUS_INVALID_ARG);
 }
 
 } // namespace

@@ -34,7 +34,7 @@ void check_trmm(index_t m, index_t n, Side side, Uplo uplo, Op op_a,
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cb);
   test::expect_batch_near(
-      expected, actual, test::tolerance<T>(adim) * 4,
+      expected, actual, test::ulp_tolerance<T>(adim, 128),
       "trmm " + to_string(TrsmShape{m, n, side, uplo, op_a, diag, batch}));
 }
 
@@ -99,7 +99,7 @@ TYPED_TEST(CompactExtTyped, GetrfMatchesReference) {
     test::HostBatch<T> actual(m, m, batch);
     actual.from_compact(compact);
     test::expect_batch_near(expected, actual,
-                            test::tolerance<T>(m) * 4,
+                            test::ulp_tolerance<T>(m, 128),
                             "getrf m=" + std::to_string(m));
   }
 }
@@ -138,7 +138,7 @@ TYPED_TEST(CompactExtTyped, PotrfMatchesReference) {
     // Compare the lower triangles only (upper is unspecified scratch).
     test::HostBatch<T> actual(m, m, batch);
     actual.from_compact(compact);
-    const R tol = test::tolerance<T>(m) * 10;
+    const R tol = test::ulp_tolerance<T>(m, 256);
     for (index_t l = 0; l < batch; ++l) {
       for (index_t j = 0; j < m; ++j) {
         for (index_t i = j; i < m; ++i) {
@@ -176,7 +176,7 @@ TYPED_TEST(CompactExtTyped, GetrsSolvesSystems) {
   // Verify A x = b directly.
   test::HostBatch<T> x(m, nrhs, batch);
   x.from_compact(cx);
-  const R tol = test::tolerance<T>(m) * 100;
+  const R tol = test::ulp_tolerance<T>(m, 2048);
   for (index_t l = 0; l < batch; ++l) {
     for (index_t c = 0; c < nrhs; ++c) {
       for (index_t i = 0; i < m; ++i) {

@@ -1,0 +1,320 @@
+// Differential conformance fuzzer for the grouped variable-size entry
+// points: thousands of randomly drawn grouped calls -- ragged segment
+// mixes over every dtype, every GEMM transpose pair and every TRSM mode,
+// sizes 1..33, scalars biased to the special values the kernels branch
+// on -- each checked segment-by-segment against the scalar reference
+// with the shared K-scaled ULP tolerance. Rounds alternate between the
+// sequential path and the interleaving thread-pool path so both
+// schedules face the same traffic.
+//
+// The sweep is seedable: set $IATF_FUZZ_SEED to replay a failing run.
+// On a mismatch the fuzzer re-runs the offending segment alone (the
+// minimized repro) and prints the seed, the round and the full segment
+// descriptor, so the failure can be reproduced without the surrounding
+// group.
+#include <complex>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+/// Cases (segments) each typed sweep must execute; 4 dtypes x 2 routines
+/// x this floor >= 2,080 differential cases per suite run.
+constexpr int kCasesPerSweep = 260;
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("IATF_FUZZ_SEED")) {
+    const std::uint64_t seed = std::strtoull(env, nullptr, 0);
+    return seed != 0 ? seed : 1;
+  }
+  return 0x1a7f2026u;
+}
+
+Op random_op(Rng& rng) { return static_cast<Op>(rng.uniform_int(0, 2)); }
+
+/// alpha/beta drawn from the branch-special set {0, 1, -1, 0.37}.
+template <class T> T special_scalar(Rng& rng) {
+  switch (rng.uniform_int(0, 3)) {
+  case 0:
+    return T(0);
+  case 1:
+    return T(1);
+  case 2:
+    return T(-1);
+  default:
+    return T(real_t<T>(0.37));
+  }
+}
+
+template <class T> struct GemmSegCase {
+  Op op_a, op_b;
+  index_t m, n, k, batch;
+  T alpha, beta;
+  test::HostBatch<T> a, b, c, expected;
+
+  std::string describe() const {
+    return to_string(GemmShape{m, n, k, op_a, op_b, batch}) + " alpha=" +
+           std::to_string(std::abs(alpha)) + " beta=" +
+           std::to_string(std::abs(beta));
+  }
+};
+
+template <class T> GemmSegCase<T> random_gemm_seg(Rng& rng) {
+  GemmSegCase<T> s;
+  s.op_a = random_op(rng);
+  s.op_b = random_op(rng);
+  s.m = rng.uniform_int(1, 33);
+  s.n = rng.uniform_int(1, 33);
+  s.k = rng.uniform_int(0, 33);
+  s.batch = rng.uniform_int(
+      1, 2 * simd::pack_width_v<T> + simd::pack_width_v<T> / 2);
+  s.alpha = special_scalar<T>(rng);
+  s.beta = special_scalar<T>(rng);
+  const bool ta = s.op_a != Op::NoTrans;
+  const bool tb = s.op_b != Op::NoTrans;
+  s.a = test::random_batch<T>(ta ? s.k : s.m, ta ? s.m : s.k, s.batch, rng);
+  s.b = test::random_batch<T>(tb ? s.n : s.k, tb ? s.k : s.n, s.batch, rng);
+  s.c = test::random_batch<T>(s.m, s.n, s.batch, rng);
+  s.expected = s.c;
+  for (index_t l = 0; l < s.batch; ++l) {
+    ref::gemm<T>(s.op_a, s.op_b, s.m, s.n, s.k, s.alpha, s.a.mat(l),
+                 s.a.ld(), s.b.mat(l), s.b.ld(), s.beta,
+                 s.expected.mat(l), s.m);
+  }
+  return s;
+}
+
+/// Execute one segment alone through a fresh engine -- the minimized
+/// repro for a grouped mismatch. Returns true if the lone segment also
+/// mismatches (a kernel/plan bug), false if it passes in isolation (a
+/// grouped-scheduling bug).
+template <class T> bool gemm_seg_fails_alone(const GemmSegCase<T>& s) {
+  Engine engine(CacheInfo::kunpeng920());
+  auto ca = s.a.to_compact();
+  auto cb = s.b.to_compact();
+  auto cc = s.c.to_compact();
+  std::vector<sched::GemmSegment<T>> seg{
+      {s.op_a, s.op_b, s.alpha, s.beta, &ca, &cb, &cc}};
+  engine.gemm_grouped<T>(std::span<const sched::GemmSegment<T>>(seg));
+  test::HostBatch<T> out = s.c;
+  out.from_compact(cc);
+  const real_t<T> bound = test::ulp_tolerance<T>(s.k, 128);
+  using R = real_t<T>;
+  R norm = R(0);
+  for (const T& v : s.expected.data) {
+    norm = std::max(norm, static_cast<R>(std::abs(v)));
+  }
+  const R tol = bound * (norm > R(1) ? norm : R(1));
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    if (static_cast<R>(std::abs(out.data[i] - s.expected.data[i])) > tol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <class T>
+void fuzz_gemm_grouped_round(Engine& engine, Rng& rng, int round,
+                             std::uint64_t seed, int& cases) {
+  const std::int64_t nseg = rng.uniform_int(1, 6);
+  std::vector<GemmSegCase<T>> segs;
+  for (std::int64_t i = 0; i < nseg; ++i) {
+    segs.push_back(random_gemm_seg<T>(rng));
+  }
+  std::vector<CompactBuffer<T>> ca, cb, cc;
+  for (const GemmSegCase<T>& s : segs) {
+    ca.push_back(s.a.to_compact());
+    cb.push_back(s.b.to_compact());
+    cc.push_back(s.c.to_compact());
+  }
+  std::vector<sched::GemmSegment<T>> descs;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    descs.push_back({segs[i].op_a, segs[i].op_b, segs[i].alpha,
+                     segs[i].beta, &ca[i], &cb[i], &cc[i]});
+  }
+
+  engine.gemm_grouped<T>(std::span<const sched::GemmSegment<T>>(descs));
+
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const GemmSegCase<T>& s = segs[i];
+    test::HostBatch<T> out = s.c;
+    out.from_compact(cc[i]);
+    if (::testing::Test::HasFailure()) {
+      return; // one repro per run keeps the log readable
+    }
+    test::expect_batch_near(s.expected, out, test::ulp_tolerance<T>(s.k, 128),
+                            "grouped gemm fuzz");
+    if (::testing::Test::HasFailure()) {
+      const bool alone = gemm_seg_fails_alone(s);
+      ADD_FAILURE() << "grouped gemm fuzz mismatch\n"
+                    << "  seed:    0x" << std::hex << seed << std::dec
+                    << " (set IATF_FUZZ_SEED to replay)\n"
+                    << "  round:   " << round << ", segment " << i << " of "
+                    << segs.size() << "\n"
+                    << "  repro:   " << s.describe() << "\n"
+                    << "  minimized: segment "
+                    << (alone ? "FAILS alone (kernel/plan bug)"
+                              : "passes alone (grouped-scheduling bug)");
+      return;
+    }
+    ++cases;
+  }
+}
+
+template <class T> struct TrsmSegCase {
+  Side side;
+  Uplo uplo;
+  Op op_a;
+  Diag diag;
+  index_t m, n, batch;
+  T alpha;
+  test::HostBatch<T> a, b, expected;
+
+  index_t adim() const { return side == Side::Left ? m : n; }
+  std::string describe() const {
+    return to_string(TrsmShape{m, n, side, uplo, op_a, diag, batch}) +
+           " alpha=" + std::to_string(std::abs(alpha));
+  }
+};
+
+template <class T> TrsmSegCase<T> random_trsm_seg(Rng& rng) {
+  TrsmSegCase<T> s;
+  s.side = rng.uniform_int(0, 1) ? Side::Right : Side::Left;
+  s.uplo = rng.uniform_int(0, 1) ? Uplo::Upper : Uplo::Lower;
+  s.op_a = random_op(rng);
+  s.diag = rng.uniform_int(0, 1) ? Diag::Unit : Diag::NonUnit;
+  s.m = rng.uniform_int(1, 33);
+  s.n = rng.uniform_int(1, 33);
+  s.batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  s.alpha = special_scalar<T>(rng);
+  s.a = test::random_triangular_batch<T>(s.adim(), s.batch, rng);
+  s.b = test::random_batch<T>(s.m, s.n, s.batch, rng);
+  s.expected = s.b;
+  for (index_t l = 0; l < s.batch; ++l) {
+    ref::trsm<T>(s.side, s.uplo, s.op_a, s.diag, s.m, s.n, s.alpha,
+                 s.a.mat(l), s.adim(), s.expected.mat(l), s.m);
+  }
+  return s;
+}
+
+template <class T> bool trsm_seg_fails_alone(const TrsmSegCase<T>& s) {
+  Engine engine(CacheInfo::kunpeng920());
+  auto ca = s.a.to_compact();
+  ca.pad_identity();
+  auto cb = s.b.to_compact();
+  std::vector<sched::TrsmSegment<T>> seg{
+      {s.side, s.uplo, s.op_a, s.diag, s.alpha, &ca, &cb}};
+  engine.trsm_grouped<T>(std::span<const sched::TrsmSegment<T>>(seg));
+  test::HostBatch<T> out = s.b;
+  out.from_compact(cb);
+  using R = real_t<T>;
+  const R bound = test::ulp_tolerance<T>(s.adim(), 512);
+  R norm = R(0);
+  for (const T& v : s.expected.data) {
+    norm = std::max(norm, static_cast<R>(std::abs(v)));
+  }
+  const R tol = bound * (norm > R(1) ? norm : R(1));
+  for (std::size_t i = 0; i < out.data.size(); ++i) {
+    if (static_cast<R>(std::abs(out.data[i] - s.expected.data[i])) > tol) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <class T>
+void fuzz_trsm_grouped_round(Engine& engine, Rng& rng, int round,
+                             std::uint64_t seed, int& cases) {
+  const std::int64_t nseg = rng.uniform_int(1, 6);
+  std::vector<TrsmSegCase<T>> segs;
+  for (std::int64_t i = 0; i < nseg; ++i) {
+    segs.push_back(random_trsm_seg<T>(rng));
+  }
+  std::vector<CompactBuffer<T>> ca, cb;
+  for (const TrsmSegCase<T>& s : segs) {
+    ca.push_back(s.a.to_compact());
+    ca.back().pad_identity();
+    cb.push_back(s.b.to_compact());
+  }
+  std::vector<sched::TrsmSegment<T>> descs;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    descs.push_back({segs[i].side, segs[i].uplo, segs[i].op_a,
+                     segs[i].diag, segs[i].alpha, &ca[i], &cb[i]});
+  }
+
+  engine.trsm_grouped<T>(std::span<const sched::TrsmSegment<T>>(descs));
+
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const TrsmSegCase<T>& s = segs[i];
+    test::HostBatch<T> out = s.b;
+    out.from_compact(cb[i]);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+    test::expect_batch_near(s.expected, out,
+                            test::ulp_tolerance<T>(s.adim(), 512),
+                            "grouped trsm fuzz");
+    if (::testing::Test::HasFailure()) {
+      const bool alone = trsm_seg_fails_alone(s);
+      ADD_FAILURE() << "grouped trsm fuzz mismatch\n"
+                    << "  seed:    0x" << std::hex << seed << std::dec
+                    << " (set IATF_FUZZ_SEED to replay)\n"
+                    << "  round:   " << round << ", segment " << i << " of "
+                    << segs.size() << "\n"
+                    << "  repro:   " << s.describe() << "\n"
+                    << "  minimized: segment "
+                    << (alone ? "FAILS alone (kernel/plan bug)"
+                              : "passes alone (grouped-scheduling bug)");
+      return;
+    }
+    ++cases;
+  }
+}
+
+template <class T> class GroupedFuzz : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(GroupedFuzz, ScalarTypes);
+
+TYPED_TEST(GroupedFuzz, GemmGroupedConformance) {
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed);
+  Engine engine(CacheInfo::kunpeng920());
+  ThreadPool pool(4);
+  int cases = 0;
+  for (int round = 0; cases < kCasesPerSweep; ++round) {
+    // Alternate the sequential and interleaved pool schedules.
+    engine.set_thread_pool(round % 2 == 0 ? nullptr : &pool);
+    fuzz_gemm_grouped_round<TypeParam>(engine, rng, round, seed, cases);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+TYPED_TEST(GroupedFuzz, TrsmGroupedConformance) {
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed + 1);
+  Engine engine(CacheInfo::kunpeng920());
+  ThreadPool pool(4);
+  int cases = 0;
+  for (int round = 0; cases < kCasesPerSweep; ++round) {
+    engine.set_thread_pool(round % 2 == 0 ? nullptr : &pool);
+    fuzz_trsm_grouped_round<TypeParam>(engine, rng, round, seed, cases);
+    if (::testing::Test::HasFailure()) {
+      return;
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf

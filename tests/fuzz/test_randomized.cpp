@@ -103,7 +103,7 @@ template <class T> void fuzz_gemm_once(Rng& rng, int round) {
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cc);
   test::expect_batch_near(
-      expected, actual, test::tolerance<T>(k) * 4,
+      expected, actual, test::ulp_tolerance<T>(k, 128),
       "fuzz gemm round " + std::to_string(round) + " " +
           to_string(GemmShape{m, n, k, op_a, op_b, batch}));
 }
@@ -135,7 +135,7 @@ template <class T> void fuzz_trsm_once(Rng& rng, int round) {
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cb);
   test::expect_batch_near(
-      expected, actual, test::tolerance<T>(adim) * 20,
+      expected, actual, test::ulp_tolerance<T>(adim, 512),
       "fuzz trsm round " + std::to_string(round) + " " +
           to_string(TrsmShape{m, n, side, uplo, op_a, diag, batch}));
 }
@@ -165,7 +165,7 @@ template <class T> void fuzz_trmm_once(Rng& rng, int round) {
   }
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cb);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(adim) * 8,
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(adim, 256),
                           "fuzz trmm round " + std::to_string(round));
 }
 
@@ -275,7 +275,7 @@ void fuzz_gemm_hazard_once(Engine& eng, Rng& rng, int round) {
   EXPECT_TRUE(fb.degraded());
   test::HostBatch<T> fb_host(m, n, batch);
   fb_host.from_compact(cc_fb);
-  const auto tol = test::tolerance<T>(k) * 4;
+  const auto tol = test::ulp_tolerance<T>(k, 128);
   for (index_t l = 0; l < batch; ++l) {
     if (bad.count(l)) {
       expect_lane_refequal(expected, fb_host, l, context + " repaired");
@@ -350,7 +350,7 @@ void fuzz_trsm_hazard_once(Engine& eng, Rng& rng, int round) {
   EXPECT_EQ(fb.first_fallback, *bad.begin());
   test::HostBatch<T> fb_host(m, n, batch);
   fb_host.from_compact(cb_fb);
-  const auto tol = test::tolerance<T>(adim) * 20;
+  const auto tol = test::ulp_tolerance<T>(adim, 512);
   for (index_t l = 0; l < batch; ++l) {
     if (bad.count(l)) {
       expect_lane_refequal(expected, fb_host, l, context + " repaired");

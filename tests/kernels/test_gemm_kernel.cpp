@@ -66,7 +66,7 @@ void check_kernel(int mc, int nc, index_t k, T alpha, T beta,
   }
   test::HostBatch<T> actual(mc, nc, pw);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           std::string("gemm kernel ") + blas_prefix_v<T> +
                               " mc=" + std::to_string(mc) +
                               " nc=" + std::to_string(nc) +
@@ -173,7 +173,7 @@ TEST(GemmKernel, NoPackStridesProduceSameResult) {
   }
   test::HostBatch<T> actual(m, n, pw);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           "no-pack strides");
 }
 
@@ -221,7 +221,7 @@ TEST(GemmKernelWide, WideRegistersMatchReference) {
   }
   test::HostBatch<T> actual(4, 4, pw);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           "wide kernel");
 }
 

@@ -51,7 +51,7 @@ void check_tri_kernel(int m, int nc, Diag diag, std::uint64_t seed) {
   }
   test::HostBatch<T> actual(m, nc, pw);
   actual.from_compact(cb);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(m) * 10,
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(m, 256),
                           std::string("tri kernel ") + blas_prefix_v<T> +
                               " m=" + std::to_string(m) +
                               " nc=" + std::to_string(nc));
@@ -138,7 +138,7 @@ void check_rect_kernel(int mc, int nc, index_t k, std::uint64_t seed) {
   }
   test::HostBatch<T> actual(m_total, nc, pw);
   actual.from_compact(cb);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           std::string("rect kernel ") + blas_prefix_v<T> +
                               " mc=" + std::to_string(mc) +
                               " nc=" + std::to_string(nc) +

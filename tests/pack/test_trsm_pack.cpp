@@ -127,7 +127,7 @@ TYPED_TEST(TrsmPackTyped, PackedTriangleMatchesCanonicalForm) {
                 if (i == j) {
                   // Diagonal stored as reciprocal.
                   const R err = std::abs(got - T(1) / src);
-                  ASSERT_LE(err, test::tolerance<T>(1))
+                  ASSERT_LE(err, test::ulp_tolerance<T>(1))
                       << to_string(shape);
                 } else {
                   ASSERT_EQ(got, src) << to_string(shape);
@@ -248,7 +248,7 @@ TYPED_TEST(TrsmPackTyped, PackBAppliesAlpha) {
     for (index_t c = 0; c < 2; ++c) {
       const T got = read_lane<T>(work.data() + (c * 2 + i) * es, pw, 0);
       const T want = alpha * compact.get(0, i, c);
-      EXPECT_LE(std::abs(got - want), test::tolerance<T>(1));
+      EXPECT_LE(std::abs(got - want), test::ulp_tolerance<T>(1));
     }
   }
 }

@@ -67,7 +67,7 @@ TEST(Engine, CompactGemmFreeFunction) {
   }
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           "compact_gemm free function");
 }
 
@@ -91,7 +91,7 @@ TEST(Engine, CompactTrsmFreeFunction) {
   }
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cb);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(n) * 10,
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(n, 256),
                           "compact_trsm free function");
 }
 
@@ -121,7 +121,7 @@ TEST(Engine, WidePlansCoexistWithNarrow) {
   }
   test::HostBatch<float> actual(4, 4, batch);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<float>(4),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<float>(4),
                           "wide plan");
 }
 

@@ -37,7 +37,7 @@ void check_gemm(index_t m, index_t n, index_t k, Op op_a, Op op_b, T alpha,
   }
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cc);
-  test::expect_batch_near(expected, actual, test::tolerance<T>(k),
+  test::expect_batch_near(expected, actual, test::ulp_tolerance<T>(k),
                           to_string(shape));
 }
 

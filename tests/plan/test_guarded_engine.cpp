@@ -85,7 +85,7 @@ struct GemmFixture {
     test::HostBatch<double> out = c;
     out.from_compact(cc);
     test::expect_batch_near(expected, out,
-                            test::tolerance<double>(k), "guarded gemm");
+                            test::ulp_tolerance<double>(k), "guarded gemm");
   }
 };
 
@@ -162,7 +162,7 @@ TEST_F(GuardedEngine, FallbackRepairsNonfiniteLanes) {
   test::HostBatch<double> out = fx.c;
   out.from_compact(fx.cc);
   expect_lane_refequal(fx.expected, out, 2);
-  const double tol = test::tolerance<double>(fx.k);
+  const double tol = test::ulp_tolerance<double>(fx.k);
   for (index_t l = 0; l < fx.batch; ++l) {
     if (l == 2) {
       continue; // verified bit-for-bit above
@@ -343,7 +343,7 @@ TEST_F(GuardedEngine, TrsmFastPolicyIsClean) {
   EXPECT_TRUE(h.clean());
   test::HostBatch<double> out = fx.b;
   out.from_compact(fx.cb);
-  test::expect_batch_near(fx.expected, out, test::tolerance<double>(fx.m),
+  test::expect_batch_near(fx.expected, out, test::ulp_tolerance<double>(fx.m),
                           "trsm fast");
 }
 
@@ -400,7 +400,7 @@ TEST_F(GuardedEngine, TrsmFallbackOnMissingTriKernel) {
   EXPECT_EQ(h.fallback, fx.batch);
   test::HostBatch<double> out = fx.b;
   out.from_compact(fx.cb);
-  test::expect_batch_near(fx.expected, out, test::tolerance<double>(fx.m),
+  test::expect_batch_near(fx.expected, out, test::ulp_tolerance<double>(fx.m),
                           "trsm fallback");
 }
 
@@ -414,7 +414,7 @@ TEST_F(GuardedEngine, TrsmFallbackOnUnsupportedPlan) {
   EXPECT_EQ(h.fallback, fx.batch);
   test::HostBatch<double> out = fx.b;
   out.from_compact(fx.cb);
-  test::expect_batch_near(fx.expected, out, test::tolerance<double>(fx.m),
+  test::expect_batch_near(fx.expected, out, test::ulp_tolerance<double>(fx.m),
                           "trsm fallback");
 }
 

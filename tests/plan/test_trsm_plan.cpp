@@ -36,7 +36,7 @@ void check_trsm(index_t m, index_t n, Side side, Uplo uplo, Op op_a,
   test::HostBatch<T> actual(m, n, batch);
   actual.from_compact(cb);
   test::expect_batch_near(expected, actual,
-                          test::tolerance<T>(adim) * 10,
+                          test::ulp_tolerance<T>(adim, 256),
                           to_string(shape));
 }
 

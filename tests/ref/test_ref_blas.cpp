@@ -140,7 +140,7 @@ TYPED_TEST(RefTrsmTyped, SolveReconstructsRhsInAllModes) {
             ref::gemm<T>(Op::NoTrans, op, m, n, n, T(1), x.mat(0), m,
                          tri.data(), adim, T(0), rec.data(), m);
           }
-          const R tol = test::tolerance<T>(adim) * 100;
+          const R tol = test::ulp_tolerance<T>(adim, 2048);
           for (index_t i = 0; i < m * n; ++i) {
             const R diff = std::abs(rec[i] - alpha * b.mat(0)[i]);
             ASSERT_LE(diff, tol)

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <complex>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -82,12 +83,22 @@ HostBatch<T> random_triangular_batch(index_t m, index_t batch, Rng& rng) {
   return out;
 }
 
-/// Relative tolerance for comparing an optimised result against the
-/// reference, scaled by the reduction depth of the computation.
-template <class T> real_t<T> tolerance(index_t depth) {
+/// K-scaled ULP tolerance for comparing an optimised result against the
+/// reference: `ulps` units in the last place of the working precision,
+/// scaled linearly by the reduction depth (K for GEMM, M for TRSM). A
+/// depth-K dot product's worst-case relative error grows like K * eps,
+/// and both the optimised and the reference path contribute one such
+/// accumulation, so a small constant ULP budget times max(depth, 2)
+/// bounds the difference without the old fixed-epsilon slack that let
+/// s/c-precision regressions hide at K = 33. The default budget of 64
+/// ULPs absorbs FMA-vs-separate rounding and reassociation differences;
+/// callers comparing through longer chains (multi-pass algorithms,
+/// repeated in-place updates) pass a larger budget explicitly.
+template <class T>
+real_t<T> ulp_tolerance(index_t depth, real_t<T> ulps = real_t<T>(64)) {
   using R = real_t<T>;
-  const R base = std::is_same_v<R, float> ? R(1e-5) : R(1e-13);
-  return base * static_cast<R>(depth < 4 ? 4 : depth);
+  return std::numeric_limits<R>::epsilon() * ulps *
+         static_cast<R>(depth < 2 ? 2 : depth);
 }
 
 template <class T>
