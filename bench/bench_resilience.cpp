@@ -1,0 +1,134 @@
+// Cost of the self-healing serving layer when nothing is wrong: the
+// acceptance bar is <= 2% added latency on the idle hot path. "Idle"
+// means every kernel verified, every breaker slot Closed, admission far
+// from its limit -- the per-call cost is then one atomic inflight gate,
+// one breaker-slot load, and one verified-ledger check.
+//
+// Two engines run the same warmed descriptor back to back:
+//   baseline  -- verification off, breaker disabled, no inflight limit
+//   hardened  -- verification on (kernels pre-verified), breaker armed,
+//                an admission limit far above 1, retry configured
+// and the bench reports per-call latency for both plus the delta.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/bench_common.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf::bench {
+namespace {
+
+struct Workload {
+  index_t size;
+  index_t batch;
+  GemmShape shape;
+  CompactBuffer<double> ca, cb, cc;
+
+  Workload(index_t s, const Options& opt) : size(s) {
+    const index_t pw = simd::pack_width_v<double>;
+    batch = auto_batch(static_cast<index_t>(sizeof(double)) * 3 * s * s,
+                       pw, opt);
+    shape = GemmShape{s, s, s, Op::NoTrans, Op::NoTrans, batch};
+    Rng rng(23);
+    auto ha = random_host_batch<double>(s, s, batch, rng);
+    auto hb = random_host_batch<double>(s, s, batch, rng);
+    auto hc = random_host_batch<double>(s, s, batch, rng);
+    ca = to_compact_buffer(ha, pw);
+    cb = to_compact_buffer(hb, pw);
+    cc = to_compact_buffer(hc, pw);
+  }
+
+  void call(Engine& e) {
+    (void)e.gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, ca, cb, 0.5, cc);
+  }
+};
+
+/// One timed round: `reps` back-to-back calls, per-call microseconds.
+double round_us(Engine& engine, Workload& w, int reps) {
+  Timer t;
+  for (int i = 0; i < reps; ++i) {
+    w.call(engine);
+  }
+  return t.seconds() / reps * 1e6;
+}
+
+/// Pick a rep count so one round takes at least min_time.
+int calibrate_reps(Engine& engine, Workload& w, const Options& opt) {
+  int reps = 4;
+  while (reps < (1 << 20)) {
+    Timer t;
+    for (int i = 0; i < reps; ++i) {
+      w.call(engine);
+    }
+    if (t.seconds() >= opt.min_time) {
+      break;
+    }
+    reps *= 2;
+  }
+  return reps;
+}
+
+void run(index_t s, const Options& opt) {
+  Workload w(s, opt);
+
+  Engine baseline(CacheInfo::detect());
+  baseline.set_kernel_verification(false);
+  baseline.set_breaker_config({0, 0, 0});
+
+  Engine hardened(CacheInfo::detect());
+  hardened.set_kernel_verification(true);
+  hardened.set_breaker_config({/*window=*/64, /*threshold=*/32,
+                               /*cooldown=*/16});
+  hardened.set_max_inflight(1024);
+  hardened.set_retry_policy({/*max_attempts=*/2,
+                             std::chrono::microseconds(100)});
+
+  // Warm both: plans built, kernels verified on the hardened engine.
+  w.call(baseline);
+  w.call(hardened);
+  const int reps = calibrate_reps(baseline, w, opt);
+
+  // Alternate rounds between the engines and keep the per-engine
+  // minimum: interleaving cancels machine drift, and the minimum is the
+  // run least disturbed by unrelated load -- the honest per-call cost.
+  constexpr int kRounds = 7;
+  double base_us = round_us(baseline, w, reps);
+  double hard_us = round_us(hardened, w, reps);
+  for (int r = 1; r < kRounds; ++r) {
+    const double b = round_us(baseline, w, reps);
+    const double h = round_us(hardened, w, reps);
+    base_us = b < base_us ? b : base_us;
+    hard_us = h < hard_us ? h : hard_us;
+  }
+
+  const double overhead = (hard_us - base_us) / base_us * 100.0;
+  std::printf("dgemm n=%-3lld batch=%-6lld baseline %9.3f us/call   "
+              "hardened %9.3f us/call   overhead %+6.2f%%\n",
+              static_cast<long long>(s), static_cast<long long>(w.batch),
+              base_us, hard_us, overhead);
+  print_row("resilience_overhead", "d", "gemm", s, "baseline", base_us,
+            "us/call");
+  print_row("resilience_overhead", "d", "gemm", s, "hardened", hard_us,
+            "us/call");
+  print_row("resilience_overhead", "d", "gemm", s, "overhead_pct",
+            overhead, "percent");
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  std::printf("Self-healing layer idle overhead (verify ledger + breaker "
+              "+ admission gate on the hot path; target <= 2%%)\n");
+  print_header();
+  for (iatf::index_t s : {4, 8, 16, 32}) {
+    if (s > opt.max_size) {
+      continue;
+    }
+    run(s, opt);
+  }
+  return 0;
+}

@@ -34,7 +34,8 @@ typedef enum iatf_status {
   IATF_STATUS_ALLOC_FAILURE = 3,    /* buffer/workspace allocation failed */
   IATF_STATUS_NUMERICAL_HAZARD = 4, /* NaN/Inf output or singular diagonal */
   IATF_STATUS_INTERNAL = 5,         /* invariant violation / unknown error */
-  IATF_STATUS_TIMEOUT = 6           /* per-call deadline exceeded */
+  IATF_STATUS_TIMEOUT = 6,          /* per-call deadline exceeded */
+  IATF_STATUS_OVERLOADED = 7        /* admission control shed the call */
 } iatf_status;
 
 /* How much guarding the default engine wraps around gemm/trsm:
@@ -81,9 +82,109 @@ typedef struct iatf_engine_stats {
   /* Histogram of distinct execution plans per non-empty grouped call;
    * bucket upper bounds are 1, 2, 4, 8 and unbounded. */
   int64_t grouped_plan_hist[5];
+  /* Self-healing counters (see "Serving hardening" below). */
+  int64_t shed_calls;          /* calls rejected by admission control */
+  int64_t ref_routed_calls;    /* whole calls served on the ref path */
+  int64_t retries;             /* transient-failure retry attempts */
+  int64_t verified_kernels;    /* kernels that passed their canary */
+  int64_t quarantined_kernels; /* kernels pulled from dispatch */
+  int64_t breaker_transitions; /* circuit-breaker state changes */
 } iatf_engine_stats;
 
 int iatf_get_engine_stats(iatf_engine_stats* stats);
+
+/* Zero every counter reported by iatf_get_engine_stats. Cached plans,
+ * the kernel-trust ledger and breaker slot states are untouched (those
+ * are state, not statistics; verified/quarantined counts and breaker
+ * transitions therefore survive a reset). */
+void iatf_engine_stats_reset(void);
+
+/* ---- Serving hardening (self-healing layer) -------------------------
+ *
+ * The default engine verifies generated kernels against the scalar
+ * reference on first dispatch (quarantining mismatches), bounds the
+ * number of in-flight calls, trips a per-descriptor-class circuit
+ * breaker when a class keeps degrading, and retries transient faults.
+ * Environment seeds: $IATF_MAX_INFLIGHT, $IATF_BREAKER_WINDOW,
+ * $IATF_RETRY_MAX. */
+
+/* Liveness snapshot of the self-healing layer. */
+typedef struct iatf_engine_health {
+  int64_t verified_kernels;
+  int64_t quarantined_kernels;
+  int64_t breaker_closed;    /* descriptor-class slots in Closed */
+  int64_t breaker_open;      /* slots currently ref-routing */
+  int64_t breaker_half_open; /* slots probing */
+  int64_t breaker_transitions;
+  int64_t inflight;     /* calls currently inside the engine */
+  int64_t max_inflight; /* admission budget (0 = unlimited) */
+  int64_t shed_calls;
+  int64_t ref_routed_calls;
+  int64_t retries;
+} iatf_engine_health;
+
+int iatf_get_engine_health(iatf_engine_health* health);
+
+/* Kernel verify-and-quarantine (default on). Off restores unconditional
+ * trust in generated kernels. */
+void iatf_set_kernel_verification(int on);
+int iatf_get_kernel_verification(void);
+
+/* Canary-check every registry kernel of every type up front instead of
+ * on first dispatch; returns the number of quarantined kernels. */
+int64_t iatf_engine_self_test(void);
+
+/* What happens to a call arriving past the in-flight budget. */
+typedef enum iatf_overload_policy {
+  IATF_OVERLOAD_BLOCK = 0,   /* wait for capacity (bounded by deadline) */
+  IATF_OVERLOAD_SHED = 1,    /* fail fast with IATF_STATUS_OVERLOADED */
+  IATF_OVERLOAD_DEGRADE = 2  /* serve on the scalar reference path */
+} iatf_overload_policy;
+
+/* At most `max` compute calls inside the default engine at once;
+ * max <= 0 means unlimited (the default). */
+void iatf_set_max_inflight(int64_t max);
+int64_t iatf_get_max_inflight(void);
+void iatf_set_overload_policy(iatf_overload_policy policy);
+iatf_overload_policy iatf_get_overload_policy(void);
+
+/* Retry transient faults (allocation / worker failures under the
+ * FALLBACK policy) up to max_attempts total attempts with capped
+ * exponential backoff starting at base_delay_ms. max_attempts <= 1
+ * disables retry (the default). */
+void iatf_set_retry_policy(int max_attempts, double base_delay_ms);
+
+/* Degradation circuit breaker: every `window` calls of a descriptor
+ * class, `threshold`+ degraded ones trip the class onto the reference
+ * path for `cooldown` calls, then a probe decides recovery. window <= 0
+ * disables (the default). Reconfiguring resets every slot. */
+void iatf_set_breaker(int window, int threshold, int cooldown);
+
+/* Degradation-event bits reported in iatf_error_detail.events (mirrors
+ * the C++ DegradeEvent bitmask). */
+#define IATF_EVENT_QUARANTINED_KERNEL (1u << 5)
+#define IATF_EVENT_BREAKER_OPEN (1u << 6)
+#define IATF_EVENT_OVERLOADED (1u << 7)
+
+/* Descriptor of the most recent failing (or degraded) compute call on
+ * the calling thread, so an IATF_STATUS_OVERLOADED / _TIMEOUT return --
+ * or a silent quarantine/breaker degradation -- can be attributed
+ * without re-deriving the call site. */
+typedef struct iatf_error_detail {
+  int status;   /* iatf_status of the call (OK for pure degradations) */
+  unsigned events; /* IATF_EVENT_* bits observed on the call */
+  char op;      /* 'g' gemm, 't' trsm, 0 unset */
+  char dtype;   /* 's', 'd', 'c' or 'z', 0 unset */
+  int64_t m, n, k; /* failing descriptor (k = 0 for trsm) */
+  int64_t batch;
+  int op_a, op_b;     /* iatf_op values; -1 when not applicable */
+  int side, uplo, diag; /* trsm mode; -1 when not applicable */
+} iatf_error_detail;
+
+/* Copy the calling thread's last failure/degradation descriptor into
+ * *detail. Returns 1 when a detail is available, 0 when no compute call
+ * has failed or degraded since the last iatf_clear_error(). */
+int iatf_last_error_detail(iatf_error_detail* detail);
 
 /* Rebound the default engine's LRU plan cache (capacity >= 1); plans
  * past the new bound are evicted immediately. The initial capacity is

@@ -56,6 +56,20 @@ private:
   index_t total_ = 0;
 };
 
+/// Thrown when admission control sheds a call: the engine's in-flight
+/// budget (Engine::set_max_inflight) was exhausted and the overload
+/// policy said to reject rather than queue or degrade. The call touched
+/// neither its output buffers nor the thread pool; retrying later (once
+/// load drains) is always safe.
+class OverloadError : public Error {
+public:
+  OverloadError(std::size_t inflight, std::size_t max_inflight)
+      : Error("iatf: call shed by admission control (" +
+                  std::to_string(inflight) + " in flight, budget " +
+                  std::to_string(max_inflight) + ")",
+              Status::Overloaded) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line,
                               const std::string& message,

@@ -19,6 +19,12 @@
 //                         descriptor under concurrent misses)
 //   "cache.evict"         throw during plan-cache LRU publish (the built
 //                         plan must still be returned, just not cached)
+//   "sched.bin" / "sched.interleave"   grouped-call size-class binning and
+//                         work-item interleaving (sched/group_scheduler)
+//   "resilience.verify"   kernel canary verification (a hit quarantines
+//                         the kernel under test)
+//   "resilience.probe"    circuit-breaker HalfOpen probe execution (a hit
+//                         re-opens the breaker)
 //
 // Arming is process-global (tests that arm faults must not run the same
 // site concurrently from unrelated tests); fault::ScopedFault disarms on
@@ -75,6 +81,22 @@ void stall_if_armed(const char* site, int ms = 25);
 
 /// Times an armed `site` was evaluated since arm() (0 if not armed).
 int hits(const char* site);
+
+/// RAII suppression for canary runs: while a thread holds a
+/// SuppressionScope, every armed site EXCEPT those prefixed "resilience."
+/// evaluates to "pass" on that thread without consuming its schedule or
+/// counting a hit. The engine's kernel verification wraps its canary
+/// plans in this scope so a test that armed, say, one "alloc" failure for
+/// the call under test cannot have it swallowed by a background canary --
+/// and a good kernel is never quarantined by an unrelated injected fault.
+/// The "resilience." carve-out keeps the verification/probe paths
+/// themselves testable. Nestable; thread-local.
+struct SuppressionScope {
+  SuppressionScope() noexcept;
+  ~SuppressionScope();
+  SuppressionScope(const SuppressionScope&) = delete;
+  SuppressionScope& operator=(const SuppressionScope&) = delete;
+};
 
 /// RAII arming for tests: disarms every site on destruction so a thrown
 /// assertion cannot leave faults armed for subsequent tests.

@@ -31,6 +31,7 @@ enum class Status : int {
   NumericalHazard = 4,  ///< NaN/Inf output or singular TRSM diagonal
   Internal = 5,         ///< invariant violation or unexpected exception
   Timeout = 6,          ///< per-call deadline expired before completion
+  Overloaded = 7,       ///< admission control shed the call (in-flight cap)
 };
 
 const char* to_string(Status status) noexcept;
@@ -71,6 +72,9 @@ enum class DegradeEvent : std::uint32_t {
   AllocFailure = 1u << 2,    ///< packing workspace allocation failed
   WorkerFailure = 1u << 3,   ///< a thread-pool chunk threw
   NumericalHazard = 1u << 4, ///< non-finite output or singular diagonal
+  QuarantinedKernel = 1u << 5, ///< a verify-failed kernel forced the ref path
+  BreakerOpen = 1u << 6,       ///< the degradation breaker routed to ref
+  Overloaded = 1u << 7,        ///< admission control degraded the call to ref
 };
 
 constexpr DegradeEvent operator|(DegradeEvent a, DegradeEvent b) noexcept {

@@ -52,6 +52,7 @@
 #include "iatf/common/types.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
+#include "iatf/resilience/resilience.hpp"
 #include "iatf/sched/group_scheduler.hpp"
 
 namespace iatf {
@@ -84,6 +85,30 @@ struct EngineStats {
   /// collapsing ragged traffic onto few plans (the cache-friendly case).
   static constexpr std::size_t kGroupedPlanBuckets = 5;
   std::array<std::size_t, kGroupedPlanBuckets> distinct_plans_per_call{};
+  // Self-healing counters (DESIGN.md section 11).
+  std::size_t shed_calls = 0;      ///< calls rejected by admission control
+  std::size_t ref_routed_calls = 0; ///< whole calls served on the ref path
+  std::size_t retries = 0;         ///< transient-failure retry attempts
+  std::size_t verified_kernels = 0;    ///< kernels that passed their canary
+  std::size_t quarantined_kernels = 0; ///< kernels pulled from dispatch
+  std::size_t breaker_transitions = 0; ///< breaker state changes
+};
+
+/// Liveness snapshot of the self-healing layer (the C API's
+/// iatf_engine_health): how much of the kernel population is trusted, what
+/// the per-class circuit breakers are doing, and the admission pressure.
+struct EngineHealth {
+  std::size_t verified_kernels = 0;
+  std::size_t quarantined_kernels = 0;
+  std::size_t breaker_closed = 0;    ///< descriptor-class slots Closed
+  std::size_t breaker_open = 0;      ///< slots currently ref-routing
+  std::size_t breaker_half_open = 0; ///< slots probing
+  std::size_t breaker_transitions = 0;
+  std::size_t inflight = 0;     ///< calls currently inside the engine
+  std::size_t max_inflight = 0; ///< admission budget (0 = unlimited)
+  std::size_t shed_calls = 0;
+  std::size_t ref_routed_calls = 0;
+  std::size_t retries = 0;
 };
 
 class Engine {
@@ -234,6 +259,92 @@ public:
   /// Every counter in one struct (the C API's iatf_engine_stats).
   EngineStats stats() const;
 
+  /// Zero every stats() counter (cache hit/miss/build accounting, degrade
+  /// and resilience counters, the grouped histogram). Cache contents, the
+  /// kernel-trust ledger and breaker slot states are untouched: those are
+  /// state, not statistics.
+  void reset_stats();
+
+  /// Snapshot of the self-healing layer; see EngineHealth.
+  EngineHealth health() const;
+
+  // --- Self-healing serving layer (DESIGN.md section 11) ---------------
+
+  /// Kernel verify-and-quarantine. On (the default), the first dispatch
+  /// of each execution plan canary-checks every registry kernel the plan
+  /// references against the scalar reference on a tiny deterministic
+  /// batch; kernels that mismatch or throw are quarantined, cached plans
+  /// referencing them are invalidated, and rebuilt plans substitute
+  /// smaller tile caps that avoid the bad kernel (falling back to the
+  /// reference path when no substitute exists). Off restores unconditional
+  /// trust in generated kernels (the pre-resilience behaviour).
+  void set_kernel_verification(bool on) noexcept {
+    verify_kernels_.store(on, std::memory_order_relaxed);
+  }
+  bool kernel_verification() const noexcept {
+    return verify_kernels_.load(std::memory_order_relaxed);
+  }
+
+  /// Canary-check every registry kernel of every dtype/width up front
+  /// (install-time validation instead of first-dispatch validation).
+  /// Returns the number of quarantined kernels afterwards.
+  std::size_t self_test();
+
+  /// Admission control: at most `max` gemm/trsm/grouped calls inside the
+  /// engine at once; 0 (the default, also $IATF_MAX_INFLIGHT) means
+  /// unlimited. What happens to excess calls is set_overload_policy():
+  /// Block waits for capacity (bounded by the call deadline), ShedNewest
+  /// throws OverloadError (Status::Overloaded), DegradeToRef serves the
+  /// call immediately on the scalar reference path.
+  void set_max_inflight(std::size_t max) noexcept {
+    max_inflight_.store(max, std::memory_order_relaxed);
+    admit_cv_.notify_all();
+  }
+  std::size_t max_inflight() const noexcept {
+    return max_inflight_.load(std::memory_order_relaxed);
+  }
+  void set_overload_policy(resilience::OverloadPolicy policy) noexcept {
+    overload_policy_.store(static_cast<std::uint8_t>(policy),
+                           std::memory_order_relaxed);
+  }
+  resilience::OverloadPolicy overload_policy() const noexcept {
+    return static_cast<resilience::OverloadPolicy>(
+        overload_policy_.load(std::memory_order_relaxed));
+  }
+
+  /// Transient-fault retry under ExecPolicy::Fallback: allocation and
+  /// worker failures are retried up to max_attempts total attempts with
+  /// capped exponential backoff before degrading to the reference path.
+  /// Also seeded from $IATF_RETRY_MAX. Default: no retry.
+  void set_retry_policy(const resilience::RetryPolicy& policy) noexcept {
+    retry_attempts_.store(policy.max_attempts, std::memory_order_relaxed);
+    retry_base_ns_.store(policy.base_delay.count(),
+                         std::memory_order_relaxed);
+  }
+  resilience::RetryPolicy retry_policy() const noexcept {
+    resilience::RetryPolicy p;
+    p.max_attempts = retry_attempts_.load(std::memory_order_relaxed);
+    p.base_delay = std::chrono::nanoseconds(
+        retry_base_ns_.load(std::memory_order_relaxed));
+    return p;
+  }
+
+  /// Degradation circuit breaker over descriptor classes; see
+  /// resilience::BreakerConfig (window == 0 disables, the default; also
+  /// seeded from $IATF_BREAKER_WINDOW). Reconfiguring resets every slot.
+  void set_breaker_config(const resilience::BreakerConfig& config) {
+    breaker_.configure(config);
+  }
+  resilience::BreakerConfig breaker_config() const {
+    return breaker_.config();
+  }
+  /// Breaker state of the descriptor class a shape hashes to (tests;
+  /// the class identity includes dtype and SIMD width, hence templated).
+  template <class T, int Bytes = 16>
+  resilience::BreakerState gemm_breaker_state(const GemmShape& shape) const;
+  template <class T, int Bytes = 16>
+  resilience::BreakerState trsm_breaker_state(const TrsmShape& shape) const;
+
   /// The process-wide default engine used by the free functions in
   /// iatf/core/compact_blas.hpp and the C API.
   ///
@@ -267,9 +378,12 @@ private:
 
   /// Immutable cache entry; `last_used` is the only mutable field and is
   /// a relaxed atomic so hits can bump recency without any lock.
+  /// `kernels` lists the registry kernels the plan dispatches through so
+  /// a quarantine can invalidate exactly the entries it taints.
   struct CacheEntry {
     std::shared_ptr<const void> plan;
     bool tuned = false;
+    std::vector<resilience::KernelId> kernels;
     mutable std::atomic<std::uint64_t> last_used{0};
   };
 
@@ -314,6 +428,7 @@ private:
   /// `generation` is stale (the cache was cleared/re-tuned mid-build).
   void insert_plan(Shard& shard, const PlanKey& key,
                    std::shared_ptr<const void> plan, bool tuned,
+                   std::vector<resilience::KernelId> kernels,
                    std::uint64_t generation, std::uint64_t now);
 
   /// Evict least-recently-used entries until `map` fits `cap`.
@@ -346,6 +461,58 @@ private:
   /// Count one non-empty grouped call that resolved `distinct` plans.
   void record_grouped_plans(std::size_t distinct) noexcept;
 
+  // --- Self-healing internals ------------------------------------------
+
+  /// Outcome of the admission gate for one call.
+  enum class Admit : std::uint8_t { Run, RefRoute };
+
+  /// Count the call in and apply the overload policy. Returns RefRoute
+  /// for DegradeToRef past the budget; throws OverloadError (ShedNewest)
+  /// or TimeoutError (Block past the deadline) WITHOUT counting the call
+  /// in. On Run/RefRoute the caller must pair with release_call().
+  Admit admit_call(const Deadline* deadline);
+  void release_call() noexcept;
+
+  /// First-dispatch gate: resolve the plan's verification verdict,
+  /// canary-checking any still-untested kernel. Returns false when the
+  /// plan references a quarantined kernel (caller must ref-route).
+  template <class T, int Bytes, class Plan>
+  bool ensure_verified(const Plan& plan);
+
+  /// Canary-check one registry kernel against the scalar reference.
+  /// Returns true on match, false on mismatch/throw (caller quarantines).
+  template <class T, int Bytes>
+  bool verify_kernel(const resilience::KernelUse& use);
+  template <class T, int Bytes>
+  bool run_gemm_canary(const resilience::KernelUse& use);
+  template <class T, int Bytes>
+  bool run_trsm_canary(const resilience::KernelUse& use);
+
+  template <class T, int Bytes>
+  static PlanKey gemm_plan_key(const GemmShape& shape);
+  template <class T, int Bytes>
+  static PlanKey trsm_plan_key(const TrsmShape& shape);
+
+  /// Drop every cached entry referencing a quarantined kernel (their
+  /// descriptor classes rebuild through single-flight on the next miss).
+  void invalidate_quarantined_plans();
+
+  /// Serve one whole call on the scalar reference path, recording the
+  /// degradation. Used for quarantined plans, Open breaker slots and
+  /// DegradeToRef admission.
+  template <class T, int Bytes>
+  BatchHealth ref_route_gemm(const GemmShape& shape, T alpha,
+                             const CompactBuffer<T>& a,
+                             const CompactBuffer<T>& b, T beta,
+                             CompactBuffer<T>& c, DegradeEvent event);
+  template <class T, int Bytes>
+  BatchHealth ref_route_trsm(const TrsmShape& shape, T alpha,
+                             const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                             DegradeEvent event);
+
+  template <class T, int Bytes>
+  std::size_t self_test_type();
+
   CacheInfo cache_;
   std::atomic<ExecPolicy> policy_{ExecPolicy::Fast};
   std::atomic<ThreadPool*> pool_{nullptr};
@@ -369,6 +536,22 @@ private:
   std::atomic<std::uint64_t> grouped_calls_{0};
   std::array<std::atomic<std::uint64_t>, EngineStats::kGroupedPlanBuckets>
       grouped_plan_hist_{};
+
+  // Self-healing state. All knobs default to the pre-resilience
+  // behaviour except kernel verification, which is on (trust is earned).
+  resilience::KernelGuard guard_;
+  resilience::CircuitBreaker breaker_;
+  std::atomic<bool> verify_kernels_{true};
+  std::atomic<std::size_t> max_inflight_{0}; ///< 0 = unlimited
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint8_t> overload_policy_{0}; ///< OverloadPolicy::Block
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  std::atomic<int> retry_attempts_{1};
+  std::atomic<std::int64_t> retry_base_ns_{0};
+  std::atomic<std::uint64_t> shed_calls_{0};
+  std::atomic<std::uint64_t> ref_routed_calls_{0};
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 } // namespace iatf

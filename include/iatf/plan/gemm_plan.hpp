@@ -9,6 +9,7 @@
 // resulting command queue over every interleave group.
 #pragma once
 
+#include <atomic>
 #include <span>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "iatf/layout/compact.hpp"
 #include "iatf/parallel/thread_pool.hpp"
 #include "iatf/plan/batch_counter.hpp"
+#include "iatf/resilience/kernel_state.hpp"
 
 namespace iatf::plan {
 
@@ -89,6 +91,26 @@ public:
   std::span<const Tile> n_tiles() const noexcept { return n_tiles_; }
   std::span<const Call> calls() const noexcept { return calls_; }
 
+  /// The tuning this plan was built with (canary micro-plans must mirror
+  /// it so they exercise the same registry kernel set).
+  const PlanTuning& tuning() const noexcept { return tuning_; }
+
+  /// Distinct registry kernels the command queue calls (kind 'g').
+  std::span<const resilience::KernelUse> kernels_used() const noexcept {
+    return kernels_used_;
+  }
+
+  /// Cached verification verdict, set by the engine's kernel guard. One
+  /// relaxed atomic so the dispatch hot path gates with a single load.
+  resilience::PlanVerify verify_state() const noexcept {
+    return static_cast<resilience::PlanVerify>(
+        verify_.load(std::memory_order_relaxed));
+  }
+  void set_verify_state(resilience::PlanVerify state) const noexcept {
+    verify_.store(static_cast<std::uint8_t>(state),
+                  std::memory_order_relaxed);
+  }
+
   /// Compact element stride (scalars per element block) this plan assumes.
   static constexpr index_t element_stride() {
     return kernels::kreg<T, Bytes>::stride;
@@ -108,9 +130,12 @@ private:
                   const Deadline* deadline) const;
 
   GemmShape shape_;
+  PlanTuning tuning_;
   std::vector<Tile> m_tiles_;
   std::vector<Tile> n_tiles_;
   std::vector<Call> calls_;
+  std::vector<resilience::KernelUse> kernels_used_;
+  mutable std::atomic<std::uint8_t> verify_{0};
   bool pack_a_ = false;
   bool pack_b_ = false;
   index_t pa_group_size_ = 0; ///< packed A panel scalars per group

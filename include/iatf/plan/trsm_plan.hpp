@@ -11,6 +11,7 @@
 // column panels.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "iatf/pack/trsm_pack.hpp"
 #include "iatf/parallel/thread_pool.hpp"
 #include "iatf/plan/batch_counter.hpp"
+#include "iatf/resilience/kernel_state.hpp"
 
 namespace iatf::plan {
 
@@ -88,6 +90,25 @@ public:
   std::span<const Tile> panels() const noexcept { return panels_; }
   std::span<const Step> steps() const noexcept { return steps_; }
 
+  /// The tuning this plan was built with (canary micro-plans must mirror
+  /// it so they exercise the same registry kernel set).
+  const PlanTuning& tuning() const noexcept { return tuning_; }
+
+  /// Distinct registry kernels the command queue calls (kinds 't'/'r').
+  std::span<const resilience::KernelUse> kernels_used() const noexcept {
+    return kernels_used_;
+  }
+
+  /// Cached verification verdict, set by the engine's kernel guard.
+  resilience::PlanVerify verify_state() const noexcept {
+    return static_cast<resilience::PlanVerify>(
+        verify_.load(std::memory_order_relaxed));
+  }
+  void set_verify_state(resilience::PlanVerify state) const noexcept {
+    verify_.store(static_cast<std::uint8_t>(state),
+                  std::memory_order_relaxed);
+  }
+
   static constexpr index_t element_stride() {
     return kernels::kreg<T, Bytes>::stride;
   }
@@ -104,10 +125,13 @@ private:
                   HealthRecorder* health, const Deadline* deadline) const;
 
   TrsmShape shape_;
+  PlanTuning tuning_;
   pack::TrsmCanon canon_;
   std::vector<Tile> blocks_; ///< diagonal blocks over canon_.m
   std::vector<Tile> panels_; ///< column panels over canon_.n
   std::vector<Step> steps_;  ///< full command queue (all panels)
+  std::vector<resilience::KernelUse> kernels_used_;
+  mutable std::atomic<std::uint8_t> verify_{0};
   bool pack_b_ = false;
   index_t pa_group_size_ = 0;
   index_t pb_group_size_ = 0;

@@ -1,0 +1,46 @@
+// Minimal kernel-trust vocabulary shared by the execution plans and the
+// resilience layer (resilience/resilience.hpp).
+//
+// Plans record which registry kernels their command queues call
+// (KernelUse) and carry a cached verification verdict (PlanVerify) so the
+// engine's dispatch can gate on one relaxed atomic load. This header is
+// deliberately tiny and dependency-free: plan headers include it without
+// pulling the engine-side guard/breaker machinery into every plan user.
+#pragma once
+
+#include <cstdint>
+
+namespace iatf::resilience {
+
+/// Trust state of one generated kernel (atomic per kernel, owned by the
+/// engine's KernelGuard). Untested -> Verified/Quarantined transitions are
+/// one-way per kernel until KernelGuard::reset().
+enum class KernelState : std::uint8_t {
+  Untested = 0,    ///< never canary-checked against iatf::ref
+  Verified = 1,    ///< canary output matched the scalar reference
+  Quarantined = 2, ///< mismatched or threw on the canary; never dispatched
+};
+
+const char* to_string(KernelState state) noexcept;
+
+/// Cached whole-plan verdict derived from the states of every kernel the
+/// plan references. Stored on the plan as a relaxed atomic so the hot
+/// dispatch path pays one load once the plan is verified.
+enum class PlanVerify : std::uint8_t {
+  Untested = 0,
+  Verified = 1,
+  Quarantined = 2, ///< references >= 1 quarantined kernel: ref-route
+};
+
+/// One registry kernel referenced by a plan's command queue, identified
+/// by its function kind and tile size (dtype and SIMD width are added by
+/// the engine, which knows the plan's template parameters).
+struct KernelUse {
+  char kind = 0; ///< 'g' gemm, 't' trsm-tri, 'r' trsm-rect
+  int m = 0;     ///< tile rows ('g'/'r': mc, 't': triangle M)
+  int n = 0;     ///< tile cols (nc)
+
+  friend bool operator==(const KernelUse&, const KernelUse&) = default;
+};
+
+} // namespace iatf::resilience

@@ -10,7 +10,9 @@
 
 #include "iatf/common/error.hpp"
 #include "iatf/core/compact_blas.hpp"
+#include "iatf/core/engine.hpp"
 #include "iatf/ext/compact_ext.hpp"
+#include "iatf/resilience/resilience.hpp"
 #include "iatf/tune/search.hpp"
 #include "iatf/tune/tuning_table.hpp"
 
@@ -30,12 +32,103 @@ static_assert(IATF_STATUS_INTERNAL ==
               static_cast<int>(iatf::Status::Internal));
 static_assert(IATF_STATUS_TIMEOUT ==
               static_cast<int>(iatf::Status::Timeout));
+static_assert(IATF_STATUS_OVERLOADED ==
+              static_cast<int>(iatf::Status::Overloaded));
+static_assert(IATF_OVERLOAD_BLOCK ==
+              static_cast<int>(iatf::resilience::OverloadPolicy::Block));
+static_assert(IATF_OVERLOAD_SHED ==
+              static_cast<int>(iatf::resilience::OverloadPolicy::ShedNewest));
+static_assert(IATF_OVERLOAD_DEGRADE ==
+              static_cast<int>(iatf::resilience::OverloadPolicy::DegradeToRef));
+static_assert(IATF_EVENT_QUARANTINED_KERNEL ==
+              static_cast<unsigned>(iatf::DegradeEvent::QuarantinedKernel));
+static_assert(IATF_EVENT_BREAKER_OPEN ==
+              static_cast<unsigned>(iatf::DegradeEvent::BreakerOpen));
+static_assert(IATF_EVENT_OVERLOADED ==
+              static_cast<unsigned>(iatf::DegradeEvent::Overloaded));
 static_assert(IATF_EXEC_FAST == static_cast<int>(iatf::ExecPolicy::Fast));
 static_assert(IATF_EXEC_CHECK == static_cast<int>(iatf::ExecPolicy::Check));
 static_assert(IATF_EXEC_FALLBACK ==
               static_cast<int>(iatf::ExecPolicy::Fallback));
 
 thread_local std::string g_last_error;
+
+// Failing-descriptor attribution for iatf_last_error_detail(): compute
+// shims prefill a detail from their arguments and store it on failure or
+// on a resilience degradation (quarantine / breaker / overload).
+thread_local iatf_error_detail g_last_detail;
+thread_local bool g_has_detail = false;
+
+constexpr unsigned kDetailEvents = IATF_EVENT_QUARANTINED_KERNEL |
+                                   IATF_EVENT_BREAKER_OPEN |
+                                   IATF_EVENT_OVERLOADED;
+
+iatf_error_detail blank_detail() {
+  iatf_error_detail d{};
+  d.op_a = -1;
+  d.op_b = -1;
+  d.side = -1;
+  d.uplo = -1;
+  d.diag = -1;
+  return d;
+}
+
+void store_detail(iatf_error_detail detail, int status, unsigned events) {
+  detail.status = status;
+  detail.events = events;
+  g_last_detail = detail;
+  g_has_detail = true;
+}
+
+template <class ABuf, class CBuf>
+iatf_error_detail gemm_detail(char dtype, iatf_op op_a, iatf_op op_b,
+                              const ABuf* a, const CBuf* c) {
+  iatf_error_detail d = blank_detail();
+  d.op = 'g';
+  d.dtype = dtype;
+  d.op_a = static_cast<int>(op_a);
+  d.op_b = static_cast<int>(op_b);
+  if (c != nullptr) {
+    d.m = c->buf.rows();
+    d.n = c->buf.cols();
+    d.batch = c->buf.batch();
+  }
+  if (a != nullptr) {
+    d.k = op_a == IATF_NOTRANS ? a->buf.cols() : a->buf.rows();
+  }
+  return d;
+}
+
+template <class BBuf>
+iatf_error_detail trsm_detail(char dtype, iatf_side side, iatf_uplo uplo,
+                              iatf_op op_a, iatf_diag diag, const BBuf* b) {
+  iatf_error_detail d = blank_detail();
+  d.op = 't';
+  d.dtype = dtype;
+  d.op_a = static_cast<int>(op_a);
+  d.side = static_cast<int>(side);
+  d.uplo = static_cast<int>(uplo);
+  d.diag = static_cast<int>(diag);
+  if (b != nullptr) {
+    d.m = b->buf.rows();
+    d.n = b->buf.cols();
+    d.batch = b->buf.batch();
+  }
+  return d;
+}
+
+// Grouped calls have no single descriptor; attribute the call kind and
+// the group count, leaving the per-matrix sizes unset (-1).
+iatf_error_detail grouped_detail(char op, char dtype, int64_t group_count) {
+  iatf_error_detail d = blank_detail();
+  d.op = op;
+  d.dtype = dtype;
+  d.m = -1;
+  d.n = -1;
+  d.k = -1;
+  d.batch = group_count;
+  return d;
+}
 
 /// Record the in-flight exception and map it to its stable status code.
 int record_exception() {
@@ -67,33 +160,46 @@ template <class Fn> int guarded(Fn&& fn) {
 
 /// gemm/trsm shim: hazards the engine detected but did not repair (the
 /// Check policy observes without retrying) surface as a status code, so C
-/// callers get the report without the BatchHealth struct.
-template <class Fn> int guarded_blas(Fn&& fn) {
+/// callers get the report without the BatchHealth struct. The prefilled
+/// detail is stored when the call fails or silently degrades.
+template <class Fn>
+int guarded_blas(const iatf_error_detail& detail, Fn&& fn) {
   try {
     const iatf::BatchHealth health = fn();
+    const unsigned events =
+        static_cast<unsigned>(health.events) & kDetailEvents;
     if ((health.nonfinite != 0 || health.singular != 0) &&
         health.fallback == 0) {
       g_last_error = "iatf: numerical hazard detected (" +
                      std::to_string(health.nonfinite) + " non-finite, " +
                      std::to_string(health.singular) +
                      " singular-diagonal matrices)";
+      store_detail(detail, IATF_STATUS_NUMERICAL_HAZARD, events);
       return IATF_STATUS_NUMERICAL_HAZARD;
+    }
+    if (events != 0) {
+      store_detail(detail, IATF_STATUS_OK, events);
     }
     return IATF_STATUS_OK;
   } catch (...) {
-    return record_exception();
+    const int rc = record_exception();
+    store_detail(detail, rc, 0);
+    return rc;
   }
 }
 
 /// Grouped shim: the per-segment health reports fold into one status --
 /// any segment with an unrepaired hazard makes the whole call report
 /// IATF_STATUS_NUMERICAL_HAZARD (matching guarded_blas for one segment).
-template <class Fn> int guarded_grouped(Fn&& fn) {
+template <class Fn>
+int guarded_grouped(const iatf_error_detail& detail, Fn&& fn) {
   try {
     const std::vector<iatf::BatchHealth> healths = fn();
     iatf::index_t nonfinite = 0;
     iatf::index_t singular = 0;
+    unsigned events = 0;
     for (const iatf::BatchHealth& health : healths) {
+      events |= static_cast<unsigned>(health.events) & kDetailEvents;
       if ((health.nonfinite != 0 || health.singular != 0) &&
           health.fallback == 0) {
         nonfinite += health.nonfinite;
@@ -105,11 +211,17 @@ template <class Fn> int guarded_grouped(Fn&& fn) {
                      std::to_string(nonfinite) + " non-finite, " +
                      std::to_string(singular) +
                      " singular-diagonal matrices)";
+      store_detail(detail, IATF_STATUS_NUMERICAL_HAZARD, events);
       return IATF_STATUS_NUMERICAL_HAZARD;
+    }
+    if (events != 0) {
+      store_detail(detail, IATF_STATUS_OK, events);
     }
     return IATF_STATUS_OK;
   } catch (...) {
-    return record_exception();
+    const int rc = record_exception();
+    store_detail(detail, rc, 0);
+    return rc;
   }
 }
 
@@ -154,7 +266,20 @@ extern "C" const char* iatf_last_error(void) {
   return g_last_error.c_str();
 }
 
-extern "C" void iatf_clear_error(void) { g_last_error.clear(); }
+extern "C" void iatf_clear_error(void) {
+  g_last_error.clear();
+  g_has_detail = false;
+}
+
+extern "C" int iatf_last_error_detail(iatf_error_detail* detail) {
+  if (!g_has_detail) {
+    return 0;
+  }
+  if (detail != nullptr) {
+    *detail = g_last_detail;
+  }
+  return 1;
+}
 
 extern "C" void iatf_set_exec_policy(iatf_exec_policy policy) {
   iatf::Engine::default_engine().set_policy(
@@ -201,7 +326,97 @@ extern "C" int iatf_get_engine_stats(iatf_engine_stats* stats) {
       stats->grouped_plan_hist[i] =
           static_cast<int64_t>(s.distinct_plans_per_call[i]);
     }
+    stats->shed_calls = static_cast<int64_t>(s.shed_calls);
+    stats->ref_routed_calls = static_cast<int64_t>(s.ref_routed_calls);
+    stats->retries = static_cast<int64_t>(s.retries);
+    stats->verified_kernels = static_cast<int64_t>(s.verified_kernels);
+    stats->quarantined_kernels =
+        static_cast<int64_t>(s.quarantined_kernels);
+    stats->breaker_transitions =
+        static_cast<int64_t>(s.breaker_transitions);
   });
+}
+
+extern "C" void iatf_engine_stats_reset(void) {
+  iatf::Engine::default_engine().reset_stats();
+}
+
+extern "C" int iatf_get_engine_health(iatf_engine_health* health) {
+  return guarded([&] {
+    IATF_CHECK(health != nullptr, "iatf_get_engine_health: null health");
+    const iatf::EngineHealth h = iatf::Engine::default_engine().health();
+    health->verified_kernels = static_cast<int64_t>(h.verified_kernels);
+    health->quarantined_kernels =
+        static_cast<int64_t>(h.quarantined_kernels);
+    health->breaker_closed = static_cast<int64_t>(h.breaker_closed);
+    health->breaker_open = static_cast<int64_t>(h.breaker_open);
+    health->breaker_half_open = static_cast<int64_t>(h.breaker_half_open);
+    health->breaker_transitions =
+        static_cast<int64_t>(h.breaker_transitions);
+    health->inflight = static_cast<int64_t>(h.inflight);
+    health->max_inflight = static_cast<int64_t>(h.max_inflight);
+    health->shed_calls = static_cast<int64_t>(h.shed_calls);
+    health->ref_routed_calls = static_cast<int64_t>(h.ref_routed_calls);
+    health->retries = static_cast<int64_t>(h.retries);
+  });
+}
+
+extern "C" void iatf_set_kernel_verification(int on) {
+  iatf::Engine::default_engine().set_kernel_verification(on != 0);
+}
+
+extern "C" int iatf_get_kernel_verification(void) {
+  return iatf::Engine::default_engine().kernel_verification() ? 1 : 0;
+}
+
+extern "C" int64_t iatf_engine_self_test(void) {
+  const int rc = guarded(
+      [] { (void)iatf::Engine::default_engine().self_test(); });
+  if (rc != IATF_STATUS_OK) {
+    return -1;
+  }
+  return static_cast<int64_t>(
+      iatf::Engine::default_engine().health().quarantined_kernels);
+}
+
+extern "C" void iatf_set_max_inflight(int64_t max) {
+  iatf::Engine::default_engine().set_max_inflight(
+      max > 0 ? static_cast<std::size_t>(max) : 0);
+}
+
+extern "C" int64_t iatf_get_max_inflight(void) {
+  return static_cast<int64_t>(
+      iatf::Engine::default_engine().max_inflight());
+}
+
+extern "C" void iatf_set_overload_policy(iatf_overload_policy policy) {
+  iatf::Engine::default_engine().set_overload_policy(
+      static_cast<iatf::resilience::OverloadPolicy>(policy));
+}
+
+extern "C" iatf_overload_policy iatf_get_overload_policy(void) {
+  return static_cast<iatf_overload_policy>(
+      iatf::Engine::default_engine().overload_policy());
+}
+
+extern "C" void iatf_set_retry_policy(int max_attempts,
+                                      double base_delay_ms) {
+  iatf::resilience::RetryPolicy policy;
+  policy.max_attempts = max_attempts > 1 ? max_attempts : 1;
+  policy.base_delay =
+      base_delay_ms > 0
+          ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::duration<double, std::milli>(base_delay_ms))
+          : std::chrono::nanoseconds(0);
+  iatf::Engine::default_engine().set_retry_policy(policy);
+}
+
+extern "C" void iatf_set_breaker(int window, int threshold, int cooldown) {
+  iatf::resilience::BreakerConfig config;
+  config.window = window > 0 ? window : 0;
+  config.threshold = threshold > 0 ? threshold : 1;
+  config.cooldown = cooldown > 0 ? cooldown : 1;
+  iatf::Engine::default_engine().set_breaker_config(config);
 }
 
 extern "C" int iatf_set_plan_cache_capacity(int64_t capacity) {
@@ -277,7 +492,7 @@ IATF_DEFINE_BUFFER(z, iatf_zbuf, std::complex<double>, double)
 extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
                                   const iatf_sbuf* a, const iatf_sbuf* b,
                                   float beta, iatf_sbuf* c) {
-  return guarded_blas([&] {
+  return guarded_blas(gemm_detail('s', op_a, op_b, a, c), [&] {
     return iatf::compact_gemm<float>(to_op(op_a), to_op(op_b), alpha, a->buf,
                               b->buf, beta, c->buf);
   });
@@ -286,7 +501,7 @@ extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
 extern "C" int iatf_dgemm_compact(iatf_op op_a, iatf_op op_b, double alpha,
                                   const iatf_dbuf* a, const iatf_dbuf* b,
                                   double beta, iatf_dbuf* c) {
-  return guarded_blas([&] {
+  return guarded_blas(gemm_detail('d', op_a, op_b, a, c), [&] {
     return iatf::compact_gemm<double>(to_op(op_a), to_op(op_b), alpha, a->buf,
                                b->buf, beta, c->buf);
   });
@@ -297,7 +512,7 @@ extern "C" int iatf_cgemm_compact(iatf_op op_a, iatf_op op_b,
                                   const iatf_cbuf* a, const iatf_cbuf* b,
                                   float beta_re, float beta_im,
                                   iatf_cbuf* c) {
-  return guarded_blas([&] {
+  return guarded_blas(gemm_detail('c', op_a, op_b, a, c), [&] {
     return iatf::compact_gemm<std::complex<float>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
@@ -309,7 +524,7 @@ extern "C" int iatf_zgemm_compact(iatf_op op_a, iatf_op op_b,
                                   const iatf_zbuf* a, const iatf_zbuf* b,
                                   double beta_re, double beta_im,
                                   iatf_zbuf* c) {
-  return guarded_blas([&] {
+  return guarded_blas(gemm_detail('z', op_a, op_b, a, c), [&] {
     return iatf::compact_gemm<std::complex<double>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
@@ -320,7 +535,7 @@ extern "C" int iatf_strsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   float alpha, const iatf_sbuf* a,
                                   iatf_sbuf* b) {
-  return guarded_blas([&] {
+  return guarded_blas(trsm_detail('s', side, uplo, op_a, diag, b), [&] {
     return iatf::compact_trsm<float>(to_side(side), to_uplo(uplo), to_op(op_a),
                               to_diag(diag), alpha, a->buf, b->buf);
   });
@@ -330,7 +545,7 @@ extern "C" int iatf_dtrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   double alpha, const iatf_dbuf* a,
                                   iatf_dbuf* b) {
-  return guarded_blas([&] {
+  return guarded_blas(trsm_detail('d', side, uplo, op_a, diag, b), [&] {
     return iatf::compact_trsm<double>(to_side(side), to_uplo(uplo), to_op(op_a),
                                to_diag(diag), alpha, a->buf, b->buf);
   });
@@ -340,7 +555,7 @@ extern "C" int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   float alpha_re, float alpha_im,
                                   const iatf_cbuf* a, iatf_cbuf* b) {
-  return guarded_blas([&] {
+  return guarded_blas(trsm_detail('c', side, uplo, op_a, diag, b), [&] {
     return iatf::compact_trsm<std::complex<float>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
@@ -351,7 +566,7 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,
                                   double alpha_re, double alpha_im,
                                   const iatf_zbuf* a, iatf_zbuf* b) {
-  return guarded_blas([&] {
+  return guarded_blas(trsm_detail('z', side, uplo, op_a, diag, b), [&] {
     return iatf::compact_trsm<std::complex<double>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
@@ -364,7 +579,7 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
 #define IATF_DEFINE_GEMM_GROUPED(P, T, /*unpack scalars*/...)                       \
   extern "C" int iatf_##P##gemm_grouped(                                     \
       const iatf_##P##gemm_segment* segments, int64_t group_count) {         \
-    return guarded_grouped([&] {                                             \
+    return guarded_grouped(grouped_detail('g', *#P, group_count), [&] {      \
       IATF_CHECK(group_count >= 0 &&                                         \
                      (group_count == 0 || segments != nullptr),              \
                  "iatf_" #P "gemm_grouped: invalid segment array");          \
@@ -408,7 +623,7 @@ IATF_DEFINE_GEMM_GROUPED(z, std::complex<double>, {
 #define IATF_DEFINE_TRSM_GROUPED(P, T, /*unpack scalars*/...)                       \
   extern "C" int iatf_##P##trsm_grouped(                                     \
       const iatf_##P##trsm_segment* segments, int64_t group_count) {         \
-    return guarded_grouped([&] {                                             \
+    return guarded_grouped(grouped_detail('t', *#P, group_count), [&] {      \
       IATF_CHECK(group_count >= 0 &&                                         \
                      (group_count == 0 || segments != nullptr),              \
                  "iatf_" #P "trsm_grouped: invalid segment array");          \

@@ -1,6 +1,7 @@
 #include "iatf/common/fault_inject.hpp"
 
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -25,9 +26,25 @@ std::map<std::string, Site>& sites() {
   return s;
 }
 
+// Depth of nested SuppressionScopes on this thread. While positive, only
+// "resilience."-prefixed sites evaluate; everything else passes without
+// touching its schedule or hit count.
+thread_local int g_suppress_depth = 0;
+
+bool suppressed(const char* site) {
+  if (g_suppress_depth <= 0) {
+    return false;
+  }
+  constexpr char kPrefix[] = "resilience.";
+  return std::strncmp(site, kPrefix, sizeof(kPrefix) - 1) != 0;
+}
+
 } // namespace
 
 bool should_fail(const char* site) {
+  if (suppressed(site)) {
+    return false;
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
   auto it = sites().find(site);
   if (it == sites().end()) {
@@ -76,6 +93,12 @@ void stall_if_armed(const char* site, int ms) {
     std::this_thread::sleep_for(std::chrono::milliseconds(ms));
   }
 }
+
+SuppressionScope::SuppressionScope() noexcept {
+  ++detail::g_suppress_depth;
+}
+
+SuppressionScope::~SuppressionScope() { --detail::g_suppress_depth; }
 
 int hits(const char* site) {
   std::lock_guard<std::mutex> lock(detail::g_mutex);

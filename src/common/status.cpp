@@ -18,6 +18,8 @@ const char* to_string(Status status) noexcept {
     return "internal error";
   case Status::Timeout:
     return "deadline exceeded";
+  case Status::Overloaded:
+    return "overloaded";
   }
   return "unknown";
 }

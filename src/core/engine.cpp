@@ -4,6 +4,9 @@
 #include <complex>
 #include <cstdlib>
 #include <exception>
+#include <limits>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "iatf/common/error.hpp"
@@ -38,7 +41,9 @@ DegradeEvent classify_failure() {
     if (site_prefix(f.site(), "plan")) {
       return DegradeEvent::UnsupportedPlan;
     }
-    if (site_prefix(f.site(), "threadpool")) {
+    if (site_prefix(f.site(), "threadpool") ||
+        site_prefix(f.site(), "sched") ||
+        site_prefix(f.site(), "resilience")) {
       return DegradeEvent::WorkerFailure;
     }
     return DegradeEvent::AllocFailure;
@@ -162,6 +167,178 @@ std::size_t resolve_capacity(std::size_t requested) {
   return Engine::kDefaultPlanCacheCapacity;
 }
 
+/// Positive integer from the environment, or 0 when unset/malformed.
+long long env_positive(const char* name) {
+  if (const char* env = std::getenv(name)) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+/// Map a plan type back to its scalar type and SIMD width so the
+/// type-erased cache can attach engine-wide kernel identities.
+template <class Plan> struct plan_traits;
+template <class T, int B> struct plan_traits<plan::GemmPlan<T, B>> {
+  using value_type = T;
+  static constexpr int bytes = B;
+};
+template <class T, int B> struct plan_traits<plan::TrsmPlan<T, B>> {
+  using value_type = T;
+  static constexpr int bytes = B;
+};
+
+template <class Plan>
+std::vector<resilience::KernelId> kernel_ids_of(const Plan& plan) {
+  using Traits = plan_traits<Plan>;
+  std::vector<resilience::KernelId> ids;
+  ids.reserve(plan.kernels_used().size());
+  for (const resilience::KernelUse& use : plan.kernels_used()) {
+    ids.push_back(resilience::KernelId{
+        use.kind, dtype_tag<typename Traits::value_type>(), Traits::bytes,
+        use.m, use.n});
+  }
+  return ids;
+}
+
+/// Deterministic canary operand: small exact binary fractions, so the
+/// tiled kernels and the scalar reference agree to a few ulps and a
+/// mismatch means a broken kernel, not accumulated rounding.
+template <class T> T canary_value(int seed) {
+  const double re = ((seed % 11) - 5) * 0.0625;
+  if constexpr (is_complex_v<T>) {
+    const double im = (((seed / 3) % 7) - 3) * 0.125;
+    return T(static_cast<real_t<T>>(re), static_cast<real_t<T>>(im));
+  } else {
+    return static_cast<T>(re);
+  }
+}
+
+template <class T>
+void fill_canary(CompactBuffer<T>& buf, int salt) {
+  for (index_t b = 0; b < buf.batch(); ++b) {
+    for (index_t j = 0; j < buf.cols(); ++j) {
+      for (index_t i = 0; i < buf.rows(); ++i) {
+        buf.set(b, i, j,
+                canary_value<T>(static_cast<int>(salt + 13 * b + 7 * j +
+                                                 3 * i)));
+      }
+    }
+  }
+}
+
+/// Well-conditioned canary triangle: power-of-two diagonal (exact
+/// reciprocal) with small exact sub-diagonal entries.
+template <class T>
+void fill_canary_triangle(CompactBuffer<T>& buf, int salt) {
+  for (index_t b = 0; b < buf.batch(); ++b) {
+    for (index_t j = 0; j < buf.cols(); ++j) {
+      for (index_t i = 0; i < buf.rows(); ++i) {
+        if (i == j) {
+          buf.set(b, i, j, T(2));
+        } else {
+          buf.set(b, i, j,
+                  canary_value<T>(static_cast<int>(salt + 13 * b + 7 * j +
+                                                   3 * i)));
+        }
+      }
+    }
+  }
+}
+
+/// Lane-by-lane comparison of a computed buffer against the scalar
+/// reference result, ulp-scaled.
+template <class T>
+bool canary_lane_matches(const std::vector<T>& got,
+                         const std::vector<T>& want) {
+  using R = real_t<T>;
+  const R tol = std::numeric_limits<R>::epsilon() * R(512);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const R err = static_cast<R>(std::abs(got[i] - want[i]));
+    const R mag = static_cast<R>(std::abs(want[i]));
+    if (!(err <= tol * (R(1) + mag))) {
+      return false; // also catches NaN
+    }
+  }
+  return true;
+}
+
+/// Capped exponential backoff before a transient-failure retry; never
+/// sleeps past the call deadline.
+void backoff_sleep(std::chrono::nanoseconds delay,
+                   const Deadline* deadline) {
+  if (delay.count() <= 0) {
+    return;
+  }
+  if (deadline != nullptr) {
+    const auto left = deadline->at - std::chrono::steady_clock::now();
+    if (left <= std::chrono::nanoseconds::zero()) {
+      return;
+    }
+    delay = std::min(delay,
+                     std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         left));
+  }
+  std::this_thread::sleep_for(delay);
+}
+
+/// Rebuild a plan whose kernel set intersects the quarantine ledger with
+/// descending tile caps until the command queue avoids every quarantined
+/// kernel. When no cap combination helps, the plan is pre-marked
+/// Quarantined so dispatch ref-routes it without re-running canaries.
+template <class T, int Bytes>
+void substitute_quarantined(
+    std::unique_ptr<plan::GemmPlan<T, Bytes>>& plan, const GemmShape& shape,
+    const CacheInfo& cache, const plan::PlanTuning& tuning,
+    const resilience::KernelGuard& guard) {
+  if (!guard.any_quarantined(kernel_ids_of(*plan))) {
+    return;
+  }
+  using Limits = kernels::KernelLimits<T>;
+  for (index_t mc = Limits::gemm_max_mc; mc >= 1; --mc) {
+    for (index_t nc = Limits::gemm_max_nc; nc >= 1; --nc) {
+      plan::PlanTuning t = tuning;
+      t.mc_cap = mc;
+      t.nc_cap = nc;
+      auto candidate =
+          std::make_unique<plan::GemmPlan<T, Bytes>>(shape, cache, t);
+      if (!guard.any_quarantined(kernel_ids_of(*candidate))) {
+        plan = std::move(candidate);
+        return;
+      }
+    }
+  }
+  plan->set_verify_state(resilience::PlanVerify::Quarantined);
+}
+
+template <class T, int Bytes>
+void substitute_quarantined(
+    std::unique_ptr<plan::TrsmPlan<T, Bytes>>& plan, const TrsmShape& shape,
+    const CacheInfo& cache, const plan::PlanTuning& tuning,
+    const resilience::KernelGuard& guard) {
+  if (!guard.any_quarantined(kernel_ids_of(*plan))) {
+    return;
+  }
+  using Limits = kernels::KernelLimits<T>;
+  for (index_t mc = Limits::trsm_block; mc >= 1; --mc) {
+    for (index_t nc = Limits::tri_max_nc; nc >= 1; --nc) {
+      plan::PlanTuning t = tuning;
+      t.mc_cap = mc;
+      t.nc_cap = nc;
+      auto candidate =
+          std::make_unique<plan::TrsmPlan<T, Bytes>>(shape, cache, t);
+      if (!guard.any_quarantined(kernel_ids_of(*candidate))) {
+        plan = std::move(candidate);
+        return;
+      }
+    }
+  }
+  plan->set_verify_state(resilience::PlanVerify::Quarantined);
+}
+
 } // namespace
 
 Engine::Engine(CacheInfo cache, std::size_t plan_cache_capacity)
@@ -172,6 +349,21 @@ Engine::Engine(CacheInfo cache, std::size_t plan_cache_capacity)
   config->generation = 0;
   tuning_.store(std::shared_ptr<const TuningConfig>(std::move(config)),
                 std::memory_order_release);
+  // Serving-hardening knobs from the environment (DESIGN.md section 11).
+  if (const long long v = env_positive("IATF_MAX_INFLIGHT")) {
+    max_inflight_.store(static_cast<std::size_t>(v),
+                        std::memory_order_relaxed);
+  }
+  if (const long long w = env_positive("IATF_BREAKER_WINDOW")) {
+    resilience::BreakerConfig bc;
+    bc.window = static_cast<int>(w);
+    bc.threshold = std::max(1, static_cast<int>(w / 4));
+    bc.cooldown = static_cast<int>(2 * w);
+    breaker_.configure(bc);
+  }
+  if (const long long r = env_positive("IATF_RETRY_MAX")) {
+    retry_attempts_.store(static_cast<int>(r), std::memory_order_relaxed);
+  }
 }
 
 std::size_t Engine::PlanKeyHash::operator()(const PlanKey& k) const noexcept {
@@ -232,6 +424,7 @@ void Engine::evict_to_capacity(PlanMap& map, std::size_t cap) {
 
 void Engine::insert_plan(Shard& shard, const PlanKey& key,
                          std::shared_ptr<const void> plan, bool tuned,
+                         std::vector<resilience::KernelId> kernels,
                          std::uint64_t generation, std::uint64_t now) {
   std::lock_guard<std::mutex> lock(shard.mu);
   // The build resolved its tuning against the config of `generation`; if
@@ -248,6 +441,7 @@ void Engine::insert_plan(Shard& shard, const PlanKey& key,
   auto entry = std::make_shared<CacheEntry>();
   entry->plan = std::move(plan);
   entry->tuned = tuned;
+  entry->kernels = std::move(kernels);
   entry->last_used.store(now, std::memory_order_relaxed);
   (*next)[key] = std::move(entry);
   shard.snapshot.store(std::shared_ptr<const PlanMap>(std::move(next)),
@@ -313,19 +507,22 @@ std::shared_ptr<const Plan> Engine::lookup(const PlanKey& key, Make&& make) {
   // Single-flight leader: build outside every lock so joiners (and every
   // other shard) are never blocked behind plan construction.
   builds_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const Plan> typed;
   std::shared_ptr<const void> plan;
   bool tuned = false;
   std::uint64_t config_gen = 0;
   std::exception_ptr error;
   try {
-    plan = std::shared_ptr<const Plan>(make(&tuned, &config_gen));
+    typed = std::shared_ptr<const Plan>(make(&tuned, &config_gen));
+    plan = typed;
   } catch (...) {
     error = std::current_exception();
   }
 
   if (!error) {
     try {
-      insert_plan(shard, key, plan, tuned, config_gen, now);
+      insert_plan(shard, key, plan, tuned, kernel_ids_of(*typed),
+                  config_gen, now);
     } catch (...) {
       // Cache-insert failures (eviction fault, bad_alloc on the map copy)
       // must not fail the call: the plan is returned uncached.
@@ -354,8 +551,7 @@ std::shared_ptr<const Plan> Engine::lookup(const PlanKey& key, Make&& make) {
 }
 
 template <class T, int Bytes>
-std::shared_ptr<const plan::GemmPlan<T, Bytes>>
-Engine::plan_gemm(const GemmShape& shape) {
+Engine::PlanKey Engine::gemm_plan_key(const GemmShape& shape) {
   PlanKey key;
   key.op = 'g';
   key.dtype = dtype_tag<T>();
@@ -366,21 +562,11 @@ Engine::plan_gemm(const GemmShape& shape) {
   key.op_a = static_cast<std::uint8_t>(shape.op_a);
   key.op_b = static_cast<std::uint8_t>(shape.op_b);
   key.batch = shape.batch;
-  return lookup<plan::GemmPlan<T, Bytes>>(
-      key, [&](bool* tuned, std::uint64_t* config_gen) {
-        IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
-        fault::stall_if_armed("plan.stall");
-        const auto config = tuning_.load(std::memory_order_acquire);
-        *config_gen = config->generation;
-        const plan::PlanTuning tuning = resolve_tuning(
-            *config, tune::gemm_key<T, Bytes>(shape), tuned);
-        return new plan::GemmPlan<T, Bytes>(shape, cache_, tuning);
-      });
+  return key;
 }
 
 template <class T, int Bytes>
-std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
-Engine::plan_trsm(const TrsmShape& shape) {
+Engine::PlanKey Engine::trsm_plan_key(const TrsmShape& shape) {
   PlanKey key;
   key.op = 't';
   key.dtype = dtype_tag<T>();
@@ -392,15 +578,52 @@ Engine::plan_trsm(const TrsmShape& shape) {
   key.uplo = static_cast<std::uint8_t>(shape.uplo);
   key.diag = static_cast<std::uint8_t>(shape.diag);
   key.batch = shape.batch;
+  return key;
+}
+
+template <class T, int Bytes>
+std::shared_ptr<const plan::GemmPlan<T, Bytes>>
+Engine::plan_gemm(const GemmShape& shape) {
+  return lookup<plan::GemmPlan<T, Bytes>>(
+      gemm_plan_key<T, Bytes>(shape),
+      [&](bool* tuned, std::uint64_t* config_gen) {
+        IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
+        fault::stall_if_armed("plan.stall");
+        const auto config = tuning_.load(std::memory_order_acquire);
+        *config_gen = config->generation;
+        const plan::PlanTuning tuning = resolve_tuning(
+            *config, tune::gemm_key<T, Bytes>(shape), tuned);
+        auto plan = std::make_unique<plan::GemmPlan<T, Bytes>>(shape,
+                                                               cache_,
+                                                               tuning);
+        if (kernel_verification() && guard_.quarantined_count() > 0) {
+          substitute_quarantined<T, Bytes>(plan, shape, cache_, tuning,
+                                           guard_);
+        }
+        return plan.release();
+      });
+}
+
+template <class T, int Bytes>
+std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
+Engine::plan_trsm(const TrsmShape& shape) {
   return lookup<plan::TrsmPlan<T, Bytes>>(
-      key, [&](bool* tuned, std::uint64_t* config_gen) {
+      trsm_plan_key<T, Bytes>(shape),
+      [&](bool* tuned, std::uint64_t* config_gen) {
         IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
         fault::stall_if_armed("plan.stall");
         const auto config = tuning_.load(std::memory_order_acquire);
         *config_gen = config->generation;
         const plan::PlanTuning tuning = resolve_tuning(
             *config, tune::trsm_key<T, Bytes>(shape), tuned);
-        return new plan::TrsmPlan<T, Bytes>(shape, cache_, tuning);
+        auto plan = std::make_unique<plan::TrsmPlan<T, Bytes>>(shape,
+                                                               cache_,
+                                                               tuning);
+        if (kernel_verification() && guard_.quarantined_count() > 0) {
+          substitute_quarantined<T, Bytes>(plan, shape, cache_, tuning,
+                                           guard_);
+        }
+        return plan.release();
       });
 }
 
@@ -426,24 +649,80 @@ BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
     deadline = &deadline_at;
   }
 
+  // Admission gate: count the call in (and possibly shed / degrade it),
+  // then guarantee the slot is released on every exit path.
+  const Admit admitted = admit_call(deadline);
+  struct Release {
+    Engine* engine;
+    ~Release() { engine->release_call(); }
+  } release{this};
+  if (admitted == Admit::RefRoute) {
+    return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
+                                    DegradeEvent::Overloaded);
+  }
+
+  // Per-descriptor-class degradation breaker.
+  std::size_t slot = 0;
+  bool probe = false;
+  if (breaker_.enabled()) {
+    slot = PlanKeyHash{}(gemm_plan_key<T, Bytes>(shape));
+    switch (breaker_.admit(slot)) {
+    case resilience::BreakerDecision::RefRoute:
+      return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
+                                      DegradeEvent::BreakerOpen);
+    case resilience::BreakerDecision::Probe:
+      probe = true;
+      break;
+    case resilience::BreakerDecision::Allow:
+      break;
+    }
+    if (probe) {
+      try {
+        IATF_FAULT_POINT("resilience.probe", ::iatf::Status::Internal);
+      } catch (...) {
+        // A failed probe re-opens the slot; the call is still served.
+        breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+        return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
+                                        DegradeEvent::BreakerOpen);
+      }
+    }
+  }
+
   try {
+    BatchHealth health;
     if (policy == ExecPolicy::Fast) {
       auto plan = plan_gemm<T, Bytes>(shape);
-      if (pool != nullptr) {
-        plan->execute_parallel(a, b, c, alpha, beta, *pool, nullptr,
-                               deadline);
+      if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+        health = ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
+                                          DegradeEvent::QuarantinedKernel);
       } else {
-        plan->execute(a, b, c, alpha, beta, nullptr, deadline);
+        if (pool != nullptr) {
+          plan->execute_parallel(a, b, c, alpha, beta, *pool, nullptr,
+                                 deadline);
+        } else {
+          plan->execute(a, b, c, alpha, beta, nullptr, deadline);
+        }
+        health.batch = shape.batch;
       }
-      BatchHealth health;
-      health.batch = shape.batch;
-      return health;
+    } else {
+      health = guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy,
+                                      pool, deadline);
     }
-    return guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy, pool,
-                                  deadline);
+    if (breaker_.enabled()) {
+      breaker_.record(slot, health.events != DegradeEvent::None, probe);
+    }
+    return health;
   } catch (const Error& e) {
     if (e.status() == Status::Timeout) {
       timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (breaker_.enabled()) {
+      breaker_.record(slot, /*degraded=*/true, probe);
+    }
+    throw;
+  } catch (...) {
+    if (breaker_.enabled()) {
+      breaker_.record(slot, /*degraded=*/true, probe);
     }
     throw;
   }
@@ -468,33 +747,61 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
     snapshot.assign(c.data(), c.data() + c.size());
   }
 
+  // Transient-failure retry (Fallback only: a retry needs the snapshot).
+  const int max_attempts =
+      fallback ? std::max(1, retry_attempts_.load(std::memory_order_relaxed))
+               : 1;
+  std::chrono::nanoseconds delay(
+      retry_base_ns_.load(std::memory_order_relaxed));
+  const std::chrono::nanoseconds delay_cap = delay * 64;
+
   HealthRecorder rec(shape.batch);
-  try {
-    auto plan = plan_gemm<T, Bytes>(shape);
-    if (pool != nullptr) {
-      plan->execute_parallel(a, b, c, alpha, beta, *pool, &rec, deadline);
-    } else {
-      plan->execute(a, b, c, alpha, beta, &rec, deadline);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto plan = plan_gemm<T, Bytes>(shape);
+      if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+        // Quarantine is detected before execution, so C still holds the
+        // original values and the reference path applies beta directly.
+        return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
+                                        DegradeEvent::QuarantinedKernel);
+      }
+      if (pool != nullptr) {
+        plan->execute_parallel(a, b, c, alpha, beta, *pool, &rec, deadline);
+      } else {
+        plan->execute(a, b, c, alpha, beta, &rec, deadline);
+      }
+      break;
+    } catch (...) {
+      if (!fallback) {
+        throw; // Check: observe-only, failures still propagate
+      }
+      // rethrows InvalidArg and Timeout
+      const DegradeEvent event = classify_failure();
+      const bool transient = event == DegradeEvent::AllocFailure ||
+                             event == DegradeEvent::WorkerFailure;
+      if (transient && attempt < max_attempts &&
+          (deadline == nullptr || !deadline->expired())) {
+        std::copy(snapshot.begin(), snapshot.end(), c.data());
+        rec = HealthRecorder(shape.batch);
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff_sleep(delay, deadline);
+        delay = std::min(delay * 2, delay_cap);
+        continue;
+      }
+      validate_gemm_fallback(shape, a, b, c);
+      std::copy(snapshot.begin(), snapshot.end(), c.data());
+      for (index_t lane = 0; lane < shape.batch; ++lane) {
+        ref_gemm_lane(shape, alpha, a, b, beta, c, lane);
+      }
+      health.events |= event;
+      health.fallback = shape.batch;
+      health.first_fallback = shape.batch > 0 ? 0 : -1;
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(
+          static_cast<std::uint64_t>(health.fallback),
+          std::memory_order_relaxed);
+      return health;
     }
-  } catch (...) {
-    if (!fallback) {
-      throw; // Check: observe-only, failures still propagate
-    }
-    // rethrows InvalidArg and Timeout
-    const DegradeEvent event = classify_failure();
-    validate_gemm_fallback(shape, a, b, c);
-    std::copy(snapshot.begin(), snapshot.end(), c.data());
-    for (index_t lane = 0; lane < shape.batch; ++lane) {
-      ref_gemm_lane(shape, alpha, a, b, beta, c, lane);
-    }
-    health.events |= event;
-    health.fallback = shape.batch;
-    health.first_fallback = shape.batch > 0 ? 0 : -1;
-    degraded_calls_.fetch_add(1, std::memory_order_relaxed);
-    fallback_lanes_.fetch_add(
-        static_cast<std::uint64_t>(health.fallback),
-        std::memory_order_relaxed);
-    return health;
   }
 
   rec.fill(health);
@@ -545,23 +852,75 @@ BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
     deadline = &deadline_at;
   }
 
+  const Admit admitted = admit_call(deadline);
+  struct Release {
+    Engine* engine;
+    ~Release() { engine->release_call(); }
+  } release{this};
+  if (admitted == Admit::RefRoute) {
+    return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
+                                    DegradeEvent::Overloaded);
+  }
+
+  std::size_t slot = 0;
+  bool probe = false;
+  if (breaker_.enabled()) {
+    slot = PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape));
+    switch (breaker_.admit(slot)) {
+    case resilience::BreakerDecision::RefRoute:
+      return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
+                                      DegradeEvent::BreakerOpen);
+    case resilience::BreakerDecision::Probe:
+      probe = true;
+      break;
+    case resilience::BreakerDecision::Allow:
+      break;
+    }
+    if (probe) {
+      try {
+        IATF_FAULT_POINT("resilience.probe", ::iatf::Status::Internal);
+      } catch (...) {
+        breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+        return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
+                                        DegradeEvent::BreakerOpen);
+      }
+    }
+  }
+
   try {
+    BatchHealth health;
     if (policy == ExecPolicy::Fast) {
       auto plan = plan_trsm<T, Bytes>(shape);
-      if (pool != nullptr) {
-        plan->execute_parallel(a, b, alpha, *pool, nullptr, deadline);
+      if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+        health = ref_route_trsm<T, Bytes>(shape, alpha, a, b,
+                                          DegradeEvent::QuarantinedKernel);
       } else {
-        plan->execute(a, b, alpha, nullptr, deadline);
+        if (pool != nullptr) {
+          plan->execute_parallel(a, b, alpha, *pool, nullptr, deadline);
+        } else {
+          plan->execute(a, b, alpha, nullptr, deadline);
+        }
+        health.batch = shape.batch;
       }
-      BatchHealth health;
-      health.batch = shape.batch;
-      return health;
+    } else {
+      health = guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool,
+                                      deadline);
     }
-    return guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool,
-                                  deadline);
+    if (breaker_.enabled()) {
+      breaker_.record(slot, health.events != DegradeEvent::None, probe);
+    }
+    return health;
   } catch (const Error& e) {
     if (e.status() == Status::Timeout) {
       timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (breaker_.enabled()) {
+      breaker_.record(slot, /*degraded=*/true, probe);
+    }
+    throw;
+  } catch (...) {
+    if (breaker_.enabled()) {
+      breaker_.record(slot, /*degraded=*/true, probe);
     }
     throw;
   }
@@ -585,33 +944,60 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
     snapshot.assign(b.data(), b.data() + b.size());
   }
 
+  const int max_attempts =
+      fallback ? std::max(1, retry_attempts_.load(std::memory_order_relaxed))
+               : 1;
+  std::chrono::nanoseconds delay(
+      retry_base_ns_.load(std::memory_order_relaxed));
+  const std::chrono::nanoseconds delay_cap = delay * 64;
+
   HealthRecorder rec(shape.batch);
-  try {
-    auto plan = plan_trsm<T, Bytes>(shape);
-    if (pool != nullptr) {
-      plan->execute_parallel(a, b, alpha, *pool, &rec, deadline);
-    } else {
-      plan->execute(a, b, alpha, &rec, deadline);
+  for (int attempt = 1;; ++attempt) {
+    try {
+      auto plan = plan_trsm<T, Bytes>(shape);
+      if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+        // Quarantine is detected before execution: B still holds the
+        // original right-hand side.
+        return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
+                                        DegradeEvent::QuarantinedKernel);
+      }
+      if (pool != nullptr) {
+        plan->execute_parallel(a, b, alpha, *pool, &rec, deadline);
+      } else {
+        plan->execute(a, b, alpha, &rec, deadline);
+      }
+      break;
+    } catch (...) {
+      if (!fallback) {
+        throw; // Check: observe-only, failures still propagate
+      }
+      // rethrows InvalidArg and Timeout
+      const DegradeEvent event = classify_failure();
+      const bool transient = event == DegradeEvent::AllocFailure ||
+                             event == DegradeEvent::WorkerFailure;
+      if (transient && attempt < max_attempts &&
+          (deadline == nullptr || !deadline->expired())) {
+        std::copy(snapshot.begin(), snapshot.end(), b.data());
+        rec = HealthRecorder(shape.batch);
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff_sleep(delay, deadline);
+        delay = std::min(delay * 2, delay_cap);
+        continue;
+      }
+      validate_trsm_fallback(shape, a, b);
+      std::copy(snapshot.begin(), snapshot.end(), b.data());
+      for (index_t lane = 0; lane < shape.batch; ++lane) {
+        ref_trsm_lane(shape, alpha, a, b, lane);
+      }
+      health.events |= event;
+      health.fallback = shape.batch;
+      health.first_fallback = shape.batch > 0 ? 0 : -1;
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(
+          static_cast<std::uint64_t>(health.fallback),
+          std::memory_order_relaxed);
+      return health;
     }
-  } catch (...) {
-    if (!fallback) {
-      throw; // Check: observe-only, failures still propagate
-    }
-    // rethrows InvalidArg and Timeout
-    const DegradeEvent event = classify_failure();
-    validate_trsm_fallback(shape, a, b);
-    std::copy(snapshot.begin(), snapshot.end(), b.data());
-    for (index_t lane = 0; lane < shape.batch; ++lane) {
-      ref_trsm_lane(shape, alpha, a, b, lane);
-    }
-    health.events |= event;
-    health.fallback = shape.batch;
-    health.first_fallback = shape.batch > 0 ? 0 : -1;
-    degraded_calls_.fetch_add(1, std::memory_order_relaxed);
-    fallback_lanes_.fetch_add(
-        static_cast<std::uint64_t>(health.fallback),
-        std::memory_order_relaxed);
-    return health;
   }
 
   rec.fill(health);
@@ -700,25 +1086,44 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
     deadline = &deadline_at;
   }
 
-  try {
-    // One plan resolution per distinct descriptor; segments in the same
-    // size class share the shared_ptr, and single-flight collapses
-    // concurrent cold misses exactly as for the fixed-size path.
-    const std::vector<sched::SizeClass> classes =
-        sched::bin_by_descriptor(keys);
-    std::vector<std::shared_ptr<const plan::GemmPlan<T, Bytes>>> plans(
-        count);
-    for (const sched::SizeClass& cls : classes) {
-      auto plan = plan_gemm<T, Bytes>(shapes[cls.segments.front()]);
-      for (const std::size_t idx : cls.segments) {
-        plans[idx] = plan;
-      }
-    }
-    record_grouped_plans(classes.size());
+  const Admit admitted = admit_call(deadline);
+  struct Release {
+    Engine* engine;
+    ~Release() { engine->release_call(); }
+  } release{this};
 
+  // Serve one segment entirely on the scalar reference path.
+  const auto route_segment = [&](std::size_t i, DegradeEvent event) {
+    const sched::GemmSegment<T>& seg = segments[i];
+    validate_gemm_fallback(shapes[i], *seg.a, *seg.b, *seg.c);
+    for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+      ref_gemm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, seg.beta,
+                    *seg.c, lane);
+    }
+    healths[i].events |= event;
+    healths[i].fallback = shapes[i].batch;
+    healths[i].first_fallback = shapes[i].batch > 0 ? 0 : -1;
+  };
+
+  try {
     const bool guarded = policy != ExecPolicy::Fast;
     const bool fallback = policy == ExecPolicy::Fallback;
 
+    if (admitted == Admit::RefRoute) {
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        route_segment(i, DegradeEvent::Overloaded);
+        lanes += static_cast<std::uint64_t>(shapes[i].batch);
+      }
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+      return healths;
+    }
+
+    // Snapshots and recorders are captured BEFORE any binning/planning
+    // so the whole-call fallback below can restore even when the
+    // scheduler or the planner throws.
     std::vector<std::unique_ptr<HealthRecorder>> recs(count);
     std::vector<std::vector<R>> snapshots(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -731,13 +1136,98 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
       }
     }
 
+    std::vector<std::shared_ptr<const plan::GemmPlan<T, Bytes>>> plans(
+        count);
+    // Per-descriptor-class degradation routing: BreakerOpen or
+    // QuarantinedKernel sends just that class to the reference path while
+    // the other classes keep their fast path.
+    std::vector<DegradeEvent> routed(count, DegradeEvent::None);
+    struct ClassGate {
+      std::size_t slot = 0;
+      bool probe = false;
+      std::vector<std::size_t> segs;
+    };
+    std::vector<ClassGate> gates;
+
     try {
+      // One plan resolution per distinct descriptor; segments in the same
+      // size class share the shared_ptr, and single-flight collapses
+      // concurrent cold misses exactly as for the fixed-size path.
+      const std::vector<sched::SizeClass> classes =
+          sched::bin_by_descriptor(keys);
+      for (const sched::SizeClass& cls : classes) {
+        const GemmShape& cshape = shapes[cls.segments.front()];
+        std::size_t slot = 0;
+        bool probe = false;
+        bool route = false;
+        if (breaker_.enabled()) {
+          slot = PlanKeyHash{}(gemm_plan_key<T, Bytes>(cshape));
+          switch (breaker_.admit(slot)) {
+          case resilience::BreakerDecision::RefRoute:
+            route = true;
+            break;
+          case resilience::BreakerDecision::Probe:
+            probe = true;
+            try {
+              IATF_FAULT_POINT("resilience.probe",
+                               ::iatf::Status::Internal);
+            } catch (...) {
+              breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+              probe = false;
+              route = true;
+            }
+            break;
+          case resilience::BreakerDecision::Allow:
+            break;
+          }
+        }
+        if (route) {
+          for (const std::size_t idx : cls.segments) {
+            routed[idx] = DegradeEvent::BreakerOpen;
+          }
+          continue;
+        }
+        auto plan = plan_gemm<T, Bytes>(cshape);
+        if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+          for (const std::size_t idx : cls.segments) {
+            routed[idx] = DegradeEvent::QuarantinedKernel;
+          }
+          if (breaker_.enabled()) {
+            breaker_.record(slot, /*degraded=*/true, probe);
+          }
+          continue;
+        }
+        for (const std::size_t idx : cls.segments) {
+          plans[idx] = plan;
+        }
+        gates.push_back(ClassGate{slot, probe, cls.segments});
+      }
+      record_grouped_plans(classes.size());
+
+      // Ref-route the degraded classes up front; they are independent of
+      // the fast-path segments below.
+      std::uint64_t route_lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (routed[i] != DegradeEvent::None) {
+          route_segment(i, routed[i]);
+          route_lanes += static_cast<std::uint64_t>(shapes[i].batch);
+        }
+      }
+      if (route_lanes > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(route_lanes, std::memory_order_relaxed);
+        ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+      }
+
       if (pool != nullptr) {
         // Interleave per-segment batch-slice work items round-robin
         // across segments so the pool alternates between size classes.
         const index_t grain_env = tune::env_group_grain();
         std::vector<sched::SegmentExtent> extents(count);
         for (std::size_t i = 0; i < count; ++i) {
+          if (routed[i] != DegradeEvent::None) {
+            continue; // already served on the reference path
+          }
           extents[i].groups = segments[i].c->groups();
           const index_t tuned =
               grain_env > 0 ? grain_env : plans[i]->chunk_groups();
@@ -770,6 +1260,9 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
             /*grain=*/1, deadline);
       } else {
         for (std::size_t i = 0; i < count; ++i) {
+          if (routed[i] != DegradeEvent::None) {
+            continue;
+          }
           const sched::GemmSegment<T>& seg = segments[i];
           plans[i]->execute(*seg.a, *seg.b, *seg.c, seg.alpha, seg.beta,
                             guarded ? recs[i].get() : nullptr, deadline);
@@ -777,6 +1270,9 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
       }
     } catch (...) {
       if (!fallback) {
+        for (const ClassGate& gate : gates) {
+          breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+        }
         throw; // Fast/Check: failures still propagate
       }
       // rethrows InvalidArg and Timeout
@@ -803,12 +1299,18 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
       }
       degraded_calls_.fetch_add(1, std::memory_order_relaxed);
       fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      for (const ClassGate& gate : gates) {
+        breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+      }
       return healths;
     }
 
     if (guarded) {
       std::uint64_t lanes = 0;
       for (std::size_t i = 0; i < count; ++i) {
+        if (routed[i] != DegradeEvent::None) {
+          continue; // reference results; nothing to scan or repair
+        }
         recs[i]->fill(healths[i]);
         if (healths[i].nonfinite == 0) {
           continue;
@@ -836,6 +1338,13 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
         degraded_calls_.fetch_add(1, std::memory_order_relaxed);
         fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
       }
+    }
+    for (const ClassGate& gate : gates) {
+      bool degraded = false;
+      for (const std::size_t idx : gate.segs) {
+        degraded = degraded || healths[idx].events != DegradeEvent::None;
+      }
+      breaker_.record(gate.slot, degraded, gate.probe);
     }
     return healths;
   } catch (const Error& e) {
@@ -893,22 +1402,42 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
     deadline = &deadline_at;
   }
 
-  try {
-    const std::vector<sched::SizeClass> classes =
-        sched::bin_by_descriptor(keys);
-    std::vector<std::shared_ptr<const plan::TrsmPlan<T, Bytes>>> plans(
-        count);
-    for (const sched::SizeClass& cls : classes) {
-      auto plan = plan_trsm<T, Bytes>(shapes[cls.segments.front()]);
-      for (const std::size_t idx : cls.segments) {
-        plans[idx] = plan;
-      }
-    }
-    record_grouped_plans(classes.size());
+  const Admit admitted = admit_call(deadline);
+  struct Release {
+    Engine* engine;
+    ~Release() { engine->release_call(); }
+  } release{this};
 
+  const auto route_segment = [&](std::size_t i, DegradeEvent event) {
+    const sched::TrsmSegment<T>& seg = segments[i];
+    validate_trsm_fallback(shapes[i], *seg.a, *seg.b);
+    for (index_t lane = 0; lane < shapes[i].batch; ++lane) {
+      ref_trsm_lane(shapes[i], seg.alpha, *seg.a, *seg.b, lane);
+    }
+    healths[i].events |= event;
+    healths[i].fallback = shapes[i].batch;
+    healths[i].first_fallback = shapes[i].batch > 0 ? 0 : -1;
+  };
+
+  try {
     const bool guarded = policy != ExecPolicy::Fast;
     const bool fallback = policy == ExecPolicy::Fallback;
 
+    if (admitted == Admit::RefRoute) {
+      std::uint64_t lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        route_segment(i, DegradeEvent::Overloaded);
+        lanes += static_cast<std::uint64_t>(shapes[i].batch);
+      }
+      degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+      fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+      return healths;
+    }
+
+    // Snapshots and recorders are captured BEFORE any binning/planning
+    // so the whole-call fallback below can restore even when the
+    // scheduler or the planner throws.
     std::vector<std::unique_ptr<HealthRecorder>> recs(count);
     std::vector<std::vector<R>> snapshots(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -921,11 +1450,88 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
       }
     }
 
+    std::vector<std::shared_ptr<const plan::TrsmPlan<T, Bytes>>> plans(
+        count);
+    std::vector<DegradeEvent> routed(count, DegradeEvent::None);
+    struct ClassGate {
+      std::size_t slot = 0;
+      bool probe = false;
+      std::vector<std::size_t> segs;
+    };
+    std::vector<ClassGate> gates;
+
     try {
+      const std::vector<sched::SizeClass> classes =
+          sched::bin_by_descriptor(keys);
+      for (const sched::SizeClass& cls : classes) {
+        const TrsmShape& cshape = shapes[cls.segments.front()];
+        std::size_t slot = 0;
+        bool probe = false;
+        bool route = false;
+        if (breaker_.enabled()) {
+          slot = PlanKeyHash{}(trsm_plan_key<T, Bytes>(cshape));
+          switch (breaker_.admit(slot)) {
+          case resilience::BreakerDecision::RefRoute:
+            route = true;
+            break;
+          case resilience::BreakerDecision::Probe:
+            probe = true;
+            try {
+              IATF_FAULT_POINT("resilience.probe",
+                               ::iatf::Status::Internal);
+            } catch (...) {
+              breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+              probe = false;
+              route = true;
+            }
+            break;
+          case resilience::BreakerDecision::Allow:
+            break;
+          }
+        }
+        if (route) {
+          for (const std::size_t idx : cls.segments) {
+            routed[idx] = DegradeEvent::BreakerOpen;
+          }
+          continue;
+        }
+        auto plan = plan_trsm<T, Bytes>(cshape);
+        if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
+          for (const std::size_t idx : cls.segments) {
+            routed[idx] = DegradeEvent::QuarantinedKernel;
+          }
+          if (breaker_.enabled()) {
+            breaker_.record(slot, /*degraded=*/true, probe);
+          }
+          continue;
+        }
+        for (const std::size_t idx : cls.segments) {
+          plans[idx] = plan;
+        }
+        gates.push_back(ClassGate{slot, probe, cls.segments});
+      }
+      record_grouped_plans(classes.size());
+
+      std::uint64_t route_lanes = 0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (routed[i] != DegradeEvent::None) {
+          route_segment(i, routed[i]);
+          route_lanes += static_cast<std::uint64_t>(shapes[i].batch);
+        }
+      }
+      if (route_lanes > 0) {
+        degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+        fallback_lanes_.fetch_add(route_lanes, std::memory_order_relaxed);
+        ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+      }
+
       if (pool != nullptr) {
         const index_t grain_env = tune::env_group_grain();
         std::vector<sched::SegmentExtent> extents(count);
         for (std::size_t i = 0; i < count; ++i) {
+          if (routed[i] != DegradeEvent::None) {
+            continue;
+          }
           extents[i].groups = segments[i].b->groups();
           const index_t tuned =
               grain_env > 0 ? grain_env : plans[i]->chunk_groups();
@@ -954,6 +1560,9 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
             /*grain=*/1, deadline);
       } else {
         for (std::size_t i = 0; i < count; ++i) {
+          if (routed[i] != DegradeEvent::None) {
+            continue;
+          }
           const sched::TrsmSegment<T>& seg = segments[i];
           plans[i]->execute(*seg.a, *seg.b, seg.alpha,
                             guarded ? recs[i].get() : nullptr, deadline);
@@ -961,6 +1570,9 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
       }
     } catch (...) {
       if (!fallback) {
+        for (const ClassGate& gate : gates) {
+          breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+        }
         throw; // Fast/Check: failures still propagate
       }
       // rethrows InvalidArg and Timeout
@@ -983,12 +1595,18 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
       }
       degraded_calls_.fetch_add(1, std::memory_order_relaxed);
       fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+      for (const ClassGate& gate : gates) {
+        breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+      }
       return healths;
     }
 
     if (guarded) {
       std::uint64_t lanes = 0;
       for (std::size_t i = 0; i < count; ++i) {
+        if (routed[i] != DegradeEvent::None) {
+          continue; // reference results; nothing to scan or repair
+        }
         recs[i]->fill(healths[i]);
         if (healths[i].nonfinite == 0 && healths[i].singular == 0) {
           continue;
@@ -1015,6 +1633,13 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
         degraded_calls_.fetch_add(1, std::memory_order_relaxed);
         fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
       }
+    }
+    for (const ClassGate& gate : gates) {
+      bool degraded = false;
+      for (const std::size_t idx : gate.segs) {
+        degraded = degraded || healths[idx].events != DegradeEvent::None;
+      }
+      breaker_.record(gate.slot, degraded, gate.probe);
     }
     return healths;
   } catch (const Error& e) {
@@ -1153,7 +1778,437 @@ EngineStats Engine::stats() const {
     s.distinct_plans_per_call[i] = static_cast<std::size_t>(
         grouped_plan_hist_[i].load(std::memory_order_relaxed));
   }
+  s.shed_calls = static_cast<std::size_t>(
+      shed_calls_.load(std::memory_order_relaxed));
+  s.ref_routed_calls = static_cast<std::size_t>(
+      ref_routed_calls_.load(std::memory_order_relaxed));
+  s.retries =
+      static_cast<std::size_t>(retries_.load(std::memory_order_relaxed));
+  s.verified_kernels = guard_.verified_count();
+  s.quarantined_kernels = guard_.quarantined_count();
+  s.breaker_transitions = breaker_.summary().transitions;
   return s;
+}
+
+void Engine::reset_stats() {
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  builds_.store(0, std::memory_order_relaxed);
+  tuned_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  degraded_calls_.store(0, std::memory_order_relaxed);
+  fallback_lanes_.store(0, std::memory_order_relaxed);
+  timeout_calls_.store(0, std::memory_order_relaxed);
+  grouped_calls_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : grouped_plan_hist_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  shed_calls_.store(0, std::memory_order_relaxed);
+  ref_routed_calls_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+}
+
+EngineHealth Engine::health() const {
+  EngineHealth h;
+  h.verified_kernels = guard_.verified_count();
+  h.quarantined_kernels = guard_.quarantined_count();
+  const resilience::CircuitBreaker::Summary s = breaker_.summary();
+  h.breaker_closed = s.closed;
+  h.breaker_open = s.open;
+  h.breaker_half_open = s.half_open;
+  h.breaker_transitions = s.transitions;
+  h.inflight = inflight_.load(std::memory_order_relaxed);
+  h.max_inflight = max_inflight_.load(std::memory_order_relaxed);
+  h.shed_calls = static_cast<std::size_t>(
+      shed_calls_.load(std::memory_order_relaxed));
+  h.ref_routed_calls = static_cast<std::size_t>(
+      ref_routed_calls_.load(std::memory_order_relaxed));
+  h.retries =
+      static_cast<std::size_t>(retries_.load(std::memory_order_relaxed));
+  return h;
+}
+
+Engine::Admit Engine::admit_call(const Deadline* deadline) {
+  const auto try_acquire = [this]() -> bool {
+    const std::size_t max = max_inflight_.load(std::memory_order_relaxed);
+    std::size_t cur = inflight_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (max != 0 && cur >= max) {
+        return false;
+      }
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  };
+  if (try_acquire()) {
+    return Admit::Run;
+  }
+  switch (overload_policy()) {
+  case resilience::OverloadPolicy::ShedNewest:
+    // The call never enters the engine: no inflight slot is taken, so
+    // the caller must NOT pair this with release_call(). Engine::gemm
+    // et al. construct their Release guard only after admit_call
+    // returns, which gives exactly that pairing.
+    shed_calls_.fetch_add(1, std::memory_order_relaxed);
+    throw OverloadError(inflight_.load(std::memory_order_relaxed),
+                        max_inflight_.load(std::memory_order_relaxed));
+  case resilience::OverloadPolicy::DegradeToRef:
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    return Admit::RefRoute;
+  case resilience::OverloadPolicy::Block:
+    break;
+  }
+  std::unique_lock<std::mutex> lock(admit_mu_);
+  for (;;) {
+    if (try_acquire()) {
+      return Admit::Run;
+    }
+    if (deadline != nullptr) {
+      if (deadline->expired() ||
+          admit_cv_.wait_until(lock, deadline->at) ==
+              std::cv_status::timeout) {
+        if (try_acquire()) {
+          return Admit::Run;
+        }
+        // Counted here: the caller's Timeout accounting lives inside
+        // its try block, which the call never reached.
+        timeout_calls_.fetch_add(1, std::memory_order_relaxed);
+        throw TimeoutError(0, 1);
+      }
+    } else {
+      // Bounded wait instead of a bare wait(): a release_call or
+      // set_max_inflight racing the predicate check can then delay the
+      // re-check by at most one tick, never deadlock it.
+      admit_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+}
+
+void Engine::release_call() noexcept {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  if (max_inflight_.load(std::memory_order_relaxed) != 0) {
+    // Empty critical section orders the decrement before any blocked
+    // admitter's predicate re-check (classic lost-wakeup guard).
+    { std::lock_guard<std::mutex> lock(admit_mu_); }
+    admit_cv_.notify_one();
+  }
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::ref_route_gemm(const GemmShape& shape, T alpha,
+                                   const CompactBuffer<T>& a,
+                                   const CompactBuffer<T>& b, T beta,
+                                   CompactBuffer<T>& c, DegradeEvent event) {
+  validate_gemm_fallback(shape, a, b, c);
+  BatchHealth health;
+  health.batch = shape.batch;
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    ref_gemm_lane(shape, alpha, a, b, beta, c, lane);
+  }
+  health.events |= event;
+  health.fallback = shape.batch;
+  health.first_fallback = shape.batch > 0 ? 0 : -1;
+  degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+  fallback_lanes_.fetch_add(static_cast<std::uint64_t>(shape.batch),
+                            std::memory_order_relaxed);
+  ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+  return health;
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::ref_route_trsm(const TrsmShape& shape, T alpha,
+                                   const CompactBuffer<T>& a,
+                                   CompactBuffer<T>& b, DegradeEvent event) {
+  validate_trsm_fallback(shape, a, b);
+  BatchHealth health;
+  health.batch = shape.batch;
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    ref_trsm_lane(shape, alpha, a, b, lane);
+  }
+  health.events |= event;
+  health.fallback = shape.batch;
+  health.first_fallback = shape.batch > 0 ? 0 : -1;
+  degraded_calls_.fetch_add(1, std::memory_order_relaxed);
+  fallback_lanes_.fetch_add(static_cast<std::uint64_t>(shape.batch),
+                            std::memory_order_relaxed);
+  ref_routed_calls_.fetch_add(1, std::memory_order_relaxed);
+  return health;
+}
+
+template <class T, int Bytes, class Plan>
+bool Engine::ensure_verified(const Plan& plan) {
+  switch (plan.verify_state()) {
+  case resilience::PlanVerify::Verified:
+    return true;
+  case resilience::PlanVerify::Quarantined:
+    return false;
+  case resilience::PlanVerify::Untested:
+    break;
+  }
+  // First dispatch of this plan object: canary every still-untested
+  // kernel it references. Concurrent first dispatches may both run the
+  // same canary; the ledger transitions are idempotent, so the race only
+  // costs a duplicate micro-canary, never an inconsistent verdict.
+  bool ok = true;
+  for (const resilience::KernelUse& use : plan.kernels_used()) {
+    const resilience::KernelId id{use.kind, dtype_tag<T>(), Bytes, use.m,
+                                  use.n};
+    switch (guard_.state(id)) {
+    case resilience::KernelState::Verified:
+      continue;
+    case resilience::KernelState::Quarantined:
+      ok = false;
+      continue;
+    case resilience::KernelState::Untested:
+      break;
+    }
+    if (verify_kernel<T, Bytes>(use)) {
+      guard_.mark_verified(id);
+    } else {
+      guard_.mark_quarantined(id);
+      ok = false;
+    }
+  }
+  plan.set_verify_state(ok ? resilience::PlanVerify::Verified
+                           : resilience::PlanVerify::Quarantined);
+  if (!ok) {
+    invalidate_quarantined_plans();
+  }
+  return ok;
+}
+
+template <class T, int Bytes>
+bool Engine::verify_kernel(const resilience::KernelUse& use) {
+  try {
+    // The verification itself is a fault site (tests quarantine a chosen
+    // kernel by arming it). Everything below runs with unrelated
+    // injection suppressed: an armed "alloc" fault meant for the call
+    // under test must be neither consumed by the canary nor allowed to
+    // quarantine a good kernel.
+    IATF_FAULT_POINT("resilience.verify", ::iatf::Status::Internal);
+    fault::SuppressionScope suppress;
+    switch (use.kind) {
+    case 'g':
+      return run_gemm_canary<T, Bytes>(use);
+    case 't':
+    case 'r':
+      return run_trsm_canary<T, Bytes>(use);
+    default:
+      return true;
+    }
+  } catch (...) {
+    return false; // a throwing kernel is as quarantined as a wrong one
+  }
+}
+
+template <class T, int Bytes>
+bool Engine::run_gemm_canary(const resilience::KernelUse& use) {
+  using PlanT = plan::GemmPlan<T, Bytes>;
+  GemmShape shape;
+  shape.m = use.m;
+  shape.n = use.n;
+  shape.k = 3;
+  shape.op_a = Op::NoTrans;
+  shape.op_b = Op::NoTrans;
+  shape.batch = PlanT::pack_width();
+  // Built directly, not through the cache: canaries leave the hit/miss/
+  // build counters untouched. Default tuning on an (m, n) within the
+  // register-budget caps yields exactly one tile -- the kernel under
+  // test, alone.
+  const PlanT plan(shape, cache_, plan::PlanTuning{});
+  const index_t pw = PlanT::pack_width();
+  CompactBuffer<T> a(shape.m, shape.k, shape.batch, pw);
+  CompactBuffer<T> b(shape.k, shape.n, shape.batch, pw);
+  CompactBuffer<T> c(shape.m, shape.n, shape.batch, pw);
+  fill_canary(a, 1);
+  fill_canary(b, 2);
+  fill_canary(c, 3);
+  const index_t lda = std::max<index_t>(a.rows(), 1);
+  const index_t ldb = std::max<index_t>(b.rows(), 1);
+  const index_t ldc = std::max<index_t>(c.rows(), 1);
+  // Pre-call C per lane, for the beta term of the reference result.
+  std::vector<std::vector<T>> c0(static_cast<std::size_t>(shape.batch));
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    auto& lane0 = c0[static_cast<std::size_t>(lane)];
+    lane0.resize(static_cast<std::size_t>(c.rows() * c.cols()));
+    c.export_colmajor(lane, lane0.data(), ldc);
+  }
+  const T alpha = T(0.5);
+  const T beta = T(0.25);
+  plan.execute(a, b, c, alpha, beta, nullptr, nullptr);
+
+  std::vector<T> ta(static_cast<std::size_t>(a.rows() * a.cols()));
+  std::vector<T> tb(static_cast<std::size_t>(b.rows() * b.cols()));
+  std::vector<T> got(static_cast<std::size_t>(c.rows() * c.cols()));
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    a.export_colmajor(lane, ta.data(), lda);
+    b.export_colmajor(lane, tb.data(), ldb);
+    c.export_colmajor(lane, got.data(), ldc);
+    std::vector<T>& want = c0[static_cast<std::size_t>(lane)];
+    ref::gemm(Op::NoTrans, Op::NoTrans, shape.m, shape.n, shape.k, alpha,
+              ta.data(), lda, tb.data(), ldb, beta, want.data(), ldc);
+    if (!canary_lane_matches(got, want)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <class T, int Bytes>
+bool Engine::run_trsm_canary(const resilience::KernelUse& use) {
+  using PlanT = plan::TrsmPlan<T, Bytes>;
+  // Attribution guard for rect kernels: the blocked canary below
+  // exercises tri(m, n) too, so a broken tri partner would condemn an
+  // innocent rect. Canary the tri first; if IT is broken, report the
+  // rect as passing -- every plan dispatching rect(m, n) also dispatches
+  // tri(m, n), whose own quarantine already taints the plan.
+  if (use.kind == 'r' &&
+      !run_trsm_canary<T, Bytes>(resilience::KernelUse{'t', use.m, use.n})) {
+    return true;
+  }
+  TrsmShape shape;
+  shape.side = Side::Left;
+  shape.uplo = Uplo::Lower;
+  shape.op_a = Op::NoTrans;
+  shape.diag = Diag::NonUnit;
+  shape.n = use.n;
+  plan::PlanTuning tuning;
+  if (use.kind == 'r') {
+    // Two block rows of the rect's row size: the plan solves
+    // tri(m, n) on the diagonal block and updates the second block row
+    // through rect(m, n).
+    shape.m = 2 * use.m;
+    tuning.mc_cap = use.m;
+    tuning.nc_cap = use.n;
+  } else {
+    shape.m = use.m; // small path: one triangular kernel, no blocking
+  }
+  shape.batch = PlanT::pack_width();
+  const PlanT plan(shape, cache_, tuning);
+  const index_t pw = PlanT::pack_width();
+  CompactBuffer<T> a(shape.a_dim(), shape.a_dim(), shape.batch, pw);
+  CompactBuffer<T> b(shape.m, shape.n, shape.batch, pw);
+  fill_canary_triangle(a, 4);
+  fill_canary(b, 5);
+  const index_t lda = std::max<index_t>(a.rows(), 1);
+  const index_t ldb = std::max<index_t>(b.rows(), 1);
+  // Original right-hand side per lane; the plan solves in place.
+  std::vector<std::vector<T>> b0(static_cast<std::size_t>(shape.batch));
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    auto& lane0 = b0[static_cast<std::size_t>(lane)];
+    lane0.resize(static_cast<std::size_t>(b.rows() * b.cols()));
+    b.export_colmajor(lane, lane0.data(), ldb);
+  }
+  const T alpha = T(0.5);
+  plan.execute(a, b, alpha, nullptr, nullptr);
+
+  std::vector<T> ta(static_cast<std::size_t>(a.rows() * a.cols()));
+  std::vector<T> got(static_cast<std::size_t>(b.rows() * b.cols()));
+  for (index_t lane = 0; lane < shape.batch; ++lane) {
+    a.export_colmajor(lane, ta.data(), lda);
+    b.export_colmajor(lane, got.data(), ldb);
+    std::vector<T>& want = b0[static_cast<std::size_t>(lane)];
+    ref::trsm(shape.side, shape.uplo, shape.op_a, shape.diag, shape.m,
+              shape.n, alpha, ta.data(), lda, want.data(), ldb);
+    if (!canary_lane_matches(got, want)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::invalidate_quarantined_plans() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto old = shard.snapshot.load(std::memory_order_acquire);
+    if (!old) {
+      continue;
+    }
+    bool dirty = false;
+    auto next = std::make_shared<PlanMap>();
+    next->reserve(old->size());
+    for (const auto& [key, entry] : *old) {
+      if (guard_.any_quarantined(entry->kernels)) {
+        dirty = true;
+        continue; // drop: rebuilt via single-flight on the next miss
+      }
+      (*next)[key] = entry;
+    }
+    if (dirty) {
+      shard.snapshot.store(std::shared_ptr<const PlanMap>(std::move(next)),
+                           std::memory_order_release);
+    }
+  }
+}
+
+template <class T, int Bytes>
+std::size_t Engine::self_test_type() {
+  using Limits = kernels::KernelLimits<T>;
+  std::size_t quarantined = 0;
+  const auto check = [&](char kind, int m, int n) {
+    const resilience::KernelId id{kind, dtype_tag<T>(), Bytes, m, n};
+    switch (guard_.state(id)) {
+    case resilience::KernelState::Quarantined:
+      ++quarantined;
+      return;
+    case resilience::KernelState::Verified:
+      return;
+    case resilience::KernelState::Untested:
+      break;
+    }
+    if (verify_kernel<T, Bytes>(resilience::KernelUse{kind, m, n})) {
+      guard_.mark_verified(id);
+    } else {
+      guard_.mark_quarantined(id);
+      ++quarantined;
+    }
+  };
+  for (int m = 1; m <= Limits::gemm_max_mc; ++m) {
+    for (int n = 1; n <= Limits::gemm_max_nc; ++n) {
+      check('g', m, n);
+    }
+  }
+  for (int m = 1; m <= Limits::tri_max_m; ++m) {
+    for (int n = 1; n <= Limits::tri_max_nc; ++n) {
+      check('t', m, n);
+    }
+  }
+  for (int m = 1; m <= Limits::rect_max_mc; ++m) {
+    for (int n = 1; n <= Limits::rect_max_nc; ++n) {
+      check('r', m, n);
+    }
+  }
+  return quarantined;
+}
+
+std::size_t Engine::self_test() {
+  std::size_t quarantined = 0;
+  quarantined += self_test_type<float, 16>();
+  quarantined += self_test_type<double, 16>();
+  quarantined += self_test_type<std::complex<float>, 16>();
+  quarantined += self_test_type<std::complex<double>, 16>();
+  quarantined += self_test_type<float, 32>();
+  quarantined += self_test_type<double, 32>();
+  quarantined += self_test_type<std::complex<float>, 32>();
+  quarantined += self_test_type<std::complex<double>, 32>();
+  if (quarantined > 0) {
+    invalidate_quarantined_plans();
+  }
+  return quarantined;
+}
+
+template <class T, int Bytes>
+resilience::BreakerState
+Engine::gemm_breaker_state(const GemmShape& shape) const {
+  return breaker_.slot_state(PlanKeyHash{}(gemm_plan_key<T, Bytes>(shape)));
+}
+
+template <class T, int Bytes>
+resilience::BreakerState
+Engine::trsm_breaker_state(const TrsmShape& shape) const {
+  return breaker_.slot_state(PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape)));
 }
 
 Engine& Engine::default_engine() {
@@ -1180,7 +2235,11 @@ Engine& Engine::default_engine() {
   template std::vector<BatchHealth> Engine::gemm_grouped<T, Bytes>(         \
       std::span<const sched::GemmSegment<T>>);                              \
   template std::vector<BatchHealth> Engine::trsm_grouped<T, Bytes>(         \
-      std::span<const sched::TrsmSegment<T>>);
+      std::span<const sched::TrsmSegment<T>>);                              \
+  template resilience::BreakerState Engine::gemm_breaker_state<T, Bytes>(   \
+      const GemmShape&) const;                                              \
+  template resilience::BreakerState Engine::trsm_breaker_state<T, Bytes>(   \
+      const TrsmShape&) const;
 
 IATF_INSTANTIATE_ENGINE(float, 16)
 IATF_INSTANTIATE_ENGINE(double, 16)

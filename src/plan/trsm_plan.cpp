@@ -32,12 +32,26 @@ void scale_compact(real_t<T>* data, index_t elems, index_t es, T alpha) {
   }
 }
 
+/// Record a distinct registry-kernel reference (the sets are tiny: at
+/// most cap/remainder per dimension, so linear dedup is fine).
+inline void note_kernel(std::vector<resilience::KernelUse>& used,
+                        char kind, index_t m, index_t n) {
+  const resilience::KernelUse use{kind, static_cast<int>(m),
+                                  static_cast<int>(n)};
+  for (const resilience::KernelUse& e : used) {
+    if (e == use) {
+      return;
+    }
+  }
+  used.push_back(use);
+}
+
 } // namespace
 
 template <class T, int Bytes>
 TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
                              const PlanTuning& tuning)
-    : shape_(shape), canon_(pack::TrsmCanon::make(shape)) {
+    : shape_(shape), tuning_(tuning), canon_(pack::TrsmCanon::make(shape)) {
   IATF_CHECK(shape.m >= 0 && shape.n >= 0 && shape.batch >= 0,
              "trsm: negative dimension");
 
@@ -98,6 +112,7 @@ TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
         step.kind = Step::Kind::Rect;
         step.rect_fn = kernels::Registry<T, Bytes>::rect(
             static_cast<int>(rowb.size), static_cast<int>(panel.size));
+        note_kernel(kernels_used_, 'r', rowb.size, panel.size);
         step.pa_off = row_base + colb.offset * rowb.size * es;
         step.col_off = panel.offset;
         step.row_off = rowb.offset;
@@ -109,6 +124,7 @@ TrsmPlan<T, Bytes>::TrsmPlan(const TrsmShape& shape, const CacheInfo& cache,
       step.kind = Step::Kind::Tri;
       step.tri_fn = kernels::Registry<T, Bytes>::tri(
           static_cast<int>(rowb.size), static_cast<int>(panel.size));
+      note_kernel(kernels_used_, 't', rowb.size, panel.size);
       step.pa_off = row_base + rowb.offset * rowb.size * es;
       step.col_off = panel.offset;
       step.row_off = rowb.offset;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "iatf/common/fault_inject.hpp"
+
 namespace iatf::sched {
 
 std::size_t ClassKeyHash::operator()(const ClassKey& k) const noexcept {
@@ -26,6 +28,8 @@ std::size_t ClassKeyHash::operator()(const ClassKey& k) const noexcept {
 }
 
 std::vector<SizeClass> bin_by_descriptor(std::span<const ClassKey> keys) {
+  IATF_FAULT_POINT("sched.bin", Status::Internal);
+  fault::stall_if_armed("sched.bin");
   std::vector<SizeClass> classes;
   std::unordered_map<ClassKey, std::size_t, ClassKeyHash> index;
   index.reserve(keys.size());
@@ -41,6 +45,8 @@ std::vector<SizeClass> bin_by_descriptor(std::span<const ClassKey> keys) {
 
 std::vector<WorkItem> interleave_slices(
     std::span<const SegmentExtent> extents) {
+  IATF_FAULT_POINT("sched.interleave", Status::Internal);
+  fault::stall_if_armed("sched.interleave");
   std::vector<WorkItem> items;
   index_t total_items = 0;
   for (const SegmentExtent& e : extents) {

@@ -1,0 +1,122 @@
+// Determinism contract of the degradation breaker: every transition is a
+// function of the call/outcome sequence alone (no wall clock, no
+// randomness inside the breaker), so replaying a seeded fault schedule
+// must reproduce the decision and state trajectories bit-for-bit.
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iatf/resilience/resilience.hpp"
+
+namespace iatf::resilience {
+namespace {
+
+struct Step {
+  std::size_t slot;
+  BreakerDecision decision;
+  BreakerState state_after;
+};
+
+bool operator==(const Step& a, const Step& b) {
+  return a.slot == b.slot && a.decision == b.decision &&
+         a.state_after == b.state_after;
+}
+
+// Drive one breaker through `calls` seeded calls over `slots` descriptor
+// classes. The schedule (which slot, whether the fast path degrades) is
+// drawn from a fixed-seed mt19937; the breaker's responses are recorded.
+std::vector<Step> run_schedule(CircuitBreaker& breaker, std::uint32_t seed,
+                               int calls, std::size_t slots,
+                               double degrade_rate) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick_slot(0, slots - 1);
+  std::bernoulli_distribution degrade(degrade_rate);
+  std::vector<Step> trace;
+  trace.reserve(static_cast<std::size_t>(calls));
+  for (int i = 0; i < calls; ++i) {
+    const std::size_t slot = pick_slot(rng);
+    const bool would_degrade = degrade(rng);
+    const BreakerDecision d = breaker.admit(slot);
+    if (d != BreakerDecision::RefRoute) {
+      breaker.record(slot, would_degrade, d == BreakerDecision::Probe);
+    }
+    trace.push_back(Step{slot, d, breaker.slot_state(slot)});
+  }
+  return trace;
+}
+
+TEST(BreakerDeterminism, SeededScheduleReplaysBitIdentically) {
+  const BreakerConfig config{/*window=*/4, /*threshold=*/2,
+                             /*cooldown=*/3};
+  CircuitBreaker first, second;
+  first.configure(config);
+  second.configure(config);
+  const auto t1 = run_schedule(first, 0xC0FFEE, 2000, 5, 0.45);
+  const auto t2 = run_schedule(second, 0xC0FFEE, 2000, 5, 0.45);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    ASSERT_TRUE(t1[i] == t2[i]) << "trace diverged at call " << i;
+  }
+  EXPECT_EQ(first.summary().transitions, second.summary().transitions);
+  EXPECT_GT(first.summary().transitions, 0u);
+}
+
+TEST(BreakerDeterminism, DifferentSeedsProduceDifferentTrajectories) {
+  const BreakerConfig config{4, 2, 3};
+  CircuitBreaker first, second;
+  first.configure(config);
+  second.configure(config);
+  const auto t1 = run_schedule(first, 1, 2000, 5, 0.45);
+  const auto t2 = run_schedule(second, 2, 2000, 5, 0.45);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    any_diff = any_diff || !(t1[i] == t2[i]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BreakerDeterminism, AllDegradedScheduleCyclesOpenProbeOpen) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 2, 1});
+  // With every call degraded the slot must cycle deterministically:
+  // 2 Allow (trip) -> 1 RefRoute -> Probe (fails) -> 1 RefRoute -> ...
+  const std::vector<BreakerDecision> expected = {
+      BreakerDecision::Allow,    BreakerDecision::Allow,
+      BreakerDecision::RefRoute, BreakerDecision::Probe,
+      BreakerDecision::RefRoute, BreakerDecision::Probe,
+      BreakerDecision::RefRoute, BreakerDecision::Probe,
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const BreakerDecision d = breaker.admit(0);
+    ASSERT_EQ(d, expected[i]) << "call " << i;
+    if (d != BreakerDecision::RefRoute) {
+      breaker.record(0, /*degraded=*/true, d == BreakerDecision::Probe);
+    }
+  }
+}
+
+TEST(BreakerDeterminism, RecoveryScheduleIsExact) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 2, 2});
+  // Degrade until Open, then let the fault clear: the recovery point is
+  // exactly the first probe after the 2-call cooldown.
+  breaker.admit(9);
+  breaker.record(9, true, false);
+  breaker.admit(9);
+  breaker.record(9, true, false);
+  ASSERT_EQ(breaker.slot_state(9), BreakerState::Open);
+  EXPECT_EQ(breaker.admit(9), BreakerDecision::RefRoute);
+  EXPECT_EQ(breaker.admit(9), BreakerDecision::RefRoute);
+  EXPECT_EQ(breaker.admit(9), BreakerDecision::Probe);
+  breaker.record(9, /*degraded=*/false, /*probe=*/true);
+  EXPECT_EQ(breaker.slot_state(9), BreakerState::Closed);
+  // Exactly 3 transitions: Closed->Open, Open->HalfOpen,
+  // HalfOpen->Closed.
+  EXPECT_EQ(breaker.summary().transitions, 3u);
+}
+
+} // namespace
+} // namespace iatf::resilience

@@ -1,0 +1,220 @@
+// Unit tests for the serving-hardening primitives: the KernelGuard trust
+// ledger's state machine (Untested -> Verified, Untested/Verified ->
+// Quarantined, no implicit resurrection) and the CircuitBreaker's
+// call-counted Closed/Open/HalfOpen slot machinery.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iatf/resilience/resilience.hpp"
+
+namespace iatf::resilience {
+namespace {
+
+KernelId kid(char kind, int m, int n, char dtype = 'd', int bytes = 16) {
+  KernelId id;
+  id.kind = kind;
+  id.dtype = dtype;
+  id.bytes = bytes;
+  id.m = m;
+  id.n = n;
+  return id;
+}
+
+TEST(KernelGuard, StartsUntestedAndCountsZero) {
+  KernelGuard guard;
+  EXPECT_EQ(guard.state(kid('g', 4, 4)), KernelState::Untested);
+  EXPECT_EQ(guard.verified_count(), 0u);
+  EXPECT_EQ(guard.quarantined_count(), 0u);
+}
+
+TEST(KernelGuard, VerifyAndQuarantineAreCounted) {
+  KernelGuard guard;
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_verified(kid('g', 4, 2));
+  guard.mark_quarantined(kid('t', 3, 2));
+  EXPECT_EQ(guard.state(kid('g', 4, 4)), KernelState::Verified);
+  EXPECT_EQ(guard.state(kid('t', 3, 2)), KernelState::Quarantined);
+  EXPECT_EQ(guard.verified_count(), 2u);
+  EXPECT_EQ(guard.quarantined_count(), 1u);
+}
+
+TEST(KernelGuard, QuarantineDemotesAVerifiedKernel) {
+  KernelGuard guard;
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_quarantined(kid('g', 4, 4));
+  EXPECT_EQ(guard.state(kid('g', 4, 4)), KernelState::Quarantined);
+  EXPECT_EQ(guard.verified_count(), 0u);
+  EXPECT_EQ(guard.quarantined_count(), 1u);
+}
+
+TEST(KernelGuard, VerifyNeverResurrectsAQuarantinedKernel) {
+  KernelGuard guard;
+  guard.mark_quarantined(kid('g', 4, 4));
+  guard.mark_verified(kid('g', 4, 4));
+  EXPECT_EQ(guard.state(kid('g', 4, 4)), KernelState::Quarantined);
+  EXPECT_EQ(guard.verified_count(), 0u);
+  EXPECT_EQ(guard.quarantined_count(), 1u);
+}
+
+TEST(KernelGuard, RepeatedMarksAreIdempotent) {
+  KernelGuard guard;
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_quarantined(kid('t', 3, 2));
+  guard.mark_quarantined(kid('t', 3, 2));
+  EXPECT_EQ(guard.verified_count(), 1u);
+  EXPECT_EQ(guard.quarantined_count(), 1u);
+}
+
+TEST(KernelGuard, DistinguishesDtypeAndWidth) {
+  KernelGuard guard;
+  guard.mark_quarantined(kid('g', 4, 4, 'd', 16));
+  EXPECT_EQ(guard.state(kid('g', 4, 4, 's', 16)), KernelState::Untested);
+  EXPECT_EQ(guard.state(kid('g', 4, 4, 'd', 32)), KernelState::Untested);
+  EXPECT_EQ(guard.state(kid('g', 4, 4, 'd', 16)),
+            KernelState::Quarantined);
+}
+
+TEST(KernelGuard, AnyQuarantinedScansTheIdList) {
+  KernelGuard guard;
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_quarantined(kid('g', 2, 2));
+  EXPECT_FALSE(guard.any_quarantined({kid('g', 4, 4), kid('g', 3, 3)}));
+  EXPECT_TRUE(
+      guard.any_quarantined({kid('g', 4, 4), kid('g', 2, 2)}));
+  EXPECT_FALSE(guard.any_quarantined({}));
+}
+
+TEST(KernelGuard, ResetWipesTheLedger) {
+  KernelGuard guard;
+  guard.mark_verified(kid('g', 4, 4));
+  guard.mark_quarantined(kid('g', 2, 2));
+  guard.reset();
+  EXPECT_EQ(guard.verified_count(), 0u);
+  EXPECT_EQ(guard.quarantined_count(), 0u);
+  EXPECT_EQ(guard.state(kid('g', 2, 2)), KernelState::Untested);
+}
+
+// --- CircuitBreaker -------------------------------------------------------
+
+TEST(CircuitBreaker, DisabledByDefaultAlwaysAllows) {
+  CircuitBreaker breaker;
+  EXPECT_FALSE(breaker.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(breaker.admit(7), BreakerDecision::Allow);
+    breaker.record(7, /*degraded=*/true, /*probe=*/false);
+  }
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::Closed);
+  EXPECT_EQ(breaker.summary().transitions, 0u);
+}
+
+TEST(CircuitBreaker, TripsWhenAWindowMeetsTheThreshold) {
+  CircuitBreaker breaker;
+  breaker.configure({/*window=*/4, /*threshold=*/2, /*cooldown=*/3});
+  // 1 degraded of 4: under threshold, stays Closed.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(breaker.admit(7), BreakerDecision::Allow);
+    breaker.record(7, i == 0, false);
+  }
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::Closed);
+  // 2 degraded of 4: trips to Open.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(breaker.admit(7), BreakerDecision::Allow);
+    breaker.record(7, i < 2, false);
+  }
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::Open);
+  EXPECT_EQ(breaker.summary().transitions, 1u);
+}
+
+TEST(CircuitBreaker, OpenRefRoutesForCooldownThenProbes) {
+  CircuitBreaker breaker;
+  breaker.configure({/*window=*/2, /*threshold=*/2, /*cooldown=*/3});
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(breaker.admit(7), BreakerDecision::Allow);
+    breaker.record(7, true, false);
+  }
+  ASSERT_EQ(breaker.slot_state(7), BreakerState::Open);
+  // Exactly `cooldown` calls are ref-routed.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(breaker.admit(7), BreakerDecision::RefRoute);
+  }
+  // The next admit becomes the HalfOpen probe; concurrent calls while
+  // the probe is in flight still ref-route.
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::Probe);
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::HalfOpen);
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::RefRoute);
+}
+
+TEST(CircuitBreaker, ProbeSuccessRestoresClosed) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 2, 1});
+  for (int i = 0; i < 2; ++i) {
+    breaker.admit(7);
+    breaker.record(7, true, false);
+  }
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::RefRoute); // cooldown
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::Probe);
+  breaker.record(7, /*degraded=*/false, /*probe=*/true);
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::Closed);
+  // Closed -> Open -> HalfOpen -> Closed.
+  EXPECT_EQ(breaker.summary().transitions, 3u);
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::Allow);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithAFreshCooldown) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 2, 2});
+  for (int i = 0; i < 2; ++i) {
+    breaker.admit(7);
+    breaker.record(7, true, false);
+  }
+  breaker.admit(7); // cooldown 1
+  breaker.admit(7); // cooldown 2
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::Probe);
+  breaker.record(7, /*degraded=*/true, /*probe=*/true);
+  EXPECT_EQ(breaker.slot_state(7), BreakerState::Open);
+  // The re-opened slot serves a full fresh cooldown before re-probing.
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::RefRoute);
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::RefRoute);
+  EXPECT_EQ(breaker.admit(7), BreakerDecision::Probe);
+}
+
+TEST(CircuitBreaker, SlotsAreIndependent) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 1, 1});
+  for (int i = 0; i < 2; ++i) {
+    breaker.admit(3);
+    breaker.record(3, true, false);
+  }
+  EXPECT_EQ(breaker.slot_state(3), BreakerState::Open);
+  EXPECT_EQ(breaker.slot_state(4), BreakerState::Closed);
+  EXPECT_EQ(breaker.admit(4), BreakerDecision::Allow);
+  // Hashes aliasing onto the same slot share its state by design.
+  EXPECT_EQ(breaker.slot_state(3 + CircuitBreaker::kSlots),
+            BreakerState::Open);
+  const CircuitBreaker::Summary s = breaker.summary();
+  EXPECT_EQ(s.open, 1u);
+  EXPECT_EQ(s.closed, CircuitBreaker::kSlots - 1);
+  EXPECT_EQ(s.half_open, 0u);
+}
+
+TEST(CircuitBreaker, ReconfigureResetsEverySlot) {
+  CircuitBreaker breaker;
+  breaker.configure({2, 1, 1});
+  for (int i = 0; i < 2; ++i) {
+    breaker.admit(3);
+    breaker.record(3, true, false);
+  }
+  ASSERT_EQ(breaker.slot_state(3), BreakerState::Open);
+  breaker.configure({4, 2, 2});
+  EXPECT_EQ(breaker.slot_state(3), BreakerState::Closed);
+  EXPECT_EQ(breaker.summary().transitions, 0u);
+  EXPECT_EQ(breaker.config().window, 4);
+  breaker.configure({0, 0, 0});
+  EXPECT_FALSE(breaker.enabled());
+}
+
+} // namespace
+} // namespace iatf::resilience

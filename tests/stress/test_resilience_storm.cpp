@@ -1,0 +1,216 @@
+// Grouped fault-storm stress: seeded storms of injected scheduler faults
+// ("sched.bin", "sched.interleave"), allocation failures and stalls hit
+// grouped calls under ExecPolicy::Fallback. The contract under fire:
+// every call completes (never deadlocks), every segment's health report
+// is consistent with its output, and every output matches the scalar
+// reference -- degraded or not.
+//
+// Soak mode (the nightly ASan job): IATF_SOAK_MS extends the storm to a
+// wall-clock budget, and IATF_SOAK_STATS names a JSON file that receives
+// the final engine counters for the uploaded artifact.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/parallel/thread_pool.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf {
+namespace {
+
+struct StormSegment {
+  index_t m, n, k, batch;
+  test::HostBatch<double> a, b, c, expected;
+  CompactBuffer<double> ca, cb, cc;
+};
+
+// A ragged mix of descriptors; deterministic for a given seed.
+std::vector<StormSegment> make_segments(unsigned seed) {
+  Rng rng(seed);
+  std::mt19937 dims(seed * 2654435761u + 1);
+  std::uniform_int_distribution<index_t> dim(1, 10);
+  std::uniform_int_distribution<index_t> groups(1, 3);
+  const index_t pw = simd::pack_width_v<double>;
+  std::vector<StormSegment> segs(4 + seed % 3);
+  for (StormSegment& s : segs) {
+    s.m = dim(dims);
+    s.n = dim(dims);
+    s.k = dim(dims);
+    s.batch = groups(dims) * pw - 1;
+    s.a = test::random_batch<double>(s.m, s.k, s.batch, rng);
+    s.b = test::random_batch<double>(s.k, s.n, s.batch, rng);
+    s.c = test::random_batch<double>(s.m, s.n, s.batch, rng);
+    s.expected = s.c;
+    for (index_t l = 0; l < s.batch; ++l) {
+      ref::gemm(Op::NoTrans, Op::NoTrans, s.m, s.n, s.k, 1.25, s.a.mat(l),
+                s.a.ld(), s.b.mat(l), s.b.ld(), -0.5, s.expected.mat(l),
+                s.expected.ld());
+    }
+    s.ca = s.a.to_compact();
+    s.cb = s.b.to_compact();
+  }
+  return segs;
+}
+
+// One storm round: arm a seeded subset of fault sites, run the grouped
+// call, and check per-segment health/output consistency.
+void storm_round(Engine& engine, unsigned seed) {
+  std::vector<StormSegment> data = make_segments(seed);
+  for (StormSegment& s : data) {
+    s.cc = s.c.to_compact();
+  }
+  std::vector<sched::GemmSegment<double>> segs;
+  for (StormSegment& s : data) {
+    segs.push_back(
+        {Op::NoTrans, Op::NoTrans, 1.25, -0.5, &s.ca, &s.cb, &s.cc});
+  }
+
+  std::mt19937 storm(seed);
+  std::uniform_int_distribution<int> skip(0, 3);
+  const int kind = static_cast<int>(storm() % 4);
+  switch (kind) {
+  case 0:
+    fault::arm("sched.bin", skip(storm), 1);
+    break;
+  case 1:
+    fault::arm("sched.interleave", skip(storm), 1);
+    break;
+  case 2:
+    fault::arm("alloc", skip(storm), 2);
+    break;
+  default:
+    break; // clean round: the storm must not poison healthy traffic
+  }
+
+  const auto healths = engine.gemm_grouped<double>(
+      std::span<const sched::GemmSegment<double>>(segs));
+  fault::disarm_all();
+
+  ASSERT_EQ(healths.size(), segs.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const StormSegment& s = data[i];
+    ASSERT_EQ(healths[i].batch, s.batch) << "segment " << i;
+    // Degraded or not, the numbers must match the reference.
+    test::HostBatch<double> out = s.c;
+    out.from_compact(s.cc);
+    test::expect_batch_near(s.expected, out,
+                            test::ulp_tolerance<double>(s.k),
+                            "storm seed " + std::to_string(seed) +
+                                " segment " + std::to_string(i));
+    // Health consistency: a fallback count never exceeds the batch, and
+    // a segment reporting no events reports no fallback lanes.
+    EXPECT_LE(healths[i].fallback, s.batch);
+    if (healths[i].events == DegradeEvent::None) {
+      EXPECT_EQ(healths[i].fallback, 0);
+    }
+  }
+}
+
+void write_stats_json(const Engine& engine, const char* path) {
+  const EngineStats s = engine.stats();
+  const EngineHealth h = engine.health();
+  std::FILE* f = std::fopen(path, "w");
+  ASSERT_NE(f, nullptr) << "cannot write " << path;
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"format\": \"iatf-soak-v1\",\n"
+      "  \"grouped_calls\": %zu,\n"
+      "  \"degraded_calls\": %zu,\n"
+      "  \"fallback_lanes\": %zu,\n"
+      "  \"timeout_calls\": %zu,\n"
+      "  \"ref_routed_calls\": %zu,\n"
+      "  \"retries\": %zu,\n"
+      "  \"verified_kernels\": %zu,\n"
+      "  \"quarantined_kernels\": %zu,\n"
+      "  \"breaker_transitions\": %zu,\n"
+      "  \"breaker_open\": %zu\n"
+      "}\n",
+      s.grouped_calls, s.degraded_calls, s.fallback_lanes, s.timeout_calls,
+      s.ref_routed_calls, s.retries, s.verified_kernels,
+      s.quarantined_kernels, h.breaker_transitions, h.breaker_open);
+  std::fclose(f);
+}
+
+class ResilienceStorm : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(ResilienceStorm, GroupedFaultStormSequential) {
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_policy(ExecPolicy::Fallback);
+  engine.set_breaker_config({/*window=*/8, /*threshold=*/4,
+                             /*cooldown=*/2});
+  for (unsigned seed = 1; seed <= 24; ++seed) {
+    storm_round(engine, seed);
+  }
+  EXPECT_EQ(engine.stats().grouped_calls, 24u);
+}
+
+TEST_F(ResilienceStorm, GroupedFaultStormOnThreadPool) {
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_policy(ExecPolicy::Fallback);
+  ThreadPool pool(4);
+  engine.set_thread_pool(&pool);
+  for (unsigned seed = 100; seed < 116; ++seed) {
+    storm_round(engine, seed);
+  }
+  // The pool survives the storm.
+  fault::disarm_all();
+  std::atomic<int> total{0};
+  pool.parallel_for(0, 32, [&](index_t b, index_t e) {
+    total += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+// Wall-clock soak for the nightly ASan job. With no IATF_SOAK_MS this is
+// a quick smoke pass over a handful of seeds.
+TEST_F(ResilienceStorm, SoakRunsToBudgetAndDumpsStats) {
+  const char* soak_ms = std::getenv("IATF_SOAK_MS");
+  const long budget_ms = soak_ms != nullptr ? std::atol(soak_ms) : 0;
+
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_policy(ExecPolicy::Fallback);
+  engine.set_breaker_config({8, 4, 2});
+  engine.set_retry_policy({2, std::chrono::microseconds(50)});
+  ThreadPool pool(4);
+  engine.set_thread_pool(&pool);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto over_budget = [&] {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now() - start)
+               .count() >= budget_ms;
+  };
+  unsigned seed = 1000;
+  do {
+    storm_round(engine, seed++);
+    if (::testing::Test::HasFatalFailure()) {
+      break;
+    }
+  } while (!over_budget() || seed < 1008);
+
+  std::printf("soak: %u rounds, %zu grouped calls, %zu degraded, %zu "
+              "fallback lanes\n",
+              seed - 1000, engine.stats().grouped_calls,
+              engine.stats().degraded_calls,
+              engine.stats().fallback_lanes);
+  if (const char* stats_path = std::getenv("IATF_SOAK_STATS")) {
+    write_stats_json(engine, stats_path);
+  }
+}
+
+} // namespace
+} // namespace iatf
