@@ -35,7 +35,8 @@ typedef enum iatf_status {
   IATF_STATUS_NUMERICAL_HAZARD = 4, /* NaN/Inf output or singular diagonal */
   IATF_STATUS_INTERNAL = 5,         /* invariant violation / unknown error */
   IATF_STATUS_TIMEOUT = 6,          /* per-call deadline exceeded */
-  IATF_STATUS_OVERLOADED = 7        /* admission control shed the call */
+  IATF_STATUS_OVERLOADED = 7,       /* admission control shed the call */
+  IATF_STATUS_CANCELLED = 8         /* queued request cancelled by stop() */
 } iatf_status;
 
 /* How much guarding the default engine wraps around gemm/trsm:
@@ -360,6 +361,105 @@ int iatf_ctrsm_grouped(const iatf_ctrsm_segment* segments,
                        int64_t group_count);
 int iatf_ztrsm_grouped(const iatf_ztrsm_segment* segments,
                        int64_t group_count);
+
+/* ---- Async serving front-end ----------------------------------------
+ *
+ * An iatf_server queues compute requests against the default engine:
+ * one dispatcher thread dequeues weighted-fair across tenants, merges
+ * queued requests carrying the same descriptor (from any tenant) into
+ * one grouped call, and sheds requests whose deadline expired while
+ * queued. Submissions return a ticket; iatf_server_wait() blocks for
+ * the result and iatf_server_poll() checks without blocking.
+ *
+ * Buffers passed to a submission are borrowed until its ticket resolves
+ * (wait returns, or poll reports done); destroying or reusing them
+ * earlier -- or writing one output buffer from two in-flight requests
+ * -- is undefined. Destroy every server before process exit: the
+ * default engine aborts at static destruction while servers exist. */
+
+typedef struct iatf_server iatf_server;
+
+typedef struct iatf_serve_config {
+  int64_t queue_capacity;     /* <= 0 selects the default (1024) */
+  int64_t per_tenant_quota;   /* <= 0 means no per-tenant bound */
+  int64_t max_coalesce;       /* <= 0 selects the default (64) */
+  iatf_overload_policy overload; /* queue-full behaviour */
+  double default_deadline_ms; /* <= 0 means no default deadline */
+} iatf_serve_config;
+
+/* NULL config selects all defaults. NULL on failure. */
+iatf_server* iatf_server_create(const iatf_serve_config* config);
+/* Stops the server (cancelling queued requests) and frees it. Tickets
+ * never waited on are discarded. */
+void iatf_server_destroy(iatf_server* server);
+
+/* Weighted-fair share for `tenant` (weight >= 1; default 1). */
+int iatf_server_set_tenant_weight(iatf_server* server, uint32_t tenant,
+                                  uint32_t weight);
+/* Swap the queue-full policy at runtime. */
+int iatf_server_set_overload_policy(iatf_server* server,
+                                    iatf_overload_policy policy);
+
+/* Queue a request for `tenant` with a per-request deadline budget
+ * (deadline_ms <= 0 uses the server default). On IATF_STATUS_OK,
+ * *ticket identifies the request; any other return means the request
+ * was refused or already resolved with that status (overflow shed,
+ * enqueue-time cancellation) and no ticket was issued. */
+int iatf_server_submit_sgemm(iatf_server* server, iatf_op op_a,
+                             iatf_op op_b, float alpha, const iatf_sbuf* a,
+                             const iatf_sbuf* b, float beta, iatf_sbuf* c,
+                             uint32_t tenant, double deadline_ms,
+                             uint64_t* ticket);
+int iatf_server_submit_dgemm(iatf_server* server, iatf_op op_a,
+                             iatf_op op_b, double alpha,
+                             const iatf_dbuf* a, const iatf_dbuf* b,
+                             double beta, iatf_dbuf* c, uint32_t tenant,
+                             double deadline_ms, uint64_t* ticket);
+int iatf_server_submit_strsm(iatf_server* server, iatf_side side,
+                             iatf_uplo uplo, iatf_op op_a, iatf_diag diag,
+                             float alpha, const iatf_sbuf* a, iatf_sbuf* b,
+                             uint32_t tenant, double deadline_ms,
+                             uint64_t* ticket);
+int iatf_server_submit_dtrsm(iatf_server* server, iatf_side side,
+                             iatf_uplo uplo, iatf_op op_a, iatf_diag diag,
+                             double alpha, const iatf_dbuf* a,
+                             iatf_dbuf* b, uint32_t tenant,
+                             double deadline_ms, uint64_t* ticket);
+
+/* Non-blocking check: 1 = resolved (*status holds the request's final
+ * iatf_status; the ticket stays valid for iatf_server_wait), 0 = still
+ * pending, IATF_STATUS_INVALID_ARG = unknown ticket. */
+int iatf_server_poll(iatf_server* server, uint64_t ticket, int* status);
+/* Block until the request resolves; returns its final status and
+ * consumes the ticket. */
+int iatf_server_wait(iatf_server* server, uint64_t ticket);
+
+/* Refuse new submissions and complete everything queued/in flight. */
+int iatf_server_drain(iatf_server* server);
+/* Refuse new submissions, finish in-flight work, cancel the queued
+ * remainder with IATF_STATUS_CANCELLED. */
+int iatf_server_stop(iatf_server* server);
+
+/* Coherent snapshot of the server's counters. */
+typedef struct iatf_server_stats {
+  int64_t queued;             /* requests currently queued */
+  int64_t queue_capacity;     /* configured shared bound */
+  int64_t inflight;           /* requests currently executing */
+  int64_t submitted;          /* total requests offered */
+  int64_t completed;          /* requests that finished execution */
+  int64_t dispatch_calls;     /* engine dispatches (1 per batch) */
+  int64_t coalesced_requests; /* requests that shared a dispatch */
+  /* Requests-per-dispatch histogram; upper bounds 1, 2, 4, 8, inf. */
+  int64_t coalesce_hist[5];
+  int64_t shed_expired;       /* dequeue-time deadline sheds */
+  int64_t shed_overflow;      /* submit-time queue-full sheds */
+  int64_t cancelled;          /* stop()-cancelled + late refusals */
+  int64_t degraded_inline;    /* queue-full requests served inline */
+} iatf_server_stats;
+
+int iatf_server_get_stats(iatf_server* server, iatf_server_stats* stats);
+/* Requests of `tenant` dequeued for execution so far (-1 on error). */
+int64_t iatf_server_tenant_served(iatf_server* server, uint32_t tenant);
 
 /* ---- Autotuning -----------------------------------------------------
  *

@@ -70,6 +70,19 @@ public:
               Status::Overloaded) {}
 };
 
+/// Delivered (via std::future / completion callback, never thrown into
+/// the submitter) for requests a serving front-end discarded before
+/// execution: Server::stop() cancels everything still queued, and a
+/// submission arriving after drain()/stop() is refused with this error.
+/// The request's output buffers were never touched; distinct from
+/// OverloadError (resource pressure, retry later) because retrying a
+/// cancelled request against a stopping server is pointless.
+class CancelledError : public Error {
+public:
+  explicit CancelledError(const std::string& what)
+      : Error(what, Status::Cancelled) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line,
                               const std::string& message,

@@ -25,6 +25,13 @@
 //                         the kernel under test)
 //   "resilience.probe"    circuit-breaker HalfOpen probe execution (a hit
 //                         re-opens the breaker)
+//   "serve.enqueue"       Server admission, after counters but before the
+//                         request queues (a hit fails only that request)
+//   "serve.coalesce"      dispatcher coalesce scan (a hit stops widening
+//                         the batch; what was collected still dispatches)
+//   "serve.dispatch"      dispatcher execution entry (a hit fails a single
+//                         request, or splits a coalesced batch into
+//                         per-request retries)
 //
 // Arming is process-global (tests that arm faults must not run the same
 // site concurrently from unrelated tests); fault::ScopedFault disarms on

@@ -32,6 +32,7 @@ enum class Status : int {
   Internal = 5,         ///< invariant violation or unexpected exception
   Timeout = 6,          ///< per-call deadline expired before completion
   Overloaded = 7,       ///< admission control shed the call (in-flight cap)
+  Cancelled = 8,        ///< queued work cancelled by Server::stop()/shutdown
 };
 
 const char* to_string(Status status) noexcept;

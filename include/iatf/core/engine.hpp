@@ -128,6 +128,13 @@ public:
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Aborts the process (never UB) when an iatf::serve::Server is still
+  /// attached: a live dispatcher thread would otherwise execute on a
+  /// destroyed engine. Destroy (or stop()) every Server before its
+  /// engine; for default_engine() that means before static destruction
+  /// begins, i.e. before main() returns (DESIGN.md section 12).
+  ~Engine();
+
   /// Get or build the plan for a GEMM descriptor.
   template <class T, int Bytes = 16>
   std::shared_ptr<const plan::GemmPlan<T, Bytes>>
@@ -345,6 +352,22 @@ public:
   template <class T, int Bytes = 16>
   resilience::BreakerState trsm_breaker_state(const TrsmShape& shape) const;
 
+  // --- Serving front-end registration (iatf::serve internals) ----------
+
+  /// Called by iatf::serve::Server's constructor/destructor so ~Engine
+  /// can enforce the shutdown ordering contract (servers die first).
+  /// Not for user code.
+  void attach_server() noexcept {
+    servers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void detach_server() noexcept {
+    servers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  /// Servers currently bound to this engine (tests, diagnostics).
+  std::size_t attached_servers() const noexcept {
+    return servers_.load(std::memory_order_relaxed);
+  }
+
   /// The process-wide default engine used by the free functions in
   /// iatf/core/compact_blas.hpp and the C API.
   ///
@@ -552,6 +575,10 @@ private:
   std::atomic<std::uint64_t> shed_calls_{0};
   std::atomic<std::uint64_t> ref_routed_calls_{0};
   std::atomic<std::uint64_t> retries_{0};
+
+  /// iatf::serve::Server instances currently bound to this engine; the
+  /// destructor aborts while nonzero (shutdown ordering contract).
+  std::atomic<std::size_t> servers_{0};
 };
 
 } // namespace iatf

@@ -1,0 +1,324 @@
+// iatf::serve -- asynchronous multi-tenant front-end over one Engine.
+//
+// The engine already survives heavy in-process traffic (admission
+// control, breakers, deadlines, grouped scheduling), but its API is one
+// synchronous call per caller thread: a slow or abusive tenant
+// monopolises the engine and there is no way to drain or restart under
+// load. Server closes that gap with a bounded submission queue and a
+// single dispatcher thread:
+//
+//  * Async API. submit_gemm / submit_trsm / submit_grouped return a
+//    std::future (and optionally invoke a completion callback); the
+//    submitting thread never executes the work itself except under the
+//    DegradeToRef queue-full policy. Every submitted request is resolved
+//    exactly once: with a BatchHealth, or with OverloadError /
+//    TimeoutError / CancelledError -- never abandoned, including across
+//    drain(), stop() and destruction mid-fault-storm.
+//
+//  * Cross-tenant coalescing. The dispatcher merges queued single
+//    requests carrying the same descriptor class (sched::ClassKey +
+//    dtype) -- from any tenant -- into one gemm_grouped / trsm_grouped
+//    call, so the input-aware batching win survives many small clients.
+//    A coalesced dispatch that fails is retried request-by-request, so
+//    one tenant's bad descriptor cannot fail its coalesce-mates.
+//
+//  * Per-tenant isolation. Each tenant has its own FIFO queue bounded by
+//    a quota (so one tenant cannot fill the shared queue), and dequeue
+//    order is weighted-fair stride scheduling: with weights w_i, tenant i
+//    receives ~w_i / sum(w) of dispatches under saturation regardless of
+//    submission rates.
+//
+//  * Backpressure. The queue is bounded; a full queue (or exhausted
+//    tenant quota) applies resilience::OverloadPolicy semantics: Block
+//    waits for space (bounded by the request deadline), ShedNewest
+//    resolves the future with OverloadError, DegradeToRef executes the
+//    request synchronously on the submitting thread.
+//
+//  * Deadline shedding. A request whose deadline expires while queued is
+//    resolved with TimeoutError at dequeue and never dispatched -- queue
+//    time counts against the budget, and dead work is never executed.
+//
+//  * Graceful lifecycle. drain() refuses new submissions and completes
+//    everything queued and in flight; stop() refuses new submissions,
+//    completes in-flight work and cancels the still-queued remainder
+//    with CancelledError. The destructor stop()s. Servers must be
+//    destroyed before their engine (~Engine aborts otherwise; see
+//    DESIGN.md section 12 for the default_engine() ordering rule).
+//
+// Buffers referenced by a submitted request are non-owning: the caller
+// keeps them alive and unaliased (no two in-flight requests writing one
+// output buffer) until the request's future resolves.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "iatf/common/status.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/resilience/resilience.hpp"
+#include "iatf/sched/group_scheduler.hpp"
+
+namespace iatf::serve {
+
+/// Caller-chosen tenant identity. Tenants are created on first use
+/// (weight 1, shared default quota); set_tenant_weight adjusts shares.
+using TenantId = std::uint32_t;
+
+/// Server construction knobs. Defaults suit a mid-size serving tier;
+/// every field can be tightened for tests.
+struct ServeConfig {
+  /// Total queued requests across all tenants (>= 1). Submissions past
+  /// this bound hit `overload`.
+  std::size_t queue_capacity = 1024;
+  /// Queued requests one tenant may hold (0 = no per-tenant bound
+  /// beyond queue_capacity). Submissions past the quota hit `overload`
+  /// even when the shared queue has space.
+  std::size_t per_tenant_quota = 0;
+  /// Most single requests merged into one grouped dispatch (>= 1).
+  std::size_t max_coalesce = 64;
+  /// Queue-full behaviour (reuses the engine's overload taxonomy).
+  resilience::OverloadPolicy overload = resilience::OverloadPolicy::Block;
+  /// Deadline applied to requests submitted without one (0 = none).
+  std::chrono::nanoseconds default_deadline{0};
+};
+
+/// Per-submission options.
+struct SubmitOptions {
+  TenantId tenant = 0;
+  /// Relative deadline budget for this request, covering queue time and
+  /// execution start; 0 = ServeConfig::default_deadline. An expired
+  /// request is shed at dequeue with TimeoutError, never dispatched.
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Per-tenant accounting inside ServerStats.
+struct TenantStats {
+  TenantId tenant = 0;
+  std::uint32_t weight = 1;
+  std::uint64_t submitted = 0;     ///< requests offered by this tenant
+  std::uint64_t served = 0;        ///< requests dequeued for execution
+  std::uint64_t shed_expired = 0;  ///< shed at dequeue: deadline expired
+  std::uint64_t shed_overflow = 0; ///< shed at submit: queue/quota full
+  std::uint64_t cancelled = 0;     ///< cancelled by stop()/refused late
+};
+
+/// One coherent snapshot of the server's counters (mirrored by the C
+/// API's iatf_server_stats). Taken under the queue lock, so the global
+/// fields are mutually consistent.
+struct ServerStats {
+  std::size_t queued = 0;         ///< requests currently queued
+  std::size_t queue_capacity = 0; ///< configured shared bound
+  std::size_t inflight = 0;       ///< requests currently executing
+  std::uint64_t submitted = 0;    ///< total requests offered
+  std::uint64_t completed = 0;    ///< requests that finished execution
+  std::uint64_t dispatch_calls = 0; ///< engine dispatches (1 per batch)
+  /// Requests that shared their dispatch with at least one coalesce-mate
+  /// (the ISSUE's `server_coalesced` acceptance counter).
+  std::uint64_t coalesced_requests = 0;
+  /// Histogram of requests-per-dispatch; bucket upper bounds are
+  /// 1, 2, 4, 8 and unbounded. Mass above the first bucket means
+  /// cross-tenant coalescing is collapsing traffic onto grouped calls.
+  static constexpr std::size_t kCoalesceBuckets = 5;
+  std::array<std::uint64_t, kCoalesceBuckets> coalesce_hist{};
+  std::uint64_t shed_expired = 0;  ///< dequeue-time deadline sheds
+  std::uint64_t shed_overflow = 0; ///< submit-time queue-full sheds
+  std::uint64_t cancelled = 0;     ///< stop()-cancelled + late refusals
+  std::uint64_t degraded_inline = 0; ///< DegradeToRef inline executions
+  std::vector<TenantStats> tenants;  ///< ascending tenant id
+};
+
+/// Stride scheduler over a dynamic tenant population: every tenant owns
+/// a virtual-time `pass`; pick() selects the smallest pass among the
+/// currently runnable tenants and charge() advances the chosen tenant by
+/// kScale / weight, so long-run dispatch shares converge to the weight
+/// ratios. activate() re-aligns a tenant that went idle with the global
+/// virtual time, so sleeping never accumulates credit (an idle tenant
+/// cannot burst-starve the others when it wakes). Deterministic: ties
+/// break toward the lower tenant id. Not thread-safe (the Server calls
+/// it under its queue lock).
+class WeightedPicker {
+public:
+  static constexpr std::uint64_t kScale = 1u << 20;
+
+  /// Set (or create with) `weight` >= 1; existing pass is preserved.
+  void set_weight(TenantId tenant, std::uint32_t weight);
+  std::uint32_t weight(TenantId tenant) const;
+
+  /// Tenant became runnable (its queue turned non-empty).
+  void activate(TenantId tenant);
+
+  /// Smallest-pass runnable tenant (ties -> lower id). `runnable` must
+  /// be non-empty; unknown ids are treated as weight-1 tenants.
+  TenantId pick(std::span<const TenantId> runnable) const;
+
+  /// Account one dequeued request of `tenant`.
+  void charge(TenantId tenant);
+
+private:
+  struct State {
+    std::uint64_t pass = 0;
+    std::uint32_t weight = 1;
+  };
+  State& state_for(TenantId tenant);
+  std::unordered_map<TenantId, State> states_;
+  std::uint64_t vtime_ = 0; ///< pass of the most recently charged tenant
+};
+
+namespace detail {
+struct Request; // queue node; defined in server.cpp
+}
+
+class Server {
+public:
+  /// Completion callback for single-request submissions. Runs on the
+  /// dispatcher thread (or the submitting thread for requests resolved
+  /// at submit time) with the request's final status: Ok with the
+  /// BatchHealth, or the error class the future carries. Callbacks must
+  /// be fast and must not throw (exceptions are swallowed); the future
+  /// is always resolved as well.
+  using Completion = std::function<void(Status, const BatchHealth&)>;
+  /// Completion callback for grouped submissions; the span is empty on
+  /// failure statuses.
+  using GroupedCompletion =
+      std::function<void(Status, std::span<const BatchHealth>)>;
+
+  /// Binds to `engine` (non-owning) and starts the dispatcher thread.
+  /// The engine must outlive this Server (enforced: ~Engine aborts while
+  /// servers are attached).
+  explicit Server(Engine& engine, ServeConfig config = {});
+  ~Server(); ///< stop(): cancels queued work, joins the dispatcher
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Queue C = alpha * op_a(A) * op_b(B) + beta * C over the batch.
+  /// Buffers are borrowed until the future resolves.
+  template <class T>
+  std::future<BatchHealth>
+  submit_gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+              const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c,
+              SubmitOptions opts = {}, Completion on_complete = nullptr);
+
+  /// Queue op_a(A) X = alpha B (Left) or X op_a(A) = alpha B (Right);
+  /// B is overwritten by X.
+  template <class T>
+  std::future<BatchHealth>
+  submit_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+              const CompactBuffer<T>& a, CompactBuffer<T>& b,
+              SubmitOptions opts = {}, Completion on_complete = nullptr);
+
+  /// Queue a pre-assembled grouped call (segments copied; buffers
+  /// borrowed). Dispatched as-is -- grouped submissions do not coalesce
+  /// with other requests, their segments already amortise the call.
+  template <class T>
+  std::future<std::vector<BatchHealth>>
+  submit_grouped(std::span<const sched::GemmSegment<T>> segments,
+                 SubmitOptions opts = {},
+                 GroupedCompletion on_complete = nullptr);
+  template <class T>
+  std::future<std::vector<BatchHealth>>
+  submit_grouped(std::span<const sched::TrsmSegment<T>> segments,
+                 SubmitOptions opts = {},
+                 GroupedCompletion on_complete = nullptr);
+
+  /// Weighted-fair share for `tenant` (>= 1; default 1). Takes effect
+  /// from the next dispatch decision.
+  void set_tenant_weight(TenantId tenant, std::uint32_t weight);
+
+  /// Swap the queue-full policy at runtime (applies to new submissions).
+  void set_overload_policy(resilience::OverloadPolicy policy);
+
+  /// Operational freeze: pause() stops dispatching (submissions still
+  /// queue, bounded as usual); resume() restarts. drain()/stop()
+  /// override a pause -- a paused server still drains to completion.
+  void pause();
+  void resume();
+
+  /// Refuse new submissions and complete everything queued and in
+  /// flight; returns once the server is idle and the dispatcher has
+  /// exited. Terminal and idempotent; safe to race with stop().
+  void drain();
+
+  /// Refuse new submissions, complete in-flight work, and cancel every
+  /// still-queued request with CancelledError. Terminal, idempotent,
+  /// safe to call concurrently and from multiple threads.
+  void stop();
+
+  /// True while submissions are accepted (before drain()/stop()).
+  bool accepting() const;
+
+  ServerStats stats() const;
+  Engine& engine() noexcept { return engine_; }
+
+private:
+  struct Tenant {
+    std::deque<std::unique_ptr<detail::Request>> q;
+    std::uint64_t submitted = 0;
+    std::uint64_t served = 0;
+    std::uint64_t shed_expired = 0;
+    std::uint64_t shed_overflow = 0;
+    std::uint64_t cancelled = 0;
+  };
+  enum class Phase : std::uint8_t { Running, Draining, Stopping };
+
+  void enqueue(std::unique_ptr<detail::Request> r,
+               const SubmitOptions& opts);
+  void run_dispatcher();
+  /// One dequeue -> coalesce -> execute round. `lk` is held on entry and
+  /// exit, released around the engine call.
+  void dispatch_round(std::unique_lock<std::mutex>& lk);
+  void execute_batch(
+      std::vector<std::unique_ptr<detail::Request>> batch) noexcept;
+  template <class T>
+  void run_coalesced_gemm(
+      std::vector<std::unique_ptr<detail::Request>>& batch);
+  template <class T>
+  void run_coalesced_trsm(
+      std::vector<std::unique_ptr<detail::Request>>& batch);
+  void cancel_queued(std::unique_lock<std::mutex>& lk);
+  void join_dispatcher();
+  Tenant& tenant_for(TenantId id); ///< mu_ held
+
+  Engine& engine_;
+  ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  ///< dispatcher waits for work
+  std::condition_variable space_cv_; ///< Block submitters wait for space
+  std::condition_variable idle_cv_;  ///< drain()/stop() wait for quiesce
+  std::unordered_map<TenantId, Tenant> tenants_;
+  WeightedPicker picker_;
+  Phase phase_ = Phase::Running;
+  bool paused_ = false;
+  bool dispatcher_done_ = false;
+  std::size_t queued_ = 0;
+  std::size_t inflight_ = 0;       ///< dispatcher-executed requests
+  std::size_t inline_running_ = 0; ///< DegradeToRef on submitter threads
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dispatch_calls_ = 0;
+  std::uint64_t coalesced_requests_ = 0;
+  std::array<std::uint64_t, ServerStats::kCoalesceBuckets>
+      coalesce_hist_{};
+  std::uint64_t shed_expired_ = 0;
+  std::uint64_t shed_overflow_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t degraded_inline_ = 0;
+
+  std::mutex join_mu_; ///< serialises dispatcher join across stop/drain
+  std::thread dispatcher_;
+};
+
+} // namespace iatf::serve

@@ -1,0 +1,23 @@
+// Definitions of the C API's opaque buffer handles, shared between the
+// core shim (iatf_c.cpp) and the serving shim (iatf_server_c.cpp). Each
+// handle wraps exactly one CompactBuffer; the C-side pointer identity is
+// the handle identity.
+#pragma once
+
+#include <complex>
+
+#include "iatf/capi/iatf.h"
+#include "iatf/layout/compact.hpp"
+
+struct iatf_sbuf {
+  iatf::CompactBuffer<float> buf;
+};
+struct iatf_dbuf {
+  iatf::CompactBuffer<double> buf;
+};
+struct iatf_cbuf {
+  iatf::CompactBuffer<std::complex<float>> buf;
+};
+struct iatf_zbuf {
+  iatf::CompactBuffer<std::complex<double>> buf;
+};

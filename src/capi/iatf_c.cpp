@@ -2,6 +2,8 @@
 // C++ core, with the opaque buffer structs wrapping CompactBuffer.
 #include "iatf/capi/iatf.h"
 
+#include "capi_buffers.hpp"
+
 #include <chrono>
 #include <complex>
 #include <memory>
@@ -268,6 +270,10 @@ extern "C" const char* iatf_last_error(void) {
 
 extern "C" void iatf_clear_error(void) {
   g_last_error.clear();
+  // Blank the descriptor too, not just the availability flag: a later
+  // out-of-contract read of the struct must see no stale descriptor or
+  // event bits from before the clear.
+  g_last_detail = blank_detail();
   g_has_detail = false;
 }
 
@@ -431,20 +437,6 @@ extern "C" int iatf_set_plan_cache_capacity(int64_t capacity) {
 extern "C" void iatf_clear_plan_cache(void) {
   iatf::Engine::default_engine().clear_plan_cache();
 }
-
-// Opaque buffer definitions.
-struct iatf_sbuf {
-  iatf::CompactBuffer<float> buf;
-};
-struct iatf_dbuf {
-  iatf::CompactBuffer<double> buf;
-};
-struct iatf_cbuf {
-  iatf::CompactBuffer<std::complex<float>> buf;
-};
-struct iatf_zbuf {
-  iatf::CompactBuffer<std::complex<double>> buf;
-};
 
 // Per-type buffer management. For complex types the C-side scalar array
 // is interleaved (re, im), which std::complex guarantees layout-wise.

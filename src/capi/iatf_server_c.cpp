@@ -1,0 +1,338 @@
+// C shim over iatf::serve::Server. The handle owns a Server bound to the
+// default engine plus a ticket table mapping uint64 tickets to the
+// futures of outstanding submissions; wait() retires a ticket, poll()
+// peeks. Ticket operations take a handle-local mutex that is never held
+// across a blocking wait, so poll/submit/stats stay responsive while
+// another thread waits.
+#include "iatf/capi/iatf.h"
+
+#include "capi_buffers.hpp"
+
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+#include "iatf/common/error.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/serve/server.hpp"
+
+namespace {
+
+static_assert(IATF_STATUS_CANCELLED ==
+              static_cast<int>(iatf::Status::Cancelled));
+
+int status_of_exception() {
+  try {
+    throw;
+  } catch (const iatf::Error& e) {
+    return static_cast<int>(e.status());
+  } catch (const std::bad_alloc&) {
+    return IATF_STATUS_ALLOC_FAILURE;
+  } catch (...) {
+    return IATF_STATUS_INTERNAL;
+  }
+}
+
+std::chrono::nanoseconds from_ms(double ms) {
+  return ms > 0 ? std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::duration<double, std::milli>(ms))
+                : std::chrono::nanoseconds(0);
+}
+
+} // namespace
+
+struct iatf_server {
+  iatf::serve::Server server;
+  std::mutex tickets_mu;
+  std::unordered_map<uint64_t, std::future<iatf::BatchHealth>> tickets;
+  uint64_t next_ticket = 1;
+
+  explicit iatf_server(iatf::serve::ServeConfig config)
+      : server(iatf::Engine::default_engine(), config) {}
+
+  uint64_t issue(std::future<iatf::BatchHealth> fut) {
+    std::lock_guard<std::mutex> lk(tickets_mu);
+    const uint64_t ticket = next_ticket++;
+    tickets.emplace(ticket, std::move(fut));
+    return ticket;
+  }
+};
+
+extern "C" iatf_server* iatf_server_create(const iatf_serve_config* config) {
+  try {
+    iatf::serve::ServeConfig cfg;
+    if (config != nullptr) {
+      if (config->queue_capacity > 0) {
+        cfg.queue_capacity =
+            static_cast<std::size_t>(config->queue_capacity);
+      }
+      cfg.per_tenant_quota =
+          config->per_tenant_quota > 0
+              ? static_cast<std::size_t>(config->per_tenant_quota)
+              : 0;
+      if (config->max_coalesce > 0) {
+        cfg.max_coalesce = static_cast<std::size_t>(config->max_coalesce);
+      }
+      cfg.overload =
+          static_cast<iatf::resilience::OverloadPolicy>(config->overload);
+      cfg.default_deadline = from_ms(config->default_deadline_ms);
+    }
+    return new iatf_server(cfg);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+extern "C" void iatf_server_destroy(iatf_server* server) {
+  delete server; // ~Server stops and joins; unresolved tickets discarded
+}
+
+extern "C" int iatf_server_set_tenant_weight(iatf_server* server,
+                                             uint32_t tenant,
+                                             uint32_t weight) {
+  if (server == nullptr || weight == 0) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  server->server.set_tenant_weight(tenant, weight);
+  return IATF_STATUS_OK;
+}
+
+extern "C" int iatf_server_set_overload_policy(iatf_server* server,
+                                               iatf_overload_policy policy) {
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  server->server.set_overload_policy(
+      static_cast<iatf::resilience::OverloadPolicy>(policy));
+  return IATF_STATUS_OK;
+}
+
+namespace {
+
+/// Shared tail of every submit shim: run the submission (which may
+/// resolve inline -- shed, refused, degraded), surface an
+/// already-failed future as a status code without issuing a ticket, and
+/// otherwise register it in the ticket table.
+int finish_submit(iatf_server* server,
+                  std::future<iatf::BatchHealth> fut, uint64_t* ticket) {
+  using namespace std::chrono_literals;
+  if (fut.wait_for(0s) == std::future_status::ready) {
+    try {
+      // Resolved at submit time with a value: DegradeToRef ran it
+      // inline. Issue an already-ready ticket so wait/poll still work.
+      const iatf::BatchHealth health = fut.get();
+      std::promise<iatf::BatchHealth> done;
+      done.set_value(health);
+      *ticket = server->issue(done.get_future());
+      return IATF_STATUS_OK;
+    } catch (...) {
+      return status_of_exception(); // shed/refused: no ticket
+    }
+  }
+  *ticket = server->issue(std::move(fut));
+  return IATF_STATUS_OK;
+}
+
+template <class Submit>
+int submit_shim(iatf_server* server, uint64_t* ticket, Submit&& submit) {
+  if (server == nullptr || ticket == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  try {
+    return finish_submit(server, submit(), ticket);
+  } catch (...) {
+    return status_of_exception();
+  }
+}
+
+} // namespace
+
+extern "C" int iatf_server_submit_sgemm(iatf_server* server, iatf_op op_a,
+                                        iatf_op op_b, float alpha,
+                                        const iatf_sbuf* a,
+                                        const iatf_sbuf* b, float beta,
+                                        iatf_sbuf* c, uint32_t tenant,
+                                        double deadline_ms,
+                                        uint64_t* ticket) {
+  if (a == nullptr || b == nullptr || c == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  return submit_shim(server, ticket, [&] {
+    iatf::serve::SubmitOptions opts;
+    opts.tenant = tenant;
+    opts.deadline = from_ms(deadline_ms);
+    return server->server.submit_gemm<float>(
+        static_cast<iatf::Op>(op_a), static_cast<iatf::Op>(op_b), alpha,
+        a->buf, b->buf, beta, c->buf, opts);
+  });
+}
+
+extern "C" int iatf_server_submit_dgemm(iatf_server* server, iatf_op op_a,
+                                        iatf_op op_b, double alpha,
+                                        const iatf_dbuf* a,
+                                        const iatf_dbuf* b, double beta,
+                                        iatf_dbuf* c, uint32_t tenant,
+                                        double deadline_ms,
+                                        uint64_t* ticket) {
+  if (a == nullptr || b == nullptr || c == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  return submit_shim(server, ticket, [&] {
+    iatf::serve::SubmitOptions opts;
+    opts.tenant = tenant;
+    opts.deadline = from_ms(deadline_ms);
+    return server->server.submit_gemm<double>(
+        static_cast<iatf::Op>(op_a), static_cast<iatf::Op>(op_b), alpha,
+        a->buf, b->buf, beta, c->buf, opts);
+  });
+}
+
+extern "C" int iatf_server_submit_strsm(iatf_server* server, iatf_side side,
+                                        iatf_uplo uplo, iatf_op op_a,
+                                        iatf_diag diag, float alpha,
+                                        const iatf_sbuf* a, iatf_sbuf* b,
+                                        uint32_t tenant, double deadline_ms,
+                                        uint64_t* ticket) {
+  if (a == nullptr || b == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  return submit_shim(server, ticket, [&] {
+    iatf::serve::SubmitOptions opts;
+    opts.tenant = tenant;
+    opts.deadline = from_ms(deadline_ms);
+    return server->server.submit_trsm<float>(
+        static_cast<iatf::Side>(side), static_cast<iatf::Uplo>(uplo),
+        static_cast<iatf::Op>(op_a), static_cast<iatf::Diag>(diag), alpha,
+        a->buf, b->buf, opts);
+  });
+}
+
+extern "C" int iatf_server_submit_dtrsm(iatf_server* server, iatf_side side,
+                                        iatf_uplo uplo, iatf_op op_a,
+                                        iatf_diag diag, double alpha,
+                                        const iatf_dbuf* a, iatf_dbuf* b,
+                                        uint32_t tenant, double deadline_ms,
+                                        uint64_t* ticket) {
+  if (a == nullptr || b == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  return submit_shim(server, ticket, [&] {
+    iatf::serve::SubmitOptions opts;
+    opts.tenant = tenant;
+    opts.deadline = from_ms(deadline_ms);
+    return server->server.submit_trsm<double>(
+        static_cast<iatf::Side>(side), static_cast<iatf::Uplo>(uplo),
+        static_cast<iatf::Op>(op_a), static_cast<iatf::Diag>(diag), alpha,
+        a->buf, b->buf, opts);
+  });
+}
+
+extern "C" int iatf_server_poll(iatf_server* server, uint64_t ticket,
+                                int* status) {
+  using namespace std::chrono_literals;
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  std::lock_guard<std::mutex> lk(server->tickets_mu);
+  const auto it = server->tickets.find(ticket);
+  if (it == server->tickets.end()) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  if (it->second.wait_for(0s) != std::future_status::ready) {
+    return 0;
+  }
+  if (status != nullptr) {
+    // get() consumes the shared state; re-materialise an equivalent
+    // ready future so the ticket stays waitable per the contract.
+    std::promise<iatf::BatchHealth> again;
+    int rc = IATF_STATUS_OK;
+    try {
+      const iatf::BatchHealth health = it->second.get();
+      again.set_value(health);
+    } catch (...) {
+      rc = status_of_exception();
+      again.set_exception(std::current_exception());
+    }
+    it->second = again.get_future();
+    *status = rc;
+  }
+  return 1;
+}
+
+extern "C" int iatf_server_wait(iatf_server* server, uint64_t ticket) {
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  std::future<iatf::BatchHealth> fut;
+  {
+    std::lock_guard<std::mutex> lk(server->tickets_mu);
+    const auto it = server->tickets.find(ticket);
+    if (it == server->tickets.end()) {
+      return IATF_STATUS_INVALID_ARG;
+    }
+    fut = std::move(it->second);
+    server->tickets.erase(it);
+  }
+  try {
+    (void)fut.get();
+    return IATF_STATUS_OK;
+  } catch (...) {
+    return status_of_exception();
+  }
+}
+
+extern "C" int iatf_server_drain(iatf_server* server) {
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  server->server.drain();
+  return IATF_STATUS_OK;
+}
+
+extern "C" int iatf_server_stop(iatf_server* server) {
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  server->server.stop();
+  return IATF_STATUS_OK;
+}
+
+extern "C" int iatf_server_get_stats(iatf_server* server,
+                                     iatf_server_stats* stats) {
+  if (server == nullptr || stats == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  const iatf::serve::ServerStats s = server->server.stats();
+  stats->queued = static_cast<int64_t>(s.queued);
+  stats->queue_capacity = static_cast<int64_t>(s.queue_capacity);
+  stats->inflight = static_cast<int64_t>(s.inflight);
+  stats->submitted = static_cast<int64_t>(s.submitted);
+  stats->completed = static_cast<int64_t>(s.completed);
+  stats->dispatch_calls = static_cast<int64_t>(s.dispatch_calls);
+  stats->coalesced_requests = static_cast<int64_t>(s.coalesced_requests);
+  static_assert(iatf::serve::ServerStats::kCoalesceBuckets == 5);
+  for (std::size_t i = 0; i < iatf::serve::ServerStats::kCoalesceBuckets;
+       ++i) {
+    stats->coalesce_hist[i] = static_cast<int64_t>(s.coalesce_hist[i]);
+  }
+  stats->shed_expired = static_cast<int64_t>(s.shed_expired);
+  stats->shed_overflow = static_cast<int64_t>(s.shed_overflow);
+  stats->cancelled = static_cast<int64_t>(s.cancelled);
+  stats->degraded_inline = static_cast<int64_t>(s.degraded_inline);
+  return IATF_STATUS_OK;
+}
+
+extern "C" int64_t iatf_server_tenant_served(iatf_server* server,
+                                             uint32_t tenant) {
+  if (server == nullptr) {
+    return -1;
+  }
+  const iatf::serve::ServerStats s = server->server.stats();
+  for (const iatf::serve::TenantStats& t : s.tenants) {
+    if (t.tenant == tenant) {
+      return static_cast<int64_t>(t.served);
+    }
+  }
+  return 0;
+}

@@ -20,6 +20,8 @@ const char* to_string(Status status) noexcept {
     return "deadline exceeded";
   case Status::Overloaded:
     return "overloaded";
+  case Status::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <complex>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <limits>
@@ -363,6 +364,22 @@ Engine::Engine(CacheInfo cache, std::size_t plan_cache_capacity)
   }
   if (const long long r = env_positive("IATF_RETRY_MAX")) {
     retry_attempts_.store(static_cast<int>(r), std::memory_order_relaxed);
+  }
+}
+
+Engine::~Engine() {
+  // Shutdown ordering contract (DESIGN.md section 12): a Server's
+  // dispatcher thread holds a bare Engine& and may be mid-dispatch, so
+  // destroying the engine first is a guaranteed use-after-free. Fail
+  // loudly and immediately instead of corrupting memory.
+  const std::size_t servers = servers_.load(std::memory_order_relaxed);
+  if (servers != 0) {
+    std::fprintf(stderr,
+                 "iatf: fatal: Engine destroyed while %zu "
+                 "iatf::serve::Server instance(s) are still attached; "
+                 "destroy (or stop()) every Server before its engine\n",
+                 servers);
+    std::abort();
   }
 }
 

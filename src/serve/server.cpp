@@ -1,0 +1,802 @@
+// Server implementation: bounded multi-tenant submission queue, one
+// dispatcher thread coalescing same-descriptor-class requests into
+// grouped engine calls, weighted-fair dequeue, deadline shedding and a
+// drain/stop lifecycle. Every queue transition happens under mu_; the
+// engine call itself runs with the lock released so submitters and
+// lifecycle calls never wait on compute.
+#include "iatf/serve/server.hpp"
+
+#include <algorithm>
+#include <complex>
+#include <exception>
+#include <utility>
+
+#include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
+
+namespace iatf::serve {
+
+namespace detail {
+
+/// Stable status classification of an exception_ptr (the callback-side
+/// mirror of the C API's record_exception).
+Status status_of(const std::exception_ptr& p) noexcept {
+  try {
+    std::rethrow_exception(p);
+  } catch (const Error& e) {
+    return e.status();
+  } catch (const std::bad_alloc&) {
+    return Status::AllocFailure;
+  } catch (...) {
+    return Status::Internal;
+  }
+}
+
+/// One queued request. Derived types carry the typed payload and the
+/// promise; the base carries everything the queue and the coalescer
+/// need. Resolution invariant: exactly one of resolve-with-value (via
+/// run or a coalesced dispatch) or fail() per request, ever.
+struct Request {
+  char kind = 0;  ///< 'g'/'t' single gemm/trsm, 'G'/'R' grouped gemm/trsm
+  char dtype = 0; ///< 's', 'd', 'c', 'z'
+  TenantId tenant = 0;
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  sched::ClassKey key{}; ///< coalescing identity (single requests only)
+
+  virtual ~Request() = default;
+  /// Execute alone on `engine` and resolve the promise/callback. Never
+  /// throws: engine failures resolve the request with the exception.
+  virtual void run(Engine& engine) noexcept = 0;
+  /// Resolve with `error` without executing.
+  virtual void fail(std::exception_ptr error) noexcept = 0;
+
+  bool coalescable() const noexcept { return kind == 'g' || kind == 't'; }
+  bool expired(std::chrono::steady_clock::time_point now) const noexcept {
+    return has_deadline && now >= deadline;
+  }
+  bool same_class(const Request& other) const noexcept {
+    return kind == other.kind && dtype == other.dtype && key == other.key;
+  }
+};
+
+namespace {
+
+/// Invoke a completion callback, swallowing anything it throws (the
+/// contract says callbacks must not throw; a throwing callback must not
+/// kill the dispatcher or leave the future unresolved).
+template <class Cb, class... Args>
+void notify(const Cb& cb, Args&&... args) noexcept {
+  if (!cb) {
+    return;
+  }
+  try {
+    cb(std::forward<Args>(args)...);
+  } catch (...) {
+  }
+}
+
+template <class T> constexpr char dtype_of() {
+  if constexpr (std::is_same_v<T, float>) {
+    return 's';
+  } else if constexpr (std::is_same_v<T, double>) {
+    return 'd';
+  } else if constexpr (std::is_same_v<T, std::complex<float>>) {
+    return 'c';
+  } else {
+    return 'z';
+  }
+}
+
+template <class T> struct GemmRequest final : Request {
+  sched::GemmSegment<T> seg{};
+  std::promise<BatchHealth> promise;
+  Server::Completion cb;
+
+  void resolve(const BatchHealth& health) noexcept {
+    notify(cb, Status::Ok, health);
+    promise.set_value(health);
+  }
+  void run(Engine& engine) noexcept override {
+    try {
+      resolve(engine.gemm<T>(seg.op_a, seg.op_b, seg.alpha, *seg.a,
+                             *seg.b, seg.beta, *seg.c));
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  }
+  void fail(std::exception_ptr error) noexcept override {
+    notify(cb, status_of(error), BatchHealth{});
+    promise.set_exception(std::move(error));
+  }
+};
+
+template <class T> struct TrsmRequest final : Request {
+  sched::TrsmSegment<T> seg{};
+  std::promise<BatchHealth> promise;
+  Server::Completion cb;
+
+  void resolve(const BatchHealth& health) noexcept {
+    notify(cb, Status::Ok, health);
+    promise.set_value(health);
+  }
+  void run(Engine& engine) noexcept override {
+    try {
+      resolve(engine.trsm<T>(seg.side, seg.uplo, seg.op_a, seg.diag,
+                             seg.alpha, *seg.a, *seg.b));
+    } catch (...) {
+      fail(std::current_exception());
+    }
+  }
+  void fail(std::exception_ptr error) noexcept override {
+    notify(cb, status_of(error), BatchHealth{});
+    promise.set_exception(std::move(error));
+  }
+};
+
+template <class T, class Segment> struct GroupedRequestBase : Request {
+  std::vector<Segment> segs;
+  std::promise<std::vector<BatchHealth>> promise;
+  Server::GroupedCompletion cb;
+
+  void resolve(std::vector<BatchHealth> healths) noexcept {
+    notify(cb, Status::Ok,
+           std::span<const BatchHealth>(healths.data(), healths.size()));
+    promise.set_value(std::move(healths));
+  }
+  void fail(std::exception_ptr error) noexcept override {
+    notify(cb, status_of(error), std::span<const BatchHealth>());
+    promise.set_exception(std::move(error));
+  }
+};
+
+template <class T>
+struct GroupedGemmRequest final
+    : GroupedRequestBase<T, sched::GemmSegment<T>> {
+  void run(Engine& engine) noexcept override {
+    try {
+      this->resolve(engine.gemm_grouped<T>(
+          std::span<const sched::GemmSegment<T>>(this->segs)));
+    } catch (...) {
+      this->fail(std::current_exception());
+    }
+  }
+};
+
+template <class T>
+struct GroupedTrsmRequest final
+    : GroupedRequestBase<T, sched::TrsmSegment<T>> {
+  void run(Engine& engine) noexcept override {
+    try {
+      this->resolve(engine.trsm_grouped<T>(
+          std::span<const sched::TrsmSegment<T>>(this->segs)));
+    } catch (...) {
+      this->fail(std::current_exception());
+    }
+  }
+};
+
+sched::ClassKey gemm_key(const GemmShape& s) {
+  sched::ClassKey key;
+  key.op = 'g';
+  key.m = s.m;
+  key.n = s.n;
+  key.k = s.k;
+  key.op_a = static_cast<std::uint8_t>(s.op_a);
+  key.op_b = static_cast<std::uint8_t>(s.op_b);
+  key.batch = s.batch;
+  return key;
+}
+
+sched::ClassKey trsm_key(const TrsmShape& s) {
+  sched::ClassKey key;
+  key.op = 't';
+  key.m = s.m;
+  key.n = s.n;
+  key.op_a = static_cast<std::uint8_t>(s.op_a);
+  key.side = static_cast<std::uint8_t>(s.side);
+  key.uplo = static_cast<std::uint8_t>(s.uplo);
+  key.diag = static_cast<std::uint8_t>(s.diag);
+  key.batch = s.batch;
+  return key;
+}
+
+} // namespace
+} // namespace detail
+
+// --- WeightedPicker ----------------------------------------------------
+
+WeightedPicker::State& WeightedPicker::state_for(TenantId tenant) {
+  return states_[tenant]; // default: pass 0, weight 1
+}
+
+void WeightedPicker::set_weight(TenantId tenant, std::uint32_t weight) {
+  state_for(tenant).weight = std::max<std::uint32_t>(1, weight);
+}
+
+std::uint32_t WeightedPicker::weight(TenantId tenant) const {
+  const auto it = states_.find(tenant);
+  return it == states_.end() ? 1 : it->second.weight;
+}
+
+void WeightedPicker::activate(TenantId tenant) {
+  State& s = state_for(tenant);
+  s.pass = std::max(s.pass, vtime_);
+}
+
+TenantId WeightedPicker::pick(std::span<const TenantId> runnable) const {
+  TenantId best = runnable.front();
+  std::uint64_t best_pass = ~std::uint64_t{0};
+  for (const TenantId t : runnable) {
+    const auto it = states_.find(t);
+    const std::uint64_t pass = it == states_.end() ? 0 : it->second.pass;
+    if (pass < best_pass || (pass == best_pass && t < best)) {
+      best = t;
+      best_pass = pass;
+    }
+  }
+  return best;
+}
+
+void WeightedPicker::charge(TenantId tenant) {
+  State& s = state_for(tenant);
+  vtime_ = std::max(vtime_, s.pass);
+  s.pass += kScale / s.weight;
+}
+
+// --- Server ------------------------------------------------------------
+
+Server::Server(Engine& engine, ServeConfig config)
+    : engine_(engine), config_(config) {
+  config_.queue_capacity = std::max<std::size_t>(1, config_.queue_capacity);
+  config_.max_coalesce = std::max<std::size_t>(1, config_.max_coalesce);
+  if (config_.per_tenant_quota > config_.queue_capacity) {
+    config_.per_tenant_quota = config_.queue_capacity;
+  }
+  engine_.attach_server();
+  dispatcher_ = std::thread([this] { run_dispatcher(); });
+}
+
+Server::~Server() {
+  stop();
+  engine_.detach_server();
+}
+
+Server::Tenant& Server::tenant_for(TenantId id) { return tenants_[id]; }
+
+void Server::set_tenant_weight(TenantId tenant, std::uint32_t weight) {
+  std::lock_guard<std::mutex> lk(mu_);
+  (void)tenant_for(tenant);
+  picker_.set_weight(tenant, weight);
+}
+
+void Server::set_overload_policy(resilience::OverloadPolicy policy) {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_.overload = policy;
+  // A relaxed policy can unblock waiting submitters (they re-evaluate
+  // and apply the new policy to their still-unqueued request).
+  space_cv_.notify_all();
+}
+
+void Server::pause() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = true;
+}
+
+void Server::resume() {
+  std::lock_guard<std::mutex> lk(mu_);
+  paused_ = false;
+  work_cv_.notify_all();
+}
+
+bool Server::accepting() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return phase_ == Phase::Running;
+}
+
+void Server::drain() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (phase_ == Phase::Running) {
+      phase_ = Phase::Draining;
+    }
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    idle_cv_.wait(lk, [&] {
+      return dispatcher_done_ && inline_running_ == 0;
+    });
+  }
+  join_dispatcher();
+}
+
+void Server::stop() {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    phase_ = Phase::Stopping;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+    idle_cv_.wait(lk, [&] {
+      return dispatcher_done_ && inline_running_ == 0;
+    });
+    // The dispatcher cancels the queue on its way out, but it may have
+    // exited earlier via a completed drain(); cancel any remainder (a
+    // drain leaves none, this is belt-and-braces for racing lifecycles).
+    if (queued_ != 0) {
+      cancel_queued(lk);
+    }
+  }
+  join_dispatcher();
+}
+
+void Server::join_dispatcher() {
+  std::lock_guard<std::mutex> lk(join_mu_);
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServerStats out;
+  out.queued = queued_;
+  out.queue_capacity = config_.queue_capacity;
+  out.inflight = inflight_ + inline_running_;
+  out.submitted = submitted_;
+  out.completed = completed_;
+  out.dispatch_calls = dispatch_calls_;
+  out.coalesced_requests = coalesced_requests_;
+  out.coalesce_hist = coalesce_hist_;
+  out.shed_expired = shed_expired_;
+  out.shed_overflow = shed_overflow_;
+  out.cancelled = cancelled_;
+  out.degraded_inline = degraded_inline_;
+  out.tenants.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    TenantStats ts;
+    ts.tenant = id;
+    ts.weight = picker_.weight(id);
+    ts.submitted = t.submitted;
+    ts.served = t.served;
+    ts.shed_expired = t.shed_expired;
+    ts.shed_overflow = t.shed_overflow;
+    ts.cancelled = t.cancelled;
+    out.tenants.push_back(ts);
+  }
+  std::sort(out.tenants.begin(), out.tenants.end(),
+            [](const TenantStats& a, const TenantStats& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+// --- Submission --------------------------------------------------------
+
+void Server::enqueue(std::unique_ptr<detail::Request> r,
+                     const SubmitOptions& opts) {
+  r->tenant = opts.tenant;
+  const auto budget =
+      opts.deadline.count() > 0 ? opts.deadline : config_.default_deadline;
+  if (budget.count() > 0) {
+    r->has_deadline = true;
+    r->deadline = std::chrono::steady_clock::now() + budget;
+  }
+
+  std::unique_lock<std::mutex> lk(mu_);
+  ++submitted_;
+  Tenant& t = tenant_for(r->tenant);
+  ++t.submitted;
+
+  try {
+    IATF_FAULT_POINT("serve.enqueue", Status::AllocFailure);
+  } catch (...) {
+    const auto error = std::current_exception();
+    lk.unlock();
+    r->fail(error);
+    return;
+  }
+
+  const std::size_t quota = config_.per_tenant_quota != 0
+                                ? config_.per_tenant_quota
+                                : config_.queue_capacity;
+  for (;;) {
+    if (phase_ != Phase::Running) {
+      ++cancelled_;
+      ++t.cancelled;
+      lk.unlock();
+      r->fail(std::make_exception_ptr(CancelledError(
+          "iatf: submission refused: server is draining or stopped")));
+      return;
+    }
+    if (queued_ < config_.queue_capacity && t.q.size() < quota) {
+      break; // space available
+    }
+    switch (config_.overload) {
+    case resilience::OverloadPolicy::ShedNewest: {
+      ++shed_overflow_;
+      ++t.shed_overflow;
+      const std::size_t queued = queued_;
+      lk.unlock();
+      r->fail(std::make_exception_ptr(
+          OverloadError(queued, config_.queue_capacity)));
+      return;
+    }
+    case resilience::OverloadPolicy::DegradeToRef: {
+      // No queue space: serve the request synchronously on the
+      // submitting thread (the engine's own admission control and
+      // policies still apply). The queue stays bounded and the caller
+      // pays the cost, exactly the DegradeToRef admission idea.
+      ++degraded_inline_;
+      ++inline_running_;
+      lk.unlock();
+      r->run(engine_);
+      lk.lock();
+      --inline_running_;
+      ++completed_;
+      idle_cv_.notify_all();
+      return;
+    }
+    case resilience::OverloadPolicy::Block: {
+      const auto has_space = [&] {
+        return phase_ != Phase::Running ||
+               (queued_ < config_.queue_capacity && t.q.size() < quota) ||
+               config_.overload != resilience::OverloadPolicy::Block;
+      };
+      if (r->has_deadline) {
+        if (!space_cv_.wait_until(lk, r->deadline, has_space)) {
+          // Still full at the request's own deadline: the wait consumed
+          // the whole budget, so this is a timeout, not an overload.
+          ++shed_expired_;
+          ++t.shed_expired;
+          lk.unlock();
+          r->fail(std::make_exception_ptr(TimeoutError(0, 1)));
+          return;
+        }
+      } else {
+        space_cv_.wait(lk, has_space);
+      }
+      continue; // re-evaluate phase/space/policy
+    }
+    }
+  }
+
+  if (t.q.empty()) {
+    picker_.activate(r->tenant);
+  }
+  t.q.push_back(std::move(r));
+  ++queued_;
+  work_cv_.notify_one();
+}
+
+template <class T>
+std::future<BatchHealth>
+Server::submit_gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+                    const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c,
+                    SubmitOptions opts, Completion on_complete) {
+  auto r = std::make_unique<detail::GemmRequest<T>>();
+  r->kind = 'g';
+  r->dtype = detail::dtype_of<T>();
+  r->seg = sched::GemmSegment<T>{op_a, op_b, alpha, beta, &a, &b, &c};
+  GemmShape shape;
+  shape.m = c.rows();
+  shape.n = c.cols();
+  shape.k = op_a == Op::NoTrans ? a.cols() : a.rows();
+  shape.op_a = op_a;
+  shape.op_b = op_b;
+  shape.batch = c.batch();
+  r->key = detail::gemm_key(shape);
+  r->cb = std::move(on_complete);
+  std::future<BatchHealth> fut = r->promise.get_future();
+  enqueue(std::move(r), opts);
+  return fut;
+}
+
+template <class T>
+std::future<BatchHealth>
+Server::submit_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                    const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                    SubmitOptions opts, Completion on_complete) {
+  auto r = std::make_unique<detail::TrsmRequest<T>>();
+  r->kind = 't';
+  r->dtype = detail::dtype_of<T>();
+  r->seg = sched::TrsmSegment<T>{side, uplo, op_a, diag, alpha, &a, &b};
+  TrsmShape shape;
+  shape.m = b.rows();
+  shape.n = b.cols();
+  shape.side = side;
+  shape.uplo = uplo;
+  shape.op_a = op_a;
+  shape.diag = diag;
+  shape.batch = b.batch();
+  r->key = detail::trsm_key(shape);
+  r->cb = std::move(on_complete);
+  std::future<BatchHealth> fut = r->promise.get_future();
+  enqueue(std::move(r), opts);
+  return fut;
+}
+
+template <class T>
+std::future<std::vector<BatchHealth>>
+Server::submit_grouped(std::span<const sched::GemmSegment<T>> segments,
+                       SubmitOptions opts, GroupedCompletion on_complete) {
+  auto r = std::make_unique<detail::GroupedGemmRequest<T>>();
+  r->kind = 'G';
+  r->dtype = detail::dtype_of<T>();
+  r->segs.assign(segments.begin(), segments.end());
+  r->cb = std::move(on_complete);
+  std::future<std::vector<BatchHealth>> fut = r->promise.get_future();
+  enqueue(std::move(r), opts);
+  return fut;
+}
+
+template <class T>
+std::future<std::vector<BatchHealth>>
+Server::submit_grouped(std::span<const sched::TrsmSegment<T>> segments,
+                       SubmitOptions opts, GroupedCompletion on_complete) {
+  auto r = std::make_unique<detail::GroupedTrsmRequest<T>>();
+  r->kind = 'R';
+  r->dtype = detail::dtype_of<T>();
+  r->segs.assign(segments.begin(), segments.end());
+  r->cb = std::move(on_complete);
+  std::future<std::vector<BatchHealth>> fut = r->promise.get_future();
+  enqueue(std::move(r), opts);
+  return fut;
+}
+
+// --- Dispatcher --------------------------------------------------------
+
+void Server::run_dispatcher() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] {
+      if (phase_ != Phase::Running) {
+        return true; // draining ignores pause; stopping cancels
+      }
+      return !paused_ && queued_ > 0;
+    });
+    if (phase_ == Phase::Stopping) {
+      cancel_queued(lk);
+      break;
+    }
+    if (queued_ == 0) {
+      if (phase_ == Phase::Draining) {
+        break;
+      }
+      continue;
+    }
+    dispatch_round(lk);
+  }
+  dispatcher_done_ = true;
+  idle_cv_.notify_all();
+}
+
+void Server::dispatch_round(std::unique_lock<std::mutex>& lk) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Weighted-fair head: smallest stride pass among non-empty tenants.
+  std::vector<TenantId> runnable;
+  runnable.reserve(tenants_.size());
+  for (const auto& [id, t] : tenants_) {
+    if (!t.q.empty()) {
+      runnable.push_back(id);
+    }
+  }
+  Tenant& head_tenant = tenants_[picker_.pick(runnable)];
+  std::unique_ptr<detail::Request> head =
+      std::move(head_tenant.q.front());
+  head_tenant.q.pop_front();
+  --queued_;
+  picker_.charge(head->tenant);
+  space_cv_.notify_all();
+
+  // Deadline propagation: queue time counts against the request budget;
+  // an expired request is resolved here and never reaches the engine.
+  if (head->expired(now)) {
+    ++shed_expired_;
+    ++head_tenant.shed_expired;
+    auto dead = std::move(head);
+    lk.unlock();
+    dead->fail(std::make_exception_ptr(TimeoutError(0, 1)));
+    lk.lock();
+    return;
+  }
+
+  // Coalesce: pull same-class single requests from every tenant queue
+  // (FIFO within each tenant, any position across classes -- requests
+  // are independent, so cross-class reordering is unobservable).
+  std::vector<std::unique_ptr<detail::Request>> batch;
+  std::vector<std::unique_ptr<detail::Request>> expired;
+  batch.push_back(std::move(head));
+  if (batch.front()->coalescable() && config_.max_coalesce > 1) {
+    try {
+      for (auto& [id, t] : tenants_) {
+        if (batch.size() >= config_.max_coalesce) {
+          break;
+        }
+        for (auto it = t.q.begin();
+             it != t.q.end() && batch.size() < config_.max_coalesce;) {
+          IATF_FAULT_POINT("serve.coalesce", Status::Internal);
+          if (!(*it)->same_class(*batch.front())) {
+            ++it;
+            continue;
+          }
+          std::unique_ptr<detail::Request> mate = std::move(*it);
+          it = t.q.erase(it);
+          --queued_;
+          picker_.charge(mate->tenant);
+          if (mate->expired(now)) {
+            ++shed_expired_;
+            ++t.shed_expired;
+            expired.push_back(std::move(mate));
+          } else {
+            ++t.served;
+            batch.push_back(std::move(mate));
+          }
+        }
+      }
+    } catch (const fault::FaultInjected&) {
+      // Injected coalescing failure: dispatch what was collected so far
+      // (worst case the head alone). Never fails a request.
+    }
+    space_cv_.notify_all();
+  }
+  ++head_tenant.served;
+
+  ++dispatch_calls_;
+  std::size_t bucket = ServerStats::kCoalesceBuckets - 1;
+  if (batch.size() <= 1) {
+    bucket = 0;
+  } else if (batch.size() == 2) {
+    bucket = 1;
+  } else if (batch.size() <= 4) {
+    bucket = 2;
+  } else if (batch.size() <= 8) {
+    bucket = 3;
+  }
+  ++coalesce_hist_[bucket];
+  if (batch.size() >= 2) {
+    coalesced_requests_ += batch.size();
+  }
+  inflight_ += batch.size();
+  const std::size_t executed = batch.size();
+
+  lk.unlock();
+  for (auto& dead : expired) {
+    dead->fail(std::make_exception_ptr(TimeoutError(0, 1)));
+  }
+  execute_batch(std::move(batch));
+  lk.lock();
+  inflight_ -= executed;
+  completed_ += executed;
+}
+
+void Server::execute_batch(
+    std::vector<std::unique_ptr<detail::Request>> batch) noexcept {
+  try {
+    IATF_FAULT_POINT("serve.dispatch", Status::Internal);
+    if (batch.size() == 1) {
+      batch.front()->run(engine_); // resolves internally, never throws
+      return;
+    }
+    switch (batch.front()->dtype) {
+    case 's':
+      if (batch.front()->kind == 'g') {
+        run_coalesced_gemm<float>(batch);
+      } else {
+        run_coalesced_trsm<float>(batch);
+      }
+      return;
+    case 'd':
+      if (batch.front()->kind == 'g') {
+        run_coalesced_gemm<double>(batch);
+      } else {
+        run_coalesced_trsm<double>(batch);
+      }
+      return;
+    case 'c':
+      if (batch.front()->kind == 'g') {
+        run_coalesced_gemm<std::complex<float>>(batch);
+      } else {
+        run_coalesced_trsm<std::complex<float>>(batch);
+      }
+      return;
+    default:
+      if (batch.front()->kind == 'g') {
+        run_coalesced_gemm<std::complex<double>>(batch);
+      } else {
+        run_coalesced_trsm<std::complex<double>>(batch);
+      }
+      return;
+    }
+  } catch (...) {
+    // A dispatch-level failure (injected fault, grouped-call rejection)
+    // must not take the coalesce-mates down with the culprit: retry each
+    // request alone so exactly the bad one fails. A single request just
+    // absorbs the error.
+    const auto error = std::current_exception();
+    if (batch.size() == 1) {
+      batch.front()->fail(error);
+      return;
+    }
+    for (auto& r : batch) {
+      r->run(engine_);
+    }
+  }
+}
+
+template <class T>
+void Server::run_coalesced_gemm(
+    std::vector<std::unique_ptr<detail::Request>>& batch) {
+  std::vector<sched::GemmSegment<T>> segs;
+  segs.reserve(batch.size());
+  for (const auto& r : batch) {
+    segs.push_back(
+        static_cast<const detail::GemmRequest<T>*>(r.get())->seg);
+  }
+  const std::vector<BatchHealth> healths =
+      engine_.gemm_grouped<T>(std::span<const sched::GemmSegment<T>>(segs));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    static_cast<detail::GemmRequest<T>*>(batch[i].get())
+        ->resolve(healths[i]);
+  }
+}
+
+template <class T>
+void Server::run_coalesced_trsm(
+    std::vector<std::unique_ptr<detail::Request>>& batch) {
+  std::vector<sched::TrsmSegment<T>> segs;
+  segs.reserve(batch.size());
+  for (const auto& r : batch) {
+    segs.push_back(
+        static_cast<const detail::TrsmRequest<T>*>(r.get())->seg);
+  }
+  const std::vector<BatchHealth> healths =
+      engine_.trsm_grouped<T>(std::span<const sched::TrsmSegment<T>>(segs));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    static_cast<detail::TrsmRequest<T>*>(batch[i].get())
+        ->resolve(healths[i]);
+  }
+}
+
+void Server::cancel_queued(std::unique_lock<std::mutex>& lk) {
+  std::vector<std::unique_ptr<detail::Request>> doomed;
+  for (auto& [id, t] : tenants_) {
+    t.cancelled += t.q.size();
+    cancelled_ += t.q.size();
+    while (!t.q.empty()) {
+      doomed.push_back(std::move(t.q.front()));
+      t.q.pop_front();
+    }
+  }
+  queued_ = 0;
+  space_cv_.notify_all();
+  lk.unlock();
+  for (auto& r : doomed) {
+    r->fail(std::make_exception_ptr(
+        CancelledError("iatf: request cancelled by Server::stop()")));
+  }
+  lk.lock();
+}
+
+// --- Explicit instantiations (s, d, c, z) ------------------------------
+
+#define IATF_SERVE_INSTANTIATE(T)                                           \
+  template std::future<BatchHealth> Server::submit_gemm<T>(                 \
+      Op, Op, T, const CompactBuffer<T>&, const CompactBuffer<T>&, T,       \
+      CompactBuffer<T>&, SubmitOptions, Completion);                        \
+  template std::future<BatchHealth> Server::submit_trsm<T>(                 \
+      Side, Uplo, Op, Diag, T, const CompactBuffer<T>&, CompactBuffer<T>&,  \
+      SubmitOptions, Completion);                                           \
+  template std::future<std::vector<BatchHealth>> Server::submit_grouped<T>( \
+      std::span<const sched::GemmSegment<T>>, SubmitOptions,                \
+      GroupedCompletion);                                                   \
+  template std::future<std::vector<BatchHealth>> Server::submit_grouped<T>( \
+      std::span<const sched::TrsmSegment<T>>, SubmitOptions,                \
+      GroupedCompletion);
+
+IATF_SERVE_INSTANTIATE(float)
+IATF_SERVE_INSTANTIATE(double)
+IATF_SERVE_INSTANTIATE(std::complex<float>)
+IATF_SERVE_INSTANTIATE(std::complex<double>)
+#undef IATF_SERVE_INSTANTIATE
+
+} // namespace iatf::serve

@@ -147,6 +147,47 @@ TEST_F(CapiResilience, ErrorDetailCarriesTheFailingDescriptor) {
   iatf_ddestroy(c);
 }
 
+// Regression: iatf_clear_error must blank the thread-local detail
+// struct itself, not only the availability flag -- no field or event
+// bit from before the clear may survive into the next failure's
+// report.
+TEST_F(CapiResilience, ClearErrorBlanksTheDetailDescriptor) {
+  // Produce a trsm-flavoured detail with the mode fields populated.
+  iatf_dbuf* a = filled_dbuf(4, 4, 6, 2.0);
+  iatf_dbuf* b = filled_dbuf(4, 3, 7, 1.0); // mismatched batch
+  ASSERT_EQ(iatf_dtrsm_compact(IATF_LEFT, IATF_UPPER, IATF_NOTRANS,
+                               IATF_UNIT, 1.0, a, b),
+            IATF_STATUS_INVALID_ARG);
+  iatf_error_detail detail;
+  ASSERT_EQ(iatf_last_error_detail(&detail), 1);
+  ASSERT_EQ(detail.uplo, IATF_UPPER);
+
+  iatf_clear_error();
+  EXPECT_EQ(iatf_last_error_detail(&detail), 0);
+  EXPECT_STREQ(iatf_last_error(), "");
+
+  // The next failure is a gemm: its detail must carry no trsm mode and
+  // no event bits from the cleared descriptor.
+  iatf_dbuf* c = filled_dbuf(4, 5, 7, 1.0);
+  iatf_dbuf* a2 = filled_dbuf(4, 3, 6, 0.5);
+  iatf_dbuf* b2 = filled_dbuf(3, 5, 6, -0.25);
+  ASSERT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.0, a2, b2,
+                               0.0, c),
+            IATF_STATUS_INVALID_ARG);
+  ASSERT_EQ(iatf_last_error_detail(&detail), 1);
+  EXPECT_EQ(detail.op, 'g');
+  EXPECT_EQ(detail.side, -1);
+  EXPECT_EQ(detail.uplo, -1);
+  EXPECT_EQ(detail.diag, -1);
+  EXPECT_EQ(detail.events, 0u);
+
+  iatf_ddestroy(a);
+  iatf_ddestroy(b);
+  iatf_ddestroy(a2);
+  iatf_ddestroy(b2);
+  iatf_ddestroy(c);
+}
+
 TEST_F(CapiResilience, TrsmErrorDetailCarriesTheMode) {
   iatf_dbuf* a = filled_dbuf(4, 4, 6, 2.0);
   iatf_dbuf* b = filled_dbuf(4, 3, 7, 1.0); // mismatched batch

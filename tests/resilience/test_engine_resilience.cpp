@@ -350,6 +350,33 @@ TEST_F(EngineResilience, RetryDisabledDegradesImmediately) {
   EXPECT_EQ(e.stats().retries, 0u);
 }
 
+// Regression: the retry backoff sleep must be clamped to the remaining
+// call deadline. With a base delay far past the deadline, a transient
+// fault's retry wait must consume at most the deadline budget -- the
+// call returns (fallback, success or Timeout) near the deadline, never
+// after the full base delay.
+TEST_F(EngineResilience, RetryBackoffClampedToCallDeadline) {
+  Engine e(CacheInfo::kunpeng920());
+  e.set_kernel_verification(false);
+  e.set_policy(ExecPolicy::Fallback);
+  e.set_retry_policy({/*max_attempts=*/3,
+                      /*base_delay=*/std::chrono::seconds(30)});
+  e.set_call_deadline(std::chrono::milliseconds(200));
+  MiniGemm fx(8, 8, 4);
+  fx.prepare();
+  fault::ScopedFault alloc("alloc", 0, 1); // first attempt fails
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    (void)fx.run_prepared(e); // retry may succeed or hit the deadline
+  } catch (const TimeoutError&) {
+    // The clamped sleep can legitimately consume the whole budget.
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "backoff slept past the call deadline";
+  EXPECT_EQ(e.stats().retries, 1u);
+}
+
 // --- Degradation circuit breaker ------------------------------------------
 
 // Drive one engine through the canonical trip/recover schedule: two

@@ -1,0 +1,110 @@
+// Engine <-> Server shutdown-ordering contract (DESIGN.md section 12):
+// every Server must be destroyed (or at least stopped) before its
+// engine. ~Engine enforces the contract by aborting -- loudly, never UB
+// -- while servers are still attached; these tests pin the abort, the
+// attach/detach accounting, and destruction under live traffic.
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/error.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/serve/server.hpp"
+
+namespace iatf::serve {
+namespace {
+
+TEST(ServeLifecycle, AttachDetachAccounting) {
+  Engine engine(CacheInfo::kunpeng920());
+  EXPECT_EQ(engine.attached_servers(), 0u);
+  {
+    Server s1(engine);
+    EXPECT_EQ(engine.attached_servers(), 1u);
+    {
+      Server s2(engine);
+      EXPECT_EQ(engine.attached_servers(), 2u);
+    }
+    EXPECT_EQ(engine.attached_servers(), 1u);
+  }
+  EXPECT_EQ(engine.attached_servers(), 0u);
+  // All servers gone: the engine destructs cleanly at scope exit.
+}
+
+using ServeDeathTest = ::testing::Test;
+
+TEST(ServeDeathTest, EngineDestructionWithLiveServerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        auto* engine = new Engine(CacheInfo::kunpeng920());
+        // Leaked deliberately: the server outlives its engine, which is
+        // exactly the ordering bug the abort must catch.
+        new Server(*engine);
+        delete engine;
+      },
+      "still attached");
+}
+
+// A server on default_engine() created and destroyed inside main()'s
+// lifetime is the supported pattern: the engine outlives it, and the
+// engine's own static destruction later finds zero attached servers.
+TEST(ServeLifecycle, DefaultEngineServerWithinMainIsSupported) {
+  Engine& engine = Engine::default_engine();
+  const std::size_t before = engine.attached_servers();
+  {
+    Server server(engine);
+    EXPECT_EQ(engine.attached_servers(), before + 1);
+  }
+  EXPECT_EQ(engine.attached_servers(), before);
+}
+
+// Destroying a server while submitters still hold unresolved futures:
+// the destructor stops the queue, cancels everything queued, joins the
+// dispatcher, and every future resolves. Repeated to shake out
+// destruction/dispatch interleavings.
+TEST(ServeLifecycle, DestructionMidTrafficResolvesEverything) {
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_kernel_verification(false);
+  Rng rng(5);
+  const index_t batch = simd::pack_width_v<double>;
+  test::HostBatch<double> a = test::random_batch<double>(2, 2, batch, rng);
+  test::HostBatch<double> b = test::random_batch<double>(2, 2, batch, rng);
+  test::HostBatch<double> c = test::random_batch<double>(2, 2, batch, rng);
+  CompactBuffer<double> ca = a.to_compact();
+  CompactBuffer<double> cb = b.to_compact();
+
+  for (int round = 0; round < 50; ++round) {
+    constexpr int kRequests = 8;
+    std::vector<CompactBuffer<double>> outs;
+    outs.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+      outs.push_back(c.to_compact());
+    }
+    std::vector<std::future<BatchHealth>> futs;
+    {
+      Server server(engine);
+      if (round % 2 == 0) {
+        server.pause(); // half the rounds die with a full queue
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        futs.push_back(server.submit_gemm<double>(
+            Op::NoTrans, Op::NoTrans, 1.0, ca, cb, 0.0,
+            outs[static_cast<std::size_t>(i)]));
+      }
+    } // ~Server races the dispatcher mid-work
+    for (auto& fut : futs) {
+      try {
+        (void)fut.get(); // value or CancelledError -- resolved either way
+      } catch (const Error&) {
+      }
+    }
+  }
+  EXPECT_EQ(engine.attached_servers(), 0u);
+}
+
+} // namespace
+} // namespace iatf::serve

@@ -1,0 +1,455 @@
+// iatf_loadgen -- closed-loop load generator for iatf::serve::Server.
+//
+// N tenant threads each drive a ring of in-flight GEMM submissions
+// against one Server (a slot is reused only after its previous future
+// resolved, so per-tenant concurrency is bounded by --ring). Latency is
+// captured in the completion callback, from submit to resolution, and
+// reported as p50/p95/p99; fairness compares each tenant's served share
+// against its configured weight share.
+//
+// Modes:
+//   default    print the latency/throughput/fairness/coalescing report
+//   --compare  also push the same total work through a single caller
+//              looping over engine.gemm_grouped and report the
+//              server-vs-single-caller throughput ratio (the coalescing
+//              acceptance gate wants >= 0.95)
+//   --smoke    small CI-friendly run; exit non-zero if any request went
+//              unresolved, anything was shed on deadline at idle load,
+//              or a fairness share drifted more than 10 points
+//
+// --json=FILE mirrors the report rows in the same "iatf-bench-v1"
+// schema the bench harness and iatf_tune emit.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iatf/common/cache_info.hpp"
+#include "iatf/common/rng.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/sched/group_scheduler.hpp"
+#include "iatf/serve/server.hpp"
+#include "iatf/simd/vec.hpp"
+#include "iatf/tune/descriptor.hpp"
+
+namespace {
+
+using namespace iatf;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  int tenants = 4;
+  std::vector<std::uint32_t> weights; // empty = all 1
+  int requests = 2000;                // per tenant
+  index_t m = 8, n = 8, k = 8;
+  index_t batch = 0; // 0 = 2 * pack width
+  std::size_t queue = 256;
+  std::size_t coalesce = 64;
+  double deadline_ms = 0.0;
+  int ring = 8;
+  bool smoke = false;
+  bool compare = false;
+  std::string json;
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: iatf_loadgen [--tenants=N] [--weights=w0,w1,...] "
+      "[--requests=N] [--m=N --n=N --k=N --batch=N] [--queue=N] "
+      "[--coalesce=N] [--deadline-ms=X] [--ring=N] [--smoke] "
+      "[--compare] [--json=FILE]\n");
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t len = std::strlen(prefix);
+      return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+    };
+    if (const char* v = value("--tenants=")) {
+      opt.tenants = std::atoi(v);
+    } else if (const char* v = value("--weights=")) {
+      opt.weights.clear();
+      for (const char* p = v; *p;) {
+        opt.weights.push_back(
+            static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
+        p = std::strchr(p, ',');
+        if (!p) {
+          break;
+        }
+        ++p;
+      }
+    } else if (const char* v = value("--requests=")) {
+      opt.requests = std::atoi(v);
+    } else if (const char* v = value("--m=")) {
+      opt.m = std::atoll(v);
+    } else if (const char* v = value("--n=")) {
+      opt.n = std::atoll(v);
+    } else if (const char* v = value("--k=")) {
+      opt.k = std::atoll(v);
+    } else if (const char* v = value("--batch=")) {
+      opt.batch = std::atoll(v);
+    } else if (const char* v = value("--queue=")) {
+      opt.queue = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value("--coalesce=")) {
+      opt.coalesce = static_cast<std::size_t>(std::atoll(v));
+    } else if (const char* v = value("--deadline-ms=")) {
+      opt.deadline_ms = std::atof(v);
+    } else if (const char* v = value("--ring=")) {
+      opt.ring = std::atoi(v);
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opt.smoke = true;
+    } else if (const char* v = value("--json=")) {
+      opt.json = v;
+    } else if (std::strcmp(arg, "--compare") == 0) {
+      opt.compare = true;
+    } else {
+      usage();
+    }
+  }
+  if (opt.tenants < 1 || opt.requests < 1 || opt.ring < 1) {
+    usage();
+  }
+  if (opt.smoke) {
+    // CI-sized: enough traffic to exercise coalescing and fairness,
+    // small enough to finish in seconds on a loaded runner.
+    opt.requests = std::min(opt.requests, 200);
+  }
+  opt.weights.resize(static_cast<std::size_t>(opt.tenants), 1u);
+  for (auto& w : opt.weights) {
+    w = std::max(w, 1u);
+  }
+  return opt;
+}
+
+/// One row of the report; mirrored into --json.
+struct Row {
+  std::string series;
+  double value = 0.0;
+  std::string unit;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                index_t n) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "iatf_loadgen: could not write '%s'\n",
+                 path.c_str());
+    return;
+  }
+  const CacheInfo cache = CacheInfo::detect();
+  out << "{\n  \"format\": \"iatf-bench-v1\",\n  \"hardware\": {\n"
+      << "    \"signature\": \""
+      << json_escape(tune::hardware_signature(cache)) << "\",\n"
+      << "    \"l1d\": " << cache.l1d << ",\n"
+      << "    \"l2\": " << cache.l2 << "\n  },\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"experiment\": \"serve_loadgen\", \"dtype\": "
+                  "\"d\", \"mode\": \"NN\", \"n\": %lld, \"series\": "
+                  "\"%s\", \"value\": %.4f, \"unit\": \"%s\", "
+                  "\"reps\": 1}%s\n",
+                  static_cast<long long>(n),
+                  json_escape(rows[i].series).c_str(), rows[i].value,
+                  json_escape(rows[i].unit).c_str(),
+                  i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+int run(const Options& opt) {
+  Engine& engine = Engine::default_engine();
+  engine.set_kernel_verification(false);
+
+  const index_t width = simd::pack_width_v<double>;
+  const index_t batch = opt.batch > 0 ? opt.batch : 2 * width;
+  Rng rng(2026);
+  auto fill = [&](CompactBuffer<double>& buf) {
+    for (index_t b = 0; b < buf.batch(); ++b) {
+      std::vector<double> host(
+          static_cast<std::size_t>(buf.rows() * buf.cols()));
+      for (auto& v : host) {
+        v = rng.uniform<double>();
+      }
+      buf.import_colmajor(b, host.data(), buf.rows());
+    }
+  };
+  CompactBuffer<double> a(opt.m, opt.k, batch);
+  CompactBuffer<double> b(opt.k, opt.n, batch);
+  fill(a);
+  fill(b);
+  // Every in-flight slot owns its output buffer (the serve contract
+  // forbids aliased writers), cloned from one warm template.
+  const std::size_t slots =
+      static_cast<std::size_t>(opt.tenants) *
+      static_cast<std::size_t>(opt.ring);
+  std::vector<CompactBuffer<double>> outs;
+  outs.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    outs.emplace_back(opt.m, opt.n, batch);
+    fill(outs.back());
+  }
+
+  serve::ServeConfig config;
+  config.queue_capacity = opt.queue;
+  config.max_coalesce = opt.coalesce;
+  config.overload = resilience::OverloadPolicy::Block;
+  if (opt.deadline_ms > 0) {
+    config.default_deadline = std::chrono::nanoseconds(
+        static_cast<long long>(opt.deadline_ms * 1e6));
+  }
+  serve::Server server(engine, config);
+  for (int t = 0; t < opt.tenants; ++t) {
+    server.set_tenant_weight(static_cast<serve::TenantId>(t),
+                             opt.weights[static_cast<std::size_t>(t)]);
+  }
+
+  std::mutex lat_mu;
+  std::vector<double> latencies_ms; // all tenants pooled
+  latencies_ms.reserve(static_cast<std::size_t>(opt.tenants) *
+                       static_cast<std::size_t>(opt.requests));
+  std::vector<std::uint64_t> failures(
+      static_cast<std::size_t>(opt.tenants), 0);
+  std::vector<std::uint64_t> unresolved(
+      static_cast<std::size_t>(opt.tenants), 0);
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < opt.tenants; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<std::future<BatchHealth>> ring(
+          static_cast<std::size_t>(opt.ring));
+      auto settle = [&](std::future<BatchHealth>& fut) {
+        if (!fut.valid()) {
+          return;
+        }
+        try {
+          (void)fut.get();
+        } catch (const std::exception&) {
+          ++failures[static_cast<std::size_t>(t)];
+        }
+      };
+      for (int i = 0; i < opt.requests; ++i) {
+        const std::size_t slot =
+            static_cast<std::size_t>(i % opt.ring);
+        settle(ring[slot]); // closed loop: wait the slot's last flight
+        serve::SubmitOptions so;
+        so.tenant = static_cast<serve::TenantId>(t);
+        const auto start = Clock::now();
+        ring[slot] = server.submit_gemm<double>(
+            Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0,
+            outs[static_cast<std::size_t>(t * opt.ring) + slot], so,
+            [&, start](Status, const BatchHealth&) {
+              const double ms =
+                  std::chrono::duration<double, std::milli>(
+                      Clock::now() - start)
+                      .count();
+              std::lock_guard<std::mutex> lock(lat_mu);
+              latencies_ms.push_back(ms);
+            });
+      }
+      for (auto& fut : ring) {
+        if (!fut.valid()) {
+          continue;
+        }
+        if (fut.wait_for(std::chrono::seconds(30)) !=
+            std::future_status::ready) {
+          ++unresolved[static_cast<std::size_t>(t)]; // hang: smoke fails
+        } else {
+          settle(fut);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  server.drain();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const serve::ServerStats stats = server.stats();
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(opt.tenants) *
+      static_cast<std::uint64_t>(opt.requests);
+  const double server_rps = static_cast<double>(total) / wall_s;
+
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(lat_mu);
+    sorted = latencies_ms;
+  }
+  std::sort(sorted.begin(), sorted.end());
+
+  std::vector<Row> rows;
+  auto row = [&](const std::string& series, double value,
+                 const std::string& unit) {
+    rows.push_back({series, value, unit});
+    std::printf("serve_loadgen,d,NN,%lld,%s,%.4f,%s\n",
+                static_cast<long long>(opt.n), series.c_str(), value,
+                unit.c_str());
+  };
+
+  row("throughput", server_rps, "req/s");
+  row("latency_p50", percentile(sorted, 0.50), "ms");
+  row("latency_p95", percentile(sorted, 0.95), "ms");
+  row("latency_p99", percentile(sorted, 0.99), "ms");
+  row("dispatch_calls", static_cast<double>(stats.dispatch_calls),
+      "calls");
+  row("coalesced_requests",
+      static_cast<double>(stats.coalesced_requests), "req");
+  row("coalesce_ratio",
+      stats.dispatch_calls
+          ? static_cast<double>(total) /
+                static_cast<double>(stats.dispatch_calls)
+          : 0.0,
+      "req/dispatch");
+  row("shed_expired", static_cast<double>(stats.shed_expired), "req");
+  row("shed_overflow", static_cast<double>(stats.shed_overflow), "req");
+
+  // Fairness: each tenant's share of served requests against its weight
+  // share. With a closed loop all requests complete, so the interesting
+  // signal is how far the scheduler let shares drift *during* the run;
+  // report the worst-case drift across tenants.
+  double weight_sum = 0.0;
+  for (std::uint32_t w : opt.weights) {
+    weight_sum += static_cast<double>(w);
+  }
+  double max_drift_pts = 0.0;
+  for (const serve::TenantStats& ts : stats.tenants) {
+    if (ts.tenant >= static_cast<serve::TenantId>(opt.tenants)) {
+      continue;
+    }
+    const double served_share =
+        stats.submitted
+            ? static_cast<double>(ts.served) /
+                  static_cast<double>(total)
+            : 0.0;
+    const double weight_share =
+        static_cast<double>(opt.weights[ts.tenant]) / weight_sum;
+    max_drift_pts = std::max(
+        max_drift_pts, std::abs(served_share - weight_share) * 100.0);
+    row("tenant" + std::to_string(ts.tenant) + "_served_share",
+        served_share * 100.0, "%");
+  }
+  row("fairness_max_drift", max_drift_pts, "pts");
+
+  std::uint64_t failed = 0, hung = 0;
+  for (int t = 0; t < opt.tenants; ++t) {
+    failed += failures[static_cast<std::size_t>(t)];
+    hung += unresolved[static_cast<std::size_t>(t)];
+  }
+  row("failed", static_cast<double>(failed), "req");
+  row("unresolved", static_cast<double>(hung), "req");
+
+  double ratio = 0.0;
+  if (opt.compare) {
+    // Single-caller baseline: one thread batching the same requests
+    // into grouped calls of the same width the server may reach.
+    const std::size_t group =
+        std::min<std::size_t>(opt.coalesce, outs.size());
+    std::vector<sched::GemmSegment<double>> segs(group);
+    for (std::size_t i = 0; i < group; ++i) {
+      segs[i] = {Op::NoTrans, Op::NoTrans, 1.0, 0.0, &a, &b, &outs[i]};
+    }
+    const auto c0 = Clock::now();
+    std::uint64_t done = 0;
+    while (done < total) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(group, total - done));
+      (void)engine.gemm_grouped<double>(
+          std::span<const sched::GemmSegment<double>>(segs.data(),
+                                                      take));
+      done += take;
+    }
+    const double single_s =
+        std::chrono::duration<double>(Clock::now() - c0).count();
+    const double single_rps = static_cast<double>(total) / single_s;
+    ratio = single_rps > 0 ? server_rps / single_rps : 0.0;
+    row("single_caller_throughput", single_rps, "req/s");
+    row("throughput_ratio", ratio, "x");
+  }
+
+  if (!opt.json.empty()) {
+    write_json(opt.json, rows, opt.n);
+  }
+
+  if (opt.smoke) {
+    int rc = 0;
+    if (hung != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: %llu unresolved futures\n",
+                   static_cast<unsigned long long>(hung));
+      rc = 1;
+    }
+    if (failed != 0) {
+      std::fprintf(stderr, "SMOKE FAIL: %llu failed requests\n",
+                   static_cast<unsigned long long>(failed));
+      rc = 1;
+    }
+    // Closed-loop load with Block backpressure and no deadline is idle
+    // load: nothing may be shed on expiry.
+    if (stats.shed_expired != 0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: %llu requests shed on deadline at "
+                   "idle load\n",
+                   static_cast<unsigned long long>(stats.shed_expired));
+      rc = 1;
+    }
+    if (max_drift_pts > 10.0) {
+      std::fprintf(stderr,
+                   "SMOKE FAIL: fairness drift %.1f pts (> 10)\n",
+                   max_drift_pts);
+      rc = 1;
+    }
+    if (rc == 0) {
+      std::printf("smoke: OK (%llu requests, %llu dispatches, "
+                  "%.0f req/s)\n",
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(stats.dispatch_calls),
+                  server_rps);
+    }
+    return rc;
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  return run(parse(argc, argv));
+}
