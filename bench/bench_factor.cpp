@@ -1,0 +1,266 @@
+// Fused batched compact factorisations and persistent packed layouts.
+//
+// Part 1 -- factor throughput: potrf_batch / getrf_nopiv_batch /
+// trtri_batch GFLOPS over the compact interleaved layout across the
+// paper's size range, the factorisation counterpart of the GEMM/TRSM
+// peak figures.
+//
+// Part 2 -- the Kalman chained-call scenario: one covariance update
+//   T = F P,  S = T F^T,  S = chol(S),  solve S_L X = B,  solve
+//   S_L^T X = B
+// run two ways over the same inputs:
+//   repack-each-call -- every engine call converts its operands into the
+//     interleaved layout on entry and the result back out on exit (the
+//     pre-PackedHandle pipeline, conversion buffers pre-allocated so
+//     only the conversions themselves are timed);
+//   fused-packed     -- operands are packed once into PackedHandles, the
+//     whole chain runs on interleaved data, and only the final result is
+//     unpacked.
+// The printed "speedup" series is fused/repack; the acceptance bar is
+// >= 1.15x at batch >= 256 over sizes 4..33.
+#include <algorithm>
+#include <string>
+
+#include "common/series.hpp"
+#include "iatf/factor/factor.hpp"
+
+namespace iatf::bench {
+namespace {
+
+double potrf_flops(index_t m, index_t batch) {
+  const double dm = static_cast<double>(m);
+  return (dm * dm * dm / 3.0 + dm * dm / 2.0) * batch;
+}
+double getrfnp_flops(index_t m, index_t batch) {
+  const double dm = static_cast<double>(m);
+  return (2.0 * dm * dm * dm / 3.0) * batch;
+}
+double trtri_flops(index_t m, index_t batch) {
+  const double dm = static_cast<double>(m);
+  return (dm * dm * dm / 3.0) * batch;
+}
+double trsm_square_flops(index_t m, index_t batch) {
+  const double dm = static_cast<double>(m);
+  return (dm * dm * dm) * batch;
+}
+
+/// SPD host batch: B B^T + m I, same construction as the test oracles.
+template <class T>
+HostBatch<T> random_host_spd(index_t m, index_t batch, Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out(m, m, batch);
+  std::vector<T> b(static_cast<std::size_t>(m * m));
+  for (index_t lane = 0; lane < batch; ++lane) {
+    rng.fill<T>(b);
+    T* a = out.mat(lane);
+    for (index_t j = 0; j < m; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        T s = T(0);
+        for (index_t k = 0; k < m; ++k) {
+          s += b[static_cast<std::size_t>(k * m + i)] *
+               b[static_cast<std::size_t>(k * m + j)];
+        }
+        a[j * m + i] = s;
+      }
+      a[j * m + j] += T(static_cast<R>(m));
+    }
+  }
+  return out;
+}
+
+template <class T>
+HostBatch<T> random_host_diag_dominant(index_t m, index_t batch, Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out = random_host_batch<T>(m, m, batch, rng);
+  for (index_t lane = 0; lane < batch; ++lane) {
+    T* a = out.mat(lane);
+    for (index_t j = 0; j < m; ++j) {
+      R colsum = R(0);
+      for (index_t i = 0; i < m; ++i) {
+        if (i != j) {
+          colsum += static_cast<R>(std::abs(a[j * m + i]));
+        }
+      }
+      a[j * m + j] = T(colsum + R(1));
+    }
+  }
+  return out;
+}
+
+template <class T>
+void factor_sweep(const char* dtype, const Options& opt, Engine& eng) {
+  const index_t pw = simd::pack_width_v<T>;
+  for (index_t m = 2; m <= opt.max_size;
+       m += std::max<index_t>(opt.size_step, 1)) {
+    const index_t batch =
+        auto_batch(3 * m * m * static_cast<index_t>(sizeof(T)), pw, opt);
+    Rng rng(41);
+
+    auto spd = random_host_spd<T>(m, batch, rng);
+    auto cp = to_compact_buffer(spd, pw);
+    const double gf_potrf =
+        measure_gflops(potrf_flops(m, batch), opt, [&] {
+          // Refactoring the factored lower triangle in place keeps the
+          // timing loop allocation-free; the pivot magnitudes only decay
+          // geometrically and FTZ absorbs the tail like the TRSM benches.
+          eng.potrf_batch<T>(cp);
+        });
+    print_row("factor", dtype, "potrf", m, "iatf", gf_potrf);
+
+    auto dd = random_host_diag_dominant<T>(m, batch, rng);
+    auto cl = to_compact_buffer(dd, pw);
+    const double gf_lu =
+        measure_gflops(getrfnp_flops(m, batch), opt, [&] {
+          eng.getrf_nopiv_batch<T>(cl);
+        });
+    print_row("factor", dtype, "getrfnp", m, "iatf", gf_lu);
+
+    auto tri = random_host_triangular<T>(m, batch, rng);
+    auto ct = to_compact_buffer(tri, pw);
+    const double gf_inv =
+        measure_gflops(trtri_flops(m, batch), opt, [&] {
+          eng.trtri_batch<T>(Uplo::Lower, Diag::NonUnit, ct);
+        });
+    print_row("factor", dtype, "trtri", m, "iatf", gf_inv);
+  }
+}
+
+/// One Kalman covariance update over `batch` independent filters.
+template <class T> struct KalmanChain {
+  index_t m = 0;
+  index_t batch = 0;
+  HostBatch<T> f, p, t, s, rhs;
+  double flops = 0;
+
+  KalmanChain(index_t m_, index_t batch_, Rng& rng)
+      : m(m_), batch(batch_) {
+    // A contraction keeps F P F^T comfortably bounded over repetitions.
+    f = random_host_batch<T>(m, m, batch, rng);
+    for (T& v : f.data) {
+      v *= T(real_t<T>(0.5)) / T(static_cast<real_t<T>>(m));
+    }
+    p = random_host_spd<T>(m, batch, rng);
+    t = HostBatch<T>(m, m, batch);
+    s = HostBatch<T>(m, m, batch);
+    rhs = random_host_batch<T>(m, m, batch, rng);
+    flops = 2.0 * 2.0 * static_cast<double>(m) * m * m * batch // 2 GEMMs
+            + potrf_flops(m, batch) + 2.0 * trsm_square_flops(m, batch);
+  }
+};
+
+/// The pre-PackedHandle pipeline: every call converts in and out.
+template <class T>
+double kalman_repack_each_call(KalmanChain<T>& w, const Options& opt,
+                               Engine& eng) {
+  const index_t pw = simd::pack_width_v<T>;
+  CompactBuffer<T> ca(w.m, w.m, w.batch, pw);
+  CompactBuffer<T> cb(w.m, w.m, w.batch, pw);
+  CompactBuffer<T> cc(w.m, w.m, w.batch, pw);
+
+  auto import = [&](CompactBuffer<T>& dst, const HostBatch<T>& src) {
+    for (index_t l = 0; l < w.batch; ++l) {
+      dst.import_colmajor(l, src.mat(l), src.ld());
+    }
+  };
+  auto export_ = [&](const CompactBuffer<T>& src, HostBatch<T>& dst) {
+    from_compact<T>(src, dst.data.data(), dst.ld(), dst.stride());
+  };
+
+  return measure_gflops(w.flops, opt, [&] {
+    // T = F P
+    import(ca, w.f);
+    import(cb, w.p);
+    import(cc, w.t);
+    eng.gemm<T>(Op::NoTrans, Op::NoTrans, T(1), ca, cb, T(0), cc);
+    export_(cc, w.t);
+    // S = T F^T
+    import(ca, w.t);
+    import(cb, w.f);
+    import(cc, w.s);
+    eng.gemm<T>(Op::NoTrans, Op::Trans, T(1), ca, cb, T(0), cc);
+    export_(cc, w.s);
+    // S = chol(S)
+    import(ca, w.s);
+    eng.potrf_batch<T>(ca);
+    export_(ca, w.s);
+    // S_L X = B, then S_L^T X = B
+    import(ca, w.s);
+    import(cb, w.rhs);
+    eng.trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(1),
+                ca, cb);
+    export_(cb, w.rhs);
+    import(ca, w.s);
+    import(cb, w.rhs);
+    eng.trsm<T>(Side::Left, Uplo::Lower, Op::Trans, Diag::NonUnit, T(1),
+                ca, cb);
+    export_(cb, w.rhs);
+  });
+}
+
+/// The PackedHandle pipeline: pack once, chain on interleaved data,
+/// unpack the final result.
+template <class T>
+double kalman_fused_packed(KalmanChain<T>& w, const Options& opt,
+                           Engine& eng) {
+  auto hf = eng.pack<T>(w.f.data.data(), w.m, w.m, w.f.ld(), w.f.stride(),
+                        w.batch);
+  auto hp = eng.pack<T>(w.p.data.data(), w.m, w.m, w.p.ld(), w.p.stride(),
+                        w.batch);
+  auto ht = eng.pack<T>(w.t.data.data(), w.m, w.m, w.t.ld(), w.t.stride(),
+                        w.batch);
+  auto hs = eng.pack<T>(w.s.data.data(), w.m, w.m, w.s.ld(), w.s.stride(),
+                        w.batch);
+  auto hb = eng.pack<T>(w.rhs.data.data(), w.m, w.m, w.rhs.ld(),
+                        w.rhs.stride(), w.batch);
+
+  const double gf = measure_gflops(w.flops, opt, [&] {
+    eng.gemm<T>(Op::NoTrans, Op::NoTrans, T(1), hf, hp, T(0), ht);
+    eng.gemm<T>(Op::NoTrans, Op::Trans, T(1), ht, hf, T(0), hs);
+    eng.potrf_batch<T>(hs);
+    eng.trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, T(1),
+                hs, hb);
+    eng.trsm<T>(Side::Left, Uplo::Lower, Op::Trans, Diag::NonUnit, T(1),
+                hs, hb);
+  });
+  // The pipeline's one unavoidable conversion: the final result out.
+  eng.unpack<T>(hb, w.rhs.data.data(), w.rhs.ld(), w.rhs.stride());
+  return gf;
+}
+
+template <class T>
+void kalman_sweep(const char* dtype, const Options& opt, Engine& eng) {
+  for (index_t m : {index_t(4), index_t(8), index_t(12), index_t(16),
+                    index_t(24), index_t(33)}) {
+    if (m > opt.max_size) {
+      continue;
+    }
+    // The acceptance scenario pins batch >= 256; --batch overrides.
+    const index_t batch =
+        opt.batch > 0 ? opt.batch
+                      : std::max<index_t>(
+                            256, 2 * simd::pack_width_v<T>);
+    Rng rng(47);
+    KalmanChain<T> w(m, batch, rng);
+    const double repack = kalman_repack_each_call(w, opt, eng);
+    const double fused = kalman_fused_packed(w, opt, eng);
+    print_row("kalman", dtype, "chain", m, "repack-each-call", repack);
+    print_row("kalman", dtype, "chain", m, "fused-packed", fused);
+    print_row("kalman", dtype, "chain", m, "speedup", fused / repack, "x");
+  }
+}
+
+} // namespace
+} // namespace iatf::bench
+
+int main(int argc, char** argv) {
+  using namespace iatf::bench;
+  const Options opt = Options::parse(argc, argv);
+  enable_flush_to_zero();
+  iatf::Engine eng;
+  print_header();
+  factor_sweep<float>("s", opt, eng);
+  factor_sweep<double>("d", opt, eng);
+  kalman_sweep<float>("s", opt, eng);
+  kalman_sweep<double>("d", opt, eng);
+  return 0;
+}

@@ -90,6 +90,9 @@ typedef struct iatf_engine_stats {
   int64_t verified_kernels;    /* kernels that passed their canary */
   int64_t quarantined_kernels; /* kernels pulled from dispatch */
   int64_t breaker_transitions; /* circuit-breaker state changes */
+  /* Persistent packed layouts (see "Packed layouts & factorisations"). */
+  int64_t packed_reuse_hits;   /* handle operands consumed with no pack */
+  int64_t packed_repacks;      /* interleave conversions (pack + repack) */
 } iatf_engine_stats;
 
 int iatf_get_engine_stats(iatf_engine_stats* stats);
@@ -174,7 +177,8 @@ void iatf_set_breaker(int window, int threshold, int cooldown);
 typedef struct iatf_error_detail {
   int status;   /* iatf_status of the call (OK for pure degradations) */
   unsigned events; /* IATF_EVENT_* bits observed on the call */
-  char op;      /* 'g' gemm, 't' trsm, 0 unset */
+  char op;      /* 'g' gemm, 't' trsm, 'p' potrf, 'l' getrf_nopiv,
+                 * 'i' trtri, 0 unset */
   char dtype;   /* 's', 'd', 'c' or 'z', 0 unset */
   int64_t m, n, k; /* failing descriptor (k = 0 for trsm) */
   int64_t batch;
@@ -508,6 +512,62 @@ void iatf_tune_clear(void);
  * IATF_STATUS_UNSUPPORTED with the reason in iatf_last_error(). */
 int iatf_tune_save(const char* path);
 int iatf_tune_load(const char* path);
+
+/* ---- Packed layouts & factorisations --------------------------------
+ *
+ * A packed handle holds a batch persistently in the interleaved compact
+ * layout: iatf_?pack() converts a strided column-major array exactly
+ * once, every *_packed compute routine then consumes the handle with no
+ * per-call conversion (counted in iatf_engine_stats.packed_reuse_hits /
+ * packed_repacks), and iatf_?unpack() converts the result back out.
+ *
+ * The batched factorisations run under the engine's exec policy like
+ * gemm/trsm: with IATF_EXEC_CHECK a non-SPD / hard-singular matrix is
+ * reported as IATF_STATUS_NUMERICAL_HAZARD; with IATF_EXEC_FALLBACK the
+ * affected matrices are repaired on the scalar reference path (restored
+ * to their original input when even the reference refuses them) and the
+ * call returns IATF_STATUS_OK, never poisoning the healthy remainder. */
+
+typedef struct iatf_spacked iatf_spacked;
+typedef struct iatf_dpacked iatf_dpacked;
+
+#define IATF_DECLARE_PACKED(P, PACKED, BUF, SCALAR)                          \
+  /* Pack matrix b at src + b*matrix_stride (column-major, leading        \
+   * dimension ld) for b in [0, batch); NULL on failure. */               \
+  PACKED* iatf_##P##pack(const SCALAR* src, int64_t rows, int64_t cols,     \
+                         int64_t ld, int64_t matrix_stride, int64_t batch); \
+  /* Refresh a handle's contents in place (same shape, counted repack). */ \
+  int iatf_##P##repack(PACKED* p, const SCALAR* src, int64_t ld,            \
+                       int64_t matrix_stride);                              \
+  /* Convert the handle's contents back out (no conversion counted). */    \
+  int iatf_##P##unpack(const PACKED* p, SCALAR* dst, int64_t ld,            \
+                       int64_t matrix_stride);                              \
+  void iatf_##P##free_packed(PACKED* p);                                    \
+  int64_t iatf_##P##packed_rows(const PACKED* p);                           \
+  int64_t iatf_##P##packed_cols(const PACKED* p);                           \
+  int64_t iatf_##P##packed_batch(const PACKED* p);                          \
+  /* Mutation epoch: bumped by every routine that writes the handle. */    \
+  uint64_t iatf_##P##packed_epoch(const PACKED* p);                         \
+  /* GEMM / TRSM over packed handles (semantics of the _compact calls). */ \
+  int iatf_##P##gemm_packed(iatf_op op_a, iatf_op op_b, SCALAR alpha,       \
+                            const PACKED* a, const PACKED* b, SCALAR beta,  \
+                            PACKED* c);                                     \
+  int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo, iatf_op op_a,   \
+                            iatf_diag diag, SCALAR alpha, const PACKED* a,  \
+                            PACKED* b);                                     \
+  /* Batched factorisations, over compact buffers and packed handles:     \
+   * blocked Cholesky (lower), unpivoted LU for diagonally-dominant       \
+   * batches, in-place triangular inverse. */                              \
+  int iatf_##P##potrf_batch(BUF* a);                                        \
+  int iatf_##P##getrfnp_batch(BUF* a);                                      \
+  int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag, BUF* a);        \
+  int iatf_##P##potrf_packed(PACKED* a);                                    \
+  int iatf_##P##getrfnp_packed(PACKED* a);                                  \
+  int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag, PACKED* a);
+
+IATF_DECLARE_PACKED(s, iatf_spacked, iatf_sbuf, float)
+IATF_DECLARE_PACKED(d, iatf_dpacked, iatf_dbuf, double)
+#undef IATF_DECLARE_PACKED
 
 /* Extensions: B = alpha * op(tri(A)) * B, unpivoted LU, Cholesky. */
 int iatf_strmm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,

@@ -50,6 +50,8 @@
 #include "iatf/common/cache_info.hpp"
 #include "iatf/common/status.hpp"
 #include "iatf/common/types.hpp"
+#include "iatf/factor/factor_plan.hpp"
+#include "iatf/factor/packed_handle.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
 #include "iatf/resilience/resilience.hpp"
@@ -89,6 +91,12 @@ struct EngineStats {
   std::size_t shed_calls = 0;      ///< calls rejected by admission control
   std::size_t ref_routed_calls = 0; ///< whole calls served on the ref path
   std::size_t retries = 0;         ///< transient-failure retry attempts
+  // Persistent packed layouts (DESIGN.md section 13): how often the
+  // layout propagation paid off versus how often a conversion ran.
+  std::size_t packed_reuse_hits = 0; ///< handle operands consumed without
+                                     ///< an interleave conversion
+  std::size_t packed_repacks = 0;    ///< interleave conversions performed
+                                     ///< (pack + repack calls)
   std::size_t verified_kernels = 0;    ///< kernels that passed their canary
   std::size_t quarantined_kernels = 0; ///< kernels pulled from dispatch
   std::size_t breaker_transitions = 0; ///< breaker state changes
@@ -135,15 +143,18 @@ public:
   /// begins, i.e. before main() returns (DESIGN.md section 12).
   ~Engine();
 
-  /// Get or build the plan for a GEMM descriptor.
+  /// Get or build the plan for a GEMM descriptor. `layout` is part of
+  /// the cache key (0 = raw buffers, 1 = packed handles) so the packed
+  /// and unpacked variants of one descriptor coexist as distinct entries.
   template <class T, int Bytes = 16>
   std::shared_ptr<const plan::GemmPlan<T, Bytes>>
-  plan_gemm(const GemmShape& shape);
+  plan_gemm(const GemmShape& shape, std::uint8_t layout = 0);
 
-  /// Get or build the plan for a TRSM descriptor.
+  /// Get or build the plan for a TRSM descriptor; see plan_gemm for
+  /// `layout`.
   template <class T, int Bytes = 16>
   std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
-  plan_trsm(const TrsmShape& shape);
+  plan_trsm(const TrsmShape& shape, std::uint8_t layout = 0);
 
   /// C = alpha * op_a(A) * op_b(B) + beta * C for every matrix in the
   /// batch. Shapes are inferred from the buffers and the ops. The returned
@@ -174,6 +185,101 @@ public:
   template <class T, int Bytes = 16>
   std::vector<BatchHealth>
   trsm_grouped(std::span<const sched::TrsmSegment<T>> segments);
+
+  // --- Persistent packed layouts & fused factorisations (iatf::factor,
+  // --- DESIGN.md section 13) -------------------------------------------
+
+  /// Convert a strided column-major batch (matrix b at src + b *
+  /// matrix_stride, leading dimension ld) into a persistent PackedHandle.
+  /// The one conversion is counted in EngineStats::packed_repacks; every
+  /// subsequent engine call consuming the handle skips its pack stage and
+  /// counts a packed_reuse_hit per handle operand instead.
+  template <class T>
+  factor::PackedHandle<T> pack(const T* src, index_t rows, index_t cols,
+                               index_t ld, index_t matrix_stride,
+                               index_t batch);
+
+  /// Wrap an already-interleaved buffer in a handle, zero-copy (no
+  /// conversion, so no repack is counted).
+  template <class T> factor::PackedHandle<T> adopt_packed(CompactBuffer<T> buf);
+
+  /// Refresh a valid handle's contents from a strided column-major batch
+  /// of the same shape. Counts one packed_repack and bumps the epoch.
+  template <class T>
+  void repack(factor::PackedHandle<T>& handle, const T* src, index_t ld,
+              index_t matrix_stride);
+
+  /// Convert a handle's contents out to a strided column-major batch.
+  /// Read-only: the epoch is untouched and nothing is counted -- exporting
+  /// results is the pipeline's one unavoidable conversion.
+  template <class T>
+  void unpack(const factor::PackedHandle<T>& handle, T* dst, index_t ld,
+              index_t matrix_stride);
+
+  /// GEMM over packed handles: identical semantics to the buffer overload
+  /// but the plan is cached under the packed layout state (both variants
+  /// coexist), three reuse hits are counted, and C's epoch is bumped.
+  /// Every handle must be valid or the call throws InvalidArg.
+  template <class T, int Bytes = 16>
+  BatchHealth gemm(Op op_a, Op op_b, T alpha,
+                   const factor::PackedHandle<T>& a,
+                   const factor::PackedHandle<T>& b, T beta,
+                   factor::PackedHandle<T>& c);
+
+  /// TRSM over packed handles; B's epoch is bumped.
+  template <class T, int Bytes = 16>
+  BatchHealth trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                   const factor::PackedHandle<T>& a,
+                   factor::PackedHandle<T>& b);
+
+  /// Batched Cholesky of the lower triangle in place (A = L L^H per
+  /// lane). Guarded execution applies: under Check, non-SPD lanes are
+  /// flagged singular; under Fallback they are additionally repaired --
+  /// restored to their original input -- instead of poisoning the batch,
+  /// while healthy lanes keep their factorisation. The strict upper
+  /// triangle is not referenced or written; pad lanes are reset to
+  /// identity. Factor plans dispatch no registry kernels, so the kernel
+  /// verify-and-quarantine gate and the per-class breaker do not apply.
+  template <class T, int Bytes = 16>
+  BatchHealth potrf_batch(CompactBuffer<T>& a);
+
+  /// Batched unpivoted LU in place (A = L\U, unit lower diagonal) for
+  /// diagonally-dominant batches. Zero/subnormal/non-finite pivots flag
+  /// the lane under Check and repair it under Fallback (the reference
+  /// factorisation result when finite, the original input otherwise).
+  template <class T, int Bytes = 16>
+  BatchHealth getrf_nopiv_batch(CompactBuffer<T>& a);
+
+  /// Batched in-place triangular inverse of the `uplo` triangle. Bad
+  /// diagonals are flagged/repaired like getrf_nopiv_batch.
+  template <class T, int Bytes = 16>
+  BatchHealth trtri_batch(Uplo uplo, Diag diag, CompactBuffer<T>& a);
+
+  /// Factorisations over packed handles: one reuse hit, epoch bump.
+  template <class T, int Bytes = 16>
+  BatchHealth potrf_batch(factor::PackedHandle<T>& a);
+  template <class T, int Bytes = 16>
+  BatchHealth getrf_nopiv_batch(factor::PackedHandle<T>& a);
+  template <class T, int Bytes = 16>
+  BatchHealth trtri_batch(Uplo uplo, Diag diag,
+                          factor::PackedHandle<T>& a);
+
+  /// Grouped heterogeneous factorisation chains: each segment names one
+  /// routine and its batch. One admission slot covers the whole call
+  /// (like gemm_grouped); plans resolve per distinct descriptor class
+  /// through the shared cache and the distinct-plan histogram is updated.
+  /// Segments execute sequentially (factor plans are single register
+  /// sweeps; there is no per-group work splitting to interleave).
+  template <class T, int Bytes = 16>
+  std::vector<BatchHealth>
+  factor_grouped(std::span<const sched::FactorSegment<T>> segments);
+
+  /// Get or build the plan for a factorisation descriptor. `layout` is
+  /// the layout state the plan is keyed under (0 = raw buffers, 1 =
+  /// packed handles), mirroring the keying of plan_gemm/plan_trsm.
+  template <class T, int Bytes = 16>
+  std::shared_ptr<const factor::FactorPlan<T, Bytes>>
+  plan_factor(const factor::FactorShape& shape, std::uint8_t layout = 0);
 
   const CacheInfo& cache_info() const noexcept { return cache_; }
 
@@ -385,11 +491,15 @@ public:
 
 private:
   struct PlanKey {
-    char op = 0;    // 'g' or 't'
+    char op = 0;    // 'g', 't', 'p' (potrf), 'l' (getrf_np), 'i' (trtri)
     char dtype = 0; // 's','d','c','z'
     int bytes = 0;  // SIMD register width
     index_t m = 0, n = 0, k = 0;
     std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
+    /// Layout state of the operands: 0 = raw compact buffers, 1 = packed
+    /// handles. Keying on it keeps both variants of one descriptor live
+    /// in the cache side by side.
+    std::uint8_t layout = 0;
     index_t batch = 0;
 
     friend bool operator==(const PlanKey&, const PlanKey&) = default;
@@ -469,17 +579,44 @@ private:
                                   const tune::TuneKey& key,
                                   bool* from_table) const;
 
+  /// Full gemm/trsm pipelines with an explicit layout state; the public
+  /// buffer overloads forward with layout 0, the packed-handle overloads
+  /// with layout 1.
+  template <class T, int Bytes>
+  BatchHealth gemm_at(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
+                      const CompactBuffer<T>& b, T beta, CompactBuffer<T>& c,
+                      std::uint8_t layout);
+  template <class T, int Bytes>
+  BatchHealth trsm_at(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                      const CompactBuffer<T>& a, CompactBuffer<T>& b,
+                      std::uint8_t layout);
+
   template <class T, int Bytes>
   BatchHealth guarded_gemm(const GemmShape& shape, T alpha,
                            const CompactBuffer<T>& a,
                            const CompactBuffer<T>& b, T beta,
                            CompactBuffer<T>& c, ExecPolicy policy,
-                           ThreadPool* pool, const Deadline* deadline);
+                           ThreadPool* pool, const Deadline* deadline,
+                           std::uint8_t layout);
   template <class T, int Bytes>
   BatchHealth guarded_trsm(const TrsmShape& shape, T alpha,
                            const CompactBuffer<T>& a, CompactBuffer<T>& b,
                            ExecPolicy policy, ThreadPool* pool,
-                           const Deadline* deadline);
+                           const Deadline* deadline, std::uint8_t layout);
+
+  /// Admission + deadline + policy dispatch for one factorisation call
+  /// (the factor analogue of gemm_at); `factor_execute` is the post-
+  /// admission core shared with factor_grouped.
+  template <class T, int Bytes>
+  BatchHealth factor_dispatch(const factor::FactorShape& shape,
+                              CompactBuffer<T>& a, std::uint8_t layout);
+  template <class T, int Bytes>
+  BatchHealth factor_execute(const factor::FactorShape& shape,
+                             CompactBuffer<T>& a, ExecPolicy policy,
+                             const Deadline* deadline, std::uint8_t layout);
+  template <class T, int Bytes>
+  BatchHealth ref_route_factor(const factor::FactorShape& shape,
+                               CompactBuffer<T>& a, DegradeEvent event);
 
   /// Count one non-empty grouped call that resolved `distinct` plans.
   void record_grouped_plans(std::size_t distinct) noexcept;
@@ -512,9 +649,14 @@ private:
   bool run_trsm_canary(const resilience::KernelUse& use);
 
   template <class T, int Bytes>
-  static PlanKey gemm_plan_key(const GemmShape& shape);
+  static PlanKey gemm_plan_key(const GemmShape& shape,
+                               std::uint8_t layout = 0);
   template <class T, int Bytes>
-  static PlanKey trsm_plan_key(const TrsmShape& shape);
+  static PlanKey trsm_plan_key(const TrsmShape& shape,
+                               std::uint8_t layout = 0);
+  template <class T, int Bytes>
+  static PlanKey factor_plan_key(const factor::FactorShape& shape,
+                                 std::uint8_t layout);
 
   /// Drop every cached entry referencing a quarantined kernel (their
   /// descriptor classes rebuild through single-flight on the next miss).
@@ -575,6 +717,8 @@ private:
   std::atomic<std::uint64_t> shed_calls_{0};
   std::atomic<std::uint64_t> ref_routed_calls_{0};
   std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> packed_reuse_hits_{0};
+  std::atomic<std::uint64_t> packed_repacks_{0};
 
   /// iatf::serve::Server instances currently bound to this engine; the
   /// destructor aborts while nonzero (shutdown ordering contract).

@@ -1,0 +1,96 @@
+// Convenience front end for the iatf::factor subsystem: persistent packed
+// layouts and fused batched factorisations over the process-wide default
+// Engine (the factor analogue of iatf/core/compact_blas.hpp).
+//
+// The intended chained-call shape:
+//
+//   auto p = iatf::compact_pack(src, n, n, ld, stride, batch); // convert once
+//   iatf::compact_gemm(..., p_f, p, ..., p_tmp);               // interleaved
+//   iatf::compact_potrf_batch(p_tmp);                          //   end-to-end
+//   iatf::compact_trsm(..., p_tmp, p_rhs);                     //   ...
+//   iatf::compact_unpack(p_rhs, dst, ld, stride);              // convert once
+//
+// Each handle call skips the per-call pack/unpack round trip entirely;
+// EngineStats::packed_reuse_hits / packed_repacks make the saving
+// observable.
+#pragma once
+
+#include "iatf/core/engine.hpp"
+#include "iatf/factor/packed_handle.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf {
+
+/// Convert a strided column-major batch into a persistent PackedHandle
+/// (one counted conversion; see Engine::pack).
+template <class T>
+factor::PackedHandle<T> compact_pack(const T* src, index_t rows, index_t cols,
+                                     index_t ld, index_t matrix_stride,
+                                     index_t batch) {
+  return Engine::default_engine().pack<T>(src, rows, cols, ld, matrix_stride,
+                                          batch);
+}
+
+/// Convert a handle's contents out to a strided column-major batch.
+template <class T>
+void compact_unpack(const factor::PackedHandle<T>& handle, T* dst, index_t ld,
+                    index_t matrix_stride) {
+  Engine::default_engine().unpack<T>(handle, dst, ld, matrix_stride);
+}
+
+/// GEMM / TRSM over packed handles (plans cached under the packed layout
+/// state; C's / B's epoch bumped).
+template <class T>
+BatchHealth compact_gemm(Op op_a, Op op_b, T alpha,
+                         const factor::PackedHandle<T>& a,
+                         const factor::PackedHandle<T>& b, T beta,
+                         factor::PackedHandle<T>& c) {
+  return Engine::default_engine().gemm<T>(op_a, op_b, alpha, a, b, beta, c);
+}
+
+template <class T>
+BatchHealth compact_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                         const factor::PackedHandle<T>& a,
+                         factor::PackedHandle<T>& b) {
+  return Engine::default_engine().trsm<T>(side, uplo, op_a, diag, alpha, a,
+                                          b);
+}
+
+/// Batched Cholesky of the lower triangle in place (guarded: non-SPD
+/// lanes are flagged / ref-repaired, never thrown).
+template <class T> BatchHealth compact_potrf_batch(CompactBuffer<T>& a) {
+  return Engine::default_engine().potrf_batch<T>(a);
+}
+template <class T>
+BatchHealth compact_potrf_batch(factor::PackedHandle<T>& a) {
+  return Engine::default_engine().potrf_batch<T>(a);
+}
+
+/// Batched unpivoted LU in place for diagonally-dominant batches.
+template <class T> BatchHealth compact_getrf_nopiv_batch(CompactBuffer<T>& a) {
+  return Engine::default_engine().getrf_nopiv_batch<T>(a);
+}
+template <class T>
+BatchHealth compact_getrf_nopiv_batch(factor::PackedHandle<T>& a) {
+  return Engine::default_engine().getrf_nopiv_batch<T>(a);
+}
+
+/// Batched in-place triangular inverse of the `uplo` triangle.
+template <class T>
+BatchHealth compact_trtri_batch(Uplo uplo, Diag diag, CompactBuffer<T>& a) {
+  return Engine::default_engine().trtri_batch<T>(uplo, diag, a);
+}
+template <class T>
+BatchHealth compact_trtri_batch(Uplo uplo, Diag diag,
+                                factor::PackedHandle<T>& a) {
+  return Engine::default_engine().trtri_batch<T>(uplo, diag, a);
+}
+
+/// Grouped heterogeneous factorisation chains; see Engine::factor_grouped.
+template <class T>
+std::vector<BatchHealth>
+compact_factor_grouped(std::span<const sched::FactorSegment<T>> segments) {
+  return Engine::default_engine().factor_grouped<T>(segments);
+}
+
+} // namespace iatf

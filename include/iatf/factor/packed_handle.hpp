@@ -1,0 +1,99 @@
+// Persistent packed layouts (iatf::factor, DESIGN.md section 13).
+//
+// Every engine call used to round-trip pack -> compute -> unpack, so a
+// chained small-matrix pipeline (Cholesky solve, Kalman update) paid the
+// interleave conversion once per call for operands that never left the
+// engine. A PackedHandle makes the interleaved compact layout a
+// first-class persistent format: Engine::pack() converts a strided
+// column-major batch exactly once, the handle is then passed to
+// GEMM/TRSM/factorisation entry points in place of raw pointers, and the
+// data stays interleaved end-to-end until Engine::unpack() is asked for
+// column-major output. The engine counts every conversion it performs
+// (EngineStats::packed_repacks) and every handle operand it consumed
+// without one (EngineStats::packed_reuse_hits), so layout-propagation
+// effectiveness is directly observable.
+//
+// Epoch rule: the handle carries a monotonically increasing epoch tag.
+// Every engine routine that writes through the handle (GEMM/TRSM output
+// operands, in-place factorisations, repack) bumps it; read-only uses do
+// not. The epoch is how callers holding several views of one pipeline
+// distinguish "same buffer, new contents" without comparing data -- and
+// how a serving layer can detect that a cached unpacked mirror of the
+// handle has gone stale.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "iatf/common/error.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf::factor {
+
+/// Owning, move-only handle over a batch held in the interleaved compact
+/// layout, plus its descriptor (rows/cols/batch/pack width, dtype via the
+/// template parameter) and the mutation epoch. Create via Engine::pack()
+/// (conversion, counted) or Engine::adopt_packed() (zero-copy adoption of
+/// an already-compact buffer).
+template <class T> class PackedHandle {
+public:
+  PackedHandle() = default;
+  explicit PackedHandle(CompactBuffer<T> buf)
+      : buf_(std::move(buf)), valid_(true) {}
+
+  PackedHandle(PackedHandle&& other) noexcept
+      : buf_(std::move(other.buf_)), epoch_(other.epoch_),
+        valid_(other.valid_) {
+    other.valid_ = false;
+    other.epoch_ = 0;
+  }
+  PackedHandle& operator=(PackedHandle&& other) noexcept {
+    if (this != &other) {
+      buf_ = std::move(other.buf_);
+      epoch_ = other.epoch_;
+      valid_ = other.valid_;
+      other.valid_ = false;
+      other.epoch_ = 0;
+    }
+    return *this;
+  }
+  PackedHandle(const PackedHandle&) = delete;
+  PackedHandle& operator=(const PackedHandle&) = delete;
+
+  /// False for default-constructed or moved-from / released handles;
+  /// passing an invalid handle to any engine routine throws InvalidArg.
+  bool valid() const noexcept { return valid_; }
+
+  index_t rows() const noexcept { return buf_.rows(); }
+  index_t cols() const noexcept { return buf_.cols(); }
+  index_t batch() const noexcept { return buf_.batch(); }
+  index_t pack_width() const noexcept { return buf_.pack_width(); }
+
+  /// Mutation tag: bumped by every engine routine that writes through
+  /// the handle (factorisations, GEMM/TRSM output operands, repack).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  void bump_epoch() noexcept { ++epoch_; }
+
+  /// The underlying interleaved storage. Mutating it directly is allowed
+  /// (the handle owns it) but bypasses the epoch tag -- call
+  /// bump_epoch() afterwards if other code keys on it.
+  CompactBuffer<T>& buffer() noexcept { return buf_; }
+  const CompactBuffer<T>& buffer() const noexcept { return buf_; }
+
+  /// Give up ownership of the compact buffer; the handle becomes
+  /// invalid. The zero-conversion escape hatch for code that wants the
+  /// raw CompactBuffer API back.
+  CompactBuffer<T> release() {
+    IATF_CHECK(valid_, "PackedHandle::release: invalid handle");
+    valid_ = false;
+    epoch_ = 0;
+    return std::move(buf_);
+  }
+
+private:
+  CompactBuffer<T> buf_;
+  std::uint64_t epoch_ = 0;
+  bool valid_ = false;
+};
+
+} // namespace iatf::factor

@@ -1,6 +1,8 @@
 // Umbrella header: the whole public IATF API.
 //
 //   compact BLAS       iatf/core/compact_blas.hpp   (gemm, trsm)
+//   factorisations     iatf/factor/factor.hpp       (packed handles, potrf,
+//                                                    getrf_nopiv, trtri)
 //   extensions         iatf/ext/compact_ext.hpp     (trmm, getrf, potrf)
 //   layout             iatf/layout/compact.hpp      (CompactBuffer, convert)
 //   engine & plans     iatf/core/engine.hpp         (plan cache, tuning)
@@ -16,6 +18,7 @@
 #include "iatf/core/compact_blas.hpp"
 #include "iatf/core/engine.hpp"
 #include "iatf/ext/compact_ext.hpp"
+#include "iatf/factor/factor.hpp"
 #include "iatf/layout/compact.hpp"
 #include "iatf/parallel/thread_pool.hpp"
 #include "iatf/tune/search.hpp"

@@ -37,4 +37,11 @@ template <class T> void getrf_np(index_t m, T* a, index_t lda);
 /// written. Requires positive-definite input.
 template <class T> void potrf(index_t m, T* a, index_t lda);
 
+/// Triangular inverse in place (LAPACK trtri): the `uplo` triangle of A
+/// (m x m) is overwritten by its inverse. Unit triangles keep their
+/// implicit unit diagonal. A zero diagonal produces Inf/NaN in that
+/// column, never a throw (BLAS-undefined input, defined IEEE output).
+template <class T>
+void trtri(Uplo uplo, Diag diag, index_t m, T* a, index_t lda);
+
 } // namespace iatf::ref

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "iatf/common/types.hpp"
+#include "iatf/factor/factor_plan.hpp"
 #include "iatf/layout/compact.hpp"
 
 namespace iatf::sched {
@@ -55,18 +56,34 @@ template <class T> struct TrsmSegment {
   CompactBuffer<T>* b = nullptr;
 };
 
+/// One factorisation segment of a grouped call: factor the segment's
+/// batch in place with the named routine (uplo/diag apply to Trtri
+/// only). Heterogeneous chains -- a Cholesky beside a triangular inverse
+/// beside an LU -- bin into separate size classes of one grouped call.
+template <class T> struct FactorSegment {
+  factor::FactorOp op = factor::FactorOp::Potrf;
+  Uplo uplo = Uplo::Lower;
+  Diag diag = Diag::NonUnit;
+  CompactBuffer<T>* a = nullptr;
+};
+
 /// The size-class identity of a segment: everything the engine's plan
 /// cache keys on except dtype/width (which are fixed per grouped call by
 /// the template instantiation). Two segments with equal ClassKeys share
 /// an execution plan.
 struct ClassKey {
-  char op = 0; ///< 'g' (GEMM) or 't' (TRSM)
+  char op = 0; ///< 'g' (GEMM), 't' (TRSM), 'p'/'l'/'i' (factorisations)
   index_t m = 0, n = 0, k = 0;
   std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
   index_t batch = 0;
 
   friend bool operator==(const ClassKey&, const ClassKey&) = default;
 };
+
+/// The ClassKey of one factorisation descriptor (shared by the engine's
+/// factor_grouped binning and by callers pre-binning their own chains).
+ClassKey factor_class_key(factor::FactorOp op, index_t m, Uplo uplo,
+                          Diag diag, index_t batch);
 
 struct ClassKeyHash {
   std::size_t operator()(const ClassKey& k) const noexcept;

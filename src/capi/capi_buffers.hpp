@@ -7,6 +7,7 @@
 #include <complex>
 
 #include "iatf/capi/iatf.h"
+#include "iatf/factor/packed_handle.hpp"
 #include "iatf/layout/compact.hpp"
 
 struct iatf_sbuf {
@@ -20,4 +21,14 @@ struct iatf_cbuf {
 };
 struct iatf_zbuf {
   iatf::CompactBuffer<std::complex<double>> buf;
+};
+
+// Persistent packed-layout handles (s/d): each wraps one PackedHandle so
+// the C side carries the interleaved data, descriptor and epoch tag as
+// one opaque unit.
+struct iatf_spacked {
+  iatf::factor::PackedHandle<float> h;
+};
+struct iatf_dpacked {
+  iatf::factor::PackedHandle<double> h;
 };

@@ -119,6 +119,20 @@ iatf_error_detail trsm_detail(char dtype, iatf_side side, iatf_uplo uplo,
   return d;
 }
 
+// Factorisation calls: one square descriptor, no second operand.
+iatf_error_detail factor_detail(char op, char dtype, int64_t m,
+                                int64_t batch, int uplo, int diag) {
+  iatf_error_detail d = blank_detail();
+  d.op = op;
+  d.dtype = dtype;
+  d.m = m;
+  d.n = m;
+  d.batch = batch;
+  d.uplo = uplo;
+  d.diag = diag;
+  return d;
+}
+
 // Grouped calls have no single descriptor; attribute the call kind and
 // the group count, leaving the per-matrix sizes unset (-1).
 iatf_error_detail grouped_detail(char op, char dtype, int64_t group_count) {
@@ -340,6 +354,8 @@ extern "C" int iatf_get_engine_stats(iatf_engine_stats* stats) {
         static_cast<int64_t>(s.quarantined_kernels);
     stats->breaker_transitions =
         static_cast<int64_t>(s.breaker_transitions);
+    stats->packed_reuse_hits = static_cast<int64_t>(s.packed_reuse_hits);
+    stats->packed_repacks = static_cast<int64_t>(s.packed_repacks);
   });
 }
 
@@ -753,6 +769,161 @@ extern "C" int iatf_tune_load(const char* path) {
     publish_tune_table_locked();
   });
 }
+
+// Packed-layout handles and batched factorisations (s/d). The packed
+// compute shims reuse guarded_blas so hazard reporting matches the
+// _compact routines; the handle-validity checks live in the engine.
+#define IATF_DEFINE_PACKED(P, PACKED, BUF, T, DTYPE)                          \
+  extern "C" PACKED* iatf_##P##pack(const T* src, int64_t rows,               \
+                                    int64_t cols, int64_t ld,                 \
+                                    int64_t matrix_stride, int64_t batch) {   \
+    PACKED* out = nullptr;                                                    \
+    const int rc = guarded([&] {                                              \
+      out = new PACKED{iatf::Engine::default_engine().pack<T>(                \
+          src, rows, cols, ld, matrix_stride, batch)};                        \
+    });                                                                       \
+    return rc == 0 ? out : nullptr;                                           \
+  }                                                                           \
+  extern "C" int iatf_##P##repack(PACKED* p, const T* src, int64_t ld,        \
+                                  int64_t matrix_stride) {                    \
+    return guarded([&] {                                                      \
+      IATF_CHECK(p != nullptr, "iatf_" #P "repack: null handle");             \
+      iatf::Engine::default_engine().repack<T>(p->h, src, ld,                 \
+                                               matrix_stride);                \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##unpack(const PACKED* p, T* dst, int64_t ld,        \
+                                  int64_t matrix_stride) {                    \
+    return guarded([&] {                                                      \
+      IATF_CHECK(p != nullptr, "iatf_" #P "unpack: null handle");             \
+      iatf::Engine::default_engine().unpack<T>(p->h, dst, ld,                 \
+                                               matrix_stride);                \
+    });                                                                       \
+  }                                                                           \
+  extern "C" void iatf_##P##free_packed(PACKED* p) { delete p; }              \
+  extern "C" int64_t iatf_##P##packed_rows(const PACKED* p) {                 \
+    return p->h.rows();                                                       \
+  }                                                                           \
+  extern "C" int64_t iatf_##P##packed_cols(const PACKED* p) {                 \
+    return p->h.cols();                                                       \
+  }                                                                           \
+  extern "C" int64_t iatf_##P##packed_batch(const PACKED* p) {                \
+    return p->h.batch();                                                      \
+  }                                                                           \
+  extern "C" uint64_t iatf_##P##packed_epoch(const PACKED* p) {               \
+    return p->h.epoch();                                                      \
+  }                                                                           \
+  extern "C" int iatf_##P##gemm_packed(iatf_op op_a, iatf_op op_b, T alpha,   \
+                                       const PACKED* a, const PACKED* b,      \
+                                       T beta, PACKED* c) {                   \
+    iatf_error_detail d = blank_detail();                                     \
+    d.op = 'g';                                                               \
+    d.dtype = DTYPE;                                                          \
+    d.op_a = static_cast<int>(op_a);                                          \
+    d.op_b = static_cast<int>(op_b);                                          \
+    if (c != nullptr) {                                                       \
+      d.m = c->h.rows();                                                      \
+      d.n = c->h.cols();                                                      \
+      d.batch = c->h.batch();                                                 \
+    }                                                                         \
+    return guarded_blas(d, [&] {                                              \
+      IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,                \
+                 "iatf_" #P "gemm_packed: null handle");                      \
+      return iatf::Engine::default_engine().gemm<T>(                          \
+          to_op(op_a), to_op(op_b), alpha, a->h, b->h, beta, c->h);           \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo,        \
+                                       iatf_op op_a, iatf_diag diag,          \
+                                       T alpha, const PACKED* a,              \
+                                       PACKED* b) {                           \
+    iatf_error_detail d = blank_detail();                                     \
+    d.op = 't';                                                               \
+    d.dtype = DTYPE;                                                          \
+    d.op_a = static_cast<int>(op_a);                                          \
+    d.side = static_cast<int>(side);                                          \
+    d.uplo = static_cast<int>(uplo);                                          \
+    d.diag = static_cast<int>(diag);                                          \
+    if (b != nullptr) {                                                       \
+      d.m = b->h.rows();                                                      \
+      d.n = b->h.cols();                                                      \
+      d.batch = b->h.batch();                                                 \
+    }                                                                         \
+    return guarded_blas(d, [&] {                                              \
+      IATF_CHECK(a != nullptr && b != nullptr,                                \
+                 "iatf_" #P "trsm_packed: null handle");                      \
+      return iatf::Engine::default_engine().trsm<T>(                          \
+          to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag), alpha,    \
+          a->h, b->h);                                                        \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##potrf_batch(BUF* a) {                              \
+    return guarded_blas(                                                      \
+        factor_detail('p', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0, -1, -1),             \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "potrf_batch: null buffer");    \
+          return iatf::Engine::default_engine().potrf_batch<T>(a->buf);       \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##getrfnp_batch(BUF* a) {                            \
+    return guarded_blas(                                                      \
+        factor_detail('l', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0, -1, -1),             \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr,                                            \
+                     "iatf_" #P "getrfnp_batch: null buffer");                \
+          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(         \
+              a->buf);                                                        \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag,        \
+                                       BUF* a) {                              \
+    return guarded_blas(                                                      \
+        factor_detail('i', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0,                      \
+                      static_cast<int>(uplo), static_cast<int>(diag)),        \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "trtri_batch: null buffer");    \
+          return iatf::Engine::default_engine().trtri_batch<T>(               \
+              to_uplo(uplo), to_diag(diag), a->buf);                          \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##potrf_packed(PACKED* a) {                          \
+    return guarded_blas(                                                      \
+        factor_detail('p', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0, -1, -1),               \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "potrf_packed: null handle");   \
+          return iatf::Engine::default_engine().potrf_batch<T>(a->h);         \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##getrfnp_packed(PACKED* a) {                        \
+    return guarded_blas(                                                      \
+        factor_detail('l', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0, -1, -1),               \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr,                                            \
+                     "iatf_" #P "getrfnp_packed: null handle");               \
+          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(a->h);   \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag,       \
+                                        PACKED* a) {                          \
+    return guarded_blas(                                                      \
+        factor_detail('i', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0,                        \
+                      static_cast<int>(uplo), static_cast<int>(diag)),        \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "trtri_packed: null handle");   \
+          return iatf::Engine::default_engine().trtri_batch<T>(               \
+              to_uplo(uplo), to_diag(diag), a->h);                            \
+        });                                                                   \
+  }
+
+IATF_DEFINE_PACKED(s, iatf_spacked, iatf_sbuf, float, 's')
+IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
+#undef IATF_DEFINE_PACKED
 
 extern "C" int iatf_strmm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,

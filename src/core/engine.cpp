@@ -15,56 +15,16 @@
 #include "iatf/ref/ref_blas.hpp"
 #include "iatf/tune/descriptor.hpp"
 #include "iatf/tune/tuning_table.hpp"
+#include "engine_internal.hpp"
 
 namespace iatf {
 namespace {
 
+using detail::classify_failure;
+using detail::restore_lane;
+
 template <class T> constexpr char dtype_tag() {
   return blas_prefix_v<T>[0];
-}
-
-bool site_prefix(const std::string& site, const char* prefix) {
-  return site.rfind(prefix, 0) == 0;
-}
-
-/// Classify the in-flight exception as a degradation event. InvalidArg
-/// errors are caller bugs and must never be silently degraded, so they are
-/// rethrown; Timeout likewise -- a deadline already blown cannot be helped
-/// by a slower scalar recompute. Everything else maps to the event the
-/// fallback records.
-DegradeEvent classify_failure() {
-  try {
-    throw;
-  } catch (const fault::FaultInjected& f) {
-    if (site_prefix(f.site(), "registry")) {
-      return DegradeEvent::MissingKernel;
-    }
-    if (site_prefix(f.site(), "plan")) {
-      return DegradeEvent::UnsupportedPlan;
-    }
-    if (site_prefix(f.site(), "threadpool") ||
-        site_prefix(f.site(), "sched") ||
-        site_prefix(f.site(), "resilience")) {
-      return DegradeEvent::WorkerFailure;
-    }
-    return DegradeEvent::AllocFailure;
-  } catch (const Error& e) {
-    switch (e.status()) {
-    case Status::InvalidArg:
-    case Status::Timeout:
-      throw;
-    case Status::Unsupported:
-      return DegradeEvent::UnsupportedPlan;
-    case Status::AllocFailure:
-      return DegradeEvent::AllocFailure;
-    default:
-      return DegradeEvent::WorkerFailure;
-    }
-  } catch (const std::bad_alloc&) {
-    return DegradeEvent::AllocFailure;
-  } catch (...) {
-    return DegradeEvent::WorkerFailure;
-  }
 }
 
 /// The fallback path reads the buffers directly, so it must re-validate
@@ -96,26 +56,6 @@ void validate_trsm_fallback(const TrsmShape& s, const CompactBuffer<T>& a,
              "trsm: A must be a_dim x a_dim");
   IATF_CHECK(a.batch() == s.batch && b.batch() == s.batch,
              "trsm: operand batch sizes do not match");
-}
-
-/// Restore one lane of `buf` from a raw snapshot of its storage.
-template <class T>
-void restore_lane(CompactBuffer<T>& buf,
-                  const std::vector<real_t<T>>& snapshot, index_t lane) {
-  using R = real_t<T>;
-  const index_t pw = buf.pack_width();
-  const index_t g = lane / pw;
-  const index_t l = lane % pw;
-  const index_t es = buf.element_stride();
-  const index_t elems = buf.rows() * buf.cols();
-  R* gdata = buf.group_data(g);
-  const R* sdata = snapshot.data() + g * buf.group_stride();
-  for (index_t e = 0; e < elems; ++e) {
-    gdata[e * es + l] = sdata[e * es + l];
-    if constexpr (is_complex_v<T>) {
-      gdata[e * es + pw + l] = sdata[e * es + pw + l];
-    }
-  }
 }
 
 /// Recompute one lane with the scalar reference GEMM. The lane's C must
@@ -188,6 +128,10 @@ template <class T, int B> struct plan_traits<plan::GemmPlan<T, B>> {
   static constexpr int bytes = B;
 };
 template <class T, int B> struct plan_traits<plan::TrsmPlan<T, B>> {
+  using value_type = T;
+  static constexpr int bytes = B;
+};
+template <class T, int B> struct plan_traits<factor::FactorPlan<T, B>> {
   using value_type = T;
   static constexpr int bytes = B;
 };
@@ -400,7 +344,8 @@ std::size_t Engine::PlanKeyHash::operator()(const PlanKey& k) const noexcept {
                                                << 8 |
       static_cast<std::uint64_t>(k.side) << 16 |
       static_cast<std::uint64_t>(k.uplo) << 24 |
-      static_cast<std::uint64_t>(k.diag) << 32);
+      static_cast<std::uint64_t>(k.diag) << 32 |
+      static_cast<std::uint64_t>(k.layout) << 40);
   mix(static_cast<std::uint64_t>(k.batch));
   return h;
 }
@@ -568,7 +513,8 @@ std::shared_ptr<const Plan> Engine::lookup(const PlanKey& key, Make&& make) {
 }
 
 template <class T, int Bytes>
-Engine::PlanKey Engine::gemm_plan_key(const GemmShape& shape) {
+Engine::PlanKey Engine::gemm_plan_key(const GemmShape& shape,
+                                      std::uint8_t layout) {
   PlanKey key;
   key.op = 'g';
   key.dtype = dtype_tag<T>();
@@ -578,12 +524,14 @@ Engine::PlanKey Engine::gemm_plan_key(const GemmShape& shape) {
   key.k = shape.k;
   key.op_a = static_cast<std::uint8_t>(shape.op_a);
   key.op_b = static_cast<std::uint8_t>(shape.op_b);
+  key.layout = layout;
   key.batch = shape.batch;
   return key;
 }
 
 template <class T, int Bytes>
-Engine::PlanKey Engine::trsm_plan_key(const TrsmShape& shape) {
+Engine::PlanKey Engine::trsm_plan_key(const TrsmShape& shape,
+                                      std::uint8_t layout) {
   PlanKey key;
   key.op = 't';
   key.dtype = dtype_tag<T>();
@@ -594,15 +542,45 @@ Engine::PlanKey Engine::trsm_plan_key(const TrsmShape& shape) {
   key.side = static_cast<std::uint8_t>(shape.side);
   key.uplo = static_cast<std::uint8_t>(shape.uplo);
   key.diag = static_cast<std::uint8_t>(shape.diag);
+  key.layout = layout;
+  key.batch = shape.batch;
+  return key;
+}
+
+/// Factorisations are keyed like GEMM/TRSM: the op tag distinguishes the
+/// three routines ('p' Cholesky, 'l' unpivoted LU, 'i' triangular
+/// inverse) and `layout` separates the raw-buffer and packed-handle
+/// variants so both coexist in the cache.
+template <class T, int Bytes>
+Engine::PlanKey Engine::factor_plan_key(const factor::FactorShape& shape,
+                                        std::uint8_t layout) {
+  PlanKey key;
+  switch (shape.op) {
+  case factor::FactorOp::Potrf:
+    key.op = 'p';
+    break;
+  case factor::FactorOp::GetrfNp:
+    key.op = 'l';
+    break;
+  case factor::FactorOp::Trtri:
+    key.op = 'i';
+    break;
+  }
+  key.dtype = dtype_tag<T>();
+  key.bytes = Bytes;
+  key.m = shape.m;
+  key.uplo = static_cast<std::uint8_t>(shape.uplo);
+  key.diag = static_cast<std::uint8_t>(shape.diag);
+  key.layout = layout;
   key.batch = shape.batch;
   return key;
 }
 
 template <class T, int Bytes>
 std::shared_ptr<const plan::GemmPlan<T, Bytes>>
-Engine::plan_gemm(const GemmShape& shape) {
+Engine::plan_gemm(const GemmShape& shape, std::uint8_t layout) {
   return lookup<plan::GemmPlan<T, Bytes>>(
-      gemm_plan_key<T, Bytes>(shape),
+      gemm_plan_key<T, Bytes>(shape, layout),
       [&](bool* tuned, std::uint64_t* config_gen) {
         IATF_FAULT_POINT("plan.gemm", ::iatf::Status::Unsupported);
         fault::stall_if_armed("plan.stall");
@@ -623,9 +601,9 @@ Engine::plan_gemm(const GemmShape& shape) {
 
 template <class T, int Bytes>
 std::shared_ptr<const plan::TrsmPlan<T, Bytes>>
-Engine::plan_trsm(const TrsmShape& shape) {
+Engine::plan_trsm(const TrsmShape& shape, std::uint8_t layout) {
   return lookup<plan::TrsmPlan<T, Bytes>>(
-      trsm_plan_key<T, Bytes>(shape),
+      trsm_plan_key<T, Bytes>(shape, layout),
       [&](bool* tuned, std::uint64_t* config_gen) {
         IATF_FAULT_POINT("plan.trsm", ::iatf::Status::Unsupported);
         fault::stall_if_armed("plan.stall");
@@ -645,9 +623,35 @@ Engine::plan_trsm(const TrsmShape& shape) {
 }
 
 template <class T, int Bytes>
+std::shared_ptr<const factor::FactorPlan<T, Bytes>>
+Engine::plan_factor(const factor::FactorShape& shape, std::uint8_t layout) {
+  return lookup<factor::FactorPlan<T, Bytes>>(
+      factor_plan_key<T, Bytes>(shape, layout),
+      [&](bool* tuned, std::uint64_t* config_gen) {
+        IATF_FAULT_POINT("plan.factor", ::iatf::Status::Unsupported);
+        fault::stall_if_armed("plan.stall");
+        // Factor plans take no tile tuning (the steps are straight-line
+        // register sweeps), but the build still resolves against one
+        // config generation so reconfigure() gates stale inserts.
+        *tuned = false;
+        *config_gen =
+            tuning_.load(std::memory_order_acquire)->generation;
+        return new factor::FactorPlan<T, Bytes>(shape);
+      });
+}
+
+template <class T, int Bytes>
 BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
                          const CompactBuffer<T>& b, T beta,
                          CompactBuffer<T>& c) {
+  return gemm_at<T, Bytes>(op_a, op_b, alpha, a, b, beta, c, /*layout=*/0);
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::gemm_at(Op op_a, Op op_b, T alpha,
+                            const CompactBuffer<T>& a,
+                            const CompactBuffer<T>& b, T beta,
+                            CompactBuffer<T>& c, std::uint8_t layout) {
   GemmShape shape;
   shape.m = c.rows();
   shape.n = c.cols();
@@ -682,7 +686,7 @@ BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
   std::size_t slot = 0;
   bool probe = false;
   if (breaker_.enabled()) {
-    slot = PlanKeyHash{}(gemm_plan_key<T, Bytes>(shape));
+    slot = PlanKeyHash{}(gemm_plan_key<T, Bytes>(shape, layout));
     switch (breaker_.admit(slot)) {
     case resilience::BreakerDecision::RefRoute:
       return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
@@ -708,7 +712,7 @@ BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
   try {
     BatchHealth health;
     if (policy == ExecPolicy::Fast) {
-      auto plan = plan_gemm<T, Bytes>(shape);
+      auto plan = plan_gemm<T, Bytes>(shape, layout);
       if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
         health = ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
                                           DegradeEvent::QuarantinedKernel);
@@ -723,7 +727,7 @@ BatchHealth Engine::gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
       }
     } else {
       health = guarded_gemm<T, Bytes>(shape, alpha, a, b, beta, c, policy,
-                                      pool, deadline);
+                                      pool, deadline, layout);
     }
     if (breaker_.enabled()) {
       breaker_.record(slot, health.events != DegradeEvent::None, probe);
@@ -750,8 +754,8 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
                                  const CompactBuffer<T>& a,
                                  const CompactBuffer<T>& b, T beta,
                                  CompactBuffer<T>& c, ExecPolicy policy,
-                                 ThreadPool* pool,
-                                 const Deadline* deadline) {
+                                 ThreadPool* pool, const Deadline* deadline,
+                                 std::uint8_t layout) {
   using R = real_t<T>;
   BatchHealth health;
   health.batch = shape.batch;
@@ -775,7 +779,7 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
   HealthRecorder rec(shape.batch);
   for (int attempt = 1;; ++attempt) {
     try {
-      auto plan = plan_gemm<T, Bytes>(shape);
+      auto plan = plan_gemm<T, Bytes>(shape, layout);
       if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
         // Quarantine is detected before execution, so C still holds the
         // original values and the reference path applies beta directly.
@@ -850,6 +854,14 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
 template <class T, int Bytes>
 BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
                          const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+  return trsm_at<T, Bytes>(side, uplo, op_a, diag, alpha, a, b,
+                           /*layout=*/0);
+}
+
+template <class T, int Bytes>
+BatchHealth Engine::trsm_at(Side side, Uplo uplo, Op op_a, Diag diag,
+                            T alpha, const CompactBuffer<T>& a,
+                            CompactBuffer<T>& b, std::uint8_t layout) {
   TrsmShape shape;
   shape.m = b.rows();
   shape.n = b.cols();
@@ -882,7 +894,7 @@ BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
   std::size_t slot = 0;
   bool probe = false;
   if (breaker_.enabled()) {
-    slot = PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape));
+    slot = PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape, layout));
     switch (breaker_.admit(slot)) {
     case resilience::BreakerDecision::RefRoute:
       return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
@@ -907,7 +919,7 @@ BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
   try {
     BatchHealth health;
     if (policy == ExecPolicy::Fast) {
-      auto plan = plan_trsm<T, Bytes>(shape);
+      auto plan = plan_trsm<T, Bytes>(shape, layout);
       if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
         health = ref_route_trsm<T, Bytes>(shape, alpha, a, b,
                                           DegradeEvent::QuarantinedKernel);
@@ -921,7 +933,7 @@ BatchHealth Engine::trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
       }
     } else {
       health = guarded_trsm<T, Bytes>(shape, alpha, a, b, policy, pool,
-                                      deadline);
+                                      deadline, layout);
     }
     if (breaker_.enabled()) {
       breaker_.record(slot, health.events != DegradeEvent::None, probe);
@@ -947,8 +959,8 @@ template <class T, int Bytes>
 BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
                                  const CompactBuffer<T>& a,
                                  CompactBuffer<T>& b, ExecPolicy policy,
-                                 ThreadPool* pool,
-                                 const Deadline* deadline) {
+                                 ThreadPool* pool, const Deadline* deadline,
+                                 std::uint8_t layout) {
   using R = real_t<T>;
   BatchHealth health;
   health.batch = shape.batch;
@@ -971,7 +983,7 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
   HealthRecorder rec(shape.batch);
   for (int attempt = 1;; ++attempt) {
     try {
-      auto plan = plan_trsm<T, Bytes>(shape);
+      auto plan = plan_trsm<T, Bytes>(shape, layout);
       if (kernel_verification() && !ensure_verified<T, Bytes>(*plan)) {
         // Quarantine is detected before execution: B still holds the
         // original right-hand side.
@@ -1801,6 +1813,10 @@ EngineStats Engine::stats() const {
       ref_routed_calls_.load(std::memory_order_relaxed));
   s.retries =
       static_cast<std::size_t>(retries_.load(std::memory_order_relaxed));
+  s.packed_reuse_hits = static_cast<std::size_t>(
+      packed_reuse_hits_.load(std::memory_order_relaxed));
+  s.packed_repacks = static_cast<std::size_t>(
+      packed_repacks_.load(std::memory_order_relaxed));
   s.verified_kernels = guard_.verified_count();
   s.quarantined_kernels = guard_.quarantined_count();
   s.breaker_transitions = breaker_.summary().transitions;
@@ -1823,6 +1839,8 @@ void Engine::reset_stats() {
   shed_calls_.store(0, std::memory_order_relaxed);
   ref_routed_calls_.store(0, std::memory_order_relaxed);
   retries_.store(0, std::memory_order_relaxed);
+  packed_reuse_hits_.store(0, std::memory_order_relaxed);
+  packed_repacks_.store(0, std::memory_order_relaxed);
 }
 
 EngineHealth Engine::health() const {
@@ -2240,15 +2258,23 @@ Engine& Engine::default_engine() {
 
 #define IATF_INSTANTIATE_ENGINE(T, Bytes)                                    \
   template std::shared_ptr<const plan::GemmPlan<T, Bytes>>                  \
-  Engine::plan_gemm<T, Bytes>(const GemmShape&);                            \
+  Engine::plan_gemm<T, Bytes>(const GemmShape&, std::uint8_t);              \
   template std::shared_ptr<const plan::TrsmPlan<T, Bytes>>                  \
-  Engine::plan_trsm<T, Bytes>(const TrsmShape&);                            \
+  Engine::plan_trsm<T, Bytes>(const TrsmShape&, std::uint8_t);              \
+  template std::shared_ptr<const factor::FactorPlan<T, Bytes>>              \
+  Engine::plan_factor<T, Bytes>(const factor::FactorShape&, std::uint8_t);  \
   template BatchHealth Engine::gemm<T, Bytes>(                              \
       Op, Op, T, const CompactBuffer<T>&, const CompactBuffer<T>&, T,       \
       CompactBuffer<T>&);                                                   \
+  template BatchHealth Engine::gemm_at<T, Bytes>(                           \
+      Op, Op, T, const CompactBuffer<T>&, const CompactBuffer<T>&, T,       \
+      CompactBuffer<T>&, std::uint8_t);                                     \
   template BatchHealth Engine::trsm<T, Bytes>(Side, Uplo, Op, Diag, T,      \
                                               const CompactBuffer<T>&,      \
                                               CompactBuffer<T>&);           \
+  template BatchHealth Engine::trsm_at<T, Bytes>(                           \
+      Side, Uplo, Op, Diag, T, const CompactBuffer<T>&, CompactBuffer<T>&,  \
+      std::uint8_t);                                                        \
   template std::vector<BatchHealth> Engine::gemm_grouped<T, Bytes>(         \
       std::span<const sched::GemmSegment<T>>);                              \
   template std::vector<BatchHealth> Engine::trsm_grouped<T, Bytes>(         \

@@ -224,6 +224,58 @@ template <class T> void potrf(index_t m, T* a, index_t lda) {
   }
 }
 
+template <class T>
+void trtri(Uplo uplo, Diag diag, index_t m, T* a, index_t lda) {
+  IATF_CHECK(m >= 0, "ref::trtri: negative dimension");
+  const bool nonunit = diag == Diag::NonUnit;
+  if (uplo == Uplo::Lower) {
+    // Right-to-left column sweep (LAPACK trti2, lower): when column j is
+    // processed the trailing submatrix already holds inv(L22), so the
+    // column update is one triangular matrix-vector product.
+    for (index_t j = m - 1; j >= 0; --j) {
+      T ajj;
+      if (nonunit) {
+        a[j * lda + j] = T(1) / a[j * lda + j];
+        ajj = -a[j * lda + j];
+      } else {
+        ajj = T(-1);
+      }
+      for (index_t i = m - 1; i > j; --i) {
+        T s = nonunit ? a[i * lda + i] * a[j * lda + i] : a[j * lda + i];
+        for (index_t k = j + 1; k < i; ++k) {
+          s += a[k * lda + i] * a[j * lda + k];
+        }
+        a[j * lda + i] = s;
+      }
+      for (index_t i = j + 1; i < m; ++i) {
+        a[j * lda + i] *= ajj;
+      }
+    }
+  } else {
+    // Left-to-right column sweep (upper): the leading submatrix already
+    // holds inv(U11) when column j is processed.
+    for (index_t j = 0; j < m; ++j) {
+      T ajj;
+      if (nonunit) {
+        a[j * lda + j] = T(1) / a[j * lda + j];
+        ajj = -a[j * lda + j];
+      } else {
+        ajj = T(-1);
+      }
+      for (index_t i = 0; i < j; ++i) {
+        T s = nonunit ? a[i * lda + i] * a[j * lda + i] : a[j * lda + i];
+        for (index_t k = i + 1; k < j; ++k) {
+          s += a[k * lda + i] * a[j * lda + k];
+        }
+        a[j * lda + i] = s;
+      }
+      for (index_t i = 0; i < j; ++i) {
+        a[j * lda + i] *= ajj;
+      }
+    }
+  }
+}
+
 #define IATF_INSTANTIATE_REF(T)                                              \
   template void gemm<T>(Op, Op, index_t, index_t, index_t, T, const T*,     \
                         index_t, const T*, index_t, T, T*, index_t);        \
@@ -232,7 +284,8 @@ template <class T> void potrf(index_t m, T* a, index_t lda) {
   template void trmm<T>(Side, Uplo, Op, Diag, index_t, index_t, T,          \
                         const T*, index_t, T*, index_t);                    \
   template void getrf_np<T>(index_t, T*, index_t);                          \
-  template void potrf<T>(index_t, T*, index_t);
+  template void potrf<T>(index_t, T*, index_t);                             \
+  template void trtri<T>(Uplo, Diag, index_t, T*, index_t);
 
 IATF_INSTANTIATE_REF(float)
 IATF_INSTANTIATE_REF(double)

@@ -1,0 +1,263 @@
+// C-API surface of the packed-layout and factorisation subsystem:
+// handle lifecycle and accessors, the packed compute routines against
+// their compact-buffer counterparts (bit-identical), the factorisation
+// shims against the scalar reference, the packed stats counters, and
+// the hazard status contract (CHECK reports NUMERICAL_HAZARD, FALLBACK
+// repairs and returns OK).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../factor/factor_testutil.hpp"
+#include "../testutil.hpp"
+#include "iatf/capi/iatf.h"
+
+namespace iatf {
+namespace {
+
+// The C API routes through the process-wide default engine; leave it the
+// way we found it so suites sharing the binary stay independent.
+struct PolicyGuard {
+  ~PolicyGuard() {
+    iatf_set_exec_policy(IATF_EXEC_FAST);
+    iatf_clear_error();
+  }
+};
+
+TEST(CApiFactor, PackedLifecycleRoundTrip) {
+  Rng rng(0xca01);
+  const index_t m = 6, batch = 5;
+  auto host = test::random_batch<double>(m, m, batch, rng);
+
+  iatf_dpacked* p = iatf_dpack(host.data.data(), m, m, host.ld(),
+                               host.matrix_stride(), batch);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(iatf_dpacked_rows(p), m);
+  EXPECT_EQ(iatf_dpacked_cols(p), m);
+  EXPECT_EQ(iatf_dpacked_batch(p), batch);
+  EXPECT_EQ(iatf_dpacked_epoch(p), 0u);
+
+  test::HostBatch<double> out(m, m, batch);
+  ASSERT_EQ(iatf_dunpack(p, out.data.data(), out.ld(), out.matrix_stride()),
+            IATF_STATUS_OK);
+  for (index_t lane = 0; lane < batch; ++lane) {
+    EXPECT_TRUE(test::lanes_equal(host, out, lane));
+  }
+
+  // Repack with fresh contents bumps the epoch.
+  auto fresh = test::random_batch<double>(m, m, batch, rng);
+  ASSERT_EQ(iatf_drepack(p, fresh.data.data(), fresh.ld(),
+                         fresh.matrix_stride()),
+            IATF_STATUS_OK);
+  EXPECT_GE(iatf_dpacked_epoch(p), 1u);
+
+  iatf_dfree_packed(p);
+  iatf_dfree_packed(nullptr); // must be safe
+}
+
+TEST(CApiFactor, PackRejectsBadArguments) {
+  EXPECT_EQ(iatf_spack(nullptr, 3, 3, 3, 9, 2), nullptr);
+  EXPECT_NE(std::strlen(iatf_last_error()), 0u);
+  iatf_clear_error();
+  EXPECT_EQ(iatf_srepack(nullptr, nullptr, 3, 9), IATF_STATUS_INVALID_ARG);
+  EXPECT_EQ(iatf_sunpack(nullptr, nullptr, 3, 9), IATF_STATUS_INVALID_ARG);
+  iatf_clear_error();
+}
+
+TEST(CApiFactor, GemmPackedMatchesCompactBitForBit) {
+  Rng rng(0xca02);
+  const index_t m = 5, n = 4, k = 6, batch = 7;
+  auto a = test::random_batch<double>(m, k, batch, rng);
+  auto b = test::random_batch<double>(k, n, batch, rng);
+  auto c = test::random_batch<double>(m, n, batch, rng);
+
+  // Compact-buffer path.
+  iatf_dbuf* ca = iatf_dcreate(m, k, batch);
+  iatf_dbuf* cb = iatf_dcreate(k, n, batch);
+  iatf_dbuf* cc = iatf_dcreate(m, n, batch);
+  ASSERT_NE(ca, nullptr);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dimport(ca, l, a.mat(l), m), 0);
+    ASSERT_EQ(iatf_dimport(cb, l, b.mat(l), k), 0);
+    ASSERT_EQ(iatf_dimport(cc, l, c.mat(l), m), 0);
+  }
+  ASSERT_EQ(iatf_dgemm_compact(IATF_NOTRANS, IATF_NOTRANS, 1.5, ca, cb,
+                               -0.5, cc),
+            IATF_STATUS_OK);
+
+  // Packed-handle path over the same inputs.
+  iatf_dpacked* pa = iatf_dpack(a.data.data(), m, k, a.ld(),
+                                a.matrix_stride(), batch);
+  iatf_dpacked* pb = iatf_dpack(b.data.data(), k, n, b.ld(),
+                                b.matrix_stride(), batch);
+  iatf_dpacked* pc = iatf_dpack(c.data.data(), m, n, c.ld(),
+                                c.matrix_stride(), batch);
+  ASSERT_NE(pc, nullptr);
+  ASSERT_EQ(iatf_dgemm_packed(IATF_NOTRANS, IATF_NOTRANS, 1.5, pa, pb,
+                              -0.5, pc),
+            IATF_STATUS_OK);
+  EXPECT_GE(iatf_dpacked_epoch(pc), 1u); // output write bumps the epoch
+  EXPECT_EQ(iatf_dpacked_epoch(pa), 0u); // inputs untouched
+
+  test::HostBatch<double> raw(m, n, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dexport(cc, l, raw.mat(l), m), 0);
+  }
+  test::HostBatch<double> packed(m, n, batch);
+  ASSERT_EQ(iatf_dunpack(pc, packed.data.data(), packed.ld(),
+                         packed.matrix_stride()),
+            IATF_STATUS_OK);
+  for (index_t lane = 0; lane < batch; ++lane) {
+    EXPECT_TRUE(test::lanes_equal(raw, packed, lane)) << "lane " << lane;
+  }
+
+  iatf_dfree_packed(pa);
+  iatf_dfree_packed(pb);
+  iatf_dfree_packed(pc);
+  iatf_ddestroy(ca);
+  iatf_ddestroy(cb);
+  iatf_ddestroy(cc);
+}
+
+TEST(CApiFactor, PotrfBatchMatchesReference) {
+  Rng rng(0xca03);
+  const index_t m = 9, batch = 6;
+  auto host = test::random_spd_batch<double>(m, batch, rng);
+  auto expected = host;
+  test::ref_potrf_batch(expected);
+
+  iatf_dbuf* a = iatf_dcreate(m, m, batch);
+  ASSERT_NE(a, nullptr);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dimport(a, l, host.mat(l), m), 0);
+  }
+  ASSERT_EQ(iatf_dpotrf_batch(a), IATF_STATUS_OK);
+  test::HostBatch<double> actual(m, m, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dexport(a, l, actual.mat(l), m), 0);
+  }
+  test::expect_batch_near(expected, actual,
+                          test::ulp_tolerance<double>(m, 128.0),
+                          "capi dpotrf_batch");
+  iatf_ddestroy(a);
+}
+
+TEST(CApiFactor, GetrfnpAndTrtriPackedMatchReference) {
+  Rng rng(0xca04);
+  const index_t m = 8, batch = 5;
+
+  auto dd = test::random_diag_dominant_batch<float>(m, batch, rng);
+  auto exp_lu = dd;
+  test::ref_getrf_np_batch(exp_lu);
+  iatf_spacked* pl = iatf_spack(dd.data.data(), m, m, dd.ld(),
+                                dd.matrix_stride(), batch);
+  ASSERT_NE(pl, nullptr);
+  ASSERT_EQ(iatf_sgetrfnp_packed(pl), IATF_STATUS_OK);
+  EXPECT_GE(iatf_spacked_epoch(pl), 1u);
+  test::HostBatch<float> lu(m, m, batch);
+  ASSERT_EQ(iatf_sunpack(pl, lu.data.data(), lu.ld(), lu.matrix_stride()),
+            IATF_STATUS_OK);
+  test::expect_batch_near(exp_lu, lu, test::ulp_tolerance<float>(m, 128.0f),
+                          "capi sgetrfnp_packed");
+  iatf_sfree_packed(pl);
+
+  auto tri = test::random_triangular_batch<float>(m, batch, rng);
+  auto exp_inv = tri;
+  test::ref_trtri_batch(Uplo::Lower, Diag::NonUnit, exp_inv);
+  iatf_spacked* pt = iatf_spack(tri.data.data(), m, m, tri.ld(),
+                                tri.matrix_stride(), batch);
+  ASSERT_NE(pt, nullptr);
+  ASSERT_EQ(iatf_strtri_packed(IATF_LOWER, IATF_NONUNIT, pt),
+            IATF_STATUS_OK);
+  test::HostBatch<float> inv(m, m, batch);
+  ASSERT_EQ(iatf_sunpack(pt, inv.data.data(), inv.ld(),
+                         inv.matrix_stride()),
+            IATF_STATUS_OK);
+  test::expect_batch_near(exp_inv, inv,
+                          test::ulp_tolerance<float>(m, 128.0f),
+                          "capi strtri_packed");
+  iatf_sfree_packed(pt);
+}
+
+TEST(CApiFactor, StatsExposePackedCounters) {
+  Rng rng(0xca05);
+  const index_t m = 4, batch = 4;
+  auto host = test::random_batch<double>(m, m, batch, rng);
+
+  iatf_engine_stats before;
+  ASSERT_EQ(iatf_get_engine_stats(&before), 0);
+
+  iatf_dpacked* pa = iatf_dpack(host.data.data(), m, m, host.ld(),
+                                host.matrix_stride(), batch);
+  iatf_dpacked* pb = iatf_dpack(host.data.data(), m, m, host.ld(),
+                                host.matrix_stride(), batch);
+  iatf_dpacked* pc = iatf_dpack(host.data.data(), m, m, host.ld(),
+                                host.matrix_stride(), batch);
+  ASSERT_NE(pc, nullptr);
+  ASSERT_EQ(iatf_dgemm_packed(IATF_NOTRANS, IATF_NOTRANS, 1.0, pa, pb, 0.0,
+                              pc),
+            IATF_STATUS_OK);
+
+  iatf_engine_stats after;
+  ASSERT_EQ(iatf_get_engine_stats(&after), 0);
+  EXPECT_EQ(after.packed_repacks - before.packed_repacks, 3);
+  EXPECT_EQ(after.packed_reuse_hits - before.packed_reuse_hits, 3);
+
+  iatf_dfree_packed(pa);
+  iatf_dfree_packed(pb);
+  iatf_dfree_packed(pc);
+}
+
+TEST(CApiFactor, HazardStatusContract) {
+  PolicyGuard guard;
+  Rng rng(0xca06);
+  const index_t m = 6, batch = 4, bad = 1;
+  auto host = test::random_spd_batch<double>(m, batch, rng);
+  for (index_t j = 0; j < m; ++j) {
+    host.mat(bad)[j * m + j] = -host.mat(bad)[j * m + j];
+  }
+
+  auto load = [&] {
+    iatf_dbuf* a = iatf_dcreate(m, m, batch);
+    for (index_t l = 0; l < batch; ++l) {
+      iatf_dimport(a, l, host.mat(l), m);
+    }
+    return a;
+  };
+
+  // FAST: no scanning, the call reports OK and the caller owns the risk.
+  iatf_set_exec_policy(IATF_EXEC_FAST);
+  iatf_dbuf* fast = load();
+  EXPECT_EQ(iatf_dpotrf_batch(fast), IATF_STATUS_OK);
+  iatf_ddestroy(fast);
+
+  // CHECK: the non-SPD lane surfaces as a numerical hazard, with the
+  // failing descriptor recorded in the error detail.
+  iatf_set_exec_policy(IATF_EXEC_CHECK);
+  iatf_dbuf* check = load();
+  EXPECT_EQ(iatf_dpotrf_batch(check), IATF_STATUS_NUMERICAL_HAZARD);
+  iatf_error_detail detail;
+  ASSERT_EQ(iatf_last_error_detail(&detail), 1);
+  EXPECT_EQ(detail.op, 'p');
+  EXPECT_EQ(detail.dtype, 'd');
+  EXPECT_EQ(detail.m, m);
+  EXPECT_EQ(detail.batch, batch);
+  iatf_ddestroy(check);
+
+  // FALLBACK: repaired (restored) lanes, the call reports OK.
+  iatf_set_exec_policy(IATF_EXEC_FALLBACK);
+  iatf_dbuf* fb = load();
+  EXPECT_EQ(iatf_dpotrf_batch(fb), IATF_STATUS_OK);
+  test::HostBatch<double> out(m, m, batch);
+  for (index_t l = 0; l < batch; ++l) {
+    ASSERT_EQ(iatf_dexport(fb, l, out.mat(l), m), 0);
+  }
+  // The reference refuses the indefinite lane too: original input back.
+  EXPECT_TRUE(test::lanes_equal(host, out, bad));
+  iatf_ddestroy(fb);
+}
+
+} // namespace
+} // namespace iatf

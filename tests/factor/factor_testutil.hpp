@@ -1,0 +1,147 @@
+// Shared helpers for the iatf::factor test suites: well-conditioned
+// problem generators (SPD, diagonally dominant, triangular) and scalar
+// reference oracles applied per lane of a HostBatch.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "iatf/common/rng.hpp"
+#include "iatf/ref/ref_blas.hpp"
+
+namespace iatf::test {
+
+/// Random Hermitian positive-definite batch: A = B B^H + m I, so the
+/// smallest eigenvalue is at least m and Cholesky is well-conditioned.
+template <class T>
+HostBatch<T> random_spd_batch(index_t m, index_t batch, Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out(m, m, batch);
+  std::vector<T> b(static_cast<std::size_t>(m * m));
+  for (index_t lane = 0; lane < batch; ++lane) {
+    rng.fill<T>(b);
+    T* a = out.mat(lane);
+    for (index_t j = 0; j < m; ++j) {
+      for (index_t i = 0; i < m; ++i) {
+        T s = T(0);
+        for (index_t k = 0; k < m; ++k) {
+          if constexpr (is_complex_v<T>) {
+            s += b[static_cast<std::size_t>(k * m + i)] *
+                 std::conj(b[static_cast<std::size_t>(k * m + j)]);
+          } else {
+            s += b[static_cast<std::size_t>(k * m + i)] *
+                 b[static_cast<std::size_t>(k * m + j)];
+          }
+        }
+        a[j * m + i] = s;
+      }
+      a[j * m + j] += T(static_cast<R>(m));
+      if constexpr (is_complex_v<T>) {
+        // Exact Hermitian: the diagonal must be purely real.
+        a[j * m + j] = T(a[j * m + j].real(), R(0));
+      }
+    }
+  }
+  return out;
+}
+
+/// Random strictly diagonally dominant batch, the contract under which
+/// unpivoted LU is stable: |a_jj| > sum_i |a_ij|.
+template <class T>
+HostBatch<T> random_diag_dominant_batch(index_t m, index_t batch,
+                                        Rng& rng) {
+  using R = real_t<T>;
+  HostBatch<T> out = random_batch<T>(m, m, batch, rng);
+  for (index_t lane = 0; lane < batch; ++lane) {
+    T* a = out.mat(lane);
+    for (index_t j = 0; j < m; ++j) {
+      R colsum = R(0);
+      for (index_t i = 0; i < m; ++i) {
+        if (i != j) {
+          colsum += static_cast<R>(std::abs(a[j * m + i]));
+        }
+      }
+      a[j * m + j] = T(colsum + R(1));
+    }
+  }
+  return out;
+}
+
+/// Scalar-reference oracle for one factorisation over every lane.
+template <class T>
+void ref_potrf_batch(HostBatch<T>& b) {
+  for (index_t lane = 0; lane < b.batch; ++lane) {
+    ref::potrf<T>(b.rows, b.mat(lane), b.ld());
+  }
+}
+
+/// ref_potrf_batch, but leaves one (hazard) lane untouched so tests can
+/// build the expected healthy-lane results around a planted bad lane
+/// without ref::potrf throwing on it.
+template <class T>
+void ref_potrf_batch_skipping(HostBatch<T>& b, index_t skip) {
+  for (index_t lane = 0; lane < b.batch; ++lane) {
+    if (lane != skip) {
+      ref::potrf<T>(b.rows, b.mat(lane), b.ld());
+    }
+  }
+}
+
+template <class T>
+void ref_getrf_np_batch(HostBatch<T>& b) {
+  for (index_t lane = 0; lane < b.batch; ++lane) {
+    ref::getrf_np<T>(b.rows, b.mat(lane), b.ld());
+  }
+}
+
+template <class T>
+void ref_trtri_batch(Uplo uplo, Diag diag, HostBatch<T>& b) {
+  for (index_t lane = 0; lane < b.batch; ++lane) {
+    ref::trtri<T>(uplo, diag, b.rows, b.mat(lane), b.ld());
+  }
+}
+
+/// Compare one lane of two HostBatches within `tol` (scaled by the
+/// lane's magnitude, mirroring expect_batch_near).
+template <class T>
+bool lane_near(const HostBatch<T>& expected, const HostBatch<T>& actual,
+               index_t lane, real_t<T> tol) {
+  using R = real_t<T>;
+  R norm = R(0);
+  for (index_t j = 0; j < expected.cols; ++j) {
+    for (index_t i = 0; i < expected.rows; ++i) {
+      norm = std::max(norm, static_cast<R>(std::abs(
+                                expected.mat(lane)[j * expected.ld() + i])));
+    }
+  }
+  const R bound = tol * (norm > R(1) ? norm : R(1));
+  for (index_t j = 0; j < expected.cols; ++j) {
+    for (index_t i = 0; i < expected.rows; ++i) {
+      const R diff = static_cast<R>(
+          std::abs(expected.mat(lane)[j * expected.ld() + i] -
+                   actual.mat(lane)[j * actual.ld() + i]));
+      if (!(diff <= bound)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Compare one lane of two HostBatches exactly (bit-for-bit via ==).
+template <class T>
+bool lanes_equal(const HostBatch<T>& x, const HostBatch<T>& y,
+                 index_t lane) {
+  for (index_t j = 0; j < x.cols; ++j) {
+    for (index_t i = 0; i < x.rows; ++i) {
+      if (x.mat(lane)[j * x.ld() + i] != y.mat(lane)[j * y.ld() + i]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace iatf::test

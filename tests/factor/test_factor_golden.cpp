@@ -1,0 +1,146 @@
+// Golden conformance sweep for the batched compact factorisations:
+// potrf over SPD batches, getrf_nopiv over diagonally-dominant batches
+// and trtri over conditioned triangular batches, every dtype, verified
+// against the iatf::ref scalar oracles at the shared K-scaled ULP
+// tolerance. The per-PR binary samples the remainder-class boundary
+// sizes; compiled with IATF_GOLDEN_FULL it walks every size 1..33.
+// Hazard sweeps plant a non-SPD / zero-pivot lane in each batch and
+// check the flag-and-repair contract at every size.
+#include <complex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "factor_testutil.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf {
+namespace {
+
+std::vector<index_t> sweep_sizes() {
+#ifdef IATF_GOLDEN_FULL
+  std::vector<index_t> sizes;
+  for (index_t m = 1; m <= 33; ++m) {
+    sizes.push_back(m);
+  }
+  return sizes;
+#else
+  // Remainder-class boundaries of the interleave widths plus the paper's
+  // upper bound, same sampling as the GEMM/TRSM golden sweep.
+  return {1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 32, 33};
+#endif
+}
+
+template <class T> class FactorGolden : public ::testing::Test {};
+using ScalarTypes = ::testing::Types<float, double, std::complex<float>,
+                                     std::complex<double>>;
+TYPED_TEST_SUITE(FactorGolden, ScalarTypes);
+
+TYPED_TEST(FactorGolden, PotrfSpdSweep) {
+  using T = TypeParam;
+  Engine engine(CacheInfo::kunpeng920());
+  Rng rng(0x601d01);
+  for (index_t m : sweep_sizes()) {
+    const index_t batch = 2 * simd::pack_width_v<T> + 1;
+    auto host = test::random_spd_batch<T>(m, batch, rng);
+    auto expected = host;
+    test::ref_potrf_batch(expected);
+    auto a = host.to_compact();
+    EXPECT_TRUE(engine.potrf_batch<T>(a).clean()) << "m=" << m;
+    auto actual = host;
+    actual.from_compact(a);
+    test::expect_batch_near(expected, actual,
+                            test::ulp_tolerance<T>(m, real_t<T>(128)),
+                            "golden potrf m=" + std::to_string(m));
+  }
+}
+
+TYPED_TEST(FactorGolden, GetrfNopivDiagDominantSweep) {
+  using T = TypeParam;
+  Engine engine(CacheInfo::kunpeng920());
+  Rng rng(0x601d02);
+  for (index_t m : sweep_sizes()) {
+    const index_t batch = 2 * simd::pack_width_v<T> + 1;
+    auto host = test::random_diag_dominant_batch<T>(m, batch, rng);
+    auto expected = host;
+    test::ref_getrf_np_batch(expected);
+    auto a = host.to_compact();
+    EXPECT_TRUE(engine.getrf_nopiv_batch<T>(a).clean()) << "m=" << m;
+    auto actual = host;
+    actual.from_compact(a);
+    test::expect_batch_near(expected, actual,
+                            test::ulp_tolerance<T>(m, real_t<T>(128)),
+                            "golden getrf_np m=" + std::to_string(m));
+  }
+}
+
+TYPED_TEST(FactorGolden, TrtriSweep) {
+  using T = TypeParam;
+  Engine engine(CacheInfo::kunpeng920());
+  Rng rng(0x601d03);
+  for (index_t m : sweep_sizes()) {
+    for (Uplo uplo : {Uplo::Lower, Uplo::Upper}) {
+      const index_t batch = simd::pack_width_v<T> + 2;
+      auto host = test::random_triangular_batch<T>(m, batch, rng);
+      auto expected = host;
+      test::ref_trtri_batch(uplo, Diag::NonUnit, expected);
+      auto a = host.to_compact();
+      EXPECT_TRUE(engine.trtri_batch<T>(uplo, Diag::NonUnit, a).clean())
+          << "m=" << m;
+      auto actual = host;
+      actual.from_compact(a);
+      test::expect_batch_near(expected, actual,
+                              test::ulp_tolerance<T>(m, real_t<T>(128)),
+                              "golden trtri m=" + std::to_string(m));
+    }
+  }
+}
+
+// Hazard lanes at every size: one non-SPD lane (potrf) and one
+// zero-pivot lane (getrf_nopiv) per batch. Under Fallback both are
+// flagged, repaired by restoration to the original input (the reference
+// refuses them too), and never disturb the healthy lanes.
+TYPED_TEST(FactorGolden, HazardLaneSweep) {
+  using T = TypeParam;
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_policy(ExecPolicy::Fallback);
+  Rng rng(0x601d04);
+  for (index_t m : sweep_sizes()) {
+    const index_t batch = simd::pack_width_v<T> + 2;
+    const index_t bad = batch / 2;
+
+    auto spd = test::random_spd_batch<T>(m, batch, rng);
+    for (index_t j = 0; j < m; ++j) {
+      spd.mat(bad)[j * m + j] =
+          T(real_t<T>(-1)) * spd.mat(bad)[j * m + j];
+    }
+    auto a = spd.to_compact();
+    const BatchHealth ph = engine.potrf_batch<T>(a);
+    EXPECT_GE(ph.singular + ph.nonfinite, 1) << "potrf m=" << m;
+    EXPECT_GE(ph.fallback, 1) << "potrf m=" << m;
+    auto got = spd;
+    got.from_compact(a);
+    EXPECT_TRUE(test::lanes_equal(spd, got, bad)) << "potrf m=" << m;
+
+    auto dd = test::random_diag_dominant_batch<T>(m, batch, rng);
+    dd.mat(bad)[0] = T(0);
+    auto b = dd.to_compact();
+    const BatchHealth lh = engine.getrf_nopiv_batch<T>(b);
+    if (m == 1) {
+      // A 1x1 zero matrix has no division to go non-finite, but the
+      // zero pivot itself must still be flagged.
+      EXPECT_GE(lh.singular, 1) << "getrf m=1";
+    } else {
+      EXPECT_GE(lh.singular + lh.nonfinite, 1) << "getrf m=" << m;
+      EXPECT_GE(lh.fallback, 1) << "getrf m=" << m;
+      auto lu = dd;
+      lu.from_compact(b);
+      EXPECT_TRUE(test::lanes_equal(dd, lu, bad)) << "getrf m=" << m;
+    }
+  }
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,126 @@
+// Concurrency stress for the factor subsystem (the TSan job runs this
+// via `-L factor`): many threads share one engine, hammering the
+// factorisation plan-cache path, the packed-handle entry points and the
+// packed counters simultaneously. Each thread owns its data (handles are
+// single-owner by design); the shared state under test is the engine --
+// its sharded plan cache, stats counters and admission machinery.
+#include <atomic>
+#include <complex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "factor_testutil.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf {
+namespace {
+
+TEST(FactorStress, ConcurrentFactorisationsShareOneEngine) {
+  Engine engine(CacheInfo::kunpeng920());
+  engine.set_policy(ExecPolicy::Check);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 12;
+  std::atomic<int> failures{0};
+
+  auto worker = [&](int tid) {
+    using T = double;
+    Rng rng(0x57e550 + static_cast<std::uint64_t>(tid));
+    for (int it = 0; it < kIters; ++it) {
+      // Rotate sizes so threads collide on some plan-cache entries and
+      // miss on others.
+      const index_t m = 4 + (tid + it) % 13;
+      const index_t batch = simd::pack_width_v<T> + 1 + it % 3;
+
+      auto spd = test::random_spd_batch<T>(m, batch, rng);
+      auto expected = spd;
+      test::ref_potrf_batch(expected);
+      auto a = spd.to_compact();
+      if (!engine.potrf_batch<T>(a).clean()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      auto actual = spd;
+      actual.from_compact(a);
+      const auto tol = test::ulp_tolerance<T>(m, 128.0);
+      for (index_t lane = 0; lane < batch; ++lane) {
+        if (!test::lane_near(expected, actual, lane, tol)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+
+      // Packed-handle chain: pack -> trsm -> factor -> unpack, bumping
+      // the shared packed counters from every thread.
+      auto tri = test::random_triangular_batch<T>(m, batch, rng);
+      auto ha = engine.pack<T>(tri.data.data(), m, m, tri.ld(),
+                               tri.matrix_stride(), batch);
+      auto hb = engine.pack<T>(spd.data.data(), m, m, spd.ld(),
+                               spd.matrix_stride(), batch);
+      engine.trsm<T>(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit,
+                     T(1), ha, hb);
+      engine.getrf_nopiv_batch<T>(ha);
+      std::vector<T> out(static_cast<std::size_t>(m * m * batch));
+      engine.unpack<T>(ha, out.data(), m, m * m);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(worker, t);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+
+  const EngineStats stats = engine.stats();
+  // Every iteration packs twice and consumes three handle operands
+  // (trsm: 2, factor: 1); the atomic counters must not lose updates.
+  EXPECT_EQ(stats.packed_repacks,
+            static_cast<std::size_t>(2 * kThreads * kIters));
+  EXPECT_EQ(stats.packed_reuse_hits,
+            static_cast<std::size_t>(3 * kThreads * kIters));
+}
+
+TEST(FactorStress, PolicyFlipsDuringFactorTraffic) {
+  Engine engine(CacheInfo::kunpeng920());
+  std::atomic<bool> stop{false};
+
+  std::thread flipper([&] {
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.set_policy(i % 3 == 0   ? ExecPolicy::Fast
+                        : i % 3 == 1 ? ExecPolicy::Check
+                                     : ExecPolicy::Fallback);
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      using T = float;
+      Rng rng(0xf11b + static_cast<std::uint64_t>(t));
+      for (int it = 0; it < 24; ++it) {
+        const index_t m = 3 + it % 10;
+        auto dd = test::random_diag_dominant_batch<T>(
+            m, simd::pack_width_v<T> + 2, rng);
+        auto a = dd.to_compact();
+        engine.getrf_nopiv_batch<T>(a);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+}
+
+} // namespace
+} // namespace iatf

@@ -1,0 +1,226 @@
+// Randomised differential testing for the packed-layout and
+// factorisation subsystem.
+//
+// Packed-handle rounds: every round draws a random descriptor, runs the
+// same segment batch once through raw CompactBuffers and once through
+// PackedHandles, and bit-compares the results. Layout state only keys
+// the plan cache -- plan construction is identical -- so the two paths
+// must agree exactly, not just within tolerance; any divergence means
+// the handle path packed, propagated or unpacked wrongly.
+//
+// Factorisation rounds: random well-conditioned batches (SPD /
+// diagonally dominant / triangular) through potrf_batch,
+// getrf_nopiv_batch and trtri_batch against the scalar references, plus
+// hazard rounds that plant a bad lane and assert the flag-and-repair
+// contract under ExecPolicy::Fallback.
+#include <complex>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "../factor/factor_testutil.hpp"
+#include "../testutil.hpp"
+#include "iatf/core/engine.hpp"
+
+namespace iatf {
+namespace {
+
+constexpr int kRounds = 60;
+
+template <class T> void fuzz_packed_gemm_once(Engine& engine, Rng& rng) {
+  const index_t m = rng.uniform_int(1, 24);
+  const index_t n = rng.uniform_int(1, 24);
+  const index_t k = rng.uniform_int(1, 24);
+  const index_t batch = rng.uniform_int(1, 3 * simd::pack_width_v<T>);
+  using R = real_t<T>;
+  const T alpha = T(rng.uniform<R>(-2, 2));
+  const T beta = T(rng.uniform<R>(-2, 2));
+
+  auto a = test::random_batch<T>(m, k, batch, rng);
+  auto b = test::random_batch<T>(k, n, batch, rng);
+  auto c = test::random_batch<T>(m, n, batch, rng);
+
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  auto cc = c.to_compact();
+  engine.gemm<T>(Op::NoTrans, Op::NoTrans, alpha, ca, cb, beta, cc);
+
+  auto ha = engine.pack<T>(a.data.data(), m, k, a.ld(), a.matrix_stride(),
+                           batch);
+  auto hb = engine.pack<T>(b.data.data(), k, n, b.ld(), b.matrix_stride(),
+                           batch);
+  auto hc = engine.pack<T>(c.data.data(), m, n, c.ld(), c.matrix_stride(),
+                           batch);
+  engine.gemm<T>(Op::NoTrans, Op::NoTrans, alpha, ha, hb, beta, hc);
+
+  test::HostBatch<T> raw(m, n, batch);
+  raw.from_compact(cc);
+  test::HostBatch<T> packed(m, n, batch);
+  engine.unpack<T>(hc, packed.data.data(), packed.ld(),
+                   packed.matrix_stride());
+  for (index_t lane = 0; lane < batch; ++lane) {
+    ASSERT_TRUE(test::lanes_equal(raw, packed, lane))
+        << "gemm m=" << m << " n=" << n << " k=" << k << " lane=" << lane;
+  }
+}
+
+template <class T> void fuzz_packed_trsm_once(Engine& engine, Rng& rng) {
+  const index_t m = rng.uniform_int(1, 24);
+  const index_t n = rng.uniform_int(1, 24);
+  const index_t batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  const Side side = rng.uniform_int(0, 1) ? Side::Left : Side::Right;
+  const Uplo uplo = rng.uniform_int(0, 1) ? Uplo::Lower : Uplo::Upper;
+  const index_t ma = side == Side::Left ? m : n;
+
+  auto a = test::random_triangular_batch<T>(ma, batch, rng);
+  auto b = test::random_batch<T>(m, n, batch, rng);
+
+  auto ca = a.to_compact();
+  auto cb = b.to_compact();
+  engine.trsm<T>(side, uplo, Op::NoTrans, Diag::NonUnit, T(1), ca, cb);
+
+  auto ha = engine.pack<T>(a.data.data(), ma, ma, a.ld(),
+                           a.matrix_stride(), batch);
+  auto hb = engine.pack<T>(b.data.data(), m, n, b.ld(), b.matrix_stride(),
+                           batch);
+  engine.trsm<T>(side, uplo, Op::NoTrans, Diag::NonUnit, T(1), ha, hb);
+
+  test::HostBatch<T> raw(m, n, batch);
+  raw.from_compact(cb);
+  test::HostBatch<T> packed(m, n, batch);
+  engine.unpack<T>(hb, packed.data.data(), packed.ld(),
+                   packed.matrix_stride());
+  for (index_t lane = 0; lane < batch; ++lane) {
+    ASSERT_TRUE(test::lanes_equal(raw, packed, lane))
+        << "trsm m=" << m << " n=" << n << " lane=" << lane;
+  }
+}
+
+template <class T> void fuzz_packed_factor_once(Engine& engine, Rng& rng) {
+  const index_t m = rng.uniform_int(1, 33);
+  const index_t batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  const int which = rng.uniform_int(0, 2);
+
+  test::HostBatch<T> host =
+      which == 0   ? test::random_spd_batch<T>(m, batch, rng)
+      : which == 1 ? test::random_diag_dominant_batch<T>(m, batch, rng)
+                   : test::random_triangular_batch<T>(m, batch, rng);
+
+  auto run = [&](auto&& invoke) {
+    auto buf = host.to_compact();
+    invoke(buf);
+    test::HostBatch<T> raw(m, m, batch);
+    raw.from_compact(buf);
+
+    auto handle = engine.pack<T>(host.data.data(), m, m, host.ld(),
+                                 host.matrix_stride(), batch);
+    invoke(handle);
+    test::HostBatch<T> packed(m, m, batch);
+    engine.unpack<T>(handle, packed.data.data(), packed.ld(),
+                     packed.matrix_stride());
+    for (index_t lane = 0; lane < batch; ++lane) {
+      ASSERT_TRUE(test::lanes_equal(raw, packed, lane))
+          << "factor op=" << which << " m=" << m << " lane=" << lane;
+    }
+  };
+
+  if (which == 0) {
+    run([&](auto& a) { engine.potrf_batch<T>(a); });
+  } else if (which == 1) {
+    run([&](auto& a) { engine.getrf_nopiv_batch<T>(a); });
+  } else {
+    run([&](auto& a) {
+      engine.trtri_batch<T>(Uplo::Lower, Diag::NonUnit, a);
+    });
+  }
+}
+
+template <class T> void fuzz_factor_vs_ref_once(Engine& engine, Rng& rng) {
+  const index_t m = rng.uniform_int(1, 33);
+  const index_t batch = rng.uniform_int(1, 2 * simd::pack_width_v<T>);
+  const int which = rng.uniform_int(0, 2);
+  const auto tol = test::ulp_tolerance<T>(m, real_t<T>(128));
+
+  if (which == 0) {
+    auto host = test::random_spd_batch<T>(m, batch, rng);
+    auto expected = host;
+    test::ref_potrf_batch(expected);
+    auto a = host.to_compact();
+    EXPECT_TRUE(engine.potrf_batch<T>(a).clean());
+    auto actual = host;
+    actual.from_compact(a);
+    test::expect_batch_near(expected, actual, tol,
+                            "fuzz potrf m=" + std::to_string(m));
+  } else if (which == 1) {
+    auto host = test::random_diag_dominant_batch<T>(m, batch, rng);
+    auto expected = host;
+    test::ref_getrf_np_batch(expected);
+    auto a = host.to_compact();
+    EXPECT_TRUE(engine.getrf_nopiv_batch<T>(a).clean());
+    auto actual = host;
+    actual.from_compact(a);
+    test::expect_batch_near(expected, actual, tol,
+                            "fuzz getrf_np m=" + std::to_string(m));
+  } else {
+    const Uplo uplo = rng.uniform_int(0, 1) ? Uplo::Lower : Uplo::Upper;
+    const Diag diag = rng.uniform_int(0, 1) ? Diag::NonUnit : Diag::Unit;
+    auto host = test::random_triangular_batch<T>(m, batch, rng);
+    auto expected = host;
+    test::ref_trtri_batch(uplo, diag, expected);
+    auto a = host.to_compact();
+    EXPECT_TRUE(engine.trtri_batch<T>(uplo, diag, a).clean());
+    auto actual = host;
+    actual.from_compact(a);
+    test::expect_batch_near(expected, actual, tol,
+                            "fuzz trtri m=" + std::to_string(m));
+  }
+}
+
+template <class T> void fuzz_factor_hazard_once(Engine& engine, Rng& rng) {
+  const index_t m = rng.uniform_int(2, 20);
+  const index_t batch =
+      rng.uniform_int(2, 2 * simd::pack_width_v<T>);
+  const index_t bad = rng.uniform_int(0, static_cast<int>(batch) - 1);
+
+  auto host = test::random_spd_batch<T>(m, batch, rng);
+  for (index_t j = 0; j < m; ++j) {
+    host.mat(bad)[j * m + j] = T(real_t<T>(-1)) * host.mat(bad)[j * m + j];
+  }
+  auto a = host.to_compact();
+  const BatchHealth health = engine.potrf_batch<T>(a);
+  EXPECT_GE(health.singular + health.nonfinite, 1);
+  EXPECT_GE(health.fallback, 1);
+  auto actual = host;
+  actual.from_compact(a);
+  // Ref refuses the indefinite lane too: restored, not poisoned.
+  EXPECT_TRUE(test::lanes_equal(host, actual, bad));
+}
+
+template <class T> void fuzz_dtype(std::uint64_t seed) {
+  Engine engine(CacheInfo::kunpeng920());
+  Rng rng(seed);
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    fuzz_packed_gemm_once<T>(engine, rng);
+    fuzz_packed_trsm_once<T>(engine, rng);
+    fuzz_packed_factor_once<T>(engine, rng);
+    fuzz_factor_vs_ref_once<T>(engine, rng);
+  }
+  engine.set_policy(ExecPolicy::Fallback);
+  for (int round = 0; round < kRounds / 4; ++round) {
+    SCOPED_TRACE("hazard round " + std::to_string(round));
+    fuzz_factor_hazard_once<T>(engine, rng);
+  }
+}
+
+TEST(FuzzPacked, Float) { fuzz_dtype<float>(0xfa2201); }
+TEST(FuzzPacked, Double) { fuzz_dtype<double>(0xfa2202); }
+TEST(FuzzPacked, ComplexFloat) {
+  fuzz_dtype<std::complex<float>>(0xfa2203);
+}
+TEST(FuzzPacked, ComplexDouble) {
+  fuzz_dtype<std::complex<double>>(0xfa2204);
+}
+
+} // namespace
+} // namespace iatf

@@ -16,6 +16,15 @@
 //   --smoke    small CI-friendly run; exit non-zero if any request went
 //              unresolved, anything was shed on deadline at idle load,
 //              or a fairness share drifted more than 10 points
+//   --mix=SPEC multi-shape tenant mixes: SPEC is `;`-separated descriptor
+//              sets, each a comma list of MxNxK shapes, e.g.
+//              --mix=4x4x4,8x8x8;16x16x16 gives tenant 0 the two small
+//              shapes and tenant 1 the large one (tenants beyond the
+//              list cycle through the sets). Each tenant draws from its
+//              own set round-robin, so the server sees the ragged
+//              heterogeneous traffic the size-class scheduler is for.
+//              Without --mix every tenant uses the single --m/--n/--k
+//              descriptor, exactly as before.
 //
 // --json=FILE mirrors the report rows in the same "iatf-bench-v1"
 // schema the bench harness and iatf_tune emit.
@@ -44,6 +53,11 @@ namespace {
 using namespace iatf;
 using Clock = std::chrono::steady_clock;
 
+/// One GEMM descriptor in a tenant's mix set.
+struct MixShape {
+  index_t m = 0, n = 0, k = 0;
+};
+
 struct Options {
   int tenants = 4;
   std::vector<std::uint32_t> weights; // empty = all 1
@@ -57,15 +71,19 @@ struct Options {
   bool smoke = false;
   bool compare = false;
   std::string json;
+  // --mix: one descriptor set per entry; tenant t draws from set
+  // t % mix.size(). Empty = single-shape mode (--m/--n/--k).
+  std::vector<std::vector<MixShape>> mix;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(
       stderr,
       "usage: iatf_loadgen [--tenants=N] [--weights=w0,w1,...] "
-      "[--requests=N] [--m=N --n=N --k=N --batch=N] [--queue=N] "
-      "[--coalesce=N] [--deadline-ms=X] [--ring=N] [--smoke] "
-      "[--compare] [--json=FILE]\n");
+      "[--requests=N] [--m=N --n=N --k=N --batch=N] "
+      "[--mix=MxNxK,...;MxNxK,...] [--queue=N] [--coalesce=N] "
+      "[--deadline-ms=X] [--ring=N] [--smoke] [--compare] "
+      "[--json=FILE]\n");
   std::exit(2);
 }
 
@@ -100,6 +118,46 @@ Options parse(int argc, char** argv) {
       opt.k = std::atoll(v);
     } else if (const char* v = value("--batch=")) {
       opt.batch = std::atoll(v);
+    } else if (const char* v = value("--mix=")) {
+      opt.mix.clear();
+      std::vector<MixShape> set;
+      const char* p = v;
+      while (*p) {
+        MixShape s;
+        char* end = nullptr;
+        s.m = static_cast<index_t>(std::strtoll(p, &end, 10));
+        if (end == p || *end != 'x') {
+          usage();
+        }
+        p = end + 1;
+        s.n = static_cast<index_t>(std::strtoll(p, &end, 10));
+        if (end == p || *end != 'x') {
+          usage();
+        }
+        p = end + 1;
+        s.k = static_cast<index_t>(std::strtoll(p, &end, 10));
+        if (end == p || s.m < 1 || s.n < 1 || s.k < 1) {
+          usage();
+        }
+        p = end;
+        set.push_back(s);
+        if (*p == ',' || *p == ';') {
+          if (*p == ';') {
+            opt.mix.push_back(set);
+            set.clear();
+          }
+          ++p;
+          if (!*p) {
+            usage(); // trailing separator
+          }
+        }
+      }
+      if (!set.empty()) {
+        opt.mix.push_back(set);
+      }
+      if (opt.mix.empty()) {
+        usage();
+      }
     } else if (const char* v = value("--queue=")) {
       opt.queue = static_cast<std::size_t>(std::atoll(v));
     } else if (const char* v = value("--coalesce=")) {
@@ -209,20 +267,64 @@ int run(const Options& opt) {
       buf.import_colmajor(b, host.data(), buf.rows());
     }
   };
-  CompactBuffer<double> a(opt.m, opt.k, batch);
-  CompactBuffer<double> b(opt.k, opt.n, batch);
-  fill(a);
-  fill(b);
-  // Every in-flight slot owns its output buffer (the serve contract
-  // forbids aliased writers), cloned from one warm template.
+  // Per-tenant descriptor sets. --mix hands tenant t the spec's set
+  // t % mix.size(); without it every tenant draws the one --m/--n/--k
+  // shape, so the single-shape path is byte-for-byte the old behavior.
+  std::vector<std::vector<MixShape>> tenant_shapes(
+      static_cast<std::size_t>(opt.tenants));
+  for (int t = 0; t < opt.tenants; ++t) {
+    tenant_shapes[static_cast<std::size_t>(t)] =
+        opt.mix.empty()
+            ? std::vector<MixShape>{{opt.m, opt.n, opt.k}}
+            : opt.mix[static_cast<std::size_t>(t) % opt.mix.size()];
+  }
+
+  // Inputs are read-only under the serve contract, so tenants whose
+  // sets overlap share one (a, b) pair per distinct shape.
+  std::vector<MixShape> shapes;
+  auto shape_id = [&](const MixShape& s) -> std::size_t {
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      if (shapes[i].m == s.m && shapes[i].n == s.n &&
+          shapes[i].k == s.k) {
+        return i;
+      }
+    }
+    shapes.push_back(s);
+    return shapes.size() - 1;
+  };
+  std::vector<std::vector<std::size_t>> tenant_ids(
+      static_cast<std::size_t>(opt.tenants));
+  for (int t = 0; t < opt.tenants; ++t) {
+    for (const MixShape& s : tenant_shapes[static_cast<std::size_t>(t)]) {
+      tenant_ids[static_cast<std::size_t>(t)].push_back(shape_id(s));
+    }
+  }
+  std::vector<CompactBuffer<double>> as, bs;
+  as.reserve(shapes.size());
+  bs.reserve(shapes.size());
+  for (const MixShape& s : shapes) {
+    as.emplace_back(s.m, s.k, batch);
+    fill(as.back());
+    bs.emplace_back(s.k, s.n, batch);
+    fill(bs.back());
+  }
+
+  // Every in-flight slot owns one output buffer per shape in its
+  // tenant's set (the serve contract forbids aliased writers).
   const std::size_t slots =
       static_cast<std::size_t>(opt.tenants) *
       static_cast<std::size_t>(opt.ring);
-  std::vector<CompactBuffer<double>> outs;
-  outs.reserve(slots);
-  for (std::size_t i = 0; i < slots; ++i) {
-    outs.emplace_back(opt.m, opt.n, batch);
-    fill(outs.back());
+  std::vector<std::vector<CompactBuffer<double>>> outs(slots);
+  for (int t = 0; t < opt.tenants; ++t) {
+    const auto& set = tenant_shapes[static_cast<std::size_t>(t)];
+    for (int slot = 0; slot < opt.ring; ++slot) {
+      auto& bucket = outs[static_cast<std::size_t>(t * opt.ring + slot)];
+      bucket.reserve(set.size());
+      for (const MixShape& s : set) {
+        bucket.emplace_back(s.m, s.n, batch);
+        fill(bucket.back());
+      }
+    }
   }
 
   serve::ServeConfig config;
@@ -264,16 +366,19 @@ int run(const Options& opt) {
           ++failures[static_cast<std::size_t>(t)];
         }
       };
+      const auto& ids = tenant_ids[static_cast<std::size_t>(t)];
       for (int i = 0; i < opt.requests; ++i) {
         const std::size_t slot =
             static_cast<std::size_t>(i % opt.ring);
         settle(ring[slot]); // closed loop: wait the slot's last flight
+        // Round-robin over this tenant's own descriptor set.
+        const std::size_t si = static_cast<std::size_t>(i) % ids.size();
         serve::SubmitOptions so;
         so.tenant = static_cast<serve::TenantId>(t);
         const auto start = Clock::now();
         ring[slot] = server.submit_gemm<double>(
-            Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0,
-            outs[static_cast<std::size_t>(t * opt.ring) + slot], so,
+            Op::NoTrans, Op::NoTrans, 1.0, as[ids[si]], bs[ids[si]], 0.0,
+            outs[static_cast<std::size_t>(t * opt.ring) + slot][si], so,
             [&, start](Status, const BatchHealth&) {
               const double ms =
                   std::chrono::duration<double, std::milli>(
@@ -341,6 +446,10 @@ int run(const Options& opt) {
       "req/dispatch");
   row("shed_expired", static_cast<double>(stats.shed_expired), "req");
   row("shed_overflow", static_cast<double>(stats.shed_overflow), "req");
+  if (!opt.mix.empty()) {
+    row("mix_distinct_shapes", static_cast<double>(shapes.size()),
+        "shapes");
+  }
 
   // Fairness: each tenant's share of served requests against its weight
   // share. With a closed loop all requests complete, so the interesting
@@ -380,22 +489,38 @@ int run(const Options& opt) {
   double ratio = 0.0;
   if (opt.compare) {
     // Single-caller baseline: one thread batching the same requests
-    // into grouped calls of the same width the server may reach.
-    const std::size_t group =
-        std::min<std::size_t>(opt.coalesce, outs.size());
-    std::vector<sched::GemmSegment<double>> segs(group);
-    for (std::size_t i = 0; i < group; ++i) {
-      segs[i] = {Op::NoTrans, Op::NoTrans, 1.0, 0.0, &a, &b, &outs[i]};
+    // into grouped calls of the same width the server may reach. The
+    // segment stream interleaves every tenant's descriptor set so the
+    // grouped path sees the same shape mix the server did.
+    std::vector<sched::GemmSegment<double>> stream;
+    stream.reserve(slots);
+    for (int t = 0; t < opt.tenants; ++t) {
+      const auto& ids = tenant_ids[static_cast<std::size_t>(t)];
+      for (int slot = 0; slot < opt.ring; ++slot) {
+        const std::size_t si = static_cast<std::size_t>(slot) % ids.size();
+        stream.push_back(
+            {Op::NoTrans, Op::NoTrans, 1.0, 0.0, &as[ids[si]],
+             &bs[ids[si]],
+             &outs[static_cast<std::size_t>(t * opt.ring + slot)][si]});
+      }
     }
+    const std::size_t group =
+        std::min<std::size_t>(opt.coalesce, stream.size());
     const auto c0 = Clock::now();
     std::uint64_t done = 0;
+    std::size_t cursor = 0;
     while (done < total) {
+      // Never let one grouped call wrap the stream: every output
+      // pointer inside a call must stay distinct.
       const std::size_t take = static_cast<std::size_t>(
-          std::min<std::uint64_t>(group, total - done));
+          std::min<std::uint64_t>(
+              std::min<std::uint64_t>(group, total - done),
+              static_cast<std::uint64_t>(stream.size() - cursor)));
       (void)engine.gemm_grouped<double>(
-          std::span<const sched::GemmSegment<double>>(segs.data(),
-                                                      take));
+          std::span<const sched::GemmSegment<double>>(
+              stream.data() + cursor, take));
       done += take;
+      cursor = (cursor + take) % stream.size();
     }
     const double single_s =
         std::chrono::duration<double>(Clock::now() - c0).count();
