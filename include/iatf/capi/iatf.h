@@ -36,7 +36,9 @@ typedef enum iatf_status {
   IATF_STATUS_INTERNAL = 5,         /* invariant violation / unknown error */
   IATF_STATUS_TIMEOUT = 6,          /* per-call deadline exceeded */
   IATF_STATUS_OVERLOADED = 7,       /* admission control shed the call */
-  IATF_STATUS_CANCELLED = 8         /* queued request cancelled by stop() */
+  IATF_STATUS_CANCELLED = 8,        /* queued request cancelled by stop() */
+  IATF_STATUS_WATCHDOG = 9          /* stalled dispatch reclaimed by the
+                                     * server watchdog */
 } iatf_status;
 
 /* How much guarding the default engine wraps around gemm/trsm:
@@ -158,11 +160,60 @@ iatf_overload_policy iatf_get_overload_policy(void);
  * disables retry (the default). */
 void iatf_set_retry_policy(int max_attempts, double base_delay_ms);
 
+/* Deterministic jitter over the retry backoff: with seed != 0 every
+ * retry sleep is drawn from (seed, retry-sequence-number) uniformly in
+ * [delay/2, delay], decorrelating concurrent retriers while a fixed
+ * seed replays the exact sleep schedule. seed == 0 disables jitter (the
+ * default; sleeps are the plain exponential delays). Also seeded from
+ * $IATF_RETRY_JITTER_SEED at engine construction. */
+void iatf_set_retry_jitter_seed(uint64_t seed);
+
 /* Degradation circuit breaker: every `window` calls of a descriptor
  * class, `threshold`+ degraded ones trip the class onto the reference
  * path for `cooldown` calls, then a probe decides recovery. window <= 0
  * disables (the default). Reconfiguring resets every slot. */
 void iatf_set_breaker(int window, int threshold, int cooldown);
+
+/* ---- Crash-consistent health ledger ---------------------------------
+ *
+ * An append-only, per-record-checksummed journal of the default
+ * engine's health transitions (kernel quarantines, breaker trips,
+ * watchdog reclaims, degrade events). With a ledger attached, every
+ * transition is journaled as it happens; on restart, loading the same
+ * ledger replays it -- kernels quarantined before a crash stay
+ * quarantined (and are never re-dispatched), and recently-tripped
+ * breaker classes restart in the probing posture. A corrupt tail is
+ * truncated and recovered; a ledger written on different hardware loads
+ * as empty. $IATF_HEALTH_LEDGER attaches a ledger automatically at
+ * engine construction. */
+
+typedef struct iatf_health_ledger_stats {
+  int64_t records;           /* replayable records currently held */
+  int64_t quarantines;       /* kernel-quarantine records */
+  int64_t breaker_trips;     /* breaker-trip records */
+  int64_t degrades;          /* degrade-event records */
+  int64_t watchdog_reclaims; /* watchdog-reclaim records */
+} iatf_health_ledger_stats;
+
+/* Attach the ledger at `path` to the default engine and replay it.
+ * NULL path selects $IATF_HEALTH_LEDGER (IATF_STATUS_INVALID_ARG when
+ * unset). Returns IATF_STATUS_OK for a clean, missing or recovered
+ * ledger (missing files start empty; a damaged tail is truncated), and
+ * IATF_STATUS_UNSUPPORTED -- with the reason in iatf_last_error() --
+ * for a corrupt header or hardware mismatch (the ledger then starts
+ * empty but still journals new events). */
+int iatf_health_ledger_load(const char* path);
+
+/* Compact the attached ledger to disk (atomic temp file + rename).
+ * IATF_STATUS_INVALID_ARG when no ledger is attached. */
+int iatf_health_ledger_save(void);
+
+/* Path of the attached ledger ("" when none); thread-local storage,
+ * valid until the next call on this thread. */
+const char* iatf_health_ledger_path(void);
+
+/* Counters of the attached ledger; zeroed when none is attached. */
+int iatf_health_ledger_get_stats(iatf_health_ledger_stats* stats);
 
 /* Degradation-event bits reported in iatf_error_detail.events (mirrors
  * the C++ DegradeEvent bitmask). */
@@ -404,6 +455,18 @@ int iatf_server_set_tenant_weight(iatf_server* server, uint32_t tenant,
 int iatf_server_set_overload_policy(iatf_server* server,
                                     iatf_overload_policy policy);
 
+/* Watchdog supervision: with grace > 0 a supervisor thread reclaims a
+ * dispatch that has not returned after grace x its deadline budget
+ * (floor_ms for deadline-less requests, and the minimum budget
+ * otherwise; <= 0 keeps the current floor, initially 1000 ms). A
+ * reclaimed request resolves with IATF_STATUS_WATCHDOG -- its output
+ * buffers may be partially written and stay borrowed until
+ * iatf_server_stop/_drain/_destroy returns -- the class's circuit
+ * breaker is forced Open (journaled to the health ledger) and a fresh
+ * dispatcher replaces the wedged one. grace == 0 disables. */
+int iatf_server_set_watchdog(iatf_server* server, double grace,
+                             double floor_ms);
+
 /* Queue a request for `tenant` with a per-request deadline budget
  * (deadline_ms <= 0 uses the server default). On IATF_STATUS_OK,
  * *ticket identifies the request; any other return means the request
@@ -459,6 +522,8 @@ typedef struct iatf_server_stats {
   int64_t shed_overflow;      /* submit-time queue-full sheds */
   int64_t cancelled;          /* stop()-cancelled + late refusals */
   int64_t degraded_inline;    /* queue-full requests served inline */
+  int64_t watchdog_kicks;     /* stalled dispatches reclaimed */
+  int64_t heartbeats;         /* dispatcher rounds started */
 } iatf_server_stats;
 
 int iatf_server_get_stats(iatf_server* server, iatf_server_stats* stats);
@@ -530,6 +595,8 @@ int iatf_tune_load(const char* path);
 
 typedef struct iatf_spacked iatf_spacked;
 typedef struct iatf_dpacked iatf_dpacked;
+typedef struct iatf_cpacked iatf_cpacked;
+typedef struct iatf_zpacked iatf_zpacked;
 
 #define IATF_DECLARE_PACKED(P, PACKED, BUF, SCALAR)                          \
   /* Pack matrix b at src + b*matrix_stride (column-major, leading        \
@@ -568,6 +635,39 @@ typedef struct iatf_dpacked iatf_dpacked;
 IATF_DECLARE_PACKED(s, iatf_spacked, iatf_sbuf, float)
 IATF_DECLARE_PACKED(d, iatf_dpacked, iatf_dbuf, double)
 #undef IATF_DECLARE_PACKED
+
+/* Complex variants: identical surface, with scalars passed as (re, im)
+ * pairs and strided storage interleaved (re, im) per element, so SCALAR*
+ * pointers address 2*rows*cols real values per matrix. */
+#define IATF_DECLARE_PACKED_CX(P, PACKED, BUF, SCALAR)                       \
+  PACKED* iatf_##P##pack(const SCALAR* src, int64_t rows, int64_t cols,     \
+                         int64_t ld, int64_t matrix_stride, int64_t batch); \
+  int iatf_##P##repack(PACKED* p, const SCALAR* src, int64_t ld,            \
+                       int64_t matrix_stride);                              \
+  int iatf_##P##unpack(const PACKED* p, SCALAR* dst, int64_t ld,            \
+                       int64_t matrix_stride);                              \
+  void iatf_##P##free_packed(PACKED* p);                                    \
+  int64_t iatf_##P##packed_rows(const PACKED* p);                           \
+  int64_t iatf_##P##packed_cols(const PACKED* p);                           \
+  int64_t iatf_##P##packed_batch(const PACKED* p);                          \
+  uint64_t iatf_##P##packed_epoch(const PACKED* p);                         \
+  int iatf_##P##gemm_packed(iatf_op op_a, iatf_op op_b, SCALAR alpha_re,    \
+                            SCALAR alpha_im, const PACKED* a,               \
+                            const PACKED* b, SCALAR beta_re,                \
+                            SCALAR beta_im, PACKED* c);                     \
+  int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo, iatf_op op_a,   \
+                            iatf_diag diag, SCALAR alpha_re,                \
+                            SCALAR alpha_im, const PACKED* a, PACKED* b);   \
+  int iatf_##P##potrf_batch(BUF* a);                                        \
+  int iatf_##P##getrfnp_batch(BUF* a);                                      \
+  int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag, BUF* a);        \
+  int iatf_##P##potrf_packed(PACKED* a);                                    \
+  int iatf_##P##getrfnp_packed(PACKED* a);                                  \
+  int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag, PACKED* a);
+
+IATF_DECLARE_PACKED_CX(c, iatf_cpacked, iatf_cbuf, float)
+IATF_DECLARE_PACKED_CX(z, iatf_zpacked, iatf_zbuf, double)
+#undef IATF_DECLARE_PACKED_CX
 
 /* Extensions: B = alpha * op(tri(A)) * B, unpivoted LU, Cholesky. */
 int iatf_strmm_compact(iatf_side side, iatf_uplo uplo, iatf_op op_a,

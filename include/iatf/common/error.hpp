@@ -83,6 +83,17 @@ public:
       : Error(what, Status::Cancelled) {}
 };
 
+/// Delivered (via std::future / completion callback) for requests whose
+/// dispatch stalled past the watchdog budget: the supervisor reclaimed
+/// the request, tripped the descriptor class's breaker and respawned the
+/// dispatcher. The output buffers may have been partially written by the
+/// wedged execution; re-submitting with fresh inputs is required.
+class WatchdogError : public Error {
+public:
+  explicit WatchdogError(const std::string& what)
+      : Error(what, Status::Watchdog) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_error(const char* file, int line,
                               const std::string& message,

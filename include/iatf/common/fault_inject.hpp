@@ -32,6 +32,13 @@
 //   "serve.dispatch"      dispatcher execution entry (a hit fails a single
 //                         request, or splits a coalesced batch into
 //                         per-request retries)
+//   "ledger.append"       HealthLedger::append record write (a hit drops
+//                         that record; the in-memory state is unaffected)
+//   "ledger.save"         HealthLedger::save compaction write
+//   "ledger.load"         HealthLedger::load parse entry
+//   "watchdog.stall"      stall (not throw) the dispatcher inside
+//                         execute_batch, for exercising the serve-layer
+//                         watchdog's stalled-dispatch reclamation
 //
 // Arming is process-global (tests that arm faults must not run the same
 // site concurrently from unrelated tests); fault::ScopedFault disarms on

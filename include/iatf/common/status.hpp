@@ -33,6 +33,7 @@ enum class Status : int {
   Timeout = 6,          ///< per-call deadline expired before completion
   Overloaded = 7,       ///< admission control shed the call (in-flight cap)
   Cancelled = 8,        ///< queued work cancelled by Server::stop()/shutdown
+  Watchdog = 9,         ///< stalled dispatch reclaimed by the server watchdog
 };
 
 const char* to_string(Status status) noexcept;

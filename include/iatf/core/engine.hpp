@@ -54,6 +54,7 @@
 #include "iatf/factor/packed_handle.hpp"
 #include "iatf/plan/gemm_plan.hpp"
 #include "iatf/plan/trsm_plan.hpp"
+#include "iatf/resilience/health_ledger.hpp"
 #include "iatf/resilience/resilience.hpp"
 #include "iatf/sched/group_scheduler.hpp"
 
@@ -433,12 +434,14 @@ public:
     retry_attempts_.store(policy.max_attempts, std::memory_order_relaxed);
     retry_base_ns_.store(policy.base_delay.count(),
                          std::memory_order_relaxed);
+    retry_seed_.store(policy.jitter_seed, std::memory_order_relaxed);
   }
   resilience::RetryPolicy retry_policy() const noexcept {
     resilience::RetryPolicy p;
     p.max_attempts = retry_attempts_.load(std::memory_order_relaxed);
     p.base_delay = std::chrono::nanoseconds(
         retry_base_ns_.load(std::memory_order_relaxed));
+    p.jitter_seed = retry_seed_.load(std::memory_order_relaxed);
     return p;
   }
 
@@ -457,6 +460,33 @@ public:
   resilience::BreakerState gemm_breaker_state(const GemmShape& shape) const;
   template <class T, int Bytes = 16>
   resilience::BreakerState trsm_breaker_state(const TrsmShape& shape) const;
+
+  // --- Crash-consistent health ledger (DESIGN.md section 14) -----------
+
+  /// Attach a HealthLedger at `path`, load it, and replay its records:
+  /// journaled kernel quarantines re-quarantine (replay never verifies,
+  /// so "verify never resurrects" holds across restarts), breaker-trip
+  /// and watchdog records seed their class slots toward a HalfOpen probe
+  /// (no-op while the breaker is disabled), and cached plans touching a
+  /// replayed quarantine are invalidated. Subsequent quarantines, breaker
+  /// trips and watchdog reclaims are journaled as they happen. Also wired
+  /// from $IATF_HEALTH_LEDGER at construction. Returns the load outcome
+  /// (wrong-hardware or corrupt-header ledgers attach empty).
+  resilience::LedgerLoad set_health_ledger(const std::string& path);
+
+  /// The attached ledger, or nullptr when none is attached. The pointer
+  /// stays valid until the next set_health_ledger() call.
+  std::shared_ptr<resilience::HealthLedger> health_ledger() const;
+
+  /// Trip the breaker slot of one descriptor class immediately (the
+  /// serve-layer watchdog marking a stalled dispatch) and journal the
+  /// reclaim. cooldown_calls < 0 uses the breaker's configured cooldown.
+  /// No-op while the breaker is disabled; the journal entry is written
+  /// either way so the stall survives restarts as a record.
+  template <class T, int Bytes = 16>
+  void trip_gemm_class(const GemmShape& shape, int cooldown_calls);
+  template <class T, int Bytes = 16>
+  void trip_trsm_class(const TrsmShape& shape, int cooldown_calls);
 
   // --- Serving front-end registration (iatf::serve internals) ----------
 
@@ -678,6 +708,17 @@ private:
   template <class T, int Bytes>
   std::size_t self_test_type();
 
+  /// Journal helpers: no-ops while no ledger is attached. Quarantines
+  /// and breaker trips are appended at the moment they happen so a
+  /// SIGKILL immediately afterwards still finds them on disk.
+  void journal_quarantine(const resilience::KernelId& id);
+  void journal_breaker_trip(std::size_t slot_hash);
+  void journal_watchdog(std::size_t slot_hash);
+  void journal_degrade(unsigned events);
+
+  /// breaker_.record + journal when the call tripped the slot Open.
+  void record_breaker(std::size_t slot_hash, bool degraded, bool probe);
+
   CacheInfo cache_;
   std::atomic<ExecPolicy> policy_{ExecPolicy::Fast};
   std::atomic<ThreadPool*> pool_{nullptr};
@@ -714,6 +755,7 @@ private:
   std::condition_variable admit_cv_;
   std::atomic<int> retry_attempts_{1};
   std::atomic<std::int64_t> retry_base_ns_{0};
+  std::atomic<std::uint64_t> retry_seed_{0};
   std::atomic<std::uint64_t> shed_calls_{0};
   std::atomic<std::uint64_t> ref_routed_calls_{0};
   std::atomic<std::uint64_t> retries_{0};
@@ -723,6 +765,13 @@ private:
   /// iatf::serve::Server instances currently bound to this engine; the
   /// destructor aborts while nonzero (shutdown ordering contract).
   std::atomic<std::size_t> servers_{0};
+
+  /// Crash-consistent health journal; nullptr while none is attached.
+  /// The mutex guards pointer swaps only -- the ledger itself is
+  /// internally synchronised, so journal helpers copy the shared_ptr and
+  /// append outside the lock.
+  mutable std::mutex ledger_mu_;
+  std::shared_ptr<resilience::HealthLedger> ledger_;
 };
 
 } // namespace iatf

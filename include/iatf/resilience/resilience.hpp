@@ -125,8 +125,21 @@ public:
 
   /// Report the outcome of an admitted call: `degraded` covers fallback
   /// repairs, quarantine routing and timeouts. `probe` must be true iff
-  /// admit() returned Probe for this call.
-  void record(std::size_t slot_hash, bool degraded, bool probe);
+  /// admit() returned Probe for this call. Returns true when this call
+  /// transitioned the slot to Open (a tumbling-window trip or a failed
+  /// probe) -- the moment worth journaling to a health ledger.
+  bool record(std::size_t slot_hash, bool degraded, bool probe);
+
+  /// Trip the slot Open immediately with `cooldown_calls` of ref-routed
+  /// cooldown, bypassing the window count. Used by the serve-layer
+  /// watchdog to mark the class of a stalled dispatch. No-op while the
+  /// breaker is disabled.
+  void force_open(std::size_t slot_hash, int cooldown_calls);
+
+  /// Start the slot Open with an exhausted cooldown so the next admit()
+  /// runs the HalfOpen probe: the restart posture for a breaker trip
+  /// replayed from a persisted health ledger.
+  void seed_half_open(std::size_t slot_hash);
 
   BreakerState slot_state(std::size_t slot_hash) const;
 
@@ -178,9 +191,21 @@ const char* to_string(OverloadPolicy policy) noexcept;
 /// (base_delay, 2*base_delay, ... capped at 64x), never sleeping past
 /// the call deadline. max_attempts <= 1 disables retry (the default:
 /// failures degrade immediately, the pre-resilience behaviour).
+/// jitter_seed != 0 decorrelates concurrent retriers: each sleep is
+/// drawn deterministically from (seed, retry-sequence-number) in
+/// [delay/2, delay], so coalesced multi-tenant retries stop storming in
+/// lockstep while a fixed seed still replays bit-identically.
 struct RetryPolicy {
   int max_attempts = 1;
   std::chrono::nanoseconds base_delay{0};
+  std::uint64_t jitter_seed = 0;
 };
+
+/// The jittered sleep for one retry: a pure function of (delay, seed,
+/// seq) via splitmix64, uniform in [delay/2, delay]. seed == 0 returns
+/// `delay` unchanged (jitter disabled, the bit-compatible default).
+std::chrono::nanoseconds jittered_backoff(std::chrono::nanoseconds delay,
+                                          std::uint64_t seed,
+                                          std::uint64_t seq) noexcept;
 
 } // namespace iatf::resilience

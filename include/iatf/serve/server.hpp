@@ -45,9 +45,22 @@
 //    destroyed before their engine (~Engine aborts otherwise; see
 //    DESIGN.md section 12 for the default_engine() ordering rule).
 //
+//  * Watchdog supervision (opt-in; DESIGN.md section 14). With
+//    watchdog_grace > 0 a supervisor thread watches the in-flight
+//    dispatch: a batch that has not returned after grace x its deadline
+//    budget (watchdog_floor for deadline-less requests) is reclaimed --
+//    its futures resolve with WatchdogError, the descriptor class's
+//    circuit breaker is forced Open, the event is journaled to the
+//    engine's health ledger, and a fresh dispatcher thread replaces the
+//    wedged one so queued work keeps moving. The wedged thread is
+//    retired and joined at stop()/drain()/destruction.
+//
 // Buffers referenced by a submitted request are non-owning: the caller
 // keeps them alive and unaliased (no two in-flight requests writing one
-// output buffer) until the request's future resolves.
+// output buffer) until the request's future resolves. A WatchdogError
+// resolution is the one exception: the wedged dispatcher may still be
+// touching the buffers after the future resolves, so they stay borrowed
+// until stop() or drain() returns (which joins the retired thread).
 #pragma once
 
 #include <array>
@@ -91,6 +104,18 @@ struct ServeConfig {
   resilience::OverloadPolicy overload = resilience::OverloadPolicy::Block;
   /// Deadline applied to requests submitted without one (0 = none).
   std::chrono::nanoseconds default_deadline{0};
+  /// Watchdog stall multiplier: a dispatched batch that has not returned
+  /// after grace x its deadline budget is reclaimed (futures resolve
+  /// with WatchdogError, the class breaker is forced Open, the
+  /// dispatcher is respawned). 0 disables supervision entirely (the
+  /// default: no supervisor thread is started).
+  double watchdog_grace = 0.0;
+  /// Stall budget for requests dispatched without a deadline, and the
+  /// minimum budget for very tight deadlines (a near-deadline request
+  /// must not be reclaimed faster than it could plausibly execute).
+  std::chrono::nanoseconds watchdog_floor{1'000'000'000};
+  /// Supervisor poll period (also bounds reclamation latency).
+  std::chrono::nanoseconds watchdog_poll{10'000'000};
 };
 
 /// Per-submission options.
@@ -135,6 +160,8 @@ struct ServerStats {
   std::uint64_t shed_overflow = 0; ///< submit-time queue-full sheds
   std::uint64_t cancelled = 0;     ///< stop()-cancelled + late refusals
   std::uint64_t degraded_inline = 0; ///< DegradeToRef inline executions
+  std::uint64_t watchdog_kicks = 0;  ///< stalled dispatches reclaimed
+  std::uint64_t heartbeats = 0;      ///< dispatcher rounds started
   std::vector<TenantStats> tenants;  ///< ascending tenant id
 };
 
@@ -239,6 +266,13 @@ public:
   /// Swap the queue-full policy at runtime (applies to new submissions).
   void set_overload_policy(resilience::OverloadPolicy policy);
 
+  /// Enable (grace > 0) or disable (grace == 0) watchdog supervision at
+  /// runtime. Starts the supervisor thread on first enable; disabling
+  /// leaves the thread idle (dispatches are simply no longer
+  /// registered). See ServeConfig::watchdog_grace / watchdog_floor.
+  void set_watchdog(double grace, std::chrono::nanoseconds floor =
+                                      std::chrono::nanoseconds{0});
+
   /// Operational freeze: pause() stops dispatching (submissions still
   /// queue, bounded as usual); resume() restarts. drain()/stop()
   /// override a pause -- a paused server still drains to completion.
@@ -274,21 +308,38 @@ private:
 
   void enqueue(std::unique_ptr<detail::Request> r,
                const SubmitOptions& opts);
-  void run_dispatcher();
+  /// Dispatcher main loop for one dispatcher generation. A thread whose
+  /// `epoch` no longer matches dispatcher_epoch_ was retired by the
+  /// watchdog: it exits without touching dispatcher_done_ or the queue.
+  void run_dispatcher(std::uint64_t epoch);
   /// One dequeue -> coalesce -> execute round. `lk` is held on entry and
   /// exit, released around the engine call.
-  void dispatch_round(std::unique_lock<std::mutex>& lk);
+  void dispatch_round(std::unique_lock<std::mutex>& lk,
+                      std::uint64_t epoch);
   void execute_batch(
-      std::vector<std::unique_ptr<detail::Request>> batch) noexcept;
+      std::vector<std::shared_ptr<detail::Request>> batch) noexcept;
   template <class T>
   void run_coalesced_gemm(
-      std::vector<std::unique_ptr<detail::Request>>& batch);
+      std::vector<std::shared_ptr<detail::Request>>& batch);
   template <class T>
   void run_coalesced_trsm(
-      std::vector<std::unique_ptr<detail::Request>>& batch);
+      std::vector<std::shared_ptr<detail::Request>>& batch);
   void cancel_queued(std::unique_lock<std::mutex>& lk);
   void join_dispatcher();
   Tenant& tenant_for(TenantId id); ///< mu_ held
+
+  /// Supervisor loop: polls the registered in-flight dispatch and
+  /// reclaims it once past its stall deadline.
+  void run_watchdog();
+  /// Reclaim the registered dispatch: retire the wedged dispatcher
+  /// thread, spawn a replacement, fail the batch with WatchdogError and
+  /// trip the class breaker. `lk` held on entry/exit, released around
+  /// the resolutions.
+  void reclaim_inflight(std::unique_lock<std::mutex>& lk);
+  /// Force the stalled request's descriptor class Open on the engine's
+  /// breaker (journaled to the health ledger by the engine).
+  void trip_class(const detail::Request& r);
+  void stop_watchdog();
 
   Engine& engine_;
   ServeConfig config_;
@@ -316,9 +367,29 @@ private:
   std::uint64_t shed_overflow_ = 0;
   std::uint64_t cancelled_ = 0;
   std::uint64_t degraded_inline_ = 0;
+  std::uint64_t watchdog_kicks_ = 0;
+  std::uint64_t heartbeats_ = 0;
+
+  /// The (single) dispatch currently executing with mu_ released,
+  /// registered -- only while the watchdog is enabled -- so the
+  /// supervisor can reclaim it if the dispatcher wedges. Requests are
+  /// shared between the executing batch and this registration; the
+  /// per-request settled flag makes resolution exactly-once regardless
+  /// of which side gets there first.
+  struct InflightDispatch {
+    std::vector<std::shared_ptr<detail::Request>> batch;
+    std::chrono::steady_clock::time_point stall_at{};
+    bool active = false;
+  };
+  InflightDispatch inflight_dispatch_;
+  std::uint64_t dispatcher_epoch_ = 0; ///< current dispatcher generation
+  bool watchdog_stop_ = false;
+  std::condition_variable watchdog_cv_; ///< wakes the supervisor early
+  std::vector<std::thread> zombies_; ///< retired dispatchers to join
 
   std::mutex join_mu_; ///< serialises dispatcher join across stop/drain
   std::thread dispatcher_;
+  std::thread watchdog_;
 };
 
 } // namespace iatf::serve

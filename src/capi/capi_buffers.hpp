@@ -23,12 +23,18 @@ struct iatf_zbuf {
   iatf::CompactBuffer<std::complex<double>> buf;
 };
 
-// Persistent packed-layout handles (s/d): each wraps one PackedHandle so
-// the C side carries the interleaved data, descriptor and epoch tag as
-// one opaque unit.
+// Persistent packed-layout handles (s/d/c/z): each wraps one
+// PackedHandle so the C side carries the interleaved data, descriptor
+// and epoch tag as one opaque unit.
 struct iatf_spacked {
   iatf::factor::PackedHandle<float> h;
 };
 struct iatf_dpacked {
   iatf::factor::PackedHandle<double> h;
+};
+struct iatf_cpacked {
+  iatf::factor::PackedHandle<std::complex<float>> h;
+};
+struct iatf_zpacked {
+  iatf::factor::PackedHandle<std::complex<double>> h;
 };

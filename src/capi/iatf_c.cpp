@@ -36,6 +36,8 @@ static_assert(IATF_STATUS_TIMEOUT ==
               static_cast<int>(iatf::Status::Timeout));
 static_assert(IATF_STATUS_OVERLOADED ==
               static_cast<int>(iatf::Status::Overloaded));
+static_assert(IATF_STATUS_WATCHDOG ==
+              static_cast<int>(iatf::Status::Watchdog));
 static_assert(IATF_OVERLOAD_BLOCK ==
               static_cast<int>(iatf::resilience::OverloadPolicy::Block));
 static_assert(IATF_OVERLOAD_SHED ==
@@ -423,7 +425,10 @@ extern "C" iatf_overload_policy iatf_get_overload_policy(void) {
 
 extern "C" void iatf_set_retry_policy(int max_attempts,
                                       double base_delay_ms) {
-  iatf::resilience::RetryPolicy policy;
+  // Preserve the jitter seed: attempts/delay and the seed are set
+  // through independent C entry points.
+  iatf::resilience::RetryPolicy policy =
+      iatf::Engine::default_engine().retry_policy();
   policy.max_attempts = max_attempts > 1 ? max_attempts : 1;
   policy.base_delay =
       base_delay_ms > 0
@@ -433,12 +438,78 @@ extern "C" void iatf_set_retry_policy(int max_attempts,
   iatf::Engine::default_engine().set_retry_policy(policy);
 }
 
+extern "C" void iatf_set_retry_jitter_seed(uint64_t seed) {
+  iatf::resilience::RetryPolicy policy =
+      iatf::Engine::default_engine().retry_policy();
+  policy.jitter_seed = seed;
+  iatf::Engine::default_engine().set_retry_policy(policy);
+}
+
 extern "C" void iatf_set_breaker(int window, int threshold, int cooldown) {
   iatf::resilience::BreakerConfig config;
   config.window = window > 0 ? window : 0;
   config.threshold = threshold > 0 ? threshold : 1;
   config.cooldown = cooldown > 0 ? cooldown : 1;
   iatf::Engine::default_engine().set_breaker_config(config);
+}
+
+// Crash-consistent health ledger (attach / replay / compact on the
+// default engine; see DESIGN.md section 14).
+
+extern "C" int iatf_health_ledger_load(const char* path) {
+  return guarded([&] {
+    const std::string resolved =
+        path != nullptr && path[0] != '\0'
+            ? std::string(path)
+            : iatf::resilience::HealthLedger::default_path();
+    IATF_CHECK(!resolved.empty(),
+               "iatf_health_ledger_load: no path given and "
+               "$IATF_HEALTH_LEDGER is unset");
+    const iatf::resilience::LedgerLoad result =
+        iatf::Engine::default_engine().set_health_ledger(resolved);
+    IATF_CHECK_AS(
+        result != iatf::resilience::LedgerLoad::Corrupt &&
+            result != iatf::resilience::LedgerLoad::HardwareMismatch,
+        iatf::Status::Unsupported,
+        std::string("iatf_health_ledger_load: ") +
+            iatf::resilience::to_string(result));
+  });
+}
+
+extern "C" int iatf_health_ledger_save(void) {
+  return guarded([&] {
+    const auto ledger = iatf::Engine::default_engine().health_ledger();
+    IATF_CHECK(ledger != nullptr,
+               "iatf_health_ledger_save: no ledger attached");
+    IATF_CHECK_AS(ledger->save(), iatf::Status::AllocFailure,
+                  "iatf_health_ledger_save: could not write the ledger");
+  });
+}
+
+extern "C" const char* iatf_health_ledger_path(void) {
+  static thread_local std::string g_ledger_path;
+  const auto ledger = iatf::Engine::default_engine().health_ledger();
+  g_ledger_path = ledger ? ledger->path() : std::string();
+  return g_ledger_path.c_str();
+}
+
+extern "C" int
+iatf_health_ledger_get_stats(iatf_health_ledger_stats* stats) {
+  return guarded([&] {
+    IATF_CHECK(stats != nullptr,
+               "iatf_health_ledger_get_stats: null stats");
+    *stats = iatf_health_ledger_stats{};
+    if (const auto ledger =
+            iatf::Engine::default_engine().health_ledger()) {
+      const iatf::resilience::LedgerStats s = ledger->stats();
+      stats->records = static_cast<int64_t>(s.records);
+      stats->quarantines = static_cast<int64_t>(s.quarantines);
+      stats->breaker_trips = static_cast<int64_t>(s.breaker_trips);
+      stats->degrades = static_cast<int64_t>(s.degrades);
+      stats->watchdog_reclaims =
+          static_cast<int64_t>(s.watchdog_reclaims);
+    }
+  });
 }
 
 extern "C" int iatf_set_plan_cache_capacity(int64_t capacity) {
@@ -467,28 +538,39 @@ extern "C" void iatf_clear_plan_cache(void) {
   }                                                                         \
   extern "C" void iatf_##P##destroy(BUF* buf) { delete buf; }               \
   extern "C" int64_t iatf_##P##rows(const BUF* buf) {                       \
-    return buf->buf.rows();                                                 \
+    return buf != nullptr ? buf->buf.rows() : -1;                           \
   }                                                                         \
   extern "C" int64_t iatf_##P##cols(const BUF* buf) {                       \
-    return buf->buf.cols();                                                 \
+    return buf != nullptr ? buf->buf.cols() : -1;                           \
   }                                                                         \
   extern "C" int64_t iatf_##P##batch(const BUF* buf) {                      \
-    return buf->buf.batch();                                                \
+    return buf != nullptr ? buf->buf.batch() : -1;                          \
   }                                                                         \
   extern "C" int iatf_##P##import(BUF* buf, int64_t b, const SCALAR* src,   \
                                   int64_t ld) {                             \
     return guarded([&] {                                                    \
+      IATF_CHECK(buf != nullptr && src != nullptr,                          \
+                 "iatf_" #P "import: null buffer or source");               \
+      IATF_CHECK(b >= 0 && b < buf->buf.batch(),                            \
+                 "iatf_" #P "import: batch index out of range");            \
       buf->buf.import_colmajor(b, reinterpret_cast<const T*>(src), ld);     \
     });                                                                     \
   }                                                                         \
   extern "C" int iatf_##P##export(const BUF* buf, int64_t b, SCALAR* dst,   \
                                   int64_t ld) {                             \
     return guarded([&] {                                                    \
+      IATF_CHECK(buf != nullptr && dst != nullptr,                          \
+                 "iatf_" #P "export: null buffer or destination");          \
+      IATF_CHECK(b >= 0 && b < buf->buf.batch(),                            \
+                 "iatf_" #P "export: batch index out of range");            \
       buf->buf.export_colmajor(b, reinterpret_cast<T*>(dst), ld);           \
     });                                                                     \
   }                                                                         \
   extern "C" int iatf_##P##pad_identity(BUF* buf) {                         \
-    return guarded([&] { buf->buf.pad_identity(); });                       \
+    return guarded([&] {                                                    \
+      IATF_CHECK(buf != nullptr, "iatf_" #P "pad_identity: null buffer");   \
+      buf->buf.pad_identity();                                              \
+    });                                                                     \
   }
 
 IATF_DEFINE_BUFFER(s, iatf_sbuf, float, float)
@@ -501,6 +583,8 @@ extern "C" int iatf_sgemm_compact(iatf_op op_a, iatf_op op_b, float alpha,
                                   const iatf_sbuf* a, const iatf_sbuf* b,
                                   float beta, iatf_sbuf* c) {
   return guarded_blas(gemm_detail('s', op_a, op_b, a, c), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,
+               "iatf_sgemm_compact: null buffer");
     return iatf::compact_gemm<float>(to_op(op_a), to_op(op_b), alpha, a->buf,
                               b->buf, beta, c->buf);
   });
@@ -510,6 +594,8 @@ extern "C" int iatf_dgemm_compact(iatf_op op_a, iatf_op op_b, double alpha,
                                   const iatf_dbuf* a, const iatf_dbuf* b,
                                   double beta, iatf_dbuf* c) {
   return guarded_blas(gemm_detail('d', op_a, op_b, a, c), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,
+               "iatf_dgemm_compact: null buffer");
     return iatf::compact_gemm<double>(to_op(op_a), to_op(op_b), alpha, a->buf,
                                b->buf, beta, c->buf);
   });
@@ -521,6 +607,8 @@ extern "C" int iatf_cgemm_compact(iatf_op op_a, iatf_op op_b,
                                   float beta_re, float beta_im,
                                   iatf_cbuf* c) {
   return guarded_blas(gemm_detail('c', op_a, op_b, a, c), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,
+               "iatf_cgemm_compact: null buffer");
     return iatf::compact_gemm<std::complex<float>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
@@ -533,6 +621,8 @@ extern "C" int iatf_zgemm_compact(iatf_op op_a, iatf_op op_b,
                                   double beta_re, double beta_im,
                                   iatf_zbuf* c) {
   return guarded_blas(gemm_detail('z', op_a, op_b, a, c), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,
+               "iatf_zgemm_compact: null buffer");
     return iatf::compact_gemm<std::complex<double>>(
         to_op(op_a), to_op(op_b), {alpha_re, alpha_im}, a->buf, b->buf,
         {beta_re, beta_im}, c->buf);
@@ -544,6 +634,8 @@ extern "C" int iatf_strsm_compact(iatf_side side, iatf_uplo uplo,
                                   float alpha, const iatf_sbuf* a,
                                   iatf_sbuf* b) {
   return guarded_blas(trsm_detail('s', side, uplo, op_a, diag, b), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr,
+               "iatf_strsm_compact: null buffer");
     return iatf::compact_trsm<float>(to_side(side), to_uplo(uplo), to_op(op_a),
                               to_diag(diag), alpha, a->buf, b->buf);
   });
@@ -554,6 +646,8 @@ extern "C" int iatf_dtrsm_compact(iatf_side side, iatf_uplo uplo,
                                   double alpha, const iatf_dbuf* a,
                                   iatf_dbuf* b) {
   return guarded_blas(trsm_detail('d', side, uplo, op_a, diag, b), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr,
+               "iatf_dtrsm_compact: null buffer");
     return iatf::compact_trsm<double>(to_side(side), to_uplo(uplo), to_op(op_a),
                                to_diag(diag), alpha, a->buf, b->buf);
   });
@@ -564,6 +658,8 @@ extern "C" int iatf_ctrsm_compact(iatf_side side, iatf_uplo uplo,
                                   float alpha_re, float alpha_im,
                                   const iatf_cbuf* a, iatf_cbuf* b) {
   return guarded_blas(trsm_detail('c', side, uplo, op_a, diag, b), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr,
+               "iatf_ctrsm_compact: null buffer");
     return iatf::compact_trsm<std::complex<float>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
@@ -575,6 +671,8 @@ extern "C" int iatf_ztrsm_compact(iatf_side side, iatf_uplo uplo,
                                   double alpha_re, double alpha_im,
                                   const iatf_zbuf* a, iatf_zbuf* b) {
   return guarded_blas(trsm_detail('z', side, uplo, op_a, diag, b), [&] {
+    IATF_CHECK(a != nullptr && b != nullptr,
+               "iatf_ztrsm_compact: null buffer");
     return iatf::compact_trsm<std::complex<double>>(
         to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),
         {alpha_re, alpha_im}, a->buf, b->buf);
@@ -802,16 +900,16 @@ extern "C" int iatf_tune_load(const char* path) {
   }                                                                           \
   extern "C" void iatf_##P##free_packed(PACKED* p) { delete p; }              \
   extern "C" int64_t iatf_##P##packed_rows(const PACKED* p) {                 \
-    return p->h.rows();                                                       \
+    return p != nullptr ? p->h.rows() : -1;                                   \
   }                                                                           \
   extern "C" int64_t iatf_##P##packed_cols(const PACKED* p) {                 \
-    return p->h.cols();                                                       \
+    return p != nullptr ? p->h.cols() : -1;                                   \
   }                                                                           \
   extern "C" int64_t iatf_##P##packed_batch(const PACKED* p) {                \
-    return p->h.batch();                                                      \
+    return p != nullptr ? p->h.batch() : -1;                                  \
   }                                                                           \
   extern "C" uint64_t iatf_##P##packed_epoch(const PACKED* p) {               \
-    return p->h.epoch();                                                      \
+    return p != nullptr ? p->h.epoch() : 0;                                   \
   }                                                                           \
   extern "C" int iatf_##P##gemm_packed(iatf_op op_a, iatf_op op_b, T alpha,   \
                                        const PACKED* a, const PACKED* b,      \
@@ -924,6 +1022,166 @@ extern "C" int iatf_tune_load(const char* path) {
 IATF_DEFINE_PACKED(s, iatf_spacked, iatf_sbuf, float, 's')
 IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
 #undef IATF_DEFINE_PACKED
+
+// Complex packed-layout handles (c/z): same surface with scalars as
+// (re, im) pairs and strided storage interleaved per element, exactly
+// like the complex compact-buffer import/export routines.
+#define IATF_DEFINE_PACKED_CX(P, PACKED, BUF, T, SCALAR, DTYPE)               \
+  extern "C" PACKED* iatf_##P##pack(const SCALAR* src, int64_t rows,          \
+                                    int64_t cols, int64_t ld,                 \
+                                    int64_t matrix_stride, int64_t batch) {   \
+    PACKED* out = nullptr;                                                    \
+    const int rc = guarded([&] {                                              \
+      out = new PACKED{iatf::Engine::default_engine().pack<T>(                \
+          reinterpret_cast<const T*>(src), rows, cols, ld, matrix_stride,     \
+          batch)};                                                            \
+    });                                                                       \
+    return rc == 0 ? out : nullptr;                                           \
+  }                                                                           \
+  extern "C" int iatf_##P##repack(PACKED* p, const SCALAR* src,               \
+                                  int64_t ld, int64_t matrix_stride) {        \
+    return guarded([&] {                                                      \
+      IATF_CHECK(p != nullptr, "iatf_" #P "repack: null handle");             \
+      iatf::Engine::default_engine().repack<T>(                               \
+          p->h, reinterpret_cast<const T*>(src), ld, matrix_stride);          \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##unpack(const PACKED* p, SCALAR* dst,               \
+                                  int64_t ld, int64_t matrix_stride) {        \
+    return guarded([&] {                                                      \
+      IATF_CHECK(p != nullptr, "iatf_" #P "unpack: null handle");             \
+      iatf::Engine::default_engine().unpack<T>(                               \
+          p->h, reinterpret_cast<T*>(dst), ld, matrix_stride);                \
+    });                                                                       \
+  }                                                                           \
+  extern "C" void iatf_##P##free_packed(PACKED* p) { delete p; }              \
+  extern "C" int64_t iatf_##P##packed_rows(const PACKED* p) {                 \
+    return p != nullptr ? p->h.rows() : -1;                                   \
+  }                                                                           \
+  extern "C" int64_t iatf_##P##packed_cols(const PACKED* p) {                 \
+    return p != nullptr ? p->h.cols() : -1;                                   \
+  }                                                                           \
+  extern "C" int64_t iatf_##P##packed_batch(const PACKED* p) {                \
+    return p != nullptr ? p->h.batch() : -1;                                  \
+  }                                                                           \
+  extern "C" uint64_t iatf_##P##packed_epoch(const PACKED* p) {               \
+    return p != nullptr ? p->h.epoch() : 0;                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##gemm_packed(                                       \
+      iatf_op op_a, iatf_op op_b, SCALAR alpha_re, SCALAR alpha_im,           \
+      const PACKED* a, const PACKED* b, SCALAR beta_re, SCALAR beta_im,       \
+      PACKED* c) {                                                            \
+    iatf_error_detail d = blank_detail();                                     \
+    d.op = 'g';                                                               \
+    d.dtype = DTYPE;                                                          \
+    d.op_a = static_cast<int>(op_a);                                          \
+    d.op_b = static_cast<int>(op_b);                                          \
+    if (c != nullptr) {                                                       \
+      d.m = c->h.rows();                                                      \
+      d.n = c->h.cols();                                                      \
+      d.batch = c->h.batch();                                                 \
+    }                                                                         \
+    return guarded_blas(d, [&] {                                              \
+      IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,                \
+                 "iatf_" #P "gemm_packed: null handle");                      \
+      return iatf::Engine::default_engine().gemm<T>(                          \
+          to_op(op_a), to_op(op_b), T{alpha_re, alpha_im}, a->h, b->h,        \
+          T{beta_re, beta_im}, c->h);                                         \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo,        \
+                                       iatf_op op_a, iatf_diag diag,          \
+                                       SCALAR alpha_re, SCALAR alpha_im,      \
+                                       const PACKED* a, PACKED* b) {          \
+    iatf_error_detail d = blank_detail();                                     \
+    d.op = 't';                                                               \
+    d.dtype = DTYPE;                                                          \
+    d.op_a = static_cast<int>(op_a);                                          \
+    d.side = static_cast<int>(side);                                          \
+    d.uplo = static_cast<int>(uplo);                                          \
+    d.diag = static_cast<int>(diag);                                          \
+    if (b != nullptr) {                                                       \
+      d.m = b->h.rows();                                                      \
+      d.n = b->h.cols();                                                      \
+      d.batch = b->h.batch();                                                 \
+    }                                                                         \
+    return guarded_blas(d, [&] {                                              \
+      IATF_CHECK(a != nullptr && b != nullptr,                                \
+                 "iatf_" #P "trsm_packed: null handle");                      \
+      return iatf::Engine::default_engine().trsm<T>(                          \
+          to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),           \
+          T{alpha_re, alpha_im}, a->h, b->h);                                 \
+    });                                                                       \
+  }                                                                           \
+  extern "C" int iatf_##P##potrf_batch(BUF* a) {                              \
+    return guarded_blas(                                                      \
+        factor_detail('p', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0, -1, -1),             \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "potrf_batch: null buffer");    \
+          return iatf::Engine::default_engine().potrf_batch<T>(a->buf);       \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##getrfnp_batch(BUF* a) {                            \
+    return guarded_blas(                                                      \
+        factor_detail('l', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0, -1, -1),             \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr,                                            \
+                     "iatf_" #P "getrfnp_batch: null buffer");                \
+          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(         \
+              a->buf);                                                        \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag,        \
+                                       BUF* a) {                              \
+    return guarded_blas(                                                      \
+        factor_detail('i', DTYPE, a != nullptr ? a->buf.rows() : 0,           \
+                      a != nullptr ? a->buf.batch() : 0,                      \
+                      static_cast<int>(uplo), static_cast<int>(diag)),        \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "trtri_batch: null buffer");    \
+          return iatf::Engine::default_engine().trtri_batch<T>(               \
+              to_uplo(uplo), to_diag(diag), a->buf);                          \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##potrf_packed(PACKED* a) {                          \
+    return guarded_blas(                                                      \
+        factor_detail('p', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0, -1, -1),               \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "potrf_packed: null handle");   \
+          return iatf::Engine::default_engine().potrf_batch<T>(a->h);         \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##getrfnp_packed(PACKED* a) {                        \
+    return guarded_blas(                                                      \
+        factor_detail('l', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0, -1, -1),               \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr,                                            \
+                     "iatf_" #P "getrfnp_packed: null handle");               \
+          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(a->h);   \
+        });                                                                   \
+  }                                                                           \
+  extern "C" int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag,       \
+                                        PACKED* a) {                          \
+    return guarded_blas(                                                      \
+        factor_detail('i', DTYPE, a != nullptr ? a->h.rows() : 0,             \
+                      a != nullptr ? a->h.batch() : 0,                        \
+                      static_cast<int>(uplo), static_cast<int>(diag)),        \
+        [&] {                                                                 \
+          IATF_CHECK(a != nullptr, "iatf_" #P "trtri_packed: null handle");   \
+          return iatf::Engine::default_engine().trtri_batch<T>(               \
+              to_uplo(uplo), to_diag(diag), a->h);                            \
+        });                                                                   \
+  }
+
+IATF_DEFINE_PACKED_CX(c, iatf_cpacked, iatf_cbuf, std::complex<float>,
+                      float, 'c')
+IATF_DEFINE_PACKED_CX(z, iatf_zpacked, iatf_zbuf, std::complex<double>,
+                      double, 'z')
+#undef IATF_DEFINE_PACKED_CX
 
 extern "C" int iatf_strmm_compact(iatf_side side, iatf_uplo uplo,
                                   iatf_op op_a, iatf_diag diag,

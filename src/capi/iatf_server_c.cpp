@@ -21,6 +21,8 @@ namespace {
 
 static_assert(IATF_STATUS_CANCELLED ==
               static_cast<int>(iatf::Status::Cancelled));
+static_assert(IATF_STATUS_WATCHDOG ==
+              static_cast<int>(iatf::Status::Watchdog));
 
 int status_of_exception() {
   try {
@@ -105,6 +107,17 @@ extern "C" int iatf_server_set_overload_policy(iatf_server* server,
   }
   server->server.set_overload_policy(
       static_cast<iatf::resilience::OverloadPolicy>(policy));
+  return IATF_STATUS_OK;
+}
+
+extern "C" int iatf_server_set_watchdog(iatf_server* server, double grace,
+                                        double floor_ms) {
+  if (server == nullptr || grace < 0) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  // floor_ms <= 0 keeps the server's current floor (set_watchdog treats
+  // a zero floor as "leave unchanged").
+  server->server.set_watchdog(grace, from_ms(floor_ms));
   return IATF_STATUS_OK;
 }
 
@@ -320,6 +333,8 @@ extern "C" int iatf_server_get_stats(iatf_server* server,
   stats->shed_overflow = static_cast<int64_t>(s.shed_overflow);
   stats->cancelled = static_cast<int64_t>(s.cancelled);
   stats->degraded_inline = static_cast<int64_t>(s.degraded_inline);
+  stats->watchdog_kicks = static_cast<int64_t>(s.watchdog_kicks);
+  stats->heartbeats = static_cast<int64_t>(s.heartbeats);
   return IATF_STATUS_OK;
 }
 

@@ -22,6 +22,8 @@ const char* to_string(Status status) noexcept {
     return "overloaded";
   case Status::Cancelled:
     return "cancelled";
+  case Status::Watchdog:
+    return "watchdog reclaimed";
   }
   return "unknown";
 }

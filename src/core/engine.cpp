@@ -309,6 +309,17 @@ Engine::Engine(CacheInfo cache, std::size_t plan_cache_capacity)
   if (const long long r = env_positive("IATF_RETRY_MAX")) {
     retry_attempts_.store(static_cast<int>(r), std::memory_order_relaxed);
   }
+  if (const long long s = env_positive("IATF_RETRY_JITTER_SEED")) {
+    retry_seed_.store(static_cast<std::uint64_t>(s),
+                      std::memory_order_relaxed);
+  }
+  // Attach the health ledger last: replay seeds breaker slots, and the
+  // IATF_BREAKER_WINDOW configure() above resets every slot, so the
+  // order matters (DESIGN.md section 14).
+  if (const std::string ledger = resilience::HealthLedger::default_path();
+      !ledger.empty()) {
+    set_health_ledger(ledger);
+  }
 }
 
 Engine::~Engine() {
@@ -702,7 +713,7 @@ BatchHealth Engine::gemm_at(Op op_a, Op op_b, T alpha,
         IATF_FAULT_POINT("resilience.probe", ::iatf::Status::Internal);
       } catch (...) {
         // A failed probe re-opens the slot; the call is still served.
-        breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+        record_breaker(slot, /*degraded=*/true, /*probe=*/true);
         return ref_route_gemm<T, Bytes>(shape, alpha, a, b, beta, c,
                                         DegradeEvent::BreakerOpen);
       }
@@ -730,7 +741,7 @@ BatchHealth Engine::gemm_at(Op op_a, Op op_b, T alpha,
                                       pool, deadline, layout);
     }
     if (breaker_.enabled()) {
-      breaker_.record(slot, health.events != DegradeEvent::None, probe);
+      record_breaker(slot, health.events != DegradeEvent::None, probe);
     }
     return health;
   } catch (const Error& e) {
@@ -738,12 +749,12 @@ BatchHealth Engine::gemm_at(Op op_a, Op op_b, T alpha,
       timeout_calls_.fetch_add(1, std::memory_order_relaxed);
     }
     if (breaker_.enabled()) {
-      breaker_.record(slot, /*degraded=*/true, probe);
+      record_breaker(slot, /*degraded=*/true, probe);
     }
     throw;
   } catch (...) {
     if (breaker_.enabled()) {
-      breaker_.record(slot, /*degraded=*/true, probe);
+      record_breaker(slot, /*degraded=*/true, probe);
     }
     throw;
   }
@@ -804,8 +815,12 @@ BatchHealth Engine::guarded_gemm(const GemmShape& shape, T alpha,
           (deadline == nullptr || !deadline->expired())) {
         std::copy(snapshot.begin(), snapshot.end(), c.data());
         rec = HealthRecorder(shape.batch);
-        retries_.fetch_add(1, std::memory_order_relaxed);
-        backoff_sleep(delay, deadline);
+        const std::uint64_t seq =
+            retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff_sleep(resilience::jittered_backoff(
+                          delay,
+                          retry_seed_.load(std::memory_order_relaxed), seq),
+                      deadline);
         delay = std::min(delay * 2, delay_cap);
         continue;
       }
@@ -909,7 +924,7 @@ BatchHealth Engine::trsm_at(Side side, Uplo uplo, Op op_a, Diag diag,
       try {
         IATF_FAULT_POINT("resilience.probe", ::iatf::Status::Internal);
       } catch (...) {
-        breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+        record_breaker(slot, /*degraded=*/true, /*probe=*/true);
         return ref_route_trsm<T, Bytes>(shape, alpha, a, b,
                                         DegradeEvent::BreakerOpen);
       }
@@ -936,7 +951,7 @@ BatchHealth Engine::trsm_at(Side side, Uplo uplo, Op op_a, Diag diag,
                                       deadline, layout);
     }
     if (breaker_.enabled()) {
-      breaker_.record(slot, health.events != DegradeEvent::None, probe);
+      record_breaker(slot, health.events != DegradeEvent::None, probe);
     }
     return health;
   } catch (const Error& e) {
@@ -944,12 +959,12 @@ BatchHealth Engine::trsm_at(Side side, Uplo uplo, Op op_a, Diag diag,
       timeout_calls_.fetch_add(1, std::memory_order_relaxed);
     }
     if (breaker_.enabled()) {
-      breaker_.record(slot, /*degraded=*/true, probe);
+      record_breaker(slot, /*degraded=*/true, probe);
     }
     throw;
   } catch (...) {
     if (breaker_.enabled()) {
-      breaker_.record(slot, /*degraded=*/true, probe);
+      record_breaker(slot, /*degraded=*/true, probe);
     }
     throw;
   }
@@ -1008,8 +1023,12 @@ BatchHealth Engine::guarded_trsm(const TrsmShape& shape, T alpha,
           (deadline == nullptr || !deadline->expired())) {
         std::copy(snapshot.begin(), snapshot.end(), b.data());
         rec = HealthRecorder(shape.batch);
-        retries_.fetch_add(1, std::memory_order_relaxed);
-        backoff_sleep(delay, deadline);
+        const std::uint64_t seq =
+            retries_.fetch_add(1, std::memory_order_relaxed);
+        backoff_sleep(resilience::jittered_backoff(
+                          delay,
+                          retry_seed_.load(std::memory_order_relaxed), seq),
+                      deadline);
         delay = std::min(delay * 2, delay_cap);
         continue;
       }
@@ -1201,7 +1220,7 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
               IATF_FAULT_POINT("resilience.probe",
                                ::iatf::Status::Internal);
             } catch (...) {
-              breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+              record_breaker(slot, /*degraded=*/true, /*probe=*/true);
               probe = false;
               route = true;
             }
@@ -1222,7 +1241,7 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
             routed[idx] = DegradeEvent::QuarantinedKernel;
           }
           if (breaker_.enabled()) {
-            breaker_.record(slot, /*degraded=*/true, probe);
+            record_breaker(slot, /*degraded=*/true, probe);
           }
           continue;
         }
@@ -1300,7 +1319,7 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
     } catch (...) {
       if (!fallback) {
         for (const ClassGate& gate : gates) {
-          breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+          record_breaker(gate.slot, /*degraded=*/true, gate.probe);
         }
         throw; // Fast/Check: failures still propagate
       }
@@ -1329,7 +1348,7 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
       degraded_calls_.fetch_add(1, std::memory_order_relaxed);
       fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
       for (const ClassGate& gate : gates) {
-        breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+        record_breaker(gate.slot, /*degraded=*/true, gate.probe);
       }
       return healths;
     }
@@ -1373,7 +1392,7 @@ Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
       for (const std::size_t idx : gate.segs) {
         degraded = degraded || healths[idx].events != DegradeEvent::None;
       }
-      breaker_.record(gate.slot, degraded, gate.probe);
+      record_breaker(gate.slot, degraded, gate.probe);
     }
     return healths;
   } catch (const Error& e) {
@@ -1509,7 +1528,7 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
               IATF_FAULT_POINT("resilience.probe",
                                ::iatf::Status::Internal);
             } catch (...) {
-              breaker_.record(slot, /*degraded=*/true, /*probe=*/true);
+              record_breaker(slot, /*degraded=*/true, /*probe=*/true);
               probe = false;
               route = true;
             }
@@ -1530,7 +1549,7 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
             routed[idx] = DegradeEvent::QuarantinedKernel;
           }
           if (breaker_.enabled()) {
-            breaker_.record(slot, /*degraded=*/true, probe);
+            record_breaker(slot, /*degraded=*/true, probe);
           }
           continue;
         }
@@ -1600,7 +1619,7 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
     } catch (...) {
       if (!fallback) {
         for (const ClassGate& gate : gates) {
-          breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+          record_breaker(gate.slot, /*degraded=*/true, gate.probe);
         }
         throw; // Fast/Check: failures still propagate
       }
@@ -1625,7 +1644,7 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
       degraded_calls_.fetch_add(1, std::memory_order_relaxed);
       fallback_lanes_.fetch_add(lanes, std::memory_order_relaxed);
       for (const ClassGate& gate : gates) {
-        breaker_.record(gate.slot, /*degraded=*/true, gate.probe);
+        record_breaker(gate.slot, /*degraded=*/true, gate.probe);
       }
       return healths;
     }
@@ -1668,7 +1687,7 @@ Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
       for (const std::size_t idx : gate.segs) {
         degraded = degraded || healths[idx].events != DegradeEvent::None;
       }
-      breaker_.record(gate.slot, degraded, gate.probe);
+      record_breaker(gate.slot, degraded, gate.probe);
     }
     return healths;
   } catch (const Error& e) {
@@ -2003,6 +2022,7 @@ bool Engine::ensure_verified(const Plan& plan) {
       guard_.mark_verified(id);
     } else {
       guard_.mark_quarantined(id);
+      journal_quarantine(id);
       ok = false;
     }
   }
@@ -2197,6 +2217,7 @@ std::size_t Engine::self_test_type() {
       guard_.mark_verified(id);
     } else {
       guard_.mark_quarantined(id);
+      journal_quarantine(id);
       ++quarantined;
     }
   };
@@ -2246,6 +2267,113 @@ Engine::trsm_breaker_state(const TrsmShape& shape) const {
   return breaker_.slot_state(PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape)));
 }
 
+// --- Crash-consistent health ledger (DESIGN.md section 14) --------------
+
+resilience::LedgerLoad Engine::set_health_ledger(const std::string& path) {
+  auto ledger = std::make_shared<resilience::HealthLedger>(path);
+  const resilience::LedgerLoad result = ledger->load();
+  // Replay before publishing: journaling is suspended until the new
+  // ledger is installed, so replayed quarantines are not re-appended.
+  bool any_quarantine = false;
+  for (const resilience::LedgerRecord& rec : ledger->records()) {
+    switch (rec.kind) {
+    case resilience::LedgerRecord::Kind::KernelQuarantine:
+      // Replay only ever quarantines -- a ledger cannot mark anything
+      // Verified, so "verify never resurrects" holds across restarts.
+      guard_.mark_quarantined(rec.kernel);
+      any_quarantine = true;
+      break;
+    case resilience::LedgerRecord::Kind::BreakerTrip:
+    case resilience::LedgerRecord::Kind::WatchdogReclaim:
+      // Restart posture for a recently-tripped class: probe before
+      // trusting the fast path again. No-op while the breaker is
+      // disabled (the record stays journaled for a configured restart).
+      breaker_.seed_half_open(static_cast<std::size_t>(rec.slot));
+      break;
+    case resilience::LedgerRecord::Kind::Degrade:
+      break; // informational: stats only
+    }
+  }
+  if (any_quarantine) {
+    invalidate_quarantined_plans();
+  }
+  {
+    std::lock_guard<std::mutex> lk(ledger_mu_);
+    ledger_ = std::move(ledger);
+  }
+  return result;
+}
+
+std::shared_ptr<resilience::HealthLedger> Engine::health_ledger() const {
+  std::lock_guard<std::mutex> lk(ledger_mu_);
+  return ledger_;
+}
+
+void Engine::journal_quarantine(const resilience::KernelId& id) {
+  if (auto ledger = health_ledger()) {
+    resilience::LedgerRecord rec;
+    rec.kind = resilience::LedgerRecord::Kind::KernelQuarantine;
+    rec.kernel = id;
+    ledger->append(rec);
+  }
+}
+
+void Engine::journal_breaker_trip(std::size_t slot_hash) {
+  if (auto ledger = health_ledger()) {
+    resilience::LedgerRecord rec;
+    rec.kind = resilience::LedgerRecord::Kind::BreakerTrip;
+    rec.slot = static_cast<std::uint64_t>(slot_hash);
+    ledger->append(rec);
+  }
+}
+
+void Engine::journal_watchdog(std::size_t slot_hash) {
+  if (auto ledger = health_ledger()) {
+    resilience::LedgerRecord rec;
+    rec.kind = resilience::LedgerRecord::Kind::WatchdogReclaim;
+    rec.slot = static_cast<std::uint64_t>(slot_hash);
+    ledger->append(rec);
+  }
+}
+
+void Engine::journal_degrade(unsigned events) {
+  if (auto ledger = health_ledger()) {
+    resilience::LedgerRecord rec;
+    rec.kind = resilience::LedgerRecord::Kind::Degrade;
+    rec.events = events;
+    ledger->append(rec);
+  }
+}
+
+void Engine::record_breaker(std::size_t slot_hash, bool degraded,
+                            bool probe) {
+  if (breaker_.record(slot_hash, degraded, probe)) {
+    journal_breaker_trip(slot_hash);
+  }
+}
+
+template <class T, int Bytes>
+void Engine::trip_gemm_class(const GemmShape& shape, int cooldown_calls) {
+  const std::size_t slot = PlanKeyHash{}(gemm_plan_key<T, Bytes>(shape));
+  if (cooldown_calls < 0) {
+    cooldown_calls = breaker_.config().cooldown;
+  }
+  breaker_.force_open(slot, cooldown_calls);
+  journal_watchdog(slot);
+  journal_degrade(static_cast<unsigned>(DegradeEvent::BreakerOpen));
+}
+
+template <class T, int Bytes>
+void Engine::trip_trsm_class(const TrsmShape& shape, int cooldown_calls) {
+  const std::size_t slot = PlanKeyHash{}(trsm_plan_key<T, Bytes>(shape));
+  if (cooldown_calls < 0) {
+    cooldown_calls = breaker_.config().cooldown;
+  }
+  breaker_.force_open(slot, cooldown_calls);
+  journal_watchdog(slot);
+  journal_degrade(static_cast<unsigned>(DegradeEvent::BreakerOpen));
+}
+
 Engine& Engine::default_engine() {
   // Function-local static: constructed on first use, destroyed in reverse
   // construction order during static destruction. ThreadPool::global()
@@ -2282,7 +2410,9 @@ Engine& Engine::default_engine() {
   template resilience::BreakerState Engine::gemm_breaker_state<T, Bytes>(   \
       const GemmShape&) const;                                              \
   template resilience::BreakerState Engine::trsm_breaker_state<T, Bytes>(   \
-      const TrsmShape&) const;
+      const TrsmShape&) const;                                              \
+  template void Engine::trip_gemm_class<T, Bytes>(const GemmShape&, int);   \
+  template void Engine::trip_trsm_class<T, Bytes>(const TrsmShape&, int);
 
 IATF_INSTANTIATE_ENGINE(float, 16)
 IATF_INSTANTIATE_ENGINE(double, 16)

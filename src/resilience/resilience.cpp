@@ -159,10 +159,10 @@ BreakerDecision CircuitBreaker::admit(std::size_t slot_hash) {
   return BreakerDecision::Allow;
 }
 
-void CircuitBreaker::record(std::size_t slot_hash, bool degraded,
+bool CircuitBreaker::record(std::size_t slot_hash, bool degraded,
                             bool probe) {
   if (!enabled()) {
-    return;
+    return false;
   }
   const BreakerConfig cfg = config();
   Slot& slot = slot_for(slot_hash);
@@ -177,11 +177,12 @@ void CircuitBreaker::record(std::size_t slot_hash, bool degraded,
       slot.window_calls = 0;
       slot.window_degraded = 0;
       transitions_.fetch_add(1, std::memory_order_relaxed);
+      return degraded;
     }
-    return;
+    return false;
   }
   if (slot.state != BreakerState::Closed) {
-    return; // late result from before a transition: ignore
+    return false; // late result from before a transition: ignore
   }
   ++slot.window_calls;
   if (degraded) {
@@ -197,14 +198,63 @@ void CircuitBreaker::record(std::size_t slot_hash, bool degraded,
       // becomes the HalfOpen probe.
       slot.open_remaining = cfg.cooldown > 0 ? cfg.cooldown : 0;
       transitions_.fetch_add(1, std::memory_order_relaxed);
+      return true;
     }
   }
+  return false;
+}
+
+void CircuitBreaker::force_open(std::size_t slot_hash, int cooldown_calls) {
+  if (!enabled()) {
+    return;
+  }
+  Slot& slot = slot_for(slot_hash);
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.state != BreakerState::Open || slot.open_remaining != 0) {
+    transitions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot.state = BreakerState::Open;
+  slot.open_remaining = cooldown_calls > 0 ? cooldown_calls : 0;
+  slot.window_calls = 0;
+  slot.window_degraded = 0;
+  slot.probe_inflight = false;
+}
+
+void CircuitBreaker::seed_half_open(std::size_t slot_hash) {
+  // Open with an exhausted cooldown: the very next admit() transitions
+  // the slot HalfOpen and hands that call out as the probe -- exactly
+  // the restart posture a replayed breaker trip should leave behind.
+  force_open(slot_hash, 0);
 }
 
 BreakerState CircuitBreaker::slot_state(std::size_t slot_hash) const {
   const Slot& slot = slot_for(slot_hash);
   std::lock_guard<std::mutex> lock(slot.mu);
   return slot.state;
+}
+
+std::chrono::nanoseconds jittered_backoff(std::chrono::nanoseconds delay,
+                                          std::uint64_t seed,
+                                          std::uint64_t seq) noexcept {
+  if (seed == 0 || delay.count() <= 0) {
+    return delay; // jitter disabled: bit-compatible with the old backoff
+  }
+  // splitmix64 over (seed, seq): a pure function of the two inputs, so a
+  // fixed seed replays the exact sleep schedule while different retry
+  // sequence numbers (and different seeds across tenants) decorrelate.
+  std::uint64_t x = seed + 0x9E3779B97F4A7C15ull * (seq + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  // Uniform in [delay/2, delay]: full-range jitter would let a retry
+  // fire immediately, defeating the backoff's load-shedding purpose.
+  const std::uint64_t half =
+      static_cast<std::uint64_t>(delay.count()) / 2;
+  const std::uint64_t span = half + 1;
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(half + x % span));
 }
 
 CircuitBreaker::Summary CircuitBreaker::summary() const {

@@ -7,6 +7,7 @@
 #include "iatf/serve/server.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <complex>
 #include <exception>
 #include <utility>
@@ -35,7 +36,9 @@ Status status_of(const std::exception_ptr& p) noexcept {
 /// One queued request. Derived types carry the typed payload and the
 /// promise; the base carries everything the queue and the coalescer
 /// need. Resolution invariant: exactly one of resolve-with-value (via
-/// run or a coalesced dispatch) or fail() per request, ever.
+/// run or a coalesced dispatch) or fail() per request, ever -- enforced
+/// by claim(), because a watchdog reclamation and a later-un-wedging
+/// dispatcher may both try to resolve the same request.
 struct Request {
   char kind = 0;  ///< 'g'/'t' single gemm/trsm, 'G'/'R' grouped gemm/trsm
   char dtype = 0; ///< 's', 'd', 'c', 'z'
@@ -43,6 +46,11 @@ struct Request {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   sched::ClassKey key{}; ///< coalescing identity (single requests only)
+  std::atomic<bool> settled{false};
+
+  /// First claimant wins the right to resolve/fail; a loser's resolution
+  /// is dropped (its promise write would throw on the settled future).
+  bool claim() noexcept { return !settled.exchange(true); }
 
   virtual ~Request() = default;
   /// Execute alone on `engine` and resolve the promise/callback. Never
@@ -94,6 +102,9 @@ template <class T> struct GemmRequest final : Request {
   Server::Completion cb;
 
   void resolve(const BatchHealth& health) noexcept {
+    if (!claim()) {
+      return;
+    }
     notify(cb, Status::Ok, health);
     promise.set_value(health);
   }
@@ -106,6 +117,9 @@ template <class T> struct GemmRequest final : Request {
     }
   }
   void fail(std::exception_ptr error) noexcept override {
+    if (!claim()) {
+      return;
+    }
     notify(cb, status_of(error), BatchHealth{});
     promise.set_exception(std::move(error));
   }
@@ -117,6 +131,9 @@ template <class T> struct TrsmRequest final : Request {
   Server::Completion cb;
 
   void resolve(const BatchHealth& health) noexcept {
+    if (!claim()) {
+      return;
+    }
     notify(cb, Status::Ok, health);
     promise.set_value(health);
   }
@@ -129,6 +146,9 @@ template <class T> struct TrsmRequest final : Request {
     }
   }
   void fail(std::exception_ptr error) noexcept override {
+    if (!claim()) {
+      return;
+    }
     notify(cb, status_of(error), BatchHealth{});
     promise.set_exception(std::move(error));
   }
@@ -140,11 +160,17 @@ template <class T, class Segment> struct GroupedRequestBase : Request {
   Server::GroupedCompletion cb;
 
   void resolve(std::vector<BatchHealth> healths) noexcept {
+    if (!claim()) {
+      return;
+    }
     notify(cb, Status::Ok,
            std::span<const BatchHealth>(healths.data(), healths.size()));
     promise.set_value(std::move(healths));
   }
   void fail(std::exception_ptr error) noexcept override {
+    if (!claim()) {
+      return;
+    }
     notify(cb, status_of(error), std::span<const BatchHealth>());
     promise.set_exception(std::move(error));
   }
@@ -253,12 +279,25 @@ Server::Server(Engine& engine, ServeConfig config)
   if (config_.per_tenant_quota > config_.queue_capacity) {
     config_.per_tenant_quota = config_.queue_capacity;
   }
+  if (config_.watchdog_grace < 0) {
+    config_.watchdog_grace = 0;
+  }
+  if (config_.watchdog_floor.count() <= 0) {
+    config_.watchdog_floor = std::chrono::nanoseconds{1'000'000'000};
+  }
+  if (config_.watchdog_poll.count() <= 0) {
+    config_.watchdog_poll = std::chrono::nanoseconds{10'000'000};
+  }
   engine_.attach_server();
-  dispatcher_ = std::thread([this] { run_dispatcher(); });
+  dispatcher_ = std::thread([this] { run_dispatcher(0); });
+  if (config_.watchdog_grace > 0) {
+    watchdog_ = std::thread([this] { run_watchdog(); });
+  }
 }
 
 Server::~Server() {
   stop();
+  stop_watchdog();
   engine_.detach_server();
 }
 
@@ -276,6 +315,19 @@ void Server::set_overload_policy(resilience::OverloadPolicy policy) {
   // A relaxed policy can unblock waiting submitters (they re-evaluate
   // and apply the new policy to their still-unqueued request).
   space_cv_.notify_all();
+}
+
+void Server::set_watchdog(double grace, std::chrono::nanoseconds floor) {
+  std::lock_guard<std::mutex> lk(mu_);
+  config_.watchdog_grace = grace > 0 ? grace : 0.0;
+  if (floor.count() > 0) {
+    config_.watchdog_floor = floor;
+  }
+  if (config_.watchdog_grace > 0 && !watchdog_.joinable() &&
+      !watchdog_stop_) {
+    watchdog_ = std::thread([this] { run_watchdog(); });
+  }
+  watchdog_cv_.notify_all();
 }
 
 void Server::pause() {
@@ -329,9 +381,38 @@ void Server::stop() {
 }
 
 void Server::join_dispatcher() {
+  // Watchdog-retired dispatchers first: they are parked under mu_, and
+  // by the time a caller reaches here the live dispatcher has exited
+  // (dispatcher_done_ observed under mu_), so no further retirements can
+  // race this swap. A retired thread may still be sleeping inside a
+  // stalled engine call; joining waits it out (a genuinely hung kernel
+  // would block stop() here -- the documented limitation).
+  std::vector<std::thread> retired;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    retired.swap(zombies_);
+  }
+  for (std::thread& t : retired) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
   std::lock_guard<std::mutex> lk(join_mu_);
   if (dispatcher_.joinable()) {
     dispatcher_.join();
+  }
+}
+
+void Server::stop_watchdog() {
+  std::thread w;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    watchdog_stop_ = true;
+    watchdog_cv_.notify_all();
+    w = std::move(watchdog_);
+  }
+  if (w.joinable()) {
+    w.join();
   }
 }
 
@@ -350,6 +431,8 @@ ServerStats Server::stats() const {
   out.shed_overflow = shed_overflow_;
   out.cancelled = cancelled_;
   out.degraded_inline = degraded_inline_;
+  out.watchdog_kicks = watchdog_kicks_;
+  out.heartbeats = heartbeats_;
   out.tenants.reserve(tenants_.size());
   for (const auto& [id, t] : tenants_) {
     TenantStats ts;
@@ -544,15 +627,18 @@ Server::submit_grouped(std::span<const sched::TrsmSegment<T>> segments,
 
 // --- Dispatcher --------------------------------------------------------
 
-void Server::run_dispatcher() {
+void Server::run_dispatcher(std::uint64_t epoch) {
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     work_cv_.wait(lk, [&] {
-      if (phase_ != Phase::Running) {
-        return true; // draining ignores pause; stopping cancels
+      if (epoch != dispatcher_epoch_ || phase_ != Phase::Running) {
+        return true; // retired / draining ignores pause; stopping cancels
       }
       return !paused_ && queued_ > 0;
     });
+    if (epoch != dispatcher_epoch_) {
+      return; // retired by the watchdog: a successor owns the queue now
+    }
     if (phase_ == Phase::Stopping) {
       cancel_queued(lk);
       break;
@@ -563,14 +649,19 @@ void Server::run_dispatcher() {
       }
       continue;
     }
-    dispatch_round(lk);
+    dispatch_round(lk, epoch);
+    if (epoch != dispatcher_epoch_) {
+      return; // reclaimed mid-round: the watchdog did the accounting
+    }
   }
   dispatcher_done_ = true;
   idle_cv_.notify_all();
 }
 
-void Server::dispatch_round(std::unique_lock<std::mutex>& lk) {
+void Server::dispatch_round(std::unique_lock<std::mutex>& lk,
+                            std::uint64_t epoch) {
   const auto now = std::chrono::steady_clock::now();
+  ++heartbeats_;
 
   // Weighted-fair head: smallest stride pass among non-empty tenants.
   std::vector<TenantId> runnable;
@@ -603,9 +694,9 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk) {
   // Coalesce: pull same-class single requests from every tenant queue
   // (FIFO within each tenant, any position across classes -- requests
   // are independent, so cross-class reordering is unobservable).
-  std::vector<std::unique_ptr<detail::Request>> batch;
+  std::vector<std::shared_ptr<detail::Request>> batch;
   std::vector<std::unique_ptr<detail::Request>> expired;
-  batch.push_back(std::move(head));
+  batch.push_back(std::shared_ptr<detail::Request>(std::move(head)));
   if (batch.front()->coalescable() && config_.max_coalesce > 1) {
     try {
       for (auto& [id, t] : tenants_) {
@@ -629,7 +720,8 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk) {
             expired.push_back(std::move(mate));
           } else {
             ++t.served;
-            batch.push_back(std::move(mate));
+            batch.push_back(
+                std::shared_ptr<detail::Request>(std::move(mate)));
           }
         }
       }
@@ -659,18 +751,44 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk) {
   inflight_ += batch.size();
   const std::size_t executed = batch.size();
 
+  // Register the dispatch for the watchdog before releasing the lock:
+  // if this thread wedges inside the engine call, the supervisor fails
+  // the batch, respawns the dispatcher and does the accounting below.
+  if (config_.watchdog_grace > 0) {
+    auto budget = config_.watchdog_floor;
+    if (batch.front()->has_deadline &&
+        batch.front()->deadline - now > budget) {
+      budget = batch.front()->deadline - now;
+    }
+    const auto stall = std::chrono::nanoseconds(static_cast<std::int64_t>(
+        config_.watchdog_grace * static_cast<double>(budget.count())));
+    inflight_dispatch_.batch = batch;
+    inflight_dispatch_.stall_at =
+        now + std::max(stall, std::chrono::nanoseconds{1});
+    inflight_dispatch_.active = true;
+  }
+
   lk.unlock();
   for (auto& dead : expired) {
     dead->fail(std::make_exception_ptr(TimeoutError(0, 1)));
   }
   execute_batch(std::move(batch));
   lk.lock();
+  if (epoch != dispatcher_epoch_) {
+    return; // reclaimed by the watchdog while executing
+  }
+  inflight_dispatch_.active = false;
+  inflight_dispatch_.batch.clear();
   inflight_ -= executed;
   completed_ += executed;
 }
 
 void Server::execute_batch(
-    std::vector<std::unique_ptr<detail::Request>> batch) noexcept {
+    std::vector<std::shared_ptr<detail::Request>> batch) noexcept {
+  // Wedged-dispatcher fault for the watchdog tests: long enough that
+  // the supervisor (polling every watchdog_poll) reliably reclaims the
+  // batch first, even under sanitizer scheduling.
+  fault::stall_if_armed("watchdog.stall", 500);
   try {
     IATF_FAULT_POINT("serve.dispatch", Status::Internal);
     if (batch.size() == 1) {
@@ -725,7 +843,7 @@ void Server::execute_batch(
 
 template <class T>
 void Server::run_coalesced_gemm(
-    std::vector<std::unique_ptr<detail::Request>>& batch) {
+    std::vector<std::shared_ptr<detail::Request>>& batch) {
   std::vector<sched::GemmSegment<T>> segs;
   segs.reserve(batch.size());
   for (const auto& r : batch) {
@@ -742,7 +860,7 @@ void Server::run_coalesced_gemm(
 
 template <class T>
 void Server::run_coalesced_trsm(
-    std::vector<std::unique_ptr<detail::Request>>& batch) {
+    std::vector<std::shared_ptr<detail::Request>>& batch) {
   std::vector<sched::TrsmSegment<T>> segs;
   segs.reserve(batch.size());
   for (const auto& r : batch) {
@@ -754,6 +872,112 @@ void Server::run_coalesced_trsm(
   for (std::size_t i = 0; i < batch.size(); ++i) {
     static_cast<detail::TrsmRequest<T>*>(batch[i].get())
         ->resolve(healths[i]);
+  }
+}
+
+// --- Watchdog ----------------------------------------------------------
+
+void Server::run_watchdog() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(lk, config_.watchdog_poll,
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) {
+      return;
+    }
+    if (!inflight_dispatch_.active ||
+        std::chrono::steady_clock::now() < inflight_dispatch_.stall_at) {
+      continue;
+    }
+    reclaim_inflight(lk);
+  }
+}
+
+void Server::reclaim_inflight(std::unique_lock<std::mutex>& lk) {
+  ++watchdog_kicks_;
+  std::vector<std::shared_ptr<detail::Request>> batch =
+      std::move(inflight_dispatch_.batch);
+  inflight_dispatch_.batch.clear();
+  inflight_dispatch_.active = false;
+
+  // Retire the wedged dispatcher: bump the generation so it exits
+  // without touching shared state when (if) it un-wedges, park its
+  // thread for joining at stop()/drain(), and spawn a replacement so
+  // queued work keeps moving. Safe against join_dispatcher(): joins
+  // only happen after dispatcher_done_ is observed under mu_, and a
+  // dispatcher that is mid-dispatch (the only state we reclaim from)
+  // has not set it.
+  ++dispatcher_epoch_;
+  const std::uint64_t epoch = dispatcher_epoch_;
+  zombies_.push_back(std::move(dispatcher_));
+  dispatcher_ = std::thread([this, epoch] { run_dispatcher(epoch); });
+
+  // The accounting the retired dispatcher will no longer do.
+  inflight_ -= batch.size();
+  completed_ += batch.size();
+
+  lk.unlock();
+  const auto error = std::make_exception_ptr(WatchdogError(
+      "iatf: dispatch stalled past the watchdog budget and was "
+      "reclaimed; output buffers may be partially written"));
+  for (const auto& r : batch) {
+    r->fail(error); // claim-gated: a late un-wedged resolution loses
+  }
+  trip_class(*batch.front());
+  lk.lock();
+}
+
+void Server::trip_class(const detail::Request& r) {
+  // Grouped submissions span many descriptor classes; there is no one
+  // class to blame, so only single-request kinds trip the breaker.
+  // cooldown < 0 = the engine's configured cooldown; a disabled breaker
+  // makes this a no-op (the reclamation itself still happened).
+  constexpr int kCooldown = -1;
+  if (r.kind == 'g') {
+    GemmShape s;
+    s.m = r.key.m;
+    s.n = r.key.n;
+    s.k = r.key.k;
+    s.op_a = static_cast<Op>(r.key.op_a);
+    s.op_b = static_cast<Op>(r.key.op_b);
+    s.batch = r.key.batch;
+    switch (r.dtype) {
+    case 's':
+      engine_.trip_gemm_class<float>(s, kCooldown);
+      break;
+    case 'd':
+      engine_.trip_gemm_class<double>(s, kCooldown);
+      break;
+    case 'c':
+      engine_.trip_gemm_class<std::complex<float>>(s, kCooldown);
+      break;
+    default:
+      engine_.trip_gemm_class<std::complex<double>>(s, kCooldown);
+      break;
+    }
+  } else if (r.kind == 't') {
+    TrsmShape s;
+    s.m = r.key.m;
+    s.n = r.key.n;
+    s.side = static_cast<Side>(r.key.side);
+    s.uplo = static_cast<Uplo>(r.key.uplo);
+    s.op_a = static_cast<Op>(r.key.op_a);
+    s.diag = static_cast<Diag>(r.key.diag);
+    s.batch = r.key.batch;
+    switch (r.dtype) {
+    case 's':
+      engine_.trip_trsm_class<float>(s, kCooldown);
+      break;
+    case 'd':
+      engine_.trip_trsm_class<double>(s, kCooldown);
+      break;
+    case 'c':
+      engine_.trip_trsm_class<std::complex<float>>(s, kCooldown);
+      break;
+    default:
+      engine_.trip_trsm_class<std::complex<double>>(s, kCooldown);
+      break;
+    }
   }
 }
 

@@ -1,0 +1,131 @@
+// Kill-and-restart crash recovery: a child process quarantines a kernel
+// (journaled to a shared ledger path at the moment it happens), then
+// dies by SIGKILL with no cleanup. The parent "restarts the service" --
+// a fresh Engine bound to the same path -- and must find the quarantine
+// replayed: still quarantined, still correct, never resurrected.
+//
+// fork() without exec is safe here because Engine owns no threads (see
+// the default_engine teardown contract): the child builds its own engine
+// and never touches the parent's gtest state.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/resilience/health_ledger.hpp"
+
+namespace iatf::resilience {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+class CrashRecoveryTest : public ::testing::Test {
+protected:
+  void SetUp() override { fault::disarm_all(); }
+  void TearDown() override { fault::disarm_all(); }
+};
+
+TEST_F(CrashRecoveryTest, QuarantineSurvivesSigkillRestart) {
+  const std::string path = temp_path("iatf_crash_recovery.hl");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    // Child == the crashing service. No gtest assertions in here: the
+    // parent judges the outcome. _exit codes mark setup failures that
+    // would otherwise masquerade as a pass.
+    Engine crashing(CacheInfo::kunpeng920());
+    if (crashing.set_health_ledger(path) != LedgerLoad::Missing) {
+      ::_exit(2);
+    }
+    fault::arm("resilience.verify", 0, 1);
+    if (crashing.self_test() != 1u) {
+      ::_exit(3);
+    }
+    // The quarantine is already on disk (append flushes per record);
+    // SIGKILL leaves no chance for destructors or save() compaction.
+    ::raise(SIGKILL);
+    ::_exit(4); // unreachable
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus))
+      << "child exited with code "
+      << (WIFEXITED(wstatus) ? WEXITSTATUS(wstatus) : -1)
+      << " instead of dying by signal";
+  ASSERT_EQ(WTERMSIG(wstatus), SIGKILL);
+
+  // Restart: the replayed ledger restores the quarantine into a fresh
+  // engine before it serves anything.
+  Engine restarted(CacheInfo::kunpeng920());
+  ASSERT_EQ(restarted.health().quarantined_kernels, 0u);
+  const LedgerLoad result = restarted.set_health_ledger(path);
+  EXPECT_TRUE(result == LedgerLoad::Ok || result == LedgerLoad::Recovered)
+      << "unexpected load result " << to_string(result);
+  EXPECT_GE(restarted.health().quarantined_kernels, 1u);
+
+  // Verify never resurrects across the restart: a clean registry sweep
+  // re-verifies the healthy population but the crashed process's lesson
+  // stands.
+  const std::size_t replayed = restarted.health().quarantined_kernels;
+  (void)restarted.self_test();
+  EXPECT_GE(restarted.health().quarantined_kernels, replayed);
+
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+TEST_F(CrashRecoveryTest, TornAppendFromKilledWriterRecovers) {
+  const std::string path = temp_path("iatf_crash_torn.hl");
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0) << "fork failed";
+  if (child == 0) {
+    HealthLedger ledger(path, "crash-hw");
+    LedgerRecord rec;
+    rec.kind = LedgerRecord::Kind::BreakerTrip;
+    rec.slot = 99;
+    ledger.append(rec);
+    // Simulate the torn half-line a SIGKILL mid-append leaves behind,
+    // then die: the valid record must survive the recovery pass.
+    {
+      std::FILE* f = std::fopen(path.c_str(), "ab");
+      if (f != nullptr) {
+        std::fputs("rec 77ee33 b 10", f); // no newline, wrong CRC
+        std::fflush(f);
+      }
+    }
+    ::raise(SIGKILL);
+    ::_exit(4);
+  }
+
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+  HealthLedger restarted(path, "crash-hw");
+  EXPECT_EQ(restarted.load(), LedgerLoad::Recovered);
+  ASSERT_EQ(restarted.records().size(), 1u);
+  EXPECT_EQ(restarted.records()[0].slot, 99u);
+
+  std::remove(path.c_str());
+  std::remove((path + ".lock").c_str());
+}
+
+} // namespace
+} // namespace iatf::resilience

@@ -28,8 +28,20 @@
 //
 // --json=FILE mirrors the report rows in the same "iatf-bench-v1"
 // schema the bench harness and iatf_tune emit.
+// Crash-recovery harness (used by the CI crash-recovery job, both with
+// $IATF_HEALTH_LEDGER pointing at a shared path):
+//   --kill-after=N          serve N requests per tenant, then force one
+//                           kernel quarantine (journaled to the ledger
+//                           as it happens) and die by SIGKILL -- no
+//                           destructors, no save, exactly like a crash
+//   --expect-quarantined=N  assert at startup that the ledger replay
+//                           restored >= N quarantined kernels into the
+//                           fresh engine, then serve normally: the
+//                           restarted process must both remember the
+//                           lesson and still do useful work
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -41,6 +53,7 @@
 #include <vector>
 
 #include "iatf/common/cache_info.hpp"
+#include "iatf/common/fault_inject.hpp"
 #include "iatf/common/rng.hpp"
 #include "iatf/core/engine.hpp"
 #include "iatf/sched/group_scheduler.hpp"
@@ -70,6 +83,8 @@ struct Options {
   int ring = 8;
   bool smoke = false;
   bool compare = false;
+  int kill_after = 0;        // > 0: quarantine + SIGKILL after N reqs
+  int expect_quarantined = -1; // >= 0: require N replayed quarantines
   std::string json;
   // --mix: one descriptor set per entry; tenant t draws from set
   // t % mix.size(). Empty = single-shape mode (--m/--n/--k).
@@ -83,7 +98,7 @@ struct Options {
       "[--requests=N] [--m=N --n=N --k=N --batch=N] "
       "[--mix=MxNxK,...;MxNxK,...] [--queue=N] [--coalesce=N] "
       "[--deadline-ms=X] [--ring=N] [--smoke] [--compare] "
-      "[--json=FILE]\n");
+      "[--kill-after=N] [--expect-quarantined=N] [--json=FILE]\n");
   std::exit(2);
 }
 
@@ -168,6 +183,16 @@ Options parse(int argc, char** argv) {
       opt.ring = std::atoi(v);
     } else if (std::strcmp(arg, "--smoke") == 0) {
       opt.smoke = true;
+    } else if (const char* v = value("--kill-after=")) {
+      opt.kill_after = std::atoi(v);
+      if (opt.kill_after < 1) {
+        usage();
+      }
+    } else if (const char* v = value("--expect-quarantined=")) {
+      opt.expect_quarantined = std::atoi(v);
+      if (opt.expect_quarantined < 0) {
+        usage();
+      }
     } else if (const char* v = value("--json=")) {
       opt.json = v;
     } else if (std::strcmp(arg, "--compare") == 0) {
@@ -183,6 +208,11 @@ Options parse(int argc, char** argv) {
     // CI-sized: enough traffic to exercise coalescing and fairness,
     // small enough to finish in seconds on a loaded runner.
     opt.requests = std::min(opt.requests, 200);
+  }
+  if (opt.kill_after > 0) {
+    // The crash happens after every tenant completed kill_after
+    // requests: real traffic first, then the quarantine, then SIGKILL.
+    opt.requests = std::min(opt.requests, opt.kill_after);
   }
   opt.weights.resize(static_cast<std::size_t>(opt.tenants), 1u);
   for (auto& w : opt.weights) {
@@ -252,6 +282,22 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
 
 int run(const Options& opt) {
   Engine& engine = Engine::default_engine();
+  if (opt.expect_quarantined >= 0) {
+    // The engine constructor replayed $IATF_HEALTH_LEDGER before any
+    // request was served; a crashed predecessor's quarantines must
+    // already be in force.
+    const std::size_t replayed = engine.health().quarantined_kernels;
+    if (replayed < static_cast<std::size_t>(opt.expect_quarantined)) {
+      std::fprintf(stderr,
+                   "RECOVERY FAIL: ledger replay restored %zu "
+                   "quarantined kernels, expected >= %d\n",
+                   replayed, opt.expect_quarantined);
+      return 1;
+    }
+    std::printf("recovery: %zu quarantined kernels replayed from the "
+                "health ledger\n",
+                replayed);
+  }
   engine.set_kernel_verification(false);
 
   const index_t width = simd::pack_width_v<double>;
@@ -405,6 +451,31 @@ int run(const Options& opt) {
     th.join();
   }
   server.drain();
+  if (opt.kill_after > 0) {
+    // The crash: fail one verification canary so the engine quarantines
+    // a kernel (journaled to the attached ledger the moment it happens),
+    // then die by SIGKILL -- no destructor, no save() compaction, no
+    // flush. A restart with --expect-quarantined proves the journal
+    // alone carried the lesson across the crash.
+    if (engine.health_ledger() == nullptr) {
+      std::fprintf(stderr, "kill-after: no health ledger attached (set "
+                           "$IATF_HEALTH_LEDGER)\n");
+      return 3;
+    }
+    engine.set_kernel_verification(true);
+    fault::arm("resilience.verify", 0, 1);
+    if (engine.self_test() < 1) {
+      std::fprintf(stderr, "kill-after: self_test quarantined nothing\n");
+      return 3;
+    }
+    std::fprintf(stderr, "kill-after: quarantine journaled after %llu "
+                         "requests; dying by SIGKILL\n",
+                 static_cast<unsigned long long>(
+                     static_cast<std::uint64_t>(opt.tenants) *
+                     static_cast<std::uint64_t>(opt.requests)));
+    std::fflush(nullptr);
+    ::raise(SIGKILL);
+  }
   const double wall_s =
       std::chrono::duration<double>(Clock::now() - t0).count();
   const serve::ServerStats stats = server.stats();
