@@ -200,7 +200,10 @@ namespace {
 // but peak-definition-breaking) fusion of several narrow accumulator
 // chains into one wider vector op on AVX-capable hosts.
 template <class V> inline void keep_in_register(V& v) {
-#if defined(__GNUC__) && defined(__x86_64__)
+#if defined(__GNUC__) && defined(__x86_64__) && defined(__AVX512F__)
+  // "x" only covers xmm/ymm; zmm accumulators need the EVEX class.
+  asm volatile("" : "+v"(v.v));
+#elif defined(__GNUC__) && defined(__x86_64__)
   asm volatile("" : "+x"(v.v));
 #elif defined(__GNUC__) && defined(__aarch64__)
   asm volatile("" : "+w"(v.v));

@@ -66,6 +66,31 @@ iatf_exec_policy iatf_get_exec_policy(void);
 void iatf_set_call_deadline_ms(double ms);
 double iatf_get_call_deadline_ms(void);
 
+/* ---- Runtime ISA selection ------------------------------------------ */
+
+/* The kernels are compiled at several register widths (128/256/512-bit);
+ * at runtime the library detects the widest backend the host supports
+ * (CPUID on x86-64, hwcaps on AArch64) and packs new buffers at that
+ * width, so compute calls dispatch to the matching kernel class. The
+ * environment variable IATF_FORCE_ISA=<name> overrides the choice at
+ * first use (silently falling back to the detected backend when the name
+ * is unknown or unavailable -- the override must never SIGILL).
+ *
+ * iatf_force_isa() is the programmatic override: it instead REFUSES an
+ * unknown or unavailable backend with IATF_STATUS_UNSUPPORTED and leaves
+ * the active backend unchanged. Canonical names: "sse2", "avx2",
+ * "avx512", "neon", "sve". Changing the active ISA affects buffers and
+ * packed handles created afterwards; existing ones keep dispatching to
+ * the backend they were packed for. */
+int iatf_force_isa(const char* name);
+
+/* Canonical name of the backend new buffers will pack for. */
+const char* iatf_active_isa(void);
+
+/* 1 if the named backend is available on this host (and would be
+ * accepted by iatf_force_isa), 0 for unknown or unavailable names. */
+int iatf_isa_supported(const char* name);
+
 /* ---- Engine observability ------------------------------------------- */
 
 /* One coherent snapshot of the default engine's counters. Fields may be
@@ -95,6 +120,10 @@ typedef struct iatf_engine_stats {
   /* Persistent packed layouts (see "Packed layouts & factorisations"). */
   int64_t packed_reuse_hits;   /* handle operands consumed with no pack */
   int64_t packed_repacks;      /* interleave conversions (pack + repack) */
+  /* Multi-ISA dispatch: compute calls served per kernel width class. */
+  int64_t width16_calls;       /* 128-bit backend (sse2 / neon) */
+  int64_t width32_calls;       /* 256-bit backend (avx2) */
+  int64_t width64_calls;       /* 512-bit backend (avx512) */
 } iatf_engine_stats;
 
 int iatf_get_engine_stats(iatf_engine_stats* stats);

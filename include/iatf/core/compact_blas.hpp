@@ -2,9 +2,16 @@
 // process-wide default Engine. This is the API the examples and benchmark
 // harness call; applications wanting their own tuning parameters or plan
 // cache construct an iatf::Engine instead.
+//
+// These entry points are width-dispatching: the kernel class (128/256/
+// 512-bit backend) is chosen from the output buffer's pack width, so a
+// buffer created at the active ISA's width (e.g. through the C API)
+// automatically runs on the matching backend. Buffers of a width with no
+// instantiated kernel class are refused with Status::Unsupported.
 #pragma once
 
 #include "iatf/core/engine.hpp"
+#include "iatf/core/width_dispatch.hpp"
 #include "iatf/layout/compact.hpp"
 
 namespace iatf {
@@ -16,7 +23,10 @@ template <class T>
 BatchHealth compact_gemm(Op op_a, Op op_b, T alpha,
                          const CompactBuffer<T>& a, const CompactBuffer<T>& b,
                          T beta, CompactBuffer<T>& c) {
-  return Engine::default_engine().gemm<T>(op_a, op_b, alpha, a, b, beta, c);
+  return dispatch_width<T>(c.pack_width(), [&](auto bytes) {
+    return Engine::default_engine().gemm<T, decltype(bytes)::value>(
+        op_a, op_b, alpha, a, b, beta, c);
+  });
 }
 
 /// op_a(A) X = alpha B (Left) or X op_a(A) = alpha B (Right); B is
@@ -24,24 +34,40 @@ BatchHealth compact_gemm(Op op_a, Op op_b, T alpha,
 template <class T>
 BatchHealth compact_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
                          const CompactBuffer<T>& a, CompactBuffer<T>& b) {
-  return Engine::default_engine().trsm<T>(side, uplo, op_a, diag, alpha, a,
-                                          b);
+  return dispatch_width<T>(b.pack_width(), [&](auto bytes) {
+    return Engine::default_engine().trsm<T, decltype(bytes)::value>(
+        side, uplo, op_a, diag, alpha, a, b);
+  });
 }
 
 /// Grouped GEMM over variable-size segments (one descriptor each); the
 /// size-class scheduler shares one execution plan per distinct
 /// descriptor. Returns one BatchHealth per segment, in call order.
+/// All segments of one call must share a pack width (the width keys the
+/// kernel class); the class is chosen from the first segment's output.
 template <class T>
 std::vector<BatchHealth>
 compact_gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
-  return Engine::default_engine().gemm_grouped<T>(segments);
+  const index_t pw = (!segments.empty() && segments.front().c != nullptr)
+                         ? segments.front().c->pack_width()
+                         : simd::pack_width_v<T>;
+  return dispatch_width<T>(pw, [&](auto bytes) {
+    return Engine::default_engine().gemm_grouped<T, decltype(bytes)::value>(
+        segments);
+  });
 }
 
 /// Grouped TRSM over variable-size segments; see compact_gemm_grouped.
 template <class T>
 std::vector<BatchHealth>
 compact_trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
-  return Engine::default_engine().trsm_grouped<T>(segments);
+  const index_t pw = (!segments.empty() && segments.front().b != nullptr)
+                         ? segments.front().b->pack_width()
+                         : simd::pack_width_v<T>;
+  return dispatch_width<T>(pw, [&](auto bytes) {
+    return Engine::default_engine().trsm_grouped<T, decltype(bytes)::value>(
+        segments);
+  });
 }
 
 } // namespace iatf

@@ -101,6 +101,12 @@ struct EngineStats {
   std::size_t verified_kernels = 0;    ///< kernels that passed their canary
   std::size_t quarantined_kernels = 0; ///< kernels pulled from dispatch
   std::size_t breaker_transitions = 0; ///< breaker state changes
+  // Multi-ISA dispatch (DESIGN.md section 15): compute calls served per
+  // kernel width class. A serving mix stuck on width16 on an AVX-512
+  // host usually means buffers were created before the ISA was forced.
+  std::size_t width16_calls = 0; ///< calls on the 128-bit backend
+  std::size_t width32_calls = 0; ///< calls on the 256-bit backend
+  std::size_t width64_calls = 0; ///< calls on the 512-bit backend
 };
 
 /// Liveness snapshot of the self-healing layer (the C API's
@@ -195,10 +201,14 @@ public:
   /// The one conversion is counted in EngineStats::packed_repacks; every
   /// subsequent engine call consuming the handle skips its pack stage and
   /// counts a packed_reuse_hit per handle operand instead.
+  /// `pack_width` selects the interleave factor (and thereby the kernel
+  /// width class the handle's compute calls dispatch to); the default is
+  /// the paper's 128-bit lane count.
   template <class T>
   factor::PackedHandle<T> pack(const T* src, index_t rows, index_t cols,
                                index_t ld, index_t matrix_stride,
-                               index_t batch);
+                               index_t batch,
+                               index_t pack_width = simd::pack_width_v<T>);
 
   /// Wrap an already-interleaved buffer in a handle, zero-copy (no
   /// conversion, so no repack is counted).
@@ -761,6 +771,14 @@ private:
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> packed_reuse_hits_{0};
   std::atomic<std::uint64_t> packed_repacks_{0};
+  /// Compute calls per kernel width class: [0]=16B, [1]=32B, [2]=64B.
+  std::array<std::atomic<std::uint64_t>, 3> width_calls_{};
+
+  /// Count one compute call against its kernel width class.
+  void note_width_call(int bytes) {
+    const std::size_t idx = bytes == 32 ? 1 : (bytes == 64 ? 2 : 0);
+    width_calls_[idx].fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// iatf::serve::Server instances currently bound to this engine; the
   /// destructor aborts while nonzero (shutdown ordering contract).

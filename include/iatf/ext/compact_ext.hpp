@@ -19,6 +19,10 @@
 // Note on padding: like TRSM, the factorisations divide by diagonal
 // entries; call pad_identity() on buffers whose batch is not a multiple
 // of the pack width so padded lanes stay finite.
+//
+// All routines are width-dispatching: the kernel class (128/256/512-bit
+// backend) follows the buffers' pack width, as with the engine entry
+// points. Unsupported widths are refused with Status::Unsupported.
 #pragma once
 
 #include "iatf/layout/compact.hpp"

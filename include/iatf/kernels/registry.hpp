@@ -11,16 +11,23 @@
 #pragma once
 
 #include "iatf/common/types.hpp"
+#include "iatf/kernels/cmar.hpp"
 #include "iatf/kernels/gemm_kernel.hpp"
 #include "iatf/kernels/trsm_kernel.hpp"
 
 namespace iatf::kernels {
 
-/// Compile-time kernel-size limits for scalar type T (register width has
-/// no effect on these: the budget of 32 architectural registers is fixed).
+/// Compile-time kernel-size limits for scalar type T. The GEMM tile
+/// maxima are the CMAR search (cmar.hpp) evaluated at the paper's ARMv8
+/// budget of 32 registers -- the registry's kernel grid is generated up
+/// to these shapes at every width, and narrower per-width caps (e.g.
+/// AVX2's 16-ymm budget) are applied by the plans, which simply stop
+/// *selecting* tiles the width cannot hold in registers.
 template <class T> struct KernelLimits {
-  static constexpr int gemm_max_mc = is_complex_v<T> ? 3 : 4;
-  static constexpr int gemm_max_nc = is_complex_v<T> ? 2 : 4;
+  static constexpr cmar::Tile kMainTile =
+      cmar::derive_tile(is_complex_v<T>, 32);
+  static constexpr int gemm_max_mc = kMainTile.mc;
+  static constexpr int gemm_max_nc = kMainTile.nc;
   static constexpr int tri_max_m = is_complex_v<T> ? 4 : 5;
   static constexpr int tri_max_nc = is_complex_v<T> ? 2 : 4;
   static constexpr int rect_max_mc = is_complex_v<T> ? 2 : 4;
@@ -30,9 +37,32 @@ template <class T> struct KernelLimits {
   static constexpr int trsm_block = is_complex_v<T> ? 2 : 4;
 };
 
+// The registry grid was generated for the paper's published shapes; the
+// CMAR derivation must keep reproducing them (Table 1).
+static_assert(KernelLimits<float>::gemm_max_mc == 4 &&
+                  KernelLimits<float>::gemm_max_nc == 4,
+              "real GEMM grid must keep the paper's 4x4 main kernel");
+static_assert(KernelLimits<std::complex<float>>::gemm_max_mc == 3 &&
+                  KernelLimits<std::complex<float>>::gemm_max_nc == 2,
+              "complex GEMM grid must keep the paper's 3x2 main kernel");
+
+/// The GEMM tile the plans select at register width `Bytes`: the CMAR
+/// search over that width's own register budget, clamped to the generated
+/// kernel grid.
+template <class T, int Bytes> struct WidthTile {
+  static constexpr cmar::Tile kTile =
+      cmar::tile_for_bytes(is_complex_v<T>, Bytes);
+  static constexpr int mc =
+      kTile.mc < KernelLimits<T>::gemm_max_mc ? kTile.mc
+                                              : KernelLimits<T>::gemm_max_mc;
+  static constexpr int nc =
+      kTile.nc < KernelLimits<T>::gemm_max_nc ? kTile.nc
+                                              : KernelLimits<T>::gemm_max_nc;
+};
+
 /// Function-pointer lookup for the generated kernel set. `Bytes` selects
-/// the SIMD register width: 16 is the paper's 128-bit NEON configuration,
-/// 32 is the wide configuration used by the MKL-compact simulation.
+/// the SIMD register width: 16 is the paper's 128-bit NEON/SSE2
+/// configuration, 32 the AVX2 backend, 64 the AVX-512 backend.
 template <class T, int Bytes = 16> struct Registry {
   using Limits = KernelLimits<T>;
 

@@ -68,14 +68,19 @@ template <class T> struct FactorSegment {
 };
 
 /// The size-class identity of a segment: everything the engine's plan
-/// cache keys on except dtype/width (which are fixed per grouped call by
-/// the template instantiation). Two segments with equal ClassKeys share
-/// an execution plan.
+/// cache keys on except dtype (which is fixed per grouped call by the
+/// template instantiation). Two segments with equal ClassKeys share an
+/// execution plan. `bytes` carries the buffers' register width so a
+/// coalescing front end never merges requests whose buffers belong to
+/// different ISA backends (the kernel class is part of the identity);
+/// within one engine grouped call it is redundant with the Bytes
+/// template parameter and may stay 0.
 struct ClassKey {
   char op = 0; ///< 'g' (GEMM), 't' (TRSM), 'p'/'l'/'i' (factorisations)
   index_t m = 0, n = 0, k = 0;
   std::uint8_t op_a = 0, op_b = 0, side = 0, uplo = 0, diag = 0;
   index_t batch = 0;
+  int bytes = 0; ///< register width of the kernel class (0 = unspecified)
 
   friend bool operator==(const ClassKey&, const ClassKey&) = default;
 };

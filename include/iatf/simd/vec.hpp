@@ -1,140 +1,31 @@
-// Portable fixed-width SIMD vector with ARMv8 NEON semantics.
+// Umbrella header for the width-generic SIMD layer.
 //
-// The paper's kernels are written in AArch64 assembly over 128-bit NEON
-// registers (fmla / fmls / fmul / ldp / stp). This header provides the same
-// operation set as a typed value class so the identical kernel *algorithms*
-// (paper Algorithms 2-4) compile to NEON on AArch64, to SSE/AVX on x86-64,
-// and to scalar code elsewhere. GCC/Clang vector extensions are used as the
-// primary backend because they lower 1:1 onto the native 128-bit ISA of
-// either architecture; a plain array fallback keeps other compilers working.
+// vec<Real, W> is one value class with per-ISA backends:
+//   vec_generic.hpp -- portable primary template, correct at any width
+//                      (GCC/Clang vector extensions, array fallback)
+//   vec_x86.hpp     -- AVX2 / AVX-512 intrinsic specializations
+//   vec_neon.hpp    -- NEON intrinsic specializations (paper baseline)
+//   vec_sve.hpp     -- width-agnostic SVE vector-length scaffolding
+//
+// Always include THIS header: the backend specializations must be visible
+// before the first instantiation of vec at a specialized width, and the
+// include order here guarantees that.
 //
 // Width notes:
-//   * vec<float,4> / vec<double,2>  == one NEON q-register (the paper's
-//     platform, used by all IATF kernels).
-//   * vec<float,8> / vec<double,4>  == a 256-bit register, used only by the
-//     `mklsim` backend that models Intel's wider-SIMD compact BLAS for the
-//     Figure 11/12 percent-of-peak comparison.
+//   * vec<float,4> / vec<double,2>   == one NEON q-register / SSE xmm
+//     (the paper's platform; the Bytes=16 kernel class).
+//   * vec<float,8> / vec<double,4>   == one AVX2 ymm (Bytes=32).
+//   * vec<float,16> / vec<double,8>  == one AVX-512 zmm (Bytes=64).
+// Runtime selection between these classes is isa.hpp's job; everything
+// below compiles at every width on every compiler.
 #pragma once
 
-#include <cmath>
-#include <cstring>
-
-#include "iatf/common/types.hpp"
-
-#if defined(__GNUC__) || defined(__clang__)
-#define IATF_SIMD_NATIVE 1
-#else
-#define IATF_SIMD_NATIVE 0
-#endif
+#include "iatf/simd/vec_generic.hpp"
+#include "iatf/simd/vec_neon.hpp"
+#include "iatf/simd/vec_sve.hpp"
+#include "iatf/simd/vec_x86.hpp"
 
 namespace iatf::simd {
-
-template <class Real, int W> struct vec {
-  static_assert(W > 0 && (W & (W - 1)) == 0, "lane count must be power of 2");
-  static constexpr int lanes = W;
-  using real_type = Real;
-
-#if IATF_SIMD_NATIVE
-  typedef Real native_type __attribute__((vector_size(sizeof(Real) * W)));
-#else
-  struct native_type {
-    Real lane[W];
-  };
-#endif
-
-  native_type v;
-
-  vec() = default;
-  explicit vec(native_type n) : v(n) {}
-
-  /// Load W consecutive reals (no alignment requirement).
-  static vec load(const Real* p) {
-    vec r;
-    std::memcpy(&r.v, p, sizeof(r.v));
-    return r;
-  }
-
-  /// Store W consecutive reals (no alignment requirement).
-  void store(Real* p) const { std::memcpy(p, &v, sizeof(v)); }
-
-  /// All lanes = x (NEON `dup`).
-  static vec broadcast(Real x) {
-    vec r;
-#if IATF_SIMD_NATIVE
-    r.v = x - native_type{}; // splat: scalar op vector broadcasts
-#else
-    for (int i = 0; i < W; ++i) {
-      r.v.lane[i] = x;
-    }
-#endif
-    return r;
-  }
-
-  static vec zero() { return broadcast(Real(0)); }
-
-  Real get(int i) const {
-    Real tmp[W];
-    store(tmp);
-    return tmp[i];
-  }
-
-#if IATF_SIMD_NATIVE
-  friend vec operator+(vec a, vec b) { return vec(a.v + b.v); }
-  friend vec operator-(vec a, vec b) { return vec(a.v - b.v); }
-  friend vec operator*(vec a, vec b) { return vec(a.v * b.v); }
-  friend vec operator/(vec a, vec b) { return vec(a.v / b.v); }
-#else
-  friend vec operator+(vec a, vec b) {
-    vec r;
-    for (int i = 0; i < W; ++i) {
-      r.v.lane[i] = a.v.lane[i] + b.v.lane[i];
-    }
-    return r;
-  }
-  friend vec operator-(vec a, vec b) {
-    vec r;
-    for (int i = 0; i < W; ++i) {
-      r.v.lane[i] = a.v.lane[i] - b.v.lane[i];
-    }
-    return r;
-  }
-  friend vec operator*(vec a, vec b) {
-    vec r;
-    for (int i = 0; i < W; ++i) {
-      r.v.lane[i] = a.v.lane[i] * b.v.lane[i];
-    }
-    return r;
-  }
-  friend vec operator/(vec a, vec b) {
-    vec r;
-    for (int i = 0; i < W; ++i) {
-      r.v.lane[i] = a.v.lane[i] / b.v.lane[i];
-    }
-    return r;
-  }
-#endif
-
-  /// NEON `fmla`: acc + a*b. The compiler contracts this to a hardware FMA
-  /// where available (-mfma / NEON fmla).
-  static vec fma(vec acc, vec a, vec b) { return acc + a * b; }
-
-  /// NEON `fmls`: acc - a*b. Used by the TRSM rectangular kernels, saving
-  /// the M*N extra multiplies a GEMM call with alpha=-1 would spend
-  /// (paper equation 4).
-  static vec fms(vec acc, vec a, vec b) { return acc - a * b; }
-
-  /// Lane-wise square root (NEON `fsqrt`); used by the compact Cholesky
-  /// extension. The store/compute/load form keeps it portable -- the
-  /// compiler lowers it to the hardware sqrt where one exists.
-  static vec sqrt(vec x) {
-    Real tmp[W];
-    x.store(tmp);
-    for (int i = 0; i < W; ++i) {
-      tmp[i] = std::sqrt(tmp[i]);
-    }
-    return load(tmp);
-  }
-};
 
 /// 128-bit lane count for the real type underlying T: the paper's "P"
 /// (number of matrices interleaved per SIMD register).

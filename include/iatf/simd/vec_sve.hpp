@@ -1,0 +1,42 @@
+// ARM SVE scaffolding: width-agnostic vector-length plumbing.
+//
+// SVE registers are *sizeless* -- their width (128..2048 bits) is a
+// property of the running core, not of the binary -- so they cannot back
+// the fixed-lane vec<Real, W> value class directly. What the width-generic
+// dispatch layer needs from SVE today is the piece that IS knowable:
+//
+//   * whether SVE was compiled in (sve_compiled), and
+//   * the vector length of the executing core (sve_vector_bytes()),
+//
+// which isa.cpp uses to decide whether the Sve backend maps onto one of
+// the instantiated fixed-width kernel classes (16/32/64 bytes). On such a
+// core the fixed-width kernels compiled for the matching Bytes are exact:
+// a 256-bit SVE machine runs the Bytes=32 backend with the compiler
+// synthesizing the ops from NEON or, under -msve-vector-bits=256, with
+// GCC mapping the vector-extension types straight onto SVE registers.
+// True vector-length-agnostic kernels (svwhilelt predication) remain
+// future work and would slot in as further vec specializations here.
+#pragma once
+
+#include "iatf/simd/vec_generic.hpp"
+
+#if defined(__ARM_FEATURE_SVE)
+#include <arm_sve.h>
+#endif
+
+namespace iatf::simd {
+
+#if defined(__ARM_FEATURE_SVE)
+inline constexpr bool sve_compiled = true;
+
+/// Vector length in bytes of the executing core (svcntb). Runtime, not
+/// constexpr: the same binary may run on cores with different lengths.
+inline int sve_vector_bytes() { return static_cast<int>(svcntb()); }
+#else
+inline constexpr bool sve_compiled = false;
+
+/// SVE not compiled in: no vector length to report.
+inline int sve_vector_bytes() { return 0; }
+#endif
+
+} // namespace iatf::simd

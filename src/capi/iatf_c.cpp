@@ -14,7 +14,9 @@
 #include "iatf/core/compact_blas.hpp"
 #include "iatf/core/engine.hpp"
 #include "iatf/ext/compact_ext.hpp"
+#include "iatf/core/width_dispatch.hpp"
 #include "iatf/resilience/resilience.hpp"
+#include "iatf/simd/isa.hpp"
 #include "iatf/tune/search.hpp"
 #include "iatf/tune/tuning_table.hpp"
 
@@ -358,6 +360,9 @@ extern "C" int iatf_get_engine_stats(iatf_engine_stats* stats) {
         static_cast<int64_t>(s.breaker_transitions);
     stats->packed_reuse_hits = static_cast<int64_t>(s.packed_reuse_hits);
     stats->packed_repacks = static_cast<int64_t>(s.packed_repacks);
+    stats->width16_calls = static_cast<int64_t>(s.width16_calls);
+    stats->width32_calls = static_cast<int64_t>(s.width32_calls);
+    stats->width64_calls = static_cast<int64_t>(s.width64_calls);
   });
 }
 
@@ -532,7 +537,8 @@ extern "C" void iatf_clear_plan_cache(void) {
                                    int64_t batch) {                         \
     BUF* out = nullptr;                                                     \
     const int rc = guarded([&] {                                            \
-      out = new BUF{iatf::CompactBuffer<T>(rows, cols, batch)};             \
+      out = new BUF{iatf::CompactBuffer<T>(                                 \
+          rows, cols, batch, iatf::simd::active_pack_width<T>())};            \
     });                                                                     \
     return rc == 0 ? out : nullptr;                                         \
   }                                                                         \
@@ -878,7 +884,8 @@ extern "C" int iatf_tune_load(const char* path) {
     PACKED* out = nullptr;                                                    \
     const int rc = guarded([&] {                                              \
       out = new PACKED{iatf::Engine::default_engine().pack<T>(                \
-          src, rows, cols, ld, matrix_stride, batch)};                        \
+          src, rows, cols, ld, matrix_stride, batch,                          \
+          iatf::simd::active_pack_width<T>())};                               \
     });                                                                       \
     return rc == 0 ? out : nullptr;                                           \
   }                                                                           \
@@ -927,8 +934,11 @@ extern "C" int iatf_tune_load(const char* path) {
     return guarded_blas(d, [&] {                                              \
       IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,                \
                  "iatf_" #P "gemm_packed: null handle");                      \
-      return iatf::Engine::default_engine().gemm<T>(                          \
-          to_op(op_a), to_op(op_b), alpha, a->h, b->h, beta, c->h);           \
+      return iatf::dispatch_width<T>(c->h.pack_width(), [&](auto bytes) {     \
+        return iatf::Engine::default_engine()                                 \
+            .gemm<T, decltype(bytes)::value>(to_op(op_a), to_op(op_b),        \
+                                             alpha, a->h, b->h, beta, c->h);  \
+      });                                                                     \
     });                                                                       \
   }                                                                           \
   extern "C" int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo,        \
@@ -950,9 +960,12 @@ extern "C" int iatf_tune_load(const char* path) {
     return guarded_blas(d, [&] {                                              \
       IATF_CHECK(a != nullptr && b != nullptr,                                \
                  "iatf_" #P "trsm_packed: null handle");                      \
-      return iatf::Engine::default_engine().trsm<T>(                          \
-          to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag), alpha,    \
-          a->h, b->h);                                                        \
+      return iatf::dispatch_width<T>(b->h.pack_width(), [&](auto bytes) {     \
+        return iatf::Engine::default_engine()                                 \
+            .trsm<T, decltype(bytes)::value>(to_side(side), to_uplo(uplo),    \
+                                             to_op(op_a), to_diag(diag),      \
+                                             alpha, a->h, b->h);              \
+      });                                                                     \
     });                                                                       \
   }                                                                           \
   extern "C" int iatf_##P##potrf_batch(BUF* a) {                              \
@@ -961,7 +974,11 @@ extern "C" int iatf_tune_load(const char* path) {
                       a != nullptr ? a->buf.batch() : 0, -1, -1),             \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "potrf_batch: null buffer");    \
-          return iatf::Engine::default_engine().potrf_batch<T>(a->buf);       \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .potrf_batch<T, decltype(bytes)::value>(a->buf);          \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##getrfnp_batch(BUF* a) {                            \
@@ -971,8 +988,11 @@ extern "C" int iatf_tune_load(const char* path) {
         [&] {                                                                 \
           IATF_CHECK(a != nullptr,                                            \
                      "iatf_" #P "getrfnp_batch: null buffer");                \
-          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(         \
-              a->buf);                                                        \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .getrf_nopiv_batch<T, decltype(bytes)::value>(a->buf);    \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag,        \
@@ -983,8 +1003,12 @@ extern "C" int iatf_tune_load(const char* path) {
                       static_cast<int>(uplo), static_cast<int>(diag)),        \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "trtri_batch: null buffer");    \
-          return iatf::Engine::default_engine().trtri_batch<T>(               \
-              to_uplo(uplo), to_diag(diag), a->buf);                          \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .trtri_batch<T, decltype(bytes)::value>(                  \
+                        to_uplo(uplo), to_diag(diag), a->buf);                \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##potrf_packed(PACKED* a) {                          \
@@ -993,7 +1017,11 @@ extern "C" int iatf_tune_load(const char* path) {
                       a != nullptr ? a->h.batch() : 0, -1, -1),               \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "potrf_packed: null handle");   \
-          return iatf::Engine::default_engine().potrf_batch<T>(a->h);         \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .potrf_batch<T, decltype(bytes)::value>(a->h);            \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##getrfnp_packed(PACKED* a) {                        \
@@ -1003,7 +1031,11 @@ extern "C" int iatf_tune_load(const char* path) {
         [&] {                                                                 \
           IATF_CHECK(a != nullptr,                                            \
                      "iatf_" #P "getrfnp_packed: null handle");               \
-          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(a->h);   \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .getrf_nopiv_batch<T, decltype(bytes)::value>(a->h);      \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag,       \
@@ -1014,8 +1046,12 @@ extern "C" int iatf_tune_load(const char* path) {
                       static_cast<int>(uplo), static_cast<int>(diag)),        \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "trtri_packed: null handle");   \
-          return iatf::Engine::default_engine().trtri_batch<T>(               \
-              to_uplo(uplo), to_diag(diag), a->h);                            \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .trtri_batch<T, decltype(bytes)::value>(                  \
+                        to_uplo(uplo), to_diag(diag), a->h);                  \
+              });                                                             \
         });                                                                   \
   }
 
@@ -1034,7 +1070,7 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
     const int rc = guarded([&] {                                              \
       out = new PACKED{iatf::Engine::default_engine().pack<T>(                \
           reinterpret_cast<const T*>(src), rows, cols, ld, matrix_stride,     \
-          batch)};                                                            \
+          batch, iatf::simd::active_pack_width<T>())};                        \
     });                                                                       \
     return rc == 0 ? out : nullptr;                                           \
   }                                                                           \
@@ -1084,9 +1120,12 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
     return guarded_blas(d, [&] {                                              \
       IATF_CHECK(a != nullptr && b != nullptr && c != nullptr,                \
                  "iatf_" #P "gemm_packed: null handle");                      \
-      return iatf::Engine::default_engine().gemm<T>(                          \
-          to_op(op_a), to_op(op_b), T{alpha_re, alpha_im}, a->h, b->h,        \
-          T{beta_re, beta_im}, c->h);                                         \
+      return iatf::dispatch_width<T>(c->h.pack_width(), [&](auto bytes) {     \
+        return iatf::Engine::default_engine()                                 \
+            .gemm<T, decltype(bytes)::value>(                                 \
+                to_op(op_a), to_op(op_b), T{alpha_re, alpha_im}, a->h, b->h,  \
+                T{beta_re, beta_im}, c->h);                                   \
+      });                                                                     \
     });                                                                       \
   }                                                                           \
   extern "C" int iatf_##P##trsm_packed(iatf_side side, iatf_uplo uplo,        \
@@ -1108,9 +1147,12 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
     return guarded_blas(d, [&] {                                              \
       IATF_CHECK(a != nullptr && b != nullptr,                                \
                  "iatf_" #P "trsm_packed: null handle");                      \
-      return iatf::Engine::default_engine().trsm<T>(                          \
-          to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),           \
-          T{alpha_re, alpha_im}, a->h, b->h);                                 \
+      return iatf::dispatch_width<T>(b->h.pack_width(), [&](auto bytes) {     \
+        return iatf::Engine::default_engine()                                 \
+            .trsm<T, decltype(bytes)::value>(                                 \
+                to_side(side), to_uplo(uplo), to_op(op_a), to_diag(diag),     \
+                T{alpha_re, alpha_im}, a->h, b->h);                           \
+      });                                                                     \
     });                                                                       \
   }                                                                           \
   extern "C" int iatf_##P##potrf_batch(BUF* a) {                              \
@@ -1119,7 +1161,11 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
                       a != nullptr ? a->buf.batch() : 0, -1, -1),             \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "potrf_batch: null buffer");    \
-          return iatf::Engine::default_engine().potrf_batch<T>(a->buf);       \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .potrf_batch<T, decltype(bytes)::value>(a->buf);          \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##getrfnp_batch(BUF* a) {                            \
@@ -1129,8 +1175,11 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
         [&] {                                                                 \
           IATF_CHECK(a != nullptr,                                            \
                      "iatf_" #P "getrfnp_batch: null buffer");                \
-          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(         \
-              a->buf);                                                        \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .getrf_nopiv_batch<T, decltype(bytes)::value>(a->buf);    \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##trtri_batch(iatf_uplo uplo, iatf_diag diag,        \
@@ -1141,8 +1190,12 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
                       static_cast<int>(uplo), static_cast<int>(diag)),        \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "trtri_batch: null buffer");    \
-          return iatf::Engine::default_engine().trtri_batch<T>(               \
-              to_uplo(uplo), to_diag(diag), a->buf);                          \
+          return iatf::dispatch_width<T>(                                    \
+              a->buf.pack_width(), [&](auto bytes) {                          \
+                return iatf::Engine::default_engine()                         \
+                    .trtri_batch<T, decltype(bytes)::value>(                  \
+                        to_uplo(uplo), to_diag(diag), a->buf);                \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##potrf_packed(PACKED* a) {                          \
@@ -1151,7 +1204,11 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
                       a != nullptr ? a->h.batch() : 0, -1, -1),               \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "potrf_packed: null handle");   \
-          return iatf::Engine::default_engine().potrf_batch<T>(a->h);         \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .potrf_batch<T, decltype(bytes)::value>(a->h);            \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##getrfnp_packed(PACKED* a) {                        \
@@ -1161,7 +1218,11 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
         [&] {                                                                 \
           IATF_CHECK(a != nullptr,                                            \
                      "iatf_" #P "getrfnp_packed: null handle");               \
-          return iatf::Engine::default_engine().getrf_nopiv_batch<T>(a->h);   \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .getrf_nopiv_batch<T, decltype(bytes)::value>(a->h);      \
+              });                                                             \
         });                                                                   \
   }                                                                           \
   extern "C" int iatf_##P##trtri_packed(iatf_uplo uplo, iatf_diag diag,       \
@@ -1172,8 +1233,12 @@ IATF_DEFINE_PACKED(d, iatf_dpacked, iatf_dbuf, double, 'd')
                       static_cast<int>(uplo), static_cast<int>(diag)),        \
         [&] {                                                                 \
           IATF_CHECK(a != nullptr, "iatf_" #P "trtri_packed: null handle");   \
-          return iatf::Engine::default_engine().trtri_batch<T>(               \
-              to_uplo(uplo), to_diag(diag), a->h);                            \
+          return iatf::dispatch_width<T>(                                    \
+              a->h.pack_width(), [&](auto bytes) {                            \
+                return iatf::Engine::default_engine()                         \
+                    .trtri_batch<T, decltype(bytes)::value>(                  \
+                        to_uplo(uplo), to_diag(diag), a->h);                  \
+              });                                                             \
         });                                                                   \
   }
 
@@ -1216,4 +1281,38 @@ extern "C" int iatf_spotrf_compact(iatf_sbuf* a) {
 }
 extern "C" int iatf_dpotrf_compact(iatf_dbuf* a) {
   return guarded([&] { iatf::ext::compact_potrf<double>(a->buf); });
+}
+
+// Runtime ISA selection (multi-ISA dispatch, DESIGN.md section 15).
+// iatf_force_isa refuses an unknown or unavailable backend with
+// IATF_STATUS_UNSUPPORTED -- never by executing an illegal instruction.
+
+extern "C" int iatf_force_isa(const char* name) {
+  return guarded([&] {
+    IATF_CHECK(name != nullptr && name[0] != '\0',
+               "iatf_force_isa: null or empty ISA name");
+    iatf::simd::Isa isa;
+    IATF_CHECK_AS(iatf::simd::parse_isa(name, isa),
+                  iatf::Status::Unsupported,
+                  std::string("iatf_force_isa: unknown ISA '") + name + "'");
+    IATF_CHECK_AS(iatf::simd::set_active_isa(isa) == iatf::Status::Ok,
+                  iatf::Status::Unsupported,
+                  std::string("iatf_force_isa: ISA '") + name +
+                      "' is not supported on this host");
+  });
+}
+
+extern "C" const char* iatf_active_isa(void) {
+  return iatf::simd::isa_name(iatf::simd::active_isa());
+}
+
+extern "C" int iatf_isa_supported(const char* name) {
+  if (name == nullptr) {
+    return 0;
+  }
+  iatf::simd::Isa isa;
+  if (!iatf::simd::parse_isa(name, isa)) {
+    return 0;
+  }
+  return iatf::simd::isa_supported(isa) ? 1 : 0;
 }

@@ -670,6 +670,7 @@ BatchHealth Engine::gemm_at(Op op_a, Op op_b, T alpha,
   shape.op_a = op_a;
   shape.op_b = op_b;
   shape.batch = c.batch();
+  note_width_call(Bytes);
 
   const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
   ThreadPool* pool = pool_.load(std::memory_order_relaxed);
@@ -885,6 +886,7 @@ BatchHealth Engine::trsm_at(Side side, Uplo uplo, Op op_a, Diag diag,
   shape.op_a = op_a;
   shape.diag = diag;
   shape.batch = b.batch();
+  note_width_call(Bytes);
 
   const ExecPolicy policy = policy_.load(std::memory_order_relaxed);
   ThreadPool* pool = pool_.load(std::memory_order_relaxed);
@@ -1094,6 +1096,7 @@ std::vector<BatchHealth>
 Engine::gemm_grouped(std::span<const sched::GemmSegment<T>> segments) {
   using R = real_t<T>;
   grouped_calls_.fetch_add(1, std::memory_order_relaxed);
+  note_width_call(Bytes);
   const std::size_t count = segments.size();
   std::vector<BatchHealth> healths(count);
   if (count == 0) {
@@ -1408,6 +1411,7 @@ std::vector<BatchHealth>
 Engine::trsm_grouped(std::span<const sched::TrsmSegment<T>> segments) {
   using R = real_t<T>;
   grouped_calls_.fetch_add(1, std::memory_order_relaxed);
+  note_width_call(Bytes);
   const std::size_t count = segments.size();
   std::vector<BatchHealth> healths(count);
   if (count == 0) {
@@ -1839,6 +1843,12 @@ EngineStats Engine::stats() const {
   s.verified_kernels = guard_.verified_count();
   s.quarantined_kernels = guard_.quarantined_count();
   s.breaker_transitions = breaker_.summary().transitions;
+  s.width16_calls = static_cast<std::size_t>(
+      width_calls_[0].load(std::memory_order_relaxed));
+  s.width32_calls = static_cast<std::size_t>(
+      width_calls_[1].load(std::memory_order_relaxed));
+  s.width64_calls = static_cast<std::size_t>(
+      width_calls_[2].load(std::memory_order_relaxed));
   return s;
 }
 
@@ -1860,6 +1870,9 @@ void Engine::reset_stats() {
   retries_.store(0, std::memory_order_relaxed);
   packed_reuse_hits_.store(0, std::memory_order_relaxed);
   packed_repacks_.store(0, std::memory_order_relaxed);
+  for (auto& w : width_calls_) {
+    w.store(0, std::memory_order_relaxed);
+  }
 }
 
 EngineHealth Engine::health() const {
@@ -2249,6 +2262,10 @@ std::size_t Engine::self_test() {
   quarantined += self_test_type<double, 32>();
   quarantined += self_test_type<std::complex<float>, 32>();
   quarantined += self_test_type<std::complex<double>, 32>();
+  quarantined += self_test_type<float, 64>();
+  quarantined += self_test_type<double, 64>();
+  quarantined += self_test_type<std::complex<float>, 64>();
+  quarantined += self_test_type<std::complex<double>, 64>();
   if (quarantined > 0) {
     invalidate_quarantined_plans();
   }
@@ -2422,6 +2439,10 @@ IATF_INSTANTIATE_ENGINE(float, 32)
 IATF_INSTANTIATE_ENGINE(double, 32)
 IATF_INSTANTIATE_ENGINE(std::complex<float>, 32)
 IATF_INSTANTIATE_ENGINE(std::complex<double>, 32)
+IATF_INSTANTIATE_ENGINE(float, 64)
+IATF_INSTANTIATE_ENGINE(double, 64)
+IATF_INSTANTIATE_ENGINE(std::complex<float>, 64)
+IATF_INSTANTIATE_ENGINE(std::complex<double>, 64)
 
 #undef IATF_INSTANTIATE_ENGINE
 

@@ -1,0 +1,81 @@
+// Engine-internal helpers shared by the engine's translation units
+// (engine.cpp for GEMM/TRSM, engine_factor.cpp for the packed-layout and
+// factorisation entry points). Not installed; not part of the public API.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "iatf/common/error.hpp"
+#include "iatf/common/fault_inject.hpp"
+#include "iatf/common/status.hpp"
+#include "iatf/common/types.hpp"
+#include "iatf/layout/compact.hpp"
+
+namespace iatf::detail {
+
+inline bool site_prefix(const std::string& site, const char* prefix) {
+  return site.rfind(prefix, 0) == 0;
+}
+
+/// Classify the in-flight exception as a degradation event. InvalidArg
+/// errors are caller bugs and must never be silently degraded, so they are
+/// rethrown; Timeout likewise -- a deadline already blown cannot be helped
+/// by a slower scalar recompute. Everything else maps to the event the
+/// fallback records.
+inline DegradeEvent classify_failure() {
+  try {
+    throw;
+  } catch (const fault::FaultInjected& f) {
+    if (site_prefix(f.site(), "registry")) {
+      return DegradeEvent::MissingKernel;
+    }
+    if (site_prefix(f.site(), "plan")) {
+      return DegradeEvent::UnsupportedPlan;
+    }
+    if (site_prefix(f.site(), "threadpool") ||
+        site_prefix(f.site(), "sched") ||
+        site_prefix(f.site(), "resilience")) {
+      return DegradeEvent::WorkerFailure;
+    }
+    return DegradeEvent::AllocFailure;
+  } catch (const Error& e) {
+    switch (e.status()) {
+    case Status::InvalidArg:
+    case Status::Timeout:
+      throw;
+    case Status::Unsupported:
+      return DegradeEvent::UnsupportedPlan;
+    case Status::AllocFailure:
+      return DegradeEvent::AllocFailure;
+    default:
+      return DegradeEvent::WorkerFailure;
+    }
+  } catch (const std::bad_alloc&) {
+    return DegradeEvent::AllocFailure;
+  } catch (...) {
+    return DegradeEvent::WorkerFailure;
+  }
+}
+
+/// Restore one lane of `buf` from a raw snapshot of its storage.
+template <class T>
+void restore_lane(CompactBuffer<T>& buf,
+                  const std::vector<real_t<T>>& snapshot, index_t lane) {
+  using R = real_t<T>;
+  const index_t pw = buf.pack_width();
+  const index_t g = lane / pw;
+  const index_t l = lane % pw;
+  const index_t es = buf.element_stride();
+  const index_t elems = buf.rows() * buf.cols();
+  R* gdata = buf.group_data(g);
+  const R* sdata = snapshot.data() + g * buf.group_stride();
+  for (index_t e = 0; e < elems; ++e) {
+    gdata[e * es + l] = sdata[e * es + l];
+    if constexpr (is_complex_v<T>) {
+      gdata[e * es + pw + l] = sdata[e * es + pw + l];
+    }
+  }
+}
+
+} // namespace iatf::detail

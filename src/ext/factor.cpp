@@ -11,79 +11,88 @@
 
 #include "iatf/common/error.hpp"
 #include "iatf/core/compact_blas.hpp"
+#include "iatf/core/width_dispatch.hpp"
 #include "iatf/ext/compact_ext.hpp"
 #include "iatf/kernels/kreg.hpp"
 
 namespace iatf::ext {
 namespace {
 
-template <class T> using K = kernels::kreg<T>;
-
 // Element block (i, j) of an m x m compact matrix group.
-template <class T>
+template <class T, int Bytes>
 inline real_t<T>* blk(real_t<T>* base, index_t m, index_t i, index_t j) {
-  return base + (j * m + i) * K<T>::stride;
+  return base + (j * m + i) * kernels::kreg<T, Bytes>::stride;
 }
 
-} // namespace
-
-template <class T> void compact_getrf_np(CompactBuffer<T>& a) {
-  IATF_CHECK(a.rows() == a.cols(), "getrf_np: matrices must be square");
-  IATF_CHECK(a.pack_width() == simd::pack_width_v<T>,
-             "getrf_np: pack width mismatch");
+template <class T, int Bytes> void getrf_np_impl(CompactBuffer<T>& a) {
+  using K = kernels::kreg<T, Bytes>;
   const index_t m = a.rows();
 
   for (index_t g = 0; g < a.groups(); ++g) {
     real_t<T>* data = a.group_data(g);
     for (index_t k = 0; k < m; ++k) {
       // Column scale: L(i,k) = A(i,k) / A(k,k), via one reciprocal.
-      const auto rinv = K<T>::recip(K<T>::load(blk<T>(data, m, k, k)));
+      const auto rinv = K::recip(K::load(blk<T, Bytes>(data, m, k, k)));
       for (index_t i = k + 1; i < m; ++i) {
-        K<T>::mul(K<T>::load(blk<T>(data, m, i, k)), rinv)
-            .store(blk<T>(data, m, i, k));
+        K::mul(K::load(blk<T, Bytes>(data, m, i, k)), rinv)
+            .store(blk<T, Bytes>(data, m, i, k));
       }
       // Trailing rank-1 update: A(i,j) -= L(i,k) * A(k,j).
       for (index_t j = k + 1; j < m; ++j) {
-        const auto akj = K<T>::load(blk<T>(data, m, k, j));
+        const auto akj = K::load(blk<T, Bytes>(data, m, k, j));
         for (index_t i = k + 1; i < m; ++i) {
-          K<T>::fms(K<T>::load(blk<T>(data, m, i, j)),
-                    K<T>::load(blk<T>(data, m, i, k)), akj)
-              .store(blk<T>(data, m, i, j));
+          K::fms(K::load(blk<T, Bytes>(data, m, i, j)),
+                 K::load(blk<T, Bytes>(data, m, i, k)), akj)
+              .store(blk<T, Bytes>(data, m, i, j));
         }
       }
     }
   }
 }
 
-template <class T> void compact_potrf(CompactBuffer<T>& a) {
-  IATF_CHECK(a.rows() == a.cols(), "potrf: matrices must be square");
-  IATF_CHECK(a.pack_width() == simd::pack_width_v<T>,
-             "potrf: pack width mismatch");
+template <class T, int Bytes> void potrf_impl(CompactBuffer<T>& a) {
+  using K = kernels::kreg<T, Bytes>;
   const index_t m = a.rows();
 
   for (index_t g = 0; g < a.groups(); ++g) {
     real_t<T>* data = a.group_data(g);
     for (index_t j = 0; j < m; ++j) {
       // d = sqrt(A(j,j) - sum_k L(j,k) conj(L(j,k))).
-      auto d = K<T>::load(blk<T>(data, m, j, j));
+      auto d = K::load(blk<T, Bytes>(data, m, j, j));
       for (index_t k = 0; k < j; ++k) {
-        const auto ljk = K<T>::load(blk<T>(data, m, j, k));
-        d = K<T>::fms_conj(d, ljk, ljk);
+        const auto ljk = K::load(blk<T, Bytes>(data, m, j, k));
+        d = K::fms_conj(d, ljk, ljk);
       }
-      d = K<T>::sqrt(d);
-      d.store(blk<T>(data, m, j, j));
-      const auto rinv = K<T>::recip(d);
+      d = K::sqrt(d);
+      d.store(blk<T, Bytes>(data, m, j, j));
+      const auto rinv = K::recip(d);
       // Column update below the diagonal.
       for (index_t i = j + 1; i < m; ++i) {
-        auto v = K<T>::load(blk<T>(data, m, i, j));
+        auto v = K::load(blk<T, Bytes>(data, m, i, j));
         for (index_t k = 0; k < j; ++k) {
-          v = K<T>::fms_conj(v, K<T>::load(blk<T>(data, m, i, k)),
-                             K<T>::load(blk<T>(data, m, j, k)));
+          v = K::fms_conj(v, K::load(blk<T, Bytes>(data, m, i, k)),
+                          K::load(blk<T, Bytes>(data, m, j, k)));
         }
-        K<T>::mul(v, rinv).store(blk<T>(data, m, i, j));
+        K::mul(v, rinv).store(blk<T, Bytes>(data, m, i, j));
       }
     }
   }
+}
+
+} // namespace
+
+template <class T> void compact_getrf_np(CompactBuffer<T>& a) {
+  IATF_CHECK(a.rows() == a.cols(), "getrf_np: matrices must be square");
+  dispatch_width<T>(a.pack_width(), [&](auto bytes) {
+    getrf_np_impl<T, decltype(bytes)::value>(a);
+  });
+}
+
+template <class T> void compact_potrf(CompactBuffer<T>& a) {
+  IATF_CHECK(a.rows() == a.cols(), "potrf: matrices must be square");
+  dispatch_width<T>(a.pack_width(), [&](auto bytes) {
+    potrf_impl<T, decltype(bytes)::value>(a);
+  });
 }
 
 template <class T>

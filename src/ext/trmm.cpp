@@ -14,15 +14,17 @@
 
 #include "iatf/common/aligned_buffer.hpp"
 #include "iatf/common/error.hpp"
+#include "iatf/core/width_dispatch.hpp"
 #include "iatf/ext/compact_ext.hpp"
 #include "iatf/kernels/registry.hpp"
 #include "iatf/pack/trsm_pack.hpp"
 
 namespace iatf::ext {
+namespace {
 
-template <class T>
-void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
-                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+template <class T, int Bytes>
+void compact_trmm_impl(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                       const CompactBuffer<T>& a, CompactBuffer<T>& b) {
   using R = real_t<T>;
   using Limits = kernels::KernelLimits<T>;
 
@@ -31,8 +33,7 @@ void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
   IATF_CHECK(a.rows() == shape.a_dim() && a.cols() == shape.a_dim(),
              "trmm: A must be a_dim x a_dim");
   IATF_CHECK(a.batch() == b.batch(), "trmm: batch mismatch");
-  IATF_CHECK(a.pack_width() == simd::pack_width_v<T> &&
-                 b.pack_width() == simd::pack_width_v<T>,
+  IATF_CHECK(a.pack_width() == b.pack_width(),
              "trmm: pack width mismatch");
   if (shape.m == 0 || shape.n == 0 || shape.batch == 0) {
     return;
@@ -81,7 +82,7 @@ void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
         targs.b = brow;
         targs.b_jstride = jstride;
         targs.alpha = alpha;
-        kernels::Registry<T>::trmm_tri(
+        kernels::Registry<T, Bytes>::trmm_tri(
             static_cast<int>(rowb.size),
             static_cast<int>(panel.size))(targs);
 
@@ -101,7 +102,7 @@ void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
           gargs.c_jstride = jstride;
           gargs.alpha = alpha;
           gargs.beta = T(1);
-          kernels::Registry<T>::gemm(
+          kernels::Registry<T, Bytes>::gemm(
               static_cast<int>(rowb.size),
               static_cast<int>(panel.size))(gargs);
         }
@@ -112,6 +113,20 @@ void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
       pack::unpack_trsm_b<T>(bdata, shape.m, canon, es, b.group_data(g));
     }
   }
+}
+
+} // namespace
+
+template <class T>
+void compact_trmm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
+                  const CompactBuffer<T>& a, CompactBuffer<T>& b) {
+  // The register width of the kernel class follows the buffers, exactly
+  // like the engine entry points: a buffer packed at the active ISA's
+  // width runs on the matching backend.
+  dispatch_width<T>(b.pack_width(), [&](auto bytes) {
+    compact_trmm_impl<T, decltype(bytes)::value>(side, uplo, op_a, diag,
+                                                 alpha, a, b);
+  });
 }
 
 template void compact_trmm<float>(Side, Uplo, Op, Diag, float,

@@ -331,6 +331,10 @@ IATF_INSTANTIATE_FACTOR_PLAN(float, 32)
 IATF_INSTANTIATE_FACTOR_PLAN(double, 32)
 IATF_INSTANTIATE_FACTOR_PLAN(std::complex<float>, 32)
 IATF_INSTANTIATE_FACTOR_PLAN(std::complex<double>, 32)
+IATF_INSTANTIATE_FACTOR_PLAN(float, 64)
+IATF_INSTANTIATE_FACTOR_PLAN(double, 64)
+IATF_INSTANTIATE_FACTOR_PLAN(std::complex<float>, 64)
+IATF_INSTANTIATE_FACTOR_PLAN(std::complex<double>, 64)
 
 #undef IATF_INSTANTIATE_FACTOR_PLAN
 

@@ -7,4 +7,5 @@
 namespace iatf::kernels {
 IATF_DEFINE_REGISTRY(double, 16)
 IATF_DEFINE_REGISTRY(double, 32)
+IATF_DEFINE_REGISTRY(double, 64)
 } // namespace iatf::kernels

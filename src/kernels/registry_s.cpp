@@ -7,4 +7,5 @@
 namespace iatf::kernels {
 IATF_DEFINE_REGISTRY(float, 16)
 IATF_DEFINE_REGISTRY(float, 32)
+IATF_DEFINE_REGISTRY(float, 64)
 } // namespace iatf::kernels

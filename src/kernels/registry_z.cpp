@@ -7,4 +7,5 @@
 namespace iatf::kernels {
 IATF_DEFINE_REGISTRY(std::complex<double>, 16)
 IATF_DEFINE_REGISTRY(std::complex<double>, 32)
+IATF_DEFINE_REGISTRY(std::complex<double>, 64)
 } // namespace iatf::kernels

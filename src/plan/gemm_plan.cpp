@@ -36,16 +36,17 @@ GemmPlan<T, Bytes>::GemmPlan(const GemmShape& shape, const CacheInfo& cache,
   using Limits = kernels::KernelLimits<T>;
   const index_t es = element_stride();
 
-  // Kernel-variant selection: the tuner may cap the tile sizes below the
-  // register-budget limits, picking a different registry kernel set.
+  // Kernel-variant selection: the width's own CMAR-derived tile shape
+  // first (an AVX2 backend with 16 ymm registers selects 3x2 where the
+  // 128-bit and AVX-512 backends select 4x4), then the tuner may cap the
+  // tile sizes further, picking a different registry kernel set.
+  using WTile = kernels::WidthTile<T, Bytes>;
   const index_t max_mc =
-      tuning.mc_cap > 0 && tuning.mc_cap < Limits::gemm_max_mc
-          ? tuning.mc_cap
-          : Limits::gemm_max_mc;
+      tuning.mc_cap > 0 && tuning.mc_cap < WTile::mc ? tuning.mc_cap
+                                                     : WTile::mc;
   const index_t max_nc =
-      tuning.nc_cap > 0 && tuning.nc_cap < Limits::gemm_max_nc
-          ? tuning.nc_cap
-          : Limits::gemm_max_nc;
+      tuning.nc_cap > 0 && tuning.nc_cap < WTile::nc ? tuning.nc_cap
+                                                     : WTile::nc;
   m_tiles_ = tile_dimension(shape.m, max_mc);
   n_tiles_ = tile_dimension(shape.n, max_nc);
 
@@ -281,5 +282,9 @@ template class GemmPlan<float, 32>;
 template class GemmPlan<double, 32>;
 template class GemmPlan<std::complex<float>, 32>;
 template class GemmPlan<std::complex<double>, 32>;
+template class GemmPlan<float, 64>;
+template class GemmPlan<double, 64>;
+template class GemmPlan<std::complex<float>, 64>;
+template class GemmPlan<std::complex<double>, 64>;
 
 } // namespace iatf::plan

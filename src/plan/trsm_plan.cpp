@@ -301,5 +301,10 @@ template class TrsmPlan<float, 32>;
 template class TrsmPlan<double, 32>;
 template class TrsmPlan<std::complex<float>, 32>;
 template class TrsmPlan<std::complex<double>, 32>;
+template class TrsmPlan<float, 64>;
+template class TrsmPlan<double, 64>;
+template class TrsmPlan<std::complex<float>, 64>;
+template class TrsmPlan<std::complex<double>, 64>;
 
 } // namespace iatf::plan
+

@@ -24,6 +24,7 @@ std::size_t ClassKeyHash::operator()(const ClassKey& k) const noexcept {
       static_cast<std::uint64_t>(k.uplo) << 24 |
       static_cast<std::uint64_t>(k.diag) << 32);
   mix(static_cast<std::uint64_t>(k.batch));
+  mix(static_cast<std::uint64_t>(k.bytes));
   return h;
 }
 

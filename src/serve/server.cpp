@@ -14,6 +14,7 @@
 
 #include "iatf/common/error.hpp"
 #include "iatf/common/fault_inject.hpp"
+#include "iatf/core/width_dispatch.hpp"
 
 namespace iatf::serve {
 
@@ -110,8 +111,11 @@ template <class T> struct GemmRequest final : Request {
   }
   void run(Engine& engine) noexcept override {
     try {
-      resolve(engine.gemm<T>(seg.op_a, seg.op_b, seg.alpha, *seg.a,
-                             *seg.b, seg.beta, *seg.c));
+      resolve(dispatch_width<T>(seg.c->pack_width(), [&](auto bytes) {
+        return engine.gemm<T, decltype(bytes)::value>(
+            seg.op_a, seg.op_b, seg.alpha, *seg.a, *seg.b, seg.beta,
+            *seg.c);
+      }));
     } catch (...) {
       fail(std::current_exception());
     }
@@ -139,8 +143,11 @@ template <class T> struct TrsmRequest final : Request {
   }
   void run(Engine& engine) noexcept override {
     try {
-      resolve(engine.trsm<T>(seg.side, seg.uplo, seg.op_a, seg.diag,
-                             seg.alpha, *seg.a, *seg.b));
+      resolve(dispatch_width<T>(seg.b->pack_width(), [&](auto bytes) {
+        return engine.trsm<T, decltype(bytes)::value>(
+            seg.side, seg.uplo, seg.op_a, seg.diag, seg.alpha, *seg.a,
+            *seg.b);
+      }));
     } catch (...) {
       fail(std::current_exception());
     }
@@ -181,8 +188,14 @@ struct GroupedGemmRequest final
     : GroupedRequestBase<T, sched::GemmSegment<T>> {
   void run(Engine& engine) noexcept override {
     try {
-      this->resolve(engine.gemm_grouped<T>(
-          std::span<const sched::GemmSegment<T>>(this->segs)));
+      const index_t pw =
+          (!this->segs.empty() && this->segs.front().c != nullptr)
+              ? this->segs.front().c->pack_width()
+              : simd::pack_width_v<T>;
+      this->resolve(dispatch_width<T>(pw, [&](auto bytes) {
+        return engine.gemm_grouped<T, decltype(bytes)::value>(
+            std::span<const sched::GemmSegment<T>>(this->segs));
+      }));
     } catch (...) {
       this->fail(std::current_exception());
     }
@@ -194,17 +207,24 @@ struct GroupedTrsmRequest final
     : GroupedRequestBase<T, sched::TrsmSegment<T>> {
   void run(Engine& engine) noexcept override {
     try {
-      this->resolve(engine.trsm_grouped<T>(
-          std::span<const sched::TrsmSegment<T>>(this->segs)));
+      const index_t pw =
+          (!this->segs.empty() && this->segs.front().b != nullptr)
+              ? this->segs.front().b->pack_width()
+              : simd::pack_width_v<T>;
+      this->resolve(dispatch_width<T>(pw, [&](auto bytes) {
+        return engine.trsm_grouped<T, decltype(bytes)::value>(
+            std::span<const sched::TrsmSegment<T>>(this->segs));
+      }));
     } catch (...) {
       this->fail(std::current_exception());
     }
   }
 };
 
-sched::ClassKey gemm_key(const GemmShape& s) {
+sched::ClassKey gemm_key(const GemmShape& s, int bytes) {
   sched::ClassKey key;
   key.op = 'g';
+  key.bytes = bytes;
   key.m = s.m;
   key.n = s.n;
   key.k = s.k;
@@ -214,9 +234,10 @@ sched::ClassKey gemm_key(const GemmShape& s) {
   return key;
 }
 
-sched::ClassKey trsm_key(const TrsmShape& s) {
+sched::ClassKey trsm_key(const TrsmShape& s, int bytes) {
   sched::ClassKey key;
   key.op = 't';
+  key.bytes = bytes;
   key.m = s.m;
   key.n = s.n;
   key.op_a = static_cast<std::uint8_t>(s.op_a);
@@ -566,7 +587,10 @@ Server::submit_gemm(Op op_a, Op op_b, T alpha, const CompactBuffer<T>& a,
   shape.op_a = op_a;
   shape.op_b = op_b;
   shape.batch = c.batch();
-  r->key = detail::gemm_key(shape);
+  r->key = detail::gemm_key(
+      shape,
+      static_cast<int>(c.pack_width() *
+                       static_cast<index_t>(sizeof(real_t<T>))));
   r->cb = std::move(on_complete);
   std::future<BatchHealth> fut = r->promise.get_future();
   enqueue(std::move(r), opts);
@@ -590,7 +614,10 @@ Server::submit_trsm(Side side, Uplo uplo, Op op_a, Diag diag, T alpha,
   shape.op_a = op_a;
   shape.diag = diag;
   shape.batch = b.batch();
-  r->key = detail::trsm_key(shape);
+  r->key = detail::trsm_key(
+      shape,
+      static_cast<int>(b.pack_width() *
+                       static_cast<index_t>(sizeof(real_t<T>))));
   r->cb = std::move(on_complete);
   std::future<BatchHealth> fut = r->promise.get_future();
   enqueue(std::move(r), opts);
@@ -851,7 +878,10 @@ void Server::run_coalesced_gemm(
         static_cast<const detail::GemmRequest<T>*>(r.get())->seg);
   }
   const std::vector<BatchHealth> healths =
-      engine_.gemm_grouped<T>(std::span<const sched::GemmSegment<T>>(segs));
+      dispatch_width<T>(segs.front().c->pack_width(), [&](auto bytes) {
+        return engine_.gemm_grouped<T, decltype(bytes)::value>(
+            std::span<const sched::GemmSegment<T>>(segs));
+      });
   for (std::size_t i = 0; i < batch.size(); ++i) {
     static_cast<detail::GemmRequest<T>*>(batch[i].get())
         ->resolve(healths[i]);
@@ -868,7 +898,10 @@ void Server::run_coalesced_trsm(
         static_cast<const detail::TrsmRequest<T>*>(r.get())->seg);
   }
   const std::vector<BatchHealth> healths =
-      engine_.trsm_grouped<T>(std::span<const sched::TrsmSegment<T>>(segs));
+      dispatch_width<T>(segs.front().b->pack_width(), [&](auto bytes) {
+        return engine_.trsm_grouped<T, decltype(bytes)::value>(
+            std::span<const sched::TrsmSegment<T>>(segs));
+      });
   for (std::size_t i = 0; i < batch.size(); ++i) {
     static_cast<detail::TrsmRequest<T>*>(batch[i].get())
         ->resolve(healths[i]);
@@ -933,6 +966,23 @@ void Server::trip_class(const detail::Request& r) {
   // cooldown < 0 = the engine's configured cooldown; a disabled breaker
   // makes this a no-op (the reclamation itself still happened).
   constexpr int kCooldown = -1;
+  // The width is part of the descriptor class: trip the breaker slot of
+  // the exact (dtype, width) kernel class that wedged. Keys minted
+  // before a width was known (bytes == 0) fall back to the 128-bit
+  // baseline class.
+  const auto with_width = [&](auto f) {
+    switch (r.key.bytes) {
+    case 32:
+      f(std::integral_constant<int, 32>{});
+      break;
+    case 64:
+      f(std::integral_constant<int, 64>{});
+      break;
+    default:
+      f(std::integral_constant<int, 16>{});
+      break;
+    }
+  };
   if (r.kind == 'g') {
     GemmShape s;
     s.m = r.key.m;
@@ -941,20 +991,23 @@ void Server::trip_class(const detail::Request& r) {
     s.op_a = static_cast<Op>(r.key.op_a);
     s.op_b = static_cast<Op>(r.key.op_b);
     s.batch = r.key.batch;
-    switch (r.dtype) {
-    case 's':
-      engine_.trip_gemm_class<float>(s, kCooldown);
-      break;
-    case 'd':
-      engine_.trip_gemm_class<double>(s, kCooldown);
-      break;
-    case 'c':
-      engine_.trip_gemm_class<std::complex<float>>(s, kCooldown);
-      break;
-    default:
-      engine_.trip_gemm_class<std::complex<double>>(s, kCooldown);
-      break;
-    }
+    with_width([&](auto bytes) {
+      constexpr int kB = decltype(bytes)::value;
+      switch (r.dtype) {
+      case 's':
+        engine_.trip_gemm_class<float, kB>(s, kCooldown);
+        break;
+      case 'd':
+        engine_.trip_gemm_class<double, kB>(s, kCooldown);
+        break;
+      case 'c':
+        engine_.trip_gemm_class<std::complex<float>, kB>(s, kCooldown);
+        break;
+      default:
+        engine_.trip_gemm_class<std::complex<double>, kB>(s, kCooldown);
+        break;
+      }
+    });
   } else if (r.kind == 't') {
     TrsmShape s;
     s.m = r.key.m;
@@ -964,20 +1017,23 @@ void Server::trip_class(const detail::Request& r) {
     s.op_a = static_cast<Op>(r.key.op_a);
     s.diag = static_cast<Diag>(r.key.diag);
     s.batch = r.key.batch;
-    switch (r.dtype) {
-    case 's':
-      engine_.trip_trsm_class<float>(s, kCooldown);
-      break;
-    case 'd':
-      engine_.trip_trsm_class<double>(s, kCooldown);
-      break;
-    case 'c':
-      engine_.trip_trsm_class<std::complex<float>>(s, kCooldown);
-      break;
-    default:
-      engine_.trip_trsm_class<std::complex<double>>(s, kCooldown);
-      break;
-    }
+    with_width([&](auto bytes) {
+      constexpr int kB = decltype(bytes)::value;
+      switch (r.dtype) {
+      case 's':
+        engine_.trip_trsm_class<float, kB>(s, kCooldown);
+        break;
+      case 'd':
+        engine_.trip_trsm_class<double, kB>(s, kCooldown);
+        break;
+      case 'c':
+        engine_.trip_trsm_class<std::complex<float>, kB>(s, kCooldown);
+        break;
+      default:
+        engine_.trip_trsm_class<std::complex<double>, kB>(s, kCooldown);
+        break;
+      }
+    });
   }
 }
 

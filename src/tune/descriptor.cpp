@@ -6,6 +6,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "iatf/simd/isa.hpp"
+
 namespace iatf::tune {
 namespace {
 
@@ -13,7 +15,8 @@ bool valid_enum_fields(const TuneKey& key) {
   const bool dtype_ok = key.dtype == 's' || key.dtype == 'd' ||
                         key.dtype == 'c' || key.dtype == 'z';
   return (key.op == 'g' || key.op == 't') && dtype_ok &&
-         (key.bytes == 16 || key.bytes == 32) && key.m >= 0 && key.n >= 0 &&
+         (key.bytes == 16 || key.bytes == 32 || key.bytes == 64) &&
+         key.m >= 0 && key.n >= 0 &&
          key.k >= 0 && key.op_a <= 2 && key.op_b <= 2 && key.side <= 1 &&
          key.uplo <= 1 && key.diag <= 1;
 }
@@ -119,7 +122,8 @@ std::string hardware_signature(const CacheInfo& cache) {
     return slug.empty() ? std::string("generic") : slug;
   }();
   std::ostringstream out;
-  out << arch << ':' << cpu << ":l1d" << cache.l1d << ":l2" << cache.l2;
+  out << arch << ':' << cpu << ":l1d" << cache.l1d << ":l2" << cache.l2
+      << ':' << simd::isa_name(simd::active_isa());
   return out.str();
 }
 

@@ -21,8 +21,10 @@
 
 #include "../testutil.hpp"
 #include "iatf/core/engine.hpp"
+#include "iatf/core/width_dispatch.hpp"
 #include "iatf/parallel/thread_pool.hpp"
 #include "iatf/ref/ref_blas.hpp"
+#include "iatf/simd/isa.hpp"
 
 namespace iatf {
 namespace {
@@ -312,6 +314,123 @@ TYPED_TEST(GroupedFuzz, TrsmGroupedConformance) {
     fuzz_trsm_grouped_round<TypeParam>(engine, rng, round, seed, cases);
     if (::testing::Test::HasFailure()) {
       return;
+    }
+  }
+}
+
+// ---- Cross-ISA differential rounds -----------------------------------
+//
+// The same seeded descriptor executes under two ISA backends -- the
+// architecture baseline and each wider backend the host exposes -- by
+// packing the identical host data at each backend's lane count, so the
+// two runs dispatch to different kernel width classes. The results must
+// agree within the K-scaled ULP tolerance (both are correctly-rounded-ish
+// FMA accumulations over the same data; only reduction order differs).
+// A divergence prints the replay seed, the ISA pair and the descriptor.
+// Hosts with a single backend skip (the golden sweep still covers the
+// baseline vs the scalar reference).
+
+/// Cross-ISA cases per (ISA pair, routine); 4 dtypes x 2 routines x this
+/// floor per extra backend the host exposes.
+constexpr int kCrossIsaCases = 40;
+
+template <class T> index_t isa_pw(simd::Isa isa) {
+  return static_cast<index_t>(simd::isa_bytes(isa)) /
+         static_cast<index_t>(sizeof(real_t<T>));
+}
+
+template <class T>
+test::HostBatch<T> gemm_at_width(Engine& engine, const GemmSegCase<T>& s,
+                                 index_t pw) {
+  auto ca = s.a.to_compact(pw);
+  auto cb = s.b.to_compact(pw);
+  auto cc = s.c.to_compact(pw);
+  dispatch_width<T>(pw, [&](auto bytes) {
+    engine.gemm<T, decltype(bytes)::value>(s.op_a, s.op_b, s.alpha, ca,
+                                           cb, s.beta, cc);
+  });
+  test::HostBatch<T> out = s.c;
+  out.from_compact(cc);
+  return out;
+}
+
+template <class T>
+test::HostBatch<T> trsm_at_width(Engine& engine, const TrsmSegCase<T>& s,
+                                 index_t pw) {
+  auto ca = s.a.to_compact(pw);
+  ca.pad_identity();
+  auto cb = s.b.to_compact(pw);
+  dispatch_width<T>(pw, [&](auto bytes) {
+    engine.trsm<T, decltype(bytes)::value>(s.side, s.uplo, s.op_a, s.diag,
+                                           s.alpha, ca, cb);
+  });
+  test::HostBatch<T> out = s.b;
+  out.from_compact(cb);
+  return out;
+}
+
+TYPED_TEST(GroupedFuzz, CrossIsaGemmDifferential) {
+  using T = TypeParam;
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  if (isas.size() < 2) {
+    GTEST_SKIP() << "host exposes only the "
+                 << simd::isa_name(isas.front()) << " backend";
+  }
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed + 2);
+  Engine engine(CacheInfo::kunpeng920());
+  for (std::size_t w = 1; w < isas.size(); ++w) {
+    const simd::Isa lo = isas.front();
+    const simd::Isa hi = isas[w];
+    for (int round = 0; round < kCrossIsaCases; ++round) {
+      const GemmSegCase<T> s = random_gemm_seg<T>(rng);
+      const auto out_lo = gemm_at_width(engine, s, isa_pw<T>(lo));
+      const auto out_hi = gemm_at_width(engine, s, isa_pw<T>(hi));
+      test::expect_batch_near(out_lo, out_hi,
+                              test::ulp_tolerance<T>(s.k, 256),
+                              "cross-ISA gemm");
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "cross-ISA gemm divergence\n"
+                      << "  seed:     0x" << std::hex << seed << std::dec
+                      << " (set IATF_FUZZ_SEED to replay)\n"
+                      << "  isa pair: " << simd::isa_name(lo) << " vs "
+                      << simd::isa_name(hi) << ", round " << round << "\n"
+                      << "  repro:    " << s.describe();
+        return;
+      }
+    }
+  }
+}
+
+TYPED_TEST(GroupedFuzz, CrossIsaTrsmDifferential) {
+  using T = TypeParam;
+  const std::vector<simd::Isa> isas = simd::supported_isas();
+  if (isas.size() < 2) {
+    GTEST_SKIP() << "host exposes only the "
+                 << simd::isa_name(isas.front()) << " backend";
+  }
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed + 3);
+  Engine engine(CacheInfo::kunpeng920());
+  for (std::size_t w = 1; w < isas.size(); ++w) {
+    const simd::Isa lo = isas.front();
+    const simd::Isa hi = isas[w];
+    for (int round = 0; round < kCrossIsaCases; ++round) {
+      const TrsmSegCase<T> s = random_trsm_seg<T>(rng);
+      const auto out_lo = trsm_at_width(engine, s, isa_pw<T>(lo));
+      const auto out_hi = trsm_at_width(engine, s, isa_pw<T>(hi));
+      test::expect_batch_near(out_lo, out_hi,
+                              test::ulp_tolerance<T>(s.adim(), 1024),
+                              "cross-ISA trsm");
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "cross-ISA trsm divergence\n"
+                      << "  seed:     0x" << std::hex << seed << std::dec
+                      << " (set IATF_FUZZ_SEED to replay)\n"
+                      << "  isa pair: " << simd::isa_name(lo) << " vs "
+                      << simd::isa_name(hi) << ", round " << round << "\n"
+                      << "  repro:    " << s.describe();
+        return;
+      }
     }
   }
 }
