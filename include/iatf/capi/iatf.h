@@ -20,6 +20,11 @@
 extern "C" {
 #endif
 
+/* Library version as "major.minor.patch" (static storage; never
+ * free()). The wire protocol version is independent (see DESIGN.md
+ * section 16). */
+const char* iatf_version(void);
+
 typedef enum iatf_op { IATF_NOTRANS = 0, IATF_TRANS = 1, IATF_CONJTRANS = 2 } iatf_op;
 typedef enum iatf_side { IATF_LEFT = 0, IATF_RIGHT = 1 } iatf_side;
 typedef enum iatf_uplo { IATF_LOWER = 0, IATF_UPPER = 1 } iatf_uplo;
@@ -529,6 +534,13 @@ int iatf_server_poll(iatf_server* server, uint64_t ticket, int* status);
 /* Block until the request resolves; returns its final status and
  * consumes the ticket. */
 int iatf_server_wait(iatf_server* server, uint64_t ticket);
+/* Request cancellation of a pending ticket (advisory). A request still
+ * queued resolves with IATF_STATUS_CANCELLED at dequeue; one already
+ * dispatched -- alone or coalesced with other requests -- completes
+ * normally, and its coalesce-mates are never disturbed. The ticket
+ * stays waitable either way. IATF_STATUS_INVALID_ARG = unknown
+ * ticket. */
+int iatf_server_cancel(iatf_server* server, uint64_t ticket);
 
 /* Refuse new submissions and complete everything queued/in flight. */
 int iatf_server_drain(iatf_server* server);

@@ -1,0 +1,84 @@
+// iatf::net::Client -- a small blocking iatf-wire 1 client, used by the
+// loadgen's --replay-over-socket mode, the net tests, and as the
+// reference implementation of the client side of the protocol.
+//
+// Single-threaded by design: one Client is one connection driven by one
+// thread (the loadgen gives each replay worker its own Client).
+// Submissions are asynchronous at the protocol level -- submit_gemm()
+// only sends the frame -- and replies are pulled with next_reply(),
+// which blocks up to a timeout. The caller correlates replies to
+// submissions by request_id, exactly like the wire does.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iatf/net/wire.hpp"
+
+namespace iatf::net {
+
+class Client {
+public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect + Hello/HelloAck handshake. Throws iatf::Error on refusal
+  /// (including a server Error frame answering the Hello).
+  void connect_unix(const std::string& path,
+                    std::chrono::milliseconds timeout =
+                        std::chrono::milliseconds(5000));
+  void connect_tcp(const std::string& host, std::uint16_t port,
+                   std::chrono::milliseconds timeout =
+                       std::chrono::milliseconds(5000));
+  void close();
+  bool connected() const noexcept { return fd_ >= 0; }
+  /// Server capabilities from the handshake.
+  const HelloAckMsg& server_caps() const noexcept { return caps_; }
+
+  /// Send one SubmitGemm frame (fields of `submit` fully populated,
+  /// data spans included) and return its request id.
+  std::uint64_t submit_gemm(const GemmSubmit& submit);
+  /// Send a Cancel for an earlier submission.
+  void cancel(std::uint64_t request_id);
+  /// Liveness probe; answered by a Pong reply.
+  std::uint64_t ping();
+  /// Announce no further submissions; the server closes once every
+  /// outstanding request has been answered.
+  void goodbye();
+
+  /// One server-to-client frame, decoded.
+  struct Reply {
+    FrameType type = FrameType::Error;
+    std::uint64_t request_id = 0;
+    /// Result frames: iatf status and (when status == 0) the C batch.
+    std::int32_t status = 0;
+    std::vector<std::uint8_t> c;
+    /// Error frames.
+    ErrorMsg error;
+  };
+
+  /// Block until the next server frame (Result / Error / Pong) or the
+  /// timeout. Returns false on timeout; throws iatf::Error if the
+  /// server closed the connection or sent garbage.
+  bool next_reply(Reply& out, std::chrono::milliseconds timeout);
+
+  /// Raw socket (tests use it to kill the connection mid-request).
+  int fd() const noexcept { return fd_; }
+
+private:
+  void handshake(std::chrono::milliseconds timeout);
+  void send_frame(FrameType type, std::uint64_t request_id,
+                  std::span<const std::uint8_t> payload);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  Decoder decoder_;
+  HelloAckMsg caps_;
+  std::vector<std::uint8_t> caps_payload_; ///< raw HelloAck payload
+};
+
+} // namespace iatf::net

@@ -1,0 +1,67 @@
+// "iatf-trace 1" -- recorded heavy-traffic traces as timestamped JSONL.
+//
+// One line per submission, plus a header line identifying the format:
+//
+//   {"format":"iatf-trace","version":1}
+//   {"t_us":0,"tenant":0,"kind":"gemm","dtype":"d","m":8,"n":8,"k":8,
+//    "batch":8,"deadline_ms":0.000}
+//
+// t_us is microseconds since the start of the recording; replaying in
+// open-loop mode reproduces these arrival times instead of the closed
+// feedback loop the loadgen otherwise runs, so a recorded burst stays a
+// burst. The format deliberately stores descriptors, not matrix
+// contents: replay synthesizes deterministic data per shape, which
+// keeps traces tiny (a day of traffic is descriptors, not gigabytes)
+// and free of tenant data.
+//
+// The reader is strict the same way the wire decoder is: a malformed
+// line fails the whole load with the line number in the error, because
+// a silently half-read trace would replay the wrong workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iatf/common/types.hpp"
+
+namespace iatf::net {
+
+inline constexpr int kTraceVersion = 1;
+
+struct TraceEvent {
+  std::int64_t t_us = 0;      ///< microseconds since recording start
+  std::uint32_t tenant = 0;
+  char kind = 'g';            ///< 'g' = gemm (the only kind in v1)
+  char dtype = 'd';           ///< 's' or 'd'
+  index_t m = 0, n = 0, k = 0, batch = 0;
+  double deadline_ms = 0.0;   ///< 0 = no deadline
+};
+
+/// Append-only trace writer; record() is thread-safe (the loadgen's
+/// tenant threads all log through one writer). Throws iatf::Error on
+/// open/write failure.
+class TraceWriter {
+public:
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void record(const TraceEvent& event);
+  std::size_t recorded() const noexcept;
+
+private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Load a whole trace, sorted by t_us (stable: equal timestamps keep
+/// file order). Throws iatf::Error(InvalidArg) naming the offending
+/// line on any malformed input.
+std::vector<TraceEvent> load_trace(const std::string& path);
+
+/// Serialise one event as its JSONL line (no trailing newline).
+std::string trace_line(const TraceEvent& event);
+
+} // namespace iatf::net

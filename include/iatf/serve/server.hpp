@@ -64,6 +64,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -118,6 +119,26 @@ struct ServeConfig {
   std::chrono::nanoseconds watchdog_poll{10'000'000};
 };
 
+/// Cooperative cancellation handle for queued requests. A network
+/// front-end mints one token per request (or per connection) and flags
+/// it when the client goes away; the dispatcher checks the token at
+/// dequeue -- the same point deadline shedding happens -- and resolves
+/// a flagged request with CancelledError instead of dispatching it.
+/// Cancellation is advisory past that point: a request already inside
+/// a dispatch completes normally (its result is simply unwanted), and
+/// sibling requests coalesced with a cancelled one are never disturbed.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+inline void cancel(const CancelToken& token) noexcept {
+  if (token) {
+    token->store(true, std::memory_order_relaxed);
+  }
+}
+
 /// Per-submission options.
 struct SubmitOptions {
   TenantId tenant = 0;
@@ -125,6 +146,9 @@ struct SubmitOptions {
   /// execution start; 0 = ServeConfig::default_deadline. An expired
   /// request is shed at dequeue with TimeoutError, never dispatched.
   std::chrono::nanoseconds deadline{0};
+  /// Optional cancellation handle (see CancelToken above); null means
+  /// the request cannot be cancelled.
+  CancelToken cancel;
 };
 
 /// Per-tenant accounting inside ServerStats.

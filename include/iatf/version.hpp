@@ -1,0 +1,19 @@
+// Library version, shared by the C++ API, the C ABI (iatf_version())
+// and every tool's --version flag so one constant names a build.
+// The minor number tracks the PR sequence growing this repository; the
+// wire protocol has its own independent version (net::kWireVersion) so
+// library releases never silently revise the on-the-wire contract.
+#pragma once
+
+#define IATF_VERSION_MAJOR 0
+#define IATF_VERSION_MINOR 10
+#define IATF_VERSION_PATCH 0
+#define IATF_VERSION_STRING "0.10.0"
+
+namespace iatf {
+
+inline constexpr const char* version_string() noexcept {
+  return IATF_VERSION_STRING;
+}
+
+} // namespace iatf

@@ -19,6 +19,7 @@
 #include "iatf/simd/isa.hpp"
 #include "iatf/tune/search.hpp"
 #include "iatf/tune/tuning_table.hpp"
+#include "iatf/version.hpp"
 
 namespace {
 
@@ -281,6 +282,10 @@ std::string tune_path(const char* path) {
 }
 
 } // namespace
+
+extern "C" const char* iatf_version(void) {
+  return iatf::version_string();
+}
 
 extern "C" const char* iatf_last_error(void) {
   return g_last_error.c_str();

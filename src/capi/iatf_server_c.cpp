@@ -45,18 +45,24 @@ std::chrono::nanoseconds from_ms(double ms) {
 } // namespace
 
 struct iatf_server {
+  struct Ticket {
+    std::future<iatf::BatchHealth> fut;
+    iatf::serve::CancelToken cancel; ///< null for already-resolved tickets
+  };
+
   iatf::serve::Server server;
   std::mutex tickets_mu;
-  std::unordered_map<uint64_t, std::future<iatf::BatchHealth>> tickets;
+  std::unordered_map<uint64_t, Ticket> tickets;
   uint64_t next_ticket = 1;
 
   explicit iatf_server(iatf::serve::ServeConfig config)
       : server(iatf::Engine::default_engine(), config) {}
 
-  uint64_t issue(std::future<iatf::BatchHealth> fut) {
+  uint64_t issue(std::future<iatf::BatchHealth> fut,
+                 iatf::serve::CancelToken cancel) {
     std::lock_guard<std::mutex> lk(tickets_mu);
     const uint64_t ticket = next_ticket++;
-    tickets.emplace(ticket, std::move(fut));
+    tickets.emplace(ticket, Ticket{std::move(fut), std::move(cancel)});
     return ticket;
   }
 };
@@ -128,22 +134,24 @@ namespace {
 /// already-failed future as a status code without issuing a ticket, and
 /// otherwise register it in the ticket table.
 int finish_submit(iatf_server* server,
-                  std::future<iatf::BatchHealth> fut, uint64_t* ticket) {
+                  std::future<iatf::BatchHealth> fut,
+                  iatf::serve::CancelToken cancel, uint64_t* ticket) {
   using namespace std::chrono_literals;
   if (fut.wait_for(0s) == std::future_status::ready) {
     try {
       // Resolved at submit time with a value: DegradeToRef ran it
-      // inline. Issue an already-ready ticket so wait/poll still work.
+      // inline. Issue an already-ready ticket so wait/poll still work
+      // (no cancel token: there is nothing left to cancel).
       const iatf::BatchHealth health = fut.get();
       std::promise<iatf::BatchHealth> done;
       done.set_value(health);
-      *ticket = server->issue(done.get_future());
+      *ticket = server->issue(done.get_future(), nullptr);
       return IATF_STATUS_OK;
     } catch (...) {
       return status_of_exception(); // shed/refused: no ticket
     }
   }
-  *ticket = server->issue(std::move(fut));
+  *ticket = server->issue(std::move(fut), std::move(cancel));
   return IATF_STATUS_OK;
 }
 
@@ -153,7 +161,8 @@ int submit_shim(iatf_server* server, uint64_t* ticket, Submit&& submit) {
     return IATF_STATUS_INVALID_ARG;
   }
   try {
-    return finish_submit(server, submit(), ticket);
+    auto cancel = iatf::serve::make_cancel_token();
+    return finish_submit(server, submit(cancel), cancel, ticket);
   } catch (...) {
     return status_of_exception();
   }
@@ -171,10 +180,12 @@ extern "C" int iatf_server_submit_sgemm(iatf_server* server, iatf_op op_a,
   if (a == nullptr || b == nullptr || c == nullptr) {
     return IATF_STATUS_INVALID_ARG;
   }
-  return submit_shim(server, ticket, [&] {
+  return submit_shim(server, ticket,
+                     [&](const iatf::serve::CancelToken& cancel) {
     iatf::serve::SubmitOptions opts;
     opts.tenant = tenant;
     opts.deadline = from_ms(deadline_ms);
+    opts.cancel = cancel;
     return server->server.submit_gemm<float>(
         static_cast<iatf::Op>(op_a), static_cast<iatf::Op>(op_b), alpha,
         a->buf, b->buf, beta, c->buf, opts);
@@ -191,10 +202,12 @@ extern "C" int iatf_server_submit_dgemm(iatf_server* server, iatf_op op_a,
   if (a == nullptr || b == nullptr || c == nullptr) {
     return IATF_STATUS_INVALID_ARG;
   }
-  return submit_shim(server, ticket, [&] {
+  return submit_shim(server, ticket,
+                     [&](const iatf::serve::CancelToken& cancel) {
     iatf::serve::SubmitOptions opts;
     opts.tenant = tenant;
     opts.deadline = from_ms(deadline_ms);
+    opts.cancel = cancel;
     return server->server.submit_gemm<double>(
         static_cast<iatf::Op>(op_a), static_cast<iatf::Op>(op_b), alpha,
         a->buf, b->buf, beta, c->buf, opts);
@@ -210,10 +223,12 @@ extern "C" int iatf_server_submit_strsm(iatf_server* server, iatf_side side,
   if (a == nullptr || b == nullptr) {
     return IATF_STATUS_INVALID_ARG;
   }
-  return submit_shim(server, ticket, [&] {
+  return submit_shim(server, ticket,
+                     [&](const iatf::serve::CancelToken& cancel) {
     iatf::serve::SubmitOptions opts;
     opts.tenant = tenant;
     opts.deadline = from_ms(deadline_ms);
+    opts.cancel = cancel;
     return server->server.submit_trsm<float>(
         static_cast<iatf::Side>(side), static_cast<iatf::Uplo>(uplo),
         static_cast<iatf::Op>(op_a), static_cast<iatf::Diag>(diag), alpha,
@@ -230,10 +245,12 @@ extern "C" int iatf_server_submit_dtrsm(iatf_server* server, iatf_side side,
   if (a == nullptr || b == nullptr) {
     return IATF_STATUS_INVALID_ARG;
   }
-  return submit_shim(server, ticket, [&] {
+  return submit_shim(server, ticket,
+                     [&](const iatf::serve::CancelToken& cancel) {
     iatf::serve::SubmitOptions opts;
     opts.tenant = tenant;
     opts.deadline = from_ms(deadline_ms);
+    opts.cancel = cancel;
     return server->server.submit_trsm<double>(
         static_cast<iatf::Side>(side), static_cast<iatf::Uplo>(uplo),
         static_cast<iatf::Op>(op_a), static_cast<iatf::Diag>(diag), alpha,
@@ -252,7 +269,7 @@ extern "C" int iatf_server_poll(iatf_server* server, uint64_t ticket,
   if (it == server->tickets.end()) {
     return IATF_STATUS_INVALID_ARG;
   }
-  if (it->second.wait_for(0s) != std::future_status::ready) {
+  if (it->second.fut.wait_for(0s) != std::future_status::ready) {
     return 0;
   }
   if (status != nullptr) {
@@ -261,16 +278,33 @@ extern "C" int iatf_server_poll(iatf_server* server, uint64_t ticket,
     std::promise<iatf::BatchHealth> again;
     int rc = IATF_STATUS_OK;
     try {
-      const iatf::BatchHealth health = it->second.get();
+      const iatf::BatchHealth health = it->second.fut.get();
       again.set_value(health);
     } catch (...) {
       rc = status_of_exception();
       again.set_exception(std::current_exception());
     }
-    it->second = again.get_future();
+    it->second.fut = again.get_future();
     *status = rc;
   }
   return 1;
+}
+
+extern "C" int iatf_server_cancel(iatf_server* server, uint64_t ticket) {
+  if (server == nullptr) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  std::lock_guard<std::mutex> lk(server->tickets_mu);
+  const auto it = server->tickets.find(ticket);
+  if (it == server->tickets.end()) {
+    return IATF_STATUS_INVALID_ARG;
+  }
+  // Advisory: flags the submission's cancel token. If the request is
+  // still queued the dispatcher resolves it with IATF_STATUS_CANCELLED
+  // at dequeue; if it is already dispatched (or done) it completes
+  // normally. Either way the ticket stays waitable.
+  iatf::serve::cancel(it->second.cancel);
+  return IATF_STATUS_OK;
 }
 
 extern "C" int iatf_server_wait(iatf_server* server, uint64_t ticket) {
@@ -284,7 +318,7 @@ extern "C" int iatf_server_wait(iatf_server* server, uint64_t ticket) {
     if (it == server->tickets.end()) {
       return IATF_STATUS_INVALID_ARG;
     }
-    fut = std::move(it->second);
+    fut = std::move(it->second.fut);
     server->tickets.erase(it);
   }
   try {

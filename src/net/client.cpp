@@ -1,0 +1,234 @@
+// Blocking iatf-wire client. See include/iatf/net/client.hpp.
+#include "iatf/net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "iatf/common/error.hpp"
+
+namespace iatf::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error("iatf-net client: " + what + ": " + std::strerror(errno),
+              Status::Internal);
+}
+
+} // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Client::connect_unix(const std::string& path,
+                          std::chrono::milliseconds timeout) {
+  IATF_CHECK(fd_ < 0, "Client: already connected");
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw Error("iatf-net client: unix socket path too long: " + path,
+                Status::InvalidArg);
+  }
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket(AF_UNIX)");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close();
+    throw_errno("connect(" + path + ")");
+  }
+  handshake(timeout);
+}
+
+void Client::connect_tcp(const std::string& host, std::uint16_t port,
+                         std::chrono::milliseconds timeout) {
+  IATF_CHECK(fd_ < 0, "Client: already connected");
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw_errno("socket(AF_INET)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw Error("iatf-net client: bad host '" + host + "'",
+                Status::InvalidArg);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close();
+    throw_errno("connect(tcp)");
+  }
+  int one = 1;
+  (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  handshake(timeout);
+}
+
+void Client::handshake(std::chrono::milliseconds timeout) {
+  std::vector<std::uint8_t> payload;
+  append_hello(payload);
+  send_frame(FrameType::Hello, 0, payload);
+  Reply reply;
+  if (!next_reply(reply, timeout)) {
+    close();
+    throw Error("iatf-net client: handshake timeout", Status::Timeout);
+  }
+  if (reply.type == FrameType::Error) {
+    const std::string msg = reply.error.message;
+    close();
+    throw Error("iatf-net client: handshake refused: " + msg,
+                Status::Unsupported);
+  }
+  if (reply.type != FrameType::HelloAck ||
+      parse_hello_ack(std::span<const std::uint8_t>(caps_payload_),
+                      caps_) != WireError::None) {
+    close();
+    throw Error("iatf-net client: malformed handshake reply",
+                Status::Internal);
+  }
+}
+
+void Client::send_frame(FrameType type, std::uint64_t request_id,
+                        std::span<const std::uint8_t> payload) {
+  IATF_CHECK(fd_ >= 0, "Client: not connected");
+  std::vector<std::uint8_t> frame;
+  append_frame(frame, type, request_id, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    close();
+    throw_errno("send");
+  }
+}
+
+std::uint64_t Client::submit_gemm(const GemmSubmit& submit) {
+  std::vector<std::uint8_t> payload;
+  append_gemm_submit(payload, submit);
+  const std::uint64_t id = next_id_++;
+  send_frame(FrameType::SubmitGemm, id, payload);
+  return id;
+}
+
+void Client::cancel(std::uint64_t request_id) {
+  send_frame(FrameType::Cancel, request_id, {});
+}
+
+std::uint64_t Client::ping() {
+  const std::uint64_t id = next_id_++;
+  send_frame(FrameType::Ping, id, {});
+  return id;
+}
+
+void Client::goodbye() { send_frame(FrameType::Goodbye, 0, {}); }
+
+bool Client::next_reply(Reply& out, std::chrono::milliseconds timeout) {
+  IATF_CHECK(fd_ >= 0, "Client: not connected");
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    Decoder::Event ev = decoder_.next();
+    if (ev.kind == Decoder::Event::Kind::Error) {
+      close();
+      throw Error(std::string("iatf-net client: protocol error from "
+                              "server: ") +
+                      to_string(ev.error),
+                  Status::Internal);
+    }
+    if (ev.kind == Decoder::Event::Kind::Frame) {
+      out = Reply{};
+      out.type = ev.frame.header.type;
+      out.request_id = ev.frame.header.request_id;
+      switch (ev.frame.header.type) {
+      case FrameType::Result: {
+        ResultMsg msg;
+        if (parse_result(ev.frame.payload, msg) != WireError::None) {
+          close();
+          throw Error("iatf-net client: malformed Result payload",
+                      Status::Internal);
+        }
+        out.status = msg.status;
+        out.c.assign(msg.c.begin(), msg.c.end());
+        return true;
+      }
+      case FrameType::Error: {
+        if (parse_error(ev.frame.payload, out.error) != WireError::None) {
+          close();
+          throw Error("iatf-net client: malformed Error payload",
+                      Status::Internal);
+        }
+        return true;
+      }
+      case FrameType::HelloAck:
+        caps_payload_.assign(ev.frame.payload.begin(),
+                             ev.frame.payload.end());
+        return true;
+      case FrameType::Pong:
+        return true;
+      default:
+        close();
+        throw Error("iatf-net client: unexpected frame from server",
+                    Status::Internal);
+      }
+    }
+
+    // NeedMore: wait for socket data until the deadline.
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= give_up) {
+      return false;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        give_up - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc =
+        ::poll(&pfd, 1, static_cast<int>(std::max<long long>(
+                            1, static_cast<long long>(left.count()))));
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      close();
+      throw_errno("poll");
+    }
+    if (rc == 0) {
+      return false;
+    }
+    std::uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+      continue;
+    }
+    close();
+    throw Error("iatf-net client: connection closed by server",
+                Status::Internal);
+  }
+}
+
+} // namespace iatf::net

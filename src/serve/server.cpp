@@ -47,6 +47,7 @@ struct Request {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   sched::ClassKey key{}; ///< coalescing identity (single requests only)
+  CancelToken cancel;    ///< optional caller-side cancellation flag
   std::atomic<bool> settled{false};
 
   /// First claimant wins the right to resolve/fail; a loser's resolution
@@ -63,6 +64,9 @@ struct Request {
   bool coalescable() const noexcept { return kind == 'g' || kind == 't'; }
   bool expired(std::chrono::steady_clock::time_point now) const noexcept {
     return has_deadline && now >= deadline;
+  }
+  bool cancelled() const noexcept {
+    return cancel && cancel->load(std::memory_order_relaxed);
   }
   bool same_class(const Request& other) const noexcept {
     return kind == other.kind && dtype == other.dtype && key == other.key;
@@ -478,6 +482,7 @@ ServerStats Server::stats() const {
 void Server::enqueue(std::unique_ptr<detail::Request> r,
                      const SubmitOptions& opts) {
   r->tenant = opts.tenant;
+  r->cancel = opts.cancel;
   const auto budget =
       opts.deadline.count() > 0 ? opts.deadline : config_.default_deadline;
   if (budget.count() > 0) {
@@ -706,6 +711,21 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk,
   picker_.charge(head->tenant);
   space_cv_.notify_all();
 
+  // Cancellation: a flagged token (client disconnect, explicit cancel)
+  // resolves the request here, before it costs engine time. Checked at
+  // dequeue only -- a request already inside a dispatch runs to
+  // completion, and its coalesce-mates are never disturbed.
+  if (head->cancelled()) {
+    ++cancelled_;
+    ++head_tenant.cancelled;
+    auto dead = std::move(head);
+    lk.unlock();
+    dead->fail(std::make_exception_ptr(
+        CancelledError("iatf: request cancelled by caller")));
+    lk.lock();
+    return;
+  }
+
   // Deadline propagation: queue time counts against the request budget;
   // an expired request is resolved here and never reaches the engine.
   if (head->expired(now)) {
@@ -723,6 +743,7 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk,
   // are independent, so cross-class reordering is unobservable).
   std::vector<std::shared_ptr<detail::Request>> batch;
   std::vector<std::unique_ptr<detail::Request>> expired;
+  std::vector<std::unique_ptr<detail::Request>> cancelled;
   batch.push_back(std::shared_ptr<detail::Request>(std::move(head)));
   if (batch.front()->coalescable() && config_.max_coalesce > 1) {
     try {
@@ -741,7 +762,11 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk,
           it = t.q.erase(it);
           --queued_;
           picker_.charge(mate->tenant);
-          if (mate->expired(now)) {
+          if (mate->cancelled()) {
+            ++cancelled_;
+            ++t.cancelled;
+            cancelled.push_back(std::move(mate));
+          } else if (mate->expired(now)) {
             ++shed_expired_;
             ++t.shed_expired;
             expired.push_back(std::move(mate));
@@ -798,6 +823,10 @@ void Server::dispatch_round(std::unique_lock<std::mutex>& lk,
   lk.unlock();
   for (auto& dead : expired) {
     dead->fail(std::make_exception_ptr(TimeoutError(0, 1)));
+  }
+  for (auto& dead : cancelled) {
+    dead->fail(std::make_exception_ptr(
+        CancelledError("iatf: request cancelled by caller")));
   }
   execute_batch(std::move(batch));
   lk.lock();

@@ -228,4 +228,65 @@ TEST_F(CapiServe, NullArgumentsAreRejected) {
   iatf_server_destroy(server);
 }
 
+TEST_F(CapiServe, CancelIsAdvisoryAndTicketStaysWaitable) {
+  iatf_server* server = iatf_server_create(nullptr);
+  ASSERT_NE(server, nullptr);
+
+  // Cancel of a ticket that was never issued: stable refusal.
+  EXPECT_EQ(iatf_server_cancel(server, 12345), IATF_STATUS_INVALID_ARG);
+  EXPECT_EQ(iatf_server_cancel(nullptr, 1), IATF_STATUS_INVALID_ARG);
+
+  // Queue a burst and cancel every ticket right after submitting it.
+  // Cancellation is advisory -- a request the dispatcher already picked
+  // up completes normally -- so each ticket must resolve exactly once
+  // as either OK or CANCELLED, and the ticket stays waitable after the
+  // cancel call (the caller still owns the buffers until then).
+  iatf_dbuf* a = filled(4, 4, 4, 1.0);
+  iatf_dbuf* b = filled(4, 4, 4, 1.0);
+  constexpr int kBurst = 16;
+  std::vector<iatf_dbuf*> cs;
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < kBurst; ++i) {
+    cs.push_back(filled(4, 4, 4, 0.0));
+    uint64_t ticket = 0;
+    ASSERT_EQ(iatf_server_submit_dgemm(server, IATF_NOTRANS, IATF_NOTRANS,
+                                       1.0, a, b, 0.0, cs.back(), 0, 0.0,
+                                       &ticket),
+              IATF_STATUS_OK);
+    EXPECT_EQ(iatf_server_cancel(server, ticket), IATF_STATUS_OK);
+    // Cancelling twice is as advisory as cancelling once.
+    EXPECT_EQ(iatf_server_cancel(server, ticket), IATF_STATUS_OK);
+    tickets.push_back(ticket);
+  }
+
+  int ok = 0, cancelled = 0;
+  for (uint64_t t : tickets) {
+    const int rc = iatf_server_wait(server, t);
+    ASSERT_TRUE(rc == IATF_STATUS_OK || rc == IATF_STATUS_CANCELLED)
+        << "ticket resolved with status " << rc;
+    (rc == IATF_STATUS_OK ? ok : cancelled) += 1;
+    // wait consumed the ticket; a late cancel is now INVALID_ARG.
+    EXPECT_EQ(iatf_server_cancel(server, t), IATF_STATUS_INVALID_ARG);
+    EXPECT_EQ(iatf_server_wait(server, t), IATF_STATUS_INVALID_ARG);
+  }
+  ASSERT_EQ(iatf_server_drain(server), IATF_STATUS_OK);
+  iatf_server_stats stats;
+  ASSERT_EQ(iatf_server_get_stats(server, &stats), IATF_STATUS_OK);
+  EXPECT_EQ(stats.submitted, kBurst);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.cancelled, cancelled);
+
+  iatf_ddestroy(a);
+  iatf_ddestroy(b);
+  for (iatf_dbuf* c : cs) {
+    iatf_ddestroy(c);
+  }
+  iatf_server_destroy(server);
+}
+
+TEST_F(CapiServe, VersionStringIsExposed) {
+  ASSERT_NE(iatf_version(), nullptr);
+  EXPECT_STREQ(iatf_version(), "0.10.0");
+}
+
 } // namespace

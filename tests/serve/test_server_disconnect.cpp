@@ -1,0 +1,218 @@
+// Client-disconnect semantics at the serve layer: a network front-end
+// mints one CancelToken per request and flags it when the client dies.
+// These tests pin the contract the wire reactor is built on:
+//
+//  * a flagged request is shed at dequeue with CancelledError and
+//    counted, exactly like deadline shedding;
+//  * cancelling a subset of a coalesced batch NEVER disturbs the
+//    sibling requests -- they still resolve exactly once, correctly;
+//  * cancellation past dispatch is advisory: the request completes
+//    normally (its result is simply unwanted);
+//  * every request resolves its future and fires its completion
+//    callback exactly once, whatever mix of cancels races the
+//    dispatcher.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "iatf/common/error.hpp"
+#include "iatf/core/engine.hpp"
+#include "iatf/ref/ref_blas.hpp"
+#include "iatf/serve/server.hpp"
+
+namespace iatf::serve {
+namespace {
+
+Engine& test_engine() {
+  static Engine engine(CacheInfo::kunpeng920());
+  static bool init = [] {
+    engine.set_kernel_verification(false);
+    return true;
+  }();
+  (void)init;
+  return engine;
+}
+
+/// N same-class GEMM requests sharing A/B, each with its own C and its
+/// own CancelToken -- the shape of one connection's outstanding work.
+struct CancelPool {
+  index_t m = 4, n = 4, k = 4, batch = 0;
+  test::HostBatch<double> a, b;
+  CompactBuffer<double> ca, cb;
+  std::vector<test::HostBatch<double>> cs;
+  std::vector<CompactBuffer<double>> ccs;
+  test::HostBatch<double> expected;
+  std::vector<CancelToken> tokens;
+
+  explicit CancelPool(std::size_t requests) {
+    Rng rng(17);
+    batch = simd::pack_width_v<double> + 1;
+    a = test::random_batch<double>(m, k, batch, rng);
+    b = test::random_batch<double>(k, n, batch, rng);
+    ca = a.to_compact();
+    cb = b.to_compact();
+    test::HostBatch<double> c0 =
+        test::random_batch<double>(m, n, batch, rng);
+    expected = c0;
+    for (index_t l = 0; l < batch; ++l) {
+      ref::gemm(Op::NoTrans, Op::NoTrans, m, n, k, 1.0, a.mat(l), a.ld(),
+                b.mat(l), b.ld(), 0.0, expected.mat(l), expected.ld());
+    }
+    cs.assign(requests, c0);
+    for (std::size_t i = 0; i < requests; ++i) {
+      ccs.push_back(cs[i].to_compact());
+      tokens.push_back(make_cancel_token());
+    }
+  }
+
+  std::future<BatchHealth> submit(Server& server, std::size_t i,
+                                  Server::Completion done = nullptr) {
+    SubmitOptions opts;
+    opts.cancel = tokens[i];
+    return server.submit_gemm<double>(Op::NoTrans, Op::NoTrans, 1.0, ca,
+                                      cb, 0.0, ccs[i], opts,
+                                      std::move(done));
+  }
+
+  void expect_correct(std::size_t i, const std::string& ctx) {
+    test::HostBatch<double> out = cs[i];
+    out.from_compact(ccs[i]);
+    test::expect_batch_near(expected, out, test::ulp_tolerance<double>(k),
+                            ctx);
+  }
+};
+
+TEST(ServeDisconnect, CancelledBeforeDispatchShedsWithCancelledError) {
+  Server server(test_engine());
+  CancelPool pool(1);
+  server.pause();
+  auto fut = pool.submit(server, 0);
+  cancel(pool.tokens[0]); // the client died while the request queued
+  server.drain();
+  EXPECT_THROW(fut.get(), CancelledError);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cancelled, 1u);
+  EXPECT_EQ(s.dispatch_calls, 0u); // never reached the engine
+  ASSERT_EQ(s.tenants.size(), 1u);
+  EXPECT_EQ(s.tenants[0].cancelled, 1u);
+  EXPECT_EQ(s.tenants[0].served, 0u);
+}
+
+TEST(ServeDisconnect, CancelSubsetLeavesCoalescedSiblingsExactlyOnce) {
+  Server server(test_engine());
+  constexpr std::size_t kRequests = 4;
+  CancelPool pool(kRequests);
+  server.pause(); // stage all four in one queue state
+  std::vector<std::future<BatchHealth>> futs;
+  std::vector<std::atomic<int>> fired(kRequests);
+  std::vector<Status> statuses(kRequests, Status::Internal);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futs.push_back(pool.submit(
+        server, i, [&, i](Status st, const BatchHealth&) {
+          statuses[i] = st;
+          fired[i].fetch_add(1);
+        }));
+  }
+  // The "connection" owning requests 1 and 2 dies mid-batch.
+  cancel(pool.tokens[1]);
+  cancel(pool.tokens[2]);
+  server.drain();
+
+  // Siblings 0 and 3: resolved exactly once, numerically correct.
+  for (const std::size_t i : {std::size_t{0}, std::size_t{3}}) {
+    EXPECT_TRUE(futs[i].get().clean()) << "sibling " << i;
+    EXPECT_EQ(fired[i].load(), 1) << "sibling " << i;
+    EXPECT_EQ(statuses[i], Status::Ok) << "sibling " << i;
+    pool.expect_correct(i, "sibling of cancelled requests");
+  }
+  // The dead client's requests: cancelled exactly once, never run.
+  for (const std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_THROW(futs[i].get(), CancelledError) << "cancelled " << i;
+    EXPECT_EQ(fired[i].load(), 1) << "cancelled " << i;
+    EXPECT_EQ(statuses[i], Status::Cancelled) << "cancelled " << i;
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.cancelled, 2u);
+  EXPECT_EQ(s.completed, 2u);
+  // The two survivors still shared one dispatch.
+  EXPECT_EQ(s.dispatch_calls, 1u);
+  EXPECT_EQ(s.coalesced_requests, 2u);
+}
+
+TEST(ServeDisconnect, CancelAfterResolutionIsHarmless) {
+  Server server(test_engine());
+  CancelPool pool(1);
+  auto fut = pool.submit(server, 0);
+  EXPECT_TRUE(fut.get().clean());
+  // The disconnect arrives after the result: advisory, no effect.
+  cancel(pool.tokens[0]);
+  server.drain();
+  pool.expect_correct(0, "cancel after resolution");
+  EXPECT_EQ(server.stats().cancelled, 0u);
+}
+
+TEST(ServeDisconnect, NullTokenMeansNotCancellable) {
+  cancel(CancelToken{}); // must be a safe no-op
+  Server server(test_engine());
+  CancelPool pool(1);
+  server.pause();
+  // Submit WITHOUT a token, then flag the pool token: unrelated.
+  auto fut = server.submit_gemm<double>(Op::NoTrans, Op::NoTrans, 1.0,
+                                        pool.ca, pool.cb, 0.0,
+                                        pool.ccs[0]);
+  cancel(pool.tokens[0]);
+  server.drain();
+  EXPECT_TRUE(fut.get().clean());
+  EXPECT_EQ(server.stats().cancelled, 0u);
+}
+
+TEST(ServeDisconnect, CancelStormEveryRequestResolvesExactlyOnce) {
+  Server server(test_engine());
+  constexpr std::size_t kRequests = 64;
+  CancelPool pool(kRequests);
+  std::vector<std::atomic<int>> fired(kRequests);
+  std::vector<std::future<BatchHealth>> futs;
+  futs.reserve(kRequests);
+  // Submit with the dispatcher live while another thread sprays cancels
+  // over half the tokens: races cancellation against dequeue/dispatch.
+  std::thread canceller([&] {
+    for (std::size_t i = 0; i < kRequests; i += 2) {
+      cancel(pool.tokens[i]);
+      std::this_thread::yield();
+    }
+  });
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    futs.push_back(pool.submit(
+        server, i,
+        [&, i](Status, const BatchHealth&) { fired[i].fetch_add(1); }));
+  }
+  canceller.join();
+  server.drain();
+
+  std::size_t ok = 0, cancelled = 0;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    try {
+      futs[i].get();
+      ++ok;
+    } catch (const CancelledError&) {
+      ++cancelled;
+    }
+    EXPECT_EQ(fired[i].load(), 1) << "request " << i;
+  }
+  // Exactly-once overall: every request is either served or cancelled,
+  // and odd-indexed requests (never cancelled) must all have run.
+  EXPECT_EQ(ok + cancelled, kRequests);
+  EXPECT_GE(ok, kRequests / 2);
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.completed, ok);
+  EXPECT_EQ(s.cancelled, cancelled);
+}
+
+} // namespace
+} // namespace iatf::serve

@@ -47,6 +47,8 @@
 #include <cstring>
 #include <fstream>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -56,10 +58,14 @@
 #include "iatf/common/fault_inject.hpp"
 #include "iatf/common/rng.hpp"
 #include "iatf/core/engine.hpp"
+#include "iatf/net/client.hpp"
+#include "iatf/net/trace.hpp"
+#include "iatf/net/wire.hpp"
 #include "iatf/sched/group_scheduler.hpp"
 #include "iatf/serve/server.hpp"
 #include "iatf/simd/vec.hpp"
 #include "iatf/tune/descriptor.hpp"
+#include "iatf/version.hpp"
 
 namespace {
 
@@ -86,19 +92,36 @@ struct Options {
   int kill_after = 0;        // > 0: quarantine + SIGKILL after N reqs
   int expect_quarantined = -1; // >= 0: require N replayed quarantines
   std::string json;
+  std::string record;  // write an iatf-trace of every submission
+  std::string replay;  // open-loop replay of a recorded trace
+  std::string connect; // replay target: "unix:PATH" or "tcp:HOST:PORT"
+                       // (empty = in-process server)
   // --mix: one descriptor set per entry; tenant t draws from set
   // t % mix.size(). Empty = single-shape mode (--m/--n/--k).
   std::vector<std::vector<MixShape>> mix;
 };
 
-[[noreturn]] void usage() {
+void print_usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: iatf_loadgen [--tenants=N] [--weights=w0,w1,...] "
       "[--requests=N] [--m=N --n=N --k=N --batch=N] "
       "[--mix=MxNxK,...;MxNxK,...] [--queue=N] [--coalesce=N] "
       "[--deadline-ms=X] [--ring=N] [--smoke] [--compare] "
-      "[--kill-after=N] [--expect-quarantined=N] [--json=FILE]\n");
+      "[--kill-after=N] [--expect-quarantined=N] [--json=FILE]\n"
+      "       iatf_loadgen --record=FILE [load options]\n"
+      "       iatf_loadgen --replay=FILE [--connect=unix:PATH|"
+      "tcp:HOST:PORT] [--smoke] [--json=FILE]\n"
+      "\n"
+      "--record captures every submission of a normal closed-loop run\n"
+      "as a timestamped iatf-trace (descriptors only, no data).\n"
+      "--replay re-drives a trace open-loop, reproducing the recorded\n"
+      "arrival times, against an in-process server or -- with\n"
+      "--connect -- an iatf_served daemon over its socket.\n");
+}
+
+[[noreturn]] void usage() {
+  print_usage(stderr);
   std::exit(2);
 }
 
@@ -110,7 +133,15 @@ Options parse(int argc, char** argv) {
       const std::size_t len = std::strlen(prefix);
       return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
     };
-    if (const char* v = value("--tenants=")) {
+    if (std::strcmp(arg, "--help") == 0) {
+      print_usage(stdout);
+      std::exit(0);
+    } else if (std::strcmp(arg, "--version") == 0) {
+      std::printf("iatf_loadgen %s (iatf-wire %u, iatf-trace %d)\n",
+                  IATF_VERSION_STRING, net::kWireVersion,
+                  net::kTraceVersion);
+      std::exit(0);
+    } else if (const char* v = value("--tenants=")) {
       opt.tenants = std::atoi(v);
     } else if (const char* v = value("--weights=")) {
       opt.weights.clear();
@@ -195,13 +226,36 @@ Options parse(int argc, char** argv) {
       }
     } else if (const char* v = value("--json=")) {
       opt.json = v;
+    } else if (const char* v = value("--record=")) {
+      opt.record = v;
+    } else if (const char* v = value("--replay=")) {
+      opt.replay = v;
+    } else if (const char* v = value("--connect=")) {
+      opt.connect = v;
     } else if (std::strcmp(arg, "--compare") == 0) {
       opt.compare = true;
     } else {
+      std::fprintf(stderr, "iatf_loadgen: unknown option '%s'\n", arg);
       usage();
     }
   }
   if (opt.tenants < 1 || opt.requests < 1 || opt.ring < 1) {
+    usage();
+  }
+  if (!opt.replay.empty() && !opt.record.empty()) {
+    std::fprintf(stderr,
+                 "iatf_loadgen: --record and --replay are exclusive\n");
+    usage();
+  }
+  if (!opt.connect.empty() && opt.replay.empty()) {
+    std::fprintf(stderr, "iatf_loadgen: --connect needs --replay\n");
+    usage();
+  }
+  if (!opt.connect.empty() &&
+      opt.connect.rfind("unix:", 0) != 0 &&
+      opt.connect.rfind("tcp:", 0) != 0) {
+    std::fprintf(stderr, "iatf_loadgen: --connect wants unix:PATH or "
+                         "tcp:HOST:PORT\n");
     usage();
   }
   if (opt.smoke) {
@@ -396,6 +450,14 @@ int run(const Options& opt) {
   std::vector<std::uint64_t> unresolved(
       static_cast<std::size_t>(opt.tenants), 0);
 
+  // --record: one thread-safe writer shared by every tenant thread;
+  // submissions are stamped with their offset from the run start so a
+  // replay reproduces the recorded arrival pattern.
+  std::unique_ptr<net::TraceWriter> recorder;
+  if (!opt.record.empty()) {
+    recorder = std::make_unique<net::TraceWriter>(opt.record);
+  }
+
   const auto t0 = Clock::now();
   std::vector<std::thread> threads;
   for (int t = 0; t < opt.tenants; ++t) {
@@ -422,6 +484,20 @@ int run(const Options& opt) {
         serve::SubmitOptions so;
         so.tenant = static_cast<serve::TenantId>(t);
         const auto start = Clock::now();
+        if (recorder) {
+          const MixShape& shp = shapes[ids[si]];
+          net::TraceEvent ev;
+          ev.t_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        start - t0)
+                        .count();
+          ev.tenant = static_cast<std::uint32_t>(t);
+          ev.m = shp.m;
+          ev.n = shp.n;
+          ev.k = shp.k;
+          ev.batch = batch;
+          ev.deadline_ms = opt.deadline_ms;
+          recorder->record(ev);
+        }
         ring[slot] = server.submit_gemm<double>(
             Op::NoTrans, Op::NoTrans, 1.0, as[ids[si]], bs[ids[si]], 0.0,
             outs[static_cast<std::size_t>(t * opt.ring) + slot][si], so,
@@ -451,6 +527,10 @@ int run(const Options& opt) {
     th.join();
   }
   server.drain();
+  if (recorder) {
+    std::printf("recorded %zu submissions to %s\n", recorder->recorded(),
+                opt.record.c_str());
+  }
   if (opt.kill_after > 0) {
     // The crash: fail one verification canary so the engine quarantines
     // a kernel (journaled to the attached ledger the moment it happens),
@@ -644,8 +724,367 @@ int run(const Options& opt) {
   return 0;
 }
 
+// ---- Trace replay ------------------------------------------------------
+
+/// Deterministic per-shape input data for replay: traces carry
+/// descriptors only, so both replay targets synthesize the same values
+/// from a fixed seed.
+template <class T>
+std::vector<T> synth(index_t rows, index_t cols, index_t batch,
+                     unsigned seed) {
+  Rng rng(seed);
+  std::vector<T> host(
+      static_cast<std::size_t>(rows) * cols * batch);
+  for (auto& v : host) {
+    v = rng.uniform<T>();
+  }
+  return host;
+}
+
+/// Open-loop replay against an iatf_served daemon over its socket. One
+/// connection, submissions paced to the recorded arrival times, replies
+/// drained between sends; every submission must come back as exactly
+/// one Result (or wire Error) frame.
+int replay_socket(const Options& opt,
+                  const std::vector<net::TraceEvent>& events) {
+  net::Client client;
+  try {
+    if (opt.connect.rfind("unix:", 0) == 0) {
+      client.connect_unix(opt.connect.substr(5));
+    } else {
+      const std::string spec = opt.connect.substr(4);
+      const auto colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "iatf_loadgen: --connect=tcp wants "
+                             "tcp:HOST:PORT\n");
+        return 2;
+      }
+      client.connect_tcp(spec.substr(0, colon),
+                         static_cast<std::uint16_t>(
+                             std::atoi(spec.c_str() + colon + 1)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iatf_loadgen: connect failed: %s\n", e.what());
+    return 1;
+  }
+
+  // Shape data cache: key on the full descriptor, bytes ready to wire.
+  struct ShapeBytes {
+    std::vector<std::uint8_t> a, b, c;
+  };
+  std::map<std::string, ShapeBytes> cache;
+  auto bytes_for = [&](const net::TraceEvent& ev) -> ShapeBytes& {
+    char key[64];
+    std::snprintf(key, sizeof key, "%c:%lldx%lldx%lldx%lld", ev.dtype,
+                  (long long)ev.m, (long long)ev.n, (long long)ev.k,
+                  (long long)ev.batch);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      return it->second;
+    }
+    ShapeBytes sb;
+    auto pack = [&](index_t rows, index_t cols, unsigned seed,
+                    std::vector<std::uint8_t>& out) {
+      if (ev.dtype == 's') {
+        const auto host = synth<float>(rows, cols, ev.batch, seed);
+        out.resize(host.size() * sizeof(float));
+        std::memcpy(out.data(), host.data(), out.size());
+      } else {
+        const auto host = synth<double>(rows, cols, ev.batch, seed);
+        out.resize(host.size() * sizeof(double));
+        std::memcpy(out.data(), host.data(), out.size());
+      }
+    };
+    pack(ev.m, ev.k, 11, sb.a);
+    pack(ev.k, ev.n, 23, sb.b);
+    pack(ev.m, ev.n, 37, sb.c);
+    return cache.emplace(key, std::move(sb)).first->second;
+  };
+
+  std::uint64_t ok = 0, failed = 0, refused = 0;
+  std::size_t outstanding = 0;
+  std::map<std::uint64_t, Clock::time_point> sent_at;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(events.size());
+
+  auto absorb = [&](const net::Client::Reply& reply) {
+    if (reply.type == net::FrameType::Result) {
+      const auto it = sent_at.find(reply.request_id);
+      if (it != sent_at.end()) {
+        latencies_ms.push_back(std::chrono::duration<double, std::milli>(
+                                   Clock::now() - it->second)
+                                   .count());
+        sent_at.erase(it);
+        --outstanding;
+      }
+      if (reply.status == 0) {
+        ++ok;
+      } else {
+        ++failed;
+      }
+    } else if (reply.type == net::FrameType::Error) {
+      const auto it = sent_at.find(reply.request_id);
+      if (it != sent_at.end()) {
+        sent_at.erase(it);
+        --outstanding;
+      }
+      ++refused;
+    }
+  };
+
+  const std::size_t cap =
+      std::max<std::size_t>(1, client.server_caps().max_outstanding);
+  const auto start = Clock::now();
+  try {
+    for (const net::TraceEvent& ev : events) {
+      const auto target = start + std::chrono::microseconds(ev.t_us);
+      // Open loop: pace to the recorded arrival time, draining replies
+      // while we wait so the read side never backs up.
+      for (;;) {
+        const auto now = Clock::now();
+        if (now >= target && outstanding < cap) {
+          break;
+        }
+        const auto wait =
+            now >= target
+                ? std::chrono::milliseconds(50)
+                : std::min(std::chrono::duration_cast<
+                               std::chrono::milliseconds>(target - now) +
+                               std::chrono::milliseconds(1),
+                           std::chrono::milliseconds(50));
+        net::Client::Reply reply;
+        if (client.next_reply(reply, wait)) {
+          absorb(reply);
+        }
+      }
+      const ShapeBytes& sb = bytes_for(ev);
+      net::GemmSubmit msg;
+      msg.dtype = ev.dtype;
+      msg.m = static_cast<std::uint32_t>(ev.m);
+      msg.n = static_cast<std::uint32_t>(ev.n);
+      msg.k = static_cast<std::uint32_t>(ev.k);
+      msg.batch = static_cast<std::uint32_t>(ev.batch);
+      msg.tenant = ev.tenant;
+      msg.deadline_ms = ev.deadline_ms;
+      msg.a = sb.a;
+      msg.b = sb.b;
+      msg.c = sb.c;
+      const std::uint64_t id = client.submit_gemm(msg);
+      sent_at.emplace(id, Clock::now());
+      ++outstanding;
+    }
+
+    // Tail: every outstanding submission must resolve.
+    const auto give_up = Clock::now() + std::chrono::seconds(30);
+    while (outstanding > 0 && Clock::now() < give_up) {
+      net::Client::Reply reply;
+      if (client.next_reply(reply, std::chrono::milliseconds(200))) {
+        absorb(reply);
+      }
+    }
+    client.goodbye();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iatf_loadgen: replay aborted: %s\n", e.what());
+    return 1;
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<Row> rows;
+  auto row = [&](const std::string& series, double value,
+                 const std::string& unit) {
+    rows.push_back({series, value, unit});
+    std::printf("serve_loadgen,d,NN,%lld,%s,%.4f,%s\n",
+                static_cast<long long>(events.front().n), series.c_str(),
+                value, unit.c_str());
+  };
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  row("net_replay_events", static_cast<double>(events.size()), "req");
+  row("net_throughput",
+      wall_s > 0 ? static_cast<double>(events.size()) / wall_s : 0.0,
+      "req/s");
+  row("net_latency_p50", percentile(latencies_ms, 0.50), "ms");
+  row("net_latency_p95", percentile(latencies_ms, 0.95), "ms");
+  row("net_latency_p99", percentile(latencies_ms, 0.99), "ms");
+  row("net_failed", static_cast<double>(failed), "req");
+  row("net_refused", static_cast<double>(refused), "req");
+  row("net_unresolved", static_cast<double>(outstanding), "req");
+  if (!opt.json.empty()) {
+    write_json(opt.json, rows, events.front().n);
+  }
+  if (outstanding > 0) {
+    std::fprintf(stderr,
+                 "REPLAY FAIL: %zu submissions never answered\n",
+                 outstanding);
+    return 1;
+  }
+  if (opt.smoke && (failed != 0 || refused != 0)) {
+    std::fprintf(stderr,
+                 "REPLAY FAIL: %llu failed, %llu refused under smoke\n",
+                 (unsigned long long)failed, (unsigned long long)refused);
+    return 1;
+  }
+  std::printf("replay: OK (%zu events, %llu ok, %llu failed, "
+              "%llu refused)\n",
+              events.size(), (unsigned long long)ok,
+              (unsigned long long)failed, (unsigned long long)refused);
+  return 0;
+}
+
+/// Open-loop replay against an in-process Server (no sockets): the
+/// trace's arrival times drive submissions from one pacing thread.
+int replay_inprocess(const Options& opt,
+                     const std::vector<net::TraceEvent>& events) {
+  Engine& engine = Engine::default_engine();
+  engine.set_kernel_verification(false);
+  serve::ServeConfig config;
+  config.queue_capacity = opt.queue;
+  config.max_coalesce = opt.coalesce;
+  config.overload = resilience::OverloadPolicy::Block;
+  serve::Server server(engine, config);
+
+  // Shared read-only inputs per shape; every in-flight submission owns
+  // its output buffer (the serve contract forbids aliased writers).
+  struct ShapeBufs {
+    CompactBuffer<double> a, b;
+  };
+  std::map<std::string, ShapeBufs> cache;
+  auto bufs_for = [&](const net::TraceEvent& ev) -> ShapeBufs& {
+    char key[64];
+    std::snprintf(key, sizeof key, "%lldx%lldx%lldx%lld", (long long)ev.m,
+                  (long long)ev.n, (long long)ev.k, (long long)ev.batch);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      return it->second;
+    }
+    ShapeBufs sb;
+    sb.a = CompactBuffer<double>(ev.m, ev.k, ev.batch);
+    sb.b = CompactBuffer<double>(ev.k, ev.n, ev.batch);
+    const auto ah = synth<double>(ev.m, ev.k, ev.batch, 11);
+    const auto bh = synth<double>(ev.k, ev.n, ev.batch, 23);
+    for (index_t bi = 0; bi < ev.batch; ++bi) {
+      sb.a.import_colmajor(bi, ah.data() + bi * ev.m * ev.k, ev.m);
+      sb.b.import_colmajor(bi, bh.data() + bi * ev.k * ev.n, ev.k);
+    }
+    return cache.emplace(key, std::move(sb)).first->second;
+  };
+
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0, failed = 0;
+  std::vector<std::future<BatchHealth>> futures;
+  futures.reserve(events.size());
+
+  const auto start = Clock::now();
+  for (const net::TraceEvent& ev : events) {
+    std::this_thread::sleep_until(start +
+                                  std::chrono::microseconds(ev.t_us));
+    ShapeBufs& sb = bufs_for(ev);
+    auto out = std::make_shared<CompactBuffer<double>>(ev.m, ev.n,
+                                                       ev.batch);
+    serve::SubmitOptions so;
+    so.tenant = static_cast<serve::TenantId>(ev.tenant);
+    if (ev.deadline_ms > 0) {
+      so.deadline = std::chrono::nanoseconds(
+          static_cast<long long>(ev.deadline_ms * 1e6));
+    }
+    const auto sent = Clock::now();
+    futures.push_back(server.submit_gemm<double>(
+        Op::NoTrans, Op::NoTrans, 1.0, sb.a, sb.b, 0.0, *out, so,
+        // The callback owns the output buffer; it dies with the request.
+        [&, out, sent](Status st, const BatchHealth&) {
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - sent)
+                                .count();
+          std::lock_guard<std::mutex> lock(mu);
+          latencies_ms.push_back(ms);
+          if (st == Status::Ok) {
+            ++ok;
+          } else {
+            ++failed;
+          }
+        }));
+  }
+
+  std::uint64_t unresolved = 0;
+  for (auto& fut : futures) {
+    if (fut.wait_for(std::chrono::seconds(30)) !=
+        std::future_status::ready) {
+      ++unresolved;
+    } else {
+      try {
+        (void)fut.get();
+      } catch (const std::exception&) {
+        // Already counted by the callback.
+      }
+    }
+  }
+  server.drain();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  const serve::ServerStats stats = server.stats();
+
+  std::vector<Row> rows;
+  auto row = [&](const std::string& series, double value,
+                 const std::string& unit) {
+    rows.push_back({series, value, unit});
+    std::printf("serve_loadgen,d,NN,%lld,%s,%.4f,%s\n",
+                static_cast<long long>(events.front().n), series.c_str(),
+                value, unit.c_str());
+  };
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  row("replay_events", static_cast<double>(events.size()), "req");
+  row("replay_throughput",
+      wall_s > 0 ? static_cast<double>(events.size()) / wall_s : 0.0,
+      "req/s");
+  row("replay_latency_p50", percentile(latencies_ms, 0.50), "ms");
+  row("replay_latency_p95", percentile(latencies_ms, 0.95), "ms");
+  row("replay_latency_p99", percentile(latencies_ms, 0.99), "ms");
+  row("replay_failed", static_cast<double>(failed), "req");
+  row("replay_unresolved", static_cast<double>(unresolved), "req");
+  row("replay_dispatch_calls", static_cast<double>(stats.dispatch_calls),
+      "calls");
+  if (!opt.json.empty()) {
+    write_json(opt.json, rows, events.front().n);
+  }
+  if (unresolved > 0) {
+    std::fprintf(stderr, "REPLAY FAIL: %llu submissions unresolved\n",
+                 (unsigned long long)unresolved);
+    return 1;
+  }
+  if (opt.smoke && failed != 0) {
+    std::fprintf(stderr, "REPLAY FAIL: %llu failed under smoke\n",
+                 (unsigned long long)failed);
+    return 1;
+  }
+  std::printf("replay: OK (%zu events, %llu ok, %llu failed)\n",
+              events.size(), (unsigned long long)ok,
+              (unsigned long long)failed);
+  return 0;
+}
+
+int run_replay(const Options& opt) {
+  std::vector<net::TraceEvent> events;
+  try {
+    events = net::load_trace(opt.replay);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "iatf_loadgen: %s\n", e.what());
+    return 2;
+  }
+  if (events.empty()) {
+    std::printf("replay: trace is empty, nothing to do\n");
+    return 0;
+  }
+  return opt.connect.empty() ? replay_inprocess(opt, events)
+                             : replay_socket(opt, events);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
-  return run(parse(argc, argv));
+  const Options opt = parse(argc, argv);
+  if (!opt.replay.empty()) {
+    return run_replay(opt);
+  }
+  return run(opt);
 }

@@ -22,6 +22,7 @@
 #include "iatf/tune/descriptor.hpp"
 #include "iatf/tune/search.hpp"
 #include "iatf/tune/tuning_table.hpp"
+#include "iatf/version.hpp"
 
 namespace {
 
@@ -58,8 +59,9 @@ std::vector<std::string> split(const std::string& csv) {
   return out;
 }
 
-void usage() {
-  std::printf(
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
       "iatf_tune: empirical install-time autotuner\n"
       "  --op=gemm|trsm|all      descriptor kinds to sweep (all)\n"
       "  --dtypes=CHARS          any of s,d,c,z (sd)\n"
@@ -72,12 +74,25 @@ void usage() {
       "  --no-prune              time the full space (no pipesim ranking)\n"
       "  --threads=N             tune parallel execution on an N-thread pool\n"
       "  --out=FILE              tuning table ($IATF_TUNE_FILE or iatf_tune.tbl)\n"
-      "  --json=FILE             results in the bench harness JSON schema\n");
+      "  --json=FILE             results in the bench harness JSON schema\n"
+      "  --help, --version\n");
 }
 
-bool parse_cli(int argc, char** argv, CliOptions& cli) {
+/// Returns false when main should exit immediately with `exit_code`
+/// (0 for --help/--version, 2 for anything malformed).
+bool parse_cli(int argc, char** argv, CliOptions& cli, int& exit_code) {
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0) {
+      usage(stdout);
+      exit_code = 0;
+      return false;
+    }
+    if (std::strcmp(arg, "--version") == 0) {
+      std::printf("iatf_tune %s\n", IATF_VERSION_STRING);
+      exit_code = 0;
+      return false;
+    }
     const auto value = [&](const char* prefix) -> const char* {
       const std::size_t len = std::strlen(prefix);
       return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
@@ -123,8 +138,10 @@ bool parse_cli(int argc, char** argv, CliOptions& cli) {
     } else if (const char* v = value("--json=")) {
       cli.json = v;
     } else {
-      usage();
-      return std::strcmp(arg, "--help") == 0 && argc == 2;
+      std::fprintf(stderr, "iatf_tune: unknown option '%s'\n", arg);
+      usage(stderr);
+      exit_code = 2;
+      return false;
     }
   }
   return true;
@@ -226,8 +243,9 @@ void add_rows(std::vector<JsonRow>& rows, const char* kind, char dtype,
 
 int main(int argc, char** argv) {
   CliOptions cli;
-  if (!parse_cli(argc, argv, cli)) {
-    return 2;
+  int exit_code = 0;
+  if (!parse_cli(argc, argv, cli, exit_code)) {
+    return exit_code;
   }
   const iatf::CacheInfo cache = iatf::CacheInfo::detect();
   std::unique_ptr<iatf::ThreadPool> pool;
