@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -62,9 +63,18 @@ public:
   };
 
   /// Block until the next server frame (Result / Error / Pong) or the
-  /// timeout. Returns false on timeout; throws iatf::Error if the
+  /// timeout. Replies stashed by reply_for() are handed out first, in
+  /// arrival order. Returns false on timeout; throws iatf::Error if the
   /// server closed the connection or sent garbage.
   bool next_reply(Reply& out, std::chrono::milliseconds timeout);
+
+  /// Block until the reply for `request_id` arrives or the timeout.
+  /// Replies for OTHER requests pulled off the socket along the way are
+  /// stashed (the server interleaves: a compute Result can overtake a
+  /// later Pong) and served by subsequent reply_for()/next_reply()
+  /// calls, so waiting on one id never loses another id's reply.
+  bool reply_for(std::uint64_t request_id, Reply& out,
+                 std::chrono::milliseconds timeout);
 
   /// Raw socket (tests use it to kill the connection mid-request).
   int fd() const noexcept { return fd_; }
@@ -73,12 +83,15 @@ private:
   void handshake(std::chrono::milliseconds timeout);
   void send_frame(FrameType type, std::uint64_t request_id,
                   std::span<const std::uint8_t> payload);
+  /// next_reply without the stash: always pulls from the socket.
+  bool pull_reply(Reply& out, std::chrono::milliseconds timeout);
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   Decoder decoder_;
   HelloAckMsg caps_;
   std::vector<std::uint8_t> caps_payload_; ///< raw HelloAck payload
+  std::deque<Reply> stash_; ///< replies pulled while waiting on an id
 };
 
 } // namespace iatf::net

@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -32,6 +33,7 @@ void Client::close() {
     ::close(fd_);
     fd_ = -1;
   }
+  stash_.clear();
 }
 
 void Client::connect_unix(const std::string& path,
@@ -147,6 +149,46 @@ std::uint64_t Client::ping() {
 void Client::goodbye() { send_frame(FrameType::Goodbye, 0, {}); }
 
 bool Client::next_reply(Reply& out, std::chrono::milliseconds timeout) {
+  if (!stash_.empty()) {
+    out = std::move(stash_.front());
+    stash_.pop_front();
+    return true;
+  }
+  return pull_reply(out, timeout);
+}
+
+bool Client::reply_for(std::uint64_t request_id, Reply& out,
+                       std::chrono::milliseconds timeout) {
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (it->request_id == request_id) {
+      out = std::move(*it);
+      stash_.erase(it);
+      return true;
+    }
+  }
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= give_up) {
+      return false;
+    }
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(give_up -
+                                                              now);
+    Reply pulled;
+    if (!pull_reply(pulled, std::max<std::chrono::milliseconds>(
+                                left, std::chrono::milliseconds(1)))) {
+      return false;
+    }
+    if (pulled.request_id == request_id) {
+      out = std::move(pulled);
+      return true;
+    }
+    stash_.push_back(std::move(pulled));
+  }
+}
+
+bool Client::pull_reply(Reply& out, std::chrono::milliseconds timeout) {
   IATF_CHECK(fd_ >= 0, "Client: not connected");
   const auto give_up = std::chrono::steady_clock::now() + timeout;
   for (;;) {

@@ -20,6 +20,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -193,7 +194,7 @@ struct NetServer::Impl {
   std::atomic<std::uint64_t> accepted{0}, shed_busy{0}, closed{0},
       slow_closes{0}, frames_in{0}, frames_out{0}, wire_errors{0},
       fatal_errors{0}, submits{0}, results{0}, cancels{0}, bytes_in{0},
-      bytes_out{0};
+      bytes_out{0}, open_conns{0};
 
   Impl(serve::Server& s, NetConfig c)
       : server(s), cfg(std::move(c)),
@@ -203,6 +204,13 @@ struct NetServer::Impl {
 
   void queue_frame(Conn& conn, FrameType type, std::uint64_t request_id,
                    std::span<const std::uint8_t> payload) {
+    if (conn.queued_bytes() == 0) {
+      // The write-stall clock starts when the buffer goes non-empty,
+      // not at the last outbound traffic: an idle client whose next
+      // reply is queued after >write_timeout of silence must not be
+      // swept before a write is even attempted.
+      conn.last_write_progress = std::chrono::steady_clock::now();
+    }
     append_frame(conn.wbuf, type, request_id, payload);
     ++frames_out;
     if (conn.queued_bytes() > cfg.max_write_buffer) {
@@ -241,6 +249,7 @@ struct NetServer::Impl {
       serve::cancel(token);
     }
     conns.erase(it);
+    --open_conns;
     ++closed;
   }
 
@@ -274,16 +283,28 @@ struct NetServer::Impl {
     state->a = CompactBuffer<T>(rows_a, cols_a, msg.batch);
     state->b = CompactBuffer<T>(rows_b, cols_b, msg.batch);
     state->c = CompactBuffer<T>(msg.m, msg.n, msg.batch);
-    const T* asrc = reinterpret_cast<const T*>(msg.a.data());
-    const T* bsrc = reinterpret_cast<const T*>(msg.b.data());
-    const T* csrc = reinterpret_cast<const T*>(msg.c.data());
+    // The payload spans sit at an arbitrary offset inside the frame
+    // (4 mod 8 for the first matrix), so casting them to T* and
+    // dereferencing is a misaligned load; stage one batch entry at a
+    // time through an aligned buffer instead.
+    const std::size_t max_elems = std::max(
+        {std::size_t(rows_a) * cols_a, std::size_t(rows_b) * cols_b,
+         std::size_t(msg.m) * msg.n});
+    std::vector<T> stage(max_elems);
+    const auto load = [&stage](std::span<const std::uint8_t> bytes,
+                               std::size_t elem_off,
+                               std::size_t elems) -> const T* {
+      std::memcpy(stage.data(), bytes.data() + elem_off * sizeof(T),
+                  elems * sizeof(T));
+      return stage.data();
+    };
     for (std::uint32_t bi = 0; bi < msg.batch; ++bi) {
-      state->a.import_colmajor(bi, asrc + std::size_t(bi) * rows_a * cols_a,
-                               rows_a);
-      state->b.import_colmajor(bi, bsrc + std::size_t(bi) * rows_b * cols_b,
-                               rows_b);
-      state->c.import_colmajor(bi, csrc + std::size_t(bi) * msg.m * msg.n,
-                               msg.m);
+      const std::size_t na = std::size_t(rows_a) * cols_a;
+      const std::size_t nb = std::size_t(rows_b) * cols_b;
+      const std::size_t nc = std::size_t(msg.m) * msg.n;
+      state->a.import_colmajor(bi, load(msg.a, bi * na, na), rows_a);
+      state->b.import_colmajor(bi, load(msg.b, bi * nb, nb), rows_b);
+      state->c.import_colmajor(bi, load(msg.c, bi * nc, nc), msg.m);
     }
 
     serve::SubmitOptions opts;
@@ -605,6 +626,7 @@ struct NetServer::Impl {
       conn->id = next_conn_id++;
       conn->last_write_progress = std::chrono::steady_clock::now();
       ++accepted;
+      ++open_conns;
       conns.emplace(conn->id, std::move(conn));
     }
   }
@@ -928,7 +950,7 @@ NetStats NetServer::stats() const {
   s.cancels = impl_->cancels.load();
   s.bytes_in = impl_->bytes_in.load();
   s.bytes_out = impl_->bytes_out.load();
-  s.connections = impl_->conns.size(); // racy read; diagnostic only
+  s.connections = impl_->open_conns.load();
   return s;
 }
 

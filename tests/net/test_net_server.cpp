@@ -116,17 +116,15 @@ struct Problem {
   }
 };
 
-/// Pull replies until one for `id` arrives (servers may interleave).
+/// Wait for the reply to `id`; interleaved replies for other ids are
+/// stashed inside the Client (a compute Result can overtake a later
+/// Pong on the wire), never dropped.
 Client::Reply reply_for(Client& client, std::uint64_t id,
                         std::chrono::milliseconds timeout = 5000ms) {
   Client::Reply reply;
-  const auto give_up = std::chrono::steady_clock::now() + timeout;
-  while (std::chrono::steady_clock::now() < give_up) {
-    if (client.next_reply(reply, 100ms) && reply.request_id == id) {
-      return reply;
-    }
+  if (!client.reply_for(id, reply, timeout)) {
+    ADD_FAILURE() << "no reply for request " << id;
   }
-  ADD_FAILURE() << "no reply for request " << id;
   return reply;
 }
 
